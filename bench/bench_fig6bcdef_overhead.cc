@@ -1,0 +1,78 @@
+// Figure 6(b)-(f): optimization-time overhead of the compliance-based
+// optimizer vs the traditional cost-based optimizer, on the six TPC-H
+// queries:
+//   (b) minimal overhead — unrestricted `ship * from t to *` policies;
+//   (c) set T (8 whole-table expressions);
+//   (d) set C (10 column expressions);
+//   (e) set CR (10 column+row expressions);
+//   (f) set CR+A (10 column+row+aggregate expressions).
+// Each measurement is the mean of 7 runs with the standard error, as in
+// the paper.
+
+#include <cstdio>
+#include <functional>
+
+#include "bench_util.h"
+#include "core/optimizer.h"
+#include "net/network_model.h"
+#include "tpch/tpch.h"
+
+using namespace cgq;  // NOLINT
+
+namespace {
+
+void RunPanel(const Catalog& catalog, PolicyCatalog* policies,
+              const NetworkModel& net, const char* title,
+              const std::function<Status()>& install) {
+  if (!install().ok()) {
+    std::printf("policy installation failed for %s\n", title);
+    return;
+  }
+  bench::PrintHeader(title);
+  std::printf("%-6s %-26s %-26s %-9s\n", "Query", "Traditional QO [ms]",
+              "Compliant QO [ms]", "factor");
+  for (int q : tpch::QueryNumbers()) {
+    std::string sql = *tpch::Query(q);
+    OptimizerOptions trad_opts;
+    trad_opts.compliant = false;
+    QueryOptimizer traditional(&catalog, policies, &net, trad_opts);
+    QueryOptimizer compliant(&catalog, policies, &net, {});
+
+    bench::TimingStats trad = bench::TimeRepeated(
+        [&] { (void)traditional.Optimize(sql); });
+    bench::TimingStats comp = bench::TimeRepeated(
+        [&] { (void)compliant.Optimize(sql); });
+    std::printf("Q%-5d %10.2f +- %-10.2f %10.2f +- %-10.2f %8.2fx\n", q,
+                trad.mean_ms, trad.stderr_ms, comp.mean_ms, comp.stderr_ms,
+                trad.mean_ms > 0 ? comp.mean_ms / trad.mean_ms : 0.0);
+  }
+}
+
+}  // namespace
+
+int main() {
+  tpch::TpchConfig config;
+  config.scale_factor = 10;
+  auto catalog = tpch::BuildCatalog(config);
+  if (!catalog.ok()) return 1;
+  NetworkModel net = NetworkModel::DefaultGeo(5);
+  PolicyCatalog policies(&*catalog);
+
+  RunPanel(*catalog, &policies, net,
+           "Fig 6(b): minimal overhead (unrestricted policies, 8 "
+           "expressions)",
+           [&] { return tpch::InstallUnrestrictedPolicies(&policies); });
+  RunPanel(*catalog, &policies, net,
+           "Fig 6(c): optimization time under set T (8 expressions)",
+           [&] { return tpch::InstallPolicySet("T", &policies); });
+  RunPanel(*catalog, &policies, net,
+           "Fig 6(d): optimization time under set C (10 expressions)",
+           [&] { return tpch::InstallPolicySet("C", &policies); });
+  RunPanel(*catalog, &policies, net,
+           "Fig 6(e): optimization time under set CR (10 expressions)",
+           [&] { return tpch::InstallPolicySet("CR", &policies); });
+  RunPanel(*catalog, &policies, net,
+           "Fig 6(f): optimization time under set CR+A (10 expressions)",
+           [&] { return tpch::InstallPolicySet("CRA", &policies); });
+  return 0;
+}

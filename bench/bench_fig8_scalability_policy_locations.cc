@@ -1,0 +1,70 @@
+// Figure 8: impact of the number of `to` locations per policy expression.
+//
+// A 20-location deployment; eight expressions of the form
+//   ship * from t to l1, ..., ln
+// with n in {3, 5, 10, 15, 20}. Reported: optimization time of Q2 and Q3
+// (the most and least join-heavy queries) plus the site-selection share.
+// Expected shape: time grows mildly with n (set operations while deriving
+// traits), more pronounced for Q2; site selection is a small fraction.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "core/optimizer.h"
+#include "net/network_model.h"
+#include "tpch/tpch.h"
+
+using namespace cgq;  // NOLINT
+
+int main() {
+  tpch::TpchConfig config;
+  config.scale_factor = 10;
+  config.num_locations = 20;
+  auto catalog = tpch::BuildCatalog(config);
+  if (!catalog.ok()) return 1;
+  NetworkModel net = NetworkModel::DefaultGeo(20);
+
+  const size_t ns[] = {3, 5, 10, 15, 20};
+  const int queries[] = {2, 3};
+  const char* tables[] = {"nation", "region",   "customer", "orders",
+                          "supplier", "partsupp", "part",     "lineitem"};
+
+  for (int q : queries) {
+    bench::PrintHeader("Fig 8 (Q" + std::to_string(q) +
+                       "): optimization time vs #locations per policy "
+                       "expression (20-site deployment)");
+    std::printf("%-8s %-22s %-12s\n", "n", "Compliant QO [ms]",
+                "site [ms]");
+    std::string sql = *tpch::Query(q);
+    for (size_t n : ns) {
+      PolicyCatalog policies(&*catalog);
+      std::string to_list;
+      for (size_t i = 1; i <= n; ++i) {
+        if (i > 1) to_list += ", ";
+        to_list += "l" + std::to_string(i);
+      }
+      bool ok = true;
+      for (const char* t : tables) {
+        auto def = catalog->GetTable(t);
+        if (!def.ok()) continue;
+        std::string home =
+            catalog->locations().GetName((*def)->home());
+        ok &= policies
+                  .AddPolicyText(home, std::string("ship * from ") + t +
+                                           " to " + to_list)
+                  .ok();
+      }
+      if (!ok) return 1;
+
+      QueryOptimizer optimizer(&*catalog, &policies, &net, {});
+      auto probe = optimizer.Optimize(sql);
+      double site = probe.ok() ? probe->stats.site_ms : -1;
+      bench::TimingStats t =
+          bench::TimeRepeated([&] { (void)optimizer.Optimize(sql); });
+      std::printf("%-8zu %10.2f +- %-8.2f %-12.2f\n", n, t.mean_ms,
+                  t.stderr_ms, site);
+    }
+  }
+  return 0;
+}

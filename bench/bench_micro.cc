@@ -1,0 +1,100 @@
+// Google-benchmark micro benchmarks of the core components: policy
+// evaluation (Algorithm 1), the implication test, memo exploration, and
+// end-to-end optimization of selected queries.
+
+#include <benchmark/benchmark.h>
+
+#include "core/optimizer.h"
+#include "core/policy_evaluator.h"
+#include "expr/implication.h"
+#include "net/network_model.h"
+#include "plan/binder.h"
+#include "plan/builder.h"
+#include "plan/summary.h"
+#include "sql/parser.h"
+#include "tpch/tpch.h"
+
+namespace cgq {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    tpch::TpchConfig config;
+    config.scale_factor = 10;
+    catalog = std::make_unique<Catalog>(*tpch::BuildCatalog(config));
+    policies = std::make_unique<PolicyCatalog>(catalog.get());
+    (void)tpch::InstallPolicySet("CRA", policies.get());
+    net = std::make_unique<NetworkModel>(NetworkModel::DefaultGeo(5));
+  }
+  std::unique_ptr<Catalog> catalog;
+  std::unique_ptr<PolicyCatalog> policies;
+  std::unique_ptr<NetworkModel> net;
+};
+
+Fixture& F() {
+  static Fixture* f = new Fixture();
+  return *f;
+}
+
+void BM_ImplicationTest(benchmark::State& state) {
+  auto q = ParseQuery(
+      "SELECT a FROM t WHERE size > 41 AND mkt = 'BUILDING' AND "
+      "price BETWEEN 10 AND 20");
+  auto e = ParseQuery(
+      "SELECT a FROM t WHERE size > 40 OR ctype LIKE '%COPPER%'");
+  std::vector<ExprPtr> premise = SplitConjuncts(q->where);
+  std::vector<ExprPtr> conclusion = SplitConjuncts(e->where);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PredicateImplies(premise, conclusion));
+  }
+}
+BENCHMARK(BM_ImplicationTest);
+
+void BM_PolicyEvaluation(benchmark::State& state) {
+  Fixture& f = F();
+  auto ast = ParseQuery(
+      "SELECT l.orderkey, SUM(l.extendedprice * (1 - l.discount)) "
+      "FROM lineitem l WHERE l.shipdate > DATE '1995-06-01' "
+      "GROUP BY l.orderkey");
+  PlannerContext ctx(f.catalog.get());
+  auto bound = BindQuery(*ast, &ctx);
+  auto plan = BuildLogicalPlan(*bound, &ctx);
+  QuerySummary summary = SummarizePlan(*(*plan).root);
+  PolicyEvaluator evaluator(f.catalog.get(), f.policies.get());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.Evaluate(summary, 3));
+  }
+}
+BENCHMARK(BM_PolicyEvaluation);
+
+void BM_OptimizeQuery(benchmark::State& state) {
+  Fixture& f = F();
+  int q = static_cast<int>(state.range(0));
+  QueryOptimizer optimizer(f.catalog.get(), f.policies.get(), f.net.get(),
+                           {});
+  std::string sql = *tpch::Query(q);
+  for (auto _ : state) {
+    auto r = optimizer.Optimize(sql);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_OptimizeQuery)->Arg(2)->Arg(3)->Arg(5)->Arg(10);
+
+void BM_OptimizeTraditional(benchmark::State& state) {
+  Fixture& f = F();
+  OptimizerOptions opts;
+  opts.compliant = false;
+  QueryOptimizer optimizer(f.catalog.get(), f.policies.get(), f.net.get(),
+                           opts);
+  std::string sql = *tpch::Query(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto r = optimizer.Optimize(sql);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_OptimizeTraditional)->Arg(2)->Arg(3)->Arg(5)->Arg(10);
+
+}  // namespace
+}  // namespace cgq
+
+BENCHMARK_MAIN();

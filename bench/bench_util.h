@@ -1,0 +1,52 @@
+#ifndef CGQ_BENCH_BENCH_UTIL_H_
+#define CGQ_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cgq {
+namespace bench {
+
+struct TimingStats {
+  double mean_ms = 0;
+  double stderr_ms = 0;
+};
+
+/// Runs `fn` `reps` times (default 7, as in the paper) and reports the mean
+/// and standard error in milliseconds.
+inline TimingStats TimeRepeated(const std::function<void()>& fn,
+                                int reps = 7) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    samples.push_back(std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count());
+  }
+  TimingStats out;
+  for (double s : samples) out.mean_ms += s;
+  out.mean_ms /= reps;
+  double var = 0;
+  for (double s : samples) var += (s - out.mean_ms) * (s - out.mean_ms);
+  if (reps > 1) {
+    out.stderr_ms = std::sqrt(var / (reps - 1)) / std::sqrt(reps);
+  }
+  return out;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace bench
+}  // namespace cgq
+
+#endif  // CGQ_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,303 @@
+// cgq_shell: an interactive console for the compliant query processor.
+//
+// Starts with the geo-distributed TPC-H instance (5 sites, Table-2
+// placement, small generated data set, policy set CR) and reads commands
+// from stdin — run `help;` for the full list: querying (SELECT / explain /
+// why / dot / baseline), policy management (policy / policies / set /
+// lint / dump), and deployments (source <file> / load <table> <loc> <csv>
+// / analyze / tables).
+//
+// Pipe a script in, or run interactively. EOF exits.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "catalog/deployment.h"
+#include "common/str_util.h"
+#include "core/engine.h"
+#include "core/explain.h"
+#include "core/policy_lint.h"
+#include "exec/analyze.h"
+#include "exec/csv.h"
+#include "plan/plan_dot.h"
+#include "tpch/tpch.h"
+
+using namespace cgq;  // NOLINT
+
+namespace {
+
+void PrintResult(const QueryResult& result) {
+  for (const std::string& name : result.column_names) {
+    std::printf("%-20s", name.c_str());
+  }
+  std::printf("\n");
+  size_t shown = 0;
+  for (const Row& row : result.rows) {
+    if (shown++ == 20) {
+      std::printf("... (%zu rows total)\n", result.rows.size());
+      break;
+    }
+    for (const Value& v : row) std::printf("%-20s", v.ToString().c_str());
+    std::printf("\n");
+  }
+  std::printf("-- %zu row(s); %lld shipped over %lld transfer(s), "
+              "%.1f KB, simulated WAN time %.1f ms\n",
+              result.rows.size(),
+              static_cast<long long>(result.metrics.rows_shipped),
+              static_cast<long long>(result.metrics.ships),
+              result.metrics.bytes_shipped / 1024.0,
+              result.metrics.network_ms);
+}
+
+void Help() {
+  std::printf(
+      "commands:\n"
+      "  SELECT ...;                  run a query (compliant or rejected)\n"
+      "  explain SELECT ...;          show the compliant plan\n"
+      "  why SELECT ...;              compliance provenance per SHIP\n"
+      "  dot SELECT ...;              Graphviz export of the compliant plan\n"
+      "  baseline SELECT ...;         traditional optimizer + verdict\n"
+      "  analyze;                     recompute statistics from the data\n"
+      "  dump;                        print the deployment (round-trippable)\n"
+      "  source <file>;               load a deployment file (see docs)\n"
+      "  load <table> <loc> <csv>;    load CSV data into a fragment\n"
+      "  lint;                        static analysis of the policy catalog\n"
+      "  policy <location>: ship ...; add a policy expression\n"
+      "  policies;                    list installed policies\n"
+      "  set <T|C|CR|CRA|open>;       switch policy set\n"
+      "  tables;                      list tables\n"
+      "  help; quit;\n");
+}
+
+}  // namespace
+
+namespace {
+
+// Builds a fresh engine from a deployment file (see catalog/deployment.h).
+Result<std::unique_ptr<Engine>> EngineFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  CGQ_ASSIGN_OR_RETURN(Deployment d, ParseDeployment(buffer.str()));
+  size_t locations = d.catalog.locations().num_locations();
+  auto engine = std::make_unique<Engine>(
+      std::move(d.catalog), NetworkModel::DefaultGeo(locations));
+  CGQ_RETURN_NOT_OK(InstallDeploymentPolicies(
+      Deployment{Catalog(engine->catalog()), d.policies},
+      &engine->policies()));
+  return engine;
+}
+
+}  // namespace
+
+int main() {
+  tpch::TpchConfig config;
+  config.scale_factor = 0.002;
+  auto catalog = tpch::BuildCatalog(config);
+  if (!catalog.ok()) return 1;
+
+  auto engine_ptr = std::make_unique<Engine>(std::move(*catalog),
+                                             NetworkModel::DefaultGeo(5));
+  if (!tpch::InstallPolicySet("CR", &engine_ptr->policies()).ok()) return 1;
+  if (!tpch::GenerateData(engine_ptr->catalog(), config,
+                          &engine_ptr->store())
+           .ok()) {
+    return 1;
+  }
+
+  std::printf("cgq shell — geo-distributed TPC-H (SF %.3f, policy set CR)\n"
+              "type 'help;' for commands.\n",
+              config.scale_factor);
+
+  std::string buffer, line;
+  while (true) {
+    std::printf(buffer.empty() ? "cgq> " : "...> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    buffer += line + "\n";
+    if (Trim(buffer).empty()) buffer.clear();
+    size_t semi = buffer.find(';');
+    while (semi != std::string::npos) {
+      std::string command(Trim(buffer.substr(0, semi)));
+      buffer.erase(0, semi + 1);
+      if (Trim(buffer).empty()) buffer.clear();
+      semi = buffer.find(';');
+      if (command.empty()) continue;
+      std::string lower = ToLower(command);
+      Engine& engine = *engine_ptr;
+
+      if (lower == "quit" || lower == "exit") return 0;
+      if (lower.rfind("source ", 0) == 0) {
+        std::string path(Trim(command.substr(7)));
+        auto fresh = EngineFromFile(path);
+        if (!fresh.ok()) {
+          std::printf("%s\n", fresh.status().ToString().c_str());
+          continue;
+        }
+        engine_ptr = std::move(*fresh);
+        std::printf("loaded deployment '%s' (%zu locations, %zu tables); "
+                    "use 'load <table> <location> <csv>;' for data\n",
+                    path.c_str(),
+                    engine_ptr->catalog().locations().num_locations(),
+                    engine_ptr->catalog().TableNames().size());
+        continue;
+      }
+      if (lower.rfind("load ", 0) == 0) {
+        std::istringstream args(command.substr(5));
+        std::string table, location, path;
+        args >> table >> location >> path;
+        if (path.empty()) {
+          std::printf("usage: load <table> <location> <csv-file>;\n");
+          continue;
+        }
+        auto loc = engine.catalog().locations().GetId(location);
+        if (!loc.ok()) {
+          std::printf("%s\n", loc.status().ToString().c_str());
+          continue;
+        }
+        std::ifstream in(path);
+        if (!in) {
+          std::printf("cannot open '%s'\n", path.c_str());
+          continue;
+        }
+        std::stringstream csv;
+        csv << in.rdbuf();
+        auto n = LoadCsv(engine.catalog(), table, *loc, csv.str(),
+                         &engine.store());
+        std::printf("%s\n", n.ok()
+                                ? (std::to_string(*n) + " rows loaded").c_str()
+                                : n.status().ToString().c_str());
+        continue;
+      }
+      if (lower == "help") {
+        Help();
+        continue;
+      }
+      if (lower == "tables") {
+        for (const std::string& t : engine.catalog().TableNames()) {
+          auto def = engine.catalog().GetTable(t);
+          std::printf("  %-10s @ %s (%0.f rows at SF)\n", t.c_str(),
+                      engine.catalog()
+                          .locations()
+                          .SetToString((*def)->LocationsOf())
+                          .c_str(),
+                      (*def)->stats.row_count);
+        }
+        continue;
+      }
+      if (lower == "policies") {
+        const LocationCatalog& locs = engine.catalog().locations();
+        for (LocationId l = 0; l < locs.num_locations(); ++l) {
+          for (const PolicyExpression& e : engine.policies().For(l)) {
+            std::printf("  [%s] %s\n", locs.GetName(l).c_str(),
+                        e.ToString(locs).c_str());
+          }
+        }
+        continue;
+      }
+      if (lower.rfind("set ", 0) == 0) {
+        std::string name = ToUpper(std::string(Trim(command.substr(4))));
+        Status s = (name == "OPEN")
+                       ? tpch::InstallUnrestrictedPolicies(&engine.policies())
+                       : tpch::InstallPolicySet(name, &engine.policies());
+        std::printf("%s\n", s.ok() ? "ok" : s.ToString().c_str());
+        continue;
+      }
+      if (lower.rfind("policy ", 0) == 0) {
+        size_t colon = command.find(':');
+        if (colon == std::string::npos) {
+          std::printf("usage: policy <location>: ship ...;\n");
+          continue;
+        }
+        std::string loc(Trim(command.substr(7, colon - 7)));
+        std::string text(Trim(command.substr(colon + 1)));
+        Status s = engine.AddPolicy(loc, text);
+        std::printf("%s\n", s.ok() ? "ok" : s.ToString().c_str());
+        continue;
+      }
+      if (lower == "lint") {
+        auto findings = LintPolicies(engine.catalog(), engine.policies());
+        if (findings.empty()) std::printf("no findings\n");
+        for (const PolicyLintFinding& f : findings) {
+          std::printf("  %s\n", f.ToString().c_str());
+        }
+        continue;
+      }
+      if (lower == "dump") {
+        std::printf("%s",
+                    WriteDeployment(engine.catalog(), engine.policies())
+                        .c_str());
+        continue;
+      }
+      if (lower == "analyze") {
+        Status s = AnalyzeAll(engine.store(), &engine.catalog());
+        std::printf("%s\n", s.ok() ? "statistics refreshed"
+                                   : s.ToString().c_str());
+        continue;
+      }
+      if (lower.rfind("dot ", 0) == 0) {
+        auto r = engine.Optimize(command.substr(4));
+        if (!r.ok()) {
+          std::printf("%s\n", r.status().ToString().c_str());
+          continue;
+        }
+        std::printf("%s",
+                    PlanToDot(*r->plan, &engine.catalog().locations())
+                        .c_str());
+        continue;
+      }
+      if (lower.rfind("why ", 0) == 0) {
+        auto r = engine.Optimize(command.substr(4));
+        if (!r.ok()) {
+          std::printf("%s\n", r.status().ToString().c_str());
+          continue;
+        }
+        PolicyEvaluator evaluator(&engine.catalog(), &engine.policies());
+        std::printf("%s",
+                    ExplainCompliance(*r->plan, evaluator,
+                                      engine.catalog().locations())
+                        .c_str());
+        continue;
+      }
+      if (lower.rfind("explain ", 0) == 0 ||
+          lower.rfind("baseline ", 0) == 0) {
+        bool baseline = lower[0] == 'b';
+        std::string sql = command.substr(baseline ? 9 : 8);
+        OptimizerOptions opts;
+        opts.compliant = !baseline;
+        auto r = engine.Optimize(sql, opts);
+        if (!r.ok()) {
+          std::printf("%s\n", r.status().ToString().c_str());
+          continue;
+        }
+        std::printf("%s plan (%s), est. communication %.1f ms:\n%s",
+                    baseline ? "traditional" : "compliant",
+                    r->compliant ? "compliant" : "NON-COMPLIANT",
+                    r->comm_cost_ms,
+                    PlanToString(*r->plan, &engine.catalog().locations())
+                        .c_str());
+        for (const std::string& v : r->violations) {
+          std::printf("  violation: %s\n", v.c_str());
+        }
+        continue;
+      }
+      if (lower.rfind("select", 0) == 0) {
+        auto r = engine.Run(command);
+        if (!r.ok()) {
+          std::printf("%s\n", r.status().ToString().c_str());
+          continue;
+        }
+        PrintResult(*r);
+        continue;
+      }
+      std::printf("unknown command (try 'help;')\n");
+    }
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Quickstart: a two-site deployment with one dataflow policy.
+//
+// Demonstrates the end-to-end API: build a catalog, register policies,
+// load data, and run queries through the compliance-based query processor.
+// A query whose only plans would violate the policy is rejected.
+
+#include <cstdio>
+
+#include "core/engine.h"
+
+using namespace cgq;  // NOLINT: example brevity
+
+int main() {
+  // 1. Two locations and one table per location.
+  Catalog catalog;
+  LocationId berlin = *catalog.mutable_locations().AddLocation("berlin");
+  LocationId tokyo = *catalog.mutable_locations().AddLocation("tokyo");
+
+  TableDef users;
+  users.name = "users";
+  users.schema = Schema({{"id", DataType::kInt64},
+                         {"name", DataType::kString},
+                         {"email", DataType::kString}});
+  users.fragments = {TableFragment{berlin, 1.0}};
+  users.stats.row_count = 4;
+  if (Status s = catalog.AddTable(users); !s.ok()) return 1;
+
+  TableDef clicks;
+  clicks.name = "clicks";
+  clicks.schema = Schema({{"user_id", DataType::kInt64},
+                          {"url", DataType::kString},
+                          {"ms", DataType::kInt64}});
+  clicks.fragments = {TableFragment{tokyo, 1.0}};
+  clicks.stats.row_count = 6;
+  if (Status s = catalog.AddTable(clicks); !s.ok()) return 1;
+
+  Engine engine(std::move(catalog), NetworkModel::DefaultGeo(2));
+
+  // 2. Dataflow policies: user ids and names may leave Berlin, email
+  //    addresses may not; click URLs and dwell times may leave Tokyo but
+  //    the user ids they reference may not.
+  if (!engine.AddPolicy("berlin", "ship id, name from users to tokyo").ok())
+    return 1;
+  if (!engine.AddPolicy("tokyo", "ship url, ms from clicks to berlin").ok())
+    return 1;
+
+  // 3. Load data.
+  engine.store().Put(berlin, "users",
+                     {{Value::Int64(1), Value::String("ada"),
+                       Value::String("ada@example.com")},
+                      {Value::Int64(2), Value::String("alan"),
+                       Value::String("alan@example.com")}});
+  engine.store().Put(tokyo, "clicks",
+                     {{Value::Int64(1), Value::String("/home"),
+                       Value::Int64(120)},
+                      {Value::Int64(1), Value::String("/buy"),
+                       Value::Int64(80)},
+                      {Value::Int64(2), Value::String("/home"),
+                       Value::Int64(95)}});
+
+  // 4. A legal query: only compliant columns cross the border.
+  const char* legal =
+      "SELECT u.name, c.url FROM users u, clicks c WHERE u.id = c.user_id";
+  auto plan = engine.Optimize(legal);
+  if (!plan.ok()) {
+    std::printf("unexpected rejection: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("== compliant plan ==\n%s\n",
+              PlanToString(*plan->plan, &engine.catalog().locations())
+                  .c_str());
+  auto result = engine.Run(legal);
+  std::printf("rows:\n");
+  for (const Row& row : result->rows) {
+    for (const Value& v : row) std::printf("  %s", v.ToString().c_str());
+    std::printf("\n");
+  }
+  std::printf("shipped %.0f bytes, simulated network time %.2f ms\n\n",
+              result->metrics.bytes_shipped, result->metrics.network_ms);
+
+  // 5. An illegal query: emails would have to leave Berlin (the join can
+  //    only run where both inputs may be shipped).
+  const char* illegal =
+      "SELECT u.email, c.url FROM users u, clicks c WHERE u.id = c.user_id";
+  auto rejected = engine.Run(illegal);
+  std::printf("query selecting email -> %s\n",
+              rejected.ok() ? "executed (unexpected!)"
+                            : rejected.status().ToString().c_str());
+  return rejected.ok() ? 1 : 0;
+}

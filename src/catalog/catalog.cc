@@ -1,0 +1,78 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace cgq {
+
+Status Catalog::AddTable(TableDef def) {
+  def.name = ToLower(def.name);
+  if (def.name.empty()) {
+    return Status::InvalidArgument("table name must be non-empty");
+  }
+  if (def.fragments.empty()) {
+    return Status::InvalidArgument("table '" + def.name +
+                                   "' must have at least one fragment");
+  }
+  for (const TableFragment& f : def.fragments) {
+    if (f.location >= locations_.num_locations()) {
+      return Status::InvalidArgument("table '" + def.name +
+                                     "' references unknown location id " +
+                                     std::to_string(f.location));
+    }
+  }
+  if (tables_.count(def.name) != 0) {
+    return Status::AlreadyExists("table '" + def.name + "' already exists");
+  }
+  if (def.replicated) {
+    // Replicas are full copies.
+    for (TableFragment& f : def.fragments) f.row_fraction = 1.0;
+  }
+  tables_.emplace(def.name, std::move(def));
+  return Status::OK();
+}
+
+Result<const TableDef*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("unknown table '" + name + "'");
+  }
+  return &it->second;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(ToLower(name)) != 0;
+}
+
+Status Catalog::SetStats(const std::string& table, TableStats stats) {
+  auto it = tables_.find(ToLower(table));
+  if (it == tables_.end()) {
+    return Status::NotFound("unknown table '" + table + "'");
+  }
+  it->second.stats = std::move(stats);
+  return Status::OK();
+}
+
+Status Catalog::SetFragments(const std::string& table,
+                             std::vector<TableFragment> fragments) {
+  auto it = tables_.find(ToLower(table));
+  if (it == tables_.end()) {
+    return Status::NotFound("unknown table '" + table + "'");
+  }
+  if (fragments.empty()) {
+    return Status::InvalidArgument("fragments must be non-empty");
+  }
+  it->second.fragments = std::move(fragments);
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, def] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace cgq

@@ -1,0 +1,82 @@
+#ifndef CGQ_CATALOG_CATALOG_H_
+#define CGQ_CATALOG_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/location.h"
+#include "catalog/stats.h"
+#include "common/result.h"
+#include "types/schema.h"
+
+namespace cgq {
+
+/// One horizontal fragment of a table, pinned to a location (§7.5).
+/// A non-fragmented table has exactly one fragment.
+struct TableFragment {
+  LocationId location = 0;
+  /// Fraction of the table's rows stored here (fragments sum to 1).
+  double row_fraction = 1.0;
+};
+
+/// A base table in the geo-distributed (global) schema.
+///
+/// The paper assumes the global schema is the union of local schemas and
+/// that GAV mappings may place a table's fragments at several locations; we
+/// model this directly with `fragments`. When `replicated` is set, the
+/// fragments are instead *full copies*: a scan reads exactly one of them,
+/// and the optimizer picks the replica whose site's policies and network
+/// position suit the plan (each replica is governed by its own location's
+/// policies).
+struct TableDef {
+  std::string name;  ///< Lower-cased canonical name.
+  Schema schema;
+  std::vector<TableFragment> fragments;
+  bool replicated = false;
+  TableStats stats;
+
+  /// True when all rows live at one site.
+  bool IsSingleLocation() const { return fragments.size() == 1; }
+  /// Location of the only fragment. Requires IsSingleLocation().
+  LocationId home() const { return fragments.front().location; }
+  /// Union of fragment locations.
+  LocationSet LocationsOf() const {
+    LocationSet s;
+    for (const TableFragment& f : fragments) s.Add(f.location);
+    return s;
+  }
+};
+
+/// Global schema: locations + tables (+ statistics).
+///
+/// The catalog is immutable during optimization; builders populate it once
+/// (e.g. `tpch::BuildCatalog`).
+class Catalog {
+ public:
+  LocationCatalog& mutable_locations() { return locations_; }
+  const LocationCatalog& locations() const { return locations_; }
+
+  /// Registers a table; the name is canonicalized to lower case.
+  Status AddTable(TableDef def);
+
+  Result<const TableDef*> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+
+  /// Replaces statistics of an existing table.
+  Status SetStats(const std::string& table, TableStats stats);
+  /// Replaces fragment placement of an existing table.
+  Status SetFragments(const std::string& table,
+                      std::vector<TableFragment> fragments);
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  LocationCatalog locations_;
+  std::unordered_map<std::string, TableDef> tables_;  // by lower-cased name
+};
+
+}  // namespace cgq
+
+#endif  // CGQ_CATALOG_CATALOG_H_

@@ -1,0 +1,54 @@
+#ifndef CGQ_CATALOG_DEPLOYMENT_H_
+#define CGQ_CATALOG_DEPLOYMENT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "core/policy.h"
+
+namespace cgq {
+
+/// A parsed deployment description: the geo-distributed schema plus the
+/// dataflow policies each data officer declared.
+struct Deployment {
+  Catalog catalog;
+  /// (location, expression text); text may be a `ship ...` policy
+  /// expression or a `deny ...` rule (expanded closed-world on install).
+  std::vector<std::pair<std::string, std::string>> policies;
+};
+
+/// Parses the line-oriented deployment format:
+///
+///   # comment
+///   location berlin
+///   location tokyo
+///   table users @ berlin : id int64, name string, email string
+///   table logs @ berlin 0.5, tokyo 0.5 : user_id int64, ts date
+///   replicated table rates @ berlin, tokyo : cur string, rate double
+///   rows users 1500                       # statistics row count
+///   policy berlin : ship id, name from users to tokyo
+///   policy berlin : deny email from users to *
+///
+/// Column types: int64, double, string, date. A table may list several
+/// `location [fraction]` placements (horizontal fragments, or full copies
+/// when prefixed `replicated`). Policies are validated on install, not on
+/// parse.
+Result<Deployment> ParseDeployment(const std::string& text);
+
+/// Installs the deployment's policies into `policies` (which must wrap the
+/// deployment's catalog). `deny` rules are expanded via core/deny_rules.
+Status InstallDeploymentPolicies(const Deployment& deployment,
+                                 PolicyCatalog* policies);
+
+/// Renders a catalog + installed policies back into the deployment format
+/// (round-trippable through ParseDeployment; deny rules appear in their
+/// expanded positive form).
+std::string WriteDeployment(const Catalog& catalog,
+                            const PolicyCatalog& policies);
+
+}  // namespace cgq
+
+#endif  // CGQ_CATALOG_DEPLOYMENT_H_

@@ -1,0 +1,41 @@
+#include "catalog/location.h"
+
+#include "common/str_util.h"
+
+namespace cgq {
+
+Result<LocationId> LocationCatalog::AddLocation(const std::string& name) {
+  if (names_.size() >= 64) {
+    return Status::InvalidArgument("at most 64 locations are supported");
+  }
+  for (const std::string& existing : names_) {
+    if (EqualsIgnoreCase(existing, name)) {
+      return Status::AlreadyExists("location '" + name + "' already exists");
+    }
+  }
+  names_.push_back(name);
+  return static_cast<LocationId>(names_.size() - 1);
+}
+
+Result<LocationId> LocationCatalog::GetId(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (EqualsIgnoreCase(names_[i], name)) {
+      return static_cast<LocationId>(i);
+    }
+  }
+  return Status::NotFound("unknown location '" + name + "'");
+}
+
+std::string LocationCatalog::SetToString(LocationSet set) const {
+  std::string out = "{";
+  bool first = true;
+  for (LocationId id : set.ToVector()) {
+    if (!first) out += ", ";
+    first = false;
+    out += id < names_.size() ? names_[id] : ("L?" + std::to_string(id));
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace cgq

@@ -1,0 +1,98 @@
+#ifndef CGQ_CATALOG_LOCATION_H_
+#define CGQ_CATALOG_LOCATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/result.h"
+
+namespace cgq {
+
+/// Dense id of a geo-distributed site (0-based). The paper assumes one
+/// database per location, so LocationId also identifies the database.
+using LocationId = uint32_t;
+
+/// A set of locations as a 64-bit bitset (up to 64 sites; the paper's
+/// largest experiment uses 20). This is the representation of the paper's
+/// execution traits ℰ and shipping traits 𝒮 and of policy `to` lists.
+class LocationSet {
+ public:
+  constexpr LocationSet() = default;
+  constexpr explicit LocationSet(uint64_t bits) : bits_(bits) {}
+
+  static constexpr LocationSet Empty() { return LocationSet(0); }
+  static constexpr LocationSet Single(LocationId l) {
+    return LocationSet(uint64_t{1} << l);
+  }
+  /// The universe {0, ..., n-1}.
+  static constexpr LocationSet AllOf(size_t n) {
+    return n >= 64 ? LocationSet(~uint64_t{0})
+                   : LocationSet((uint64_t{1} << n) - 1);
+  }
+
+  bool empty() const { return bits_ == 0; }
+  bool Contains(LocationId l) const { return (bits_ >> l) & 1; }
+  size_t Count() const { return static_cast<size_t>(__builtin_popcountll(bits_)); }
+  uint64_t bits() const { return bits_; }
+
+  void Add(LocationId l) { bits_ |= uint64_t{1} << l; }
+  void Remove(LocationId l) { bits_ &= ~(uint64_t{1} << l); }
+
+  LocationSet Union(LocationSet other) const {
+    return LocationSet(bits_ | other.bits_);
+  }
+  LocationSet Intersect(LocationSet other) const {
+    return LocationSet(bits_ & other.bits_);
+  }
+  bool IsSubsetOf(LocationSet other) const {
+    return (bits_ & ~other.bits_) == 0;
+  }
+
+  /// Ascending list of member ids.
+  std::vector<LocationId> ToVector() const {
+    std::vector<LocationId> out;
+    uint64_t b = bits_;
+    while (b != 0) {
+      out.push_back(static_cast<LocationId>(__builtin_ctzll(b)));
+      b &= b - 1;
+    }
+    return out;
+  }
+
+  bool operator==(const LocationSet& other) const = default;
+
+ private:
+  uint64_t bits_ = 0;
+};
+
+/// Name registry of geo-distributed sites.
+///
+/// Location 0 is conventionally the query-issuing site in the benchmarks,
+/// but nothing in the optimizer depends on that.
+class LocationCatalog {
+ public:
+  /// Registers a location; fails on duplicates or when 64 sites exist.
+  Result<LocationId> AddLocation(const std::string& name);
+
+  Result<LocationId> GetId(const std::string& name) const;
+  const std::string& GetName(LocationId id) const {
+    CGQ_CHECK(id < names_.size()) << "bad location id " << id;
+    return names_[id];
+  }
+  size_t num_locations() const { return names_.size(); }
+
+  /// The full universe set {0..n-1}.
+  LocationSet All() const { return LocationSet::AllOf(names_.size()); }
+
+  /// "{E, N}" style rendering of a set, sorted by id.
+  std::string SetToString(LocationSet set) const;
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace cgq
+
+#endif  // CGQ_CATALOG_LOCATION_H_

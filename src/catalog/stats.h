@@ -1,0 +1,35 @@
+#ifndef CGQ_CATALOG_STATS_H_
+#define CGQ_CATALOG_STATS_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace cgq {
+
+/// Per-column statistics used by the cardinality estimator.
+struct ColumnStats {
+  /// Number of distinct values. 0 means unknown.
+  double distinct_count = 0;
+  /// Min/max for numeric columns (unset for strings or unknown).
+  std::optional<double> min;
+  std::optional<double> max;
+  /// Average serialized width in bytes (for the message cost model).
+  double avg_width = 8;
+};
+
+/// Per-table statistics (row count + per-column stats).
+struct TableStats {
+  double row_count = 0;
+  /// Keyed by lower-cased column name.
+  std::unordered_map<std::string, ColumnStats> columns;
+
+  const ColumnStats* FindColumn(const std::string& lower_name) const {
+    auto it = columns.find(lower_name);
+    return it == columns.end() ? nullptr : &it->second;
+  }
+};
+
+}  // namespace cgq
+
+#endif  // CGQ_CATALOG_STATS_H_

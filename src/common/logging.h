@@ -1,0 +1,45 @@
+#ifndef CGQ_COMMON_LOGGING_H_
+#define CGQ_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace cgq {
+namespace internal_logging {
+
+/// Terminates the process after streaming a failure description to stderr.
+/// Used by CGQ_CHECK; never returns.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition) {
+    stream_ << "FATAL " << file << ":" << line << " Check failed: "
+            << condition << " ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace cgq
+
+/// Aborts with a message when `condition` is false. For invariants whose
+/// violation indicates a bug, not a user error (user errors use Status).
+#define CGQ_CHECK(condition)                                              \
+  if (!(condition))                                                       \
+  ::cgq::internal_logging::FatalLogMessage(__FILE__, __LINE__, #condition) \
+      .stream()
+
+#ifdef NDEBUG
+#define CGQ_DCHECK(condition) CGQ_CHECK(true || (condition))
+#else
+#define CGQ_DCHECK(condition) CGQ_CHECK(condition)
+#endif
+
+#endif  // CGQ_COMMON_LOGGING_H_

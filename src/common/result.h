@@ -1,0 +1,77 @@
+#ifndef CGQ_COMMON_RESULT_H_
+#define CGQ_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace cgq {
+
+/// Value-or-error, in the style of arrow::Result.
+///
+/// Holds either a `T` or a non-OK `Status`. Accessing the value of an
+/// errored result aborts (programming error), so callers must check `ok()`
+/// or use `CGQ_ASSIGN_OR_RETURN`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit so `return value;` works in functions returning Result<T>.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit so `return status;` propagates errors.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      // A Result must never hold an OK status without a value.
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const& {
+    if (!ok()) std::abort();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    if (!ok()) std::abort();
+    return std::get<T>(repr_);
+  }
+  T ValueOrDie() && {
+    if (!ok()) std::abort();
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating its error, else binding the
+/// value to `lhs`. `lhs` may include a declaration, e.g.
+/// `CGQ_ASSIGN_OR_RETURN(auto plan, Optimize(q));`
+#define CGQ_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define CGQ_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define CGQ_ASSIGN_OR_RETURN_NAME(x, y) CGQ_ASSIGN_OR_RETURN_CONCAT(x, y)
+
+#define CGQ_ASSIGN_OR_RETURN(lhs, rexpr) \
+  CGQ_ASSIGN_OR_RETURN_IMPL(             \
+      CGQ_ASSIGN_OR_RETURN_NAME(_cgq_result_, __COUNTER__), lhs, rexpr)
+
+}  // namespace cgq
+
+#endif  // CGQ_COMMON_RESULT_H_

@@ -1,0 +1,76 @@
+#ifndef CGQ_COMMON_RNG_H_
+#define CGQ_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace cgq {
+
+/// Deterministic 64-bit PRNG (splitmix64 + xorshift mix).
+///
+/// Used by the TPC-H generator and the workload generators so that every
+/// experiment is reproducible from a seed. Not cryptographically secure.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) : state_(seed) {
+    // Avoid the all-zero state.
+    if (state_ == 0) state_ = 0x9E3779B97F4A7C15ULL;
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    // splitmix64.
+    state_ += 0x9E3779B97F4A7C15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    CGQ_DCHECK(lo <= hi);
+    uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<int64_t>(Next());  // full range
+    return lo + static_cast<int64_t>(Next() % range);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Picks an element of `v` uniformly at random. Requires non-empty v.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    CGQ_CHECK(!v.empty());
+    return v[static_cast<size_t>(Uniform(0, static_cast<int64_t>(v.size()) - 1))];
+  }
+
+  /// Samples k distinct indices from [0, n) (k capped at n).
+  std::vector<size_t> SampleIndices(size_t n, size_t k) {
+    if (k > n) k = n;
+    std::vector<size_t> idx(n);
+    for (size_t i = 0; i < n; ++i) idx[i] = i;
+    // Partial Fisher-Yates.
+    for (size_t i = 0; i < k; ++i) {
+      size_t j = i + static_cast<size_t>(
+                         Uniform(0, static_cast<int64_t>(n - i) - 1));
+      std::swap(idx[i], idx[j]);
+    }
+    idx.resize(k);
+    return idx;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace cgq
+
+#endif  // CGQ_COMMON_RNG_H_

@@ -1,0 +1,104 @@
+#ifndef CGQ_COMMON_STATUS_H_
+#define CGQ_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace cgq {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Malformed input (bad SQL, bad policy expression).
+  kNotFound,          ///< Missing table/column/location/etc.
+  kAlreadyExists,     ///< Duplicate registration in a catalog.
+  kNonCompliant,      ///< No compliant execution plan exists (query rejected).
+  kUnsupported,       ///< Feature outside the supported subset.
+  kInternal,          ///< Invariant violation; indicates a bug.
+};
+
+/// Returns a short human-readable name, e.g. "Invalid argument".
+const char* StatusCodeToString(StatusCode code);
+
+/// Error-or-success outcome of an operation, in the style of Arrow/RocksDB.
+///
+/// A `Status` is cheap to copy in the success case (no allocation) and owns
+/// an error message otherwise. The library never throws; every fallible
+/// public API returns `Status` or `Result<T>`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(message)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status NonCompliant(std::string msg) {
+    return Status(StatusCode::kNonCompliant, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const {
+    return state_ == nullptr ? StatusCode::kOk : state_->code;
+  }
+  /// Error message; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ == nullptr ? kEmpty : state_->message;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsNonCompliant() const { return code() == StatusCode::kNonCompliant; }
+  bool IsUnsupported() const { return code() == StatusCode::kUnsupported; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // Shared so Status copies are cheap; error states are immutable.
+  std::shared_ptr<const State> state_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK status to the caller.
+#define CGQ_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::cgq::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+}  // namespace cgq
+
+#endif  // CGQ_COMMON_STATUS_H_

@@ -1,0 +1,36 @@
+#ifndef CGQ_COMMON_STR_UTIL_H_
+#define CGQ_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cgq {
+
+/// ASCII-lowercases a copy of `s`.
+std::string ToLower(std::string_view s);
+
+/// ASCII-uppercases a copy of `s`.
+std::string ToUpper(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Splits on `sep`, trimming ASCII whitespace from each piece; empty pieces
+/// are kept.
+std::vector<std::string> SplitAndTrim(std::string_view s, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// SQL LIKE match with '%' (any run) and '_' (any single char) wildcards.
+/// Case-sensitive, no escape character.
+bool LikeMatch(std::string_view value, std::string_view pattern);
+
+}  // namespace cgq
+
+#endif  // CGQ_COMMON_STR_UTIL_H_

@@ -1,0 +1,153 @@
+#include "core/deny_rules.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/str_util.h"
+#include "sql/lexer.h"
+
+namespace cgq {
+
+Result<DenyRule> ParseDenyRule(const Catalog& catalog,
+                               const std::string& text) {
+  CGQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  size_t pos = 0;
+  auto at = [&](size_t i) -> const Token& {
+    return i < tokens.size() ? tokens[i] : tokens.back();
+  };
+  auto expect_word = [&](const char* w) -> Status {
+    if (at(pos).type != TokenType::kIdentifier || at(pos).text != w) {
+      return Status::InvalidArgument(std::string("expected '") + w +
+                                     "' in deny rule '" + text + "'");
+    }
+    ++pos;
+    return Status::OK();
+  };
+
+  DenyRule rule;
+  CGQ_RETURN_NOT_OK(expect_word("deny"));
+  if (at(pos).type == TokenType::kStar) {
+    rule.all_attributes = true;
+    ++pos;
+  } else {
+    while (at(pos).type == TokenType::kIdentifier && at(pos).text != "from") {
+      rule.attributes.push_back(at(pos).text);
+      ++pos;
+      if (at(pos).type == TokenType::kComma) ++pos;
+    }
+    if (rule.attributes.empty()) {
+      return Status::InvalidArgument("deny rule needs attributes or '*'");
+    }
+  }
+  CGQ_RETURN_NOT_OK(expect_word("from"));
+  if (at(pos).type != TokenType::kIdentifier) {
+    return Status::InvalidArgument("deny rule needs a table name");
+  }
+  rule.table = at(pos).text;
+  ++pos;
+  CGQ_RETURN_NOT_OK(expect_word("to"));
+  if (at(pos).type == TokenType::kStar) {
+    rule.all_locations = true;
+    ++pos;
+  } else {
+    while (at(pos).type == TokenType::kIdentifier) {
+      CGQ_ASSIGN_OR_RETURN(LocationId l,
+                           catalog.locations().GetId(at(pos).text));
+      rule.locations.Add(l);
+      ++pos;
+      if (at(pos).type == TokenType::kComma) ++pos;
+    }
+    if (rule.locations.empty()) {
+      return Status::InvalidArgument("deny rule needs locations or '*'");
+    }
+  }
+  if (at(pos).type != TokenType::kEnd) {
+    return Status::InvalidArgument("trailing input in deny rule '" + text +
+                                   "'");
+  }
+  CGQ_ASSIGN_OR_RETURN(const TableDef* table, catalog.GetTable(rule.table));
+  rule.table = table->name;
+  for (const std::string& a : rule.attributes) {
+    if (!table->schema.IndexOf(a)) {
+      return Status::InvalidArgument("deny rule references unknown column '" +
+                                     a + "'");
+    }
+  }
+  return rule;
+}
+
+Result<std::vector<PolicyExpression>> ExpandDenyRules(
+    const Catalog& catalog, const std::vector<DenyRule>& rules) {
+  if (rules.empty()) {
+    return Status::InvalidArgument("no deny rules to expand");
+  }
+  const std::string& table_name = rules.front().table;
+  for (const DenyRule& r : rules) {
+    if (r.table != table_name) {
+      return Status::InvalidArgument(
+          "ExpandDenyRules expects rules for a single table");
+    }
+  }
+  CGQ_ASSIGN_OR_RETURN(const TableDef* table, catalog.GetTable(table_name));
+  const LocationSet all = catalog.locations().All();
+
+  // Closed world: start from the full (attribute x location) matrix and
+  // subtract every deny rule.
+  std::map<std::string, LocationSet> allowed;
+  for (const ColumnDef& col : table->schema.columns()) {
+    allowed[ToLower(col.name)] = all;
+  }
+  for (const DenyRule& r : rules) {
+    LocationSet denied = r.all_locations ? all : r.locations;
+    if (r.all_attributes) {
+      for (auto& [col, locs] : allowed) {
+        locs = LocationSet(locs.bits() & ~denied.bits());
+      }
+    } else {
+      for (const std::string& a : r.attributes) {
+        LocationSet& locs = allowed[a];
+        locs = LocationSet(locs.bits() & ~denied.bits());
+      }
+    }
+  }
+
+  // One positive expression per distinct allowed-location set.
+  std::map<uint64_t, std::vector<std::string>> by_locations;
+  for (const auto& [col, locs] : allowed) {
+    if (locs.empty()) continue;  // fully denied attribute: no expression
+    by_locations[locs.bits()].push_back(col);
+  }
+  std::vector<PolicyExpression> out;
+  for (auto& [bits, columns] : by_locations) {
+    PolicyExpression e;
+    e.table = table->name;
+    std::sort(columns.begin(), columns.end());
+    e.attributes = std::move(columns);
+    e.to = LocationSet(bits);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+Status AddDenyPolicies(const std::string& location,
+                       const std::vector<std::string>& deny_texts,
+                       PolicyCatalog* policies) {
+  const Catalog& catalog = policies->catalog();
+  // Group rules by table; each table expands independently.
+  std::map<std::string, std::vector<DenyRule>> by_table;
+  for (const std::string& text : deny_texts) {
+    CGQ_ASSIGN_OR_RETURN(DenyRule rule, ParseDenyRule(catalog, text));
+    by_table[rule.table].push_back(std::move(rule));
+  }
+  CGQ_ASSIGN_OR_RETURN(LocationId loc, catalog.locations().GetId(location));
+  for (const auto& [table, rules] : by_table) {
+    CGQ_ASSIGN_OR_RETURN(std::vector<PolicyExpression> expanded,
+                         ExpandDenyRules(catalog, rules));
+    for (PolicyExpression& e : expanded) {
+      CGQ_RETURN_NOT_OK(policies->AddPolicy(loc, std::move(e)));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace cgq

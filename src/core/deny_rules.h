@@ -1,0 +1,60 @@
+#ifndef CGQ_CORE_DENY_RULES_H_
+#define CGQ_CORE_DENY_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+
+namespace cgq {
+
+/// Negative policy instances (§4, Disclosure Model).
+///
+/// The paper's policy expressions are positive (default-deny: nothing ships
+/// unless permitted). It notes that "in some cases negative instances,
+/// i.e., specifying what is not allowed, may be more convenient. This can
+/// be handled by an additional preprocessing step under a closed world
+/// assumption." This module is that preprocessing step.
+///
+/// A deny rule
+///
+///   deny <attrs|*> from <table> to <locations|*>
+///
+/// is expanded — closed world: everything not denied is allowed — into the
+/// positive expressions
+///
+///   ship <all columns except attrs> from <table> to *
+///   ship <attrs> from <table> to <all locations except locations>
+///
+/// at the attribute x location granularity. Multiple deny rules for one
+/// table compose by intersection of the allowed (attribute, location)
+/// matrix; `ExpandDenyRules` performs the exact expansion by emitting one
+/// positive expression per group of attributes with equal allowed-location
+/// sets.
+struct DenyRule {
+  std::string table;                 ///< lower-cased
+  bool all_attributes = false;
+  std::vector<std::string> attributes;
+  bool all_locations = false;
+  LocationSet locations;
+};
+
+/// Parses `deny <attrs|*> from <table> to <locations|*>`.
+Result<DenyRule> ParseDenyRule(const Catalog& catalog,
+                               const std::string& text);
+
+/// Expands a set of deny rules for one table into positive policy
+/// expressions under the closed-world assumption. All rules must target
+/// the same table.
+Result<std::vector<PolicyExpression>> ExpandDenyRules(
+    const Catalog& catalog, const std::vector<DenyRule>& rules);
+
+/// Convenience: parses the deny rules, expands them, and installs the
+/// resulting positive expressions for `location`.
+Status AddDenyPolicies(const std::string& location,
+                       const std::vector<std::string>& deny_texts,
+                       PolicyCatalog* policies);
+
+}  // namespace cgq
+
+#endif  // CGQ_CORE_DENY_RULES_H_

@@ -1,0 +1,73 @@
+#ifndef CGQ_CORE_ENGINE_H_
+#define CGQ_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "core/optimizer.h"
+#include "core/policy.h"
+#include "exec/executor.h"
+#include "exec/table_store.h"
+#include "net/network_model.h"
+
+namespace cgq {
+
+/// The compliance-based query processor of Fig. 2: policy catalog +
+/// compliance-based optimizer (plan annotator, policy evaluator, site
+/// selector) + query executor over the geo-distributed table store.
+///
+/// Typical use:
+///
+///   Engine engine(std::move(catalog), NetworkModel::DefaultGeo(5));
+///   engine.AddPolicy("europe", "ship name from customer to asia");
+///   engine.LoadTable(...);                    // or via tpch::GenerateData
+///   auto result = engine.Run("SELECT ...");   // rejected if non-compliant
+///
+/// Non-compliant queries are rejected with StatusCode::kNonCompliant
+/// *before* any data moves.
+class Engine {
+ public:
+  Engine(Catalog catalog, NetworkModel net)
+      : catalog_(std::make_unique<Catalog>(std::move(catalog))),
+        net_(std::make_unique<NetworkModel>(std::move(net))),
+        policies_(std::make_unique<PolicyCatalog>(catalog_.get())) {}
+
+  Catalog& catalog() { return *catalog_; }
+  const Catalog& catalog() const { return *catalog_; }
+  PolicyCatalog& policies() { return *policies_; }
+  TableStore& store() { return store_; }
+  const NetworkModel& net() const { return *net_; }
+
+  /// Registers a dataflow policy (offline step of Fig. 2).
+  Status AddPolicy(const std::string& location, const std::string& text) {
+    return policies_->AddPolicyText(location, text);
+  }
+
+  /// Optimizes under the compliance-based optimizer. Fails with
+  /// kNonCompliant when no compliant plan exists.
+  Result<OptimizedQuery> Optimize(const std::string& sql,
+                                  OptimizerOptions options = {}) const {
+    QueryOptimizer optimizer(catalog_.get(), policies_.get(), net_.get(),
+                             options);
+    return optimizer.Optimize(sql);
+  }
+
+  /// Optimize + execute. The compliant path of Fig. 2: reject or run.
+  Result<QueryResult> Run(const std::string& sql,
+                          OptimizerOptions options = {}) const {
+    CGQ_ASSIGN_OR_RETURN(OptimizedQuery q, Optimize(sql, options));
+    Executor executor(&store_, net_.get());
+    return executor.Execute(q);
+  }
+
+ private:
+  std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<NetworkModel> net_;
+  std::unique_ptr<PolicyCatalog> policies_;
+  TableStore store_;
+};
+
+}  // namespace cgq
+
+#endif  // CGQ_CORE_ENGINE_H_

@@ -1,0 +1,91 @@
+#include "core/optimizer.h"
+
+#include <chrono>
+
+#include "core/plan_annotator.h"
+#include "core/site_selector.h"
+#include "optimizer/cardinality.h"
+#include "optimizer/memo.h"
+#include "plan/planner_context.h"
+#include "plan/query_planner.h"
+#include "sql/parser.h"
+
+namespace cgq {
+
+namespace {
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+Result<OptimizedQuery> QueryOptimizer::Optimize(const std::string& sql) const {
+  CGQ_ASSIGN_OR_RETURN(QueryAst ast, ParseQuery(sql));
+  return OptimizeAst(ast);
+}
+
+Result<OptimizedQuery> QueryOptimizer::OptimizeAst(const QueryAst& ast) const {
+  OptimizedQuery out;
+  auto t_total = std::chrono::steady_clock::now();
+
+  // 1. Bind + normalize.
+  auto t0 = std::chrono::steady_clock::now();
+  PlannerContext ctx(catalog_);
+  CGQ_ASSIGN_OR_RETURN(LogicalPlan logical, PlanQueryAst(ast, &ctx));
+  out.stats.prepare_ms = ElapsedMs(t0);
+
+  // 2. Memo exploration (transformation rules to fixpoint).
+  t0 = std::chrono::steady_clock::now();
+  CardinalityEstimator estimator(&ctx);
+  Memo memo(&ctx, &estimator);
+  int root_group = memo.InsertTree(*logical.root);
+  memo.Explore(options_.enable_agg_pushdown);
+  out.stats.explore_ms = ElapsedMs(t0);
+  out.stats.memo_groups = memo.num_groups();
+  out.stats.memo_exprs = memo.num_exprs();
+
+  // 3. Phase 1: plan annotator.
+  t0 = std::chrono::steady_clock::now();
+  PolicyEvaluator evaluator(catalog_, policies_);
+  PlanAnnotator annotator(&memo, &evaluator,
+                          options_.compliant ? PlanAnnotator::Mode::kCompliant
+                                             : PlanAnnotator::Mode::kCostOnly);
+  annotator.set_prefer_sort_merge(options_.prefer_sort_merge_join);
+  CGQ_ASSIGN_OR_RETURN(
+      PlanNodePtr annotated,
+      annotator.BestPlan(root_group, options_.compliant
+                                         ? options_.required_result
+                                         : LocationSet()));
+  out.stats.annotate_ms = ElapsedMs(t0);
+  out.phase1_cost = annotated->local_cost;
+
+  // 4. Phase 2: site selection + SHIP insertion.
+  t0 = std::chrono::steady_clock::now();
+  SiteSelector selector(net_, options_.response_time_objective
+                                  ? SiteSelector::Objective::kResponseTime
+                                  : SiteSelector::Objective::kTotalCost);
+  LocationSet result_sites = options_.required_result;
+  CGQ_ASSIGN_OR_RETURN(SitedPlan sited,
+                       selector.Place(annotated, result_sites));
+  out.stats.site_ms = ElapsedMs(t0);
+  out.plan = sited.root;
+  out.comm_cost_ms = sited.comm_cost_ms;
+  out.result_location = sited.result_location;
+
+  // 5. Independent compliance verdict (Definition 1).
+  ComplianceReport report =
+      CheckCompliance(*out.plan, evaluator, catalog_->locations());
+  out.compliant = report.compliant;
+  out.violations = std::move(report.violations);
+
+  out.order_by = logical.order_by;
+  out.limit = logical.limit;
+  out.stats.policy = evaluator.stats();
+  out.stats.total_ms = ElapsedMs(t_total);
+  return out;
+}
+
+}  // namespace cgq

@@ -1,0 +1,255 @@
+#include "core/plan_annotator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cgq {
+
+double PlanAnnotator::OpCost(const MExpr& expr) const {
+  const Group& g = memo_->group(expr.group);
+  switch (expr.payload->kind()) {
+    case PlanKind::kScan:
+      return g.card.rows;
+    case PlanKind::kFilter:
+    case PlanKind::kProject:
+    case PlanKind::kUnion: {
+      double in = 0;
+      for (int c : expr.child_groups) in += memo_->group(c).card.rows;
+      return in;
+    }
+    case PlanKind::kJoin: {
+      double in = 0;
+      for (int c : expr.child_groups) in += memo_->group(c).card.rows;
+      return in + g.card.rows;
+    }
+    case PlanKind::kAggregate:
+      return memo_->group(expr.child_groups[0]).card.rows + g.card.rows;
+    case PlanKind::kShip:
+      return 0;
+  }
+  return 0;
+}
+
+LocationSet PlanAnnotator::Ar4Trait(int group_id, LocationSet sources) {
+  Group& g = memo_->group(group_id);
+  // AR4 needs a single-block expression over exactly one database. The
+  // database is a property of the chosen plan (replicas!), so it is keyed
+  // per winner's source set rather than per group.
+  if (!g.summary.spg_valid || sources.Count() != 1) return LocationSet();
+  LocationId db = sources.ToVector().front();
+  auto it = g.ar4_cache.find(db);
+  if (it != g.ar4_cache.end()) return it->second;
+  LocationSet result = evaluator_->Evaluate(g.summary, db);
+  g.ar4_cache.emplace(db, result);
+  return result;
+}
+
+void PlanAnnotator::AddWinner(std::vector<Winner>* winners,
+                              Winner candidate) const {
+  // Dominance: an existing winner with superset traits, lower-or-equal
+  // cost and the *same* source set makes the candidate useless, and vice
+  // versa. Sources must match because ancestors' AR4 depends on them.
+  for (const Winner& w : *winners) {
+    if (candidate.ship_trait.IsSubsetOf(w.ship_trait) &&
+        candidate.exec_trait.IsSubsetOf(w.exec_trait) &&
+        w.sources == candidate.sources && w.cost <= candidate.cost) {
+      return;
+    }
+  }
+  winners->erase(
+      std::remove_if(winners->begin(), winners->end(),
+                     [&](const Winner& w) {
+                       return w.ship_trait.IsSubsetOf(candidate.ship_trait) &&
+                              w.exec_trait.IsSubsetOf(candidate.exec_trait) &&
+                              w.sources == candidate.sources &&
+                              candidate.cost <= w.cost;
+                     }),
+      winners->end());
+  winners->push_back(std::move(candidate));
+  if (winners->size() > kMaxWinnersPerGroup) {
+    std::sort(winners->begin(), winners->end(),
+              [](const Winner& a, const Winner& b) { return a.cost < b.cost; });
+    winners->resize(kMaxWinnersPerGroup);
+  }
+}
+
+const std::vector<Winner>& PlanAnnotator::Winners(int group_id) {
+  Group& g = memo_->group(group_id);
+  if (g.winners_computed) return g.winners;
+  g.winners_computed = true;  // set first: groups form a DAG, no cycles
+
+  const LocationSet all = memo_->ctx()->catalog().locations().All();
+
+  for (int expr_id : g.mexprs) {
+    const MExpr& expr = memo_->mexpr(expr_id);
+    double op_cost = OpCost(expr);
+
+    if (mode_ == Mode::kCostOnly) {
+      // Traditional baseline: single cheapest plan; scans stay pinned to
+      // their fragment's site, everything else may run anywhere.
+      double cost = op_cost;
+      std::vector<int> child_idx;
+      bool ok = true;
+      for (int c : expr.child_groups) {
+        const std::vector<Winner>& cw = Winners(c);
+        if (cw.empty()) {
+          ok = false;
+          break;
+        }
+        // Single winner in this mode.
+        child_idx.push_back(0);
+        cost += cw[0].cost;
+      }
+      if (!ok) continue;
+      Winner w;
+      w.exec_trait = expr.payload->kind() == PlanKind::kScan
+                         ? LocationSet::Single(expr.payload->scan_location)
+                         : all;
+      w.ship_trait = all;
+      w.cost = cost;
+      w.mexpr = expr_id;
+      w.child_winners = std::move(child_idx);
+      if (g.winners.empty() || w.cost < g.winners[0].cost) {
+        g.winners.assign(1, std::move(w));
+      }
+      continue;
+    }
+
+    // Compliant mode: enumerate combinations of child winners.
+    if (expr.child_groups.empty()) {
+      Winner w;
+      w.exec_trait = LocationSet::Single(expr.payload->scan_location);  // AR1
+      w.sources = w.exec_trait;
+      w.ship_trait =
+          w.exec_trait.Union(Ar4Trait(group_id, w.sources));  // AR3 + AR4
+      w.cost = op_cost;
+      w.mexpr = expr_id;
+      AddWinner(&g.winners, std::move(w));
+      continue;
+    }
+
+    std::vector<const std::vector<Winner>*> child_winners;
+    bool feasible = true;
+    for (int c : expr.child_groups) {
+      const std::vector<Winner>& cw = Winners(c);
+      if (cw.empty()) {
+        feasible = false;
+        break;
+      }
+      child_winners.push_back(&cw);
+    }
+    if (!feasible) continue;
+
+    // Odometer over child winner combinations (bounded: a UNION over many
+    // fragments with rich frontiers could otherwise explode).
+    constexpr size_t kMaxCombos = 100000;
+    size_t combos = 0;
+    std::vector<size_t> idx(expr.child_groups.size(), 0);
+    while (combos++ < kMaxCombos) {
+      LocationSet exec = all;
+      LocationSet sources;
+      double cost = op_cost;
+      for (size_t i = 0; i < idx.size(); ++i) {
+        const Winner& cw = (*child_winners[i])[idx[i]];
+        exec = exec.Intersect(cw.ship_trait);  // AR2
+        sources = sources.Union(cw.sources);
+        cost += cw.cost;
+      }
+      if (!exec.empty()) {  // compliance-based cost function: ∞ otherwise
+        Winner w;
+        w.exec_trait = exec;
+        w.sources = sources;
+        w.ship_trait = exec.Union(Ar4Trait(group_id, sources));  // AR3+AR4
+        w.cost = cost;
+        w.mexpr = expr_id;
+        w.child_winners.assign(idx.begin(), idx.end());
+        AddWinner(&g.winners, std::move(w));
+      }
+      // Advance the odometer.
+      size_t k = 0;
+      while (k < idx.size()) {
+        if (++idx[k] < child_winners[k]->size()) break;
+        idx[k] = 0;
+        ++k;
+      }
+      if (k == idx.size()) break;
+    }
+  }
+  return g.winners;
+}
+
+namespace {
+
+// Implementation rule: physical join selection. Hash (or sort-merge when
+// preferred) whenever a usable equi-conjunct exists; nested loop otherwise.
+JoinMethod ChooseJoinMethod(const PlanNode& join, bool prefer_sort_merge) {
+  auto side_has = [&](size_t side, AttrId id) {
+    for (const OutputCol& c : join.child(side)->outputs) {
+      if (c.id == id) return true;
+    }
+    return false;
+  };
+  for (const ExprPtr& c : join.conjuncts) {
+    if (c->op() != ExprOp::kEq) continue;
+    if (c->child(0)->op() != ExprOp::kColumnRef ||
+        c->child(1)->op() != ExprOp::kColumnRef) {
+      continue;
+    }
+    AttrId a = c->child(0)->attr_id();
+    AttrId b = c->child(1)->attr_id();
+    if ((side_has(0, a) && side_has(1, b)) ||
+        (side_has(0, b) && side_has(1, a))) {
+      return prefer_sort_merge ? JoinMethod::kSortMerge : JoinMethod::kHash;
+    }
+  }
+  return JoinMethod::kNestedLoop;
+}
+
+}  // namespace
+
+PlanNodePtr PlanAnnotator::Extract(int group_id, const Winner& winner) {
+  const Group& g = memo_->group(group_id);
+  const MExpr& expr = memo_->mexpr(winner.mexpr);
+  auto node = std::make_shared<PlanNode>(*expr.payload);
+  node->children().clear();
+  for (size_t i = 0; i < expr.child_groups.size(); ++i) {
+    int cg = expr.child_groups[i];
+    const Winner& cw = memo_->group(cg).winners[winner.child_winners[i]];
+    node->children().push_back(Extract(cg, cw));
+  }
+  if (node->kind() == PlanKind::kJoin) {
+    node->join_method = ChooseJoinMethod(*node, prefer_sort_merge_);
+  }
+  node->outputs = g.outputs;
+  node->exec_trait = winner.exec_trait;
+  node->ship_trait = winner.ship_trait;
+  node->est_rows = g.card.rows;
+  node->est_row_bytes = g.card.row_bytes;
+  node->local_cost = winner.cost;
+  return node;
+}
+
+Result<PlanNodePtr> PlanAnnotator::BestPlan(int root_group,
+                                            LocationSet required_result) {
+  const std::vector<Winner>& winners = Winners(root_group);
+  const Winner* best = nullptr;
+  for (const Winner& w : winners) {
+    if (!required_result.empty() &&
+        w.ship_trait.Intersect(required_result).empty()) {
+      continue;  // this alternative cannot deliver the result there
+    }
+    if (best == nullptr || w.cost < best->cost) best = &w;
+  }
+  if (best == nullptr) {
+    return Status::NonCompliant(
+        winners.empty()
+            ? "no compliant execution plan exists for this query under "
+              "the current dataflow policies"
+            : "no compliant execution plan can deliver the result at the "
+              "required location(s)");
+  }
+  return Extract(root_group, *best);
+}
+
+}  // namespace cgq

@@ -1,0 +1,140 @@
+#include "core/policy.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "plan/binder.h"
+#include "plan/planner_context.h"
+#include "sql/parser.h"
+
+namespace cgq {
+
+bool PolicyExpression::HasShipAttribute(const std::string& column) const {
+  return std::find(attributes.begin(), attributes.end(), column) !=
+         attributes.end();
+}
+
+bool PolicyExpression::HasGroupAttribute(const std::string& column) const {
+  return std::find(group_by.begin(), group_by.end(), column) !=
+         group_by.end();
+}
+
+bool PolicyExpression::AllowsAggFn(AggFn fn) const {
+  return std::find(agg_fns.begin(), agg_fns.end(), fn) != agg_fns.end();
+}
+
+std::string PolicyExpression::ToString(
+    const LocationCatalog& locations) const {
+  std::string out = "ship " + Join(attributes, ", ");
+  if (is_aggregate()) {
+    out += " as aggregates ";
+    for (size_t i = 0; i < agg_fns.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += ToLower(AggFnToString(agg_fns[i]));
+    }
+  }
+  out += " from " + table + " to ";
+  if (to == locations.All()) {
+    out += "*";
+  } else {
+    std::vector<std::string> names;
+    for (LocationId l : to.ToVector()) names.push_back(locations.GetName(l));
+    out += Join(names, ", ");
+  }
+  if (!predicate.empty()) {
+    out += " where ";
+    for (size_t i = 0; i < predicate.size(); ++i) {
+      if (i > 0) out += " and ";
+      out += predicate[i]->ToString();
+    }
+  }
+  if (!group_by.empty()) {
+    out += " group by " + Join(group_by, ", ");
+  }
+  return out;
+}
+
+Status PolicyCatalog::AddPolicyText(const std::string& location_name,
+                                    const std::string& text) {
+  CGQ_ASSIGN_OR_RETURN(LocationId location,
+                       catalog_->locations().GetId(location_name));
+  CGQ_ASSIGN_OR_RETURN(PolicyExprAst ast, ParsePolicyExpression(text));
+
+  CGQ_ASSIGN_OR_RETURN(const TableDef* table, catalog_->GetTable(ast.table));
+
+  PolicyExpression expr;
+  expr.table = table->name;
+
+  if (ast.ship_all) {
+    for (const ColumnDef& col : table->schema.columns()) {
+      expr.attributes.push_back(ToLower(col.name));
+    }
+  } else {
+    for (const std::string& attr : ast.attributes) {
+      if (!table->schema.IndexOf(attr)) {
+        return Status::InvalidArgument("policy references unknown column '" +
+                                       attr + "' of table '" + expr.table +
+                                       "'");
+      }
+      expr.attributes.push_back(attr);
+    }
+  }
+
+  expr.agg_fns = ast.agg_fns;
+  if (!ast.group_by.empty() && ast.agg_fns.empty()) {
+    return Status::InvalidArgument(
+        "GROUP BY requires an AS AGGREGATES clause");
+  }
+  for (const std::string& g : ast.group_by) {
+    if (!table->schema.IndexOf(g)) {
+      return Status::InvalidArgument("policy GROUP BY references unknown "
+                                     "column '" + g + "'");
+    }
+    expr.group_by.push_back(g);
+  }
+
+  if (ast.to_all) {
+    expr.to = catalog_->locations().All();
+  } else {
+    for (const std::string& name : ast.to_locations) {
+      CGQ_ASSIGN_OR_RETURN(LocationId l, catalog_->locations().GetId(name));
+      expr.to.Add(l);
+    }
+  }
+
+  if (ast.where != nullptr) {
+    PlannerContext ctx(catalog_);
+    CGQ_RETURN_NOT_OK(ctx.AddInstance(ast.alias, ast.table).status());
+    CGQ_ASSIGN_OR_RETURN(ExprPtr bound, BindExpr(ast.where, ctx));
+    expr.predicate = SplitConjuncts(bound);
+  }
+
+  return AddPolicy(location, std::move(expr));
+}
+
+Status PolicyCatalog::AddPolicy(LocationId location, PolicyExpression expr) {
+  if (location >= catalog_->locations().num_locations()) {
+    return Status::InvalidArgument("unknown location id " +
+                                   std::to_string(location));
+  }
+  if (by_location_.size() <= location) by_location_.resize(location + 1);
+  by_location_[location].push_back(std::move(expr));
+  return Status::OK();
+}
+
+const std::vector<PolicyExpression>& PolicyCatalog::For(
+    LocationId location) const {
+  static const std::vector<PolicyExpression> kEmpty;
+  if (location >= by_location_.size()) return kEmpty;
+  return by_location_[location];
+}
+
+size_t PolicyCatalog::TotalCount() const {
+  size_t n = 0;
+  for (const auto& v : by_location_) n += v.size();
+  return n;
+}
+
+void PolicyCatalog::Clear() { by_location_.clear(); }
+
+}  // namespace cgq

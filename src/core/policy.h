@@ -1,0 +1,70 @@
+#ifndef CGQ_CORE_POLICY_H_
+#define CGQ_CORE_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "expr/expr.h"
+
+namespace cgq {
+
+/// A validated dataflow policy expression (§4). One expression states which
+/// cells (basic) or aggregates (aggregate form) of one table may be shipped
+/// to which locations.
+struct PolicyExpression {
+  std::string table;  ///< lower-cased base table name
+  /// A_e: ship attributes (lower-cased). `ship *` is expanded to all
+  /// columns at validation time.
+  std::vector<std::string> attributes;
+  /// F_e: allowed aggregate functions; empty means basic expression.
+  std::vector<AggFn> agg_fns;
+  /// L_e: resolved target locations.
+  LocationSet to;
+  /// P_e: predicate conjuncts, bound against the table (base_table set).
+  std::vector<ExprPtr> predicate;
+  /// G_e: allowed grouping attributes (aggregate expressions only).
+  std::vector<std::string> group_by;
+
+  bool is_aggregate() const { return !agg_fns.empty(); }
+  bool HasShipAttribute(const std::string& column) const;
+  bool HasGroupAttribute(const std::string& column) const;
+  bool AllowsAggFn(AggFn fn) const;
+
+  /// Renders back to (normalized) policy-expression syntax.
+  std::string ToString(const LocationCatalog& locations) const;
+};
+
+/// Per-location store of dataflow policies (the paper's policy catalog,
+/// Fig. 2). Population happens offline via `AddPolicyText` (parsed +
+/// validated) or `AddPolicy` (pre-built).
+class PolicyCatalog {
+ public:
+  explicit PolicyCatalog(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Parses, binds and validates a policy expression and registers it for
+  /// `location` (the database whose data it governs).
+  ///
+  /// Validation errors include: unknown table/columns/locations, aggregate
+  /// clauses on basic expressions, and `group by` on basic expressions.
+  Status AddPolicyText(const std::string& location_name,
+                       const std::string& text);
+  Status AddPolicy(LocationId location, PolicyExpression expr);
+
+  /// All expressions governing data stored at `location`.
+  const std::vector<PolicyExpression>& For(LocationId location) const;
+
+  size_t TotalCount() const;
+  void Clear();
+
+  const Catalog& catalog() const { return *catalog_; }
+
+ private:
+  const Catalog* catalog_;
+  std::vector<std::vector<PolicyExpression>> by_location_;
+};
+
+}  // namespace cgq
+
+#endif  // CGQ_CORE_POLICY_H_

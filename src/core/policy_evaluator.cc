@@ -1,0 +1,186 @@
+#include "core/policy_evaluator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <optional>
+
+#include "expr/implication.h"
+
+namespace cgq {
+
+namespace {
+
+// One element of the flattened A_q: a base attribute together with the
+// aggregate function applied to the output it appears in (if any).
+struct AttrFnPair {
+  BaseAttr base;
+  std::optional<AggFn> fn;
+
+  bool operator<(const AttrFnPair& other) const {
+    if (!(base == other.base)) return base < other.base;
+    if (fn.has_value() != other.fn.has_value()) return !fn.has_value();
+    if (!fn) return false;
+    return static_cast<int>(*fn) < static_cast<int>(*other.fn);
+  }
+};
+
+// Single-instance premise: conjuncts whose column refs all belong to
+// `alias`.
+std::vector<ExprPtr> PremiseForAlias(const QuerySummary& summary,
+                                     const std::string& alias) {
+  std::vector<ExprPtr> premise;
+  for (const ExprPtr& c : summary.predicate) {
+    std::vector<const Expr*> refs;
+    c->CollectColumnRefs(&refs);
+    bool all_match = !refs.empty();
+    for (const Expr* r : refs) {
+      all_match &= (r->qualifier() == alias);
+    }
+    if (all_match || refs.empty()) premise.push_back(c);
+  }
+  return premise;
+}
+
+}  // namespace
+
+namespace {
+
+/// RAII accumulator for PolicyEvalStats::eval_ms.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* sink)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    *sink_ += std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count();
+  }
+
+ private:
+  double* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+LocationSet PolicyEvaluator::Evaluate(const QuerySummary& summary,
+                                      LocationId db,
+                                      std::vector<AttrGrant>* grants) const {
+  ScopedTimer timer(&stats_.eval_ms);
+  ++stats_.evaluations;
+  std::map<AttrFnPair, std::vector<const PolicyExpression*>> granted_by;
+
+  // Flatten A_q into (base attribute, aggregate fn) pairs. Besides the
+  // output attributes, attributes accessed by predicates and grouping are
+  // disclosed as well (cf. §4 Example 1/2: the output of
+  // Γsum(acctbal)(σ name='abc'(C)) "cannot be shipped at all" because the
+  // selection accesses `name`). They join A_q as un-aggregated pairs.
+  std::map<AttrFnPair, LocationSet> legal;
+  for (const auto& [id, out] : summary.outputs) {
+    for (const BaseAttr& b : out.bases) {
+      legal.emplace(AttrFnPair{b, out.fn}, LocationSet());
+    }
+  }
+  for (const ExprPtr& c : summary.predicate) {
+    std::vector<BaseAttr> bases;
+    c->CollectBaseAttrs(&bases);
+    for (const BaseAttr& b : bases) {
+      legal.emplace(AttrFnPair{b, std::nullopt}, LocationSet());
+    }
+  }
+  for (const BaseAttr& g : summary.group_attrs) {
+    legal.emplace(AttrFnPair{g, std::nullopt}, LocationSet());
+  }
+  if (legal.empty()) return LocationSet();
+
+  for (const PolicyExpression& e : policies_->For(db)) {
+    // A_q ∩ (A_e ∪ G_e): which output pairs does this expression speak to?
+    std::vector<const AttrFnPair*> relevant;
+    for (const auto& [pair, locs] : legal) {
+      if (pair.base.table != e.table) continue;
+      if (e.HasShipAttribute(pair.base.column) ||
+          (summary.is_aggregate && e.is_aggregate() &&
+           e.HasGroupAttribute(pair.base.column))) {
+        relevant.push_back(&pair);
+      }
+    }
+    if (relevant.empty()) continue;
+    ++stats_.expressions_matched;
+
+    // P_q ⟹ P_e, for every instance of e's table in the query.
+    bool implied = true;
+    bool any_instance = false;
+    for (const auto& [alias, table] : summary.alias_tables) {
+      if (table != e.table) continue;
+      any_instance = true;
+      ++stats_.implication_tests;
+      if (!PredicateImplies(PremiseForAlias(summary, alias), e.predicate)) {
+        implied = false;
+        break;
+      }
+    }
+    if (!any_instance || !implied) continue;
+    ++stats_.eta;  // Algorithm 1 reaches line 4.
+
+    if (!e.is_aggregate()) {
+      // Cases 1 & 2: a basic expression permits the cells at any
+      // aggregation level, for its ship attributes.
+      for (const AttrFnPair* pair : relevant) {
+        if (e.HasShipAttribute(pair->base.column)) {
+          legal[*pair] = legal[*pair].Union(e.to);
+          granted_by[*pair].push_back(&e);
+        }
+      }
+      continue;
+    }
+
+    // Case 3: aggregate expression — only covers aggregate queries.
+    if (!summary.is_aggregate) continue;
+
+    // G_q (restricted to e's table) ⊆ G_e; the empty subset qualifies.
+    bool groups_ok = true;
+    for (const BaseAttr& g : summary.group_attrs) {
+      if (g.table != e.table) continue;
+      groups_ok &= e.HasGroupAttribute(g.column);
+    }
+    if (!groups_ok) continue;
+
+    for (const AttrFnPair* pair : relevant) {
+      bool allowed = false;
+      if (!pair->fn.has_value()) {
+        // Grouping attribute: implicitly shippable when listed in G_e.
+        allowed = e.HasGroupAttribute(pair->base.column);
+      } else {
+        allowed = e.HasShipAttribute(pair->base.column) &&
+                  e.AllowsAggFn(*pair->fn);
+      }
+      if (allowed) {
+        legal[*pair] = legal[*pair].Union(e.to);
+        granted_by[*pair].push_back(&e);
+      }
+    }
+  }
+
+  if (grants != nullptr) {
+    grants->clear();
+    for (const auto& [pair, locs] : legal) {
+      AttrGrant grant;
+      grant.base = pair.base;
+      grant.fn = pair.fn;
+      grant.granted = locs;
+      auto it = granted_by.find(pair);
+      if (it != granted_by.end()) grant.granted_by = it->second;
+      grants->push_back(std::move(grant));
+    }
+  }
+
+  LocationSet result = catalog_->locations().All();
+  for (const auto& [pair, locs] : legal) {
+    result = result.Intersect(locs);
+    if (result.empty()) return result;
+  }
+  return result;
+}
+
+}  // namespace cgq

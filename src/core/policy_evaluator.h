@@ -1,0 +1,71 @@
+#ifndef CGQ_CORE_POLICY_EVALUATOR_H_
+#define CGQ_CORE_POLICY_EVALUATOR_H_
+
+#include <cstdint>
+
+#include "catalog/location.h"
+#include "core/policy.h"
+#include "plan/summary.h"
+
+namespace cgq {
+
+/// Instrumentation counters for the scalability analysis (§7.5, Fig. 7):
+/// `eta` counts how often an expression is *considered* — i.e. its ship
+/// attributes intersect the query's output attributes AND the implication
+/// test passes (Algorithm 1 reaching line 4).
+struct PolicyEvalStats {
+  int64_t evaluations = 0;        ///< calls to Evaluate()
+  int64_t expressions_matched = 0;  ///< A_q ∩ A_e ≠ ∅
+  int64_t implication_tests = 0;
+  int64_t eta = 0;                ///< implication passed (line 4 reached)
+  double eval_ms = 0;             ///< total time spent inside Evaluate()
+};
+
+/// The policy evaluation algorithm 𝒜 (Algorithm 1, §5).
+///
+/// Given the summary of a subquery q pertaining to the single database at
+/// location `db`, computes the set 𝒜(q, D, P_D) of locations to which q's
+/// output may legally be shipped:
+///
+///   - per output attribute a (flattened to (base attribute, aggregate fn)
+///     pairs), collect locations L_a from every expression e whose ship (or
+///     group) attributes mention a and whose predicate is implied (P_q ⟹
+///     P_e), distinguishing the three cases of §5;
+///   - self-joins: the implication must hold for *every* instance of e's
+///     table in q (each instance's own single-table conjuncts form the
+///     premise);
+///   - result is the intersection over all output attributes (∅ when any
+///     attribute has no permitting expression).
+/// Why one disclosed attribute of a subquery may be shipped somewhere:
+/// the policy expressions whose `to` set granted it.
+struct AttrGrant {
+  BaseAttr base;
+  std::optional<AggFn> fn;           ///< aggregate applied, if any
+  LocationSet granted;               ///< union of granting expressions' to
+  std::vector<const PolicyExpression*> granted_by;
+};
+
+class PolicyEvaluator {
+ public:
+  PolicyEvaluator(const Catalog* catalog, const PolicyCatalog* policies)
+      : catalog_(catalog), policies_(policies) {}
+
+  /// Evaluates 𝒜 for a summary whose sources all live at `db`. The summary
+  /// must be a valid single-block (callers check IsSingleDatabaseBlock()).
+  /// When `grants` is non-null, also records, per disclosed attribute, the
+  /// expressions that granted locations (compliance provenance).
+  LocationSet Evaluate(const QuerySummary& summary, LocationId db,
+                       std::vector<AttrGrant>* grants = nullptr) const;
+
+  PolicyEvalStats& stats() const { return stats_; }
+  void ResetStats() const { stats_ = PolicyEvalStats{}; }
+
+ private:
+  const Catalog* catalog_;
+  const PolicyCatalog* policies_;
+  mutable PolicyEvalStats stats_;
+};
+
+}  // namespace cgq
+
+#endif  // CGQ_CORE_POLICY_EVALUATOR_H_

@@ -1,0 +1,178 @@
+#include "core/site_selector.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace cgq {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct NodeTable {
+  // cost[l] = minimum shipping cost of executing this subtree with the
+  // node at location l; kInf when l ∉ ℰ.
+  std::vector<double> cost;
+  // choice[l][i] = location selected for child i when this node runs at l.
+  std::vector<std::vector<LocationId>> choice;
+};
+
+class Placer {
+ public:
+  Placer(const NetworkModel* net, size_t num_locations,
+         SiteSelector::Objective objective)
+      : net_(net), n_(num_locations), objective_(objective) {}
+
+  const NodeTable& CostOf(const PlanNode* node) {
+    auto it = tables_.find(node);
+    if (it != tables_.end()) return it->second;
+
+    NodeTable table;
+    table.cost.assign(n_, kInf);
+    table.choice.assign(n_, {});
+
+    if (node->kind() == PlanKind::kScan) {
+      table.cost[node->scan_location] = 0;  // Algorithm 2 base case
+      tables_.emplace(node, std::move(table));
+      return tables_.at(node);
+    }
+
+    std::vector<const NodeTable*> children;
+    children.reserve(node->children().size());
+    for (const PlanNodePtr& c : node->children()) {
+      children.push_back(&CostOf(c.get()));
+    }
+
+    for (LocationId l = 0; l < n_; ++l) {
+      if (!node->exec_trait.Contains(l)) continue;
+      double total = 0;
+      std::vector<LocationId> picks;
+      bool ok = true;
+      for (size_t i = 0; i < node->children().size(); ++i) {
+        const PlanNode& child = *node->children()[i];
+        const NodeTable& ct = *children[i];
+        double best = kInf;
+        LocationId best_l = 0;
+        for (LocationId lc = 0; lc < n_; ++lc) {
+          if (ct.cost[lc] == kInf) continue;
+          double c = ct.cost[lc] + net_->Cost(lc, l, child.EstBytes());
+          if (c < best) {
+            best = c;
+            best_l = lc;
+          }
+        }
+        if (best == kInf) {
+          ok = false;
+          break;
+        }
+        if (objective_ == SiteSelector::Objective::kResponseTime) {
+          total = std::max(total, best);  // inputs arrive in parallel
+        } else {
+          total += best;
+        }
+        picks.push_back(best_l);
+      }
+      if (!ok) continue;
+      table.cost[l] = total;
+      table.choice[l] = std::move(picks);
+    }
+    tables_.emplace(node, std::move(table));
+    return tables_.at(node);
+  }
+
+  // Walks down assigning locations and wrapping cross-site edges in SHIPs.
+  void Assign(const PlanNodePtr& node, LocationId l) {
+    node->location = l;
+    if (node->kind() == PlanKind::kScan) return;
+    const NodeTable& table = tables_.at(node.get());
+    CGQ_CHECK(!table.choice[l].empty() || node->children().empty());
+    for (size_t i = 0; i < node->children().size(); ++i) {
+      LocationId lc = table.choice[l][i];
+      Assign(node->children()[i], lc);
+      if (lc != l) {
+        const PlanNodePtr& child = node->children()[i];
+        auto ship = std::make_shared<PlanNode>(PlanKind::kShip);
+        ship->ship_from = lc;
+        ship->ship_to = l;
+        ship->location = l;
+        ship->outputs = child->outputs;
+        ship->est_rows = child->est_rows;
+        ship->est_row_bytes = child->est_row_bytes;
+        ship->exec_trait = LocationSet::Single(l);
+        ship->ship_trait = child->ship_trait;
+        ship->children().push_back(child);
+        node->children()[i] = ship;
+      }
+    }
+  }
+
+ private:
+  const NetworkModel* net_;
+  size_t n_;
+  SiteSelector::Objective objective_;
+  std::unordered_map<const PlanNode*, NodeTable> tables_;
+};
+
+}  // namespace
+
+Result<SitedPlan> SiteSelector::Place(PlanNodePtr annotated,
+                                      LocationSet required_result) const {
+  Placer placer(net_, net_->num_locations(), objective_);
+  const NodeTable& root = placer.CostOf(annotated.get());
+
+  // Choose the root site l and the delivery site r. When r ∉ ℰ(root) but
+  // r ∈ 𝒮(root), a final SHIP moves the finished result there.
+  double best = kInf;
+  LocationId best_l = 0, best_r = 0;
+  for (LocationId l = 0; l < net_->num_locations(); ++l) {
+    if (root.cost[l] == kInf) continue;
+    if (required_result.empty()) {
+      if (root.cost[l] < best) {
+        best = root.cost[l];
+        best_l = best_r = l;
+      }
+      continue;
+    }
+    for (LocationId r : required_result.ToVector()) {
+      if (r != l && !annotated->ship_trait.Contains(r)) continue;
+      double c = root.cost[l] +
+                 net_->Cost(l, r, annotated->EstBytes());
+      if (c < best) {
+        best = c;
+        best_l = l;
+        best_r = r;
+      }
+    }
+  }
+  if (best == kInf) {
+    return Status::NonCompliant(
+        "site selection found no feasible placement for the annotated plan");
+  }
+  placer.Assign(annotated, best_l);
+
+  SitedPlan out;
+  if (best_r != best_l) {
+    auto ship = std::make_shared<PlanNode>(PlanKind::kShip);
+    ship->ship_from = best_l;
+    ship->ship_to = best_r;
+    ship->location = best_r;
+    ship->outputs = annotated->outputs;
+    ship->est_rows = annotated->est_rows;
+    ship->est_row_bytes = annotated->est_row_bytes;
+    ship->exec_trait = LocationSet::Single(best_r);
+    ship->ship_trait = annotated->ship_trait;
+    ship->children().push_back(annotated);
+    out.root = std::move(ship);
+  } else {
+    out.root = std::move(annotated);
+  }
+  out.comm_cost_ms = best;
+  out.result_location = best_r;
+  return out;
+}
+
+}  // namespace cgq

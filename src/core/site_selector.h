@@ -1,0 +1,60 @@
+#ifndef CGQ_CORE_SITE_SELECTOR_H_
+#define CGQ_CORE_SITE_SELECTOR_H_
+
+#include "common/result.h"
+#include "net/network_model.h"
+#include "plan/plan_node.h"
+
+namespace cgq {
+
+/// Result of phase 2: the located plan with SHIP operators inserted and the
+/// total estimated communication cost (message cost model, §7.4).
+struct SitedPlan {
+  PlanNodePtr root;
+  double comm_cost_ms = 0;
+  LocationId result_location = 0;
+};
+
+/// Phase 2 of the two-phase optimization (§6.3, Algorithm 2): assigns each
+/// operator of an annotated plan an execution site from its execution trait
+/// ℰ, minimizing total shipping cost via memoized dynamic programming, then
+/// materializes SHIP operators on every cross-site edge.
+///
+/// Scans are pinned to their fragment's location. A node placed at `l`
+/// receives each input from the input's cheapest (site, ship) combination:
+///   CostOf(n, l) = Σ_inputs min_{l' ∈ ℰ_input} ShipCost(input, l', l)
+///                                              + CostOf(input, l')
+/// The root site minimizes CostOf over ℰ_root (optionally restricted via
+/// `required_result`, e.g. to the query-issuing site).
+class SiteSelector {
+ public:
+  /// Phase-2 objective (§3.3 Discussion: "our methods ... can also be
+  /// adapted to other cost models (e.g., that determine query response
+  /// time)").
+  enum class Objective {
+    /// Total communication cost: inputs transfer sequentially; a node's
+    /// cost is the SUM of its input-side costs. (Paper default.)
+    kTotalCost,
+    /// Response time: inputs transfer/execute in parallel; a node's cost
+    /// is the MAX of its input-side costs.
+    kResponseTime,
+  };
+
+  explicit SiteSelector(const NetworkModel* net,
+                        Objective objective = Objective::kTotalCost)
+      : net_(net), objective_(objective) {}
+
+  /// Places `annotated` (consumed; mutated in place by inserting SHIPs).
+  /// Fails with kNonCompliant when a node has an empty candidate set
+  /// (cannot happen for plans produced by the PlanAnnotator).
+  Result<SitedPlan> Place(PlanNodePtr annotated,
+                          LocationSet required_result = LocationSet()) const;
+
+ private:
+  const NetworkModel* net_;
+  Objective objective_;
+};
+
+}  // namespace cgq
+
+#endif  // CGQ_CORE_SITE_SELECTOR_H_

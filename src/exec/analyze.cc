@@ -1,0 +1,107 @@
+#include "exec/analyze.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "common/str_util.h"
+
+namespace cgq {
+
+namespace {
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+struct ValueEq {
+  bool operator()(const Value& a, const Value& b) const {
+    return a.StructurallyEquals(b);
+  }
+};
+
+}  // namespace
+
+Status AnalyzeTable(const TableStore& store, const std::string& table,
+                    Catalog* catalog) {
+  CGQ_ASSIGN_OR_RETURN(const TableDef* def, catalog->GetTable(table));
+  const size_t num_columns = def->schema.num_columns();
+
+  std::vector<std::unordered_set<Value, ValueHash, ValueEq>> distinct(
+      num_columns);
+  std::vector<double> width_sum(num_columns, 0);
+  std::vector<std::optional<double>> mins(num_columns), maxs(num_columns);
+  double total_rows = 0;
+  std::vector<double> fragment_rows;
+
+  // Replicated tables: every fragment is a full copy; analyze one and
+  // verify the copies agree on cardinality.
+  std::vector<TableFragment> fragments_to_scan = def->fragments;
+  if (def->replicated) {
+    size_t first_size = 0;
+    for (size_t i = 0; i < def->fragments.size(); ++i) {
+      CGQ_ASSIGN_OR_RETURN(const std::vector<Row>* rows,
+                           store.Get(def->fragments[i].location, table));
+      if (i == 0) {
+        first_size = rows->size();
+      } else if (rows->size() != first_size) {
+        return Status::InvalidArgument(
+            "replicas of table '" + def->name +
+            "' disagree on row count; refusing to analyze");
+      }
+    }
+    fragments_to_scan = {def->fragments[0]};
+  }
+
+  for (const TableFragment& fragment : fragments_to_scan) {
+    CGQ_ASSIGN_OR_RETURN(const std::vector<Row>* rows,
+                         store.Get(fragment.location, table));
+    fragment_rows.push_back(static_cast<double>(rows->size()));
+    total_rows += static_cast<double>(rows->size());
+    for (const Row& row : *rows) {
+      if (row.size() != num_columns) {
+        return Status::InvalidArgument("row width mismatch in table '" +
+                                       def->name + "'");
+      }
+      for (size_t c = 0; c < num_columns; ++c) {
+        const Value& v = row[c];
+        distinct[c].insert(v);
+        width_sum[c] += static_cast<double>(v.ByteSize());
+        if (v.is_numeric()) {
+          double d = v.AsDouble();
+          if (!mins[c] || d < *mins[c]) mins[c] = d;
+          if (!maxs[c] || d > *maxs[c]) maxs[c] = d;
+        }
+      }
+    }
+  }
+
+  TableStats stats;
+  stats.row_count = total_rows;
+  for (size_t c = 0; c < num_columns; ++c) {
+    ColumnStats cs;
+    cs.distinct_count = static_cast<double>(distinct[c].size());
+    cs.min = mins[c];
+    cs.max = maxs[c];
+    cs.avg_width = total_rows > 0 ? width_sum[c] / total_rows : 8;
+    stats.columns[ToLower(def->schema.column(c).name)] = cs;
+  }
+  CGQ_RETURN_NOT_OK(catalog->SetStats(def->name, stats));
+
+  if (total_rows > 0 && !def->replicated) {
+    std::vector<TableFragment> fragments = def->fragments;
+    for (size_t i = 0; i < fragments.size(); ++i) {
+      fragments[i].row_fraction = fragment_rows[i] / total_rows;
+    }
+    CGQ_RETURN_NOT_OK(catalog->SetFragments(def->name, fragments));
+  }
+  return Status::OK();
+}
+
+Status AnalyzeAll(const TableStore& store, Catalog* catalog) {
+  for (const std::string& table : catalog->TableNames()) {
+    CGQ_RETURN_NOT_OK(AnalyzeTable(store, table, catalog));
+  }
+  return Status::OK();
+}
+
+}  // namespace cgq

@@ -1,0 +1,26 @@
+#ifndef CGQ_EXEC_ANALYZE_H_
+#define CGQ_EXEC_ANALYZE_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "exec/table_store.h"
+
+namespace cgq {
+
+/// Recomputes the statistics of `table` from the rows actually loaded in
+/// `store` (across all fragments) and installs them into `catalog`:
+///  - table row count and per-fragment row fractions;
+///  - exact per-column distinct counts (hash-based);
+///  - numeric/date min and max;
+///  - average serialized width.
+/// Fails when some fragment has no data loaded.
+Status AnalyzeTable(const TableStore& store, const std::string& table,
+                    Catalog* catalog);
+
+/// Analyzes every table in the catalog.
+Status AnalyzeAll(const TableStore& store, Catalog* catalog);
+
+}  // namespace cgq
+
+#endif  // CGQ_EXEC_ANALYZE_H_

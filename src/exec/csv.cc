@@ -1,0 +1,130 @@
+#include "exec/csv.h"
+
+#include <cstdlib>
+
+#include "types/date.h"
+
+namespace cgq {
+
+namespace {
+
+// Splits one CSV record; supports quoted fields with "" escapes. Returns
+// the fields and whether each was quoted (quoted empty = empty string,
+// unquoted empty = NULL).
+void SplitRecord(const std::string& line, std::vector<std::string>* fields,
+                 std::vector<bool>* quoted) {
+  fields->clear();
+  quoted->clear();
+  std::string current;
+  bool in_quotes = false;
+  bool was_quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+      was_quoted = true;
+    } else if (c == ',') {
+      fields->push_back(current);
+      quoted->push_back(was_quoted);
+      current.clear();
+      was_quoted = false;
+    } else {
+      current += c;
+    }
+  }
+  fields->push_back(current);
+  quoted->push_back(was_quoted);
+}
+
+Result<Value> ParseField(const std::string& field, bool was_quoted,
+                         DataType type, int line_no) {
+  if (field.empty() && !was_quoted) return Value::Null();
+  auto err = [&](const char* what) {
+    return Status::InvalidArgument("CSV line " + std::to_string(line_no) +
+                                   ": bad " + what + " value '" + field +
+                                   "'");
+  };
+  switch (type) {
+    case DataType::kInt64: {
+      char* end = nullptr;
+      long long v = std::strtoll(field.c_str(), &end, 10);
+      if (end == field.c_str() || *end != '\0') return err("int64");
+      return Value::Int64(v);
+    }
+    case DataType::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(field.c_str(), &end);
+      if (end == field.c_str() || *end != '\0') return err("double");
+      return Value::Double(v);
+    }
+    case DataType::kDate: {
+      auto days = ParseDate(field);
+      if (!days.ok()) return err("date");
+      return Value::Date(*days);
+    }
+    case DataType::kString:
+      return Value::String(field);
+  }
+  return err("typed");
+}
+
+}  // namespace
+
+Result<size_t> LoadCsv(const Catalog& catalog, const std::string& table,
+                       LocationId location, const std::string& csv_text,
+                       TableStore* store) {
+  CGQ_ASSIGN_OR_RETURN(const TableDef* def, catalog.GetTable(table));
+  if (!def->LocationsOf().Contains(location)) {
+    return Status::InvalidArgument("table '" + def->name +
+                                   "' has no fragment at location " +
+                                   std::to_string(location));
+  }
+  const size_t num_columns = def->schema.num_columns();
+
+  size_t loaded = 0;
+  std::vector<std::string> fields;
+  std::vector<bool> quoted;
+  size_t start = 0;
+  int line_no = 0;
+  while (start <= csv_text.size()) {
+    size_t end = csv_text.find('\n', start);
+    std::string line = csv_text.substr(
+        start, end == std::string::npos ? std::string::npos : end - start);
+    start = end == std::string::npos ? csv_text.size() + 1 : end + 1;
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+
+    SplitRecord(line, &fields, &quoted);
+    if (fields.size() != num_columns) {
+      return Status::InvalidArgument(
+          "CSV line " + std::to_string(line_no) + ": expected " +
+          std::to_string(num_columns) + " fields, got " +
+          std::to_string(fields.size()));
+    }
+    Row row;
+    row.reserve(num_columns);
+    for (size_t c = 0; c < num_columns; ++c) {
+      CGQ_ASSIGN_OR_RETURN(
+          Value v, ParseField(fields[c], quoted[c],
+                              def->schema.column(c).type, line_no));
+      row.push_back(std::move(v));
+    }
+    store->Append(location, def->name, std::move(row));
+    ++loaded;
+  }
+  return loaded;
+}
+
+}  // namespace cgq

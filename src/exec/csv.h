@@ -1,0 +1,27 @@
+#ifndef CGQ_EXEC_CSV_H_
+#define CGQ_EXEC_CSV_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "exec/table_store.h"
+
+namespace cgq {
+
+/// Loads CSV text into `table`'s fragment at `location`.
+///
+/// - One record per line, comma-separated, no header row.
+/// - Fields may be double-quoted; embedded quotes escape as "".
+/// - Empty unquoted fields load as NULL.
+/// - Values are typed by the table's schema (int64 / double / string /
+///   date as YYYY-MM-DD); type errors name the offending line.
+///
+/// Returns the number of loaded rows.
+Result<size_t> LoadCsv(const Catalog& catalog, const std::string& table,
+                       LocationId location, const std::string& csv_text,
+                       TableStore* store);
+
+}  // namespace cgq
+
+#endif  // CGQ_EXEC_CSV_H_

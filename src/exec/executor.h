@@ -1,0 +1,56 @@
+#ifndef CGQ_EXEC_EXECUTOR_H_
+#define CGQ_EXEC_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/optimizer.h"
+#include "exec/table_store.h"
+#include "net/network_model.h"
+#include "plan/plan_node.h"
+
+namespace cgq {
+
+/// Observed execution-side costs, driven by actual intermediate sizes (the
+/// quality metric of §7.4 / Fig. 6g,h).
+struct ExecMetrics {
+  int64_t ships = 0;
+  int64_t rows_shipped = 0;
+  double bytes_shipped = 0;
+  /// Simulated wall-clock of all transfers under the message cost model.
+  double network_ms = 0;
+  int64_t rows_scanned = 0;
+};
+
+/// Rows of a query result plus transfer metrics.
+struct QueryResult {
+  std::vector<std::string> column_names;
+  std::vector<Row> rows;
+  ExecMetrics metrics;
+};
+
+/// Row-at-a-time interpreter for located physical plans. Each operator
+/// materializes its output; SHIP operators charge the network model with
+/// the measured byte volume. Correctness-oriented (the paper measures
+/// communication cost, not single-node throughput).
+class Executor {
+ public:
+  Executor(const TableStore* store, const NetworkModel* net)
+      : store_(store), net_(net) {}
+
+  /// Executes an optimized query, applying its ORDER BY / LIMIT at the
+  /// result site.
+  Result<QueryResult> Execute(const OptimizedQuery& query) const;
+
+  /// Executes a bare plan tree (no presentation steps).
+  Result<QueryResult> ExecutePlan(const PlanNode& plan) const;
+
+ private:
+  const TableStore* store_;
+  const NetworkModel* net_;
+};
+
+}  // namespace cgq
+
+#endif  // CGQ_EXEC_EXECUTOR_H_

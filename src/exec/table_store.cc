@@ -1,0 +1,33 @@
+#include "exec/table_store.h"
+
+#include "common/str_util.h"
+
+namespace cgq {
+
+void TableStore::Put(LocationId location, const std::string& table,
+                     std::vector<Row> rows) {
+  fragments_[Key(location, ToLower(table))] = std::move(rows);
+}
+
+void TableStore::Append(LocationId location, const std::string& table,
+                        Row row) {
+  fragments_[Key(location, ToLower(table))].push_back(std::move(row));
+}
+
+Result<const std::vector<Row>*> TableStore::Get(
+    LocationId location, const std::string& table) const {
+  auto it = fragments_.find(Key(location, ToLower(table)));
+  if (it == fragments_.end()) {
+    return Status::NotFound("no fragment of table '" + table +
+                            "' at location " + std::to_string(location));
+  }
+  return &it->second;
+}
+
+size_t TableStore::TotalRows() const {
+  size_t n = 0;
+  for (const auto& [k, rows] : fragments_) n += rows.size();
+  return n;
+}
+
+}  // namespace cgq

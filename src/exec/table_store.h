@@ -1,0 +1,43 @@
+#ifndef CGQ_EXEC_TABLE_STORE_H_
+#define CGQ_EXEC_TABLE_STORE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/location.h"
+#include "common/result.h"
+#include "types/value.h"
+
+namespace cgq {
+
+/// In-process stand-in for the geo-distributed databases: each location
+/// holds the rows of its table fragments (rows are in base-schema column
+/// order). The executor's Scan operators read from here; SHIP operators
+/// model the transfer between locations.
+class TableStore {
+ public:
+  /// Registers the rows of `table`'s fragment at `location` (replaces any
+  /// previous content).
+  void Put(LocationId location, const std::string& table,
+           std::vector<Row> rows);
+
+  /// Appends rows to a fragment.
+  void Append(LocationId location, const std::string& table, Row row);
+
+  /// Rows of the fragment; error when no fragment was loaded there.
+  Result<const std::vector<Row>*> Get(LocationId location,
+                                      const std::string& table) const;
+
+  size_t TotalRows() const;
+
+ private:
+  static std::string Key(LocationId location, const std::string& table) {
+    return std::to_string(location) + "/" + table;
+  }
+  std::unordered_map<std::string, std::vector<Row>> fragments_;
+};
+
+}  // namespace cgq
+
+#endif  // CGQ_EXEC_TABLE_STORE_H_

@@ -1,0 +1,204 @@
+#include "expr/eval.h"
+
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace cgq {
+
+namespace {
+
+Value BoolValue(bool b) { return Value::Int64(b ? 1 : 0); }
+
+bool IsTruthy(const Value& v) {
+  if (v.is_null()) return false;
+  if (v.is_int64()) return v.int64() != 0;
+  if (v.is_double()) return v.dbl() != 0;
+  return !v.str().empty();
+}
+
+Result<Value> EvalComparison(ExprOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  if (l.is_string() != r.is_string()) {
+    return Status::InvalidArgument("comparing incompatible value families");
+  }
+  int c = l.Compare(r);
+  switch (op) {
+    case ExprOp::kEq:
+      return BoolValue(c == 0);
+    case ExprOp::kNe:
+      return BoolValue(c != 0);
+    case ExprOp::kLt:
+      return BoolValue(c < 0);
+    case ExprOp::kLe:
+      return BoolValue(c <= 0);
+    case ExprOp::kGt:
+      return BoolValue(c > 0);
+    case ExprOp::kGe:
+      return BoolValue(c >= 0);
+    default:
+      return Status::Internal("not a comparison");
+  }
+}
+
+Result<Value> EvalArithmetic(ExprOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  if (!l.is_numeric() || !r.is_numeric()) {
+    return Status::InvalidArgument("arithmetic requires numeric operands");
+  }
+  if (op == ExprOp::kDiv) {
+    double d = r.AsDouble();
+    if (d == 0) return Value::Null();  // SQL engines differ; NULL is safe.
+    return Value::Double(l.AsDouble() / d);
+  }
+  if (l.is_int64() && r.is_int64()) {
+    int64_t a = l.int64(), b = r.int64();
+    switch (op) {
+      case ExprOp::kAdd:
+        return Value::Int64(a + b);
+      case ExprOp::kSub:
+        return Value::Int64(a - b);
+      case ExprOp::kMul:
+        return Value::Int64(a * b);
+      default:
+        break;
+    }
+  }
+  double a = l.AsDouble(), b = r.AsDouble();
+  switch (op) {
+    case ExprOp::kAdd:
+      return Value::Double(a + b);
+    case ExprOp::kSub:
+      return Value::Double(a - b);
+    case ExprOp::kMul:
+      return Value::Double(a * b);
+    default:
+      return Status::Internal("not arithmetic");
+  }
+}
+
+}  // namespace
+
+Result<Value> EvalExpr(const Expr& expr, const Row& row,
+                       const RowLayout& layout) {
+  switch (expr.op()) {
+    case ExprOp::kLiteral:
+      return expr.literal();
+    case ExprOp::kColumnRef: {
+      size_t pos = layout.PositionOf(expr.attr_id());
+      if (pos == RowLayout::kNotFound) {
+        return Status::Internal("attr " + expr.ToString() +
+                                " not in row layout");
+      }
+      return row[pos];
+    }
+    case ExprOp::kAnd: {
+      CGQ_ASSIGN_OR_RETURN(Value l, EvalExpr(*expr.child(0), row, layout));
+      if (!l.is_null() && !IsTruthy(l)) return BoolValue(false);
+      CGQ_ASSIGN_OR_RETURN(Value r, EvalExpr(*expr.child(1), row, layout));
+      if (!r.is_null() && !IsTruthy(r)) return BoolValue(false);
+      if (l.is_null() || r.is_null()) return Value::Null();
+      return BoolValue(true);
+    }
+    case ExprOp::kOr: {
+      CGQ_ASSIGN_OR_RETURN(Value l, EvalExpr(*expr.child(0), row, layout));
+      if (!l.is_null() && IsTruthy(l)) return BoolValue(true);
+      CGQ_ASSIGN_OR_RETURN(Value r, EvalExpr(*expr.child(1), row, layout));
+      if (!r.is_null() && IsTruthy(r)) return BoolValue(true);
+      if (l.is_null() || r.is_null()) return Value::Null();
+      return BoolValue(false);
+    }
+    case ExprOp::kNot: {
+      CGQ_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.child(0), row, layout));
+      if (v.is_null()) return Value::Null();
+      return BoolValue(!IsTruthy(v));
+    }
+    case ExprOp::kEq:
+    case ExprOp::kNe:
+    case ExprOp::kLt:
+    case ExprOp::kLe:
+    case ExprOp::kGt:
+    case ExprOp::kGe: {
+      CGQ_ASSIGN_OR_RETURN(Value l, EvalExpr(*expr.child(0), row, layout));
+      CGQ_ASSIGN_OR_RETURN(Value r, EvalExpr(*expr.child(1), row, layout));
+      return EvalComparison(expr.op(), l, r);
+    }
+    case ExprOp::kAdd:
+    case ExprOp::kSub:
+    case ExprOp::kMul:
+    case ExprOp::kDiv: {
+      CGQ_ASSIGN_OR_RETURN(Value l, EvalExpr(*expr.child(0), row, layout));
+      CGQ_ASSIGN_OR_RETURN(Value r, EvalExpr(*expr.child(1), row, layout));
+      return EvalArithmetic(expr.op(), l, r);
+    }
+    case ExprOp::kLike:
+    case ExprOp::kNotLike: {
+      CGQ_ASSIGN_OR_RETURN(Value l, EvalExpr(*expr.child(0), row, layout));
+      CGQ_ASSIGN_OR_RETURN(Value r, EvalExpr(*expr.child(1), row, layout));
+      if (l.is_null() || r.is_null()) return Value::Null();
+      if (!l.is_string() || !r.is_string()) {
+        return Status::InvalidArgument("LIKE requires string operands");
+      }
+      bool m = LikeMatch(l.str(), r.str());
+      return BoolValue(expr.op() == ExprOp::kLike ? m : !m);
+    }
+    case ExprOp::kIn: {
+      CGQ_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.child(0), row, layout));
+      if (v.is_null()) return Value::Null();
+      for (const Value& candidate : expr.in_list()) {
+        if (!candidate.is_null() && v.Equals(candidate)) {
+          return BoolValue(true);
+        }
+      }
+      return BoolValue(false);
+    }
+  }
+  return Status::Internal("unhandled expression op");
+}
+
+Result<bool> EvalPredicate(const Expr& pred, const Row& row,
+                           const RowLayout& layout) {
+  CGQ_ASSIGN_OR_RETURN(Value v, EvalExpr(pred, row, layout));
+  return !v.is_null() && IsTruthy(v);
+}
+
+void AggAccumulator::Add(const Value& v) {
+  if (v.is_null()) return;
+  ++count_;
+  switch (fn_) {
+    case AggFn::kCount:
+      return;
+    case AggFn::kSum:
+    case AggFn::kAvg:
+      sum_ += v.AsDouble();
+      sum_is_integral_ &= v.is_int64();
+      return;
+    case AggFn::kMin:
+      if (min_.is_null() || v.Compare(min_) < 0) min_ = v;
+      return;
+    case AggFn::kMax:
+      if (max_.is_null() || v.Compare(max_) > 0) max_ = v;
+      return;
+  }
+}
+
+Value AggAccumulator::Finish() const {
+  switch (fn_) {
+    case AggFn::kCount:
+      return Value::Int64(count_);
+    case AggFn::kSum:
+      if (count_ == 0) return Value::Null();
+      return sum_is_integral_ ? Value::Int64(static_cast<int64_t>(sum_))
+                              : Value::Double(sum_);
+    case AggFn::kAvg:
+      if (count_ == 0) return Value::Null();
+      return Value::Double(sum_ / static_cast<double>(count_));
+    case AggFn::kMin:
+      return min_;
+    case AggFn::kMax:
+      return max_;
+  }
+  return Value::Null();
+}
+
+}  // namespace cgq

@@ -1,0 +1,402 @@
+#include "expr/implication.h"
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/str_util.h"
+
+namespace cgq {
+
+namespace {
+
+// Canonical identity of a column reference for implication purposes.
+std::string RefKey(const Expr& ref) {
+  if (!ref.base_table().empty()) return ref.base_table() + "." + ref.column();
+  return ref.qualifier() + "." + ref.column();
+}
+
+// One bound of a (possibly half-open) interval.
+struct Bound {
+  Value value;
+  bool strict = false;
+  bool present = false;
+};
+
+// Accumulated constraints on a single column.
+struct ColumnConstraint {
+  // Disjunctive equality point set (from `=` or IN). `has_points` false
+  // means unconstrained by points.
+  bool has_points = false;
+  std::vector<Value> points;
+  Bound lower;
+  Bound upper;
+  std::vector<std::string> like_patterns;
+};
+
+struct ConstraintSet {
+  bool contradictory = false;
+  std::map<std::string, ColumnConstraint> columns;
+  // Conjuncts we could not normalize (ORs, column-column predicates, ...).
+  std::vector<ExprPtr> raw;
+};
+
+bool SatisfiesComparison(const Value& v, ExprOp op, const Value& lit) {
+  if (v.is_null() || lit.is_null()) return false;
+  if (v.is_string() != lit.is_string()) return false;
+  int c = v.Compare(lit);
+  switch (op) {
+    case ExprOp::kEq:
+      return c == 0;
+    case ExprOp::kNe:
+      return c != 0;
+    case ExprOp::kLt:
+      return c < 0;
+    case ExprOp::kLe:
+      return c <= 0;
+    case ExprOp::kGt:
+      return c > 0;
+    case ExprOp::kGe:
+      return c >= 0;
+    default:
+      return false;
+  }
+}
+
+ExprOp FlipComparison(ExprOp op) {
+  switch (op) {
+    case ExprOp::kLt:
+      return ExprOp::kGt;
+    case ExprOp::kLe:
+      return ExprOp::kGe;
+    case ExprOp::kGt:
+      return ExprOp::kLt;
+    case ExprOp::kGe:
+      return ExprOp::kLe;
+    default:
+      return op;  // =, <> are symmetric
+  }
+}
+
+// Extracts (colref, op, literal) from a comparison conjunct, flipping sides
+// if needed. Returns false when the conjunct is not of that shape.
+bool AsColumnComparison(const Expr& e, const Expr** ref, ExprOp* op,
+                        Value* lit) {
+  if (!IsComparisonOp(e.op())) return false;
+  const Expr& l = *e.child(0);
+  const Expr& r = *e.child(1);
+  if (l.op() == ExprOp::kColumnRef && r.op() == ExprOp::kLiteral) {
+    *ref = &l;
+    *op = e.op();
+    *lit = r.literal();
+    return true;
+  }
+  if (r.op() == ExprOp::kColumnRef && l.op() == ExprOp::kLiteral) {
+    *ref = &r;
+    *op = FlipComparison(e.op());
+    *lit = l.literal();
+    return true;
+  }
+  return false;
+}
+
+void TightenLower(ColumnConstraint* cc, const Value& v, bool strict) {
+  if (!cc->lower.present) {
+    cc->lower = {v, strict, true};
+    return;
+  }
+  int c = v.Compare(cc->lower.value);
+  if (c > 0 || (c == 0 && strict)) cc->lower = {v, strict, true};
+}
+
+void TightenUpper(ColumnConstraint* cc, const Value& v, bool strict) {
+  if (!cc->upper.present) {
+    cc->upper = {v, strict, true};
+    return;
+  }
+  int c = v.Compare(cc->upper.value);
+  if (c < 0 || (c == 0 && strict)) cc->upper = {v, strict, true};
+}
+
+// Intersects the point set with `incoming` (a disjunctive set).
+void IntersectPoints(ColumnConstraint* cc, std::vector<Value> incoming,
+                     bool* contradictory) {
+  if (!cc->has_points) {
+    cc->has_points = true;
+    cc->points = std::move(incoming);
+  } else {
+    std::vector<Value> kept;
+    for (const Value& p : cc->points) {
+      for (const Value& q : incoming) {
+        if (!p.is_null() && p.Equals(q)) {
+          kept.push_back(p);
+          break;
+        }
+      }
+    }
+    cc->points = std::move(kept);
+  }
+  if (cc->points.empty()) *contradictory = true;
+}
+
+bool PointInInterval(const ColumnConstraint& cc, const Value& p) {
+  if (p.is_null()) return false;
+  if (cc.lower.present) {
+    if (p.is_string() != cc.lower.value.is_string()) return true;  // unknown
+    int c = p.Compare(cc.lower.value);
+    if (c < 0 || (c == 0 && cc.lower.strict)) return false;
+  }
+  if (cc.upper.present) {
+    if (p.is_string() != cc.upper.value.is_string()) return true;
+    int c = p.Compare(cc.upper.value);
+    if (c > 0 || (c == 0 && cc.upper.strict)) return false;
+  }
+  return true;
+}
+
+ConstraintSet BuildConstraints(const std::vector<ExprPtr>& conjuncts) {
+  ConstraintSet cs;
+  for (const ExprPtr& c : conjuncts) {
+    const Expr* ref = nullptr;
+    ExprOp op;
+    Value lit;
+    if (AsColumnComparison(*c, &ref, &op, &lit) && !lit.is_null()) {
+      ColumnConstraint& cc = cs.columns[RefKey(*ref)];
+      switch (op) {
+        case ExprOp::kEq:
+          IntersectPoints(&cc, {lit}, &cs.contradictory);
+          break;
+        case ExprOp::kGt:
+          TightenLower(&cc, lit, /*strict=*/true);
+          break;
+        case ExprOp::kGe:
+          TightenLower(&cc, lit, /*strict=*/false);
+          break;
+        case ExprOp::kLt:
+          TightenUpper(&cc, lit, /*strict=*/true);
+          break;
+        case ExprOp::kLe:
+          TightenUpper(&cc, lit, /*strict=*/false);
+          break;
+        default:
+          cs.raw.push_back(c);  // <> kept structural
+          break;
+      }
+      continue;
+    }
+    if (c->op() == ExprOp::kIn &&
+        c->child(0)->op() == ExprOp::kColumnRef) {
+      ColumnConstraint& cc = cs.columns[RefKey(*c->child(0))];
+      IntersectPoints(&cc, c->in_list(), &cs.contradictory);
+      continue;
+    }
+    if (c->op() == ExprOp::kLike &&
+        c->child(0)->op() == ExprOp::kColumnRef &&
+        c->child(1)->op() == ExprOp::kLiteral &&
+        c->child(1)->literal().is_string()) {
+      cs.columns[RefKey(*c->child(0))].like_patterns.push_back(
+          c->child(1)->literal().str());
+      continue;
+    }
+    cs.raw.push_back(c);
+  }
+  // Contradiction: interval empty, or points outside interval.
+  for (auto& [key, cc] : cs.columns) {
+    if (cc.lower.present && cc.upper.present &&
+        cc.lower.value.is_string() == cc.upper.value.is_string()) {
+      int c = cc.lower.value.Compare(cc.upper.value);
+      if (c > 0 || (c == 0 && (cc.lower.strict || cc.upper.strict))) {
+        cs.contradictory = true;
+      }
+    }
+    if (cc.has_points) {
+      std::vector<Value> kept;
+      for (const Value& p : cc.points) {
+        if (PointInInterval(cc, p)) kept.push_back(p);
+      }
+      cc.points = std::move(kept);
+      if (cc.points.empty()) cs.contradictory = true;
+    }
+  }
+  return cs;
+}
+
+bool ConstraintsImplyAtom(const ConstraintSet& cs, const Expr& atom);
+
+// Flattens nested ORs into their disjunct leaves.
+void CollectOrBranches(const ExprPtr& e, std::vector<ExprPtr>* branches) {
+  if (e->op() == ExprOp::kOr) {
+    CollectOrBranches(e->child(0), branches);
+    CollectOrBranches(e->child(1), branches);
+    return;
+  }
+  branches->push_back(e);
+}
+
+// An OR premise-conjunct implies `atom` when each branch does.
+bool OrConjunctImpliesAtom(const Expr& or_conjunct, const Expr& atom) {
+  std::vector<ExprPtr> branches;
+  CollectOrBranches(or_conjunct.child(0), &branches);
+  CollectOrBranches(or_conjunct.child(1), &branches);
+  for (const ExprPtr& b : branches) {
+    ConstraintSet bs = BuildConstraints({b});
+    if (!ConstraintsImplyAtom(bs, atom)) return false;
+  }
+  return true;
+}
+
+bool ConstraintsImplyAtom(const ConstraintSet& cs, const Expr& atom) {
+  if (cs.contradictory) return true;
+
+  // 1. Structural match against any raw premise conjunct.
+  for (const ExprPtr& r : cs.raw) {
+    if (SameAtom(*r, atom)) return true;
+  }
+
+  // 2. OR conclusion: any branch implied suffices.
+  if (atom.op() == ExprOp::kOr) {
+    if (ConstraintsImplyAtom(cs, *atom.child(0))) return true;
+    if (ConstraintsImplyAtom(cs, *atom.child(1))) return true;
+  }
+
+  // 3. Range / point reasoning for column-vs-literal comparisons.
+  const Expr* ref = nullptr;
+  ExprOp op;
+  Value lit;
+  if (AsColumnComparison(atom, &ref, &op, &lit) && !lit.is_null()) {
+    auto it = cs.columns.find(RefKey(*ref));
+    if (it != cs.columns.end()) {
+      const ColumnConstraint& cc = it->second;
+      if (cc.has_points) {
+        bool all = !cc.points.empty();
+        for (const Value& p : cc.points) {
+          all &= SatisfiesComparison(p, op, lit);
+        }
+        if (all) return true;
+      }
+      if (!lit.is_string()) {
+        switch (op) {
+          case ExprOp::kGt:
+            if (cc.lower.present && !cc.lower.value.is_string()) {
+              int c = cc.lower.value.Compare(lit);
+              if (c > 0 || (c == 0 && cc.lower.strict)) return true;
+            }
+            break;
+          case ExprOp::kGe:
+            if (cc.lower.present && !cc.lower.value.is_string() &&
+                cc.lower.value.Compare(lit) >= 0) {
+              return true;
+            }
+            break;
+          case ExprOp::kLt:
+            if (cc.upper.present && !cc.upper.value.is_string()) {
+              int c = cc.upper.value.Compare(lit);
+              if (c < 0 || (c == 0 && cc.upper.strict)) return true;
+            }
+            break;
+          case ExprOp::kLe:
+            if (cc.upper.present && !cc.upper.value.is_string() &&
+                cc.upper.value.Compare(lit) <= 0) {
+              return true;
+            }
+            break;
+          case ExprOp::kNe:
+            // Implied when the whole interval excludes `lit`.
+            if (!PointInInterval(cc, lit) &&
+                (cc.lower.present || cc.upper.present)) {
+              return true;
+            }
+            break;
+          default:
+            break;
+        }
+      }
+    }
+  }
+
+  // 4. IN conclusion: premise point set contained in the IN list.
+  if (atom.op() == ExprOp::kIn &&
+      atom.child(0)->op() == ExprOp::kColumnRef) {
+    auto it = cs.columns.find(RefKey(*atom.child(0)));
+    if (it != cs.columns.end() && it->second.has_points &&
+        !it->second.points.empty()) {
+      bool all = true;
+      for (const Value& p : it->second.points) {
+        bool found = false;
+        for (const Value& q : atom.in_list()) {
+          if (!q.is_null() && p.Equals(q)) {
+            found = true;
+            break;
+          }
+        }
+        all &= found;
+      }
+      if (all) return true;
+    }
+  }
+
+  // 5. LIKE conclusion: identical pattern, or all points match the pattern.
+  if (atom.op() == ExprOp::kLike &&
+      atom.child(0)->op() == ExprOp::kColumnRef &&
+      atom.child(1)->op() == ExprOp::kLiteral &&
+      atom.child(1)->literal().is_string()) {
+    auto it = cs.columns.find(RefKey(*atom.child(0)));
+    if (it != cs.columns.end()) {
+      const std::string& pattern = atom.child(1)->literal().str();
+      for (const std::string& p : it->second.like_patterns) {
+        if (p == pattern) return true;
+      }
+      if (it->second.has_points && !it->second.points.empty()) {
+        bool all = true;
+        for (const Value& p : it->second.points) {
+          all &= p.is_string() && LikeMatch(p.str(), pattern);
+        }
+        if (all) return true;
+      }
+    }
+  }
+
+  // 6. Premise OR-conjuncts: each branch must imply the atom.
+  for (const ExprPtr& r : cs.raw) {
+    if (r->op() == ExprOp::kOr && OrConjunctImpliesAtom(*r, atom)) {
+      return true;
+    }
+  }
+
+  return false;
+}
+
+}  // namespace
+
+bool SameAtom(const Expr& a, const Expr& b) {
+  if (a.op() != b.op()) return false;
+  switch (a.op()) {
+    case ExprOp::kLiteral:
+      return a.literal().StructurallyEquals(b.literal());
+    case ExprOp::kColumnRef:
+      return RefKey(a) == RefKey(b);
+    default:
+      break;
+  }
+  if (a.children().size() != b.children().size()) return false;
+  for (size_t i = 0; i < a.children().size(); ++i) {
+    if (!SameAtom(*a.child(i), *b.child(i))) return false;
+  }
+  if (a.in_list().size() != b.in_list().size()) return false;
+  for (size_t i = 0; i < a.in_list().size(); ++i) {
+    if (!a.in_list()[i].StructurallyEquals(b.in_list()[i])) return false;
+  }
+  return true;
+}
+
+bool PredicateImplies(const std::vector<ExprPtr>& premise,
+                      const std::vector<ExprPtr>& conclusion) {
+  ConstraintSet cs = BuildConstraints(premise);
+  for (const ExprPtr& atom : conclusion) {
+    if (atom->IsLiteralTrue()) continue;
+    if (!ConstraintsImplyAtom(cs, *atom)) return false;
+  }
+  return true;
+}
+
+}  // namespace cgq

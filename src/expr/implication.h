@@ -1,0 +1,39 @@
+#ifndef CGQ_EXPR_IMPLICATION_H_
+#define CGQ_EXPR_IMPLICATION_H_
+
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace cgq {
+
+/// Sound-but-incomplete logical implication test between conjunctive
+/// predicates, in the spirit of Goldstein & Larson (SIGMOD'01), as used by
+/// the policy evaluator (§5, line 3 of Algorithm 1: P_q ⟹ P_e).
+///
+/// Supported reasoning:
+///  - per-column ranges and equality/IN point sets derived from the premise;
+///  - structural matching of arbitrary atoms (incl. LIKE and column-column
+///    equalities such as join predicates);
+///  - disjunctions: a premise OR-conjunct implies an atom when all its
+///    branches do; an OR conclusion is implied when any branch is;
+///  - contradiction detection in the premise (false implies anything).
+///
+/// Column identity is (base_table, column) for bound refs with a known base
+/// table, else the textual (qualifier, column). Callers dealing with
+/// self-joins must pre-filter the premise to one relation instance (the
+/// policy evaluator does).
+///
+/// Incompleteness example from the paper: {A = 5, B = 3} does NOT imply
+/// A + B = 8 under this test.
+bool PredicateImplies(const std::vector<ExprPtr>& premise,
+                      const std::vector<ExprPtr>& conclusion);
+
+/// Structural atom equality modulo binding: column refs compare by
+/// (base_table, column) when both are bound with a base table, else by
+/// (qualifier, column). Exposed for tests.
+bool SameAtom(const Expr& a, const Expr& b);
+
+}  // namespace cgq
+
+#endif  // CGQ_EXPR_IMPLICATION_H_

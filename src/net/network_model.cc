@@ -1,0 +1,78 @@
+#include "net/network_model.h"
+
+#include "common/logging.h"
+
+namespace cgq {
+
+NetworkModel::NetworkModel(size_t num_locations, double alpha_ms,
+                           double beta_ms_per_byte) {
+  alpha_.assign(num_locations, std::vector<double>(num_locations, alpha_ms));
+  beta_.assign(num_locations,
+               std::vector<double>(num_locations, beta_ms_per_byte));
+}
+
+NetworkModel::NetworkModel(std::vector<std::vector<double>> alpha,
+                           std::vector<std::vector<double>> beta)
+    : alpha_(std::move(alpha)), beta_(std::move(beta)) {
+  CGQ_CHECK(alpha_.size() == beta_.size());
+  for (size_t i = 0; i < alpha_.size(); ++i) {
+    CGQ_CHECK(alpha_[i].size() == alpha_.size());
+    CGQ_CHECK(beta_[i].size() == beta_.size());
+  }
+}
+
+NetworkModel NetworkModel::DefaultGeo(size_t n) {
+  // Canonical 5 regions, mirroring §7.4: L1 Europe, L2 Africa, L3 Asia,
+  // L4 North America, L5 Middle East. RTT-derived start-up costs in ms.
+  static const double kAlpha5[5][5] = {
+      // E     Af    As    NA    ME
+      {0, 60, 110, 45, 55},    // Europe
+      {60, 0, 160, 120, 90},   // Africa
+      {110, 160, 0, 140, 70},  // Asia
+      {45, 120, 140, 0, 120},  // North America
+      {55, 90, 70, 120, 0},    // Middle East
+  };
+  // Effective throughput in MB/s, converted to ms per byte.
+  static const double kThroughput5[5][5] = {
+      {0, 12, 8, 25, 15},  //
+      {12, 0, 5, 7, 10},   //
+      {8, 5, 0, 10, 12},   //
+      {25, 7, 10, 0, 8},   //
+      {15, 10, 12, 8, 0},
+  };
+  std::vector<std::vector<double>> alpha(n, std::vector<double>(n, 0));
+  std::vector<std::vector<double>> beta(n, std::vector<double>(n, 0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      size_t a = i % 5, b = j % 5;
+      if (a == b) {
+        // Same canonical region, different site: fast regional link.
+        alpha[i][j] = 20;
+        beta[i][j] = 1000.0 / (40 * 1e6);
+      } else {
+        alpha[i][j] = kAlpha5[a][b];
+        beta[i][j] = 1000.0 / (kThroughput5[a][b] * 1e6);
+      }
+    }
+  }
+  return NetworkModel(std::move(alpha), std::move(beta));
+}
+
+double NetworkModel::alpha(LocationId from, LocationId to) const {
+  CGQ_CHECK(from < alpha_.size() && to < alpha_.size());
+  return alpha_[from][to];
+}
+
+double NetworkModel::beta(LocationId from, LocationId to) const {
+  CGQ_CHECK(from < beta_.size() && to < beta_.size());
+  return beta_[from][to];
+}
+
+double NetworkModel::Cost(LocationId from, LocationId to,
+                          double bytes) const {
+  if (from == to) return 0;
+  return alpha(from, to) + beta(from, to) * bytes;
+}
+
+}  // namespace cgq

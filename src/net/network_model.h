@@ -1,0 +1,45 @@
+#ifndef CGQ_NET_NETWORK_MODEL_H_
+#define CGQ_NET_NETWORK_MODEL_H_
+
+#include <vector>
+
+#include "catalog/location.h"
+
+namespace cgq {
+
+/// Message cost model for geo-distributed data transfer (§7.4, following
+/// Deshpande & Hellerstein): shipping b bytes from site i to site j costs
+/// `alpha(i,j) + beta(i,j) * b`, where alpha is the start-up (latency) cost
+/// and beta the per-byte cost. Costs are in milliseconds. Intra-site
+/// transfers are free.
+class NetworkModel {
+ public:
+  /// Uniform model: same alpha/beta between any two distinct sites.
+  NetworkModel(size_t num_locations, double alpha_ms, double beta_ms_per_byte);
+
+  /// Fully specified matrices (must be num_locations^2, diagonal ignored).
+  NetworkModel(std::vector<std::vector<double>> alpha,
+               std::vector<std::vector<double>> beta);
+
+  /// A 5+ site geography with asymmetric, realistic WAN numbers
+  /// (inter-continental RTTs of 30-300 ms; 5-50 MB/s effective throughput).
+  /// Sites beyond the 5 canonical regions reuse the pattern cyclically so
+  /// the model extends to the 20-location experiments (Fig. 8).
+  static NetworkModel DefaultGeo(size_t num_locations);
+
+  double alpha(LocationId from, LocationId to) const;
+  double beta(LocationId from, LocationId to) const;
+
+  /// alpha + beta * bytes; 0 when from == to.
+  double Cost(LocationId from, LocationId to, double bytes) const;
+
+  size_t num_locations() const { return alpha_.size(); }
+
+ private:
+  std::vector<std::vector<double>> alpha_;
+  std::vector<std::vector<double>> beta_;
+};
+
+}  // namespace cgq
+
+#endif  // CGQ_NET_NETWORK_MODEL_H_

@@ -1,0 +1,192 @@
+#include "optimizer/cardinality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cgq {
+
+namespace {
+
+constexpr double kDefaultRangeSelectivity = 1.0 / 3.0;
+constexpr double kLikeSelectivity = 0.1;
+
+// Extracts (colref, op, literal), flipping sides when needed.
+bool AsColLit(const Expr& e, const Expr** ref, ExprOp* op, Value* lit) {
+  if (!IsComparisonOp(e.op())) return false;
+  const Expr& l = *e.child(0);
+  const Expr& r = *e.child(1);
+  if (l.op() == ExprOp::kColumnRef && r.op() == ExprOp::kLiteral) {
+    *ref = &l;
+    *op = e.op();
+    *lit = r.literal();
+    return true;
+  }
+  if (r.op() == ExprOp::kColumnRef && l.op() == ExprOp::kLiteral) {
+    *ref = &r;
+    switch (e.op()) {
+      case ExprOp::kLt:
+        *op = ExprOp::kGt;
+        break;
+      case ExprOp::kLe:
+        *op = ExprOp::kGe;
+        break;
+      case ExprOp::kGt:
+        *op = ExprOp::kLt;
+        break;
+      case ExprOp::kGe:
+        *op = ExprOp::kLe;
+        break;
+      default:
+        *op = e.op();
+        break;
+    }
+    *lit = l.literal();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+double CardinalityEstimator::AttrNdv(AttrId id) const {
+  if (!ctx_->HasAttr(id)) return 100;
+  return std::max(1.0, ctx_->attr(id).ndv);
+}
+
+double CardinalityEstimator::RowBytes(
+    const std::vector<OutputCol>& outputs) const {
+  double bytes = 0;
+  for (const OutputCol& c : outputs) {
+    bytes += ctx_->HasAttr(c.id) ? ctx_->attr(c.id).width : 8.0;
+  }
+  return std::max(1.0, bytes);
+}
+
+double CardinalityEstimator::Selectivity(const Expr& conjunct) const {
+  switch (conjunct.op()) {
+    case ExprOp::kAnd:
+      return Selectivity(*conjunct.child(0)) * Selectivity(*conjunct.child(1));
+    case ExprOp::kOr: {
+      double a = Selectivity(*conjunct.child(0));
+      double b = Selectivity(*conjunct.child(1));
+      return std::min(1.0, a + b - a * b);
+    }
+    case ExprOp::kNot:
+      return 1.0 - Selectivity(*conjunct.child(0));
+    case ExprOp::kLike:
+      return kLikeSelectivity;
+    case ExprOp::kNotLike:
+      return 1.0 - kLikeSelectivity;
+    case ExprOp::kIn: {
+      if (conjunct.child(0)->op() == ExprOp::kColumnRef) {
+        double ndv = AttrNdv(conjunct.child(0)->attr_id());
+        return std::min(1.0, conjunct.in_list().size() / ndv);
+      }
+      return kDefaultRangeSelectivity;
+    }
+    default:
+      break;
+  }
+  if (!IsComparisonOp(conjunct.op())) return kDefaultRangeSelectivity;
+
+  // Column vs column (e.g. join predicate used as filter).
+  if (conjunct.child(0)->op() == ExprOp::kColumnRef &&
+      conjunct.child(1)->op() == ExprOp::kColumnRef) {
+    if (conjunct.op() == ExprOp::kEq) {
+      double ndv = std::max(AttrNdv(conjunct.child(0)->attr_id()),
+                            AttrNdv(conjunct.child(1)->attr_id()));
+      return 1.0 / ndv;
+    }
+    return kDefaultRangeSelectivity;
+  }
+
+  const Expr* ref = nullptr;
+  ExprOp op;
+  Value lit;
+  if (!AsColLit(conjunct, &ref, &op, &lit)) return kDefaultRangeSelectivity;
+  double ndv = AttrNdv(ref->attr_id());
+  switch (op) {
+    case ExprOp::kEq:
+      return 1.0 / ndv;
+    case ExprOp::kNe:
+      return 1.0 - 1.0 / ndv;
+    case ExprOp::kLt:
+    case ExprOp::kLe:
+    case ExprOp::kGt:
+    case ExprOp::kGe: {
+      if (!ctx_->HasAttr(ref->attr_id()) || !lit.is_numeric()) {
+        return kDefaultRangeSelectivity;
+      }
+      const AttrInfo& info = ctx_->attr(ref->attr_id());
+      if (!info.min || !info.max || *info.max <= *info.min) {
+        return kDefaultRangeSelectivity;
+      }
+      double v = lit.AsDouble();
+      double frac = (v - *info.min) / (*info.max - *info.min);
+      frac = std::clamp(frac, 0.0, 1.0);
+      if (op == ExprOp::kGt || op == ExprOp::kGe) frac = 1.0 - frac;
+      return std::clamp(frac, 0.001, 1.0);
+    }
+    default:
+      return kDefaultRangeSelectivity;
+  }
+}
+
+CardEstimate CardinalityEstimator::EstimateOp(
+    const PlanNode& payload, const std::vector<OutputCol>& outputs,
+    const std::vector<CardEstimate>& children) const {
+  CardEstimate est;
+  est.row_bytes = RowBytes(outputs);
+  switch (payload.kind()) {
+    case PlanKind::kScan: {
+      auto table = ctx_->catalog().GetTable(payload.table);
+      double rows = table.ok() ? (*table)->stats.row_count : 1000;
+      est.rows = std::max(1.0, rows * payload.row_fraction);
+      return est;
+    }
+    case PlanKind::kFilter: {
+      CGQ_CHECK(children.size() == 1);
+      double sel = 1.0;
+      for (const ExprPtr& c : payload.conjuncts) sel *= Selectivity(*c);
+      est.rows = std::max(1.0, children[0].rows * sel);
+      return est;
+    }
+    case PlanKind::kProject:
+    case PlanKind::kShip:
+      CGQ_CHECK(children.size() == 1);
+      est.rows = children[0].rows;
+      return est;
+    case PlanKind::kJoin: {
+      CGQ_CHECK(children.size() == 2);
+      double rows = children[0].rows * children[1].rows;
+      for (const ExprPtr& c : payload.conjuncts) rows *= Selectivity(*c);
+      est.rows = std::max(1.0, rows);
+      return est;
+    }
+    case PlanKind::kAggregate: {
+      CGQ_CHECK(children.size() == 1);
+      double groups = 1;
+      for (AttrId g : payload.group_ids) {
+        groups *= AttrNdv(g);
+      }
+      est.rows = std::max(1.0, std::min(children[0].rows, groups));
+      // Register ndv of the aggregate outputs for upstream estimation.
+      for (AttrId out : payload.agg_out_ids) {
+        if (ctx_->HasAttr(out)) ctx_->SetAttrNdv(out, est.rows);
+      }
+      return est;
+    }
+    case PlanKind::kUnion: {
+      double rows = 0;
+      for (const CardEstimate& c : children) rows += c.rows;
+      est.rows = std::max(1.0, rows);
+      return est;
+    }
+  }
+  est.rows = 1;
+  return est;
+}
+
+}  // namespace cgq

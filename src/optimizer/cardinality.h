@@ -1,0 +1,43 @@
+#ifndef CGQ_OPTIMIZER_CARDINALITY_H_
+#define CGQ_OPTIMIZER_CARDINALITY_H_
+
+#include <vector>
+
+#include "plan/plan_node.h"
+#include "plan/planner_context.h"
+
+namespace cgq {
+
+/// Cardinality and width estimate of one operator's output.
+struct CardEstimate {
+  double rows = 0;
+  double row_bytes = 0;
+};
+
+/// Textbook cardinality estimation over the catalog statistics:
+/// uniformity + independence assumptions, equi-join selectivity
+/// 1/max(ndv), range selectivity from min/max when known (1/3 fallback).
+class CardinalityEstimator {
+ public:
+  explicit CardinalityEstimator(PlannerContext* ctx) : ctx_(ctx) {}
+
+  /// Estimates one operator given its children's estimates. `outputs` are
+  /// the operator's output columns (used for row width). Synthetic
+  /// aggregate outputs get their ndv registered as a side effect.
+  CardEstimate EstimateOp(const PlanNode& payload,
+                          const std::vector<OutputCol>& outputs,
+                          const std::vector<CardEstimate>& children) const;
+
+  /// Selectivity of one predicate conjunct in [0, 1].
+  double Selectivity(const Expr& conjunct) const;
+
+ private:
+  double AttrNdv(AttrId id) const;
+  double RowBytes(const std::vector<OutputCol>& outputs) const;
+
+  PlannerContext* ctx_;
+};
+
+}  // namespace cgq
+
+#endif  // CGQ_OPTIMIZER_CARDINALITY_H_

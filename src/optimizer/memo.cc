@@ -1,0 +1,119 @@
+#include "optimizer/memo.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cgq {
+
+size_t Memo::ExprKey(const PlanNode& payload,
+                     const std::vector<int>& child_groups) const {
+  size_t h = payload.PayloadHash();
+  for (int g : child_groups) {
+    h = h * 1000003u ^ static_cast<size_t>(g + 1);
+  }
+  return h;
+}
+
+int Memo::InsertTree(const PlanNode& node) {
+  std::vector<int> child_groups;
+  child_groups.reserve(node.children().size());
+  for (const PlanNodePtr& c : node.children()) {
+    child_groups.push_back(InsertTree(*c));
+  }
+  // Copy the payload without children.
+  auto payload = std::make_shared<PlanNode>(node);
+  payload->children().clear();
+  return InsertExpr(std::move(payload), std::move(child_groups));
+}
+
+int Memo::InsertExpr(PlanNodePtr payload, std::vector<int> child_groups,
+                     int target_group) {
+  size_t key = ExprKey(*payload, child_groups);
+  auto it = expr_index_.find(key);
+  if (it != expr_index_.end()) {
+    for (int id : it->second) {
+      const MExpr& existing = mexprs_[id];
+      if (existing.child_groups == child_groups &&
+          existing.payload->PayloadEquals(*payload)) {
+        return existing.group;
+      }
+    }
+  }
+
+  // Canonicalize join expressions by (base set, conjunct pool): a join
+  // derived through a different rule sequence must land in the group of
+  // its semantic equivalent, or the search space duplicates explosively.
+  size_t signature = 0;
+  if (payload->kind() == PlanKind::kJoin && target_group < 0) {
+    std::vector<int> bases;
+    size_t pool = 0;
+    for (int cg : child_groups) {
+      bases.insert(bases.end(), groups_[cg].join_bases.begin(),
+                   groups_[cg].join_bases.end());
+      pool += groups_[cg].conjunct_pool_hash;
+    }
+    std::sort(bases.begin(), bases.end());
+    for (const ExprPtr& c : payload->conjuncts) pool += c->Hash();
+    signature = pool;
+    for (int b : bases) {
+      signature = signature * 1000003u ^ static_cast<size_t>(b + 1);
+    }
+    auto sig_it = join_signature_index_.find(signature);
+    if (sig_it != join_signature_index_.end()) {
+      target_group = sig_it->second;
+    }
+  }
+
+  int expr_id = static_cast<int>(mexprs_.size());
+  MExpr expr;
+  expr.payload = std::move(payload);
+  expr.child_groups = child_groups;
+
+  int group_id = target_group;
+  if (group_id < 0) {
+    group_id = static_cast<int>(groups_.size());
+    groups_.emplace_back();
+    Group& g = groups_.back();
+    // Logical properties from this first member expression.
+    std::vector<const std::vector<OutputCol>*> child_outputs;
+    std::vector<const QuerySummary*> child_summaries;
+    std::vector<CardEstimate> child_cards;
+    for (int cg : child_groups) {
+      child_outputs.push_back(&groups_[cg].outputs);
+      child_summaries.push_back(&groups_[cg].summary);
+      child_cards.push_back(groups_[cg].card);
+      g.rel_set |= groups_[cg].rel_set;
+    }
+    g.outputs = ComputeOutputs(*expr.payload, child_outputs);
+    g.summary = SummarizeOp(*expr.payload, child_summaries);
+    if (expr.payload->kind() == PlanKind::kScan) {
+      g.rel_set |= (1u << expr.payload->rel_index);
+    }
+    g.card = estimator_->EstimateOp(*expr.payload, g.outputs, child_cards);
+    if (expr.payload->kind() == PlanKind::kJoin) {
+      size_t pool = 0;
+      for (int cg : child_groups) {
+        g.join_bases.insert(g.join_bases.end(),
+                            groups_[cg].join_bases.begin(),
+                            groups_[cg].join_bases.end());
+        pool += groups_[cg].conjunct_pool_hash;
+      }
+      std::sort(g.join_bases.begin(), g.join_bases.end());
+      for (const ExprPtr& c : expr.payload->conjuncts) pool += c->Hash();
+      g.conjunct_pool_hash = pool;
+      if (signature != 0) join_signature_index_[signature] = group_id;
+    } else {
+      g.join_bases = {group_id};
+      g.conjunct_pool_hash = 0;
+    }
+  }
+
+  expr.group = group_id;
+  mexprs_.push_back(std::move(expr));
+  groups_[group_id].mexprs.push_back(expr_id);
+  expr_index_[key].push_back(expr_id);
+  return group_id;
+}
+
+}  // namespace cgq

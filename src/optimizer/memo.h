@@ -1,0 +1,110 @@
+#ifndef CGQ_OPTIMIZER_MEMO_H_
+#define CGQ_OPTIMIZER_MEMO_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "optimizer/cardinality.h"
+#include "plan/plan_node.h"
+#include "plan/planner_context.h"
+#include "plan/summary.h"
+
+namespace cgq {
+
+/// A multi-expression: an operator payload plus child *groups*.
+struct MExpr {
+  PlanNodePtr payload;  ///< children empty; outputs set for scans
+  std::vector<int> child_groups;
+  int group = -1;
+};
+
+/// An equivalence class of semantically identical expressions, with cached
+/// logical properties shared by all members.
+struct Group {
+  std::vector<int> mexprs;          ///< indexes into Memo::mexprs()
+  std::vector<OutputCol> outputs;   ///< canonical output columns
+  QuerySummary summary;             ///< for AR4 / compliance
+  uint32_t rel_set = 0;             ///< bitmask of relation instances
+  CardEstimate card;
+
+  /// Join-order canonicalization: the set of non-join "base" groups under
+  /// this group's join trees plus an order-insensitive hash of all join
+  /// conjuncts in the pool. Two join expressions with equal signatures are
+  /// semantically identical, so rule results unify into one group instead
+  /// of duplicating the space.
+  std::vector<int> join_bases;      ///< sorted; {self} for non-join groups
+  size_t conjunct_pool_hash = 0;
+
+  // Annotation state (phase 1), filled by the PlanAnnotator.
+  /// A(q) per source database (replicated tables make the database a
+  /// property of the chosen plan, not of the group).
+  std::unordered_map<uint32_t, LocationSet> ar4_cache;
+  bool winners_computed = false;
+  std::vector<struct Winner> winners;
+};
+
+/// One Pareto-optimal annotated alternative of a group: the cheapest plan
+/// whose root carries this (shipping trait, execution trait) pair.
+struct Winner {
+  LocationSet ship_trait;
+  LocationSet exec_trait;
+  /// Locations of the base-table fragments/replicas chosen below (drives
+  /// AR4: single-source blocks are evaluated against that database).
+  LocationSet sources;
+  double cost = 0;
+  int mexpr = -1;
+  std::vector<int> child_winners;  ///< winner index per child group
+};
+
+/// Volcano-style memo: inserts deduplicate structurally identical
+/// expressions; transformation rules (see rules.cc) expand groups with
+/// equivalent alternatives until fixpoint.
+class Memo {
+ public:
+  Memo(PlannerContext* ctx, CardinalityEstimator* estimator)
+      : ctx_(ctx), estimator_(estimator) {}
+
+  /// Recursively inserts a plan tree; returns the root group id.
+  int InsertTree(const PlanNode& node);
+
+  /// Inserts one expression. When `target_group` >= 0 the expression joins
+  /// that group (rule results); otherwise a matching existing group is
+  /// reused or a fresh group created. Returns the group id actually used.
+  int InsertExpr(PlanNodePtr payload, std::vector<int> child_groups,
+                 int target_group = -1);
+
+  /// Applies all transformation rules until no new expression appears.
+  /// `enable_agg_pushdown` toggles the eager-aggregation rules (needed for
+  /// aggregate masking; cheap to disable for ablation).
+  void Explore(bool enable_agg_pushdown = true);
+
+  const std::vector<Group>& groups() const { return groups_; }
+  Group& group(int id) { return groups_[id]; }
+  const Group& group(int id) const { return groups_[id]; }
+  const std::vector<MExpr>& mexprs() const { return mexprs_; }
+  const MExpr& mexpr(int id) const { return mexprs_[id]; }
+
+  PlannerContext* ctx() { return ctx_; }
+  const CardinalityEstimator& estimator() const { return *estimator_; }
+
+  size_t num_groups() const { return groups_.size(); }
+  size_t num_exprs() const { return mexprs_.size(); }
+
+ private:
+  friend class RuleEngine;
+
+  size_t ExprKey(const PlanNode& payload,
+                 const std::vector<int>& child_groups) const;
+
+  PlannerContext* ctx_;
+  CardinalityEstimator* estimator_;
+  std::vector<Group> groups_;
+  std::vector<MExpr> mexprs_;
+  std::unordered_map<size_t, std::vector<int>> expr_index_;  // key -> mexprs
+  std::unordered_map<size_t, int> join_signature_index_;     // sig -> group
+};
+
+}  // namespace cgq
+
+#endif  // CGQ_OPTIMIZER_MEMO_H_

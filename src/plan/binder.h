@@ -1,0 +1,54 @@
+#ifndef CGQ_PLAN_BINDER_H_
+#define CGQ_PLAN_BINDER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "plan/planner_context.h"
+#include "sql/ast.h"
+
+namespace cgq {
+
+/// A SELECT-list item after name resolution.
+struct BoundSelectItem {
+  ExprPtr expr;                ///< bound; aggregate argument when agg set
+  std::optional<AggFn> agg;
+  std::string name;            ///< output column name
+  /// Output attribute: the column's id for plain items, a synthetic id
+  /// (allocated by the binder) for aggregate items.
+  AttrId out_id = 0;
+};
+
+/// A query after name resolution and semantic validation.
+struct BoundQuery {
+  /// Relation instances registered by this query's FROM clause (indexes
+  /// into the PlannerContext; an outer query and its subqueries share the
+  /// context but own disjoint instance ranges).
+  std::vector<uint32_t> rel_indexes;
+  std::vector<BoundSelectItem> select;
+  std::vector<ExprPtr> where_conjuncts;  ///< bound conjuncts
+  std::vector<AttrId> group_ids;         ///< bound GROUP BY columns
+  bool is_aggregate = false;
+  /// HAVING conjuncts; references resolved to output attributes.
+  std::vector<ExprPtr> having_conjuncts;
+  std::vector<OrderItemAst> order_by;    ///< by output column name
+  std::optional<int64_t> limit;
+};
+
+/// Resolves names in `ast` against the catalog, registering relation
+/// instances and attributes in `ctx`. Validates:
+///  - every column resolves to exactly one visible relation instance;
+///  - in aggregate queries, plain select items are GROUP BY columns;
+///  - GROUP BY entries are column references;
+///  - ORDER BY names match select-list output names.
+Result<BoundQuery> BindQuery(const QueryAst& ast, PlannerContext* ctx);
+
+/// Binds a scalar expression against the instances registered in `ctx`.
+/// Exposed for policy binding and tests.
+Result<ExprPtr> BindExpr(const ExprPtr& expr, const PlannerContext& ctx);
+
+}  // namespace cgq
+
+#endif  // CGQ_PLAN_BINDER_H_

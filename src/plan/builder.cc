@@ -1,0 +1,246 @@
+#include "plan/builder.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace cgq {
+
+namespace {
+
+// Set of relation indexes referenced by an expression.
+std::set<uint32_t> RelsOf(const Expr& e) {
+  std::vector<AttrId> ids;
+  e.CollectAttrIds(&ids);
+  std::set<uint32_t> rels;
+  for (AttrId id : ids) {
+    if (!IsSyntheticAttr(id)) rels.insert(PlannerContext::RelIndexOf(id));
+  }
+  return rels;
+}
+
+PlanNodePtr MakeScan(const RelInstance& inst, size_t fragment_ordinal,
+                     const TableFragment& fragment) {
+  auto scan = std::make_shared<PlanNode>(PlanKind::kScan);
+  scan->table = inst.table->name;
+  scan->alias = inst.alias;
+  scan->rel_index = inst.rel_index;
+  scan->scan_location = fragment.location;
+  scan->fragment_ordinal = static_cast<int>(fragment_ordinal);
+  scan->row_fraction = fragment.row_fraction;
+  const Schema& schema = inst.table->schema;
+  for (uint32_t c = 0; c < schema.num_columns(); ++c) {
+    OutputCol col;
+    col.id = PlannerContext::MakeBaseAttrId(inst.rel_index, c);
+    col.name = schema.column(c).name;
+    col.type = schema.column(c).type;
+    scan->outputs.push_back(std::move(col));
+  }
+  return scan;
+}
+
+// Scan -> [Filter] -> [Project] for one fragment.
+PlanNodePtr BuildFragmentSubtree(const RelInstance& inst,
+                                 size_t fragment_ordinal,
+                                 const TableFragment& fragment,
+                                 const std::vector<ExprPtr>& local_conjuncts,
+                                 const std::vector<AttrId>& kept_ids) {
+  PlanNodePtr node = MakeScan(inst, fragment_ordinal, fragment);
+  if (!local_conjuncts.empty()) {
+    auto filter = std::make_shared<PlanNode>(PlanKind::kFilter);
+    filter->conjuncts = local_conjuncts;
+    filter->children().push_back(node);
+    AnnotateOutputs(filter);
+    node = filter;
+  }
+  if (kept_ids.size() < inst.table->schema.num_columns()) {
+    auto project = std::make_shared<PlanNode>(PlanKind::kProject);
+    project->project_ids = kept_ids;
+    for (AttrId id : kept_ids) {
+      for (const OutputCol& c : node->outputs) {
+        if (c.id == id) {
+          project->project_names.push_back(c.name);
+          break;
+        }
+      }
+    }
+    project->children().push_back(node);
+    AnnotateOutputs(project);
+    node = project;
+  }
+  return node;
+}
+
+}  // namespace
+
+void AnnotateOutputs(const PlanNodePtr& node) {
+  std::vector<const std::vector<OutputCol>*> child_outputs;
+  child_outputs.reserve(node->children().size());
+  for (const PlanNodePtr& c : node->children()) {
+    child_outputs.push_back(&c->outputs);
+  }
+  node->outputs = ComputeOutputs(*node, child_outputs);
+}
+
+Result<PlanNodePtr> BuildJoinTree(const BoundQuery& query,
+                                  PlannerContext* ctx,
+                                  const std::vector<AttrId>& extra_needed) {
+  const std::vector<uint32_t>& rels_here = query.rel_indexes;
+  const size_t n = rels_here.size();
+  auto rel_slot = [&](uint32_t rel) -> int {
+    for (size_t i = 0; i < n; ++i) {
+      if (rels_here[i] == rel) return static_cast<int>(i);
+    }
+    return -1;
+  };
+
+  // 1. Classify WHERE conjuncts into per-instance filters and join conjuncts.
+  std::vector<std::vector<ExprPtr>> local_conjuncts(n);
+  std::vector<ExprPtr> join_conjuncts;
+  for (const ExprPtr& c : query.where_conjuncts) {
+    std::set<uint32_t> rels = RelsOf(*c);
+    if (rels.size() <= 1) {
+      int slot = rels.empty() ? 0 : rel_slot(*rels.begin());
+      if (slot < 0) {
+        return Status::Internal("conjunct references foreign relation: " +
+                                c->ToString());
+      }
+      local_conjuncts[static_cast<size_t>(slot)].push_back(c);
+    } else {
+      join_conjuncts.push_back(c);
+    }
+  }
+
+  // 2. Needed-upstream attributes per instance (select, group by, join
+  //    conjuncts, caller extras). This drives the masking projections.
+  std::vector<std::set<AttrId>> needed(n);
+  auto note_id = [&](AttrId id) {
+    if (IsSyntheticAttr(id)) return;
+    int slot = rel_slot(PlannerContext::RelIndexOf(id));
+    if (slot >= 0) needed[static_cast<size_t>(slot)].insert(id);
+  };
+  auto note_expr = [&](const Expr& e) {
+    std::vector<AttrId> ids;
+    e.CollectAttrIds(&ids);
+    for (AttrId id : ids) note_id(id);
+  };
+  for (const BoundSelectItem& item : query.select) note_expr(*item.expr);
+  for (AttrId id : query.group_ids) note_id(id);
+  for (const ExprPtr& c : join_conjuncts) note_expr(*c);
+  for (AttrId id : extra_needed) note_id(id);
+
+  // 3. Per-instance subtrees (fragment scans unioned for distributed
+  //    tables), with filters and masking projections pushed down.
+  std::vector<PlanNodePtr> subtrees(n);
+  for (size_t i = 0; i < n; ++i) {
+    const RelInstance& inst = ctx->instances()[rels_here[i]];
+    std::vector<AttrId> kept(needed[i].begin(), needed[i].end());
+    if (kept.empty()) {
+      // Keep at least one column so the relation still contributes rows.
+      kept.push_back(PlannerContext::MakeBaseAttrId(inst.rel_index, 0));
+    }
+    const std::vector<TableFragment>& fragments = inst.table->fragments;
+    if (fragments.size() == 1 || inst.table->replicated) {
+      // Replicated tables seed the plan with replica 0; the optimizer's
+      // replica-expansion rule adds the alternatives.
+      subtrees[i] = BuildFragmentSubtree(inst, 0, fragments[0],
+                                         local_conjuncts[i], kept);
+    } else {
+      auto union_node = std::make_shared<PlanNode>(PlanKind::kUnion);
+      for (size_t f = 0; f < fragments.size(); ++f) {
+        union_node->children().push_back(BuildFragmentSubtree(
+            inst, f, fragments[f], local_conjuncts[i], kept));
+      }
+      AnnotateOutputs(union_node);
+      subtrees[i] = union_node;
+    }
+  }
+
+  // 4. Left-deep join tree in FROM order.
+  PlanNodePtr acc = subtrees[0];
+  std::set<uint32_t> acc_rels = {rels_here[0]};
+  std::vector<bool> placed(join_conjuncts.size(), false);
+  for (size_t i = 1; i < n; ++i) {
+    acc_rels.insert(rels_here[i]);
+    auto join = std::make_shared<PlanNode>(PlanKind::kJoin);
+    join->children().push_back(acc);
+    join->children().push_back(subtrees[i]);
+    for (size_t k = 0; k < join_conjuncts.size(); ++k) {
+      if (placed[k]) continue;
+      std::set<uint32_t> rels = RelsOf(*join_conjuncts[k]);
+      if (std::includes(acc_rels.begin(), acc_rels.end(), rels.begin(),
+                        rels.end())) {
+        join->conjuncts.push_back(join_conjuncts[k]);
+        placed[k] = true;
+      }
+    }
+    AnnotateOutputs(join);
+    acc = join;
+  }
+  for (size_t k = 0; k < join_conjuncts.size(); ++k) {
+    if (!placed[k]) {
+      return Status::Internal("join conjunct not placed: " +
+                              join_conjuncts[k]->ToString());
+    }
+  }
+  return acc;
+}
+
+Result<LogicalPlan> FinishPlan(const BoundQuery& query, PlanNodePtr acc,
+                               PlannerContext* ctx) {
+  (void)ctx;
+  // 5. Aggregation.
+  std::vector<AttrId> select_ids;  // final project inputs, in SELECT order
+  if (query.is_aggregate) {
+    auto agg = std::make_shared<PlanNode>(PlanKind::kAggregate);
+    agg->group_ids = query.group_ids;
+    for (const BoundSelectItem& item : query.select) {
+      if (!item.agg) {
+        select_ids.push_back(item.expr->attr_id());
+        continue;
+      }
+      AggCall call{*item.agg, item.expr};
+      agg->agg_calls.push_back(std::move(call));
+      agg->agg_out_ids.push_back(item.out_id);  // allocated by the binder
+      select_ids.push_back(item.out_id);
+    }
+    agg->children().push_back(acc);
+    AnnotateOutputs(agg);
+    acc = agg;
+    if (!query.having_conjuncts.empty()) {
+      auto having = std::make_shared<PlanNode>(PlanKind::kFilter);
+      having->conjuncts = query.having_conjuncts;
+      having->children().push_back(acc);
+      AnnotateOutputs(having);
+      acc = having;
+    }
+  } else {
+    for (const BoundSelectItem& item : query.select) {
+      select_ids.push_back(item.expr->attr_id());
+    }
+  }
+
+  // 6. Final projection to SELECT order and names.
+  auto project = std::make_shared<PlanNode>(PlanKind::kProject);
+  project->project_ids = select_ids;
+  for (const BoundSelectItem& item : query.select) {
+    project->project_names.push_back(item.name);
+  }
+  project->children().push_back(acc);
+  AnnotateOutputs(project);
+
+  LogicalPlan plan;
+  plan.root = project;
+  plan.order_by = query.order_by;
+  plan.limit = query.limit;
+  return plan;
+}
+
+Result<LogicalPlan> BuildLogicalPlan(const BoundQuery& query,
+                                     PlannerContext* ctx) {
+  CGQ_ASSIGN_OR_RETURN(PlanNodePtr acc, BuildJoinTree(query, ctx, {}));
+  return FinishPlan(query, acc, ctx);
+}
+
+}  // namespace cgq

@@ -1,0 +1,59 @@
+#ifndef CGQ_PLAN_BUILDER_H_
+#define CGQ_PLAN_BUILDER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "plan/binder.h"
+#include "plan/plan_node.h"
+#include "plan/planner_context.h"
+#include "sql/ast.h"
+
+namespace cgq {
+
+/// A normalized logical plan plus post-optimization presentation steps
+/// (ORDER BY / LIMIT are applied at the final site and do not participate in
+/// the optimizer's search).
+struct LogicalPlan {
+  PlanNodePtr root;
+  std::vector<OrderItemAst> order_by;
+  std::optional<int64_t> limit;
+};
+
+/// Builds the normalized logical plan for a bound query:
+///  - one Scan per table fragment; fragmented tables become UNION ALL of
+///    their fragment subplans (§7.5);
+///  - single-instance WHERE conjuncts pushed below the joins (Filter directly
+///    above each Scan);
+///  - masking projections: every instance is pruned to the attributes needed
+///    upstream (the paper's Π-masking, e.g. Fig 1(b) operator 2);
+///  - left-deep initial join tree in FROM order, join conjuncts attached to
+///    the lowest join that covers their relations;
+///  - Aggregate node for aggregate queries (synthetic output attributes
+///    allocated in `ctx`), and a final Project emitting the SELECT list.
+Result<LogicalPlan> BuildLogicalPlan(const BoundQuery& query,
+                                     PlannerContext* ctx);
+
+/// Builds only the scan/filter/projection/join part of `query` (steps 1-4
+/// of BuildLogicalPlan). `extra_needed` lists attributes that must survive
+/// the masking projections although the query itself does not reference
+/// them — the subquery decorrelator uses this for correlation columns.
+/// Only the query's own relation instances participate.
+Result<PlanNodePtr> BuildJoinTree(const BoundQuery& query,
+                                  PlannerContext* ctx,
+                                  const std::vector<AttrId>& extra_needed);
+
+/// Applies aggregation, HAVING and the final projection on top of a join
+/// tree (steps 5-6 of BuildLogicalPlan).
+Result<LogicalPlan> FinishPlan(const BoundQuery& query, PlanNodePtr acc,
+                               PlannerContext* ctx);
+
+/// Recomputes `node->outputs` from its children's outputs (children must
+/// already be annotated). Scans are expected to carry their outputs.
+void AnnotateOutputs(const PlanNodePtr& node);
+
+}  // namespace cgq
+
+#endif  // CGQ_PLAN_BUILDER_H_

@@ -1,0 +1,67 @@
+#include "plan/plan_dot.h"
+
+#include <sstream>
+
+namespace cgq {
+
+namespace {
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+int EmitNode(const PlanNode& node, const LocationCatalog* locations,
+             int* counter, std::ostringstream* os) {
+  int id = (*counter)++;
+  std::string label = Escape(node.Describe());
+  if (locations != nullptr) {
+    label += "\\n@" + locations->GetName(node.location);
+    if (!node.exec_trait.empty()) {
+      label += "  E=" + locations->SetToString(node.exec_trait);
+    }
+  }
+  if (node.est_rows > 0) {
+    label += "\\nrows=" + std::to_string(static_cast<int64_t>(node.est_rows));
+  }
+  const char* shape = "box";
+  const char* color = "black";
+  if (node.kind() == PlanKind::kShip) {
+    shape = "cds";
+    color = "red";
+  } else if (node.kind() == PlanKind::kScan) {
+    shape = "cylinder";
+  } else if (node.kind() == PlanKind::kAggregate) {
+    shape = "ellipse";
+  }
+  *os << "  n" << id << " [shape=" << shape << ", color=" << color
+      << ", label=\"" << label << "\"];\n";
+  for (const PlanNodePtr& c : node.children()) {
+    int child_id = EmitNode(*c, locations, counter, os);
+    *os << "  n" << child_id << "->n" << id;
+    if (c->kind() == PlanKind::kShip) {
+      *os << " [color=red, penwidth=2]";
+    }
+    *os << ";\n";
+  }
+  return id;
+}
+
+}  // namespace
+
+std::string PlanToDot(const PlanNode& root,
+                      const LocationCatalog* locations) {
+  std::ostringstream os;
+  os << "digraph plan {\n  rankdir=BT;\n  node [fontname=\"monospace\", "
+        "fontsize=10];\n";
+  int counter = 0;
+  EmitNode(root, locations, &counter, &os);
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace cgq

@@ -1,0 +1,19 @@
+#ifndef CGQ_PLAN_PLAN_DOT_H_
+#define CGQ_PLAN_PLAN_DOT_H_
+
+#include <string>
+
+#include "plan/plan_node.h"
+
+namespace cgq {
+
+/// Renders a located plan as a Graphviz digraph: one node per operator
+/// (labelled with its description, site, cardinality and traits), SHIP
+/// edges highlighted and annotated with the source/target sites. Paste the
+/// output into `dot -Tsvg` to visualize plans from papers or debugging
+/// sessions.
+std::string PlanToDot(const PlanNode& root, const LocationCatalog* locations);
+
+}  // namespace cgq
+
+#endif  // CGQ_PLAN_PLAN_DOT_H_

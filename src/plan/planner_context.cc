@@ -1,0 +1,62 @@
+#include "plan/planner_context.h"
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace cgq {
+
+Result<uint32_t> PlannerContext::AddInstance(const std::string& alias,
+                                             const std::string& table) {
+  std::string lower_alias = ToLower(alias);
+  if (FindInstance(lower_alias) != nullptr) {
+    return Status::InvalidArgument("duplicate relation alias '" +
+                                   lower_alias + "'");
+  }
+  CGQ_ASSIGN_OR_RETURN(const TableDef* def, catalog_->GetTable(table));
+  uint32_t rel_index = static_cast<uint32_t>(instances_.size());
+  instances_.push_back(RelInstance{lower_alias, def, rel_index});
+
+  const Schema& schema = def->schema;
+  for (uint32_t c = 0; c < schema.num_columns(); ++c) {
+    const ColumnDef& col = schema.column(c);
+    AttrInfo info;
+    info.name = col.name;
+    info.type = col.type;
+    info.base_table = def->name;
+    info.column = ToLower(col.name);
+    const ColumnStats* stats = def->stats.FindColumn(info.column);
+    if (stats != nullptr) {
+      if (stats->distinct_count > 0) info.ndv = stats->distinct_count;
+      info.width = stats->avg_width;
+      info.min = stats->min;
+      info.max = stats->max;
+    } else {
+      info.ndv = def->stats.row_count > 0 ? def->stats.row_count : 100;
+      info.width = col.type == DataType::kString ? 16 : 8;
+    }
+    attrs_[MakeBaseAttrId(rel_index, c)] = std::move(info);
+  }
+  return rel_index;
+}
+
+const RelInstance* PlannerContext::FindInstance(
+    const std::string& alias) const {
+  for (const RelInstance& inst : instances_) {
+    if (inst.alias == alias) return &inst;
+  }
+  return nullptr;
+}
+
+AttrId PlannerContext::AddSynthetic(AttrInfo info) {
+  AttrId id = next_synthetic_++;
+  attrs_[id] = std::move(info);
+  return id;
+}
+
+const AttrInfo& PlannerContext::attr(AttrId id) const {
+  auto it = attrs_.find(id);
+  CGQ_CHECK(it != attrs_.end()) << "unknown attr id " << id;
+  return it->second;
+}
+
+}  // namespace cgq

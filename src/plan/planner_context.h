@@ -1,0 +1,84 @@
+#ifndef CGQ_PLAN_PLANNER_CONTEXT_H_
+#define CGQ_PLAN_PLANNER_CONTEXT_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "expr/expr.h"
+
+namespace cgq {
+
+/// One relation instance (a FROM-clause entry) of the query being planned.
+struct RelInstance {
+  std::string alias;  ///< lower-cased, unique within the query
+  const TableDef* table = nullptr;
+  uint32_t rel_index = 0;
+};
+
+/// Metadata of one attribute (base or synthetic) visible during planning.
+struct AttrInfo {
+  std::string name;
+  DataType type = DataType::kInt64;
+  /// Base table / column this attribute comes from; empty for synthetic
+  /// attributes (partial/final aggregate outputs).
+  std::string base_table;
+  std::string column;
+  double ndv = 100;   ///< distinct-count estimate
+  double width = 8;   ///< average width in bytes
+  std::optional<double> min;
+  std::optional<double> max;
+};
+
+/// Per-query planning state: relation instances, attribute metadata, and
+/// the synthetic-attribute allocator shared by binder, optimizer rules and
+/// cardinality estimation.
+class PlannerContext {
+ public:
+  explicit PlannerContext(const Catalog* catalog) : catalog_(catalog) {}
+
+  const Catalog& catalog() const { return *catalog_; }
+
+  /// Registers a FROM-clause instance; fails on duplicate alias / unknown
+  /// table. Also registers AttrInfo for every column of the table.
+  Result<uint32_t> AddInstance(const std::string& alias,
+                               const std::string& table);
+
+  const std::vector<RelInstance>& instances() const { return instances_; }
+  const RelInstance* FindInstance(const std::string& alias) const;
+
+  static AttrId MakeBaseAttrId(uint32_t rel_index, uint32_t col_index) {
+    return (rel_index << 16) | col_index;
+  }
+  static uint32_t RelIndexOf(AttrId id) { return id >> 16; }
+
+  /// Allocates a fresh synthetic attribute (aggregate output).
+  AttrId AddSynthetic(AttrInfo info);
+
+  const AttrInfo& attr(AttrId id) const;
+  bool HasAttr(AttrId id) const { return attrs_.count(id) != 0; }
+
+  /// Updates the ndv estimate of a synthetic attribute (set after the
+  /// producing aggregate's cardinality is known).
+  void SetAttrNdv(AttrId id, double ndv) { attrs_[id].ndv = ndv; }
+
+  /// Cache used by the eager-aggregation rule so that re-derivations of the
+  /// same partial aggregate reuse output ids (keeps the memo deduplicated).
+  std::unordered_map<size_t, std::vector<AttrId>>& partial_agg_ids() {
+    return partial_agg_ids_;
+  }
+
+ private:
+  const Catalog* catalog_;
+  std::vector<RelInstance> instances_;
+  std::unordered_map<AttrId, AttrInfo> attrs_;
+  AttrId next_synthetic_ = kFirstSyntheticAttr;
+  std::unordered_map<size_t, std::vector<AttrId>> partial_agg_ids_;
+};
+
+}  // namespace cgq
+
+#endif  // CGQ_PLAN_PLANNER_CONTEXT_H_

@@ -1,0 +1,224 @@
+#include "plan/query_planner.h"
+
+#include <algorithm>
+#include <set>
+
+#include "plan/binder.h"
+
+namespace cgq {
+
+namespace {
+
+bool IsInnerRel(const BoundQuery& inner, uint32_t rel) {
+  return std::find(inner.rel_indexes.begin(), inner.rel_indexes.end(),
+                   rel) != inner.rel_indexes.end();
+}
+
+// Splits the inner query's conjuncts into purely-inner ones (stay below)
+// and correlation conjuncts (become join conditions).
+void SplitCorrelations(BoundQuery* inner,
+                       std::vector<ExprPtr>* correlations) {
+  std::vector<ExprPtr> pure;
+  for (const ExprPtr& c : inner->where_conjuncts) {
+    std::vector<AttrId> ids;
+    c->CollectAttrIds(&ids);
+    bool all_inner = true;
+    for (AttrId id : ids) {
+      all_inner &= IsInnerRel(*inner, PlannerContext::RelIndexOf(id));
+    }
+    if (all_inner) {
+      pure.push_back(c);
+    } else {
+      correlations->push_back(c);
+    }
+  }
+  inner->where_conjuncts = std::move(pure);
+}
+
+Status ValidateInner(const QueryAst& inner) {
+  if (inner.distinct || !inner.group_by.empty() || inner.having != nullptr ||
+      !inner.order_by.empty() || inner.limit.has_value() ||
+      !inner.subqueries.empty()) {
+    return Status::Unsupported(
+        "subqueries must be plain SELECTs (no DISTINCT/GROUP BY/HAVING/"
+        "ORDER BY/LIMIT/nested subqueries)");
+  }
+  if (inner.select.size() != 1) {
+    return Status::Unsupported("subqueries must select exactly one column");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<LogicalPlan> PlanQueryAst(const QueryAst& ast, PlannerContext* ctx) {
+  CGQ_ASSIGN_OR_RETURN(BoundQuery outer, BindQuery(ast, ctx));
+  if (ast.subqueries.empty()) {
+    CGQ_ASSIGN_OR_RETURN(PlanNodePtr acc, BuildJoinTree(outer, ctx, {}));
+    return FinishPlan(outer, acc, ctx);
+  }
+
+  // Pass 1: bind everything and collect what the outer tree must expose.
+  struct PlannedSubquery {
+    const SubqueryPredicate* pred;
+    ExprPtr outer_expr;                 // bound
+    BoundQuery inner;
+    std::vector<ExprPtr> correlations;  // bound, mixed-side conjuncts
+  };
+  std::vector<PlannedSubquery> planned;
+  std::vector<AttrId> outer_extra;
+
+  for (const SubqueryPredicate& sq : ast.subqueries) {
+    PlannedSubquery p;
+    p.pred = &sq;
+    // Bind the left-hand side against the *outer* instances (inner ones
+    // are not registered yet, so inner names cannot capture it).
+    if (sq.outer_expr != nullptr) {
+      CGQ_ASSIGN_OR_RETURN(p.outer_expr, BindExpr(sq.outer_expr, *ctx));
+    }
+    CGQ_RETURN_NOT_OK(ValidateInner(*sq.inner));
+    CGQ_ASSIGN_OR_RETURN(p.inner, BindQuery(*sq.inner, ctx));
+    SplitCorrelations(&p.inner, &p.correlations);
+
+    std::vector<AttrId> ids;
+    if (p.outer_expr != nullptr) p.outer_expr->CollectAttrIds(&ids);
+    for (const ExprPtr& c : p.correlations) c->CollectAttrIds(&ids);
+    for (AttrId id : ids) {
+      if (!IsInnerRel(p.inner, PlannerContext::RelIndexOf(id))) {
+        outer_extra.push_back(id);
+      }
+    }
+    planned.push_back(std::move(p));
+  }
+
+  // Pass 2: outer join tree, then one decorrelated join per subquery.
+  CGQ_ASSIGN_OR_RETURN(PlanNodePtr acc,
+                       BuildJoinTree(outer, ctx, outer_extra));
+
+  for (PlannedSubquery& p : planned) {
+    const BoundSelectItem& item = p.inner.select[0];
+    std::vector<ExprPtr> join_conjuncts = p.correlations;
+
+    if (p.pred->kind == SubqueryPredicate::Kind::kIn) {
+      if (!p.correlations.empty()) {
+        return Status::Unsupported(
+            "correlated IN subqueries are not supported");
+      }
+      if (item.agg) {
+        return Status::Unsupported(
+            "IN subqueries must select a plain column");
+      }
+      if (item.expr->op() != ExprOp::kColumnRef) {
+        return Status::Unsupported(
+            "IN subqueries must select a plain column");
+      }
+      CGQ_ASSIGN_OR_RETURN(
+          PlanNodePtr inner_tree,
+          BuildJoinTree(p.inner, ctx, {item.expr->attr_id()}));
+      // Semi-join: deduplicate the matched column, then equi-join.
+      auto dedup = std::make_shared<PlanNode>(PlanKind::kAggregate);
+      dedup->group_ids = {item.expr->attr_id()};
+      dedup->children().push_back(std::move(inner_tree));
+      AnnotateOutputs(dedup);
+
+      join_conjuncts.push_back(
+          Expr::Binary(ExprOp::kEq, p.outer_expr, item.expr));
+      auto join = std::make_shared<PlanNode>(PlanKind::kJoin);
+      join->conjuncts = std::move(join_conjuncts);
+      join->children() = {acc, dedup};
+      AnnotateOutputs(join);
+      acc = join;
+      continue;
+    }
+
+    if (p.pred->kind == SubqueryPredicate::Kind::kExists) {
+      // Correlated EXISTS: deduplicate the inner side on the equality
+      // correlation columns — each outer row then matches at most one
+      // dedup row, so the join is an exact semi-join.
+      if (p.correlations.empty()) {
+        return Status::Unsupported(
+            "EXISTS subqueries must be correlated via column equalities");
+      }
+      std::set<AttrId> dedup_ids;
+      for (const ExprPtr& c : p.correlations) {
+        if (c->op() != ExprOp::kEq ||
+            c->child(0)->op() != ExprOp::kColumnRef ||
+            c->child(1)->op() != ExprOp::kColumnRef) {
+          return Status::Unsupported(
+              "EXISTS correlations must be column equalities");
+        }
+        for (int side = 0; side < 2; ++side) {
+          AttrId id = c->child(side)->attr_id();
+          if (IsInnerRel(p.inner, PlannerContext::RelIndexOf(id))) {
+            dedup_ids.insert(id);
+          }
+        }
+      }
+      std::vector<AttrId> inner_extra(dedup_ids.begin(), dedup_ids.end());
+      CGQ_ASSIGN_OR_RETURN(PlanNodePtr inner_tree,
+                           BuildJoinTree(p.inner, ctx, inner_extra));
+      auto dedup = std::make_shared<PlanNode>(PlanKind::kAggregate);
+      dedup->group_ids.assign(dedup_ids.begin(), dedup_ids.end());
+      dedup->children().push_back(std::move(inner_tree));
+      AnnotateOutputs(dedup);
+
+      auto join = std::make_shared<PlanNode>(PlanKind::kJoin);
+      join->conjuncts = std::move(join_conjuncts);
+      join->children() = {acc, dedup};
+      AnnotateOutputs(join);
+      acc = join;
+      continue;
+    }
+
+    // kEqAgg: group the inner side by its correlation columns.
+    if (!item.agg) {
+      return Status::Unsupported(
+          "scalar subqueries must select a single aggregate");
+    }
+    std::set<AttrId> group_ids;
+    for (const ExprPtr& c : p.correlations) {
+      if (c->op() != ExprOp::kEq ||
+          c->child(0)->op() != ExprOp::kColumnRef ||
+          c->child(1)->op() != ExprOp::kColumnRef) {
+        return Status::Unsupported(
+            "scalar-subquery correlations must be column equalities");
+      }
+      for (int side = 0; side < 2; ++side) {
+        AttrId id = c->child(side)->attr_id();
+        if (IsInnerRel(p.inner, PlannerContext::RelIndexOf(id))) {
+          group_ids.insert(id);
+        }
+      }
+    }
+    std::vector<AttrId> inner_extra(group_ids.begin(), group_ids.end());
+    {
+      std::vector<AttrId> arg_ids;
+      item.expr->CollectAttrIds(&arg_ids);
+      inner_extra.insert(inner_extra.end(), arg_ids.begin(), arg_ids.end());
+    }
+    CGQ_ASSIGN_OR_RETURN(PlanNodePtr inner_tree,
+                         BuildJoinTree(p.inner, ctx, inner_extra));
+
+    auto agg = std::make_shared<PlanNode>(PlanKind::kAggregate);
+    agg->group_ids.assign(group_ids.begin(), group_ids.end());
+    agg->agg_calls = {AggCall{*item.agg, item.expr}};
+    agg->agg_out_ids = {item.out_id};
+    agg->children().push_back(std::move(inner_tree));
+    AnnotateOutputs(agg);
+
+    const AttrInfo& out_info = ctx->attr(item.out_id);
+    join_conjuncts.push_back(Expr::Binary(
+        ExprOp::kEq, p.outer_expr,
+        Expr::BoundColumn(item.out_id, "", out_info.name, "",
+                          out_info.type)));
+    auto join = std::make_shared<PlanNode>(PlanKind::kJoin);
+    join->conjuncts = std::move(join_conjuncts);
+    join->children() = {acc, agg};
+    AnnotateOutputs(join);
+    acc = join;
+  }
+
+  return FinishPlan(outer, acc, ctx);
+}
+
+}  // namespace cgq

@@ -1,0 +1,32 @@
+#ifndef CGQ_PLAN_QUERY_PLANNER_H_
+#define CGQ_PLAN_QUERY_PLANNER_H_
+
+#include "common/result.h"
+#include "plan/builder.h"
+#include "sql/ast.h"
+
+namespace cgq {
+
+/// Plans a full query AST, decorrelating subquery predicates into joins:
+///
+///  - `x IN (SELECT col FROM ...)` (uncorrelated) becomes a semi-join:
+///    the inner side is deduplicated (GROUP BY its referenced columns)
+///    and joined on `x = col`, so outer multiplicities are preserved.
+///
+///  - `x = (SELECT agg(e) FROM ... WHERE inner.c = outer.c AND ...)`
+///    becomes a join with `Γ_{c; agg(e)}(inner)` on the correlation
+///    equalities plus `x = agg`, the classic TPC-H Q2 decorrelation.
+///    Uncorrelated scalar aggregates join a one-row global aggregate.
+///
+/// The rewritten plan consists solely of ordinary relational operators, so
+/// the compliance machinery (summaries, AR1-AR4, Algorithm 1) applies
+/// unchanged. Restrictions (kUnsupported otherwise): subquery predicates
+/// are top-level WHERE conjuncts; inner queries are plain SELECTs (no
+/// DISTINCT/GROUP BY/HAVING/ORDER BY/LIMIT, no nested subqueries); IN
+/// subqueries must be uncorrelated; scalar-aggregate correlations must be
+/// column equalities.
+Result<LogicalPlan> PlanQueryAst(const QueryAst& ast, PlannerContext* ctx);
+
+}  // namespace cgq
+
+#endif  // CGQ_PLAN_QUERY_PLANNER_H_

@@ -1,0 +1,149 @@
+#include "plan/summary.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cgq {
+
+namespace {
+
+void AddGroupAttr(std::vector<BaseAttr>* attrs, const BaseAttr& a) {
+  if (std::find(attrs->begin(), attrs->end(), a) == attrs->end()) {
+    attrs->push_back(a);
+  }
+}
+
+}  // namespace
+
+QuerySummary SummarizeOp(const PlanNode& payload,
+                         const std::vector<const QuerySummary*>& children) {
+  QuerySummary s;
+  switch (payload.kind()) {
+    case PlanKind::kScan: {
+      s.spg_valid = true;
+      s.source_locations.Add(payload.scan_location);
+      s.alias_tables.emplace_back(payload.alias, payload.table);
+      for (const OutputCol& c : payload.outputs) {
+        SummaryOutput out;
+        out.bases.push_back(BaseAttr{payload.table, c.name});
+        s.outputs[c.id] = std::move(out);
+      }
+      return s;
+    }
+    case PlanKind::kFilter: {
+      CGQ_CHECK(children.size() == 1);
+      s = *children[0];
+      // A filter above an aggregation (HAVING) leaves the single-block form.
+      if (s.is_aggregate) s.spg_valid = false;
+      for (const ExprPtr& c : payload.conjuncts) s.predicate.push_back(c);
+      return s;
+    }
+    case PlanKind::kShip: {
+      CGQ_CHECK(children.size() == 1);
+      return *children[0];
+    }
+    case PlanKind::kProject: {
+      CGQ_CHECK(children.size() == 1);
+      s = *children[0];
+      std::map<AttrId, SummaryOutput> kept;
+      for (AttrId id : payload.project_ids) {
+        auto it = s.outputs.find(id);
+        if (it != s.outputs.end()) {
+          kept[id] = it->second;
+        } else {
+          s.spg_valid = false;  // unknown provenance: be conservative
+        }
+      }
+      s.outputs = std::move(kept);
+      return s;
+    }
+    case PlanKind::kJoin: {
+      CGQ_CHECK(children.size() == 2);
+      const QuerySummary& l = *children[0];
+      const QuerySummary& r = *children[1];
+      s.spg_valid = l.spg_valid && r.spg_valid && !l.is_aggregate &&
+                    !r.is_aggregate;
+      s.is_aggregate = false;
+      s.source_locations = l.source_locations.Union(r.source_locations);
+      s.outputs = l.outputs;
+      s.outputs.insert(r.outputs.begin(), r.outputs.end());
+      s.predicate = l.predicate;
+      s.predicate.insert(s.predicate.end(), r.predicate.begin(),
+                         r.predicate.end());
+      for (const ExprPtr& c : payload.conjuncts) s.predicate.push_back(c);
+      s.alias_tables = l.alias_tables;
+      s.alias_tables.insert(s.alias_tables.end(), r.alias_tables.begin(),
+                            r.alias_tables.end());
+      return s;
+    }
+    case PlanKind::kAggregate: {
+      CGQ_CHECK(children.size() == 1);
+      const QuerySummary& c = *children[0];
+      s = c;
+      s.outputs.clear();
+      s.group_attrs.clear();
+      // Nested aggregation is not a single SPG block.
+      s.spg_valid = c.spg_valid && !c.is_aggregate;
+      s.is_aggregate = true;
+      for (AttrId g : payload.group_ids) {
+        auto it = c.outputs.find(g);
+        if (it == c.outputs.end() || it->second.fn.has_value() ||
+            it->second.bases.size() != 1) {
+          s.spg_valid = false;
+          continue;
+        }
+        s.outputs[g] = it->second;
+        AddGroupAttr(&s.group_attrs, it->second.bases[0]);
+      }
+      for (size_t i = 0; i < payload.agg_calls.size(); ++i) {
+        const AggCall& call = payload.agg_calls[i];
+        SummaryOutput out;
+        out.fn = call.fn;
+        std::vector<AttrId> ids;
+        call.arg->CollectAttrIds(&ids);
+        for (AttrId id : ids) {
+          auto it = c.outputs.find(id);
+          if (it == c.outputs.end() || it->second.fn.has_value()) {
+            // Aggregating an already-aggregated attribute: not SPG.
+            s.spg_valid = false;
+            continue;
+          }
+          for (const BaseAttr& b : it->second.bases) {
+            if (std::find(out.bases.begin(), out.bases.end(), b) ==
+                out.bases.end()) {
+              out.bases.push_back(b);
+            }
+          }
+        }
+        s.outputs[payload.agg_out_ids[i]] = std::move(out);
+      }
+      return s;
+    }
+    case PlanKind::kUnion: {
+      CGQ_CHECK(!children.empty());
+      s = *children[0];
+      for (size_t i = 1; i < children.size(); ++i) {
+        s.spg_valid &= children[i]->spg_valid;
+        s.source_locations =
+            s.source_locations.Union(children[i]->source_locations);
+      }
+      return s;
+    }
+  }
+  return s;
+}
+
+QuerySummary SummarizePlan(const PlanNode& root) {
+  std::vector<QuerySummary> child_summaries;
+  child_summaries.reserve(root.children().size());
+  for (const PlanNodePtr& c : root.children()) {
+    child_summaries.push_back(SummarizePlan(*c));
+  }
+  std::vector<const QuerySummary*> ptrs;
+  ptrs.reserve(child_summaries.size());
+  for (const QuerySummary& cs : child_summaries) ptrs.push_back(&cs);
+  return SummarizeOp(root, ptrs);
+}
+
+}  // namespace cgq

@@ -1,0 +1,59 @@
+#ifndef CGQ_PLAN_SUMMARY_H_
+#define CGQ_PLAN_SUMMARY_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "catalog/location.h"
+#include "expr/expr.h"
+#include "plan/plan_node.h"
+
+namespace cgq {
+
+/// Policy-relevant description of one output attribute of a (sub)query:
+/// which base attributes it derives from and the aggregate applied, if any.
+struct SummaryOutput {
+  std::vector<BaseAttr> bases;
+  std::optional<AggFn> fn;
+};
+
+/// The (A_q, P_q, G_q, f_a) description of a subplan used by the policy
+/// evaluator (§5) and annotation rule AR4 (§6.1).
+///
+/// `spg_valid` says whether the subplan is expressible as a single
+/// Select-Project-[GroupBy] block (joins allowed, nested aggregation not).
+/// AR4 additionally requires all sources at one location.
+struct QuerySummary {
+  bool spg_valid = false;
+  bool is_aggregate = false;
+  LocationSet source_locations;
+  /// Output attributes keyed by AttrId.
+  std::map<AttrId, SummaryOutput> outputs;
+  /// G_q as base attributes (empty for non-aggregate blocks).
+  std::vector<BaseAttr> group_attrs;
+  /// P_q: all predicate conjuncts applied in the block (incl. join
+  /// predicates), bound, with alias qualifiers intact.
+  std::vector<ExprPtr> predicate;
+  /// Relation instances in the block: (alias, base table).
+  std::vector<std::pair<std::string, std::string>> alias_tables;
+
+  /// True when AR4 may apply: a valid block over exactly one location.
+  bool IsSingleDatabaseBlock() const {
+    return spg_valid && source_locations.Count() == 1;
+  }
+};
+
+/// Computes the summary of one operator given its children's summaries
+/// (memo-friendly: the payload's children are not inspected).
+QuerySummary SummarizeOp(const PlanNode& payload,
+                         const std::vector<const QuerySummary*>& children);
+
+/// Computes the summary of a whole plan tree recursively.
+QuerySummary SummarizePlan(const PlanNode& root);
+
+}  // namespace cgq
+
+#endif  // CGQ_PLAN_SUMMARY_H_

@@ -1,0 +1,82 @@
+#ifndef CGQ_SQL_AST_H_
+#define CGQ_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace cgq {
+
+struct QueryAst;
+
+/// One subquery predicate of a WHERE clause. Supported forms (all are
+/// decorrelated into joins by the query planner):
+///   <expr> IN (SELECT <column> FROM ... [WHERE ...])      -- uncorrelated
+///   <expr> =  (SELECT <agg>(<expr>) FROM ... [WHERE ...]) -- the inner
+///       WHERE may contain equality correlations to outer relations
+///       (TPC-H Q2's MIN-supplycost shape)
+///   EXISTS (SELECT ... FROM ... WHERE ...)                -- with at
+///       least one equality correlation (TPC-H Q4's shape)
+/// Subquery predicates must appear as top-level conjuncts of the WHERE
+/// clause; the parser substitutes a literal-TRUE placeholder in the
+/// predicate tree and records the subquery here.
+struct SubqueryPredicate {
+  enum class Kind { kIn, kEqAgg, kExists };
+  Kind kind = Kind::kIn;
+  ExprPtr outer_expr;                ///< left-hand side; null for EXISTS
+  std::shared_ptr<QueryAst> inner;   ///< the subquery
+};
+
+/// One `table [AS alias]` entry of a FROM clause.
+struct TableRefAst {
+  std::string table;  ///< lower-cased
+  std::string alias;  ///< lower-cased; equals `table` when omitted
+};
+
+/// One SELECT-list item: either a plain scalar expression or a single
+/// aggregate call over a scalar expression.
+struct SelectItemAst {
+  ExprPtr expr;                ///< unbound; the aggregate argument when agg set
+  std::optional<AggFn> agg;
+  std::string output_name;     ///< derived or from AS
+};
+
+struct OrderItemAst {
+  std::string name;  ///< output column name
+  bool descending = false;
+};
+
+/// Parsed SELECT query (unbound).
+struct QueryAst {
+  bool distinct = false;  ///< SELECT DISTINCT (desugars to GROUP BY all)
+  std::vector<SelectItemAst> select;
+  std::vector<TableRefAst> from;
+  ExprPtr where;  ///< null when absent
+  std::vector<SubqueryPredicate> subqueries;  ///< WHERE subquery conjuncts
+  std::vector<ExprPtr> group_by;  ///< unbound column refs
+  ExprPtr having;  ///< null when absent; references output names
+  std::vector<OrderItemAst> order_by;
+  std::optional<int64_t> limit;
+};
+
+/// Parsed policy expression (§4):
+///   SHIP <attrs|*> [AS AGGREGATES fn, ...] FROM table [alias]
+///   TO <locations|*> [WHERE cond] [GROUP BY attrs]
+struct PolicyExprAst {
+  bool ship_all = false;
+  std::vector<std::string> attributes;  ///< lower-cased column names
+  std::vector<AggFn> agg_fns;           ///< non-empty => aggregate expression
+  std::string table;                    ///< lower-cased
+  std::string alias;                    ///< for WHERE qualification
+  bool to_all = false;
+  std::vector<std::string> to_locations;
+  ExprPtr where;                        ///< null when absent
+  std::vector<std::string> group_by;    ///< lower-cased column names
+};
+
+}  // namespace cgq
+
+#endif  // CGQ_SQL_AST_H_

@@ -1,0 +1,18 @@
+#ifndef CGQ_SQL_LEXER_H_
+#define CGQ_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/token.h"
+
+namespace cgq {
+
+/// Tokenizes a SQL query or policy expression. Identifiers and keywords are
+/// lower-cased; string literals keep their case. `--` starts a line comment.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace cgq
+
+#endif  // CGQ_SQL_LEXER_H_

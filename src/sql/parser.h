@@ -1,0 +1,35 @@
+#ifndef CGQ_SQL_PARSER_H_
+#define CGQ_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace cgq {
+
+/// Parses the supported SQL subset:
+///
+///   SELECT item [, item]*
+///   FROM table [AS alias] [, table [AS alias]]*
+///   [WHERE predicate]
+///   [GROUP BY column [, column]*]
+///   [ORDER BY name [ASC|DESC] [, ...]]
+///   [LIMIT n]
+///
+/// where `item` is a scalar expression or `SUM|AVG|MIN|MAX|COUNT(expr)`
+/// (optionally `AS name`). Predicates support AND/OR/NOT, the six
+/// comparisons, [NOT] LIKE, IN (literal list), BETWEEN (desugared), +-*/,
+/// parentheses, and DATE 'YYYY-MM-DD' literals. No subqueries.
+Result<QueryAst> ParseQuery(const std::string& sql);
+
+/// Parses a dataflow policy expression (§4):
+///
+///   SHIP <*|attr [, attr]*> [AS AGGREGATES fn [, fn]*]
+///   FROM table [alias] TO <*|location [, location]*>
+///   [WHERE predicate] [GROUP BY attr [, attr]*]
+Result<PolicyExprAst> ParsePolicyExpression(const std::string& text);
+
+}  // namespace cgq
+
+#endif  // CGQ_SQL_PARSER_H_

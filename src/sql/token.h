@@ -1,0 +1,43 @@
+#ifndef CGQ_SQL_TOKEN_H_
+#define CGQ_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cgq {
+
+enum class TokenType {
+  kIdentifier,  ///< lower-cased keyword-or-name; parser decides
+  kInteger,
+  kFloat,
+  kString,  ///< contents of a single-quoted literal
+  // Punctuation and operators.
+  kComma,
+  kDot,
+  kStar,
+  kLParen,
+  kRParen,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kSlash,
+  kSemicolon,
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;       ///< identifier (lower-cased) or string contents
+  int64_t int_value = 0;
+  double float_value = 0;
+  size_t offset = 0;      ///< byte offset in the input, for error messages
+};
+
+}  // namespace cgq
+
+#endif  // CGQ_SQL_TOKEN_H_

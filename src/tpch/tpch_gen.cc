@@ -1,0 +1,213 @@
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tpch/tpch.h"
+#include "types/date.h"
+
+namespace cgq {
+namespace tpch {
+
+namespace {
+
+constexpr int64_t kMinOrderDate = 8035;   // 1992-01-01
+constexpr int64_t kMaxOrderDate = 10440;  // 1998-08-02
+
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                          "MIDDLE EAST"};
+// Nation -> region mapping per the TPC-H specification.
+const char* kNations[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+    "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+    "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+const int kNationRegion[] = {0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+                             4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1};
+
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                           "MACHINERY", "HOUSEHOLD"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kTypes1[] = {"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY",
+                         "PROMO"};
+const char* kTypes2[] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                         "BRUSHED"};
+const char* kTypes3[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+const char* kContainers1[] = {"SM", "LG", "MED", "JUMBO", "WRAP"};
+const char* kContainers2[] = {"CASE", "BOX", "BAG", "JAR", "PKG", "PACK",
+                              "CAN", "DRUM"};
+const char* kPartWords[] = {"almond", "antique", "aquamarine", "azure",
+                            "beige", "bisque", "black", "blanched", "blue",
+                            "blush", "brown", "burlywood", "burnished",
+                            "chartreuse", "chiffon", "chocolate", "coral",
+                            "cornflower", "cream", "cyan", "dark", "deep",
+                            "dim", "dodger", "drab", "firebrick", "floral",
+                            "forest", "frosted", "gainsboro", "ghost",
+                            "goldenrod", "green", "grey", "honeydew",
+                            "hot", "hotpink", "indian", "ivory", "khaki"};
+const char* kShipModes[] = {"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK",
+                            "MAIL", "FOB"};
+
+// Distributes row i of a table over its fragments (round-robin).
+LocationId FragmentOf(const TableDef& def, int64_t i) {
+  return def.fragments[static_cast<size_t>(i) % def.fragments.size()]
+      .location;
+}
+
+std::string Phone(Rng* rng) {
+  std::string s = std::to_string(10 + rng->Uniform(0, 24)) + "-";
+  for (int g = 0; g < 3; ++g) {
+    s += std::to_string(rng->Uniform(100, 999));
+    if (g < 2) s += "-";
+  }
+  return s;
+}
+
+std::string Address(Rng* rng) {
+  std::string s;
+  int len = static_cast<int>(rng->Uniform(10, 30));
+  for (int i = 0; i < len; ++i) {
+    s += static_cast<char>('a' + rng->Uniform(0, 25));
+  }
+  return s;
+}
+
+}  // namespace
+
+Status GenerateData(const Catalog& catalog, const TpchConfig& config,
+                    TableStore* store) {
+  Rng rng(config.seed);
+  const double sf = config.scale_factor;
+
+  auto table = [&](const char* name) -> Result<const TableDef*> {
+    return catalog.GetTable(name);
+  };
+
+  // region / nation.
+  {
+    CGQ_ASSIGN_OR_RETURN(const TableDef* region, table("region"));
+    for (int64_t i = 0; i < 5; ++i) {
+      store->Append(FragmentOf(*region, i), "region",
+                    {Value::Int64(i), Value::String(kRegions[i])});
+    }
+    CGQ_ASSIGN_OR_RETURN(const TableDef* nation, table("nation"));
+    for (int64_t i = 0; i < 25; ++i) {
+      store->Append(FragmentOf(*nation, i), "nation",
+                    {Value::Int64(i), Value::String(kNations[i]),
+                     Value::Int64(kNationRegion[i])});
+    }
+  }
+
+  const int64_t num_supplier = static_cast<int64_t>(RowsOf("supplier", sf));
+  const int64_t num_part = static_cast<int64_t>(RowsOf("part", sf));
+  const int64_t num_customer = static_cast<int64_t>(RowsOf("customer", sf));
+  const int64_t num_orders = static_cast<int64_t>(RowsOf("orders", sf));
+
+  {
+    CGQ_ASSIGN_OR_RETURN(const TableDef* supplier, table("supplier"));
+    for (int64_t i = 1; i <= num_supplier; ++i) {
+      store->Append(
+          FragmentOf(*supplier, i), "supplier",
+          {Value::Int64(i), Value::String("Supplier#" + std::to_string(i)),
+           Value::String(Address(&rng)), Value::Int64(rng.Uniform(0, 24)),
+           Value::String(Phone(&rng)),
+           Value::Double(rng.Uniform(-99999, 999999) / 100.0)});
+    }
+  }
+  {
+    CGQ_ASSIGN_OR_RETURN(const TableDef* part, table("part"));
+    for (int64_t i = 1; i <= num_part; ++i) {
+      std::string type = std::string(rng.Pick(std::vector<const char*>(
+                             std::begin(kTypes1), std::end(kTypes1)))) +
+                         " " +
+                         rng.Pick(std::vector<const char*>(
+                             std::begin(kTypes2), std::end(kTypes2))) +
+                         " " +
+                         rng.Pick(std::vector<const char*>(
+                             std::begin(kTypes3), std::end(kTypes3)));
+      int64_t m = rng.Uniform(1, 5);
+      std::string name =
+          std::string(kPartWords[rng.Uniform(0, 39)]) + " " +
+          kPartWords[rng.Uniform(0, 39)];
+      store->Append(
+          FragmentOf(*part, i), "part",
+          {Value::Int64(i), Value::String(name),
+           Value::String("Manufacturer#" + std::to_string(m)),
+           Value::String("Brand#" + std::to_string(m * 10 +
+                                                   rng.Uniform(1, 5))),
+           Value::String(type), Value::Int64(rng.Uniform(1, 50)),
+           Value::String(std::string(kContainers1[rng.Uniform(0, 4)]) + " " +
+                         kContainers2[rng.Uniform(0, 7)]),
+           Value::Double(900 + (i % 1000) + rng.Uniform(0, 99) / 100.0)});
+    }
+  }
+  {
+    CGQ_ASSIGN_OR_RETURN(const TableDef* partsupp, table("partsupp"));
+    for (int64_t p = 1; p <= num_part; ++p) {
+      for (int64_t s = 0; s < 4; ++s) {
+        int64_t suppkey =
+            1 + (p + s * (num_supplier / 4 + 1)) % num_supplier;
+        store->Append(FragmentOf(*partsupp, p * 4 + s), "partsupp",
+                      {Value::Int64(p), Value::Int64(suppkey),
+                       Value::Int64(rng.Uniform(1, 9999)),
+                       Value::Double(rng.Uniform(100, 100000) / 100.0)});
+      }
+    }
+  }
+  {
+    CGQ_ASSIGN_OR_RETURN(const TableDef* customer, table("customer"));
+    for (int64_t i = 1; i <= num_customer; ++i) {
+      store->Append(
+          FragmentOf(*customer, i), "customer",
+          {Value::Int64(i),
+           Value::String("Customer#" + std::to_string(i)),
+           Value::String(Address(&rng)), Value::Int64(rng.Uniform(0, 24)),
+           Value::String(Phone(&rng)),
+           Value::Double(rng.Uniform(-99999, 999999) / 100.0),
+           Value::String(kSegments[rng.Uniform(0, 4)])});
+    }
+  }
+  {
+    CGQ_ASSIGN_OR_RETURN(const TableDef* orders, table("orders"));
+    CGQ_ASSIGN_OR_RETURN(const TableDef* lineitem, table("lineitem"));
+    int64_t line_counter = 0;
+    for (int64_t i = 1; i <= num_orders; ++i) {
+      int64_t orderdate = rng.Uniform(kMinOrderDate, kMaxOrderDate);
+      const char* status_pool = "FOP";
+      store->Append(
+          FragmentOf(*orders, i), "orders",
+          {Value::Int64(i), Value::Int64(rng.Uniform(1, num_customer)),
+           Value::String(std::string(1, status_pool[rng.Uniform(0, 2)])),
+           Value::Double(rng.Uniform(85000, 55000000) / 100.0),
+           Value::Date(orderdate),
+           Value::String(kPriorities[rng.Uniform(0, 4)]),
+           Value::Int64(0)});
+      int64_t lines = rng.Uniform(1, 7);
+      for (int64_t ln = 1; ln <= lines; ++ln) {
+        int64_t quantity = rng.Uniform(1, 50);
+        double price = rng.Uniform(90000, 10500000) / 100.0;
+        const char* rf_pool = "RAN";
+        const char* ls_pool = "OF";
+        int64_t shipdate = orderdate + rng.Uniform(1, 121);
+        store->Append(
+            FragmentOf(*lineitem, line_counter++), "lineitem",
+            {Value::Int64(i), Value::Int64(rng.Uniform(1, num_part)),
+             Value::Int64(rng.Uniform(1, num_supplier)),
+             Value::Int64(ln), Value::Int64(quantity),
+             Value::Double(price),
+             Value::Double(rng.Uniform(0, 10) / 100.0),
+             Value::Double(rng.Uniform(0, 8) / 100.0),
+             Value::String(std::string(1, rf_pool[rng.Uniform(0, 2)])),
+             Value::String(std::string(1, ls_pool[rng.Uniform(0, 1)])),
+             Value::Date(shipdate),
+             Value::Date(orderdate + rng.Uniform(30, 90)),
+             Value::Date(shipdate + rng.Uniform(1, 30)),
+             Value::String(kShipModes[rng.Uniform(0, 6)])});
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tpch
+}  // namespace cgq

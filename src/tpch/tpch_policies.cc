@@ -1,0 +1,138 @@
+#include "tpch/tpch.h"
+
+namespace cgq {
+namespace tpch {
+
+namespace {
+
+// Whole-table restrictions (template T, 8 expressions). l4 (lineitem's
+// home) acts as the hub every table may reach, which keeps all six
+// workload queries feasible.
+const char* kSetT[] = {
+    "ship * from nation to *",
+    "ship * from region to *",
+    "ship * from customer to l4, l5",
+    "ship * from orders to l4, l5",
+    "ship * from supplier to l3, l4",
+    "ship * from partsupp to l3, l4",
+    "ship * from part to l4",
+    "ship * from lineitem to l1",
+};
+
+// Column restrictions (template C, 10 expressions): unused columns of each
+// table are no longer shippable (e.g. order priorities, part containers).
+const char* kSetC[] = {
+    "ship * from nation to *",
+    "ship * from region to *",
+    "ship custkey, name, address, nationkey, phone, acctbal, mktsegment "
+    "from customer to l4, l5",
+    "ship orderkey, custkey, orderdate, orderpriority, shippriority from orders to l4, l5",
+    "ship suppkey, name, acctbal, nationkey from supplier to l1, l3, l4",
+    "ship partkey, suppkey, supplycost from partsupp to l3, l4",
+    "ship partkey, name, mfgr, brand, size, type from part to l4",
+    "ship orderkey, partkey, suppkey, quantity, extendedprice, discount, "
+    "shipdate, returnflag from lineitem to l1",
+    "ship suppkey, name, nationkey from supplier to l5",
+    "ship custkey, nationkey from customer to l2, l3",
+};
+
+// Column + row restrictions (template CR, 10 expressions): account
+// balances only leave with the BUILDING segment; parts only reach l2 for
+// large or copper parts (e4 of Table 3).
+const char* kSetCR[] = {
+    "ship * from nation to *",
+    "ship * from region to *",
+    "ship custkey, name, address, phone, nationkey, mktsegment "
+    "from customer to l4, l5",
+    "ship custkey, name, address, phone, acctbal, nationkey, mktsegment "
+    "from customer to l4, l5 where mktsegment = 'BUILDING'",
+    "ship orderkey, custkey, orderdate, orderpriority, shippriority from orders to l4, l5",
+    "ship suppkey, name, acctbal, nationkey from supplier to l1, l3, l4",
+    "ship partkey, suppkey, supplycost from partsupp to l3, l4",
+    "ship partkey, name, mfgr, brand, size, type from part to l4",
+    "ship partkey, name, mfgr, brand, size, type from part to l2, l4 "
+    "where size > 40 or type like '%COPPER%'",
+    "ship orderkey, partkey, suppkey, quantity, extendedprice, discount, "
+    "shipdate, returnflag from lineitem to l1",
+};
+
+// Column + row + aggregate restrictions (template CR+A, 10 expressions):
+// lineitem measures leave l4 raw only for recent shipments, otherwise only
+// as per-order/part/supplier aggregates (e5 of Table 3).
+const char* kSetCRA[] = {
+    "ship * from nation to *",
+    "ship * from region to *",
+    "ship custkey, name, address, phone, nationkey, mktsegment "
+    "from customer to l3, l4, l5",
+    "ship custkey, name, address, phone, acctbal, nationkey, mktsegment "
+    "from customer to l4, l5 where mktsegment = 'BUILDING'",
+    "ship orderkey, custkey, orderdate, orderpriority, shippriority from orders "
+    "to l3, l4, l5",
+    "ship suppkey, name, acctbal, nationkey from supplier to l1, l3, l4",
+    "ship partkey, suppkey, supplycost from partsupp to l3, l4",
+    "ship partkey, name, mfgr, brand, size, type from part to l4",
+    "ship orderkey, partkey, suppkey, quantity, extendedprice, discount, "
+    "shipdate, returnflag from lineitem to l1 "
+    "where shipdate > date '1995-03-15'",
+    "ship extendedprice, discount, quantity as aggregates sum, min, max "
+    "from lineitem to l1, l2, l3, l5 "
+    "group by orderkey, partkey, suppkey, shipdate, returnflag",
+};
+
+// Registers one expression at every location hosting a fragment of its
+// table (relevant for the §7.5 distributed-table experiments).
+Status AddForAllFragments(const std::string& text, PolicyCatalog* policies) {
+  size_t pos = text.find("from ");
+  size_t start = pos + 5;
+  size_t end = text.find_first_of(" \n", start);
+  std::string table = text.substr(
+      start, end == std::string::npos ? std::string::npos : end - start);
+  const Catalog& catalog = policies->catalog();
+  CGQ_ASSIGN_OR_RETURN(const TableDef* def, catalog.GetTable(table));
+  for (LocationId l : def->LocationsOf().ToVector()) {
+    CGQ_RETURN_NOT_OK(
+        policies->AddPolicyText(catalog.locations().GetName(l), text));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> PolicySet(const std::string& name) {
+  std::vector<std::string> out;
+  if (name == "T") {
+    out.assign(std::begin(kSetT), std::end(kSetT));
+  } else if (name == "C") {
+    out.assign(std::begin(kSetC), std::end(kSetC));
+  } else if (name == "CR") {
+    out.assign(std::begin(kSetCR), std::end(kSetCR));
+  } else if (name == "CRA" || name == "CR+A") {
+    out.assign(std::begin(kSetCRA), std::end(kSetCRA));
+  } else {
+    return Status::NotFound("unknown policy set '" + name + "'");
+  }
+  return out;
+}
+
+Status InstallPolicySet(const std::string& name, PolicyCatalog* policies) {
+  CGQ_ASSIGN_OR_RETURN(std::vector<std::string> exprs, PolicySet(name));
+  policies->Clear();
+  for (const std::string& text : exprs) {
+    CGQ_RETURN_NOT_OK(AddForAllFragments(text, policies));
+  }
+  return Status::OK();
+}
+
+Status InstallUnrestrictedPolicies(PolicyCatalog* policies) {
+  policies->Clear();
+  for (const char* table :
+       {"nation", "region", "customer", "orders", "supplier", "partsupp",
+        "part", "lineitem"}) {
+    CGQ_RETURN_NOT_OK(AddForAllFragments(
+        std::string("ship * from ") + table + " to *", policies));
+  }
+  return Status::OK();
+}
+
+}  // namespace tpch
+}  // namespace cgq

@@ -1,0 +1,52 @@
+#include "types/date.h"
+
+#include <cstdio>
+
+namespace cgq {
+
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      (153 * (static_cast<unsigned>(m) + (m > 2 ? -3 : 9)) + 2) / 5 +
+      static_cast<unsigned>(d) - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return static_cast<int64_t>(era) * 146097 +
+         static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* year, int* month, int* day) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : static_cast<unsigned>(-9));
+  *year = static_cast<int>(y + (m <= 2));
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+Result<int64_t> ParseDate(const std::string& text) {
+  int y = 0, m = 0, d = 0;
+  if (std::sscanf(text.c_str(), "%d-%d-%d", &y, &m, &d) != 3 || m < 1 ||
+      m > 12 || d < 1 || d > 31) {
+    return Status::InvalidArgument("bad date literal '" + text + "'");
+  }
+  return DaysFromCivil(y, m, d);
+}
+
+std::string FormatDate(int64_t days) {
+  int y, m, d;
+  CivilFromDays(days, &y, &m, &d);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return buf;
+}
+
+}  // namespace cgq

@@ -1,0 +1,26 @@
+#ifndef CGQ_TYPES_DATE_H_
+#define CGQ_TYPES_DATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace cgq {
+
+/// Days since 1970-01-01 for a proleptic-Gregorian civil date
+/// (Howard Hinnant's algorithm).
+int64_t DaysFromCivil(int year, int month, int day);
+
+/// Inverse of DaysFromCivil.
+void CivilFromDays(int64_t days, int* year, int* month, int* day);
+
+/// Parses 'YYYY-MM-DD'.
+Result<int64_t> ParseDate(const std::string& text);
+
+/// Formats as 'YYYY-MM-DD'.
+std::string FormatDate(int64_t days);
+
+}  // namespace cgq
+
+#endif  // CGQ_TYPES_DATE_H_

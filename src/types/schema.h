@@ -1,0 +1,45 @@
+#ifndef CGQ_TYPES_SCHEMA_H_
+#define CGQ_TYPES_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace cgq {
+
+/// One output column of an operator or one column of a base table.
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kInt64;
+
+  bool operator==(const ColumnDef& other) const = default;
+};
+
+/// Ordered list of named, typed columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+
+  /// Index of the column named `name` (case-insensitive), if present.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  /// "name:TYPE, name:TYPE, ..."
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const = default;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace cgq
+
+#endif  // CGQ_TYPES_SCHEMA_H_

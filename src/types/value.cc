@@ -1,0 +1,79 @@
+#include "types/value.h"
+
+#include <functional>
+#include <sstream>
+
+namespace cgq {
+
+const char* DataTypeToString(DataType t) {
+  switch (t) {
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+    case DataType::kDate:
+      return "DATE";
+  }
+  return "UNKNOWN";
+}
+
+int Value::Compare(const Value& other) const {
+  CGQ_CHECK(!is_null() && !other.is_null())
+      << "Compare() requires non-null values";
+  if (is_numeric() && other.is_numeric()) {
+    if (is_int64() && other.is_int64()) {
+      int64_t a = int64(), b = other.int64();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = AsDouble(), b = other.AsDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  CGQ_CHECK(is_string() && other.is_string())
+      << "Incomparable value families";
+  return str().compare(other.str()) < 0 ? -1
+                                        : (str() == other.str() ? 0 : 1);
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int64()) return std::to_string(int64());
+  if (is_double()) {
+    std::ostringstream os;
+    os << dbl();
+    return os.str();
+  }
+  return "'" + str() + "'";
+}
+
+size_t Value::Hash() const {
+  if (is_null()) return 0x9E3779B9u;
+  if (is_int64()) return std::hash<int64_t>()(int64());
+  if (is_double()) return std::hash<double>()(dbl());
+  return std::hash<std::string>()(str());
+}
+
+size_t Value::ByteSize() const {
+  if (is_null()) return 1;
+  if (is_string()) return str().size() + 4;
+  return 8;
+}
+
+size_t HashRow(const Row& row) {
+  size_t h = 0x345678u;
+  for (const Value& v : row) {
+    h = h * 1000003u ^ v.Hash();
+  }
+  return h;
+}
+
+bool RowsStructurallyEqual(const Row& a, const Row& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].StructurallyEquals(b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace cgq

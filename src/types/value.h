@@ -1,0 +1,106 @@
+#ifndef CGQ_TYPES_VALUE_H_
+#define CGQ_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace cgq {
+
+/// Column data types of the engine's relational model.
+enum class DataType {
+  kInt64,
+  kDouble,
+  kString,
+  kDate,  ///< Stored as int64 days since 1970-01-01.
+};
+
+const char* DataTypeToString(DataType t);
+
+/// A single SQL value: NULL, INT64, DOUBLE, STRING, or DATE.
+///
+/// DATE shares the int64 representation; the schema distinguishes the two.
+/// Comparison follows SQL semantics for non-null values of the same family
+/// (int64 and double compare numerically); NULLs are handled by callers
+/// (three-valued logic lives in the expression evaluator).
+class Value {
+ public:
+  Value() : repr_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Int64(int64_t v) { return Value(Repr(v)); }
+  static Value Double(double v) { return Value(Repr(v)); }
+  static Value String(std::string v) { return Value(Repr(std::move(v))); }
+  /// A date as days since the Unix epoch.
+  static Value Date(int64_t days) { return Value(Repr(days)); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(repr_); }
+  bool is_int64() const { return std::holds_alternative<int64_t>(repr_); }
+  bool is_double() const { return std::holds_alternative<double>(repr_); }
+  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+  bool is_numeric() const { return is_int64() || is_double(); }
+
+  int64_t int64() const {
+    CGQ_DCHECK(is_int64());
+    return std::get<int64_t>(repr_);
+  }
+  double dbl() const {
+    CGQ_DCHECK(is_double());
+    return std::get<double>(repr_);
+  }
+  const std::string& str() const {
+    CGQ_DCHECK(is_string());
+    return std::get<std::string>(repr_);
+  }
+
+  /// Numeric value as double (int64 widened). Requires is_numeric().
+  double AsDouble() const {
+    CGQ_DCHECK(is_numeric());
+    return is_int64() ? static_cast<double>(int64()) : dbl();
+  }
+
+  /// Total order over same-family non-null values: -1, 0, +1.
+  /// Numeric vs numeric compares as double; string vs string lexicographic.
+  /// Aborts on incomparable families (schema bug).
+  int Compare(const Value& other) const;
+
+  /// SQL-style equality of non-null values (numeric families unified).
+  bool Equals(const Value& other) const {
+    if (is_null() || other.is_null()) return false;
+    if (is_string() != other.is_string()) return false;
+    return Compare(other) == 0;
+  }
+
+  /// Exact structural equality, including NULL == NULL (for tests & hashing).
+  bool StructurallyEquals(const Value& other) const { return repr_ == other.repr_; }
+
+  /// Renders like SQL output: NULL, 42, 3.14, 'text'.
+  std::string ToString() const;
+
+  /// Hash for group-by / join keys. NULLs hash to a fixed value; int64 and
+  /// equal-valued double hash differently (keys are same-typed per column).
+  size_t Hash() const;
+
+  /// Approximate serialized width in bytes (for the message cost model).
+  size_t ByteSize() const;
+
+ private:
+  using Repr = std::variant<std::monostate, int64_t, double, std::string>;
+  explicit Value(Repr repr) : repr_(std::move(repr)) {}
+  Repr repr_;
+};
+
+/// A tuple of values. Layout is defined by the operator's output schema.
+using Row = std::vector<Value>;
+
+/// Hash of a full row (order-sensitive).
+size_t HashRow(const Row& row);
+
+/// Structural row equality (NULL == NULL), used for hash-table keys.
+bool RowsStructurallyEqual(const Row& a, const Row& b);
+
+}  // namespace cgq
+
+#endif  // CGQ_TYPES_VALUE_H_

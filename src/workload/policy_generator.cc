@@ -1,0 +1,160 @@
+#include "workload/policy_generator.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "types/date.h"
+
+namespace cgq {
+
+namespace {
+
+using PK = ColumnProperty::PredicateKind;
+
+std::string Literal(const ColumnProperty& col, double v) {
+  switch (col.predicate) {
+    case PK::kIntRange:
+      return std::to_string(static_cast<int64_t>(v));
+    case PK::kDateRange:
+      return "date '" + FormatDate(static_cast<int64_t>(v)) + "'";
+    default: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.2f", v);
+      return buf;
+    }
+  }
+}
+
+}  // namespace
+
+std::string PolicyExpressionGenerator::RandomLocations(LocationSet* chosen) {
+  const LocationCatalog& locs = catalog_->locations();
+  size_t n = std::min(config_.locations_per_expr, locs.num_locations());
+  std::vector<std::string> names;
+  for (size_t i : rng_.SampleIndices(locs.num_locations(), n)) {
+    names.push_back(locs.GetName(static_cast<LocationId>(i)));
+    if (chosen != nullptr) chosen->Add(static_cast<LocationId>(i));
+  }
+  return Join(names, ", ");
+}
+
+std::string PolicyExpressionGenerator::RandomExpression(
+    const TableDef& table) {
+  const std::string& templ = config_.template_name;
+
+  // Column subset (template C and richer).
+  std::vector<std::string> columns;
+  if (templ == "T") {
+    // whole table
+  } else {
+    size_t total = table.schema.num_columns();
+    size_t k = static_cast<size_t>(
+        rng_.Uniform(1, static_cast<int64_t>(total)));
+    for (size_t i : rng_.SampleIndices(total, k)) {
+      columns.push_back(ToLower(table.schema.column(i).name));
+    }
+  }
+
+  // Aggregate clause (template CRA, ~40% of expressions).
+  std::vector<std::string> agg_fns;
+  std::vector<std::string> group_by;
+  if (templ == "CRA" && rng_.Bernoulli(0.4)) {
+    std::vector<const ColumnProperty*> measures, keys;
+    for (const ColumnProperty& c : properties_->columns) {
+      if (c.table != table.name) continue;
+      if (c.aggregatable) measures.push_back(&c);
+      if (c.groupable) keys.push_back(&c);
+    }
+    if (!measures.empty() && !keys.empty()) {
+      columns.clear();
+      size_t m = static_cast<size_t>(
+          rng_.Uniform(1, static_cast<int64_t>(measures.size())));
+      for (size_t i : rng_.SampleIndices(measures.size(), m)) {
+        columns.push_back(measures[i]->column);
+      }
+      static const char* kFns[] = {"sum", "avg", "min", "max"};
+      for (size_t i : rng_.SampleIndices(4, static_cast<size_t>(
+                                                rng_.Uniform(1, 3)))) {
+        agg_fns.push_back(kFns[i]);
+      }
+      size_t g = static_cast<size_t>(
+          rng_.Uniform(1, std::min<int64_t>(3, keys.size())));
+      for (size_t i : rng_.SampleIndices(keys.size(), g)) {
+        group_by.push_back(keys[i]->column);
+      }
+    }
+  }
+
+  // Row condition (templates CR and CRA, ~50% of basic expressions).
+  std::string condition;
+  if ((templ == "CR" || templ == "CRA") && agg_fns.empty() &&
+      rng_.Bernoulli(0.5)) {
+    std::vector<const ColumnProperty*> filterable;
+    for (const ColumnProperty& c : properties_->columns) {
+      if (c.table == table.name && c.predicate != PK::kNone) {
+        filterable.push_back(&c);
+      }
+    }
+    if (!filterable.empty()) {
+      const ColumnProperty& c = *rng_.Pick(filterable);
+      if (c.predicate == PK::kCategorical) {
+        condition = c.column + " = '" + rng_.Pick(c.categories) + "'";
+      } else {
+        double lo = c.min + rng_.NextDouble() * (c.max - c.min) * 0.5;
+        condition = c.column +
+                    (rng_.Bernoulli(0.5) ? std::string(" > ")
+                                         : std::string(" < ")) +
+                    Literal(c, lo);
+      }
+    }
+  }
+
+  std::string text = "ship ";
+  text += columns.empty() ? "*" : Join(columns, ", ");
+  if (!agg_fns.empty()) text += " as aggregates " + Join(agg_fns, ", ");
+  text += " from " + table.name + " to " + RandomLocations(nullptr);
+  if (!condition.empty()) text += " where " + condition;
+  if (!group_by.empty()) text += " group by " + Join(group_by, ", ");
+  return text;
+}
+
+std::vector<GeneratedPolicy> PolicyExpressionGenerator::Generate() {
+  std::vector<GeneratedPolicy> out;
+  std::vector<std::string> tables = catalog_->TableNames();
+  const LocationCatalog& locs = catalog_->locations();
+
+  if (config_.ensure_feasible) {
+    std::string hub = locs.GetName(config_.hub);
+    for (const std::string& t : tables) {
+      if (out.size() >= config_.count) break;
+      auto def = catalog_->GetTable(t);
+      if (!def.ok()) continue;
+      for (LocationId l : (*def)->LocationsOf().ToVector()) {
+        out.push_back(GeneratedPolicy{
+            locs.GetName(l), "ship * from " + t + " to " + hub});
+      }
+    }
+  }
+
+  while (out.size() < config_.count) {
+    const std::string& name = rng_.Pick(tables);
+    auto def = catalog_->GetTable(name);
+    if (!def.ok()) continue;
+    std::string text = RandomExpression(**def);
+    for (LocationId l : (*def)->LocationsOf().ToVector()) {
+      out.push_back(GeneratedPolicy{locs.GetName(l), text});
+      if (out.size() >= config_.count) break;
+    }
+  }
+  return out;
+}
+
+Status PolicyExpressionGenerator::InstallInto(PolicyCatalog* policies) {
+  policies->Clear();
+  for (const GeneratedPolicy& p : Generate()) {
+    CGQ_RETURN_NOT_OK(policies->AddPolicyText(p.location, p.text));
+  }
+  return Status::OK();
+}
+
+}  // namespace cgq

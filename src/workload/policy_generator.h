@@ -1,0 +1,65 @@
+#ifndef CGQ_WORKLOAD_POLICY_GENERATOR_H_
+#define CGQ_WORKLOAD_POLICY_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "core/policy.h"
+#include "workload/properties.h"
+
+namespace cgq {
+
+/// Configuration of the policy-expression generator (§7.1): instantiates
+/// the T / C / CR / CR+A templates against a schema and its property file.
+struct PolicyGeneratorConfig {
+  uint64_t seed = 11;
+  /// "T" (whole table), "C" (+columns), "CR" (+rows), "CRA" (+aggregates).
+  std::string template_name = "CRA";
+  size_t count = 10;
+  /// Number of locations in each expression's `to` list (Fig. 8 sweeps
+  /// this). Clamped to the number of catalog locations.
+  size_t locations_per_expr = 2;
+  /// Emit one `ship * from t to <hub>` per table first, so every query
+  /// keeps at least one compliant plan (the paper's generated sets are of
+  /// this form: "there always exists at least one compliant QEP").
+  bool ensure_feasible = true;
+  LocationId hub = 3;
+};
+
+/// One generated policy expression and the location whose data it governs.
+struct GeneratedPolicy {
+  std::string location;
+  std::string text;
+};
+
+/// Random but reproducible policy-expression sets.
+class PolicyExpressionGenerator {
+ public:
+  PolicyExpressionGenerator(const Catalog* catalog,
+                            const WorkloadProperties* properties,
+                            PolicyGeneratorConfig config)
+      : catalog_(catalog),
+        properties_(properties),
+        config_(config),
+        rng_(config.seed) {}
+
+  std::vector<GeneratedPolicy> Generate();
+
+  /// Generates and installs into `policies` (clearing it first).
+  Status InstallInto(PolicyCatalog* policies);
+
+ private:
+  std::string RandomLocations(LocationSet* chosen);
+  std::string RandomExpression(const TableDef& table);
+
+  const Catalog* catalog_;
+  const WorkloadProperties* properties_;
+  PolicyGeneratorConfig config_;
+  Rng rng_;
+};
+
+}  // namespace cgq
+
+#endif  // CGQ_WORKLOAD_POLICY_GENERATOR_H_

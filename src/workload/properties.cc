@@ -1,0 +1,107 @@
+#include "workload/properties.h"
+
+#include "types/date.h"
+
+namespace cgq {
+
+namespace {
+
+using PK = ColumnProperty::PredicateKind;
+
+ColumnProperty Col(const char* table, const char* column, bool agg,
+                   bool group, PK pred = PK::kNone, double min = 0,
+                   double max = 0,
+                   std::vector<std::string> categories = {}) {
+  ColumnProperty c;
+  c.table = table;
+  c.column = column;
+  c.aggregatable = agg;
+  c.groupable = group;
+  c.predicate = pred;
+  c.min = min;
+  c.max = max;
+  c.categories = std::move(categories);
+  return c;
+}
+
+}  // namespace
+
+WorkloadProperties TpchWorkloadProperties() {
+  WorkloadProperties p;
+  p.edges = {
+      {"nation", "regionkey", "region", "regionkey"},
+      {"supplier", "nationkey", "nation", "nationkey"},
+      {"customer", "nationkey", "nation", "nationkey"},
+      {"partsupp", "partkey", "part", "partkey"},
+      {"partsupp", "suppkey", "supplier", "suppkey"},
+      {"orders", "custkey", "customer", "custkey"},
+      {"lineitem", "orderkey", "orders", "orderkey"},
+      {"lineitem", "partkey", "part", "partkey"},
+      {"lineitem", "suppkey", "supplier", "suppkey"},
+  };
+
+  const double kD92 = static_cast<double>(DaysFromCivil(1992, 1, 1));
+  const double kD98 = static_cast<double>(DaysFromCivil(1998, 8, 2));
+
+  p.columns = {
+      Col("region", "regionkey", false, true),
+      Col("region", "name", false, true, PK::kCategorical, 0, 0,
+          {"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}),
+      Col("nation", "nationkey", false, true),
+      Col("nation", "name", false, true, PK::kCategorical, 0, 0,
+          {"FRANCE", "GERMANY", "CHINA", "JAPAN", "UNITED STATES", "KENYA"}),
+      Col("nation", "regionkey", false, true, PK::kIntRange, 0, 4),
+
+      Col("supplier", "suppkey", false, true),
+      Col("supplier", "name", false, true),
+      Col("supplier", "nationkey", false, true, PK::kIntRange, 0, 24),
+      Col("supplier", "acctbal", true, false, PK::kDoubleRange, -999, 9999),
+
+      Col("part", "partkey", false, true),
+      Col("part", "mfgr", false, true, PK::kCategorical, 0, 0,
+          {"Manufacturer#1", "Manufacturer#2", "Manufacturer#3",
+           "Manufacturer#4", "Manufacturer#5"}),
+      Col("part", "brand", false, true),
+      Col("part", "type", false, true),
+      Col("part", "size", true, true, PK::kIntRange, 1, 50),
+      Col("part", "retailprice", true, false, PK::kDoubleRange, 900, 2100),
+
+      Col("partsupp", "partkey", false, true),
+      Col("partsupp", "suppkey", false, true),
+      Col("partsupp", "availqty", true, false, PK::kIntRange, 1, 9999),
+      Col("partsupp", "supplycost", true, false, PK::kDoubleRange, 1, 1000),
+
+      Col("customer", "custkey", false, true),
+      Col("customer", "name", false, true),
+      Col("customer", "nationkey", false, true, PK::kIntRange, 0, 24),
+      Col("customer", "acctbal", true, false, PK::kDoubleRange, -999, 9999),
+      Col("customer", "mktsegment", false, true, PK::kCategorical, 0, 0,
+          {"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY",
+           "HOUSEHOLD"}),
+
+      Col("orders", "orderkey", false, true),
+      Col("orders", "custkey", false, true),
+      Col("orders", "totalprice", true, false, PK::kDoubleRange, 850,
+          550000),
+      Col("orders", "orderdate", false, true, PK::kDateRange, kD92, kD98),
+      Col("orders", "orderpriority", false, true, PK::kCategorical, 0, 0,
+          {"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}),
+
+      Col("lineitem", "orderkey", false, true),
+      Col("lineitem", "partkey", false, true),
+      Col("lineitem", "suppkey", false, true),
+      Col("lineitem", "quantity", true, false, PK::kIntRange, 1, 50),
+      Col("lineitem", "extendedprice", true, false, PK::kDoubleRange, 900,
+          105000),
+      Col("lineitem", "discount", true, false, PK::kDoubleRange, 0, 0.10),
+      Col("lineitem", "returnflag", false, true, PK::kCategorical, 0, 0,
+          {"R", "A", "N"}),
+      Col("lineitem", "shipdate", false, true, PK::kDateRange, kD92 + 1,
+          kD98 + 121),
+      Col("lineitem", "shipmode", false, true, PK::kCategorical, 0, 0,
+          {"AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}),
+  };
+  return p;
+}
+
+}  // namespace cgq

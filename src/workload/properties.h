@@ -1,0 +1,56 @@
+#ifndef CGQ_WORKLOAD_PROPERTIES_H_
+#define CGQ_WORKLOAD_PROPERTIES_H_
+
+#include <string>
+#include <vector>
+
+namespace cgq {
+
+/// How the workload generators may use one column (the paper's "property
+/// file", §7.1: which attributes can be aggregated or serve as grouping
+/// key, which range predicates can be imposed, ...).
+struct ColumnProperty {
+  std::string table;
+  std::string column;
+  bool aggregatable = false;  ///< may appear under SUM/AVG/MIN/MAX
+  bool groupable = false;     ///< may appear in GROUP BY
+
+  enum class PredicateKind {
+    kNone,        ///< never used in predicates
+    kIntRange,    ///< integer range/equality predicates
+    kDoubleRange,
+    kDateRange,   ///< values are day numbers
+    kCategorical  ///< equality/IN over `categories`
+  };
+  PredicateKind predicate = PredicateKind::kNone;
+  double min = 0;
+  double max = 0;
+  std::vector<std::string> categories;
+};
+
+/// A PK-FK join edge usable by the ad-hoc query generator.
+struct JoinEdge {
+  std::string table1, column1;
+  std::string table2, column2;
+};
+
+/// Schema knowledge driving both workload generators.
+struct WorkloadProperties {
+  std::vector<JoinEdge> edges;
+  std::vector<ColumnProperty> columns;
+
+  const ColumnProperty* Find(const std::string& table,
+                             const std::string& column) const {
+    for (const ColumnProperty& c : columns) {
+      if (c.table == table && c.column == column) return &c;
+    }
+    return nullptr;
+  }
+};
+
+/// The property file for the geo-distributed TPC-H schema.
+WorkloadProperties TpchWorkloadProperties();
+
+}  // namespace cgq
+
+#endif  // CGQ_WORKLOAD_PROPERTIES_H_

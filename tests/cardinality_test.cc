@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "optimizer/cardinality.h"
+#include "plan/binder.h"
+#include "plan/builder.h"
+#include "sql/parser.h"
+
+namespace cgq {
+namespace {
+
+class CardinalityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(catalog_.mutable_locations().AddLocation("x").ok());
+    TableDef t;
+    t.name = "t";
+    t.schema = Schema({{"k", DataType::kInt64},
+                       {"v", DataType::kInt64},
+                       {"s", DataType::kString}});
+    t.fragments = {TableFragment{0, 1.0}};
+    t.stats.row_count = 10000;
+    t.stats.columns["k"] = ColumnStats{10000, 1, 10000, 8};
+    t.stats.columns["v"] = ColumnStats{100, 0, 99, 8};
+    t.stats.columns["s"] = ColumnStats{50, {}, {}, 16};
+    ASSERT_TRUE(catalog_.AddTable(t).ok());
+
+    TableDef u;
+    u.name = "u";
+    u.schema = Schema({{"k", DataType::kInt64},
+                       {"w", DataType::kInt64}});
+    u.fragments = {TableFragment{0, 1.0}};
+    u.stats.row_count = 1000;
+    u.stats.columns["k"] = ColumnStats{1000, 1, 10000, 8};
+    ASSERT_TRUE(catalog_.AddTable(u).ok());
+
+    ctx_ = std::make_unique<PlannerContext>(&catalog_);
+    estimator_ = std::make_unique<CardinalityEstimator>(ctx_.get());
+  }
+
+  // Builds a plan and returns the estimated rows of its root subtree.
+  double RootRows(const std::string& sql) {
+    auto ast = ParseQuery(sql);
+    EXPECT_TRUE(ast.ok());
+    ctx_ = std::make_unique<PlannerContext>(&catalog_);
+    estimator_ = std::make_unique<CardinalityEstimator>(ctx_.get());
+    auto bound = BindQuery(*ast, ctx_.get());
+    EXPECT_TRUE(bound.ok()) << bound.status();
+    auto plan = BuildLogicalPlan(*bound, ctx_.get());
+    EXPECT_TRUE(plan.ok());
+    return Estimate(*(*plan).root).rows;
+  }
+
+  CardEstimate Estimate(const PlanNode& node) {
+    std::vector<CardEstimate> children;
+    for (const auto& c : node.children()) children.push_back(Estimate(*c));
+    return estimator_->EstimateOp(node, node.outputs, children);
+  }
+
+  double Selectivity(const std::string& pred) {
+    auto ast = ParseQuery("SELECT t.k FROM t WHERE " + pred);
+    EXPECT_TRUE(ast.ok());
+    ctx_ = std::make_unique<PlannerContext>(&catalog_);
+    estimator_ = std::make_unique<CardinalityEstimator>(ctx_.get());
+    auto bound = BindQuery(*ast, ctx_.get());
+    EXPECT_TRUE(bound.ok());
+    return estimator_->Selectivity(*bound->where_conjuncts[0]);
+  }
+
+  Catalog catalog_;
+  std::unique_ptr<PlannerContext> ctx_;
+  std::unique_ptr<CardinalityEstimator> estimator_;
+};
+
+TEST_F(CardinalityTest, EqualitySelectivityIsInverseNdv) {
+  EXPECT_NEAR(Selectivity("t.v = 5"), 1.0 / 100, 1e-9);
+  EXPECT_NEAR(Selectivity("t.k = 5"), 1.0 / 10000, 1e-9);
+}
+
+TEST_F(CardinalityTest, RangeUsesMinMax) {
+  // v uniform on [0, 99]: v < 25 selects ~25%.
+  EXPECT_NEAR(Selectivity("t.v < 25"), 0.25, 0.02);
+  EXPECT_NEAR(Selectivity("t.v >= 50"), 0.50, 0.02);
+  // Out-of-range predicates clamp.
+  EXPECT_LE(Selectivity("t.v < -5"), 0.01);
+  EXPECT_GE(Selectivity("t.v < 1000"), 0.99);
+}
+
+TEST_F(CardinalityTest, InListSelectivity) {
+  EXPECT_NEAR(Selectivity("t.v IN (1, 2, 3)"), 3.0 / 100, 1e-9);
+}
+
+TEST_F(CardinalityTest, BooleanCombinators) {
+  double a = Selectivity("t.v = 5");
+  EXPECT_NEAR(Selectivity("t.v = 5 OR t.v = 7"), a + a - a * a, 1e-9);
+  EXPECT_NEAR(Selectivity("NOT t.v = 5"), 1 - a, 1e-9);
+}
+
+TEST_F(CardinalityTest, ScanUsesTableRows) {
+  EXPECT_DOUBLE_EQ(RootRows("SELECT t.k FROM t"), 10000);
+}
+
+TEST_F(CardinalityTest, FkJoinKeepsFactSide) {
+  // |t join u on k| ~ |t| * |u| / max(ndv) = 10000*1000/10000 = 1000.
+  EXPECT_NEAR(RootRows("SELECT t.v FROM t, u WHERE t.k = u.k"), 1000, 1);
+}
+
+TEST_F(CardinalityTest, AggregateCappedByGroupNdv) {
+  EXPECT_NEAR(RootRows("SELECT t.v, SUM(t.k) FROM t GROUP BY t.v"), 100, 1);
+  EXPECT_NEAR(RootRows("SELECT SUM(t.k) FROM t"), 1, 0.01);
+}
+
+TEST_F(CardinalityTest, FilterReducesRows) {
+  double rows = RootRows("SELECT t.k FROM t WHERE t.v = 5");
+  EXPECT_NEAR(rows, 100, 1);  // 10000 / ndv(v)=100
+}
+
+TEST_F(CardinalityTest, RowBytesReflectColumnWidths) {
+  auto ast = ParseQuery("SELECT t.s FROM t");
+  ctx_ = std::make_unique<PlannerContext>(&catalog_);
+  estimator_ = std::make_unique<CardinalityEstimator>(ctx_.get());
+  auto bound = BindQuery(*ast, ctx_.get());
+  auto plan = BuildLogicalPlan(*bound, ctx_.get());
+  CardEstimate est = Estimate(*(*plan).root);
+  EXPECT_DOUBLE_EQ(est.row_bytes, 16);  // s alone
+}
+
+}  // namespace
+}  // namespace cgq

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+
+namespace cgq {
+namespace {
+
+TEST(LocationSetTest, BasicOps) {
+  LocationSet s;
+  EXPECT_TRUE(s.empty());
+  s.Add(3);
+  s.Add(0);
+  EXPECT_TRUE(s.Contains(0));
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_FALSE(s.Contains(1));
+  EXPECT_EQ(s.Count(), 2u);
+  EXPECT_EQ(s.ToVector(), (std::vector<LocationId>{0, 3}));
+  s.Remove(0);
+  EXPECT_FALSE(s.Contains(0));
+}
+
+TEST(LocationSetTest, SetAlgebra) {
+  LocationSet a = LocationSet::Single(1).Union(LocationSet::Single(2));
+  LocationSet b = LocationSet::Single(2).Union(LocationSet::Single(3));
+  EXPECT_EQ(a.Intersect(b), LocationSet::Single(2));
+  EXPECT_EQ(a.Union(b).Count(), 3u);
+  EXPECT_TRUE(LocationSet::Single(2).IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+  EXPECT_TRUE(LocationSet().IsSubsetOf(a));
+}
+
+TEST(LocationSetTest, AllOf) {
+  EXPECT_EQ(LocationSet::AllOf(5).Count(), 5u);
+  EXPECT_EQ(LocationSet::AllOf(64).Count(), 64u);
+  EXPECT_TRUE(LocationSet::AllOf(0).empty());
+}
+
+TEST(LocationCatalogTest, AddAndLookup) {
+  LocationCatalog locs;
+  auto id1 = locs.AddLocation("Europe");
+  ASSERT_TRUE(id1.ok());
+  EXPECT_EQ(*id1, 0u);
+  auto id2 = locs.AddLocation("Asia");
+  ASSERT_TRUE(id2.ok());
+  EXPECT_EQ(*locs.GetId("europe"), 0u);  // case-insensitive
+  EXPECT_EQ(locs.GetName(1), "Asia");
+  EXPECT_FALSE(locs.GetId("mars").ok());
+  EXPECT_TRUE(locs.AddLocation("EUROPE").status().code() ==
+              StatusCode::kAlreadyExists);
+}
+
+TEST(LocationCatalogTest, SetToString) {
+  LocationCatalog locs;
+  (void)locs.AddLocation("n");
+  (void)locs.AddLocation("e");
+  LocationSet s;
+  s.Add(0);
+  s.Add(1);
+  EXPECT_EQ(locs.SetToString(s), "{n, e}");
+  EXPECT_EQ(locs.SetToString(LocationSet()), "{}");
+}
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(catalog_.mutable_locations().AddLocation("x").ok());
+    ASSERT_TRUE(catalog_.mutable_locations().AddLocation("y").ok());
+  }
+  TableDef MakeTable(const std::string& name, LocationId home) {
+    TableDef t;
+    t.name = name;
+    t.schema = Schema({{"a", DataType::kInt64}});
+    t.fragments = {TableFragment{home, 1.0}};
+    return t;
+  }
+  Catalog catalog_;
+};
+
+TEST_F(CatalogTest, AddGetTable) {
+  ASSERT_TRUE(catalog_.AddTable(MakeTable("Foo", 0)).ok());
+  auto t = catalog_.GetTable("FOO");  // case-insensitive
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->name, "foo");
+  EXPECT_EQ((*t)->home(), 0u);
+  EXPECT_TRUE(catalog_.HasTable("foo"));
+  EXPECT_FALSE(catalog_.HasTable("bar"));
+  EXPECT_FALSE(catalog_.GetTable("bar").ok());
+}
+
+TEST_F(CatalogTest, RejectsInvalidTables) {
+  EXPECT_TRUE(catalog_.AddTable(MakeTable("", 0)).IsInvalidArgument());
+  TableDef no_fragments = MakeTable("t", 0);
+  no_fragments.fragments.clear();
+  EXPECT_TRUE(catalog_.AddTable(no_fragments).IsInvalidArgument());
+  EXPECT_TRUE(catalog_.AddTable(MakeTable("t", 7)).IsInvalidArgument());
+  ASSERT_TRUE(catalog_.AddTable(MakeTable("t", 0)).ok());
+  EXPECT_EQ(catalog_.AddTable(MakeTable("T", 1)).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(CatalogTest, SetFragmentsAndLocations) {
+  ASSERT_TRUE(catalog_.AddTable(MakeTable("t", 0)).ok());
+  ASSERT_TRUE(catalog_
+                  .SetFragments("t", {TableFragment{0, 0.5},
+                                      TableFragment{1, 0.5}})
+                  .ok());
+  auto t = catalog_.GetTable("t");
+  EXPECT_FALSE((*t)->IsSingleLocation());
+  EXPECT_EQ((*t)->LocationsOf().Count(), 2u);
+  EXPECT_FALSE(catalog_.SetFragments("nope", {TableFragment{0, 1}}).ok());
+  EXPECT_FALSE(catalog_.SetFragments("t", {}).ok());
+}
+
+TEST_F(CatalogTest, SetStats) {
+  ASSERT_TRUE(catalog_.AddTable(MakeTable("t", 0)).ok());
+  TableStats stats;
+  stats.row_count = 42;
+  stats.columns["a"] = ColumnStats{10, 1, 100, 8};
+  ASSERT_TRUE(catalog_.SetStats("t", stats).ok());
+  auto t = catalog_.GetTable("t");
+  EXPECT_DOUBLE_EQ((*t)->stats.row_count, 42);
+  ASSERT_NE((*t)->stats.FindColumn("a"), nullptr);
+  EXPECT_DOUBLE_EQ((*t)->stats.FindColumn("a")->distinct_count, 10);
+  EXPECT_EQ((*t)->stats.FindColumn("zz"), nullptr);
+}
+
+TEST_F(CatalogTest, TableNamesSorted) {
+  ASSERT_TRUE(catalog_.AddTable(MakeTable("zeta", 0)).ok());
+  ASSERT_TRUE(catalog_.AddTable(MakeTable("alpha", 1)).ok());
+  EXPECT_EQ(catalog_.TableNames(),
+            (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+}  // namespace
+}  // namespace cgq

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+
+namespace cgq {
+namespace {
+
+// Two tables stored at the SAME location form a single-database block when
+// joined: Algorithm 1 evaluates the joined subquery attribute-wise against
+// that location's policies (footnote 2 of §4 allows multi-table blocks).
+class ColocatedBlockTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Catalog catalog;
+    ASSERT_TRUE(catalog.mutable_locations().AddLocation("d1").ok());
+    ASSERT_TRUE(catalog.mutable_locations().AddLocation("d2").ok());
+
+    TableDef supplier;  // both at d1
+    supplier.name = "supplier";
+    supplier.schema = Schema({{"sk", DataType::kInt64},
+                              {"sname", DataType::kString}});
+    supplier.fragments = {TableFragment{0, 1.0}};
+    supplier.stats.row_count = 20;
+    ASSERT_TRUE(catalog.AddTable(supplier).ok());
+
+    TableDef partsupp;
+    partsupp.name = "partsupp";
+    partsupp.schema = Schema({{"pk", DataType::kInt64},
+                              {"sk", DataType::kInt64},
+                              {"cost", DataType::kInt64}});
+    partsupp.fragments = {TableFragment{0, 1.0}};
+    partsupp.stats.row_count = 100;
+    ASSERT_TRUE(catalog.AddTable(partsupp).ok());
+
+    TableDef part;  // at d2
+    part.name = "part";
+    part.schema = Schema({{"pk", DataType::kInt64},
+                          {"pname", DataType::kString}});
+    part.fragments = {TableFragment{1, 1.0}};
+    part.stats.row_count = 30;
+    ASSERT_TRUE(catalog.AddTable(part).ok());
+
+    engine_ = std::make_unique<Engine>(std::move(catalog),
+                                       NetworkModel::DefaultGeo(2));
+    engine_->store().Put(
+        0, "supplier",
+        {{Value::Int64(1), Value::String("acme")},
+         {Value::Int64(2), Value::String("blob")}});
+    engine_->store().Put(0, "partsupp",
+                         {{Value::Int64(7), Value::Int64(1),
+                           Value::Int64(10)},
+                          {Value::Int64(7), Value::Int64(2),
+                           Value::Int64(8)},
+                          {Value::Int64(8), Value::Int64(1),
+                           Value::Int64(5)}});
+    engine_->store().Put(1, "part",
+                         {{Value::Int64(7), Value::String("bolt")},
+                          {Value::Int64(8), Value::String("nut")}});
+  }
+
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(ColocatedBlockTest, JoinedBlockShipsWhenBothTablesPermit) {
+  // Each table individually permits its attributes; the join of the two
+  // may then ship (intersection attribute-wise).
+  ASSERT_TRUE(
+      engine_->AddPolicy("d1", "ship sk, sname from supplier to d2").ok());
+  ASSERT_TRUE(
+      engine_->AddPolicy("d1", "ship pk, sk, cost from partsupp to d2").ok());
+  auto r = engine_->Optimize(
+      "SELECT p.pname, s.sname, ps.cost FROM part p, partsupp ps, "
+      "supplier s WHERE p.pk = ps.pk AND ps.sk = s.sk");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->compliant);
+  EXPECT_EQ(r->result_location, 1u);  // the block moved to d2
+  auto rows = engine_->Run(
+      "SELECT p.pname, s.sname, ps.cost FROM part p, partsupp ps, "
+      "supplier s WHERE p.pk = ps.pk AND ps.sk = s.sk");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows.size(), 3u);
+}
+
+TEST_F(ColocatedBlockTest, OneUnlicensedTableBlocksTheJoinedShip) {
+  // supplier has no egress at all: the ps⋈s block cannot leave d1, and
+  // part cannot reach d1 either -> reject.
+  ASSERT_TRUE(
+      engine_->AddPolicy("d1", "ship pk, sk, cost from partsupp to d2").ok());
+  auto r = engine_->Optimize(
+      "SELECT p.pname, s.sname FROM part p, partsupp ps, supplier s "
+      "WHERE p.pk = ps.pk AND ps.sk = s.sk");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNonCompliant());
+
+  // But a query not touching supplier still travels fine.
+  auto ok = engine_->Optimize(
+      "SELECT p.pname, ps.cost FROM part p, partsupp ps WHERE p.pk = ps.pk");
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_TRUE(ok->compliant);
+}
+
+TEST_F(ColocatedBlockTest, JoinPredicateDisclosureCounts) {
+  // The join condition ps.sk = s.sk disclosed ps.sk; omitting sk from the
+  // partsupp expression must block the joined ship even though sk is not
+  // in the output.
+  ASSERT_TRUE(
+      engine_->AddPolicy("d1", "ship sk, sname from supplier to d2").ok());
+  ASSERT_TRUE(
+      engine_->AddPolicy("d1", "ship pk, cost from partsupp to d2").ok());
+  auto r = engine_->Optimize(
+      "SELECT p.pname, s.sname FROM part p, partsupp ps, supplier s "
+      "WHERE p.pk = ps.pk AND ps.sk = s.sk");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNonCompliant());
+}
+
+}  // namespace
+}  // namespace cgq

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/str_util.h"
+
+namespace cgq {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad thing");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad thing");
+}
+
+TEST(StatusTest, NonCompliantCode) {
+  Status s = Status::NonCompliant("no compliant plan");
+  EXPECT_TRUE(s.IsNonCompliant());
+}
+
+TEST(StatusTest, CopyIsCheapAndEqualCode) {
+  Status s = Status::NotFound("x");
+  Status t = s;
+  EXPECT_EQ(t.code(), StatusCode::kNotFound);
+  EXPECT_EQ(t.message(), "x");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fn = []() -> Status {
+    CGQ_RETURN_NOT_OK(Status::OK());
+    CGQ_RETURN_NOT_OK(Status::Internal("boom"));
+    return Status::OK();
+  };
+  EXPECT_TRUE(fn().IsInternal());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto ok = []() -> Result<int> { return 7; };
+  auto fail = []() -> Result<int> { return Status::NotFound("x"); };
+  auto fn = [&](bool use_fail) -> Result<int> {
+    CGQ_ASSIGN_OR_RETURN(int v, use_fail ? fail() : ok());
+    return v + 1;
+  };
+  EXPECT_EQ(*fn(false), 8);
+  EXPECT_TRUE(fn(true).status().IsNotFound());
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformSingleton) {
+  Rng rng(7);
+  EXPECT_EQ(rng.Uniform(3, 3), 3);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, SampleIndicesDistinct) {
+  Rng rng(1);
+  auto idx = rng.SampleIndices(10, 5);
+  ASSERT_EQ(idx.size(), 5u);
+  for (size_t i = 0; i < idx.size(); ++i) {
+    EXPECT_LT(idx[i], 10u);
+    for (size_t j = i + 1; j < idx.size(); ++j) EXPECT_NE(idx[i], idx[j]);
+  }
+}
+
+TEST(RngTest, SampleIndicesCapped) {
+  Rng rng(1);
+  EXPECT_EQ(rng.SampleIndices(3, 10).size(), 3u);
+}
+
+TEST(StrUtilTest, ToLowerUpper) {
+  EXPECT_EQ(ToLower("AbC_1"), "abc_1");
+  EXPECT_EQ(ToUpper("AbC_1"), "ABC_1");
+}
+
+TEST(StrUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("Customer", "CUSTOMER"));
+  EXPECT_FALSE(EqualsIgnoreCase("Customer", "Customers"));
+}
+
+TEST(StrUtilTest, Trim) {
+  EXPECT_EQ(Trim("  a b  "), "a b");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StrUtilTest, SplitAndTrim) {
+  auto parts = SplitAndTrim(" a, b ,c ", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StrUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StrUtilTest, LikeExact) {
+  EXPECT_TRUE(LikeMatch("abc", "abc"));
+  EXPECT_FALSE(LikeMatch("abc", "abd"));
+}
+
+TEST(StrUtilTest, LikePercent) {
+  EXPECT_TRUE(LikeMatch("STANDARD COPPER BRUSHED", "%COPPER%"));
+  EXPECT_TRUE(LikeMatch("Anna", "A%"));
+  EXPECT_FALSE(LikeMatch("Bob", "A%"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+}
+
+TEST(StrUtilTest, LikeUnderscore) {
+  EXPECT_TRUE(LikeMatch("cat", "c_t"));
+  EXPECT_FALSE(LikeMatch("cart", "c_t"));
+  EXPECT_TRUE(LikeMatch("cart", "c__t"));
+}
+
+TEST(StrUtilTest, LikeMixed) {
+  EXPECT_TRUE(LikeMatch("PROMO BURNISHED COPPER", "PROMO%COPPER"));
+  EXPECT_TRUE(LikeMatch("xay", "_a%"));
+  EXPECT_FALSE(LikeMatch("ax", "_a%"));
+}
+
+}  // namespace
+}  // namespace cgq

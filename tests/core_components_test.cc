@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include "core/compliance_checker.h"
+#include "core/site_selector.h"
+#include "net/network_model.h"
+#include "core/engine.h"
+
+namespace cgq {
+namespace {
+
+// --- NetworkModel -----------------------------------------------------------
+
+TEST(NetworkModelTest, UniformModel) {
+  NetworkModel net(3, 10.0, 0.001);
+  EXPECT_DOUBLE_EQ(net.Cost(0, 1, 1000), 10.0 + 1.0);
+  EXPECT_DOUBLE_EQ(net.Cost(2, 2, 1000), 0.0);  // intra-site free
+}
+
+TEST(NetworkModelTest, DefaultGeoIsAsymmetricAndPositive) {
+  NetworkModel net = NetworkModel::DefaultGeo(5);
+  for (LocationId i = 0; i < 5; ++i) {
+    for (LocationId j = 0; j < 5; ++j) {
+      if (i == j) continue;
+      EXPECT_GT(net.alpha(i, j), 0) << i << "," << j;
+      EXPECT_GT(net.beta(i, j), 0);
+    }
+  }
+  // Europe<->NA is a faster link than Africa<->Asia.
+  EXPECT_LT(net.Cost(0, 3, 1 << 20), net.Cost(1, 2, 1 << 20));
+}
+
+TEST(NetworkModelTest, ExtendsBeyondFiveRegions) {
+  NetworkModel net = NetworkModel::DefaultGeo(20);
+  EXPECT_EQ(net.num_locations(), 20u);
+  // Sites 0 and 5 share a canonical region: regional link.
+  EXPECT_LT(net.Cost(0, 5, 1000), net.Cost(0, 2, 1000));
+}
+
+TEST(NetworkModelTest, CostScalesWithBytes) {
+  NetworkModel net = NetworkModel::DefaultGeo(5);
+  EXPECT_LT(net.Cost(0, 1, 100), net.Cost(0, 1, 1000000));
+}
+
+// --- SiteSelector on hand-built plans ---------------------------------------
+
+class SiteSelectorTest : public ::testing::Test {
+ protected:
+  // Builds Scan(a)@0 JOIN Scan(b)@1 with the given traits on the join.
+  PlanNodePtr MakeJoinPlan(LocationSet join_exec) {
+    auto scan_a = std::make_shared<PlanNode>(PlanKind::kScan);
+    scan_a->table = "a";
+    scan_a->scan_location = 0;
+    scan_a->exec_trait = LocationSet::Single(0);
+    scan_a->est_rows = 1000;
+    scan_a->est_row_bytes = 100;
+
+    auto scan_b = std::make_shared<PlanNode>(PlanKind::kScan);
+    scan_b->table = "b";
+    scan_b->scan_location = 1;
+    scan_b->exec_trait = LocationSet::Single(1);
+    scan_b->est_rows = 10;
+    scan_b->est_row_bytes = 100;
+
+    auto join = std::make_shared<PlanNode>(PlanKind::kJoin);
+    join->exec_trait = join_exec;
+    join->est_rows = 10;
+    join->est_row_bytes = 200;
+    join->children() = {scan_a, scan_b};
+    return join;
+  }
+};
+
+TEST_F(SiteSelectorTest, PicksCheaperSide) {
+  NetworkModel net(2, 5.0, 0.001);
+  SiteSelector selector(&net);
+  LocationSet both = LocationSet::AllOf(2);
+  auto r = selector.Place(MakeJoinPlan(both));
+  ASSERT_TRUE(r.ok());
+  // Shipping b (1 KB) to 0 is cheaper than a (100 KB) to 1.
+  EXPECT_EQ(r->result_location, 0u);
+  EXPECT_NEAR(r->comm_cost_ms, 5.0 + 10 * 100 * 0.001, 1e-9);
+}
+
+TEST_F(SiteSelectorTest, RespectsExecTrait) {
+  NetworkModel net(2, 5.0, 0.001);
+  SiteSelector selector(&net);
+  auto r = selector.Place(MakeJoinPlan(LocationSet::Single(1)));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->result_location, 1u);  // forced to the expensive side
+}
+
+TEST_F(SiteSelectorTest, InsertsShipNodesOnCrossSiteEdges) {
+  NetworkModel net(2, 5.0, 0.001);
+  SiteSelector selector(&net);
+  auto r = selector.Place(MakeJoinPlan(LocationSet::AllOf(2)));
+  ASSERT_TRUE(r.ok());
+  int ships = 0;
+  std::vector<const PlanNode*> stack = {r->root.get()};
+  while (!stack.empty()) {
+    const PlanNode* n = stack.back();
+    stack.pop_back();
+    if (n->kind() == PlanKind::kShip) {
+      ++ships;
+      EXPECT_EQ(n->ship_to, r->root->location);
+    }
+    for (const auto& c : n->children()) stack.push_back(c.get());
+  }
+  EXPECT_EQ(ships, 1);
+}
+
+TEST_F(SiteSelectorTest, RequiredResultRestriction) {
+  NetworkModel net(2, 5.0, 0.001);
+  SiteSelector selector(&net);
+  auto r = selector.Place(MakeJoinPlan(LocationSet::AllOf(2)),
+                          LocationSet::Single(1));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->result_location, 1u);
+}
+
+TEST_F(SiteSelectorTest, EmptyTraitFails) {
+  NetworkModel net(2, 5.0, 0.001);
+  SiteSelector selector(&net);
+  auto r = selector.Place(MakeJoinPlan(LocationSet()));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNonCompliant());
+}
+
+// --- Compliance checker on hand-located plans -------------------------------
+
+class CheckerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(catalog_.mutable_locations().AddLocation("n").ok());
+    ASSERT_TRUE(catalog_.mutable_locations().AddLocation("e").ok());
+    TableDef t;
+    t.name = "cust";
+    t.schema = Schema({{"id", DataType::kInt64},
+                       {"secret", DataType::kString}});
+    t.fragments = {TableFragment{0, 1.0}};
+    t.stats.row_count = 10;
+    ASSERT_TRUE(catalog_.AddTable(t).ok());
+    policies_ = std::make_unique<PolicyCatalog>(&catalog_);
+    ASSERT_TRUE(policies_->AddPolicyText("n", "ship id from cust to e").ok());
+    evaluator_ =
+        std::make_unique<PolicyEvaluator>(&catalog_, policies_.get());
+  }
+
+  PlanNodePtr MakeScan() {
+    auto scan = std::make_shared<PlanNode>(PlanKind::kScan);
+    scan->table = "cust";
+    scan->alias = "cust";
+    scan->scan_location = 0;
+    scan->location = 0;
+    scan->outputs = {{0, "id", DataType::kInt64},
+                     {1, "secret", DataType::kString}};
+    return scan;
+  }
+
+  PlanNodePtr WrapShip(PlanNodePtr child, LocationId to) {
+    auto ship = std::make_shared<PlanNode>(PlanKind::kShip);
+    ship->ship_from = child->location;
+    ship->ship_to = to;
+    ship->location = to;
+    ship->outputs = child->outputs;
+    ship->children().push_back(std::move(child));
+    return ship;
+  }
+
+  Catalog catalog_;
+  std::unique_ptr<PolicyCatalog> policies_;
+  std::unique_ptr<PolicyEvaluator> evaluator_;
+};
+
+TEST_F(CheckerTest, ShippingWholeTableIsFlagged) {
+  PlanNodePtr plan = WrapShip(MakeScan(), 1);
+  ComplianceReport report =
+      CheckCompliance(*plan, *evaluator_, catalog_.locations());
+  EXPECT_FALSE(report.compliant);
+  ASSERT_FALSE(report.violations.empty());
+}
+
+TEST_F(CheckerTest, ShippingMaskedProjectionIsLegal) {
+  auto project = std::make_shared<PlanNode>(PlanKind::kProject);
+  project->project_ids = {0};
+  project->project_names = {"id"};
+  project->location = 0;
+  project->children().push_back(MakeScan());
+  project->outputs = {{0, "id", DataType::kInt64}};
+  PlanNodePtr plan = WrapShip(project, 1);
+  ComplianceReport report =
+      CheckCompliance(*plan, *evaluator_, catalog_.locations());
+  EXPECT_TRUE(report.compliant)
+      << (report.violations.empty() ? "" : report.violations[0]);
+}
+
+TEST_F(CheckerTest, ScanAtWrongLocationIsFlagged) {
+  PlanNodePtr scan = MakeScan();
+  scan->location = 1;  // claims to run where the data is not
+  ComplianceReport report =
+      CheckCompliance(*scan, *evaluator_, catalog_.locations());
+  EXPECT_FALSE(report.compliant);
+}
+
+// --- Engine facade -----------------------------------------------------------
+
+TEST(EngineTest, RejectBeforeDataMoves) {
+  Catalog catalog;
+  (void)*catalog.mutable_locations().AddLocation("p");
+  (void)*catalog.mutable_locations().AddLocation("q");
+  TableDef t;
+  t.name = "vault";
+  t.schema = Schema({{"k", DataType::kInt64}});
+  t.fragments = {TableFragment{0, 1.0}};
+  t.stats.row_count = 1;
+  (void)catalog.AddTable(t);
+  TableDef u;
+  u.name = "pub";
+  u.schema = Schema({{"k", DataType::kInt64}});
+  u.fragments = {TableFragment{1, 1.0}};
+  u.stats.row_count = 1;
+  (void)catalog.AddTable(u);
+
+  Engine engine(std::move(catalog), NetworkModel::DefaultGeo(2));
+  // No policies at all: vault cannot leave p, pub cannot leave q.
+  auto r = engine.Run(
+      "SELECT vault.k FROM vault, pub WHERE vault.k = pub.k");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNonCompliant());
+
+  // Single-site queries still work without any policy.
+  engine.store().Put(0, "vault", {{Value::Int64(7)}});
+  auto local = engine.Run("SELECT k FROM vault");
+  ASSERT_TRUE(local.ok()) << local.status();
+  EXPECT_EQ(local->rows.size(), 1u);
+}
+
+}  // namespace
+}  // namespace cgq

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "core/deny_rules.h"
+#include "core/engine.h"
+
+namespace cgq {
+namespace {
+
+class DenyRulesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* l : {"n", "e", "a"}) {
+      ASSERT_TRUE(catalog_.mutable_locations().AddLocation(l).ok());
+    }
+    TableDef t;
+    t.name = "cust";
+    t.schema = Schema({{"id", DataType::kInt64},
+                       {"name", DataType::kString},
+                       {"acctbal", DataType::kDouble}});
+    t.fragments = {TableFragment{0, 1.0}};
+    t.stats.row_count = 10;
+    ASSERT_TRUE(catalog_.AddTable(t).ok());
+  }
+  Catalog catalog_;
+};
+
+TEST_F(DenyRulesTest, ParseBasics) {
+  auto r = ParseDenyRule(catalog_, "deny acctbal from cust to a, e");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->table, "cust");
+  EXPECT_EQ(r->attributes, (std::vector<std::string>{"acctbal"}));
+  EXPECT_EQ(r->locations.Count(), 2u);
+  EXPECT_FALSE(r->all_attributes);
+  EXPECT_FALSE(r->all_locations);
+}
+
+TEST_F(DenyRulesTest, ParseWildcards) {
+  auto r = ParseDenyRule(catalog_, "deny * from cust to *");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->all_attributes);
+  EXPECT_TRUE(r->all_locations);
+}
+
+TEST_F(DenyRulesTest, ParseErrors) {
+  EXPECT_FALSE(ParseDenyRule(catalog_, "deny from cust to *").ok());
+  EXPECT_FALSE(ParseDenyRule(catalog_, "deny x from nosuch to *").ok());
+  EXPECT_FALSE(ParseDenyRule(catalog_, "deny bogus from cust to *").ok());
+  EXPECT_FALSE(ParseDenyRule(catalog_, "deny id from cust to mars").ok());
+  EXPECT_FALSE(ParseDenyRule(catalog_, "allow id from cust to e").ok());
+}
+
+TEST_F(DenyRulesTest, ClosedWorldExpansion) {
+  // Denying acctbal everywhere allows everything else everywhere.
+  auto rules = ParseDenyRule(catalog_, "deny acctbal from cust to *");
+  ASSERT_TRUE(rules.ok());
+  auto expanded = ExpandDenyRules(catalog_, {*rules});
+  ASSERT_TRUE(expanded.ok()) << expanded.status();
+  ASSERT_EQ(expanded->size(), 1u);  // acctbal fully denied: no expression
+  EXPECT_EQ((*expanded)[0].attributes,
+            (std::vector<std::string>{"id", "name"}));
+  EXPECT_EQ((*expanded)[0].to, catalog_.locations().All());
+}
+
+TEST_F(DenyRulesTest, PartialDenyYieldsTwoExpressions) {
+  auto rule = ParseDenyRule(catalog_, "deny acctbal from cust to a");
+  ASSERT_TRUE(rule.ok());
+  auto expanded = ExpandDenyRules(catalog_, {*rule});
+  ASSERT_TRUE(expanded.ok());
+  ASSERT_EQ(expanded->size(), 2u);
+  // One expression for {id,name} to all, one for {acctbal} to all-but-a.
+  bool found_masked = false;
+  for (const PolicyExpression& e : *expanded) {
+    if (e.attributes == std::vector<std::string>{"acctbal"}) {
+      found_masked = true;
+      EXPECT_FALSE(e.to.Contains(2));  // a
+      EXPECT_TRUE(e.to.Contains(0));
+      EXPECT_TRUE(e.to.Contains(1));
+    }
+  }
+  EXPECT_TRUE(found_masked);
+}
+
+TEST_F(DenyRulesTest, MultipleRulesIntersect) {
+  auto r1 = ParseDenyRule(catalog_, "deny acctbal from cust to a");
+  auto r2 = ParseDenyRule(catalog_, "deny acctbal, name from cust to e");
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  auto expanded = ExpandDenyRules(catalog_, {*r1, *r2});
+  ASSERT_TRUE(expanded.ok());
+  // id -> {n,e,a}; name -> {n,a}; acctbal -> {n}.
+  ASSERT_EQ(expanded->size(), 3u);
+  for (const PolicyExpression& e : *expanded) {
+    if (e.attributes == std::vector<std::string>{"id"}) {
+      EXPECT_EQ(e.to.Count(), 3u);
+    } else if (e.attributes == std::vector<std::string>{"name"}) {
+      EXPECT_EQ(e.to.Count(), 2u);
+      EXPECT_FALSE(e.to.Contains(1));
+    } else {
+      EXPECT_EQ(e.attributes, (std::vector<std::string>{"acctbal"}));
+      EXPECT_EQ(e.to, LocationSet::Single(0));
+    }
+  }
+}
+
+TEST_F(DenyRulesTest, EndToEndThroughOptimizer) {
+  TableDef orders;
+  orders.name = "ord";
+  orders.schema = Schema({{"id", DataType::kInt64},
+                          {"total", DataType::kDouble}});
+  orders.fragments = {TableFragment{1, 1.0}};
+  orders.stats.row_count = 100;
+  ASSERT_TRUE(catalog_.AddTable(orders).ok());
+
+  Engine engine(std::move(catalog_), NetworkModel::DefaultGeo(3));
+  // Positive baseline for orders, negative spec for cust.
+  ASSERT_TRUE(engine.AddPolicy("e", "ship * from ord to *").ok());
+  ASSERT_TRUE(AddDenyPolicies("n", {"deny acctbal from cust to *"},
+                              &engine.policies())
+                  .ok());
+
+  // Joining on id and returning name is fine anywhere.
+  auto ok = engine.Optimize(
+      "SELECT c.name FROM cust c, ord o WHERE c.id = o.id");
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_TRUE(ok->compliant);
+
+  // acctbal can only be used at its home site n; since ord may ship to n,
+  // the query is still legal — but acctbal must not cross a border.
+  auto acct = engine.Optimize(
+      "SELECT c.acctbal FROM cust c, ord o WHERE c.id = o.id");
+  ASSERT_TRUE(acct.ok()) << acct.status();
+  EXPECT_TRUE(acct->compliant);
+  EXPECT_EQ(acct->result_location, 0u);  // pinned to n
+}
+
+}  // namespace
+}  // namespace cgq

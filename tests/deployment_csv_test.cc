@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "catalog/deployment.h"
+#include "core/engine.h"
+#include "exec/analyze.h"
+#include "exec/csv.h"
+#include "types/date.h"
+
+namespace cgq {
+namespace {
+
+constexpr const char* kDeployment = R"(
+# A two-region deployment.
+location berlin
+location tokyo
+
+table users @ berlin : id int64, name string, email string, signup date
+table clicks @ tokyo : user_id int64, url string, ms int64
+table events @ berlin 0.5, tokyo 0.5 : id int64, kind string
+rows users 2000
+
+policy berlin : ship id, name from users to tokyo
+policy tokyo  : ship * from clicks to *
+policy berlin : deny email from users to *
+)";
+
+TEST(DeploymentTest, ParsesLocationsTablesAndPolicies) {
+  auto d = ParseDeployment(kDeployment);
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_EQ(d->catalog.locations().num_locations(), 2u);
+  auto users = d->catalog.GetTable("users");
+  ASSERT_TRUE(users.ok());
+  EXPECT_EQ((*users)->schema.num_columns(), 4u);
+  EXPECT_EQ((*users)->schema.column(3).type, DataType::kDate);
+  EXPECT_DOUBLE_EQ((*users)->stats.row_count, 2000);
+  auto events = d->catalog.GetTable("events");
+  ASSERT_TRUE(events.ok());
+  EXPECT_EQ((*events)->fragments.size(), 2u);
+  EXPECT_DOUBLE_EQ((*events)->fragments[0].row_fraction, 0.5);
+  EXPECT_EQ(d->policies.size(), 3u);
+}
+
+TEST(DeploymentTest, InstallExpandsDenyRules) {
+  auto d = ParseDeployment(kDeployment);
+  ASSERT_TRUE(d.ok());
+  PolicyCatalog policies(&d->catalog);
+  ASSERT_TRUE(InstallDeploymentPolicies(*d, &policies).ok());
+  // berlin: the ship expression + the closed-world complement of the deny
+  // (one expression covering everything except email).
+  auto berlin = d->catalog.locations().GetId("berlin");
+  bool found_complement = false;
+  for (const PolicyExpression& e : policies.For(*berlin)) {
+    if (e.table == "users" && !e.HasShipAttribute("email") &&
+        e.HasShipAttribute("signup")) {
+      found_complement = true;
+    }
+  }
+  EXPECT_TRUE(found_complement);
+}
+
+TEST(DeploymentTest, ReplicatedTables) {
+  auto d = ParseDeployment(
+      "location a\nlocation b\n"
+      "replicated table rates @ a, b : cur string, rate double\n");
+  ASSERT_TRUE(d.ok()) << d.status();
+  auto rates = d->catalog.GetTable("rates");
+  ASSERT_TRUE(rates.ok());
+  EXPECT_TRUE((*rates)->replicated);
+  ASSERT_EQ((*rates)->fragments.size(), 2u);
+  EXPECT_DOUBLE_EQ((*rates)->fragments[0].row_fraction, 1.0);
+  EXPECT_DOUBLE_EQ((*rates)->fragments[1].row_fraction, 1.0);
+}
+
+TEST(DeploymentTest, WriteRoundTrips) {
+  auto d = ParseDeployment(kDeployment);
+  ASSERT_TRUE(d.ok());
+  PolicyCatalog policies(&d->catalog);
+  ASSERT_TRUE(InstallDeploymentPolicies(*d, &policies).ok());
+  std::string dumped = WriteDeployment(d->catalog, policies);
+
+  auto again = ParseDeployment(dumped);
+  ASSERT_TRUE(again.ok()) << again.status() << "\n" << dumped;
+  EXPECT_EQ(again->catalog.locations().num_locations(), 2u);
+  EXPECT_EQ(again->catalog.TableNames(), d->catalog.TableNames());
+  auto users = again->catalog.GetTable("users");
+  EXPECT_DOUBLE_EQ((*users)->stats.row_count, 2000);
+  PolicyCatalog again_policies(&again->catalog);
+  ASSERT_TRUE(InstallDeploymentPolicies(*again, &again_policies).ok())
+      << dumped;
+  EXPECT_EQ(again_policies.TotalCount(), policies.TotalCount());
+}
+
+TEST(DeploymentTest, ParseErrorsCarryLineNumbers) {
+  auto missing_colon = ParseDeployment("location a\ntable t @ a id int64");
+  ASSERT_FALSE(missing_colon.ok());
+  EXPECT_NE(missing_colon.status().message().find("line 2"),
+            std::string::npos);
+  EXPECT_FALSE(ParseDeployment("flub blarg").ok());
+  EXPECT_FALSE(
+      ParseDeployment("location a\ntable t @ nowhere : x int64").ok());
+  EXPECT_FALSE(
+      ParseDeployment("location a\ntable t @ a : x blobtype").ok());
+}
+
+TEST(CsvTest, TypedLoad) {
+  auto d = ParseDeployment(kDeployment);
+  ASSERT_TRUE(d.ok());
+  TableStore store;
+  auto loaded = LoadCsv(d->catalog, "users", 0,
+                        "1,ada,ada@x.test,2021-05-01\n"
+                        "2,\"bob, jr\",bob@x.test,2022-01-15\n"
+                        "3,carol,,2020-07-30\n",
+                        &store);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(*loaded, 3u);
+  auto rows = store.Get(0, "users");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((**rows)[1][1].str(), "bob, jr");  // quoted comma
+  EXPECT_TRUE((**rows)[2][2].is_null());       // empty unquoted = NULL
+  EXPECT_EQ((**rows)[0][3].int64(), DaysFromCivil(2021, 5, 1));
+}
+
+TEST(CsvTest, QuotedEmptyVersusNull) {
+  auto d = ParseDeployment(kDeployment);
+  TableStore store;
+  auto loaded =
+      LoadCsv(d->catalog, "users", 0, "1,\"\",x@y.test,2021-01-01\n",
+              &store);
+  ASSERT_TRUE(loaded.ok());
+  auto rows = store.Get(0, "users");
+  EXPECT_TRUE((**rows)[0][1].is_string());
+  EXPECT_EQ((**rows)[0][1].str(), "");
+}
+
+TEST(CsvTest, EscapedQuotes) {
+  auto d = ParseDeployment(kDeployment);
+  TableStore store;
+  auto loaded = LoadCsv(d->catalog, "users", 0,
+                        "1,\"say \"\"hi\"\"\",a@b.test,2021-01-01\n",
+                        &store);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  auto rows = store.Get(0, "users");
+  EXPECT_EQ((**rows)[0][1].str(), "say \"hi\"");
+}
+
+TEST(CsvTest, Errors) {
+  auto d = ParseDeployment(kDeployment);
+  TableStore store;
+  // Wrong arity.
+  EXPECT_FALSE(LoadCsv(d->catalog, "users", 0, "1,a\n", &store).ok());
+  // Bad int.
+  auto bad = LoadCsv(d->catalog, "users", 0, "xx,a,b,2021-01-01\n", &store);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 1"), std::string::npos);
+  // Wrong location for the fragment.
+  EXPECT_FALSE(
+      LoadCsv(d->catalog, "users", 1, "1,a,b,2021-01-01\n", &store).ok());
+}
+
+TEST(DeploymentTest, EndToEndQueryOverCsvData) {
+  auto d = ParseDeployment(kDeployment);
+  ASSERT_TRUE(d.ok());
+  Engine engine(std::move(d->catalog), NetworkModel::DefaultGeo(2));
+  // Re-parse policies against the engine's catalog copy.
+  ASSERT_TRUE(InstallDeploymentPolicies(
+                  Deployment{Catalog(engine.catalog()), d->policies},
+                  &engine.policies())
+                  .ok());
+  ASSERT_TRUE(LoadCsv(engine.catalog(), "users", 0,
+                      "1,ada,a@x.test,2021-05-01\n"
+                      "2,bob,b@x.test,2022-01-15\n",
+                      &engine.store())
+                  .ok());
+  ASSERT_TRUE(LoadCsv(engine.catalog(), "clicks", 1,
+                      "1,/home,120\n1,/buy,80\n2,/home,95\n",
+                      &engine.store())
+                  .ok());
+  ASSERT_TRUE(AnalyzeTable(engine.store(), "users", &engine.catalog()).ok());
+
+  auto ok = engine.Run(
+      "SELECT u.name, c.url FROM users u, clicks c WHERE u.id = c.user_id");
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_EQ(ok->rows.size(), 3u);
+
+  // email is denied everywhere, but clicks may travel: the optimizer pins
+  // the join to berlin so email never crosses a border.
+  auto pinned = engine.Optimize(
+      "SELECT u.email, c.url FROM users u, clicks c "
+      "WHERE u.id = c.user_id");
+  ASSERT_TRUE(pinned.ok()) << pinned.status();
+  EXPECT_TRUE(pinned->compliant);
+  EXPECT_EQ(pinned->result_location,
+            *engine.catalog().locations().GetId("berlin"));
+
+  // Once clicks are restricted to tokyo as well, no site can see both
+  // sides: rejected.
+  engine.policies().Clear();
+  ASSERT_TRUE(InstallDeploymentPolicies(
+                  Deployment{Catalog(engine.catalog()),
+                             {{"berlin", "ship id, name from users to tokyo"},
+                              {"berlin", "deny email from users to *"}}},
+                  &engine.policies())
+                  .ok());
+  auto rejected = engine.Run(
+      "SELECT u.email, c.url FROM users u, clicks c "
+      "WHERE u.id = c.user_id");
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsNonCompliant());
+}
+
+}  // namespace
+}  // namespace cgq

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "exec/executor.h"
+#include "net/network_model.h"
+#include "tpch/tpch.h"
+
+namespace cgq {
+namespace {
+
+// Shared fixture state: generating TPC-H data once keeps the sweep fast.
+struct SharedTpch {
+  SharedTpch() {
+    config.scale_factor = 0.002;
+    catalog = std::make_unique<Catalog>(*tpch::BuildCatalog(config));
+    net = std::make_unique<NetworkModel>(NetworkModel::DefaultGeo(5));
+    store = std::make_unique<TableStore>();
+    CGQ_CHECK(tpch::GenerateData(*catalog, config, store.get()).ok());
+  }
+  tpch::TpchConfig config;
+  std::unique_ptr<Catalog> catalog;
+  std::unique_ptr<NetworkModel> net;
+  std::unique_ptr<TableStore> store;
+};
+
+SharedTpch& Shared() {
+  static SharedTpch* s = new SharedTpch();
+  return *s;
+}
+
+std::vector<std::string> Canon(const QueryResult& r) {
+  std::vector<std::string> rows;
+  for (const Row& row : r.rows) {
+    std::string s;
+    for (const Value& v : row) {
+      if (v.is_double()) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.4f|", v.dbl());
+        s += buf;
+      } else {
+        s += v.ToString() + "|";
+      }
+    }
+    rows.push_back(std::move(s));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+// (policy set, query number) sweep over the whole workload.
+class FullWorkload
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {};
+
+TEST_P(FullWorkload, CompliantPlanExistsVerifiesAndAgrees) {
+  const auto& [set, q] = GetParam();
+  SharedTpch& shared = Shared();
+  PolicyCatalog policies(shared.catalog.get());
+  ASSERT_TRUE(tpch::InstallPolicySet(set, &policies).ok());
+
+  OptimizerOptions copts;
+  QueryOptimizer compliant(shared.catalog.get(), &policies,
+                           shared.net.get(), copts);
+  OptimizerOptions topts;
+  topts.compliant = false;
+  QueryOptimizer traditional(shared.catalog.get(), &policies,
+                             shared.net.get(), topts);
+
+  std::string sql = *tpch::Query(q);
+  auto c = compliant.Optimize(sql);
+  ASSERT_TRUE(c.ok()) << set << "/Q" << q << ": " << c.status();
+  // Theorem 1: the emitted plan verifies compliant.
+  EXPECT_TRUE(c->compliant) << set << "/Q" << q;
+
+  auto t = traditional.Optimize(sql);
+  ASSERT_TRUE(t.ok()) << set << "/Q" << q;
+
+  // Semantics preservation: identical result multisets.
+  Executor executor(shared.store.get(), shared.net.get());
+  auto rc = executor.Execute(*c);
+  ASSERT_TRUE(rc.ok()) << set << "/Q" << q << ": " << rc.status();
+  auto rt = executor.Execute(*t);
+  ASSERT_TRUE(rt.ok()) << set << "/Q" << q << ": " << rt.status();
+  EXPECT_EQ(Canon(*rc), Canon(*rt)) << set << "/Q" << q;
+}
+
+std::vector<std::tuple<const char*, int>> AllVariants() {
+  std::vector<std::tuple<const char*, int>> out;
+  for (const char* set : {"T", "C", "CR", "CRA"}) {
+    for (int q : tpch::QueryNumbers()) out.emplace_back(set, q);
+    for (int q : tpch::ExtendedQueryNumbers()) out.emplace_back(set, q);
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSetsAllQueries, FullWorkload, ::testing::ValuesIn(AllVariants()),
+    [](const ::testing::TestParamInfo<std::tuple<const char*, int>>& info) {
+      return std::string(std::get<0>(info.param)) + "_Q" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace cgq

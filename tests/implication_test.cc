@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "expr/implication.h"
+#include "sql/parser.h"
+
+namespace cgq {
+namespace {
+
+// Parses a WHERE-style predicate into conjuncts using the query parser.
+std::vector<ExprPtr> Pred(const std::string& text) {
+  auto r = ParseQuery("SELECT x FROM t WHERE " + text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return SplitConjuncts(r->where);
+}
+
+bool Implies(const std::string& premise, const std::string& conclusion) {
+  return PredicateImplies(Pred(premise), Pred(conclusion));
+}
+
+TEST(ImplicationTest, TrivialAndIdentity) {
+  EXPECT_TRUE(Implies("a > 5", "a > 5"));
+  EXPECT_TRUE(PredicateImplies(Pred("a > 5"), {}));  // empty conclusion
+}
+
+struct RangeCase {
+  const char* premise;
+  const char* conclusion;
+  bool expected;
+};
+
+class RangeImplication : public ::testing::TestWithParam<RangeCase> {};
+
+TEST_P(RangeImplication, Holds) {
+  const RangeCase& c = GetParam();
+  EXPECT_EQ(Implies(c.premise, c.conclusion), c.expected)
+      << c.premise << " => " << c.conclusion;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, RangeImplication,
+    ::testing::Values(
+        // The paper's running example: B > 15 implies B > 10.
+        RangeCase{"b > 15", "b > 10", true},
+        RangeCase{"b > 10", "b > 15", false},
+        RangeCase{"b > 10", "b > 10", true},
+        RangeCase{"b >= 11", "b > 10", true},
+        RangeCase{"b > 10", "b >= 10", true},
+        RangeCase{"b >= 10", "b > 10", false},
+        RangeCase{"b < 5", "b < 10", true},
+        RangeCase{"b <= 10", "b < 10", false},
+        RangeCase{"b = 7", "b > 5", true},
+        RangeCase{"b = 7", "b < 5", false},
+        RangeCase{"b = 7", "b <> 8", true},
+        RangeCase{"b = 7", "b <> 7", false},
+        RangeCase{"b > 5 AND b < 10", "b > 0", true},
+        RangeCase{"b > 5 AND b < 10", "b <> 20", true},
+        RangeCase{"b > 5", "c > 5", false},
+        // Different columns are independent.
+        RangeCase{"a = 1 AND b = 2", "a = 1", true},
+        RangeCase{"a = 1 AND b = 2", "b = 2", true},
+        RangeCase{"a = 1", "a = 1 AND b = 2", false}));
+
+TEST(ImplicationTest, InLists) {
+  EXPECT_TRUE(Implies("a IN (1, 2)", "a IN (1, 2, 3)"));
+  EXPECT_FALSE(Implies("a IN (1, 2, 3)", "a IN (1, 2)"));
+  EXPECT_TRUE(Implies("a = 2", "a IN (1, 2, 3)"));
+  EXPECT_TRUE(Implies("a IN (6, 7)", "a > 5"));
+  EXPECT_FALSE(Implies("a IN (4, 7)", "a > 5"));
+}
+
+TEST(ImplicationTest, Strings) {
+  EXPECT_TRUE(Implies("s = 'abc'", "s = 'abc'"));
+  EXPECT_FALSE(Implies("s = 'abc'", "s = 'abd'"));
+  EXPECT_TRUE(Implies("s = 'commercial'", "s IN ('commercial', 'retail')"));
+}
+
+TEST(ImplicationTest, Like) {
+  EXPECT_TRUE(Implies("s LIKE 'A%'", "s LIKE 'A%'"));
+  EXPECT_FALSE(Implies("s LIKE 'A%'", "s LIKE 'B%'"));
+  // Equality point matching the pattern.
+  EXPECT_TRUE(Implies("s = 'Anna'", "s LIKE 'A%'"));
+  EXPECT_FALSE(Implies("s = 'Bob'", "s LIKE 'A%'"));
+}
+
+TEST(ImplicationTest, OrConclusion) {
+  // e4 from Table 3: size > 40 OR type LIKE '%COPPER%'.
+  EXPECT_TRUE(Implies("size > 50", "size > 40 OR type LIKE '%COPPER%'"));
+  EXPECT_TRUE(
+      Implies("type LIKE '%COPPER%'", "size > 40 OR type LIKE '%COPPER%'"));
+  EXPECT_FALSE(Implies("size > 30", "size > 40 OR type LIKE '%COPPER%'"));
+}
+
+TEST(ImplicationTest, OrPremise) {
+  // Every branch of a premise disjunction implies the conclusion.
+  EXPECT_TRUE(Implies("a = 1 OR a = 2", "a < 5"));
+  EXPECT_FALSE(Implies("a = 1 OR a = 10", "a < 5"));
+  EXPECT_TRUE(Implies("a > 10 OR a > 20", "a > 5"));
+}
+
+TEST(ImplicationTest, ContradictoryPremiseImpliesAnything) {
+  EXPECT_TRUE(Implies("a > 10 AND a < 5", "b = 99"));
+  EXPECT_TRUE(Implies("a = 1 AND a = 2", "b = 99"));
+}
+
+TEST(ImplicationTest, SoundButIncomplete) {
+  // The paper's incompleteness example: A=5 ∧ B=3 does not prove A+B=8
+  // under this test (arithmetic reasoning is out of scope).
+  EXPECT_FALSE(Implies("a = 5 AND b = 3", "a + b = 8"));
+}
+
+TEST(ImplicationTest, StructuralJoinPredicate) {
+  // Column-column atoms only match structurally.
+  EXPECT_TRUE(Implies("a = b AND c > 1", "a = b"));
+  EXPECT_FALSE(Implies("a = c", "a = b"));
+}
+
+TEST(ImplicationTest, BetweenDesugared) {
+  EXPECT_TRUE(Implies("a BETWEEN 10 AND 20", "a >= 10"));
+  EXPECT_TRUE(Implies("a BETWEEN 10 AND 20", "a <= 20"));
+  EXPECT_TRUE(Implies("a BETWEEN 10 AND 20", "a > 5"));
+  EXPECT_FALSE(Implies("a BETWEEN 10 AND 20", "a > 15"));
+}
+
+TEST(ImplicationTest, NumericFamiliesUnify) {
+  EXPECT_TRUE(Implies("a > 5.5", "a > 5"));
+  EXPECT_TRUE(Implies("a = 2", "a < 2.5"));
+}
+
+TEST(ImplicationTest, EmptyPremiseOnlyImpliesTrivial) {
+  EXPECT_FALSE(PredicateImplies({}, Pred("a > 5")));
+  EXPECT_TRUE(PredicateImplies({}, {}));
+}
+
+}  // namespace
+}  // namespace cgq

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "core/compliance_checker.h"
+#include "core/engine.h"
+
+namespace cgq {
+namespace {
+
+// Attempts to launder data through relays, renames and wrappers must all
+// be caught: a SHIP chain confers no rights beyond the origin's policies.
+class LaunderingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Catalog catalog;
+    for (const char* l : {"n", "e", "a"}) {
+      ASSERT_TRUE(catalog.mutable_locations().AddLocation(l).ok());
+    }
+    TableDef t;
+    t.name = "cust";
+    t.schema = Schema({{"id", DataType::kInt64},
+                       {"name", DataType::kString}});
+    t.fragments = {TableFragment{0, 1.0}};
+    t.stats.row_count = 10;
+    ASSERT_TRUE(catalog.AddTable(t).ok());
+    engine_ = std::make_unique<Engine>(std::move(catalog),
+                                       NetworkModel::DefaultGeo(3));
+    // cust may go to e, but never to a.
+    ASSERT_TRUE(engine_->AddPolicy("n", "ship * from cust to e").ok());
+  }
+
+  PlanNodePtr Scan() {
+    auto scan = std::make_shared<PlanNode>(PlanKind::kScan);
+    scan->table = "cust";
+    scan->alias = "cust";
+    scan->scan_location = 0;
+    scan->location = 0;
+    scan->outputs = {{0, "id", DataType::kInt64},
+                     {1, "name", DataType::kString}};
+    return scan;
+  }
+
+  PlanNodePtr Ship(PlanNodePtr child, LocationId to) {
+    auto ship = std::make_shared<PlanNode>(PlanKind::kShip);
+    ship->ship_from = child->location;
+    ship->ship_to = to;
+    ship->location = to;
+    ship->outputs = child->outputs;
+    ship->children().push_back(std::move(child));
+    return ship;
+  }
+
+  bool Check(const PlanNodePtr& plan) {
+    PolicyEvaluator evaluator(&engine_->catalog(), &engine_->policies());
+    return CheckCompliance(*plan, evaluator,
+                           engine_->catalog().locations())
+        .compliant;
+  }
+
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(LaunderingTest, DirectShipToForbiddenSiteFlagged) {
+  EXPECT_FALSE(Check(Ship(Scan(), 2)));
+  EXPECT_TRUE(Check(Ship(Scan(), 1)));
+}
+
+TEST_F(LaunderingTest, RelayThroughAllowedSiteFlagged) {
+  // n -> e (legal) -> a (illegal): the relay must not launder.
+  EXPECT_FALSE(Check(Ship(Ship(Scan(), 1), 2)));
+}
+
+TEST_F(LaunderingTest, ProjectionAtRelaySiteDoesNotHelp) {
+  // Renaming/narrowing at e grants nothing new: the policy of n still
+  // governs the cells.
+  PlanNodePtr shipped = Ship(Scan(), 1);
+  auto project = std::make_shared<PlanNode>(PlanKind::kProject);
+  project->project_ids = {1};
+  project->project_names = {"alias_name"};
+  project->location = 1;
+  project->outputs = {{1, "alias_name", DataType::kString}};
+  project->children().push_back(shipped);
+  EXPECT_FALSE(Check(Ship(project, 2)));
+}
+
+TEST_F(LaunderingTest, OptimizerNeverRoutesThroughRelay) {
+  // End-to-end: no compliant plan can deliver cust data at a.
+  OptimizerOptions opts;
+  opts.required_result = LocationSet::Single(2);
+  auto r = engine_->Optimize("SELECT name FROM cust", opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNonCompliant());
+}
+
+TEST_F(LaunderingTest, AggregationAtRelaySiteUsesRelayPolicies) {
+  // Aggregating at e produces a new single-database block... of n's data?
+  // No: the block's source is still n (the scan), so only n's policies
+  // apply, and they do not allow a.
+  PlanNodePtr shipped = Ship(Scan(), 1);
+  auto agg = std::make_shared<PlanNode>(PlanKind::kAggregate);
+  agg->group_ids = {0};
+  agg->location = 1;
+  agg->children().push_back(shipped);
+  agg->outputs = {{0, "id", DataType::kInt64}};
+  EXPECT_FALSE(Check(Ship(agg, 2)));
+}
+
+}  // namespace
+}  // namespace cgq

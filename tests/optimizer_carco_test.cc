@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "core/compliance_checker.h"
+#include "core/optimizer.h"
+#include "net/network_model.h"
+
+namespace cgq {
+namespace {
+
+constexpr const char* kQueryEx =
+    "SELECT c.name, SUM(o.totprice) AS tot, SUM(s.quantity) AS qty "
+    "FROM customer AS c, orders AS o, supply AS s "
+    "WHERE c.custkey = o.custkey AND o.ordkey = s.ordkey "
+    "GROUP BY c.name";
+
+// The motivating CarCo scenario of Section 2: Customer@N, Orders@E,
+// Supply@A, with policies P_N, P_E, P_A.
+class CarCoOptimizerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* l : {"n", "e", "a"}) {
+      ASSERT_TRUE(catalog_.mutable_locations().AddLocation(l).ok());
+    }
+
+    TableDef customer;
+    customer.name = "customer";
+    customer.schema = Schema({{"custkey", DataType::kInt64},
+                              {"name", DataType::kString},
+                              {"acctbal", DataType::kDouble},
+                              {"mktseg", DataType::kString},
+                              {"region", DataType::kString}});
+    customer.fragments = {TableFragment{0, 1.0}};
+    customer.stats.row_count = 1000;
+    customer.stats.columns["custkey"] = {1000, 1, 1000, 8};
+    customer.stats.columns["name"] = {1000, {}, {}, 18};
+    ASSERT_TRUE(catalog_.AddTable(customer).ok());
+
+    TableDef orders;
+    orders.name = "orders";
+    orders.schema = Schema({{"custkey", DataType::kInt64},
+                            {"ordkey", DataType::kInt64},
+                            {"totprice", DataType::kDouble}});
+    orders.fragments = {TableFragment{1, 1.0}};
+    orders.stats.row_count = 10000;
+    orders.stats.columns["custkey"] = {1000, 1, 1000, 8};
+    orders.stats.columns["ordkey"] = {10000, 1, 10000, 8};
+    ASSERT_TRUE(catalog_.AddTable(orders).ok());
+
+    TableDef supply;
+    supply.name = "supply";
+    supply.schema = Schema({{"ordkey", DataType::kInt64},
+                            {"quantity", DataType::kInt64},
+                            {"extprice", DataType::kDouble}});
+    supply.fragments = {TableFragment{2, 1.0}};
+    supply.stats.row_count = 5000;
+    supply.stats.columns["ordkey"] = {5000, 1, 10000, 8};
+    ASSERT_TRUE(catalog_.AddTable(supply).ok());
+
+    policies_ = std::make_unique<PolicyCatalog>(&catalog_);
+    // P_N: customer may leave only with acctbal suppressed.
+    Add("n", "ship custkey, name, mktseg, region from customer to *");
+    // P_E: non-price order data may go to N; only aggregated order data to A.
+    Add("e", "ship custkey, ordkey from orders to n");
+    Add("e",
+        "ship totprice as aggregates sum, avg from orders to a "
+        "group by custkey, ordkey");
+    // P_A: only per-order aggregates of supply may go to E.
+    Add("a",
+        "ship quantity, extprice as aggregates sum from supply to e "
+        "group by ordkey");
+
+    net_ = std::make_unique<NetworkModel>(
+        NetworkModel::DefaultGeo(catalog_.locations().num_locations()));
+  }
+
+  void Add(const std::string& loc, const std::string& text) {
+    Status s = policies_->AddPolicyText(loc, text);
+    ASSERT_TRUE(s.ok()) << s;
+  }
+
+  Result<OptimizedQuery> Run(bool compliant, const std::string& sql) {
+    OptimizerOptions opts;
+    opts.compliant = compliant;
+    QueryOptimizer optimizer(&catalog_, policies_.get(), net_.get(), opts);
+    return optimizer.Optimize(sql);
+  }
+
+  static int CountKind(const PlanNode& node, PlanKind kind) {
+    int n = node.kind() == kind ? 1 : 0;
+    for (const PlanNodePtr& c : node.children()) n += CountKind(*c, kind);
+    return n;
+  }
+
+  static bool HasPartialAggAt(const PlanNode& node, LocationId loc) {
+    if (node.kind() == PlanKind::kAggregate && node.is_partial_agg &&
+        node.location == loc) {
+      return true;
+    }
+    for (const PlanNodePtr& c : node.children()) {
+      if (HasPartialAggAt(*c, loc)) return true;
+    }
+    return false;
+  }
+
+  Catalog catalog_;
+  std::unique_ptr<PolicyCatalog> policies_;
+  std::unique_ptr<NetworkModel> net_;
+};
+
+TEST_F(CarCoOptimizerTest, CompliantOptimizerFindsCompliantPlan) {
+  auto r = Run(/*compliant=*/true, kQueryEx);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->compliant) << PlanToString(*r->plan, &catalog_.locations());
+  EXPECT_TRUE(r->violations.empty());
+}
+
+TEST_F(CarCoOptimizerTest, CompliantPlanMatchesFigure1b) {
+  auto r = Run(true, kQueryEx);
+  ASSERT_TRUE(r.ok()) << r.status();
+  // Supply must be pre-aggregated per order at A before shipping (the
+  // paper's Γ(o, sum(q)) masking operator).
+  EXPECT_TRUE(HasPartialAggAt(*r->plan, 2))
+      << PlanToString(*r->plan, &catalog_.locations());
+  // Both joins execute in Europe.
+  std::vector<const PlanNode*> stack = {r->plan.get()};
+  while (!stack.empty()) {
+    const PlanNode* n = stack.back();
+    stack.pop_back();
+    if (n->kind() == PlanKind::kJoin) {
+      EXPECT_EQ(n->location, 1u) << "join not in Europe";
+    }
+    for (const PlanNodePtr& c : n->children()) stack.push_back(c.get());
+  }
+  // Results are produced in Europe.
+  EXPECT_EQ(r->result_location, 1u);
+}
+
+TEST_F(CarCoOptimizerTest, TraditionalOptimizerViolatesPolicies) {
+  auto r = Run(/*compliant=*/false, kQueryEx);
+  ASSERT_TRUE(r.ok()) << r.status();
+  // Shipping raw Supply out of Asia (or raw Orders to Asia) violates
+  // P_A/P_E; the cost-only baseline does not know that.
+  EXPECT_FALSE(r->compliant)
+      << PlanToString(*r->plan, &catalog_.locations());
+  EXPECT_FALSE(r->violations.empty());
+}
+
+TEST_F(CarCoOptimizerTest, QueryRejectedWithoutSupplyPolicy) {
+  // Drop P_A: supply can no longer leave Asia in any form, and orders may
+  // not be shipped to Asia raw; only the aggregate path remains... which
+  // also dies because SUM(quantity) cannot leave A. Expect rejection.
+  policies_->Clear();
+  Add("n", "ship custkey, name, mktseg, region from customer to *");
+  Add("e", "ship custkey, ordkey from orders to n");
+  auto r = Run(true, kQueryEx);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNonCompliant()) << r.status();
+}
+
+TEST_F(CarCoOptimizerTest, TheoremOneHoldsAcrossQueries) {
+  // Every plan emitted by the compliance-based optimizer passes the
+  // independent Definition-1 checker.
+  const char* queries[] = {
+      kQueryEx,
+      "SELECT c.name FROM customer c WHERE c.mktseg = 'commercial'",
+      "SELECT o.ordkey, o.custkey FROM orders o, customer c "
+      "WHERE o.custkey = c.custkey",
+      "SELECT c.name, SUM(s.extprice) FROM customer c, orders o, supply s "
+      "WHERE c.custkey = o.custkey AND o.ordkey = s.ordkey GROUP BY c.name",
+  };
+  for (const char* q : queries) {
+    auto r = Run(true, q);
+    if (!r.ok()) {
+      EXPECT_TRUE(r.status().IsNonCompliant()) << q << ": " << r.status();
+      continue;
+    }
+    EXPECT_TRUE(r->compliant) << q << "\n"
+                              << PlanToString(*r->plan,
+                                              &catalog_.locations());
+  }
+}
+
+TEST_F(CarCoOptimizerTest, SingleTableLocalQueryStaysHome) {
+  auto r = Run(true, "SELECT acctbal FROM customer WHERE custkey = 7");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->compliant);
+  EXPECT_EQ(r->result_location, 0u);  // N: acctbal may not leave
+  EXPECT_EQ(CountKind(*r->plan, PlanKind::kShip), 0);
+}
+
+TEST_F(CarCoOptimizerTest, StatsArePopulated) {
+  auto r = Run(true, kQueryEx);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_GT(r->stats.memo_groups, 5u);
+  EXPECT_GT(r->stats.memo_exprs, r->stats.memo_groups);
+  EXPECT_GT(r->stats.policy.evaluations, 0);
+  EXPECT_GE(r->stats.total_ms, 0.0);
+}
+
+TEST_F(CarCoOptimizerTest, RequiredResultLocationHonored) {
+  OptimizerOptions opts;
+  opts.compliant = true;
+  opts.required_result = LocationSet::Single(1);  // Europe
+  QueryOptimizer optimizer(&catalog_, policies_.get(), net_.get(), opts);
+  auto r = optimizer.Optimize(kQueryEx);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->result_location, 1u);
+}
+
+}  // namespace
+}  // namespace cgq

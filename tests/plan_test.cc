@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include "plan/binder.h"
+#include "plan/builder.h"
+#include "plan/summary.h"
+#include "sql/parser.h"
+
+namespace cgq {
+namespace {
+
+// Three-site fixture with a fragmented table for normalization tests.
+class PlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* l : {"x", "y", "z"}) {
+      ASSERT_TRUE(catalog_.mutable_locations().AddLocation(l).ok());
+    }
+    TableDef t1;
+    t1.name = "emp";
+    t1.schema = Schema({{"id", DataType::kInt64},
+                        {"dept", DataType::kInt64},
+                        {"salary", DataType::kDouble},
+                        {"name", DataType::kString}});
+    t1.fragments = {TableFragment{0, 1.0}};
+    t1.stats.row_count = 1000;
+    ASSERT_TRUE(catalog_.AddTable(t1).ok());
+
+    TableDef t2;
+    t2.name = "dept";
+    t2.schema = Schema({{"id", DataType::kInt64},
+                        {"dname", DataType::kString}});
+    t2.fragments = {TableFragment{1, 1.0}};
+    t2.stats.row_count = 10;
+    ASSERT_TRUE(catalog_.AddTable(t2).ok());
+
+    TableDef t3;  // fragmented over all three sites
+    t3.name = "log";
+    t3.schema = Schema({{"emp_id", DataType::kInt64},
+                        {"ts", DataType::kInt64}});
+    t3.fragments = {TableFragment{0, 0.3}, TableFragment{1, 0.4},
+                    TableFragment{2, 0.3}};
+    t3.stats.row_count = 5000;
+    ASSERT_TRUE(catalog_.AddTable(t3).ok());
+  }
+
+  LogicalPlan Build(const std::string& sql, PlannerContext* ctx) {
+    auto ast = ParseQuery(sql);
+    EXPECT_TRUE(ast.ok()) << ast.status();
+    auto bound = BindQuery(*ast, ctx);
+    EXPECT_TRUE(bound.ok()) << bound.status();
+    auto plan = BuildLogicalPlan(*bound, ctx);
+    EXPECT_TRUE(plan.ok()) << plan.status();
+    return *plan;
+  }
+
+  static int Count(const PlanNode& n, PlanKind k) {
+    int c = n.kind() == k ? 1 : 0;
+    for (const auto& ch : n.children()) c += Count(*ch, k);
+    return c;
+  }
+
+  static const PlanNode* Find(const PlanNode& n, PlanKind k) {
+    if (n.kind() == k) return &n;
+    for (const auto& ch : n.children()) {
+      if (const PlanNode* f = Find(*ch, k)) return f;
+    }
+    return nullptr;
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(PlanTest, FilterPushedBelowJoin) {
+  PlannerContext ctx(&catalog_);
+  LogicalPlan plan = Build(
+      "SELECT e.name FROM emp e, dept d "
+      "WHERE e.dept = d.id AND e.salary > 100",
+      &ctx);
+  // The salary filter must sit directly above the emp scan.
+  const PlanNode* filter = Find(*plan.root, PlanKind::kFilter);
+  ASSERT_NE(filter, nullptr);
+  EXPECT_EQ(filter->child(0)->kind(), PlanKind::kScan);
+  EXPECT_EQ(filter->child(0)->table, "emp");
+  // The join keeps only the join conjunct.
+  const PlanNode* join = Find(*plan.root, PlanKind::kJoin);
+  ASSERT_NE(join, nullptr);
+  ASSERT_EQ(join->conjuncts.size(), 1u);
+}
+
+TEST_F(PlanTest, MaskingProjectionPrunesColumns) {
+  PlannerContext ctx(&catalog_);
+  LogicalPlan plan = Build(
+      "SELECT e.name FROM emp e, dept d WHERE e.dept = d.id", &ctx);
+  // emp has 4 columns; only name and dept are needed upstream.
+  const PlanNode* join = Find(*plan.root, PlanKind::kJoin);
+  ASSERT_NE(join, nullptr);
+  const PlanNode& emp_side = *join->child(0);
+  EXPECT_EQ(emp_side.kind(), PlanKind::kProject);
+  EXPECT_EQ(emp_side.outputs.size(), 2u);
+}
+
+TEST_F(PlanTest, FragmentedTableBecomesUnion) {
+  PlannerContext ctx(&catalog_);
+  LogicalPlan plan = Build("SELECT log.ts FROM log, emp "
+                           "WHERE log.emp_id = emp.id", &ctx);
+  const PlanNode* u = Find(*plan.root, PlanKind::kUnion);
+  ASSERT_NE(u, nullptr);
+  EXPECT_EQ(u->children().size(), 3u);
+  EXPECT_EQ(Count(*plan.root, PlanKind::kScan), 4);  // 3 fragments + emp
+}
+
+TEST_F(PlanTest, FilterPushedIntoEveryFragment) {
+  PlannerContext ctx(&catalog_);
+  LogicalPlan plan =
+      Build("SELECT log.ts FROM log, emp "
+            "WHERE log.emp_id = emp.id AND log.ts > 100", &ctx);
+  EXPECT_EQ(Count(*plan.root, PlanKind::kFilter), 3);
+}
+
+TEST_F(PlanTest, AggregatePlanShape) {
+  PlannerContext ctx(&catalog_);
+  LogicalPlan plan = Build(
+      "SELECT e.dept, SUM(e.salary) AS total FROM emp e GROUP BY e.dept",
+      &ctx);
+  EXPECT_EQ(plan.root->kind(), PlanKind::kProject);
+  const PlanNode& agg = *plan.root->child(0);
+  EXPECT_EQ(agg.kind(), PlanKind::kAggregate);
+  EXPECT_EQ(agg.group_ids.size(), 1u);
+  EXPECT_EQ(agg.agg_calls.size(), 1u);
+  EXPECT_TRUE(IsSyntheticAttr(agg.agg_out_ids[0]));
+  EXPECT_EQ(plan.root->outputs[1].name, "total");
+}
+
+TEST_F(PlanTest, OrderByLimitCarried) {
+  PlannerContext ctx(&catalog_);
+  LogicalPlan plan = Build(
+      "SELECT e.name, e.salary FROM emp e ORDER BY salary DESC LIMIT 5",
+      &ctx);
+  ASSERT_EQ(plan.order_by.size(), 1u);
+  EXPECT_TRUE(plan.order_by[0].descending);
+  EXPECT_EQ(plan.limit, 5);
+}
+
+TEST_F(PlanTest, BindErrors) {
+  PlannerContext ctx1(&catalog_);
+  auto ast = ParseQuery("SELECT bogus FROM emp");
+  EXPECT_FALSE(BindQuery(*ast, &ctx1).ok());
+
+  PlannerContext ctx2(&catalog_);
+  ast = ParseQuery("SELECT id FROM emp, dept");  // ambiguous id
+  EXPECT_FALSE(BindQuery(*ast, &ctx2).ok());
+
+  PlannerContext ctx3(&catalog_);
+  ast = ParseQuery("SELECT name FROM missing_table");
+  EXPECT_FALSE(BindQuery(*ast, &ctx3).ok());
+
+  PlannerContext ctx4(&catalog_);
+  ast = ParseQuery("SELECT e.name, SUM(e.salary) FROM emp e");
+  EXPECT_FALSE(BindQuery(*ast, &ctx4).ok());  // name not grouped
+
+  PlannerContext ctx5(&catalog_);
+  ast = ParseQuery("SELECT e.name FROM emp e ORDER BY nope");
+  EXPECT_FALSE(BindQuery(*ast, &ctx5).ok());
+}
+
+TEST_F(PlanTest, SelfJoinGetsDistinctAttrIds) {
+  PlannerContext ctx(&catalog_);
+  LogicalPlan plan = Build(
+      "SELECT a.name FROM emp a, emp b WHERE a.dept = b.dept", &ctx);
+  const PlanNode* join = Find(*plan.root, PlanKind::kJoin);
+  ASSERT_NE(join, nullptr);
+  std::vector<AttrId> ids;
+  join->conjuncts[0]->CollectAttrIds(&ids);
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_NE(ids[0], ids[1]);
+  EXPECT_NE(PlannerContext::RelIndexOf(ids[0]),
+            PlannerContext::RelIndexOf(ids[1]));
+}
+
+// --- Summary tests ---
+
+TEST_F(PlanTest, ScanSummary) {
+  PlannerContext ctx(&catalog_);
+  LogicalPlan plan = Build("SELECT e.name, e.salary FROM emp e", &ctx);
+  QuerySummary s = SummarizePlan(*plan.root);
+  EXPECT_TRUE(s.spg_valid);
+  EXPECT_FALSE(s.is_aggregate);
+  EXPECT_TRUE(s.IsSingleDatabaseBlock());
+  EXPECT_EQ(s.outputs.size(), 2u);
+  for (const auto& [id, out] : s.outputs) {
+    ASSERT_EQ(out.bases.size(), 1u);
+    EXPECT_EQ(out.bases[0].table, "emp");
+    EXPECT_FALSE(out.fn.has_value());
+  }
+}
+
+TEST_F(PlanTest, AggregateSummaryTracksFns) {
+  PlannerContext ctx(&catalog_);
+  LogicalPlan plan = Build(
+      "SELECT e.dept, SUM(e.salary) FROM emp e WHERE e.id > 10 "
+      "GROUP BY e.dept",
+      &ctx);
+  QuerySummary s = SummarizePlan(*plan.root);
+  EXPECT_TRUE(s.spg_valid);
+  EXPECT_TRUE(s.is_aggregate);
+  ASSERT_EQ(s.group_attrs.size(), 1u);
+  EXPECT_EQ(s.group_attrs[0].column, "dept");
+  bool found_sum = false;
+  for (const auto& [id, out] : s.outputs) {
+    if (out.fn == AggFn::kSum) {
+      found_sum = true;
+      ASSERT_EQ(out.bases.size(), 1u);
+      EXPECT_EQ(out.bases[0].column, "salary");
+    }
+  }
+  EXPECT_TRUE(found_sum);
+  EXPECT_EQ(s.predicate.size(), 1u);
+}
+
+TEST_F(PlanTest, CrossDatabaseJoinIsNotSingleBlock) {
+  PlannerContext ctx(&catalog_);
+  LogicalPlan plan = Build(
+      "SELECT e.name FROM emp e, dept d WHERE e.dept = d.id", &ctx);
+  QuerySummary s = SummarizePlan(*plan.root);
+  EXPECT_TRUE(s.spg_valid);  // still one SPJ block...
+  EXPECT_EQ(s.source_locations.Count(), 2u);
+  EXPECT_FALSE(s.IsSingleDatabaseBlock());  // ...but not single-DB
+  EXPECT_EQ(s.alias_tables.size(), 2u);
+}
+
+TEST_F(PlanTest, FragmentedUnionSummarySpansLocations) {
+  PlannerContext ctx(&catalog_);
+  LogicalPlan plan = Build("SELECT log.ts FROM log, emp "
+                           "WHERE log.emp_id = emp.id", &ctx);
+  QuerySummary s = SummarizePlan(*plan.root);
+  EXPECT_EQ(s.source_locations.Count(), 3u);
+}
+
+TEST_F(PlanTest, PlanPrinterMentionsOperators) {
+  PlannerContext ctx(&catalog_);
+  LogicalPlan plan = Build(
+      "SELECT e.dept, SUM(e.salary) FROM emp e GROUP BY e.dept", &ctx);
+  std::string text = PlanToString(*plan.root, nullptr);
+  EXPECT_NE(text.find("Aggregate"), std::string::npos);
+  EXPECT_NE(text.find("Scan[emp"), std::string::npos);
+  EXPECT_NE(text.find("SUM"), std::string::npos);
+}
+
+TEST_F(PlanTest, ClonePlanIsDeep) {
+  PlannerContext ctx(&catalog_);
+  LogicalPlan plan = Build("SELECT e.name FROM emp e", &ctx);
+  PlanNodePtr copy = ClonePlan(*plan.root);
+  EXPECT_NE(copy.get(), plan.root.get());
+  EXPECT_EQ(PlanToString(*copy, nullptr), PlanToString(*plan.root, nullptr));
+  // Mutate the copy's scan; the original must be unaffected.
+  PlanNode* scan = copy.get();
+  while (!scan->children().empty()) scan = scan->children()[0].get();
+  ASSERT_EQ(scan->kind(), PlanKind::kScan);
+  scan->table = "mutated";
+  EXPECT_NE(PlanToString(*copy, nullptr), PlanToString(*plan.root, nullptr));
+}
+
+}  // namespace
+}  // namespace cgq

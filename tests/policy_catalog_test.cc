@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "core/policy.h"
+
+namespace cgq {
+namespace {
+
+class PolicyCatalogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* l : {"n", "e", "a"}) {
+      ASSERT_TRUE(catalog_.mutable_locations().AddLocation(l).ok());
+    }
+    TableDef t;
+    t.name = "cust";
+    t.schema = Schema({{"id", DataType::kInt64},
+                       {"name", DataType::kString},
+                       {"bal", DataType::kDouble}});
+    t.fragments = {TableFragment{0, 1.0}};
+    t.stats.row_count = 10;
+    ASSERT_TRUE(catalog_.AddTable(t).ok());
+    policies_ = std::make_unique<PolicyCatalog>(&catalog_);
+  }
+  Catalog catalog_;
+  std::unique_ptr<PolicyCatalog> policies_;
+};
+
+TEST_F(PolicyCatalogTest, ShipStarExpandsToAllColumns) {
+  ASSERT_TRUE(policies_->AddPolicyText("n", "ship * from cust to e").ok());
+  const auto& exprs = policies_->For(0);
+  ASSERT_EQ(exprs.size(), 1u);
+  EXPECT_EQ(exprs[0].attributes,
+            (std::vector<std::string>{"id", "name", "bal"}));
+  EXPECT_EQ(exprs[0].to, LocationSet::Single(1));
+  EXPECT_FALSE(exprs[0].is_aggregate());
+}
+
+TEST_F(PolicyCatalogTest, ToStarExpandsToAllLocations) {
+  ASSERT_TRUE(policies_->AddPolicyText("n", "ship id from cust to *").ok());
+  EXPECT_EQ(policies_->For(0)[0].to, catalog_.locations().All());
+}
+
+TEST_F(PolicyCatalogTest, RejectsUnknownEntities) {
+  EXPECT_FALSE(policies_->AddPolicyText("mars", "ship * from cust to *").ok());
+  EXPECT_FALSE(policies_->AddPolicyText("n", "ship * from nosuch to *").ok());
+  EXPECT_FALSE(
+      policies_->AddPolicyText("n", "ship bogus from cust to *").ok());
+  EXPECT_FALSE(
+      policies_->AddPolicyText("n", "ship id from cust to mars").ok());
+  EXPECT_FALSE(policies_
+                   ->AddPolicyText(
+                       "n", "ship bal as aggregates sum from cust to * "
+                            "group by bogus")
+                   .ok());
+}
+
+TEST_F(PolicyCatalogTest, GroupByRequiresAggregates) {
+  EXPECT_FALSE(policies_
+                   ->AddPolicyText("n",
+                                   "ship id from cust to * group by name")
+                   .ok());
+}
+
+TEST_F(PolicyCatalogTest, WherePredicateIsBoundToTable) {
+  ASSERT_TRUE(policies_
+                  ->AddPolicyText(
+                      "n", "ship id from cust to e where bal > 100")
+                  .ok());
+  const PolicyExpression& e = policies_->For(0)[0];
+  ASSERT_EQ(e.predicate.size(), 1u);
+  std::vector<BaseAttr> bases;
+  e.predicate[0]->CollectBaseAttrs(&bases);
+  ASSERT_EQ(bases.size(), 1u);
+  EXPECT_EQ(bases[0].table, "cust");
+  EXPECT_EQ(bases[0].column, "bal");
+}
+
+TEST_F(PolicyCatalogTest, WhereRejectsForeignColumns) {
+  EXPECT_FALSE(policies_
+                   ->AddPolicyText(
+                       "n", "ship id from cust to e where other.col = 1")
+                   .ok());
+}
+
+TEST_F(PolicyCatalogTest, PerLocationIsolation) {
+  ASSERT_TRUE(policies_->AddPolicyText("n", "ship id from cust to e").ok());
+  ASSERT_TRUE(policies_->AddPolicyText("e", "ship name from cust to a").ok());
+  EXPECT_EQ(policies_->For(0).size(), 1u);
+  EXPECT_EQ(policies_->For(1).size(), 1u);
+  EXPECT_TRUE(policies_->For(2).empty());
+  EXPECT_EQ(policies_->TotalCount(), 2u);
+  policies_->Clear();
+  EXPECT_EQ(policies_->TotalCount(), 0u);
+}
+
+TEST_F(PolicyCatalogTest, RoundTripToString) {
+  ASSERT_TRUE(policies_
+                  ->AddPolicyText(
+                      "n",
+                      "ship bal as aggregates sum, avg from cust to e, a "
+                      "where id > 5 group by name")
+                  .ok());
+  std::string text = policies_->For(0)[0].ToString(catalog_.locations());
+  EXPECT_NE(text.find("as aggregates sum, avg"), std::string::npos);
+  EXPECT_NE(text.find("group by name"), std::string::npos);
+  EXPECT_NE(text.find("where"), std::string::npos);
+  // The rendered text parses back.
+  PolicyCatalog round(&catalog_);
+  EXPECT_TRUE(round.AddPolicyText("n", text).ok()) << text;
+}
+
+TEST_F(PolicyCatalogTest, AccessorHelpers) {
+  ASSERT_TRUE(policies_
+                  ->AddPolicyText("n",
+                                  "ship bal as aggregates sum from cust "
+                                  "to * group by name")
+                  .ok());
+  const PolicyExpression& e = policies_->For(0)[0];
+  EXPECT_TRUE(e.is_aggregate());
+  EXPECT_TRUE(e.HasShipAttribute("bal"));
+  EXPECT_FALSE(e.HasShipAttribute("name"));
+  EXPECT_TRUE(e.HasGroupAttribute("name"));
+  EXPECT_TRUE(e.AllowsAggFn(AggFn::kSum));
+  EXPECT_FALSE(e.AllowsAggFn(AggFn::kAvg));
+}
+
+}  // namespace
+}  // namespace cgq

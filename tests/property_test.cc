@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/policy.h"
+#include "core/policy_evaluator.h"
+#include "plan/binder.h"
+#include "plan/builder.h"
+#include "plan/summary.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "tpch/tpch.h"
+#include "workload/policy_generator.h"
+#include "workload/query_generator.h"
+
+namespace cgq {
+namespace {
+
+// --- Self-join policy evaluation (per-instance implication) -----------------
+
+class SelfJoinPolicyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* l : {"l1", "l2"}) {
+      ASSERT_TRUE(catalog_.mutable_locations().AddLocation(l).ok());
+    }
+    TableDef t;
+    t.name = "t";
+    t.schema = Schema({{"a", DataType::kInt64}, {"b", DataType::kInt64}});
+    t.fragments = {TableFragment{0, 1.0}};
+    t.stats.row_count = 100;
+    ASSERT_TRUE(catalog_.AddTable(t).ok());
+    policies_ = std::make_unique<PolicyCatalog>(&catalog_);
+    ASSERT_TRUE(policies_
+                    ->AddPolicyText("l1",
+                                    "ship a, b from t to l2 where b > 10")
+                    .ok());
+    evaluator_ =
+        std::make_unique<PolicyEvaluator>(&catalog_, policies_.get());
+  }
+
+  LocationSet Eval(const std::string& sql) {
+    auto ast = ParseQuery(sql);
+    EXPECT_TRUE(ast.ok());
+    PlannerContext ctx(&catalog_);
+    auto bound = BindQuery(*ast, &ctx);
+    EXPECT_TRUE(bound.ok()) << bound.status();
+    auto plan = BuildLogicalPlan(*bound, &ctx);
+    EXPECT_TRUE(plan.ok());
+    return evaluator_->Evaluate(SummarizePlan(*(*plan).root), 0);
+  }
+
+  Catalog catalog_;
+  std::unique_ptr<PolicyCatalog> policies_;
+  std::unique_ptr<PolicyEvaluator> evaluator_;
+};
+
+TEST_F(SelfJoinPolicyTest, BothInstancesMustImply) {
+  EXPECT_EQ(Eval("SELECT t1.a, t2.a FROM t t1, t t2 "
+                 "WHERE t1.a = t2.a AND t1.b > 15 AND t2.b > 20"),
+            LocationSet::Single(1));
+}
+
+TEST_F(SelfJoinPolicyTest, OneFailingInstanceBlocks) {
+  EXPECT_EQ(Eval("SELECT t1.a, t2.a FROM t t1, t t2 "
+                 "WHERE t1.a = t2.a AND t1.b > 15 AND t2.b > 5"),
+            LocationSet());
+  EXPECT_EQ(Eval("SELECT t1.a, t2.a FROM t t1, t t2 "
+                 "WHERE t1.a = t2.a AND t1.b > 15"),
+            LocationSet());
+}
+
+TEST_F(SelfJoinPolicyTest, InstancePredicatesDoNotLeakAcrossAliases) {
+  // t1's b > 15 must not satisfy the policy for t2.
+  EXPECT_EQ(Eval("SELECT t2.a FROM t t1, t t2 "
+                 "WHERE t1.a = t2.a AND t1.b > 15 AND t1.b < 50"),
+            LocationSet());
+}
+
+// --- Metamorphic properties of Algorithm 1 ----------------------------------
+
+class PolicyMonotonicityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PolicyMonotonicityTest, AddingExpressionsNeverShrinksA) {
+  tpch::TpchConfig config;
+  config.scale_factor = 1;
+  auto catalog = tpch::BuildCatalog(config);
+  ASSERT_TRUE(catalog.ok());
+  WorkloadProperties props = TpchWorkloadProperties();
+
+  // A growing policy set: A(q) must grow monotonically with it.
+  PolicyGeneratorConfig pconfig;
+  pconfig.template_name = "CRA";
+  pconfig.count = 30;
+  pconfig.seed = GetParam();
+  pconfig.ensure_feasible = false;
+  PolicyExpressionGenerator pgen(&*catalog, &props, pconfig);
+  std::vector<GeneratedPolicy> all = pgen.Generate();
+
+  QueryGeneratorConfig qconfig;
+  qconfig.seed = GetParam() * 31 + 7;
+  AdhocQueryGenerator qgen(&*catalog, &props, qconfig);
+
+  for (int iteration = 0; iteration < 5; ++iteration) {
+    std::string sql = qgen.Next();
+    auto ast = ParseQuery(sql);
+    ASSERT_TRUE(ast.ok());
+    PlannerContext ctx(&*catalog);
+    auto bound = BindQuery(*ast, &ctx);
+    if (!bound.ok()) continue;
+    auto plan = BuildLogicalPlan(*bound, &ctx);
+    ASSERT_TRUE(plan.ok());
+    QuerySummary summary = SummarizePlan(*(*plan).root);
+    if (!summary.IsSingleDatabaseBlock()) continue;
+    LocationId db = summary.source_locations.ToVector().front();
+
+    LocationSet previous;
+    for (size_t n = 0; n <= all.size(); n += 10) {
+      PolicyCatalog policies(&*catalog);
+      for (size_t i = 0; i < n && i < all.size(); ++i) {
+        ASSERT_TRUE(
+            policies.AddPolicyText(all[i].location, all[i].text).ok());
+      }
+      PolicyEvaluator evaluator(&*catalog, &policies);
+      LocationSet now = evaluator.Evaluate(summary, db);
+      EXPECT_TRUE(previous.IsSubsetOf(now))
+          << sql << " shrank when adding expressions";
+      previous = now;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolicyMonotonicityTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+TEST(PolicyStrengthTest, StrongerQueryPredicateNeverShrinksA) {
+  // A query asking for *less* (stronger predicate, implied by the weaker
+  // one) can only be shippable to more places.
+  Catalog catalog;
+  ASSERT_TRUE(catalog.mutable_locations().AddLocation("l1").ok());
+  ASSERT_TRUE(catalog.mutable_locations().AddLocation("l2").ok());
+  ASSERT_TRUE(catalog.mutable_locations().AddLocation("l3").ok());
+  TableDef t;
+  t.name = "t";
+  t.schema = Schema({{"a", DataType::kInt64}, {"b", DataType::kInt64}});
+  t.fragments = {TableFragment{0, 1.0}};
+  t.stats.row_count = 100;
+  ASSERT_TRUE(catalog.AddTable(t).ok());
+  PolicyCatalog policies(&catalog);
+  ASSERT_TRUE(
+      policies.AddPolicyText("l1", "ship a, b from t to l2 where b > 10")
+          .ok());
+  ASSERT_TRUE(
+      policies.AddPolicyText("l1", "ship a, b from t to l3 where b > 50")
+          .ok());
+  PolicyEvaluator evaluator(&catalog, &policies);
+
+  auto eval = [&](const std::string& pred) {
+    auto ast = ParseQuery("SELECT a FROM t WHERE " + pred);
+    PlannerContext ctx(&catalog);
+    auto bound = BindQuery(*ast, &ctx);
+    auto plan = BuildLogicalPlan(*bound, &ctx);
+    return evaluator.Evaluate(SummarizePlan(*(*plan).root), 0);
+  };
+  LocationSet weak = eval("b > 20");    // implies b > 10 only
+  LocationSet strong = eval("b > 60");  // implies both
+  EXPECT_TRUE(weak.IsSubsetOf(strong));
+  EXPECT_EQ(weak, LocationSet::Single(1));
+  EXPECT_EQ(strong,
+            LocationSet::Single(1).Union(LocationSet::Single(2)));
+}
+
+// --- Parser robustness: random garbage must error, never crash --------------
+
+TEST(ParserFuzzTest, RandomTokenSoupNeverCrashes) {
+  const char* fragments[] = {"SELECT", "FROM",  "WHERE", "GROUP", "BY",
+                             "(",      ")",     ",",     "*",     "'x'",
+                             "42",     "3.14",  "a",     "t",     "=",
+                             "<",      ">",     "AND",   "OR",    "NOT",
+                             "SUM",    "LIKE",  "IN",    "BETWEEN",
+                             "ship",   "to",    "having", "distinct"};
+  Rng rng(2021);
+  for (int i = 0; i < 3000; ++i) {
+    std::string input;
+    int len = static_cast<int>(rng.Uniform(1, 14));
+    for (int k = 0; k < len; ++k) {
+      input += fragments[rng.Uniform(0, 27)];
+      input += " ";
+    }
+    (void)ParseQuery(input);            // must not crash
+    (void)ParsePolicyExpression(input); // must not crash
+  }
+}
+
+TEST(ParserFuzzTest, RandomBytesNeverCrashLexer) {
+  Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    std::string input;
+    int len = static_cast<int>(rng.Uniform(0, 40));
+    for (int k = 0; k < len; ++k) {
+      input += static_cast<char>(rng.Uniform(32, 126));
+    }
+    (void)Tokenize(input);
+    (void)ParseQuery(input);
+  }
+}
+
+}  // namespace
+}  // namespace cgq

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "exec/analyze.h"
+
+namespace cgq {
+namespace {
+
+// A reference table replicated at two sites; the optimizer must pick the
+// replica whose location's policies (and network position) fit the plan.
+class ReplicationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Catalog catalog;
+    for (const char* l : {"eu", "us", "ap"}) {
+      ASSERT_TRUE(catalog.mutable_locations().AddLocation(l).ok());
+    }
+    TableDef rates;  // replicated at eu and us
+    rates.name = "rates";
+    rates.schema = Schema({{"cur", DataType::kString},
+                           {"rate", DataType::kDouble}});
+    rates.replicated = true;
+    rates.fragments = {TableFragment{0, 1.0}, TableFragment{1, 1.0}};
+    rates.stats.row_count = 3;
+    ASSERT_TRUE(catalog.AddTable(rates).ok());
+
+    TableDef trades;  // only in ap
+    trades.name = "trades";
+    trades.schema = Schema({{"id", DataType::kInt64},
+                            {"cur", DataType::kString},
+                            {"amount", DataType::kDouble}});
+    trades.fragments = {TableFragment{2, 1.0}};
+    trades.stats.row_count = 1000;
+    ASSERT_TRUE(catalog.AddTable(trades).ok());
+
+    engine_ = std::make_unique<Engine>(std::move(catalog),
+                                       NetworkModel::DefaultGeo(3));
+    std::vector<Row> rate_rows = {
+        {Value::String("usd"), Value::Double(1.0)},
+        {Value::String("eur"), Value::Double(0.9)},
+        {Value::String("jpy"), Value::Double(150.0)}};
+    engine_->store().Put(0, "rates", rate_rows);
+    engine_->store().Put(1, "rates", rate_rows);
+    engine_->store().Put(2, "trades",
+                         {{Value::Int64(1), Value::String("usd"),
+                           Value::Double(100)},
+                          {Value::Int64(2), Value::String("jpy"),
+                           Value::Double(5000)}});
+  }
+
+  static const PlanNode* FindScan(const PlanNode& n, const std::string& t) {
+    if (n.kind() == PlanKind::kScan && n.table == t) return &n;
+    for (const auto& c : n.children()) {
+      if (const PlanNode* f = FindScan(*c, t)) return f;
+    }
+    return nullptr;
+  }
+
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(ReplicationTest, PolicyDrivenReplicaChoice) {
+  // The EU replica may not leave eu; the US replica may travel anywhere.
+  // With the result required at ap, only the US replica can serve the
+  // join (the EU replica would strand the result in eu).
+  ASSERT_TRUE(engine_->AddPolicy("us", "ship * from rates to *").ok());
+  ASSERT_TRUE(engine_->AddPolicy("ap", "ship * from trades to *").ok());
+  OptimizerOptions opts;
+  opts.required_result = LocationSet::Single(2);  // ap
+  const char* sql =
+      "SELECT t.id, r.rate FROM trades t, rates r WHERE t.cur = r.cur";
+  auto plan = engine_->Optimize(sql, opts);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_TRUE(plan->compliant);
+  EXPECT_EQ(plan->result_location, 2u);
+  const PlanNode* scan = FindScan(*plan->plan, "rates");
+  ASSERT_NE(scan, nullptr);
+  EXPECT_EQ(scan->scan_location, 1u)  // must read the US replica
+      << PlanToString(*plan->plan, &engine_->catalog().locations());
+  auto result = engine_->Run(sql, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 2u);
+}
+
+TEST_F(ReplicationTest, RejectedWhenNoReplicaMayTravel) {
+  // No rates policy at all and trades pinned to ap: the join cannot be
+  // placed anywhere.
+  ASSERT_TRUE(engine_->AddPolicy("ap", "ship cur from trades to *").ok());
+  auto r = engine_->Optimize(
+      "SELECT t.amount, r.rate FROM trades t, rates r WHERE t.cur = r.cur");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNonCompliant());
+}
+
+TEST_F(ReplicationTest, PerReplicaPoliciesApplyIndividually) {
+  // EU replica: only aggregated rates leave. US replica: raw but only to
+  // eu. Joining raw at ap is impossible; joining at eu works via the US
+  // replica.
+  ASSERT_TRUE(engine_
+                  ->AddPolicy("eu",
+                              "ship rate as aggregates avg from rates "
+                              "to * group by cur")
+                  .ok());
+  ASSERT_TRUE(engine_->AddPolicy("us", "ship * from rates to eu").ok());
+  ASSERT_TRUE(engine_->AddPolicy("ap", "ship * from trades to eu").ok());
+  auto plan = engine_->Optimize(
+      "SELECT t.id, r.rate FROM trades t, rates r WHERE t.cur = r.cur");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_TRUE(plan->compliant);
+  EXPECT_EQ(plan->result_location, 0u);  // eu
+}
+
+TEST_F(ReplicationTest, CostDrivenReplicaChoiceWhenPoliciesEqual) {
+  // Both replicas free to travel: the optimizer picks by network cost.
+  ASSERT_TRUE(engine_->AddPolicy("eu", "ship * from rates to *").ok());
+  ASSERT_TRUE(engine_->AddPolicy("us", "ship * from rates to *").ok());
+  ASSERT_TRUE(engine_->AddPolicy("ap", "ship cur from trades to *").ok());
+  auto plan = engine_->Optimize(
+      "SELECT t.id, r.rate FROM trades t, rates r WHERE t.cur = r.cur");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  const PlanNode* scan = FindScan(*plan->plan, "rates");
+  ASSERT_NE(scan, nullptr);
+  // DefaultGeo: eu(0)->ap(2) has alpha 110, us(1)->ap(2) alpha 140; rates
+  // ships to ap (trades is bigger), so the eu replica is cheaper.
+  EXPECT_EQ(scan->scan_location, 0u);
+}
+
+TEST_F(ReplicationTest, AnalyzeChecksReplicaConsistency) {
+  ASSERT_TRUE(
+      AnalyzeTable(engine_->store(), "rates", &engine_->catalog()).ok());
+  auto t = engine_->catalog().GetTable("rates");
+  EXPECT_DOUBLE_EQ((*t)->stats.row_count, 3);
+  // Diverging replicas are refused.
+  engine_->store().Append(1, "rates",
+                          {Value::String("gbp"), Value::Double(1.2)});
+  EXPECT_FALSE(
+      AnalyzeTable(engine_->store(), "rates", &engine_->catalog()).ok());
+}
+
+TEST_F(ReplicationTest, ReplicatedFractionsForcedToOne) {
+  auto t = engine_->catalog().GetTable("rates");
+  for (const TableFragment& f : (*t)->fragments) {
+    EXPECT_DOUBLE_EQ(f.row_fraction, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace cgq

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "sql/parser.h"
+
+namespace cgq {
+namespace {
+
+// End-to-end tests of COUNT(*), SELECT DISTINCT and HAVING.
+class SqlFeaturesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Catalog catalog;
+    ASSERT_TRUE(catalog.mutable_locations().AddLocation("m").ok());
+    ASSERT_TRUE(catalog.mutable_locations().AddLocation("w").ok());
+    TableDef t;
+    t.name = "sales";
+    t.schema = Schema({{"region", DataType::kString},
+                       {"amount", DataType::kInt64}});
+    t.fragments = {TableFragment{0, 1.0}};
+    t.stats.row_count = 6;
+    ASSERT_TRUE(catalog.AddTable(t).ok());
+    engine_ = std::make_unique<Engine>(std::move(catalog),
+                                       NetworkModel::DefaultGeo(2));
+    ASSERT_TRUE(engine_->AddPolicy("m", "ship * from sales to *").ok());
+    engine_->store().Put(0, "sales",
+                         {{Value::String("na"), Value::Int64(10)},
+                          {Value::String("na"), Value::Int64(20)},
+                          {Value::String("eu"), Value::Int64(5)},
+                          {Value::String("eu"), Value::Int64(5)},
+                          {Value::String("eu"), Value::Null()},
+                          {Value::String("apac"), Value::Int64(50)}});
+  }
+
+  QueryResult Run(const std::string& sql) {
+    auto r = engine_->Run(sql);
+    EXPECT_TRUE(r.ok()) << sql << ": " << r.status();
+    return r.ok() ? *r : QueryResult{};
+  }
+
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(SqlFeaturesTest, CountStarCountsRows) {
+  QueryResult r = Run("SELECT COUNT(*) AS n FROM sales");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].int64(), 6);  // NULL amount still counts
+}
+
+TEST_F(SqlFeaturesTest, CountStarPerGroup) {
+  QueryResult r = Run(
+      "SELECT region, COUNT(*) AS n FROM sales GROUP BY region "
+      "ORDER BY region");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][0].str(), "apac");
+  EXPECT_EQ(r.rows[0][1].int64(), 1);
+  EXPECT_EQ(r.rows[1][1].int64(), 3);  // eu
+  EXPECT_EQ(r.rows[2][1].int64(), 2);  // na
+}
+
+TEST_F(SqlFeaturesTest, CountStarVersusCountColumn) {
+  QueryResult r = Run(
+      "SELECT COUNT(*) AS rows_n, COUNT(amount) AS vals_n FROM sales");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].int64(), 6);
+  EXPECT_EQ(r.rows[0][1].int64(), 5);  // NULL skipped
+}
+
+TEST_F(SqlFeaturesTest, Distinct) {
+  QueryResult r = Run("SELECT DISTINCT region FROM sales ORDER BY region");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][0].str(), "apac");
+  EXPECT_EQ(r.rows[1][0].str(), "eu");
+  EXPECT_EQ(r.rows[2][0].str(), "na");
+}
+
+TEST_F(SqlFeaturesTest, DistinctMultipleColumns) {
+  QueryResult r = Run("SELECT DISTINCT region, amount FROM sales");
+  EXPECT_EQ(r.rows.size(), 5u);  // (eu,5) deduplicated
+}
+
+TEST_F(SqlFeaturesTest, DistinctWithAggregateRejected) {
+  auto r = engine_->Run("SELECT DISTINCT SUM(amount) FROM sales");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsUnsupported());
+}
+
+TEST_F(SqlFeaturesTest, HavingFiltersGroups) {
+  QueryResult r = Run(
+      "SELECT region, SUM(amount) AS total FROM sales "
+      "GROUP BY region HAVING total > 15 ORDER BY region");
+  ASSERT_EQ(r.rows.size(), 2u);  // na=30, apac=50; eu=10 filtered
+  EXPECT_EQ(r.rows[0][0].str(), "apac");
+  EXPECT_EQ(r.rows[1][0].str(), "na");
+}
+
+TEST_F(SqlFeaturesTest, HavingOnCountStar) {
+  QueryResult r = Run(
+      "SELECT region, COUNT(*) AS n FROM sales GROUP BY region "
+      "HAVING n >= 2 ORDER BY region");
+  ASSERT_EQ(r.rows.size(), 2u);  // eu (3), na (2)
+}
+
+TEST_F(SqlFeaturesTest, HavingOnGroupColumn) {
+  QueryResult r = Run(
+      "SELECT region, SUM(amount) AS total FROM sales "
+      "GROUP BY region HAVING region <> 'eu' ORDER BY region");
+  ASSERT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(SqlFeaturesTest, HavingWithoutGroupByRejected) {
+  auto r = engine_->Run("SELECT region FROM sales HAVING region = 'eu'");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(SqlFeaturesTest, HavingUnknownNameRejected) {
+  auto r = engine_->Run(
+      "SELECT region, SUM(amount) AS total FROM sales GROUP BY region "
+      "HAVING bogus > 1");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(SqlFeaturesTest, ParserAcceptsNewSyntax) {
+  EXPECT_TRUE(ParseQuery("SELECT DISTINCT a FROM t").ok());
+  EXPECT_TRUE(ParseQuery("SELECT COUNT(*) FROM t").ok());
+  EXPECT_TRUE(
+      ParseQuery("SELECT a, SUM(b) AS s FROM t GROUP BY a HAVING s > 1")
+          .ok());
+  // COUNT(*) is the only star-call.
+  EXPECT_FALSE(ParseQuery("SELECT SUM(*) FROM t").ok());
+}
+
+// Compliance interactions: COUNT(*) discloses no attribute, so it may
+// ship even under aggregate-only policies that do not list `count`.
+TEST_F(SqlFeaturesTest, CountStarUnderRestrictivePolicies) {
+  engine_->policies().Clear();
+  ASSERT_TRUE(engine_
+                  ->AddPolicy("m",
+                              "ship amount as aggregates sum from sales "
+                              "to w group by region")
+                  .ok());
+  // Aggregated amount may ship; COUNT(*) rides along (no attribute).
+  auto ok = engine_->Optimize(
+      "SELECT region, SUM(amount) AS s, COUNT(*) AS n FROM sales "
+      "GROUP BY region");
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_TRUE(ok->compliant);
+  // COUNT(amount) names the attribute with fn=count, which the policy
+  // does not allow: usable only at home.
+  auto counted = engine_->Optimize(
+      "SELECT region, COUNT(amount) AS n FROM sales GROUP BY region");
+  ASSERT_TRUE(counted.ok());
+  EXPECT_EQ(counted->result_location, 0u);
+}
+
+}  // namespace
+}  // namespace cgq

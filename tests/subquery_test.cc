@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+
+namespace cgq {
+namespace {
+
+// Two-site fixture with part/supply-style tables for decorrelation tests.
+class SubqueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Catalog catalog;
+    ASSERT_TRUE(catalog.mutable_locations().AddLocation("a").ok());
+    ASSERT_TRUE(catalog.mutable_locations().AddLocation("b").ok());
+
+    TableDef part;
+    part.name = "part";
+    part.schema = Schema({{"pk", DataType::kInt64},
+                          {"pname", DataType::kString}});
+    part.fragments = {TableFragment{0, 1.0}};
+    part.stats.row_count = 4;
+    ASSERT_TRUE(catalog.AddTable(part).ok());
+
+    TableDef offer;
+    offer.name = "offer";
+    offer.schema = Schema({{"pk", DataType::kInt64},
+                           {"vendor", DataType::kString},
+                           {"cost", DataType::kInt64}});
+    offer.fragments = {TableFragment{1, 1.0}};
+    offer.stats.row_count = 8;
+    ASSERT_TRUE(catalog.AddTable(offer).ok());
+
+    engine_ = std::make_unique<Engine>(std::move(catalog),
+                                       NetworkModel::DefaultGeo(2));
+    for (const char* t : {"part", "offer"}) {
+      ASSERT_TRUE(engine_
+                      ->AddPolicy(t[0] == 'p' ? "a" : "b",
+                                  std::string("ship * from ") + t + " to *")
+                      .ok());
+    }
+    engine_->store().Put(0, "part",
+                         {{Value::Int64(1), Value::String("bolt")},
+                          {Value::Int64(2), Value::String("nut")},
+                          {Value::Int64(3), Value::String("gear")},
+                          {Value::Int64(4), Value::String("cog")}});
+    engine_->store().Put(
+        1, "offer",
+        {{Value::Int64(1), Value::String("v1"), Value::Int64(10)},
+         {Value::Int64(1), Value::String("v2"), Value::Int64(7)},
+         {Value::Int64(1), Value::String("v3"), Value::Int64(7)},
+         {Value::Int64(2), Value::String("v1"), Value::Int64(5)},
+         {Value::Int64(2), Value::String("v2"), Value::Int64(9)},
+         {Value::Int64(3), Value::String("v3"), Value::Int64(2)},
+         // pk 9 has no part; pk 4 has no offer.
+         {Value::Int64(9), Value::String("v9"), Value::Int64(1)}});
+  }
+
+  QueryResult Run(const std::string& sql) {
+    auto r = engine_->Run(sql);
+    EXPECT_TRUE(r.ok()) << sql << ": " << r.status();
+    return r.ok() ? *r : QueryResult{};
+  }
+
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(SubqueryTest, UncorrelatedInBecomesSemiJoin) {
+  // Parts with at least one offer; duplicates on the inner side must not
+  // duplicate outer rows.
+  QueryResult r = Run(
+      "SELECT p.pname FROM part p WHERE p.pk IN "
+      "(SELECT o.pk FROM offer o) ORDER BY pname");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][0].str(), "bolt");
+  EXPECT_EQ(r.rows[1][0].str(), "gear");
+  EXPECT_EQ(r.rows[2][0].str(), "nut");
+}
+
+TEST_F(SubqueryTest, InWithInnerPredicate) {
+  QueryResult r = Run(
+      "SELECT p.pname FROM part p WHERE p.pk IN "
+      "(SELECT o.pk FROM offer o WHERE o.cost < 6) ORDER BY pname");
+  ASSERT_EQ(r.rows.size(), 2u);  // nut (5), gear (2)
+  EXPECT_EQ(r.rows[0][0].str(), "gear");
+  EXPECT_EQ(r.rows[1][0].str(), "nut");
+}
+
+TEST_F(SubqueryTest, CorrelatedScalarMin) {
+  // The TPC-H Q2 shape: cheapest offer per part, with ties.
+  QueryResult r = Run(
+      "SELECT p.pname, o.vendor, o.cost FROM part p, offer o "
+      "WHERE p.pk = o.pk AND o.cost = "
+      "(SELECT MIN(o2.cost) FROM offer o2 WHERE o2.pk = p.pk) "
+      "ORDER BY pname, vendor");
+  // bolt: min 7 (v2, v3 tie) -> 2 rows; gear: v3@2; nut: v1@5.
+  ASSERT_EQ(r.rows.size(), 4u);
+  EXPECT_EQ(r.rows[0][0].str(), "bolt");
+  EXPECT_EQ(r.rows[0][1].str(), "v2");
+  EXPECT_EQ(r.rows[0][2].int64(), 7);
+  EXPECT_EQ(r.rows[1][1].str(), "v3");
+  EXPECT_EQ(r.rows[2][0].str(), "gear");
+  EXPECT_EQ(r.rows[2][2].int64(), 2);
+  EXPECT_EQ(r.rows[3][0].str(), "nut");
+  EXPECT_EQ(r.rows[3][2].int64(), 5);
+}
+
+TEST_F(SubqueryTest, UncorrelatedScalar) {
+  QueryResult r = Run(
+      "SELECT o.vendor FROM offer o WHERE o.cost = "
+      "(SELECT MIN(o2.cost) FROM offer o2)");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].str(), "v9");  // cost 1
+}
+
+TEST_F(SubqueryTest, RewritesAreCompliantPlans) {
+  auto plan = engine_->Optimize(
+      "SELECT p.pname FROM part p WHERE p.pk IN (SELECT o.pk FROM offer o)");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_TRUE(plan->compliant);
+  // The rewrite is an ordinary join over a dedup aggregate.
+  std::string text = PlanToString(*plan->plan, nullptr);
+  EXPECT_NE(text.find("Aggregate"), std::string::npos) << text;
+  EXPECT_NE(text.find("Join"), std::string::npos) << text;
+}
+
+TEST_F(SubqueryTest, PoliciesGovernSubqueryShipping) {
+  // Restrict offers: only aggregated cost leaves b. The scalar-MIN rewrite
+  // aggregates at b, so the query stays legal; the raw semi-join column pk
+  // is also allowed via its own expression.
+  engine_->policies().Clear();
+  ASSERT_TRUE(engine_->AddPolicy("a", "ship * from part to *").ok());
+  ASSERT_TRUE(engine_->AddPolicy(
+                         "b",
+                         "ship cost as aggregates min from offer to a "
+                         "group by pk")
+                  .ok());
+  auto plan = engine_->Optimize(
+      "SELECT p.pname FROM part p WHERE p.pk = "
+      "(SELECT MIN(o2.cost) FROM offer o2 WHERE o2.pk = p.pk)");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_TRUE(plan->compliant);
+
+  // The IN semi-join is also fine: its dedup is a grouping by pk, and pk
+  // is a grouping attribute of the aggregate expression (implicitly
+  // shippable), so Γ_pk(offer) may leave b.
+  auto semi = engine_->Optimize(
+      "SELECT p.pname FROM part p WHERE p.pk IN (SELECT o.pk FROM offer o)");
+  ASSERT_TRUE(semi.ok()) << semi.status();
+  EXPECT_TRUE(semi->compliant);
+
+  // Selecting the raw cost, however, has no compliant route to a and no
+  // site where both sides can meet once part is pinned home too.
+  engine_->policies().Clear();
+  ASSERT_TRUE(engine_->AddPolicy(
+                         "b",
+                         "ship cost as aggregates min from offer to a "
+                         "group by pk")
+                  .ok());
+  auto raw = engine_->Optimize(
+      "SELECT o.cost FROM part p, offer o WHERE p.pk = o.pk");
+  ASSERT_FALSE(raw.ok());
+  EXPECT_TRUE(raw.status().IsNonCompliant());
+}
+
+TEST_F(SubqueryTest, CorrelatedExistsIsExactSemiJoin) {
+  QueryResult r = Run(
+      "SELECT p.pname FROM part p WHERE EXISTS "
+      "(SELECT o.pk FROM offer o WHERE o.pk = p.pk) ORDER BY pname");
+  ASSERT_EQ(r.rows.size(), 3u);  // cog has no offer; no duplicates
+  EXPECT_EQ(r.rows[0][0].str(), "bolt");
+  EXPECT_EQ(r.rows[1][0].str(), "gear");
+  EXPECT_EQ(r.rows[2][0].str(), "nut");
+}
+
+TEST_F(SubqueryTest, ExistsWithInnerFilter) {
+  QueryResult r = Run(
+      "SELECT p.pname FROM part p WHERE EXISTS "
+      "(SELECT o.pk FROM offer o WHERE o.pk = p.pk AND o.cost > 8) "
+      "ORDER BY pname");
+  ASSERT_EQ(r.rows.size(), 2u);  // bolt (10), nut (9)
+}
+
+TEST_F(SubqueryTest, ExistsCombinedWithAggregation) {
+  QueryResult r = Run(
+      "SELECT COUNT(*) AS n FROM part p WHERE EXISTS "
+      "(SELECT o.pk FROM offer o WHERE o.pk = p.pk)");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].int64(), 3);
+}
+
+TEST_F(SubqueryTest, UncorrelatedExistsRejected) {
+  auto r = engine_->Run(
+      "SELECT p.pname FROM part p WHERE EXISTS "
+      "(SELECT o.pk FROM offer o)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsUnsupported());
+}
+
+TEST_F(SubqueryTest, UnsupportedShapesAreRejectedCleanly) {
+  auto not_in = engine_->Run(
+      "SELECT p.pname FROM part p WHERE p.pk NOT IN "
+      "(SELECT o.pk FROM offer o)");
+  EXPECT_FALSE(not_in.ok());
+  auto correlated_in = engine_->Run(
+      "SELECT p.pname FROM part p WHERE p.pk IN "
+      "(SELECT o.pk FROM offer o WHERE o.cost > p.pk)");
+  EXPECT_FALSE(correlated_in.ok());
+  EXPECT_TRUE(correlated_in.status().IsUnsupported());
+  auto lt_scalar = engine_->Run(
+      "SELECT p.pname FROM part p WHERE p.pk < "
+      "(SELECT MIN(o.cost) FROM offer o)");
+  EXPECT_FALSE(lt_scalar.ok());
+  auto two_cols = engine_->Run(
+      "SELECT p.pname FROM part p WHERE p.pk IN "
+      "(SELECT o.pk, o.cost FROM offer o)");
+  EXPECT_FALSE(two_cols.ok());
+}
+
+}  // namespace
+}  // namespace cgq

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "net/network_model.h"
+#include "tpch/tpch.h"
+#include "workload/query_generator.h"
+
+namespace cgq {
+namespace {
+
+class TpchExtendedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    config_.scale_factor = 0.002;
+    catalog_ = std::make_unique<Catalog>(*tpch::BuildCatalog(config_));
+    policies_ = std::make_unique<PolicyCatalog>(catalog_.get());
+    net_ = std::make_unique<NetworkModel>(NetworkModel::DefaultGeo(5));
+  }
+
+  Result<OptimizedQuery> Run(bool compliant, int query) {
+    OptimizerOptions opts;
+    opts.compliant = compliant;
+    QueryOptimizer optimizer(catalog_.get(), policies_.get(), net_.get(),
+                             opts);
+    return optimizer.Optimize(*tpch::Query(query));
+  }
+
+  tpch::TpchConfig config_;
+  std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<PolicyCatalog> policies_;
+  std::unique_ptr<NetworkModel> net_;
+};
+
+TEST_F(TpchExtendedTest, ExtendedQueriesOptimizeUnderAllSets) {
+  for (const char* set : {"T", "C", "CR", "CRA"}) {
+    ASSERT_TRUE(tpch::InstallPolicySet(set, policies_.get()).ok());
+    for (int q : tpch::ExtendedQueryNumbers()) {
+      auto r = Run(true, q);
+      ASSERT_TRUE(r.ok()) << set << "/Q" << q << ": " << r.status();
+      EXPECT_TRUE(r->compliant) << set << "/Q" << q;
+    }
+  }
+}
+
+TEST_F(TpchExtendedTest, SingleTableQueriesStayLocal) {
+  ASSERT_TRUE(tpch::InstallPolicySet("CRA", policies_.get()).ok());
+  for (int q : {1, 6}) {
+    auto r = Run(true, q);
+    ASSERT_TRUE(r.ok()) << "Q" << q;
+    // Q1/Q6 touch only lineitem: everything runs at l4.
+    EXPECT_EQ(r->result_location, 3u) << "Q" << q;
+  }
+}
+
+TEST_F(TpchExtendedTest, ExtendedQueriesExecute) {
+  ASSERT_TRUE(tpch::InstallPolicySet("T", policies_.get()).ok());
+  TableStore store;
+  ASSERT_TRUE(tpch::GenerateData(*catalog_, config_, &store).ok());
+  Executor executor(&store, net_.get());
+  for (int q : tpch::ExtendedQueryNumbers()) {
+    auto plan = Run(true, q);
+    ASSERT_TRUE(plan.ok()) << "Q" << q;
+    auto result = executor.Execute(*plan);
+    ASSERT_TRUE(result.ok()) << "Q" << q << ": " << result.status();
+    if (q == 1) {
+      // Q1 groups by (returnflag, linestatus): 3 x 2 groups.
+      EXPECT_EQ(result->rows.size(), 6u);
+    }
+    if (q == 6 || q == 14 || q == 19) {
+      EXPECT_EQ(result->rows.size(), 1u);  // global aggregates
+    }
+  }
+}
+
+TEST_F(TpchExtendedTest, Q19DisjunctivePredicateIsHandled) {
+  // Q19's OR-of-ANDs references both tables: it must survive parsing,
+  // planning (as a join conjunct) and execution.
+  ASSERT_TRUE(tpch::InstallPolicySet("T", policies_.get()).ok());
+  auto r = Run(true, 19);
+  ASSERT_TRUE(r.ok()) << r.status();
+  std::string plan = PlanToString(*r->plan, nullptr);
+  EXPECT_NE(plan.find("OR"), std::string::npos);
+}
+
+TEST_F(TpchExtendedTest, ResponseTimeObjectiveEndToEnd) {
+  ASSERT_TRUE(tpch::InstallPolicySet("CR", policies_.get()).ok());
+  for (int q : {3, 5, 9}) {
+    OptimizerOptions total;
+    OptimizerOptions response;
+    response.response_time_objective = true;
+    QueryOptimizer opt_total(catalog_.get(), policies_.get(), net_.get(),
+                             total);
+    QueryOptimizer opt_resp(catalog_.get(), policies_.get(), net_.get(),
+                            response);
+    auto a = opt_total.Optimize(*tpch::Query(q));
+    auto b = opt_resp.Optimize(*tpch::Query(q));
+    ASSERT_TRUE(a.ok() && b.ok()) << "Q" << q;
+    EXPECT_TRUE(a->compliant && b->compliant) << "Q" << q;
+    // Response time (max over parallel inputs) never exceeds total cost.
+    EXPECT_LE(b->comm_cost_ms, a->comm_cost_ms + 1e-9) << "Q" << q;
+  }
+}
+
+// Execution-level semantics fuzz: generated queries produce identical
+// result multisets under the compliant and the traditional optimizer.
+TEST_F(TpchExtendedTest, AdhocExecutionAgreement) {
+  ASSERT_TRUE(tpch::InstallPolicySet("CRA", policies_.get()).ok());
+  TableStore store;
+  ASSERT_TRUE(tpch::GenerateData(*catalog_, config_, &store).ok());
+  Executor executor(&store, net_.get());
+
+  WorkloadProperties properties = TpchWorkloadProperties();
+  QueryGeneratorConfig qconfig;
+  qconfig.seed = 777;
+  AdhocQueryGenerator qgen(catalog_.get(), &properties, qconfig);
+
+  auto canon = [](const QueryResult& r) {
+    std::vector<std::string> rows;
+    for (const Row& row : r.rows) {
+      std::string s;
+      for (const Value& v : row) {
+        if (v.is_double()) {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%.4f|", v.dbl());
+          s += buf;
+        } else {
+          s += v.ToString() + "|";
+        }
+      }
+      rows.push_back(std::move(s));
+    }
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  };
+
+  int executed = 0;
+  for (int i = 0; i < 25; ++i) {
+    std::string sql = qgen.Next();
+    auto c = Run(true, 3);  // warm placeholder; real optimize below
+    OptimizerOptions copts;
+    QueryOptimizer compliant(catalog_.get(), policies_.get(), net_.get(),
+                             copts);
+    OptimizerOptions topts;
+    topts.compliant = false;
+    QueryOptimizer traditional(catalog_.get(), policies_.get(), net_.get(),
+                               topts);
+    auto rc = compliant.Optimize(sql);
+    auto rt = traditional.Optimize(sql);
+    if (!rc.ok() || !rt.ok()) continue;
+    auto ec = executor.Execute(*rc);
+    auto et = executor.Execute(*rt);
+    ASSERT_TRUE(ec.ok()) << sql << "\n" << ec.status();
+    ASSERT_TRUE(et.ok()) << sql << "\n" << et.status();
+    EXPECT_EQ(canon(*ec), canon(*et)) << sql;
+    ++executed;
+  }
+  EXPECT_GT(executed, 10);
+}
+
+}  // namespace
+}  // namespace cgq

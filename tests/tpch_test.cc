@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "exec/executor.h"
+#include "net/network_model.h"
+#include "tpch/tpch.h"
+
+namespace cgq {
+namespace {
+
+class TpchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    config_.scale_factor = 0.002;  // tiny: execution tests stay fast
+    auto catalog = tpch::BuildCatalog(config_);
+    ASSERT_TRUE(catalog.ok()) << catalog.status();
+    catalog_ = std::make_unique<Catalog>(std::move(*catalog));
+    policies_ = std::make_unique<PolicyCatalog>(catalog_.get());
+    net_ = std::make_unique<NetworkModel>(NetworkModel::DefaultGeo(5));
+  }
+
+  Result<OptimizedQuery> Run(bool compliant, int query) {
+    OptimizerOptions opts;
+    opts.compliant = compliant;
+    QueryOptimizer optimizer(catalog_.get(), policies_.get(), net_.get(),
+                             opts);
+    auto sql = tpch::Query(query);
+    EXPECT_TRUE(sql.ok());
+    return optimizer.Optimize(*sql);
+  }
+
+  tpch::TpchConfig config_;
+  std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<PolicyCatalog> policies_;
+  std::unique_ptr<NetworkModel> net_;
+};
+
+TEST_F(TpchTest, CatalogHasTableTwoPlacement) {
+  // Table 2 of the paper.
+  struct {
+    const char* table;
+    LocationId home;
+  } expected[] = {{"customer", 0}, {"orders", 0},   {"supplier", 1},
+                  {"partsupp", 1}, {"part", 2},     {"lineitem", 3},
+                  {"nation", 4},   {"region", 4}};
+  for (const auto& e : expected) {
+    auto t = catalog_->GetTable(e.table);
+    ASSERT_TRUE(t.ok()) << e.table;
+    EXPECT_EQ((*t)->home(), e.home) << e.table;
+  }
+}
+
+TEST_F(TpchTest, StatsScaleWithScaleFactor) {
+  EXPECT_DOUBLE_EQ(tpch::RowsOf("lineitem", 10), 60012150);
+  EXPECT_DOUBLE_EQ(tpch::RowsOf("customer", 1), 150000);
+  EXPECT_DOUBLE_EQ(tpch::RowsOf("region", 10), 5);
+}
+
+TEST_F(TpchTest, AllQueriesParseAndBind) {
+  ASSERT_TRUE(tpch::InstallUnrestrictedPolicies(policies_.get()).ok());
+  for (int q : tpch::QueryNumbers()) {
+    auto r = Run(true, q);
+    EXPECT_TRUE(r.ok()) << "Q" << q << ": " << r.status();
+  }
+}
+
+TEST_F(TpchTest, CompliantOptimizerSucceedsOnAllSetQueryVariants) {
+  // The paper's effectiveness experiment (§7.2): 6 queries x 4 sets, the
+  // compliance-based optimizer always finds a compliant plan.
+  for (const char* set : {"T", "C", "CR", "CRA"}) {
+    ASSERT_TRUE(tpch::InstallPolicySet(set, policies_.get()).ok()) << set;
+    for (int q : tpch::QueryNumbers()) {
+      auto r = Run(true, q);
+      ASSERT_TRUE(r.ok()) << set << "/Q" << q << ": " << r.status();
+      EXPECT_TRUE(r->compliant)
+          << set << "/Q" << q << "\n"
+          << PlanToString(*r->plan, &catalog_->locations());
+    }
+  }
+}
+
+TEST_F(TpchTest, TraditionalOptimizerProducesSomeNonCompliantPlans) {
+  int non_compliant = 0, total = 0;
+  for (const char* set : {"T", "C", "CR", "CRA"}) {
+    ASSERT_TRUE(tpch::InstallPolicySet(set, policies_.get()).ok());
+    for (int q : tpch::QueryNumbers()) {
+      auto r = Run(false, q);
+      ASSERT_TRUE(r.ok()) << set << "/Q" << q << ": " << r.status();
+      ++total;
+      non_compliant += r->compliant ? 0 : 1;
+    }
+  }
+  // Fig 5(a): the baseline violates policies in a substantial fraction of
+  // the 24 variants (paper: 8 of 24).
+  EXPECT_GE(non_compliant, 4) << "of " << total;
+  EXPECT_LT(non_compliant, total);
+}
+
+TEST_F(TpchTest, GeneratedDataMatchesCatalogCounts) {
+  TableStore store;
+  ASSERT_TRUE(tpch::GenerateData(*catalog_, config_, &store).ok());
+  auto rows = store.Get(0, "customer");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)->size(),
+            static_cast<size_t>(tpch::RowsOf("customer",
+                                             config_.scale_factor)));
+  auto region = store.Get(4, "region");
+  ASSERT_TRUE(region.ok());
+  EXPECT_EQ((*region)->size(), 5u);
+  // Lineitem row count is stochastic (1-7 lines/order): sanity range.
+  auto li = store.Get(3, "lineitem");
+  ASSERT_TRUE(li.ok());
+  double orders = tpch::RowsOf("orders", config_.scale_factor);
+  EXPECT_GT((*li)->size(), orders);
+  EXPECT_LT((*li)->size(), orders * 7 + 1);
+}
+
+TEST_F(TpchTest, GenerationIsDeterministic) {
+  TableStore a, b;
+  ASSERT_TRUE(tpch::GenerateData(*catalog_, config_, &a).ok());
+  ASSERT_TRUE(tpch::GenerateData(*catalog_, config_, &b).ok());
+  auto ra = a.Get(2, "part");
+  auto rb = b.Get(2, "part");
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  ASSERT_EQ((*ra)->size(), (*rb)->size());
+  for (size_t i = 0; i < (*ra)->size(); ++i) {
+    EXPECT_TRUE(RowsStructurallyEqual((**ra)[i], (**rb)[i]));
+  }
+}
+
+// Semantics preservation: the compliant plan must return exactly the rows
+// of the traditional plan (the paper's definition of a compliant QEP
+// requires unchanged query semantics, §3.2).
+TEST_F(TpchTest, CompliantAndTraditionalPlansAgreeOnResults) {
+  TableStore store;
+  ASSERT_TRUE(tpch::GenerateData(*catalog_, config_, &store).ok());
+  Executor executor(&store, net_.get());
+
+  for (const char* set : {"T", "CR", "CRA"}) {
+    ASSERT_TRUE(tpch::InstallPolicySet(set, policies_.get()).ok());
+    for (int q : {3, 5, 10}) {
+      auto compliant = Run(true, q);
+      ASSERT_TRUE(compliant.ok()) << set << "/Q" << q;
+      auto baseline = Run(false, q);
+      ASSERT_TRUE(baseline.ok()) << set << "/Q" << q;
+
+      auto res_c = executor.Execute(*compliant);
+      ASSERT_TRUE(res_c.ok()) << set << "/Q" << q << ": "
+                              << res_c.status();
+      auto res_b = executor.Execute(*baseline);
+      ASSERT_TRUE(res_b.ok()) << set << "/Q" << q << ": "
+                              << res_b.status();
+
+      // Compare as multisets of stringified rows (double formatting is
+      // stable since both paths compute identical arithmetic).
+      auto canon = [](const QueryResult& r) {
+        std::vector<std::string> rows;
+        for (const Row& row : r.rows) {
+          std::string s;
+          for (const Value& v : row) {
+            if (v.is_double()) {
+              char buf[32];
+              std::snprintf(buf, sizeof(buf), "%.4f|", v.dbl());
+              s += buf;
+            } else {
+              s += v.ToString() + "|";
+            }
+          }
+          rows.push_back(std::move(s));
+        }
+        std::sort(rows.begin(), rows.end());
+        return rows;
+      };
+      EXPECT_EQ(canon(*res_c), canon(*res_b)) << set << "/Q" << q;
+    }
+  }
+}
+
+TEST_F(TpchTest, ExecutionChargesNetworkForShips) {
+  TableStore store;
+  ASSERT_TRUE(tpch::GenerateData(*catalog_, config_, &store).ok());
+  Executor executor(&store, net_.get());
+  ASSERT_TRUE(tpch::InstallPolicySet("T", policies_.get()).ok());
+  auto q3 = Run(true, 3);
+  ASSERT_TRUE(q3.ok()) << q3.status();
+  auto res = executor.Execute(*q3);
+  ASSERT_TRUE(res.ok()) << res.status();
+  EXPECT_GT(res->metrics.ships, 0);
+  EXPECT_GT(res->metrics.bytes_shipped, 0);
+  EXPECT_GT(res->metrics.network_ms, 0);
+  EXPECT_LE(res->rows.size(), 10u);  // LIMIT 10
+}
+
+TEST_F(TpchTest, PolicySetSizesMatchPaper) {
+  EXPECT_EQ(tpch::PolicySet("T")->size(), 8u);
+  EXPECT_EQ(tpch::PolicySet("C")->size(), 10u);
+  EXPECT_EQ(tpch::PolicySet("CR")->size(), 10u);
+  EXPECT_EQ(tpch::PolicySet("CRA")->size(), 10u);
+  EXPECT_FALSE(tpch::PolicySet("bogus").ok());
+}
+
+}  // namespace
+}  // namespace cgq

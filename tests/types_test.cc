@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "types/date.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace cgq {
+namespace {
+
+TEST(ValueTest, NullBasics) {
+  Value v = Value::Null();
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.ToString(), "NULL");
+  EXPECT_FALSE(v.Equals(Value::Int64(0)));
+}
+
+TEST(ValueTest, Int64) {
+  Value v = Value::Int64(42);
+  EXPECT_TRUE(v.is_int64());
+  EXPECT_EQ(v.int64(), 42);
+  EXPECT_EQ(v.ToString(), "42");
+}
+
+TEST(ValueTest, DoubleAndNumericCompare) {
+  EXPECT_EQ(Value::Int64(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_LT(Value::Int64(1).Compare(Value::Double(1.5)), 0);
+  EXPECT_GT(Value::Double(2.5).Compare(Value::Int64(2)), 0);
+}
+
+TEST(ValueTest, StringCompare) {
+  EXPECT_LT(Value::String("abc").Compare(Value::String("abd")), 0);
+  EXPECT_EQ(Value::String("x").Compare(Value::String("x")), 0);
+  EXPECT_EQ(Value::String("q").ToString(), "'q'");
+}
+
+TEST(ValueTest, Equals) {
+  EXPECT_TRUE(Value::Int64(3).Equals(Value::Double(3.0)));
+  EXPECT_FALSE(Value::Int64(3).Equals(Value::String("3")));
+  EXPECT_FALSE(Value::Null().Equals(Value::Null()));
+  EXPECT_TRUE(Value::Null().StructurallyEquals(Value::Null()));
+}
+
+TEST(ValueTest, DateIsInt64) {
+  Value d = Value::Date(10000);
+  EXPECT_TRUE(d.is_int64());
+  EXPECT_EQ(d.int64(), 10000);
+}
+
+TEST(ValueTest, ByteSize) {
+  EXPECT_EQ(Value::Int64(1).ByteSize(), 8u);
+  EXPECT_EQ(Value::Null().ByteSize(), 1u);
+  EXPECT_EQ(Value::String("abcd").ByteSize(), 8u);  // 4 chars + 4 len
+}
+
+TEST(ValueTest, RowHashAndEquality) {
+  Row a = {Value::Int64(1), Value::String("x"), Value::Null()};
+  Row b = {Value::Int64(1), Value::String("x"), Value::Null()};
+  Row c = {Value::Int64(1), Value::String("y"), Value::Null()};
+  EXPECT_TRUE(RowsStructurallyEqual(a, b));
+  EXPECT_FALSE(RowsStructurallyEqual(a, c));
+  EXPECT_EQ(HashRow(a), HashRow(b));
+}
+
+TEST(SchemaTest, IndexOfCaseInsensitive) {
+  Schema s({{"CustKey", DataType::kInt64}, {"name", DataType::kString}});
+  EXPECT_EQ(s.IndexOf("custkey"), 0u);
+  EXPECT_EQ(s.IndexOf("NAME"), 1u);
+  EXPECT_FALSE(s.IndexOf("missing").has_value());
+}
+
+TEST(SchemaTest, ToString) {
+  Schema s({{"a", DataType::kInt64}, {"b", DataType::kDouble}});
+  EXPECT_EQ(s.ToString(), "a:INT64, b:DOUBLE");
+}
+
+TEST(DateTest, EpochRoundTrip) {
+  EXPECT_EQ(DaysFromCivil(1970, 1, 1), 0);
+  int y, m, d;
+  CivilFromDays(0, &y, &m, &d);
+  EXPECT_EQ(y, 1970);
+  EXPECT_EQ(m, 1);
+  EXPECT_EQ(d, 1);
+}
+
+TEST(DateTest, KnownDates) {
+  // 1995-01-01 is 9131 days after epoch.
+  EXPECT_EQ(DaysFromCivil(1995, 1, 1), 9131);
+  EXPECT_EQ(DaysFromCivil(1969, 12, 31), -1);
+}
+
+TEST(DateTest, ParseFormatRoundTrip) {
+  auto r = ParseDate("1998-12-01");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(FormatDate(*r), "1998-12-01");
+}
+
+TEST(DateTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseDate("not-a-date").ok());
+  EXPECT_FALSE(ParseDate("1998-13-01").ok());
+}
+
+TEST(DateTest, LeapYear) {
+  int64_t feb29 = DaysFromCivil(2000, 2, 29);
+  int y, m, d;
+  CivilFromDays(feb29, &y, &m, &d);
+  EXPECT_EQ(m, 2);
+  EXPECT_EQ(d, 29);
+}
+
+TEST(DateTest, OrderingMatchesCalendar) {
+  EXPECT_LT(DaysFromCivil(1994, 12, 31), DaysFromCivil(1995, 1, 1));
+  EXPECT_LT(DaysFromCivil(1995, 1, 1), DaysFromCivil(1995, 1, 2));
+}
+
+}  // namespace
+}  // namespace cgq

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+
+namespace cgq {
+namespace {
+
+// A sensor table fragmented over three sites; per-site policies only allow
+// *aggregated* readings to leave. The compliant plan must aggregate each
+// fragment locally (eager aggregation through UNION ALL) and combine the
+// partials — and the combined result must be exact.
+class UnionMaskingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Catalog catalog;
+    for (const char* l : {"s1", "s2", "s3", "hq"}) {
+      ASSERT_TRUE(catalog.mutable_locations().AddLocation(l).ok());
+    }
+    TableDef readings;
+    readings.name = "readings";
+    readings.schema = Schema({{"sensor", DataType::kInt64},
+                              {"temp", DataType::kInt64}});
+    readings.fragments = {TableFragment{0, 0.34}, TableFragment{1, 0.33},
+                          TableFragment{2, 0.33}};
+    readings.stats.row_count = 9;
+    ASSERT_TRUE(catalog.AddTable(readings).ok());
+
+    engine_ = std::make_unique<Engine>(std::move(catalog),
+                                       NetworkModel::DefaultGeo(4));
+    for (const char* l : {"s1", "s2", "s3"}) {
+      ASSERT_TRUE(engine_
+                      ->AddPolicy(l,
+                                  "ship temp as aggregates sum, min, max, "
+                                  "count from readings to hq "
+                                  "group by sensor")
+                      .ok());
+    }
+    // Sensor 1 readings: 10@s1, 20@s2, 30@s3. Sensor 2: 5@s1, 7@s1.
+    engine_->store().Put(0, "readings",
+                         {{Value::Int64(1), Value::Int64(10)},
+                          {Value::Int64(2), Value::Int64(5)},
+                          {Value::Int64(2), Value::Int64(7)}});
+    engine_->store().Put(1, "readings",
+                         {{Value::Int64(1), Value::Int64(20)}});
+    engine_->store().Put(2, "readings",
+                         {{Value::Int64(1), Value::Int64(30)}});
+  }
+
+  static int CountPartials(const PlanNode& n) {
+    int c = (n.kind() == PlanKind::kAggregate && n.is_partial_agg) ? 1 : 0;
+    for (const auto& ch : n.children()) c += CountPartials(*ch);
+    return c;
+  }
+
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(UnionMaskingTest, PerFragmentAggregationIsExact) {
+  const char* sql =
+      "SELECT sensor, SUM(temp) AS total, MIN(temp) AS lo, "
+      "MAX(temp) AS hi, COUNT(temp) AS n "
+      "FROM readings GROUP BY sensor ORDER BY sensor";
+  auto plan = engine_->Optimize(sql);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_TRUE(plan->compliant);
+  // One partial aggregate per fragment.
+  EXPECT_EQ(CountPartials(*plan->plan), 3)
+      << PlanToString(*plan->plan, &engine_->catalog().locations());
+  EXPECT_EQ(plan->result_location, 3u);  // hq
+
+  auto result = engine_->Run(sql);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 2u);
+  // sensor 1: sum 60, min 10, max 30, count 3.
+  EXPECT_EQ(result->rows[0][0].int64(), 1);
+  EXPECT_EQ(result->rows[0][1].int64(), 60);
+  EXPECT_EQ(result->rows[0][2].int64(), 10);
+  EXPECT_EQ(result->rows[0][3].int64(), 30);
+  EXPECT_EQ(result->rows[0][4].int64(), 3);
+  // sensor 2: sum 12, min 5, max 7, count 2 (all at s1).
+  EXPECT_EQ(result->rows[1][1].int64(), 12);
+  EXPECT_EQ(result->rows[1][2].int64(), 5);
+  EXPECT_EQ(result->rows[1][3].int64(), 7);
+  EXPECT_EQ(result->rows[1][4].int64(), 2);
+}
+
+TEST_F(UnionMaskingTest, RawReadingsCannotLeave) {
+  auto r = engine_->Optimize("SELECT sensor, temp FROM readings");
+  // Raw rows can never be unified at one site.
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNonCompliant());
+}
+
+TEST_F(UnionMaskingTest, AvgCannotBeDecomposedAcrossFragments) {
+  auto r = engine_->Optimize(
+      "SELECT sensor, AVG(temp) FROM readings GROUP BY sensor");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNonCompliant());
+}
+
+TEST_F(UnionMaskingTest, GroupingOutsidePolicyRejected) {
+  auto r = engine_->Optimize(
+      "SELECT temp, COUNT(sensor) FROM readings GROUP BY temp");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNonCompliant());
+}
+
+}  // namespace
+}  // namespace cgq

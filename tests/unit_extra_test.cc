@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "exec/csv.h"
+#include "expr/eval.h"
+#include "expr/expr.h"
+#include "types/date.h"
+
+namespace cgq {
+namespace {
+
+// --- Expr structural helpers -------------------------------------------------
+
+TEST(ExprExtraTest, EqualsAndHashAgree) {
+  ExprPtr a = Expr::Binary(
+      ExprOp::kGt, Expr::BoundColumn(5, "t", "x", "t", DataType::kInt64),
+      Expr::Literal(Value::Int64(10)));
+  ExprPtr b = Expr::Binary(
+      ExprOp::kGt, Expr::BoundColumn(5, "t", "x", "t", DataType::kInt64),
+      Expr::Literal(Value::Int64(10)));
+  ExprPtr c = Expr::Binary(
+      ExprOp::kGt, Expr::BoundColumn(5, "t", "x", "t", DataType::kInt64),
+      Expr::Literal(Value::Int64(11)));
+  EXPECT_TRUE(a->Equals(*b));
+  EXPECT_EQ(a->Hash(), b->Hash());
+  EXPECT_FALSE(a->Equals(*c));
+}
+
+TEST(ExprExtraTest, BoundAndUnboundColumnsDiffer) {
+  ExprPtr bound = Expr::BoundColumn(5, "t", "x", "t", DataType::kInt64);
+  ExprPtr unbound = Expr::Column("t", "x");
+  EXPECT_FALSE(bound->Equals(*unbound));
+  EXPECT_TRUE(bound->is_bound());
+  EXPECT_FALSE(unbound->is_bound());
+}
+
+TEST(ExprExtraTest, SubstituteReplacesOnlyMappedIds) {
+  ExprPtr x = Expr::BoundColumn(1, "t", "x", "t", DataType::kInt64);
+  ExprPtr y = Expr::BoundColumn(2, "t", "y", "t", DataType::kInt64);
+  ExprPtr sum = Expr::Binary(ExprOp::kAdd, x, y);
+  ExprPtr replacement = Expr::Literal(Value::Int64(42));
+  ExprPtr out = Expr::Substitute(sum, {{1, replacement}});
+  EXPECT_EQ(out->child(0)->op(), ExprOp::kLiteral);
+  EXPECT_EQ(out->child(1)->attr_id(), 2u);
+  // No mapping hit: the original tree is returned unchanged (same node).
+  ExprPtr same = Expr::Substitute(sum, {{9, replacement}});
+  EXPECT_EQ(same.get(), sum.get());
+}
+
+TEST(ExprExtraTest, MakeConjunction) {
+  EXPECT_TRUE(Expr::MakeConjunction({})->IsLiteralTrue());
+  ExprPtr single = Expr::Literal(Value::Int64(7));
+  EXPECT_EQ(Expr::MakeConjunction({single}).get(), single.get());
+  ExprPtr two = Expr::MakeConjunction({single, single});
+  EXPECT_EQ(two->op(), ExprOp::kAnd);
+}
+
+TEST(ExprExtraTest, ToStringParenthesizesNesting) {
+  ExprPtr e = Expr::Binary(
+      ExprOp::kMul, Expr::BoundColumn(1, "l", "p", "l", DataType::kDouble),
+      Expr::Binary(ExprOp::kSub, Expr::Literal(Value::Int64(1)),
+                   Expr::BoundColumn(2, "l", "d", "l", DataType::kDouble)));
+  EXPECT_EQ(e->ToString(), "l.p * (1 - l.d)");
+}
+
+TEST(ExprExtraTest, CollectBaseAttrsSkipsSynthetic) {
+  ExprPtr synth =
+      Expr::BoundColumn(kFirstSyntheticAttr + 3, "", "partial", "",
+                        DataType::kInt64);
+  ExprPtr base = Expr::BoundColumn(1, "t", "x", "t", DataType::kInt64);
+  ExprPtr sum = Expr::Binary(ExprOp::kAdd, synth, base);
+  std::vector<BaseAttr> attrs;
+  sum->CollectBaseAttrs(&attrs);
+  ASSERT_EQ(attrs.size(), 1u);
+  EXPECT_EQ(attrs[0].ToString(), "t.x");
+}
+
+// --- RowLayout ---------------------------------------------------------------
+
+TEST(RowLayoutTest, PositionLookups) {
+  RowLayout layout({10, 20, 30});
+  EXPECT_EQ(layout.PositionOf(20), 1u);
+  EXPECT_EQ(layout.PositionOf(99), RowLayout::kNotFound);
+  EXPECT_TRUE(layout.Contains(30));
+  EXPECT_FALSE(layout.Contains(31));
+  EXPECT_EQ(layout.size(), 3u);
+}
+
+// --- Date edge cases ----------------------------------------------------------
+
+TEST(DateExtraTest, PreGregorianAndFarFuture) {
+  int y, m, d;
+  CivilFromDays(DaysFromCivil(1582, 10, 4), &y, &m, &d);
+  EXPECT_EQ(y, 1582);
+  CivilFromDays(DaysFromCivil(2400, 2, 29), &y, &m, &d);  // leap century
+  EXPECT_EQ(m, 2);
+  EXPECT_EQ(d, 29);
+}
+
+TEST(DateExtraTest, RoundTripSweep) {
+  for (int64_t days = -1000; days <= 40000; days += 377) {
+    int y, m, d;
+    CivilFromDays(days, &y, &m, &d);
+    EXPECT_EQ(DaysFromCivil(y, m, d), days);
+  }
+}
+
+// --- CSV corner cases ----------------------------------------------------------
+
+class CsvExtraTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(catalog_.mutable_locations().AddLocation("x").ok());
+    TableDef t;
+    t.name = "t";
+    t.schema = Schema({{"a", DataType::kInt64},
+                       {"s", DataType::kString}});
+    t.fragments = {TableFragment{0, 1.0}};
+    ASSERT_TRUE(catalog_.AddTable(t).ok());
+  }
+  Catalog catalog_;
+};
+
+TEST_F(CsvExtraTest, CrLfLineEndings) {
+  TableStore store;
+  auto n = LoadCsv(catalog_, "t", 0, "1,foo\r\n2,bar\r\n", &store);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 2u);
+  auto rows = store.Get(0, "t");
+  EXPECT_EQ((**rows)[0][1].str(), "foo");  // no trailing \r
+}
+
+TEST_F(CsvExtraTest, BlankLinesSkipped) {
+  TableStore store;
+  auto n = LoadCsv(catalog_, "t", 0, "1,a\n\n\n2,b\n", &store);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 2u);
+}
+
+TEST_F(CsvExtraTest, TrailingNewlineOptional) {
+  TableStore store;
+  auto n = LoadCsv(catalog_, "t", 0, "1,a\n2,b", &store);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 2u);
+}
+
+TEST_F(CsvExtraTest, NegativeAndSpacedNumbers) {
+  TableStore store;
+  EXPECT_TRUE(LoadCsv(catalog_, "t", 0, "-5,x\n", &store).ok());
+  EXPECT_FALSE(LoadCsv(catalog_, "t", 0, "1 2,x\n", &store).ok());
+}
+
+}  // namespace
+}  // namespace cgq

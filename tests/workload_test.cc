@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/compliance_checker.h"
+#include "core/optimizer.h"
+#include "net/network_model.h"
+#include "sql/parser.h"
+#include "tpch/tpch.h"
+#include "workload/policy_generator.h"
+#include "workload/query_generator.h"
+
+namespace cgq {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tpch::TpchConfig config;
+    config.scale_factor = 1;
+    auto catalog = tpch::BuildCatalog(config);
+    ASSERT_TRUE(catalog.ok());
+    catalog_ = std::make_unique<Catalog>(std::move(*catalog));
+    properties_ = TpchWorkloadProperties();
+    net_ = std::make_unique<NetworkModel>(NetworkModel::DefaultGeo(5));
+  }
+
+  std::unique_ptr<Catalog> catalog_;
+  WorkloadProperties properties_;
+  std::unique_ptr<NetworkModel> net_;
+};
+
+TEST_F(WorkloadTest, GeneratedQueriesParse) {
+  AdhocQueryGenerator gen(catalog_.get(), &properties_, {});
+  for (int i = 0; i < 200; ++i) {
+    std::string sql = gen.Next();
+    auto ast = ParseQuery(sql);
+    EXPECT_TRUE(ast.ok()) << sql << "\n" << ast.status();
+  }
+}
+
+TEST_F(WorkloadTest, GeneratedQueriesMatchDistribution) {
+  AdhocQueryGenerator gen(catalog_.get(), &properties_, {});
+  int counts[5] = {0};
+  int aggregates = 0;
+  const int n = 400;
+  for (int i = 0; i < n; ++i) {
+    auto ast = ParseQuery(gen.Next());
+    ASSERT_TRUE(ast.ok());
+    size_t tables = ast->from.size();
+    ASSERT_GE(tables, 2u);
+    ASSERT_LE(tables, 4u);
+    counts[tables] += 1;
+    aggregates += ast->group_by.empty() ? 0 : 1;
+  }
+  // §7.2: 55% / 35% / 10% two/three/four tables; ~30% aggregation.
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.55, 0.12);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.35, 0.12);
+  EXPECT_NEAR(aggregates / static_cast<double>(n), 0.30, 0.12);
+}
+
+TEST_F(WorkloadTest, GeneratedQueriesSpanTwoLocations) {
+  AdhocQueryGenerator gen(catalog_.get(), &properties_, {});
+  for (int i = 0; i < 100; ++i) {
+    auto ast = ParseQuery(gen.Next());
+    ASSERT_TRUE(ast.ok());
+    std::set<LocationId> locations;
+    for (const TableRefAst& ref : ast->from) {
+      auto def = catalog_->GetTable(ref.table);
+      ASSERT_TRUE(def.ok());
+      for (LocationId l : (*def)->LocationsOf().ToVector()) {
+        locations.insert(l);
+      }
+    }
+    EXPECT_GE(locations.size(), 2u);
+  }
+}
+
+TEST_F(WorkloadTest, GeneratorIsDeterministic) {
+  AdhocQueryGenerator a(catalog_.get(), &properties_, {});
+  AdhocQueryGenerator b(catalog_.get(), &properties_, {});
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST_F(WorkloadTest, PolicyGeneratorProducesValidExpressions) {
+  for (const char* templ : {"T", "C", "CR", "CRA"}) {
+    PolicyGeneratorConfig config;
+    config.template_name = templ;
+    config.count = 50;
+    PolicyExpressionGenerator gen(catalog_.get(), &properties_, config);
+    PolicyCatalog policies(catalog_.get());
+    Status s = gen.InstallInto(&policies);
+    EXPECT_TRUE(s.ok()) << templ << ": " << s;
+    EXPECT_EQ(policies.TotalCount(), 50u) << templ;
+  }
+}
+
+TEST_F(WorkloadTest, FeasibleSetsKeepAdhocQueriesLegal) {
+  // The paper's Fig 6(a): under generated (feasible) policy sets, the
+  // compliance-based optimizer finds a compliant plan for every query.
+  PolicyGeneratorConfig pconfig;
+  pconfig.template_name = "CRA";
+  pconfig.count = 50;
+  PolicyExpressionGenerator pgen(catalog_.get(), &properties_, pconfig);
+  PolicyCatalog policies(catalog_.get());
+  ASSERT_TRUE(pgen.InstallInto(&policies).ok());
+
+  AdhocQueryGenerator qgen(catalog_.get(), &properties_, {});
+  OptimizerOptions opts;
+  opts.compliant = true;
+  QueryOptimizer optimizer(catalog_.get(), &policies, net_.get(), opts);
+
+  int compliant = 0;
+  const int n = 40;
+  for (int i = 0; i < n; ++i) {
+    std::string sql = qgen.Next();
+    auto r = optimizer.Optimize(sql);
+    ASSERT_TRUE(r.ok()) << sql << "\n" << r.status();
+    EXPECT_TRUE(r->compliant) << sql;
+    compliant += r->compliant ? 1 : 0;
+  }
+  EXPECT_EQ(compliant, n);
+}
+
+TEST_F(WorkloadTest, TheoremOnePropertyUnderRandomPolicies) {
+  // Theorem 1 as a property test: with *random, possibly infeasible*
+  // policies, the compliance-based optimizer either rejects or emits a
+  // plan that independently verifies as compliant.
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    PolicyGeneratorConfig pconfig;
+    pconfig.template_name = "CRA";
+    pconfig.count = 25;
+    pconfig.seed = seed;
+    pconfig.ensure_feasible = false;  // rejections become likely
+    PolicyExpressionGenerator pgen(catalog_.get(), &properties_, pconfig);
+    PolicyCatalog policies(catalog_.get());
+    ASSERT_TRUE(pgen.InstallInto(&policies).ok());
+
+    QueryGeneratorConfig qconfig;
+    qconfig.seed = seed * 101;
+    AdhocQueryGenerator qgen(catalog_.get(), &properties_, qconfig);
+
+    OptimizerOptions opts;
+    opts.compliant = true;
+    QueryOptimizer optimizer(catalog_.get(), &policies, net_.get(), opts);
+    PolicyEvaluator evaluator(catalog_.get(), &policies);
+
+    for (int i = 0; i < 15; ++i) {
+      std::string sql = qgen.Next();
+      auto r = optimizer.Optimize(sql);
+      if (!r.ok()) {
+        EXPECT_TRUE(r.status().IsNonCompliant()) << sql << r.status();
+        continue;
+      }
+      ComplianceReport report =
+          CheckCompliance(*r->plan, evaluator, catalog_->locations());
+      EXPECT_TRUE(report.compliant)
+          << sql << "\n"
+          << PlanToString(*r->plan, &catalog_->locations());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cgq
