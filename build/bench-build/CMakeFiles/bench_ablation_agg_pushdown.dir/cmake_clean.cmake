@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_agg_pushdown"
+  "../bench/bench_ablation_agg_pushdown.pdb"
+  "CMakeFiles/bench_ablation_agg_pushdown.dir/bench_ablation_agg_pushdown.cc.o"
+  "CMakeFiles/bench_ablation_agg_pushdown.dir/bench_ablation_agg_pushdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_agg_pushdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_effectiveness_tpch"
+  "../bench/bench_fig5_effectiveness_tpch.pdb"
+  "CMakeFiles/bench_fig5_effectiveness_tpch.dir/bench_fig5_effectiveness_tpch.cc.o"
+  "CMakeFiles/bench_fig5_effectiveness_tpch.dir/bench_fig5_effectiveness_tpch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_effectiveness_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6a_effectiveness_adhoc"
+  "../bench/bench_fig6a_effectiveness_adhoc.pdb"
+  "CMakeFiles/bench_fig6a_effectiveness_adhoc.dir/bench_fig6a_effectiveness_adhoc.cc.o"
+  "CMakeFiles/bench_fig6a_effectiveness_adhoc.dir/bench_fig6a_effectiveness_adhoc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6a_effectiveness_adhoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7abc_scalability_expressions"
+  "../bench/bench_fig7abc_scalability_expressions.pdb"
+  "CMakeFiles/bench_fig7abc_scalability_expressions.dir/bench_fig7abc_scalability_expressions.cc.o"
+  "CMakeFiles/bench_fig7abc_scalability_expressions.dir/bench_fig7abc_scalability_expressions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7abc_scalability_expressions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

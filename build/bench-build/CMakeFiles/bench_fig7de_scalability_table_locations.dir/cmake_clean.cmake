@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7de_scalability_table_locations"
+  "../bench/bench_fig7de_scalability_table_locations.pdb"
+  "CMakeFiles/bench_fig7de_scalability_table_locations.dir/bench_fig7de_scalability_table_locations.cc.o"
+  "CMakeFiles/bench_fig7de_scalability_table_locations.dir/bench_fig7de_scalability_table_locations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7de_scalability_table_locations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

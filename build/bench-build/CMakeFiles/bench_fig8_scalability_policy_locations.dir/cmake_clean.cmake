@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_scalability_policy_locations"
+  "../bench/bench_fig8_scalability_policy_locations.pdb"
+  "CMakeFiles/bench_fig8_scalability_policy_locations.dir/bench_fig8_scalability_policy_locations.cc.o"
+  "CMakeFiles/bench_fig8_scalability_policy_locations.dir/bench_fig8_scalability_policy_locations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_scalability_policy_locations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_objectives"
+  "../bench/bench_objectives.pdb"
+  "CMakeFiles/bench_objectives.dir/bench_objectives.cc.o"
+  "CMakeFiles/bench_objectives.dir/bench_objectives.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_objectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/carco_motivating"
+  "../examples/carco_motivating.pdb"
+  "CMakeFiles/carco_motivating.dir/carco_motivating.cpp.o"
+  "CMakeFiles/carco_motivating.dir/carco_motivating.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carco_motivating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/cgq_shell"
+  "../examples/cgq_shell.pdb"
+  "CMakeFiles/cgq_shell.dir/cgq_shell.cpp.o"
+  "CMakeFiles/cgq_shell.dir/cgq_shell.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgq_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

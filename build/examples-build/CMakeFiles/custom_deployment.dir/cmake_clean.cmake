@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/custom_deployment"
+  "../examples/custom_deployment.pdb"
+  "CMakeFiles/custom_deployment.dir/custom_deployment.cpp.o"
+  "CMakeFiles/custom_deployment.dir/custom_deployment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/policy_playground"
+  "../examples/policy_playground.pdb"
+  "CMakeFiles/policy_playground.dir/policy_playground.cpp.o"
+  "CMakeFiles/policy_playground.dir/policy_playground.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

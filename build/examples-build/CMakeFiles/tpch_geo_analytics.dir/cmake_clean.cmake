@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/tpch_geo_analytics"
+  "../examples/tpch_geo_analytics.pdb"
+  "CMakeFiles/tpch_geo_analytics.dir/tpch_geo_analytics.cpp.o"
+  "CMakeFiles/tpch_geo_analytics.dir/tpch_geo_analytics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_geo_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

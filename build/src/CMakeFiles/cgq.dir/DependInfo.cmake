@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/cgq.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/cgq.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/deployment.cc" "src/CMakeFiles/cgq.dir/catalog/deployment.cc.o" "gcc" "src/CMakeFiles/cgq.dir/catalog/deployment.cc.o.d"
+  "/root/repo/src/catalog/location.cc" "src/CMakeFiles/cgq.dir/catalog/location.cc.o" "gcc" "src/CMakeFiles/cgq.dir/catalog/location.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/cgq.dir/common/status.cc.o" "gcc" "src/CMakeFiles/cgq.dir/common/status.cc.o.d"
+  "/root/repo/src/common/str_util.cc" "src/CMakeFiles/cgq.dir/common/str_util.cc.o" "gcc" "src/CMakeFiles/cgq.dir/common/str_util.cc.o.d"
+  "/root/repo/src/core/compliance_checker.cc" "src/CMakeFiles/cgq.dir/core/compliance_checker.cc.o" "gcc" "src/CMakeFiles/cgq.dir/core/compliance_checker.cc.o.d"
+  "/root/repo/src/core/deny_rules.cc" "src/CMakeFiles/cgq.dir/core/deny_rules.cc.o" "gcc" "src/CMakeFiles/cgq.dir/core/deny_rules.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/CMakeFiles/cgq.dir/core/explain.cc.o" "gcc" "src/CMakeFiles/cgq.dir/core/explain.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "src/CMakeFiles/cgq.dir/core/optimizer.cc.o" "gcc" "src/CMakeFiles/cgq.dir/core/optimizer.cc.o.d"
+  "/root/repo/src/core/plan_annotator.cc" "src/CMakeFiles/cgq.dir/core/plan_annotator.cc.o" "gcc" "src/CMakeFiles/cgq.dir/core/plan_annotator.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/CMakeFiles/cgq.dir/core/policy.cc.o" "gcc" "src/CMakeFiles/cgq.dir/core/policy.cc.o.d"
+  "/root/repo/src/core/policy_evaluator.cc" "src/CMakeFiles/cgq.dir/core/policy_evaluator.cc.o" "gcc" "src/CMakeFiles/cgq.dir/core/policy_evaluator.cc.o.d"
+  "/root/repo/src/core/policy_lint.cc" "src/CMakeFiles/cgq.dir/core/policy_lint.cc.o" "gcc" "src/CMakeFiles/cgq.dir/core/policy_lint.cc.o.d"
+  "/root/repo/src/core/site_selector.cc" "src/CMakeFiles/cgq.dir/core/site_selector.cc.o" "gcc" "src/CMakeFiles/cgq.dir/core/site_selector.cc.o.d"
+  "/root/repo/src/exec/analyze.cc" "src/CMakeFiles/cgq.dir/exec/analyze.cc.o" "gcc" "src/CMakeFiles/cgq.dir/exec/analyze.cc.o.d"
+  "/root/repo/src/exec/csv.cc" "src/CMakeFiles/cgq.dir/exec/csv.cc.o" "gcc" "src/CMakeFiles/cgq.dir/exec/csv.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/cgq.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/cgq.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/table_store.cc" "src/CMakeFiles/cgq.dir/exec/table_store.cc.o" "gcc" "src/CMakeFiles/cgq.dir/exec/table_store.cc.o.d"
+  "/root/repo/src/expr/eval.cc" "src/CMakeFiles/cgq.dir/expr/eval.cc.o" "gcc" "src/CMakeFiles/cgq.dir/expr/eval.cc.o.d"
+  "/root/repo/src/expr/expr.cc" "src/CMakeFiles/cgq.dir/expr/expr.cc.o" "gcc" "src/CMakeFiles/cgq.dir/expr/expr.cc.o.d"
+  "/root/repo/src/expr/implication.cc" "src/CMakeFiles/cgq.dir/expr/implication.cc.o" "gcc" "src/CMakeFiles/cgq.dir/expr/implication.cc.o.d"
+  "/root/repo/src/net/network_model.cc" "src/CMakeFiles/cgq.dir/net/network_model.cc.o" "gcc" "src/CMakeFiles/cgq.dir/net/network_model.cc.o.d"
+  "/root/repo/src/optimizer/cardinality.cc" "src/CMakeFiles/cgq.dir/optimizer/cardinality.cc.o" "gcc" "src/CMakeFiles/cgq.dir/optimizer/cardinality.cc.o.d"
+  "/root/repo/src/optimizer/memo.cc" "src/CMakeFiles/cgq.dir/optimizer/memo.cc.o" "gcc" "src/CMakeFiles/cgq.dir/optimizer/memo.cc.o.d"
+  "/root/repo/src/optimizer/rules.cc" "src/CMakeFiles/cgq.dir/optimizer/rules.cc.o" "gcc" "src/CMakeFiles/cgq.dir/optimizer/rules.cc.o.d"
+  "/root/repo/src/plan/binder.cc" "src/CMakeFiles/cgq.dir/plan/binder.cc.o" "gcc" "src/CMakeFiles/cgq.dir/plan/binder.cc.o.d"
+  "/root/repo/src/plan/builder.cc" "src/CMakeFiles/cgq.dir/plan/builder.cc.o" "gcc" "src/CMakeFiles/cgq.dir/plan/builder.cc.o.d"
+  "/root/repo/src/plan/plan_dot.cc" "src/CMakeFiles/cgq.dir/plan/plan_dot.cc.o" "gcc" "src/CMakeFiles/cgq.dir/plan/plan_dot.cc.o.d"
+  "/root/repo/src/plan/plan_node.cc" "src/CMakeFiles/cgq.dir/plan/plan_node.cc.o" "gcc" "src/CMakeFiles/cgq.dir/plan/plan_node.cc.o.d"
+  "/root/repo/src/plan/planner_context.cc" "src/CMakeFiles/cgq.dir/plan/planner_context.cc.o" "gcc" "src/CMakeFiles/cgq.dir/plan/planner_context.cc.o.d"
+  "/root/repo/src/plan/query_planner.cc" "src/CMakeFiles/cgq.dir/plan/query_planner.cc.o" "gcc" "src/CMakeFiles/cgq.dir/plan/query_planner.cc.o.d"
+  "/root/repo/src/plan/summary.cc" "src/CMakeFiles/cgq.dir/plan/summary.cc.o" "gcc" "src/CMakeFiles/cgq.dir/plan/summary.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/cgq.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/cgq.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/cgq.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/cgq.dir/sql/parser.cc.o.d"
+  "/root/repo/src/tpch/tpch.cc" "src/CMakeFiles/cgq.dir/tpch/tpch.cc.o" "gcc" "src/CMakeFiles/cgq.dir/tpch/tpch.cc.o.d"
+  "/root/repo/src/tpch/tpch_gen.cc" "src/CMakeFiles/cgq.dir/tpch/tpch_gen.cc.o" "gcc" "src/CMakeFiles/cgq.dir/tpch/tpch_gen.cc.o.d"
+  "/root/repo/src/tpch/tpch_policies.cc" "src/CMakeFiles/cgq.dir/tpch/tpch_policies.cc.o" "gcc" "src/CMakeFiles/cgq.dir/tpch/tpch_policies.cc.o.d"
+  "/root/repo/src/tpch/tpch_queries.cc" "src/CMakeFiles/cgq.dir/tpch/tpch_queries.cc.o" "gcc" "src/CMakeFiles/cgq.dir/tpch/tpch_queries.cc.o.d"
+  "/root/repo/src/types/date.cc" "src/CMakeFiles/cgq.dir/types/date.cc.o" "gcc" "src/CMakeFiles/cgq.dir/types/date.cc.o.d"
+  "/root/repo/src/types/schema.cc" "src/CMakeFiles/cgq.dir/types/schema.cc.o" "gcc" "src/CMakeFiles/cgq.dir/types/schema.cc.o.d"
+  "/root/repo/src/types/value.cc" "src/CMakeFiles/cgq.dir/types/value.cc.o" "gcc" "src/CMakeFiles/cgq.dir/types/value.cc.o.d"
+  "/root/repo/src/workload/policy_generator.cc" "src/CMakeFiles/cgq.dir/workload/policy_generator.cc.o" "gcc" "src/CMakeFiles/cgq.dir/workload/policy_generator.cc.o.d"
+  "/root/repo/src/workload/properties.cc" "src/CMakeFiles/cgq.dir/workload/properties.cc.o" "gcc" "src/CMakeFiles/cgq.dir/workload/properties.cc.o.d"
+  "/root/repo/src/workload/query_generator.cc" "src/CMakeFiles/cgq.dir/workload/query_generator.cc.o" "gcc" "src/CMakeFiles/cgq.dir/workload/query_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

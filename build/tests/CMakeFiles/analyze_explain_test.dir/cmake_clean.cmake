@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_explain_test.dir/analyze_explain_test.cc.o"
+  "CMakeFiles/analyze_explain_test.dir/analyze_explain_test.cc.o.d"
+  "analyze_explain_test"
+  "analyze_explain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_explain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

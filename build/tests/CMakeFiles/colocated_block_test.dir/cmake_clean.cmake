@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colocated_block_test.dir/colocated_block_test.cc.o"
+  "CMakeFiles/colocated_block_test.dir/colocated_block_test.cc.o.d"
+  "colocated_block_test"
+  "colocated_block_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colocated_block_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deny_rules_test.dir/deny_rules_test.cc.o"
+  "CMakeFiles/deny_rules_test.dir/deny_rules_test.cc.o.d"
+  "deny_rules_test"
+  "deny_rules_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deny_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

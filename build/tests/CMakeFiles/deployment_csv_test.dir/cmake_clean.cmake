@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_csv_test.dir/deployment_csv_test.cc.o"
+  "CMakeFiles/deployment_csv_test.dir/deployment_csv_test.cc.o.d"
+  "deployment_csv_test"
+  "deployment_csv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

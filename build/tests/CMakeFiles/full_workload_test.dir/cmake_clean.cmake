@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_workload_test.dir/full_workload_test.cc.o"
+  "CMakeFiles/full_workload_test.dir/full_workload_test.cc.o.d"
+  "full_workload_test"
+  "full_workload_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

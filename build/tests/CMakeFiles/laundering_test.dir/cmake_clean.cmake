@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laundering_test.dir/laundering_test.cc.o"
+  "CMakeFiles/laundering_test.dir/laundering_test.cc.o.d"
+  "laundering_test"
+  "laundering_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laundering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

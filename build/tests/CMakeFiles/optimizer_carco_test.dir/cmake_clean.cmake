@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_carco_test.dir/optimizer_carco_test.cc.o"
+  "CMakeFiles/optimizer_carco_test.dir/optimizer_carco_test.cc.o.d"
+  "optimizer_carco_test"
+  "optimizer_carco_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_carco_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_catalog_test.dir/policy_catalog_test.cc.o"
+  "CMakeFiles/policy_catalog_test.dir/policy_catalog_test.cc.o.d"
+  "policy_catalog_test"
+  "policy_catalog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

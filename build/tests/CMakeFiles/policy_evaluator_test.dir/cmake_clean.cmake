@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_evaluator_test.dir/policy_evaluator_test.cc.o"
+  "CMakeFiles/policy_evaluator_test.dir/policy_evaluator_test.cc.o.d"
+  "policy_evaluator_test"
+  "policy_evaluator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_evaluator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_lint_test.dir/policy_lint_test.cc.o"
+  "CMakeFiles/policy_lint_test.dir/policy_lint_test.cc.o.d"
+  "policy_lint_test"
+  "policy_lint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_lint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

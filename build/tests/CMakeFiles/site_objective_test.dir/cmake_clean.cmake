@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/site_objective_test.dir/site_objective_test.cc.o"
+  "CMakeFiles/site_objective_test.dir/site_objective_test.cc.o.d"
+  "site_objective_test"
+  "site_objective_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/site_objective_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

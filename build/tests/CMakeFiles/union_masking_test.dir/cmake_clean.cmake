@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/union_masking_test.dir/union_masking_test.cc.o"
+  "CMakeFiles/union_masking_test.dir/union_masking_test.cc.o.d"
+  "union_masking_test"
+  "union_masking_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/union_masking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

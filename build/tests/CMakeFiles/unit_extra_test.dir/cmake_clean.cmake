@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unit_extra_test.dir/unit_extra_test.cc.o"
+  "CMakeFiles/unit_extra_test.dir/unit_extra_test.cc.o.d"
+  "unit_extra_test"
+  "unit_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unit_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
