@@ -1,22 +1,55 @@
 // Figure 7(a-c): scalability with the number of policy expressions.
 //
-// Optimization time of TPC-H Q2, Q3, and Q10 under generated CR+A policy
-// sets of 12, 25, 50 and 100 expressions. Each bar also reports eta — the
-// number of times a policy expression is *considered* by the optimizer
-// (ship attributes intersect + implication holds; Algorithm 1 line 4) —
-// because time scales with eta, not with the raw set size.
+// Section 1 reproduces the paper's shape: optimization time of TPC-H Q2,
+// Q3, and Q10 under generated CR+A policy sets of 12, 25, 50 and 100
+// expressions. Each row also reports eta — the number of times a policy
+// expression is *considered* by the optimizer (ship attributes intersect +
+// implication holds; Algorithm 1 line 4) — because time scales with eta,
+// not with the raw set size.
+//
+// Section 2 stresses far past the paper's scales and compares the
+// single-threaded uncached evaluator against the parallel evaluator with
+// the implication-result cache, asserting both produce identical
+// compliance decisions. The selection-heavy Q6 (five range conjuncts on
+// one table) is where implication testing dominates optimization.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "core/optimizer.h"
+#include "expr/implication.h"
 #include "net/network_model.h"
 #include "tpch/tpch.h"
 #include "workload/policy_generator.h"
 
 using namespace cgq;  // NOLINT
 
-int main() {
+namespace {
+
+// The decision surface of one optimization, for cross-configuration
+// equality checks.
+struct Decision {
+  LocationId result_location = 0;
+  bool compliant = false;
+  double phase1_cost = 0;
+  double comm_cost_ms = 0;
+
+  bool operator==(const Decision&) const = default;
+};
+
+Decision DecisionOf(const OptimizedQuery& q) {
+  return Decision{q.result_location, q.compliant, q.phase1_cost,
+                  q.comm_cost_ms};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::BenchOptions::Parse(argc, argv);
+  bench::JsonReport report(opts.json_path);
+
   tpch::TpchConfig config;
   config.scale_factor = 10;
   auto catalog = tpch::BuildCatalog(config);
@@ -24,8 +57,19 @@ int main() {
   NetworkModel net = NetworkModel::DefaultGeo(5);
   WorkloadProperties properties = TpchWorkloadProperties();
 
-  const size_t sizes[] = {12, 25, 50, 100};
-  const int queries[] = {2, 3, 10};
+  auto install = [&](size_t n, PolicyCatalog* policies) {
+    PolicyGeneratorConfig pconfig;
+    pconfig.template_name = "CRA";
+    pconfig.count = n;
+    pconfig.seed = 99;
+    PolicyExpressionGenerator pgen(&*catalog, &properties, pconfig);
+    return pgen.InstallInto(policies).ok();
+  };
+
+  // --- Section 1: the paper's figure -------------------------------------
+  std::vector<size_t> sizes = {12, 25, 50, 100};
+  std::vector<int> queries = {2, 3, 10};
+  if (opts.tiny) sizes = {12, 25};
 
   for (int q : queries) {
     bench::PrintHeader("Fig 7 (Q" + std::to_string(q) +
@@ -35,13 +79,8 @@ int main() {
                 "Compliant QO [ms]", "policy [ms]", "eta", "groups");
     std::string sql = *tpch::Query(q);
     for (size_t n : sizes) {
-      PolicyGeneratorConfig pconfig;
-      pconfig.template_name = "CRA";
-      pconfig.count = n;
-      pconfig.seed = 99;
-      PolicyExpressionGenerator pgen(&*catalog, &properties, pconfig);
       PolicyCatalog policies(&*catalog);
-      if (!pgen.InstallInto(&policies).ok()) return 1;
+      if (!install(n, &policies)) return 1;
 
       QueryOptimizer optimizer(&*catalog, &policies, &net, {});
       // One instrumented run for eta, then timed runs.
@@ -49,13 +88,108 @@ int main() {
       long eta = probe.ok() ? static_cast<long>(probe->stats.policy.eta) : -1;
       size_t groups = probe.ok() ? probe->stats.memo_groups : 0;
       double policy_ms = probe.ok() ? probe->stats.policy.eval_ms : 0;
-      bench::TimingStats t =
-          bench::TimeRepeated([&] { (void)optimizer.Optimize(sql); });
+      bench::TimingStats t = bench::TimeRepeated(
+          [&] { (void)optimizer.Optimize(sql); }, opts.reps);
       std::printf("%-8zu %10.2f +- %-8.2f %-14.3f %-10ld %-8zu\n", n,
                   t.mean_ms, t.stderr_ms, policy_ms, eta, groups);
+      report.Add(bench::JsonRow()
+                     .Set("bench", "fig7abc")
+                     .Set("section", "paper")
+                     .Set("query", q)
+                     .Set("num_expressions", n)
+                     .Set("mean_ms", t.mean_ms)
+                     .Set("stderr_ms", t.stderr_ms)
+                     .Set("policy_ms", policy_ms)
+                     .Set("eta", static_cast<int64_t>(eta)));
     }
   }
   std::printf("\n(time grows with eta — the expressions actually affecting "
               "the query's search space — not with the raw set size)\n");
-  return 0;
+
+  // --- Section 2: parallel + cached evaluator speedup --------------------
+  std::vector<size_t> stress_sizes = {200, 800, 3200};
+  std::vector<int> stress_queries = {2, 6};
+  if (opts.tiny) {
+    stress_sizes = {50, 100};
+  }
+
+  bool decisions_equal = true;
+  double largest_scale_speedup = 0;
+  for (int q : stress_queries) {
+    bench::PrintHeader(
+        "Fig 7 stress (Q" + std::to_string(q) +
+        "): 1 thread / no cache  vs  " + std::to_string(opts.threads) +
+        " threads / implication cache");
+    std::printf("%-8s %-14s %-14s %-9s %-9s %-10s %-8s\n", "#expr",
+                "base [ms]", "opt [ms]", "speedup", "hitrate", "tests",
+                "same");
+    std::string sql = *tpch::Query(q);
+    for (size_t n : stress_sizes) {
+      PolicyCatalog policies(&*catalog);
+      if (!install(n, &policies)) return 1;
+
+      OptimizerOptions base_opts;
+      base_opts.threads = 1;
+      base_opts.implication_cache = false;
+      QueryOptimizer base(&*catalog, &policies, &net, base_opts);
+
+      OptimizerOptions par_opts;
+      par_opts.threads = opts.threads;
+      par_opts.implication_cache = true;
+      QueryOptimizer par(&*catalog, &policies, &net, par_opts);
+
+      auto bres = base.Optimize(sql);
+      auto pres = par.Optimize(sql);
+      if (!bres.ok() || !pres.ok()) return 1;
+      bool same = DecisionOf(*bres) == DecisionOf(*pres);
+      // Identical decisions at every thread count, not just the headline
+      // configuration.
+      for (int extra_threads : {2, 8}) {
+        OptimizerOptions o;
+        o.threads = extra_threads;
+        QueryOptimizer alt(&*catalog, &policies, &net, o);
+        auto ares = alt.Optimize(sql);
+        same &= ares.ok() && DecisionOf(*ares) == DecisionOf(*bres);
+      }
+      decisions_equal &= same;
+
+      bench::TimingStats tb = bench::TimeRepeated(
+          [&] { (void)base.Optimize(sql); }, opts.reps);
+      bench::TimingStats tp = bench::TimeRepeated(
+          [&] { (void)par.Optimize(sql); }, opts.reps);
+      auto probe = par.Optimize(sql);
+      const PolicyEvalStats& st = probe->stats.policy;
+      double hits = static_cast<double>(st.implication_cache_hits);
+      double total = hits + static_cast<double>(st.implication_cache_misses);
+      double hit_rate = total > 0 ? hits / total : 0;
+      double speedup = tp.min_ms > 0 ? tb.min_ms / tp.min_ms : 0;
+      if (q == stress_queries.back() && n == stress_sizes.back()) {
+        largest_scale_speedup = speedup;
+      }
+      std::printf("%-8zu %-14.2f %-14.2f %-9.2f %-9.1f%% %-10lld %-8s\n", n,
+                  tb.min_ms, tp.min_ms, speedup, 100.0 * hit_rate,
+                  static_cast<long long>(st.implication_tests),
+                  same ? "yes" : "NO");
+      report.Add(bench::JsonRow()
+                     .Set("bench", "fig7abc")
+                     .Set("section", "stress")
+                     .Set("query", q)
+                     .Set("num_expressions", n)
+                     .Set("threads", opts.threads)
+                     .Set("base_ms", tb.min_ms)
+                     .Set("optimized_ms", tp.min_ms)
+                     .Set("speedup", speedup)
+                     .Set("cache_hit_rate", hit_rate)
+                     .Set("implication_tests", st.implication_tests)
+                     .Set("decisions_equal", same));
+    }
+  }
+
+  std::printf("\nlargest-scale speedup: %.2fx (Q%d, %zu expressions); "
+              "decisions identical across thread counts: %s\n",
+              largest_scale_speedup, stress_queries.back(),
+              stress_sizes.back(), decisions_equal ? "yes" : "NO");
+
+  if (!report.Flush()) return 1;
+  return decisions_equal ? 0 : 1;
 }

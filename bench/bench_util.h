@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <string>
 #include <vector>
@@ -14,6 +16,7 @@ namespace bench {
 struct TimingStats {
   double mean_ms = 0;
   double stderr_ms = 0;
+  double min_ms = 0;
 };
 
 /// Runs `fn` `reps` times (default 7, as in the paper) and reports the mean
@@ -30,7 +33,11 @@ inline TimingStats TimeRepeated(const std::function<void()>& fn,
                           .count());
   }
   TimingStats out;
-  for (double s : samples) out.mean_ms += s;
+  out.min_ms = samples.empty() ? 0 : samples[0];
+  for (double s : samples) {
+    out.mean_ms += s;
+    if (s < out.min_ms) out.min_ms = s;
+  }
   out.mean_ms /= reps;
   double var = 0;
   for (double s : samples) var += (s - out.mean_ms) * (s - out.mean_ms);
@@ -45,6 +52,121 @@ inline void PrintHeader(const std::string& title) {
   std::printf("%s\n", title.c_str());
   std::printf("================================================================\n");
 }
+
+/// Shared bench command line:
+///   --threads=N   pool width for the parallel/cached configuration (default 4)
+///   --reps=N      timed repetitions per cell (default 7)
+///   --tiny        CI smoke mode: smallest scales only, fewer reps
+///   --json=PATH   append one JSON object per result row to PATH
+struct BenchOptions {
+  int threads = 4;
+  int reps = 7;
+  bool tiny = false;
+  std::string json_path;
+
+  static BenchOptions Parse(int argc, char** argv) {
+    BenchOptions o;
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strncmp(a, "--threads=", 10) == 0) {
+        o.threads = std::atoi(a + 10);
+      } else if (std::strncmp(a, "--reps=", 7) == 0) {
+        o.reps = std::atoi(a + 7);
+      } else if (std::strcmp(a, "--tiny") == 0) {
+        o.tiny = true;
+        o.reps = 3;
+      } else if (std::strncmp(a, "--json=", 7) == 0) {
+        o.json_path = a + 7;
+      } else {
+        std::fprintf(stderr,
+                     "unknown argument '%s' "
+                     "(--threads=N --reps=N --tiny --json=PATH)\n",
+                     a);
+        std::exit(2);
+      }
+    }
+    if (o.threads < 1) o.threads = 1;
+    if (o.reps < 1) o.reps = 1;
+    return o;
+  }
+};
+
+/// Builds one flat JSON object ({"k": v, ...}); values typed per setter.
+class JsonRow {
+ public:
+  JsonRow& Set(const std::string& key, const std::string& value) {
+    return Raw(key, "\"" + Escaped(value) + "\"");
+  }
+  JsonRow& Set(const std::string& key, const char* value) {
+    return Set(key, std::string(value));
+  }
+  JsonRow& Set(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return Raw(key, buf);
+  }
+  JsonRow& Set(const std::string& key, int64_t value) {
+    return Raw(key, std::to_string(value));
+  }
+  JsonRow& Set(const std::string& key, size_t value) {
+    return Raw(key, std::to_string(value));
+  }
+  JsonRow& Set(const std::string& key, int value) {
+    return Raw(key, std::to_string(value));
+  }
+  JsonRow& Set(const std::string& key, bool value) {
+    return Raw(key, value ? "true" : "false");
+  }
+
+  std::string ToString() const { return "{" + body_ + "}"; }
+
+ private:
+  JsonRow& Raw(const std::string& key, const std::string& value) {
+    if (!body_.empty()) body_ += ", ";
+    body_ += "\"" + Escaped(key) + "\": " + value;
+    return *this;
+  }
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+  std::string body_;
+};
+
+/// Collects rows and writes them as a JSON array on Flush (no-op when the
+/// path is empty, i.e. --json was not given).
+class JsonReport {
+ public:
+  explicit JsonReport(std::string path) : path_(std::move(path)) {}
+
+  void Add(const JsonRow& row) { rows_.push_back(row.ToString()); }
+
+  /// Returns false when the file could not be written.
+  bool Flush() const {
+    if (path_.empty()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "  %s%s\n", rows_[i].c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::vector<std::string> rows_;
+};
 
 }  // namespace bench
 }  // namespace cgq

@@ -1,0 +1,101 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace cgq {
+
+namespace {
+
+thread_local bool t_in_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t threads) {
+  threads = std::max<size_t>(1, threads);
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_worker = true;
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+bool ThreadPool::InWorkerThread() { return t_in_worker; }
+
+void ThreadPool::ParallelFor(size_t n, size_t width,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  // Nested calls (a task fanning out again) run inline: workers must never
+  // block on the pool.
+  if (n == 1 || width <= 1 || InWorkerThread() || workers_.empty()) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  struct ForState {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<ForState>();
+  const std::function<void(size_t)>* body = &fn;  // outlives: caller blocks
+  auto runner = [state, body, n] {
+    while (true) {
+      size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      (*body)(i);
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->cv.notify_all();
+      }
+    }
+  };
+
+  size_t helpers = std::min({width - 1, workers_.size(), n - 1});
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < helpers; ++i) queue_.emplace_back(runner);
+  }
+  if (helpers == 1) {
+    cv_.notify_one();
+  } else {
+    cv_.notify_all();
+  }
+
+  runner();  // the calling thread participates
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done.load() == n; });
+}
+
+ThreadPool* ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool(
+      std::max<unsigned>(2, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+}  // namespace cgq

@@ -1,0 +1,61 @@
+#ifndef CGQ_COMMON_THREAD_POOL_H_
+#define CGQ_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cgq {
+
+/// Small reusable fixed-size worker pool for fanning out independent CPU
+/// work (policy implication checks, AR4 evaluations). Tasks must not block
+/// on the pool: workers never wait for other tasks, and `ParallelFor`
+/// called from a worker thread degrades to inline execution instead of
+/// deadlocking.
+///
+/// The pool is intentionally minimal — no futures, no priorities. Callers
+/// that need results write them into pre-sized slots (index-addressed), so
+/// the output is deterministic regardless of scheduling order.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs `fn(i)` for every i in [0, n), spread over at most `width`
+  /// workers plus the calling thread, and returns when all iterations are
+  /// done. `width <= 1`, n <= 1, or a call from inside a worker thread runs
+  /// everything inline on the caller.
+  void ParallelFor(size_t n, size_t width,
+                   const std::function<void(size_t)>& fn);
+
+  /// True when the current thread is one of this pool's workers.
+  static bool InWorkerThread();
+
+  /// Process-wide shared pool, created on first use with
+  /// `std::thread::hardware_concurrency()` workers (min 2 so parallel code
+  /// paths stay exercised on single-core machines). Never destroyed.
+  static ThreadPool* Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cgq
+
+#endif  // CGQ_COMMON_THREAD_POOL_H_

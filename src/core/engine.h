@@ -44,24 +44,48 @@ class Engine {
     return policies_->AddPolicyText(location, text);
   }
 
+  /// Default optimizer configuration applied by the no-options overloads of
+  /// Optimize()/Run(). Mutate to configure the engine once, e.g.
+  /// `engine.default_options().threads = 8;`.
+  OptimizerOptions& default_options() { return default_options_; }
+  const OptimizerOptions& default_options() const { return default_options_; }
+
+  /// Fan-out width for policy evaluation during optimization (the
+  /// `--threads` knob of the bench harness). 1 = sequential, 0 = one per
+  /// hardware thread. Results are identical at every setting.
+  void set_threads(int threads) { default_options_.threads = threads; }
+
+  /// Toggles the process-wide implication-result cache for this engine's
+  /// optimizations.
+  void set_implication_cache_enabled(bool enabled) {
+    default_options_.implication_cache = enabled;
+  }
+
   /// Optimizes under the compliance-based optimizer. Fails with
   /// kNonCompliant when no compliant plan exists.
+  Result<OptimizedQuery> Optimize(const std::string& sql) const {
+    return Optimize(sql, default_options_);
+  }
   Result<OptimizedQuery> Optimize(const std::string& sql,
-                                  OptimizerOptions options = {}) const {
+                                  OptimizerOptions options) const {
     QueryOptimizer optimizer(catalog_.get(), policies_.get(), net_.get(),
                              options);
     return optimizer.Optimize(sql);
   }
 
   /// Optimize + execute. The compliant path of Fig. 2: reject or run.
+  Result<QueryResult> Run(const std::string& sql) const {
+    return Run(sql, default_options_);
+  }
   Result<QueryResult> Run(const std::string& sql,
-                          OptimizerOptions options = {}) const {
+                          OptimizerOptions options) const {
     CGQ_ASSIGN_OR_RETURN(OptimizedQuery q, Optimize(sql, options));
     Executor executor(&store_, net_.get());
     return executor.Execute(q);
   }
 
  private:
+  OptimizerOptions default_options_;
   std::unique_ptr<Catalog> catalog_;
   std::unique_ptr<NetworkModel> net_;
   std::unique_ptr<PolicyCatalog> policies_;

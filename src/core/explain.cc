@@ -109,6 +109,27 @@ std::string ExplainCompliance(const PlanNode& located_root,
   if (out.find("SHIP") == std::string::npos) {
     out += "  plan is fully local: no cross-border transfers\n";
   }
+
+  // Evaluator instrumentation: how much Goldstein–Larson work the verdict
+  // above took, and how much of it the implication cache absorbed.
+  PolicyEvalStats stats = evaluator.stats();
+  std::ostringstream footer;
+  footer.setf(std::ios::fixed);
+  footer.precision(3);
+  footer << "policy evaluation: " << stats.evaluations << " evaluations, "
+         << stats.implication_tests << " implication tests";
+  if (stats.implication_cache_hits + stats.implication_cache_misses > 0) {
+    double rate = 100.0 * static_cast<double>(stats.implication_cache_hits) /
+                  static_cast<double>(stats.implication_cache_hits +
+                                      stats.implication_cache_misses);
+    footer << " (" << stats.implication_cache_hits << " cache hits, "
+           << stats.implication_cache_misses << " misses, ";
+    footer.precision(1);
+    footer << rate << "% hit rate)";
+    footer.precision(3);
+  }
+  footer << ", eta=" << stats.eta << ", " << stats.eval_ms << " ms\n";
+  out += footer.str();
   return out;
 }
 

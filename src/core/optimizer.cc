@@ -50,10 +50,18 @@ Result<OptimizedQuery> QueryOptimizer::OptimizeAst(const QueryAst& ast) const {
   // 3. Phase 1: plan annotator.
   t0 = std::chrono::steady_clock::now();
   PolicyEvaluator evaluator(catalog_, policies_);
+  if (!options_.implication_cache) evaluator.set_implication_cache(nullptr);
+  int width = options_.threads == 0
+                  ? static_cast<int>(ThreadPool::Shared()->num_threads())
+                  : options_.threads;
+  if (width > 1) {
+    evaluator.set_parallelism(ThreadPool::Shared(), width);
+  }
   PlanAnnotator annotator(&memo, &evaluator,
                           options_.compliant ? PlanAnnotator::Mode::kCompliant
                                              : PlanAnnotator::Mode::kCostOnly);
   annotator.set_prefer_sort_merge(options_.prefer_sort_merge_join);
+  if (width > 1) annotator.set_parallelism(ThreadPool::Shared(), width);
   CGQ_ASSIGN_OR_RETURN(
       PlanNodePtr annotated,
       annotator.BestPlan(root_group, options_.compliant

@@ -33,6 +33,15 @@ struct OptimizerOptions {
   /// Implementation rule preference: sort-merge join instead of hash join
   /// for equi-joins.
   bool prefer_sort_merge_join = false;
+  /// Fan-out width for independent policy/implication checks (per-policy
+  /// inside the evaluator, per-(group, database) AR4 prewarm inside the
+  /// annotator). 1 = fully sequential (identical results either way; the
+  /// parallel merge is deterministic). 0 = one per hardware thread.
+  int threads = 1;
+  /// Memoize implication-test results in the process-wide cache keyed by
+  /// canonical (premise, conclusion) fingerprints. Disable for the uncached
+  /// baseline in the fig7/fig8 scalability benches.
+  bool implication_cache = true;
 };
 
 /// Timings and search-space counters for the overhead experiments

@@ -45,6 +45,67 @@ LocationSet PlanAnnotator::Ar4Trait(int group_id, LocationSet sources) {
   return result;
 }
 
+void PlanAnnotator::PrewarmAr4(int root_group) {
+  // Candidate single-database sources per group, bottom-up over the memo
+  // DAG: a scan can be sourced at its fragment's site; a composite can be
+  // entirely sourced at db d only when every child can. The union over a
+  // group's alternatives covers every `sources` set (of size 1) a winner of
+  // that group can carry, so every Ar4Trait call the search makes is
+  // prewarmed.
+  std::vector<LocationSet> single_db(memo_->num_groups());
+  std::vector<char> computed(memo_->num_groups(), 0);
+  auto sources_of = [&](auto&& self, int gid) -> LocationSet {
+    if (computed[gid]) return single_db[gid];
+    computed[gid] = 1;  // groups form a DAG, no cycles
+    LocationSet s;
+    for (int expr_id : memo_->group(gid).mexprs) {
+      const MExpr& expr = memo_->mexpr(expr_id);
+      if (expr.child_groups.empty()) {
+        if (expr.payload->kind() == PlanKind::kScan) {
+          s.Add(expr.payload->scan_location);
+        }
+        continue;
+      }
+      LocationSet inter = memo_->ctx()->catalog().locations().All();
+      for (int c : expr.child_groups) {
+        inter = inter.Intersect(self(self, c));
+        if (inter.empty()) break;
+      }
+      s = s.Union(inter);
+    }
+    single_db[gid] = s;
+    return s;
+  };
+  sources_of(sources_of, root_group);
+
+  struct Item {
+    int group;
+    LocationId db;
+  };
+  std::vector<Item> items;
+  for (size_t gid = 0; gid < memo_->num_groups(); ++gid) {
+    Group& g = memo_->group(static_cast<int>(gid));
+    if (!computed[gid] || !g.summary.spg_valid) continue;
+    for (LocationId db : single_db[gid].ToVector()) {
+      if (g.ar4_cache.find(db) == g.ar4_cache.end()) {
+        items.push_back({static_cast<int>(gid), db});
+      }
+    }
+  }
+  if (items.empty()) return;
+
+  // Each task writes only its result slot; the group caches are filled
+  // sequentially afterwards (unordered_map insertion is not thread-safe).
+  std::vector<LocationSet> results(items.size());
+  pool_->ParallelFor(items.size(), static_cast<size_t>(width_), [&](size_t i) {
+    results[i] =
+        evaluator_->Evaluate(memo_->group(items[i].group).summary, items[i].db);
+  });
+  for (size_t i = 0; i < items.size(); ++i) {
+    memo_->group(items[i].group).ar4_cache.emplace(items[i].db, results[i]);
+  }
+}
+
 void PlanAnnotator::AddWinner(std::vector<Winner>* winners,
                               Winner candidate) const {
   // Dominance: an existing winner with superset traits, lower-or-equal
@@ -232,6 +293,9 @@ PlanNodePtr PlanAnnotator::Extract(int group_id, const Winner& winner) {
 
 Result<PlanNodePtr> PlanAnnotator::BestPlan(int root_group,
                                             LocationSet required_result) {
+  if (mode_ == Mode::kCompliant && pool_ != nullptr && width_ > 1) {
+    PrewarmAr4(root_group);
+  }
   const std::vector<Winner>& winners = Winners(root_group);
   const Winner* best = nullptr;
   for (const Winner& w : winners) {

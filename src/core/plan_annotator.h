@@ -39,6 +39,16 @@ class PlanAnnotator {
   /// equi-joins (ablation / testing of physical alternatives).
   void set_prefer_sort_merge(bool value) { prefer_sort_merge_ = value; }
 
+  /// Fans independent AR4 evaluations — one per (single-database group,
+  /// candidate database) pair — across up to `width` threads of `pool`
+  /// before the sequential winner search runs (see PrewarmAr4). width <= 1
+  /// disables the fan-out. Winners are unaffected: the prewarm only fills
+  /// the per-group AR4 caches the search would fill lazily.
+  void set_parallelism(ThreadPool* pool, int width) {
+    pool_ = pool;
+    width_ = width;
+  }
+
   /// Computes (and caches) the winner frontier of a group.
   const std::vector<Winner>& Winners(int group);
 
@@ -59,10 +69,18 @@ class PlanAnnotator {
   void AddWinner(std::vector<Winner>* winners, Winner candidate) const;
   PlanNodePtr Extract(int group, const Winner& winner);
 
+  /// Evaluates 𝒜 for every (group, db) pair the winner search can request
+  /// — all single-block groups × the databases they can be entirely sourced
+  /// from — in parallel, filling Group::ar4_cache up front so Ar4Trait
+  /// becomes a pure lookup.
+  void PrewarmAr4(int root_group);
+
   Memo* memo_;
   const PolicyEvaluator* evaluator_;
   Mode mode_;
   bool prefer_sort_merge_ = false;
+  ThreadPool* pool_ = nullptr;
+  int width_ = 1;
 };
 
 }  // namespace cgq

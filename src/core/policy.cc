@@ -118,6 +118,29 @@ Status PolicyCatalog::AddPolicy(LocationId location, PolicyExpression expr) {
                                    std::to_string(location));
   }
   if (by_location_.size() <= location) by_location_.resize(location + 1);
+  if (table_index_.size() <= location) table_index_.resize(location + 1);
+  expr.predicate_fp = FingerprintConjuncts(expr.predicate);
+  expr.ship_mask = 0;
+  expr.group_mask = 0;
+  expr.masks_valid = false;
+  if (auto def = catalog_->GetTable(expr.table); def.ok()) {
+    const Schema& schema = (*def)->schema;
+    bool ok = true;
+    auto to_mask = [&](const std::vector<std::string>& cols, uint64_t* mask) {
+      for (const std::string& c : cols) {
+        std::optional<size_t> i = schema.IndexOf(c);
+        if (!i || *i >= 64) {
+          ok = false;
+          return;
+        }
+        *mask |= uint64_t{1} << *i;
+      }
+    };
+    to_mask(expr.attributes, &expr.ship_mask);
+    to_mask(expr.group_by, &expr.group_mask);
+    expr.masks_valid = ok;
+  }
+  table_index_[location][expr.table].push_back(by_location_[location].size());
   by_location_[location].push_back(std::move(expr));
   return Status::OK();
 }
@@ -129,12 +152,23 @@ const std::vector<PolicyExpression>& PolicyCatalog::For(
   return by_location_[location];
 }
 
+const std::vector<size_t>& PolicyCatalog::ForTable(
+    LocationId location, const std::string& table) const {
+  static const std::vector<size_t> kEmpty;
+  if (location >= table_index_.size()) return kEmpty;
+  auto it = table_index_[location].find(table);
+  return it != table_index_[location].end() ? it->second : kEmpty;
+}
+
 size_t PolicyCatalog::TotalCount() const {
   size_t n = 0;
   for (const auto& v : by_location_) n += v.size();
   return n;
 }
 
-void PolicyCatalog::Clear() { by_location_.clear(); }
+void PolicyCatalog::Clear() {
+  by_location_.clear();
+  table_index_.clear();
+}
 
 }  // namespace cgq

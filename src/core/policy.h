@@ -1,12 +1,15 @@
 #ifndef CGQ_CORE_POLICY_H_
 #define CGQ_CORE_POLICY_H_
 
+#include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "catalog/catalog.h"
 #include "common/result.h"
 #include "expr/expr.h"
+#include "expr/implication.h"
 
 namespace cgq {
 
@@ -26,6 +29,17 @@ struct PolicyExpression {
   std::vector<ExprPtr> predicate;
   /// G_e: allowed grouping attributes (aggregate expressions only).
   std::vector<std::string> group_by;
+  /// Canonical fingerprint of `predicate`, the memo key of the implication
+  /// cache. Filled by PolicyCatalog::AddPolicy; policies are immutable
+  /// afterwards, so the evaluator never re-hashes a conclusion.
+  ExprFingerprint predicate_fp;
+  /// Schema-column bitmasks of `attributes` / `group_by` (bit i = column i
+  /// of the table). Filled by AddPolicy; valid only when `masks_valid` —
+  /// the evaluator falls back to the string comparisons otherwise (columns
+  /// beyond 64 or tables unknown to the catalog).
+  uint64_t ship_mask = 0;
+  uint64_t group_mask = 0;
+  bool masks_valid = false;
 
   bool is_aggregate() const { return !agg_fns.empty(); }
   bool HasShipAttribute(const std::string& column) const;
@@ -55,6 +69,12 @@ class PolicyCatalog {
   /// All expressions governing data stored at `location`.
   const std::vector<PolicyExpression>& For(LocationId location) const;
 
+  /// Ascending indices (into For(location)) of the expressions whose table
+  /// is `table` — the only candidates the evaluator has to inspect for a
+  /// query over that table.
+  const std::vector<size_t>& ForTable(LocationId location,
+                                      const std::string& table) const;
+
   size_t TotalCount() const;
   void Clear();
 
@@ -63,6 +83,9 @@ class PolicyCatalog {
  private:
   const Catalog* catalog_;
   std::vector<std::vector<PolicyExpression>> by_location_;
+  /// Per location: table -> ascending expression indices.
+  std::vector<std::unordered_map<std::string, std::vector<size_t>>>
+      table_index_;
 };
 
 }  // namespace cgq

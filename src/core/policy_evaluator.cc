@@ -4,6 +4,7 @@
 #include <chrono>
 #include <map>
 #include <optional>
+#include <utility>
 
 #include "expr/implication.h"
 
@@ -42,24 +43,24 @@ std::vector<ExprPtr> PremiseForAlias(const QuerySummary& summary,
   return premise;
 }
 
-}  // namespace
+// One relation instance's premise, hashed once per Evaluate() call and
+// tested against every policy of its table.
+struct AliasPremise {
+  const std::string* table;
+  std::vector<ExprPtr> premise;
+  ExprFingerprint fp;
+};
 
-namespace {
-
-/// RAII accumulator for PolicyEvalStats::eval_ms.
-class ScopedTimer {
- public:
-  explicit ScopedTimer(double* sink)
-      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
-  ~ScopedTimer() {
-    *sink_ += std::chrono::duration<double, std::milli>(
-                  std::chrono::steady_clock::now() - start_)
-                  .count();
-  }
-
- private:
-  double* sink_;
-  std::chrono::steady_clock::time_point start_;
+// What one policy expression contributes; computed independently per policy
+// (possibly on a pool thread), applied sequentially in policy order.
+// Grants carry the disclosed pair's position so the merge is an indexed
+// store, not a map lookup.
+struct PolicyOutcome {
+  bool matched = false;  ///< relevance: A_q ∩ (A_e ∪ G_e) ≠ ∅
+  bool eta = false;      ///< implication held for every instance
+  int32_t implication_tests = 0;
+  int32_t cache_hits = 0;
+  std::vector<size_t> grants;
 };
 
 }  // namespace
@@ -67,9 +68,22 @@ class ScopedTimer {
 LocationSet PolicyEvaluator::Evaluate(const QuerySummary& summary,
                                       LocationId db,
                                       std::vector<AttrGrant>* grants) const {
-  ScopedTimer timer(&stats_.eval_ms);
-  ++stats_.evaluations;
-  std::map<AttrFnPair, std::vector<const PolicyExpression*>> granted_by;
+  auto start = std::chrono::steady_clock::now();
+  PolicyEvalStats local;
+  local.evaluations = 1;
+  auto merge_stats = [&] {
+    local.eval_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.evaluations += local.evaluations;
+    stats_.expressions_matched += local.expressions_matched;
+    stats_.implication_tests += local.implication_tests;
+    stats_.implication_cache_hits += local.implication_cache_hits;
+    stats_.implication_cache_misses += local.implication_cache_misses;
+    stats_.eta += local.eta;
+    stats_.eval_ms += local.eval_ms;
+  };
 
   // Flatten A_q into (base attribute, aggregate fn) pairs. Besides the
   // output attributes, attributes accessed by predicates and grouping are
@@ -92,51 +106,142 @@ LocationSet PolicyEvaluator::Evaluate(const QuerySummary& summary,
   for (const BaseAttr& g : summary.group_attrs) {
     legal.emplace(AttrFnPair{g, std::nullopt}, LocationSet());
   }
-  if (legal.empty()) return LocationSet();
+  if (legal.empty()) {
+    merge_stats();
+    return LocationSet();
+  }
 
-  for (const PolicyExpression& e : policies_->For(db)) {
-    // A_q ∩ (A_e ∪ G_e): which output pairs does this expression speak to?
-    std::vector<const AttrFnPair*> relevant;
-    for (const auto& [pair, locs] : legal) {
-      if (pair.base.table != e.table) continue;
-      if (e.HasShipAttribute(pair.base.column) ||
-          (summary.is_aggregate && e.is_aggregate() &&
-           e.HasGroupAttribute(pair.base.column))) {
-        relevant.push_back(&pair);
+  const std::vector<PolicyExpression>& exprs = policies_->For(db);
+
+  // Premise (and fingerprint) per relation instance, shared by all policies.
+  std::vector<AliasPremise> instances;
+  instances.reserve(summary.alias_tables.size());
+  for (const auto& [alias, table] : summary.alias_tables) {
+    AliasPremise ap;
+    ap.table = &table;
+    ap.premise = PremiseForAlias(summary, alias);
+    if (cache_ != nullptr) ap.fp = FingerprintConjuncts(ap.premise);
+    instances.push_back(std::move(ap));
+  }
+
+  // Flatten the deduplicated pairs into index-addressable parallel arrays:
+  // the merge below stores into `pair_locs[idx]` instead of re-searching
+  // the map per grant.
+  std::vector<const AttrFnPair*> pairs;
+  pairs.reserve(legal.size());
+  for (const auto& [pair, locs] : legal) pairs.push_back(&pair);
+  std::vector<LocationSet> pair_locs(pairs.size());
+
+  // Candidate policies: only expressions over tables the query discloses
+  // (legal is sorted by table, so its pairs group into contiguous runs).
+  // Candidates are grouped by table run, not globally sorted — every
+  // per-policy contribution is merged with commutative operations
+  // (LocationSet::Union, counter sums), so the visit order is free; the
+  // provenance lists are re-sorted into catalog order at the end.
+  // Each pair carries its schema-column bit so relevance against a policy's
+  // precomputed ship/group masks is a single AND (bit 0 = not maskable,
+  // fall back to string comparison).
+  struct PairBit {
+    size_t idx;    ///< position in `pairs`
+    uint64_t bit;  ///< 1 << schema column index, or 0
+  };
+  std::vector<std::vector<PairBit>> table_pairs;
+  std::vector<size_t> candidates;
+  std::vector<size_t> candidate_table;  ///< candidate -> table_pairs index
+  {
+    const std::string* current = nullptr;
+    const Schema* schema = nullptr;
+    for (size_t idx = 0; idx < pairs.size(); ++idx) {
+      const AttrFnPair& pair = *pairs[idx];
+      if (current == nullptr || pair.base.table != *current) {
+        current = &pair.base.table;
+        const std::vector<size_t>& in_table =
+            policies_->ForTable(db, pair.base.table);
+        candidates.insert(candidates.end(), in_table.begin(),
+                          in_table.end());
+        candidate_table.resize(candidates.size(), table_pairs.size());
+        table_pairs.emplace_back();
+        auto def = catalog_->GetTable(pair.base.table);
+        schema = def.ok() ? &(*def)->schema : nullptr;
+      }
+      uint64_t bit = 0;
+      if (schema != nullptr) {
+        if (std::optional<size_t> i = schema->IndexOf(pair.base.column);
+            i && *i < 64) {
+          bit = uint64_t{1} << *i;
+        }
+      }
+      table_pairs.back().push_back(PairBit{idx, bit});
+    }
+  }
+
+  // Per-policy evaluation: reads `legal` keys and the summary, writes only
+  // its own outcome slot — safe to fan out.
+  std::vector<PolicyOutcome> outcomes(candidates.size());
+  auto eval_policy = [&](size_t ci) {
+    const PolicyExpression& e = exprs[candidates[ci]];
+    PolicyOutcome& o = outcomes[ci];
+
+    // A_q ∩ (A_e ∪ G_e): does this expression speak to any output pair?
+    // Mask tests are cheap enough that the grant passes below re-derive
+    // per-pair relevance instead of materializing a `relevant` list.
+    const bool group_counts =
+        summary.is_aggregate && e.is_aggregate();
+    const std::vector<PairBit>& epairs = table_pairs[candidate_table[ci]];
+    auto ships = [&](const PairBit& pb) {
+      return (e.masks_valid && pb.bit != 0)
+                 ? (e.ship_mask & pb.bit) != 0
+                 : e.HasShipAttribute(pairs[pb.idx]->base.column);
+    };
+    auto groups = [&](const PairBit& pb) {
+      return (e.masks_valid && pb.bit != 0)
+                 ? (e.group_mask & pb.bit) != 0
+                 : e.HasGroupAttribute(pairs[pb.idx]->base.column);
+    };
+    for (const PairBit& pb : epairs) {
+      if (ships(pb) || (group_counts && groups(pb))) {
+        o.matched = true;
+        break;
       }
     }
-    if (relevant.empty()) continue;
-    ++stats_.expressions_matched;
+    if (!o.matched) return;
 
     // P_q ⟹ P_e, for every instance of e's table in the query.
     bool implied = true;
     bool any_instance = false;
-    for (const auto& [alias, table] : summary.alias_tables) {
-      if (table != e.table) continue;
+    for (size_t ii = 0; ii < instances.size(); ++ii) {
+      const AliasPremise& ap = instances[ii];
+      if (*ap.table != e.table) continue;
       any_instance = true;
-      ++stats_.implication_tests;
-      if (!PredicateImplies(PremiseForAlias(summary, alias), e.predicate)) {
+      ++o.implication_tests;
+      bool ok;
+      if (cache_ != nullptr) {
+        bool hit = false;
+        ok = cache_->ImpliesPrehashed(ap.fp, ap.premise, e.predicate_fp,
+                                      e.predicate, &hit);
+        o.cache_hits += hit ? 1 : 0;
+      } else {
+        ok = PredicateImplies(ap.premise, e.predicate);
+      }
+      if (!ok) {
         implied = false;
         break;
       }
     }
-    if (!any_instance || !implied) continue;
-    ++stats_.eta;  // Algorithm 1 reaches line 4.
+    if (!any_instance || !implied) return;
+    o.eta = true;  // Algorithm 1 reaches line 4.
 
     if (!e.is_aggregate()) {
       // Cases 1 & 2: a basic expression permits the cells at any
       // aggregation level, for its ship attributes.
-      for (const AttrFnPair* pair : relevant) {
-        if (e.HasShipAttribute(pair->base.column)) {
-          legal[*pair] = legal[*pair].Union(e.to);
-          granted_by[*pair].push_back(&e);
-        }
+      for (const PairBit& pb : epairs) {
+        if (ships(pb)) o.grants.push_back(pb.idx);
       }
-      continue;
+      return;
     }
 
     // Case 3: aggregate expression — only covers aggregate queries.
-    if (!summary.is_aggregate) continue;
+    if (!summary.is_aggregate) return;
 
     // G_q (restricted to e's table) ⊆ G_e; the empty subset qualifies.
     bool groups_ok = true;
@@ -144,42 +249,73 @@ LocationSet PolicyEvaluator::Evaluate(const QuerySummary& summary,
       if (g.table != e.table) continue;
       groups_ok &= e.HasGroupAttribute(g.column);
     }
-    if (!groups_ok) continue;
+    if (!groups_ok) return;
 
-    for (const AttrFnPair* pair : relevant) {
+    for (const PairBit& pb : epairs) {
+      const AttrFnPair& pair = *pairs[pb.idx];
       bool allowed = false;
-      if (!pair->fn.has_value()) {
+      if (!pair.fn.has_value()) {
         // Grouping attribute: implicitly shippable when listed in G_e.
-        allowed = e.HasGroupAttribute(pair->base.column);
+        allowed = groups(pb);
       } else {
-        allowed = e.HasShipAttribute(pair->base.column) &&
-                  e.AllowsAggFn(*pair->fn);
+        allowed = ships(pb) && e.AllowsAggFn(*pair.fn);
       }
-      if (allowed) {
-        legal[*pair] = legal[*pair].Union(e.to);
-        granted_by[*pair].push_back(&e);
-      }
+      if (allowed) o.grants.push_back(pb.idx);
+    }
+  };
+
+  constexpr size_t kMinPoliciesForFanout = 8;
+  if (pool_ != nullptr && width_ > 1 &&
+      candidates.size() >= kMinPoliciesForFanout) {
+    pool_->ParallelFor(candidates.size(), static_cast<size_t>(width_),
+                       eval_policy);
+  } else {
+    for (size_t ci = 0; ci < candidates.size(); ++ci) eval_policy(ci);
+  }
+
+  // Merge: all per-policy contributions are commutative (set unions,
+  // counter sums), so walking outcomes in their fixed candidate order is
+  // identical to the sequential evaluation regardless of scheduling.
+  // Provenance lists are only materialized when the caller asked for them.
+  std::vector<std::vector<const PolicyExpression*>> granted_by;
+  if (grants != nullptr) granted_by.resize(pairs.size());
+  for (size_t ci = 0; ci < outcomes.size(); ++ci) {
+    const PolicyOutcome& o = outcomes[ci];
+    local.expressions_matched += o.matched ? 1 : 0;
+    local.implication_tests += o.implication_tests;
+    if (cache_ != nullptr) {
+      local.implication_cache_hits += o.cache_hits;
+      local.implication_cache_misses += o.implication_tests - o.cache_hits;
+    }
+    local.eta += o.eta ? 1 : 0;
+    const PolicyExpression& e = exprs[candidates[ci]];
+    for (size_t idx : o.grants) {
+      pair_locs[idx] = pair_locs[idx].Union(e.to);
+      if (grants != nullptr) granted_by[idx].push_back(&e);
     }
   }
 
   if (grants != nullptr) {
     grants->clear();
-    for (const auto& [pair, locs] : legal) {
+    for (size_t idx = 0; idx < pairs.size(); ++idx) {
       AttrGrant grant;
-      grant.base = pair.base;
-      grant.fn = pair.fn;
-      grant.granted = locs;
-      auto it = granted_by.find(pair);
-      if (it != granted_by.end()) grant.granted_by = it->second;
+      grant.base = pairs[idx]->base;
+      grant.fn = pairs[idx]->fn;
+      grant.granted = pair_locs[idx];
+      grant.granted_by = std::move(granted_by[idx]);
+      // Candidates were grouped by table run; catalog order = address
+      // order within the per-location expression vector.
+      std::sort(grant.granted_by.begin(), grant.granted_by.end());
       grants->push_back(std::move(grant));
     }
   }
 
   LocationSet result = catalog_->locations().All();
-  for (const auto& [pair, locs] : legal) {
+  for (const LocationSet& locs : pair_locs) {
     result = result.Intersect(locs);
-    if (result.empty()) return result;
+    if (result.empty()) break;
   }
+  merge_stats();
   return result;
 }
 

@@ -2,9 +2,14 @@
 #define CGQ_CORE_POLICY_EVALUATOR_H_
 
 #include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
 
 #include "catalog/location.h"
+#include "common/thread_pool.h"
 #include "core/policy.h"
+#include "expr/implication.h"
 #include "plan/summary.h"
 
 namespace cgq {
@@ -17,6 +22,8 @@ struct PolicyEvalStats {
   int64_t evaluations = 0;        ///< calls to Evaluate()
   int64_t expressions_matched = 0;  ///< A_q ∩ A_e ≠ ∅
   int64_t implication_tests = 0;
+  int64_t implication_cache_hits = 0;    ///< tests answered from the cache
+  int64_t implication_cache_misses = 0;  ///< tests actually run
   int64_t eta = 0;                ///< implication passed (line 4 reached)
   double eval_ms = 0;             ///< total time spent inside Evaluate()
 };
@@ -45,6 +52,12 @@ struct AttrGrant {
   std::vector<const PolicyExpression*> granted_by;
 };
 
+/// Thread-safe: Evaluate() may be called concurrently (the plan annotator
+/// fans AR4 evaluations of independent (group, database) pairs across a
+/// pool). Per-policy work inside one Evaluate() call is itself fanned out
+/// when a pool is configured; results are merged in policy order, so the
+/// outcome is bit-identical to the sequential evaluation at any thread
+/// count.
 class PolicyEvaluator {
  public:
   PolicyEvaluator(const Catalog* catalog, const PolicyCatalog* policies)
@@ -57,12 +70,35 @@ class PolicyEvaluator {
   LocationSet Evaluate(const QuerySummary& summary, LocationId db,
                        std::vector<AttrGrant>* grants = nullptr) const;
 
-  PolicyEvalStats& stats() const { return stats_; }
-  void ResetStats() const { stats_ = PolicyEvalStats{}; }
+  /// Memoizes implication results in `cache` (default: the process-wide
+  /// cache). nullptr runs every test directly — the uncached baseline.
+  void set_implication_cache(ImplicationCache* cache) { cache_ = cache; }
+  ImplicationCache* implication_cache() const { return cache_; }
+
+  /// Fans per-policy implication checks of one Evaluate() call across up to
+  /// `width` threads of `pool`. width <= 1 keeps evaluation sequential.
+  void set_parallelism(ThreadPool* pool, int width) {
+    pool_ = pool;
+    width_ = width;
+  }
+
+  PolicyEvalStats stats() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return stats_;
+  }
+  void ResetStats() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_ = PolicyEvalStats{};
+  }
 
  private:
   const Catalog* catalog_;
   const PolicyCatalog* policies_;
+  ImplicationCache* cache_ = ImplicationCache::Global();
+  ThreadPool* pool_ = nullptr;
+  int width_ = 1;
+
+  mutable std::mutex stats_mu_;
   mutable PolicyEvalStats stats_;
 };
 

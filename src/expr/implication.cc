@@ -399,4 +399,180 @@ bool PredicateImplies(const std::vector<ExprPtr>& premise,
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Implication-result cache
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// splitmix64 finalizer: full-avalanche 64-bit mix.
+inline uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// Two independently-seeded rolling lanes; 128 bits keep the collision
+// probability negligible for any realistic number of distinct predicates.
+struct Lanes {
+  uint64_t h1 = 0x8A5CD789635D2DFFULL;
+  uint64_t h2 = 0x2545F4914F6CDD1DULL;
+
+  void Feed(uint64_t v) {
+    h1 = Mix64(h1 ^ v);
+    h2 = Mix64(h2 + v * 0x9E3779B97F4A7C15ULL + 0x632BE59BD9B4E019ULL);
+  }
+  void Feed(const std::string& s) {
+    uint64_t f = 0xCBF29CE484222325ULL;  // FNV-1a
+    for (unsigned char c : s) f = (f ^ c) * 0x100000001B3ULL;
+    Feed(f);
+    Feed(s.size());
+  }
+};
+
+void HashValue(const Value& v, Lanes* l) {
+  if (v.is_null()) {
+    l->Feed('N');
+  } else if (v.is_int64()) {
+    l->Feed('I');
+    l->Feed(static_cast<uint64_t>(v.int64()));
+  } else if (v.is_double()) {
+    double d = v.dbl();
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    __builtin_memcpy(&bits, &d, sizeof(bits));
+    l->Feed('D');
+    l->Feed(bits);
+  } else {
+    l->Feed('S');
+    l->Feed(v.str());
+  }
+}
+
+void HashExprRec(const Expr& e, Lanes* l) {
+  l->Feed(static_cast<uint64_t>(e.op()) + 0x100);
+  switch (e.op()) {
+    case ExprOp::kLiteral:
+      HashValue(e.literal(), l);
+      return;
+    case ExprOp::kColumnRef:
+      // Mirror RefKey: bound refs are identified by their base table,
+      // unbound ones by the textual qualifier.
+      if (!e.base_table().empty()) {
+        l->Feed('B');
+        l->Feed(e.base_table());
+      } else {
+        l->Feed('Q');
+        l->Feed(e.qualifier());
+      }
+      l->Feed(e.column());
+      return;
+    default:
+      break;
+  }
+  l->Feed(e.children().size());
+  for (const ExprPtr& c : e.children()) HashExprRec(*c, l);
+  if (!e.in_list().empty()) {
+    l->Feed(e.in_list().size());
+    for (const Value& v : e.in_list()) HashValue(v, l);
+  }
+}
+
+}  // namespace
+
+ExprFingerprint FingerprintExpr(const Expr& e) {
+  Lanes l;
+  HashExprRec(e, &l);
+  return {l.h1, l.h2};
+}
+
+ExprFingerprint FingerprintConjuncts(const std::vector<ExprPtr>& conjuncts) {
+  // Wrapping sums make the combine commutative: conjunct order is
+  // irrelevant to PredicateImplies, so reordered sets should share a key.
+  uint64_t sum1 = 0, sum2 = 0;
+  for (const ExprPtr& c : conjuncts) {
+    ExprFingerprint f = FingerprintExpr(*c);
+    sum1 += f.hi;
+    sum2 += f.lo;
+  }
+  ExprFingerprint out;
+  out.hi = Mix64(sum1 ^ conjuncts.size());
+  out.lo = Mix64(sum2 + conjuncts.size());
+  return out;
+}
+
+ImplicationCache::ImplicationCache(size_t max_entries)
+    : per_shard_cap_(max_entries / kNumShards > 0 ? max_entries / kNumShards
+                                                  : 1) {}
+
+bool ImplicationCache::Implies(const std::vector<ExprPtr>& premise,
+                               const std::vector<ExprPtr>& conclusion,
+                               bool* cache_hit) {
+  return ImpliesPrehashed(FingerprintConjuncts(premise), premise,
+                          FingerprintConjuncts(conclusion), conclusion,
+                          cache_hit);
+}
+
+bool ImplicationCache::ImpliesPrehashed(const ExprFingerprint& premise_fp,
+                                        const std::vector<ExprPtr>& premise,
+                                        const ExprFingerprint& conclusion_fp,
+                                        const std::vector<ExprPtr>& conclusion,
+                                        bool* cache_hit) {
+  // Asymmetric combine: (p ⟹ c) and (c ⟹ p) must key differently.
+  Key key;
+  key.a = Mix64(premise_fp.hi ^ Mix64(conclusion_fp.hi + 0x71D67FFFEDA60000ULL));
+  key.b = Mix64(premise_fp.lo + Mix64(conclusion_fp.lo ^ 0xFFF7EEE000000000ULL));
+
+  Shard& shard = shards_[key.a % kNumShards];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (cache_hit != nullptr) *cache_hit = true;
+      return it->second;
+    }
+  }
+
+  bool result = PredicateImplies(premise, conclusion);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (cache_hit != nullptr) *cache_hit = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.map.size() >= per_shard_cap_) {
+      shard.map.clear();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard.map.emplace(key, result);
+  }
+  return result;
+}
+
+void ImplicationCache::Clear() {
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.map.clear();
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+}
+
+ImplicationCacheStats ImplicationCache::Stats() const {
+  ImplicationCacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    out.entries += static_cast<int64_t>(s.map.size());
+  }
+  return out;
+}
+
+ImplicationCache* ImplicationCache::Global() {
+  static ImplicationCache* cache = new ImplicationCache();
+  return cache;
+}
+
 }  // namespace cgq

@@ -1,6 +1,10 @@
 #ifndef CGQ_EXPR_IMPLICATION_H_
 #define CGQ_EXPR_IMPLICATION_H_
 
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "expr/expr.h"
@@ -33,6 +37,93 @@ bool PredicateImplies(const std::vector<ExprPtr>& premise,
 /// (base_table, column) when both are bound with a base table, else by
 /// (qualifier, column). Exposed for tests.
 bool SameAtom(const Expr& a, const Expr& b);
+
+/// 128-bit canonical fingerprint of a conjunct set. Two sets with the same
+/// fingerprint are (with overwhelming probability) the same multiset of
+/// conjuncts up to reordering — and PredicateImplies is insensitive to
+/// conjunct order, so the fingerprint is a sound memoization key. Column
+/// identity matches the implication test's: (base_table, column) for bound
+/// refs, else (qualifier, column).
+struct ExprFingerprint {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool operator==(const ExprFingerprint&) const = default;
+};
+
+ExprFingerprint FingerprintConjuncts(const std::vector<ExprPtr>& conjuncts);
+
+/// Fingerprint of a single expression tree (exposed for collision tests).
+ExprFingerprint FingerprintExpr(const Expr& e);
+
+struct ImplicationCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t entries = 0;     ///< currently resident results
+  int64_t evictions = 0;   ///< full-shard flushes
+};
+
+/// Thread-safe memo table for PredicateImplies, keyed by the canonical
+/// (premise, conclusion) fingerprint pair. The policy evaluator and plan
+/// annotator consult it so the Goldstein–Larson test runs once per distinct
+/// (subquery predicate, policy predicate) combination instead of once per
+/// (subquery, policy, location) triple — and repeated optimizations of the
+/// same workload reuse results across queries.
+///
+/// Sharded: lookups lock only 1/16th of the table, so concurrent evaluator
+/// threads rarely contend. A shard that grows past its cap is flushed
+/// wholesale (results are cheap to recompute; no LRU bookkeeping on the hit
+/// path).
+class ImplicationCache {
+ public:
+  explicit ImplicationCache(size_t max_entries = 1 << 20);
+
+  ImplicationCache(const ImplicationCache&) = delete;
+  ImplicationCache& operator=(const ImplicationCache&) = delete;
+
+  /// Memoized PredicateImplies. `cache_hit` (optional) reports whether the
+  /// result came from the table.
+  bool Implies(const std::vector<ExprPtr>& premise,
+               const std::vector<ExprPtr>& conclusion,
+               bool* cache_hit = nullptr);
+
+  /// Same, with caller-computed fingerprints (callers that test one premise
+  /// against many conclusions hash each side once).
+  bool ImpliesPrehashed(const ExprFingerprint& premise_fp,
+                        const std::vector<ExprPtr>& premise,
+                        const ExprFingerprint& conclusion_fp,
+                        const std::vector<ExprPtr>& conclusion,
+                        bool* cache_hit = nullptr);
+
+  void Clear();
+  ImplicationCacheStats Stats() const;
+
+  /// Process-wide cache shared by all evaluators (policy predicates repeat
+  /// across queries). Never destroyed.
+  static ImplicationCache* Global();
+
+ private:
+  struct Key {
+    uint64_t a = 0;
+    uint64_t b = 0;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const { return static_cast<size_t>(k.a); }
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, bool, KeyHash> map;
+  };
+
+  static constexpr size_t kNumShards = 16;
+
+  size_t per_shard_cap_;
+  Shard shards_[kNumShards];
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> evictions_{0};
+};
 
 }  // namespace cgq
 
