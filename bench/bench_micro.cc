@@ -1,11 +1,21 @@
-// Google-benchmark micro benchmarks of the core components: policy
-// evaluation (Algorithm 1), the implication test, memo exploration, and
-// end-to-end optimization of selected queries.
+// Micro benchmarks of the core components: the implication test, policy
+// evaluation (Algorithm 1), end-to-end optimization of selected queries,
+// and row-vs-fragment execution of the multi-site TPC-H workload.
+//
+// The execution section runs every query under the selected backends
+// (--exec-mode=row|fragment|both) and reports the fragment backend's
+// speedup over the row interpreter at --threads workers, plus the ship
+// metrics and a result digest so CI can assert that the two backends
+// agree.
 
-#include <benchmark/benchmark.h>
+#include <cstdint>
+#include <cstdio>
+#include <string>
 
+#include "bench_util.h"
 #include "core/optimizer.h"
 #include "core/policy_evaluator.h"
+#include "exec/executor.h"
 #include "expr/implication.h"
 #include "net/network_model.h"
 #include "plan/binder.h"
@@ -14,87 +24,232 @@
 #include "sql/parser.h"
 #include "tpch/tpch.h"
 
-namespace cgq {
+using namespace cgq;  // NOLINT
+
 namespace {
 
-struct Fixture {
-  Fixture() {
-    tpch::TpchConfig config;
-    config.scale_factor = 10;
-    catalog = std::make_unique<Catalog>(*tpch::BuildCatalog(config));
-    policies = std::make_unique<PolicyCatalog>(catalog.get());
-    (void)tpch::InstallPolicySet("CRA", policies.get());
-    net = std::make_unique<NetworkModel>(NetworkModel::DefaultGeo(5));
+// FNV-1a over the full-precision serialization of the result rows, order
+// included: equal digests mean byte-identical results.
+uint64_t ResultDigest(const QueryResult& r) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](const std::string& s) {
+    for (char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+  };
+  for (const std::string& name : r.column_names) mix(name + ";");
+  for (const Row& row : r.rows) {
+    for (const Value& v : row) {
+      if (v.is_null()) {
+        mix("NULL|");
+      } else if (v.is_double()) {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g|", v.dbl());
+        mix(buf);
+      } else {
+        mix(v.ToString() + "|");
+      }
+    }
+    mix("\n");
   }
-  std::unique_ptr<Catalog> catalog;
-  std::unique_ptr<PolicyCatalog> policies;
-  std::unique_ptr<NetworkModel> net;
-};
-
-Fixture& F() {
-  static Fixture* f = new Fixture();
-  return *f;
+  return h;
 }
 
-void BM_ImplicationTest(benchmark::State& state) {
-  auto q = ParseQuery(
-      "SELECT a FROM t WHERE size > 41 AND mkt = 'BUILDING' AND "
-      "price BETWEEN 10 AND 20");
-  auto e = ParseQuery(
-      "SELECT a FROM t WHERE size > 40 OR ctype LIKE '%COPPER%'");
-  std::vector<ExprPtr> premise = SplitConjuncts(q->where);
-  std::vector<ExprPtr> conclusion = SplitConjuncts(e->where);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(PredicateImplies(premise, conclusion));
-  }
-}
-BENCHMARK(BM_ImplicationTest);
+void OptimizerMicro(const bench::BenchOptions& opts,
+                    bench::JsonReport* report) {
+  tpch::TpchConfig config;
+  config.scale_factor = 10;  // stats only; no data generated
+  auto catalog = tpch::BuildCatalog(config);
+  CGQ_CHECK(catalog.ok());
+  PolicyCatalog policies(&*catalog);
+  CGQ_CHECK(tpch::InstallPolicySet("CRA", &policies).ok());
+  NetworkModel net = NetworkModel::DefaultGeo(5);
 
-void BM_PolicyEvaluation(benchmark::State& state) {
-  Fixture& f = F();
-  auto ast = ParseQuery(
-      "SELECT l.orderkey, SUM(l.extendedprice * (1 - l.discount)) "
-      "FROM lineitem l WHERE l.shipdate > DATE '1995-06-01' "
-      "GROUP BY l.orderkey");
-  PlannerContext ctx(f.catalog.get());
-  auto bound = BindQuery(*ast, &ctx);
-  auto plan = BuildLogicalPlan(*bound, &ctx);
-  QuerySummary summary = SummarizePlan(*(*plan).root);
-  PolicyEvaluator evaluator(f.catalog.get(), f.policies.get());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(evaluator.Evaluate(summary, 3));
-  }
-}
-BENCHMARK(BM_PolicyEvaluation);
+  bench::PrintHeader("Optimizer micro benchmarks (mean over " +
+                     std::to_string(opts.reps) + " reps)");
 
-void BM_OptimizeQuery(benchmark::State& state) {
-  Fixture& f = F();
-  int q = static_cast<int>(state.range(0));
-  QueryOptimizer optimizer(f.catalog.get(), f.policies.get(), f.net.get(),
-                           {});
-  std::string sql = *tpch::Query(q);
-  for (auto _ : state) {
-    auto r = optimizer.Optimize(sql);
-    benchmark::DoNotOptimize(r);
-  }
-}
-BENCHMARK(BM_OptimizeQuery)->Arg(2)->Arg(3)->Arg(5)->Arg(10);
+  auto record = [&](const std::string& name, const bench::TimingStats& t) {
+    std::printf("%-28s %10.3f ms  (+/- %.3f)\n", name.c_str(), t.mean_ms,
+                t.stderr_ms);
+    bench::JsonRow row;
+    row.Set("bench", "micro_optimizer")
+        .Set("name", name)
+        .Set("mean_ms", t.mean_ms)
+        .Set("stderr_ms", t.stderr_ms);
+    report->Add(row);
+  };
 
-void BM_OptimizeTraditional(benchmark::State& state) {
-  Fixture& f = F();
-  OptimizerOptions opts;
-  opts.compliant = false;
-  QueryOptimizer optimizer(f.catalog.get(), f.policies.get(), f.net.get(),
-                           opts);
-  std::string sql = *tpch::Query(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    auto r = optimizer.Optimize(sql);
-    benchmark::DoNotOptimize(r);
+  {
+    auto q = ParseQuery(
+        "SELECT a FROM t WHERE size > 41 AND mkt = 'BUILDING' AND "
+        "price BETWEEN 10 AND 20");
+    auto e = ParseQuery(
+        "SELECT a FROM t WHERE size > 40 OR ctype LIKE '%COPPER%'");
+    std::vector<ExprPtr> premise = SplitConjuncts(q->where);
+    std::vector<ExprPtr> conclusion = SplitConjuncts(e->where);
+    record("implication_test",
+           bench::TimeRepeated(
+               [&] {
+                 for (int i = 0; i < 1000; ++i) {
+                   (void)PredicateImplies(premise, conclusion);
+                 }
+               },
+               opts.reps));
+  }
+
+  {
+    auto ast = ParseQuery(
+        "SELECT l.orderkey, SUM(l.extendedprice * (1 - l.discount)) "
+        "FROM lineitem l WHERE l.shipdate > DATE '1995-06-01' "
+        "GROUP BY l.orderkey");
+    PlannerContext ctx(&*catalog);
+    auto bound = BindQuery(*ast, &ctx);
+    auto plan = BuildLogicalPlan(*bound, &ctx);
+    QuerySummary summary = SummarizePlan(*(*plan).root);
+    PolicyEvaluator evaluator(&*catalog, &policies);
+    record("policy_evaluation",
+           bench::TimeRepeated(
+               [&] {
+                 for (int i = 0; i < 100; ++i) {
+                   (void)evaluator.Evaluate(summary, 3);
+                 }
+               },
+               opts.reps));
+  }
+
+  for (int q : {2, 3, 5, 10}) {
+    QueryOptimizer optimizer(&*catalog, &policies, &net, {});
+    std::string sql = *tpch::Query(q);
+    record("optimize_q" + std::to_string(q),
+           bench::TimeRepeated([&] { (void)optimizer.Optimize(sql); },
+                               opts.reps));
   }
 }
-BENCHMARK(BM_OptimizeTraditional)->Arg(2)->Arg(3)->Arg(5)->Arg(10);
+
+int ExecutionBench(const bench::BenchOptions& opts,
+                   bench::JsonReport* report) {
+  tpch::TpchConfig config;
+  config.scale_factor = opts.tiny ? 0.005 : 0.05;
+  auto catalog = tpch::BuildCatalog(config);
+  CGQ_CHECK(catalog.ok());
+  NetworkModel net = NetworkModel::DefaultGeo(5);
+  PolicyCatalog policies(&*catalog);
+  CGQ_CHECK(tpch::InstallUnrestrictedPolicies(&policies).ok());
+  TableStore store;
+  CGQ_CHECK(tpch::GenerateData(*catalog, config, &store).ok());
+
+  bench::PrintHeader(
+      "Execution: row interpreter vs fragmented runtime (sf " +
+      std::to_string(config.scale_factor) + ", " +
+      std::to_string(opts.threads) + " threads, batch " +
+      std::to_string(opts.batch_size) + ")");
+  std::printf("%-6s %-10s %12s %10s %8s %14s %10s\n", "Query", "mode",
+              "mean [ms]", "rows", "ships", "bytes shipped", "speedup");
+
+  int failures = 0;
+  std::vector<double> speedups;
+  for (int q : tpch::QueryNumbers()) {
+    QueryOptimizer optimizer(&*catalog, &policies, &net, {});
+    auto opt = optimizer.Optimize(*tpch::Query(q));
+    if (!opt.ok()) {
+      std::printf("Q%-5d optimization failed: %s\n", q,
+                  opt.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+
+    double row_mean = 0;
+    uint64_t row_digest = 0;
+    for (const char* mode : opts.ExecModes()) {
+      ExecutorOptions eopts;
+      eopts.mode = std::string(mode) == "row" ? ExecMode::kRow
+                                              : ExecMode::kFragment;
+      eopts.batch_size = opts.batch_size;
+      eopts.threads = opts.threads;
+      Executor executor(&store, &net, eopts);
+
+      auto result = executor.Execute(*opt);
+      if (!result.ok()) {
+        std::printf("Q%-5d %s execution failed: %s\n", q, mode,
+                    result.status().ToString().c_str());
+        ++failures;
+        continue;
+      }
+      bench::TimingStats t = bench::TimeRepeated(
+          [&] { (void)executor.Execute(*opt); }, opts.reps);
+
+      uint64_t digest = ResultDigest(*result);
+      double speedup = 0;
+      if (eopts.mode == ExecMode::kRow) {
+        row_mean = t.mean_ms;
+        row_digest = digest;
+      } else if (row_mean > 0) {
+        speedup = row_mean / t.mean_ms;
+        if (row_digest != 0 && digest != row_digest) {
+          std::printf("Q%-5d BACKEND MISMATCH: fragment result differs "
+                      "from row result\n", q);
+          ++failures;
+        }
+      }
+
+      char speedup_str[16] = "-";
+      if (speedup > 0) {
+        std::snprintf(speedup_str, sizeof(speedup_str), "%.2fx", speedup);
+      }
+      std::printf("Q%-5d %-10s %12.2f %10zu %8lld %14.0f %10s\n", q, mode,
+                  t.mean_ms, result->rows.size(),
+                  static_cast<long long>(result->metrics.ships),
+                  result->metrics.bytes_shipped, speedup_str);
+
+      bench::JsonRow jrow;
+      jrow.Set("bench", "micro_exec")
+          .Set("query", q)
+          .Set("exec_mode", mode)
+          .Set("threads", opts.threads)
+          .Set("batch_size", opts.batch_size)
+          .Set("scale_factor", config.scale_factor)
+          .Set("mean_ms", t.mean_ms)
+          .Set("stderr_ms", t.stderr_ms)
+          .Set("rows", result->rows.size())
+          .Set("ships", result->metrics.ships)
+          .Set("rows_shipped", result->metrics.rows_shipped)
+          .Set("bytes_shipped", result->metrics.bytes_shipped)
+          .Set("result_digest", std::to_string(digest));
+      if (speedup > 0) {
+        jrow.Set("speedup", speedup);
+        speedups.push_back(speedup);
+      }
+      report->Add(jrow);
+    }
+  }
+
+  if (!speedups.empty()) {
+    double log_sum = 0;
+    for (double s : speedups) log_sum += std::log(s);
+    double geomean = std::exp(log_sum / static_cast<double>(speedups.size()));
+    std::printf("\ngeomean fragment speedup over %zu queries: %.2fx\n",
+                speedups.size(), geomean);
+    bench::JsonRow summary;
+    summary.Set("bench", "micro_exec_summary")
+        .Set("threads", opts.threads)
+        .Set("batch_size", opts.batch_size)
+        .Set("queries", speedups.size())
+        .Set("geomean_speedup", geomean);
+    report->Add(summary);
+  }
+  return failures;
+}
 
 }  // namespace
-}  // namespace cgq
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::BenchOptions opts = bench::BenchOptions::Parse(argc, argv);
+  bench::JsonReport report(opts.json_path);
+
+  OptimizerMicro(opts, &report);
+  int failures = ExecutionBench(opts, &report);
+
+  if (!report.Flush()) return 1;
+  return failures == 0 ? 0 : 1;
+}

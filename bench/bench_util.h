@@ -53,16 +53,35 @@ inline void PrintHeader(const std::string& title) {
   std::printf("================================================================\n");
 }
 
+/// Which executor backends an execution bench measures.
+enum class ExecModeArg { kRow, kFragment, kBoth };
+
+inline const char* ExecModeArgToString(ExecModeArg m) {
+  switch (m) {
+    case ExecModeArg::kRow:
+      return "row";
+    case ExecModeArg::kFragment:
+      return "fragment";
+    case ExecModeArg::kBoth:
+      return "both";
+  }
+  return "?";
+}
+
 /// Shared bench command line:
-///   --threads=N   pool width for the parallel/cached configuration (default 4)
-///   --reps=N      timed repetitions per cell (default 7)
-///   --tiny        CI smoke mode: smallest scales only, fewer reps
-///   --json=PATH   append one JSON object per result row to PATH
+///   --threads=N        pool width for the parallel configuration (default 4)
+///   --reps=N           timed repetitions per cell (default 7)
+///   --tiny             CI smoke mode: smallest scales only, fewer reps
+///   --json=PATH        append one JSON object per result row to PATH
+///   --exec-mode=M      row | fragment | both (default both)
+///   --batch-size=N     rows per batch for the fragment backend
 struct BenchOptions {
   int threads = 4;
   int reps = 7;
   bool tiny = false;
   std::string json_path;
+  ExecModeArg exec_mode = ExecModeArg::kBoth;
+  int batch_size = 1024;
 
   static BenchOptions Parse(int argc, char** argv) {
     BenchOptions o;
@@ -77,17 +96,47 @@ struct BenchOptions {
         o.reps = 3;
       } else if (std::strncmp(a, "--json=", 7) == 0) {
         o.json_path = a + 7;
+      } else if (std::strncmp(a, "--exec-mode=", 12) == 0) {
+        const char* m = a + 12;
+        if (std::strcmp(m, "row") == 0) {
+          o.exec_mode = ExecModeArg::kRow;
+        } else if (std::strcmp(m, "fragment") == 0) {
+          o.exec_mode = ExecModeArg::kFragment;
+        } else if (std::strcmp(m, "both") == 0) {
+          o.exec_mode = ExecModeArg::kBoth;
+        } else {
+          std::fprintf(stderr,
+                       "bad --exec-mode '%s' (row|fragment|both)\n", m);
+          std::exit(2);
+        }
+      } else if (std::strncmp(a, "--batch-size=", 13) == 0) {
+        o.batch_size = std::atoi(a + 13);
       } else {
         std::fprintf(stderr,
                      "unknown argument '%s' "
-                     "(--threads=N --reps=N --tiny --json=PATH)\n",
+                     "(--threads=N --reps=N --tiny --json=PATH "
+                     "--exec-mode=row|fragment|both --batch-size=N)\n",
                      a);
         std::exit(2);
       }
     }
     if (o.threads < 1) o.threads = 1;
     if (o.reps < 1) o.reps = 1;
+    if (o.batch_size < 1) o.batch_size = 1;
     return o;
+  }
+
+  /// The ExecModeArg expanded to concrete backends.
+  std::vector<const char*> ExecModes() const {
+    switch (exec_mode) {
+      case ExecModeArg::kRow:
+        return {"row"};
+      case ExecModeArg::kFragment:
+        return {"fragment"};
+      case ExecModeArg::kBoth:
+        return {"row", "fragment"};
+    }
+    return {};
   }
 };
 

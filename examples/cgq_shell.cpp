@@ -30,7 +30,8 @@ using namespace cgq;  // NOLINT
 
 namespace {
 
-void PrintResult(const QueryResult& result) {
+void PrintResult(const QueryResult& result,
+                 const LocationCatalog* locations) {
   for (const std::string& name : result.column_names) {
     std::printf("%-20s", name.c_str());
   }
@@ -44,13 +45,8 @@ void PrintResult(const QueryResult& result) {
     for (const Value& v : row) std::printf("%-20s", v.ToString().c_str());
     std::printf("\n");
   }
-  std::printf("-- %zu row(s); %lld shipped over %lld transfer(s), "
-              "%.1f KB, simulated WAN time %.1f ms\n",
-              result.rows.size(),
-              static_cast<long long>(result.metrics.rows_shipped),
-              static_cast<long long>(result.metrics.ships),
-              result.metrics.bytes_shipped / 1024.0,
-              result.metrics.network_ms);
+  std::printf("-- %zu row(s)\n", result.rows.size());
+  std::printf("%s", FormatExecMetrics(result.metrics, locations).c_str());
 }
 
 void Help() {
@@ -69,6 +65,7 @@ void Help() {
       "  policy <location>: ship ...; add a policy expression\n"
       "  policies;                    list installed policies\n"
       "  set <T|C|CR|CRA|open>;       switch policy set\n"
+      "  exec <row|fragment>;         switch execution backend\n"
       "  tables;                      list tables\n"
       "  help; quit;\n");
 }
@@ -292,7 +289,21 @@ int main() {
           std::printf("%s\n", r.status().ToString().c_str());
           continue;
         }
-        PrintResult(*r);
+        PrintResult(*r, &engine.catalog().locations());
+        continue;
+      }
+      if (lower.rfind("exec ", 0) == 0) {
+        std::string mode(Trim(command.substr(5)));
+        if (mode == "row") {
+          engine.set_exec_mode(ExecMode::kRow);
+        } else if (mode == "fragment") {
+          engine.set_exec_mode(ExecMode::kFragment);
+        } else {
+          std::printf("unknown backend '%s' (row|fragment)\n", mode.c_str());
+          continue;
+        }
+        std::printf("execution backend: %s\n",
+                    ExecModeToString(engine.default_exec_options().mode));
         continue;
       }
       std::printf("unknown command (try 'help;')\n");

@@ -61,6 +61,18 @@ class Engine {
     default_options_.implication_cache = enabled;
   }
 
+  /// Default executor configuration applied by Run(). Mutate to select the
+  /// runtime once, e.g. `engine.default_exec_options().mode =
+  /// ExecMode::kFragment;`.
+  ExecutorOptions& default_exec_options() { return default_exec_options_; }
+  const ExecutorOptions& default_exec_options() const {
+    return default_exec_options_;
+  }
+
+  /// Selects the execution backend for Run() (see ExecMode). Results are
+  /// identical for both backends.
+  void set_exec_mode(ExecMode mode) { default_exec_options_.mode = mode; }
+
   /// Optimizes under the compliance-based optimizer. Fails with
   /// kNonCompliant when no compliant plan exists.
   Result<OptimizedQuery> Optimize(const std::string& sql) const {
@@ -79,13 +91,18 @@ class Engine {
   }
   Result<QueryResult> Run(const std::string& sql,
                           OptimizerOptions options) const {
+    return Run(sql, options, default_exec_options_);
+  }
+  Result<QueryResult> Run(const std::string& sql, OptimizerOptions options,
+                          ExecutorOptions exec_options) const {
     CGQ_ASSIGN_OR_RETURN(OptimizedQuery q, Optimize(sql, options));
-    Executor executor(&store_, net_.get());
+    Executor executor(&store_, net_.get(), exec_options);
     return executor.Execute(q);
   }
 
  private:
   OptimizerOptions default_options_;
+  ExecutorOptions default_exec_options_;
   std::unique_ptr<Catalog> catalog_;
   std::unique_ptr<NetworkModel> net_;
   std::unique_ptr<PolicyCatalog> policies_;

@@ -1,0 +1,74 @@
+#include "exec/channel.h"
+
+#include <utility>
+
+namespace cgq {
+
+ShipChannel::ShipChannel(LocationId from, LocationId to, size_t capacity,
+                         const NetworkModel* net)
+    : from_(from), to_(to), capacity_(capacity), net_(net) {
+  stats_.from = from;
+  stats_.to = to;
+}
+
+bool ShipChannel::Push(RowBatch batch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  can_push_.wait(lock, [this] {
+    return aborted_ || capacity_ == 0 || queue_.size() < capacity_;
+  });
+  if (aborted_) return false;
+
+  double bytes = batch.ByteSize();
+  // First batch pays the start-up latency alpha; every batch pays the
+  // per-byte cost, so the edge total matches a single message of the same
+  // volume: alpha + beta * sum(bytes).
+  stats_.network_ms += stats_.batches == 0
+                           ? net_->Cost(from_, to_, bytes)
+                           : net_->MarginalCost(from_, to_, bytes);
+  stats_.batches += 1;
+  stats_.rows += static_cast<int64_t>(batch.NumRows());
+  stats_.bytes += bytes;
+
+  queue_.push_back(std::move(batch));
+  stats_.peak_in_flight =
+      std::max(stats_.peak_in_flight, static_cast<int64_t>(queue_.size()));
+  can_pop_.notify_one();
+  return true;
+}
+
+void ShipChannel::CloseProducer() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return;
+  closed_ = true;
+  if (stats_.batches == 0 && !aborted_) {
+    stats_.network_ms += net_->Cost(from_, to_, 0);
+  }
+  can_pop_.notify_all();
+}
+
+bool ShipChannel::Pop(RowBatch* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  can_pop_.wait(lock, [this] {
+    return aborted_ || closed_ || !queue_.empty();
+  });
+  if (aborted_ || queue_.empty()) return false;
+  *out = std::move(queue_.front());
+  queue_.pop_front();
+  can_push_.notify_one();
+  return true;
+}
+
+void ShipChannel::Abort() {
+  std::lock_guard<std::mutex> lock(mu_);
+  aborted_ = true;
+  queue_.clear();
+  can_push_.notify_all();
+  can_pop_.notify_all();
+}
+
+ChannelStats ShipChannel::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace cgq

@@ -1,0 +1,85 @@
+#ifndef CGQ_EXEC_CHANNEL_H_
+#define CGQ_EXEC_CHANNEL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "catalog/location.h"
+#include "exec/batch.h"
+#include "net/network_model.h"
+
+namespace cgq {
+
+/// Accumulated traffic of one ship channel (== one SHIP edge of the
+/// located plan). `network_ms` charges the message cost model once per
+/// edge for the start-up latency (alpha) plus the per-byte cost (beta) of
+/// every batch, so the total equals the row interpreter's single-message
+/// charge for the same volume.
+struct ChannelStats {
+  LocationId from = 0;
+  LocationId to = 0;
+  int64_t batches = 0;
+  int64_t rows = 0;
+  double bytes = 0;
+  /// Largest number of batches ever queued (bounded by the capacity; a
+  /// measure of how far the producer ran ahead of the consumer).
+  int64_t peak_in_flight = 0;
+  double network_ms = 0;
+};
+
+/// Bounded single-producer single-consumer queue of row batches modelling
+/// one inter-site transfer. Push blocks when `capacity` batches are in
+/// flight (backpressure); Pop blocks until a batch arrives or the producer
+/// closes. Abort() releases both sides, for error propagation across
+/// fragments.
+class ShipChannel {
+ public:
+  /// `capacity` = 0 means unbounded (used by the sequential fragment
+  /// schedule, where the producer completes before the consumer starts).
+  /// `net` must outlive the channel.
+  ShipChannel(LocationId from, LocationId to, size_t capacity,
+              const NetworkModel* net);
+
+  ShipChannel(const ShipChannel&) = delete;
+  ShipChannel& operator=(const ShipChannel&) = delete;
+
+  /// Transfers one batch, charging the network model. Returns false when
+  /// the channel was aborted (the batch is dropped).
+  bool Push(RowBatch batch);
+
+  /// Producer is done; Pop drains the queue and then reports end-of-stream.
+  /// An edge that never carried a batch still pays the start-up latency
+  /// (the row interpreter ships one — possibly empty — message per edge).
+  void CloseProducer();
+
+  /// Blocks until a batch is available. Returns false at end-of-stream or
+  /// abort.
+  bool Pop(RowBatch* out);
+
+  /// Wakes and fails both sides; used when a sibling fragment errored.
+  void Abort();
+
+  /// Snapshot of the traffic counters. Only stable once the producer has
+  /// closed (callers read it after joining the fragment tasks).
+  ChannelStats stats() const;
+
+ private:
+  const LocationId from_;
+  const LocationId to_;
+  const size_t capacity_;
+  const NetworkModel* net_;
+
+  mutable std::mutex mu_;
+  std::condition_variable can_push_;
+  std::condition_variable can_pop_;
+  std::deque<RowBatch> queue_;
+  bool closed_ = false;
+  bool aborted_ = false;
+  ChannelStats stats_;
+};
+
+}  // namespace cgq
+
+#endif  // CGQ_EXEC_CHANNEL_H_

@@ -1,0 +1,161 @@
+#include "exec/exec_internal.h"
+
+namespace cgq {
+namespace exec_internal {
+
+RowLayout LayoutOf(const PlanNode& node) {
+  std::vector<AttrId> ids;
+  ids.reserve(node.outputs.size());
+  for (const OutputCol& c : node.outputs) ids.push_back(c.id);
+  return RowLayout(std::move(ids));
+}
+
+Result<std::vector<size_t>> PositionsOf(const std::vector<AttrId>& ids,
+                                        const RowLayout& layout,
+                                        const char* context) {
+  std::vector<size_t> positions;
+  positions.reserve(ids.size());
+  for (AttrId id : ids) {
+    size_t pos = layout.PositionOf(id);
+    if (pos == RowLayout::kNotFound) {
+      return Status::Internal(std::string(context) + " misses attr " +
+                              std::to_string(id));
+    }
+    positions.push_back(pos);
+  }
+  return positions;
+}
+
+Result<bool> KeepRow(const std::vector<ExprPtr>& conjuncts, const Row& row,
+                     const RowLayout& layout) {
+  for (const ExprPtr& c : conjuncts) {
+    CGQ_ASSIGN_OR_RETURN(bool ok, EvalPredicate(*c, row, layout));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Result<JoinSpec> JoinSpec::Make(const PlanNode& node, const RowLayout& left,
+                                const RowLayout& right) {
+  JoinSpec spec;
+  spec.method = node.join_method;
+
+  // Split conjuncts into equi-pairs usable as hash keys and residuals.
+  for (const ExprPtr& c : node.conjuncts) {
+    bool is_key = false;
+    if (c->op() == ExprOp::kEq && c->child(0)->op() == ExprOp::kColumnRef &&
+        c->child(1)->op() == ExprOp::kColumnRef) {
+      AttrId a = c->child(0)->attr_id();
+      AttrId b = c->child(1)->attr_id();
+      size_t la = left.PositionOf(a);
+      size_t rb = right.PositionOf(b);
+      if (la != RowLayout::kNotFound && rb != RowLayout::kNotFound) {
+        spec.key_positions.emplace_back(la, rb);
+        is_key = true;
+      } else {
+        size_t lb = left.PositionOf(b);
+        size_t ra = right.PositionOf(a);
+        if (lb != RowLayout::kNotFound && ra != RowLayout::kNotFound) {
+          spec.key_positions.emplace_back(lb, ra);
+          is_key = true;
+        }
+      }
+    }
+    if (!is_key) spec.residual.push_back(c);
+  }
+
+  std::vector<AttrId> ids = left.attrs();
+  ids.insert(ids.end(), right.attrs().begin(), right.attrs().end());
+  spec.combined = RowLayout(std::move(ids));
+
+  // Map the node's canonical output order (which may differ from
+  // left ++ right after commutes) to combined positions.
+  RowLayout out = LayoutOf(node);
+  CGQ_ASSIGN_OR_RETURN(spec.out_positions,
+                       PositionsOf(out.attrs(), spec.combined,
+                                   "join output"));
+  return spec;
+}
+
+Result<bool> JoinSpec::EmitIfMatch(const Row& l, const Row& r,
+                                   std::vector<Row>* out) const {
+  Row joined = l;
+  joined.insert(joined.end(), r.begin(), r.end());
+  for (const ExprPtr& c : residual) {
+    CGQ_ASSIGN_OR_RETURN(bool ok, EvalPredicate(*c, joined, combined));
+    if (!ok) return false;
+  }
+  Row final_row(out_positions.size());
+  for (size_t i = 0; i < out_positions.size(); ++i) {
+    final_row[i] = joined[out_positions[i]];
+  }
+  out->push_back(std::move(final_row));
+  return true;
+}
+
+void JoinHashTable::Build(const std::vector<Row>& left,
+                          const JoinSpec& spec) {
+  left_ = &left;
+  table_.clear();
+  table_.reserve(left.size());
+  for (size_t i = 0; i < left.size(); ++i) {
+    RowKey key;
+    bool has_null = false;
+    for (auto [lp, rp] : spec.key_positions) {
+      has_null |= left[i][lp].is_null();
+      key.values.push_back(left[i][lp]);
+    }
+    if (!has_null) table_.emplace(std::move(key), i);
+  }
+}
+
+Status HashAggregator::Init(const RowLayout& in_layout) {
+  in_layout_ = in_layout;
+  CGQ_ASSIGN_OR_RETURN(group_positions_,
+                       PositionsOf(node_->group_ids, in_layout_,
+                                   "aggregate input"));
+  return Status::OK();
+}
+
+Status HashAggregator::Add(const Row& row) {
+  RowKey key;
+  for (size_t p : group_positions_) key.values.push_back(row[p]);
+  auto it = groups_.find(key);
+  if (it == groups_.end()) {
+    GroupState state;
+    state.key = key.values;
+    for (const AggCall& call : node_->agg_calls) {
+      state.accs.emplace_back(call.fn);
+    }
+    it = groups_.emplace(std::move(key), std::move(state)).first;
+  }
+  for (size_t i = 0; i < node_->agg_calls.size(); ++i) {
+    CGQ_ASSIGN_OR_RETURN(
+        Value v, EvalExpr(*node_->agg_calls[i].arg, row, in_layout_));
+    it->second.accs[i].Add(v);
+  }
+  return Status::OK();
+}
+
+std::vector<Row> HashAggregator::Finish() {
+  if (groups_.empty() && node_->group_ids.empty()) {
+    GroupState state;
+    for (const AggCall& call : node_->agg_calls) {
+      state.accs.emplace_back(call.fn);
+    }
+    groups_.emplace(RowKey{}, std::move(state));
+  }
+  std::vector<Row> out;
+  out.reserve(groups_.size());
+  for (auto& [key, state] : groups_) {
+    Row row = state.key;
+    for (const AggAccumulator& acc : state.accs) {
+      row.push_back(acc.Finish());
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace exec_internal
+}  // namespace cgq

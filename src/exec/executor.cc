@@ -1,38 +1,33 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <sstream>
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "exec/exec_internal.h"
+#include "exec/fragment_executor.h"
 #include "expr/eval.h"
 
 namespace cgq {
 
-namespace {
+using exec_internal::HashAggregator;
+using exec_internal::JoinHashTable;
+using exec_internal::JoinSpec;
+using exec_internal::LayoutOf;
+using exec_internal::PositionsOf;
 
-// Materialized intermediate result: rows positioned per `layout`.
-struct Batch {
-  RowLayout layout;
-  std::vector<Row> rows;
-};
-
-RowLayout LayoutOf(const PlanNode& node) {
-  std::vector<AttrId> ids;
-  ids.reserve(node.outputs.size());
-  for (const OutputCol& c : node.outputs) ids.push_back(c.id);
-  return RowLayout(std::move(ids));
+const char* ExecModeToString(ExecMode mode) {
+  switch (mode) {
+    case ExecMode::kRow:
+      return "row";
+    case ExecMode::kFragment:
+      return "fragment";
+  }
+  return "?";
 }
 
-// Hash-table key wrapper with structural row equality.
-struct RowKey {
-  Row values;
-  bool operator==(const RowKey& other) const {
-    return RowsStructurallyEqual(values, other.values);
-  }
-};
-struct RowKeyHash {
-  size_t operator()(const RowKey& k) const { return HashRow(k.values); }
-};
+namespace {
 
 class PlanInterpreter {
  public:
@@ -40,7 +35,7 @@ class PlanInterpreter {
                   ExecMetrics* metrics)
       : store_(store), net_(net), metrics_(metrics) {}
 
-  Result<Batch> Exec(const PlanNode& node) {
+  Result<RowBatch> Exec(const PlanNode& node) {
     switch (node.kind()) {
       case PlanKind::kScan:
         return ExecScan(node);
@@ -61,10 +56,10 @@ class PlanInterpreter {
   }
 
  private:
-  Result<Batch> ExecScan(const PlanNode& node) {
+  Result<RowBatch> ExecScan(const PlanNode& node) {
     CGQ_ASSIGN_OR_RETURN(const std::vector<Row>* rows,
                          store_->Get(node.scan_location, node.table));
-    Batch out;
+    RowBatch out;
     out.layout = LayoutOf(node);
     out.rows = *rows;
     metrics_->rows_scanned += static_cast<int64_t>(rows->size());
@@ -77,35 +72,25 @@ class PlanInterpreter {
     return out;
   }
 
-  Result<Batch> ExecFilter(const PlanNode& node) {
-    CGQ_ASSIGN_OR_RETURN(Batch in, Exec(*node.child(0)));
-    Batch out;
+  Result<RowBatch> ExecFilter(const PlanNode& node) {
+    CGQ_ASSIGN_OR_RETURN(RowBatch in, Exec(*node.child(0)));
+    RowBatch out;
     out.layout = in.layout;
     for (Row& row : in.rows) {
-      bool keep = true;
-      for (const ExprPtr& c : node.conjuncts) {
-        CGQ_ASSIGN_OR_RETURN(bool ok, EvalPredicate(*c, row, in.layout));
-        keep &= ok;
-        if (!keep) break;
-      }
+      CGQ_ASSIGN_OR_RETURN(
+          bool keep, exec_internal::KeepRow(node.conjuncts, row, in.layout));
       if (keep) out.rows.push_back(std::move(row));
     }
     return out;
   }
 
-  Result<Batch> ExecProject(const PlanNode& node) {
-    CGQ_ASSIGN_OR_RETURN(Batch in, Exec(*node.child(0)));
-    Batch out;
+  Result<RowBatch> ExecProject(const PlanNode& node) {
+    CGQ_ASSIGN_OR_RETURN(RowBatch in, Exec(*node.child(0)));
+    RowBatch out;
     out.layout = LayoutOf(node);
-    std::vector<size_t> positions;
-    for (AttrId id : node.project_ids) {
-      size_t pos = in.layout.PositionOf(id);
-      if (pos == RowLayout::kNotFound) {
-        return Status::Internal("projection input misses attr " +
-                                std::to_string(id));
-      }
-      positions.push_back(pos);
-    }
+    CGQ_ASSIGN_OR_RETURN(
+        std::vector<size_t> positions,
+        PositionsOf(node.project_ids, in.layout, "projection input"));
     out.rows.reserve(in.rows.size());
     for (const Row& row : in.rows) {
       Row projected;
@@ -116,250 +101,62 @@ class PlanInterpreter {
     return out;
   }
 
-  Result<Batch> ExecJoin(const PlanNode& node) {
-    CGQ_ASSIGN_OR_RETURN(Batch left, Exec(*node.child(0)));
-    CGQ_ASSIGN_OR_RETURN(Batch right, Exec(*node.child(1)));
+  Result<RowBatch> ExecJoin(const PlanNode& node) {
+    CGQ_ASSIGN_OR_RETURN(RowBatch left, Exec(*node.child(0)));
+    CGQ_ASSIGN_OR_RETURN(RowBatch right, Exec(*node.child(1)));
+    CGQ_ASSIGN_OR_RETURN(JoinSpec spec,
+                         JoinSpec::Make(node, left.layout, right.layout));
 
-    // Split conjuncts into equi-pairs usable as hash keys and residuals.
-    std::vector<std::pair<size_t, size_t>> key_positions;  // (left, right)
-    std::vector<ExprPtr> residual;
-    for (const ExprPtr& c : node.conjuncts) {
-      bool is_key = false;
-      if (c->op() == ExprOp::kEq &&
-          c->child(0)->op() == ExprOp::kColumnRef &&
-          c->child(1)->op() == ExprOp::kColumnRef) {
-        AttrId a = c->child(0)->attr_id();
-        AttrId b = c->child(1)->attr_id();
-        size_t la = left.layout.PositionOf(a);
-        size_t rb = right.layout.PositionOf(b);
-        if (la != RowLayout::kNotFound && rb != RowLayout::kNotFound) {
-          key_positions.emplace_back(la, rb);
-          is_key = true;
-        } else {
-          size_t lb = left.layout.PositionOf(b);
-          size_t ra = right.layout.PositionOf(a);
-          if (lb != RowLayout::kNotFound && ra != RowLayout::kNotFound) {
-            key_positions.emplace_back(lb, ra);
-            is_key = true;
-          }
-        }
-      }
-      if (!is_key) residual.push_back(c);
-    }
-
-    Batch out;
+    RowBatch out;
     out.layout = LayoutOf(node);
-    RowLayout combined = [&] {
-      std::vector<AttrId> ids = left.layout.attrs();
-      ids.insert(ids.end(), right.layout.attrs().begin(),
-                 right.layout.attrs().end());
-      return RowLayout(std::move(ids));
-    }();
 
-    auto emit = [&](const Row& l, const Row& r) -> Status {
-      Row joined = l;
-      joined.insert(joined.end(), r.begin(), r.end());
-      for (const ExprPtr& c : residual) {
-        CGQ_ASSIGN_OR_RETURN(bool ok, EvalPredicate(*c, joined, combined));
-        if (!ok) return Status::OK();
-      }
-      // Reorder to the node's output layout (left ++ right by definition,
-      // but the memo's canonical outputs may differ after commutes).
-      Row final_row(out.layout.size());
-      for (size_t i = 0; i < out.layout.attrs().size(); ++i) {
-        size_t pos = combined.PositionOf(out.layout.attrs()[i]);
-        if (pos == RowLayout::kNotFound) {
-          return Status::Internal("join output attr missing from inputs");
-        }
-        final_row[i] = joined[pos];
-      }
-      out.rows.push_back(std::move(final_row));
-      return Status::OK();
-    };
-
-    if (key_positions.empty() ||
+    if (spec.RequiresNestedLoop() ||
         node.join_method == JoinMethod::kNestedLoop) {
       for (const Row& l : left.rows) {
         for (const Row& r : right.rows) {
-          CGQ_RETURN_NOT_OK(emit(l, r));
+          CGQ_RETURN_NOT_OK(spec.EmitIfMatch(l, r, &out.rows).status());
         }
       }
     } else if (node.join_method == JoinMethod::kSortMerge) {
-      CGQ_RETURN_NOT_OK(SortMergeJoin(left, right, key_positions, emit));
+      CGQ_RETURN_NOT_OK(exec_internal::SortMergeJoin(
+          left.rows, right.rows, spec.key_positions,
+          [&](const Row& l, const Row& r) {
+            return spec.EmitIfMatch(l, r, &out.rows).status();
+          }));
     } else {
-      std::unordered_multimap<RowKey, size_t, RowKeyHash> table;
-      table.reserve(left.rows.size());
-      for (size_t i = 0; i < left.rows.size(); ++i) {
-        RowKey key;
-        bool has_null = false;
-        for (auto [lp, rp] : key_positions) {
-          has_null |= left.rows[i][lp].is_null();
-          key.values.push_back(left.rows[i][lp]);
-        }
-        if (!has_null) table.emplace(std::move(key), i);
-      }
+      JoinHashTable table;
+      table.Build(left.rows, spec);
       for (const Row& r : right.rows) {
-        RowKey key;
-        bool has_null = false;
-        for (auto [lp, rp] : key_positions) {
-          has_null |= r[rp].is_null();
-          key.values.push_back(r[rp]);
-        }
-        if (has_null) continue;
-        auto range = table.equal_range(key);
-        for (auto it = range.first; it != range.second; ++it) {
-          CGQ_RETURN_NOT_OK(emit(left.rows[it->second], r));
-        }
+        CGQ_RETURN_NOT_OK(table.Probe(r, spec, [&](const Row& l) {
+          return spec.EmitIfMatch(l, r, &out.rows).status();
+        }));
       }
     }
     return out;
   }
 
-  // Classic sort-merge: sorts both inputs on the equi-keys and merges
-  // duplicate blocks. Rows with NULL keys do not participate.
-  template <typename EmitFn>
-  Status SortMergeJoin(
-      Batch& left, Batch& right,
-      const std::vector<std::pair<size_t, size_t>>& key_positions,
-      const EmitFn& emit) {
-    auto key_compare = [&](const Row& a, const Row& b, bool a_left,
-                           bool b_left) {
-      for (auto [lp, rp] : key_positions) {
-        const Value& va = a[a_left ? lp : rp];
-        const Value& vb = b[b_left ? lp : rp];
-        int c = va.Compare(vb);
-        if (c != 0) return c;
-      }
-      return 0;
-    };
-    auto drop_null_keys = [&](std::vector<Row>* rows, bool is_left) {
-      rows->erase(std::remove_if(rows->begin(), rows->end(),
-                                 [&](const Row& r) {
-                                   for (auto [lp, rp] : key_positions) {
-                                     if (r[is_left ? lp : rp].is_null()) {
-                                       return true;
-                                     }
-                                   }
-                                   return false;
-                                 }),
-                  rows->end());
-    };
-    drop_null_keys(&left.rows, true);
-    drop_null_keys(&right.rows, false);
-    auto sort_side = [&](std::vector<Row>* rows, bool is_left) {
-      std::sort(rows->begin(), rows->end(),
-                [&](const Row& a, const Row& b) {
-                  return key_compare(a, b, is_left, is_left) < 0;
-                });
-    };
-    sort_side(&left.rows, true);
-    sort_side(&right.rows, false);
-
-    size_t i = 0, j = 0;
-    while (i < left.rows.size() && j < right.rows.size()) {
-      int c = key_compare(left.rows[i], right.rows[j], true, false);
-      if (c < 0) {
-        ++i;
-      } else if (c > 0) {
-        ++j;
-      } else {
-        // Duplicate blocks with equal keys on both sides.
-        size_t i_end = i + 1;
-        while (i_end < left.rows.size() &&
-               key_compare(left.rows[i], left.rows[i_end], true, true) == 0) {
-          ++i_end;
-        }
-        size_t j_end = j + 1;
-        while (j_end < right.rows.size() &&
-               key_compare(right.rows[j], right.rows[j_end], false, false) ==
-                   0) {
-          ++j_end;
-        }
-        for (size_t a = i; a < i_end; ++a) {
-          for (size_t b = j; b < j_end; ++b) {
-            CGQ_RETURN_NOT_OK(emit(left.rows[a], right.rows[b]));
-          }
-        }
-        i = i_end;
-        j = j_end;
-      }
-    }
-    return Status::OK();
-  }
-
-  Result<Batch> ExecAggregate(const PlanNode& node) {
-    CGQ_ASSIGN_OR_RETURN(Batch in, Exec(*node.child(0)));
-    Batch out;
+  Result<RowBatch> ExecAggregate(const PlanNode& node) {
+    CGQ_ASSIGN_OR_RETURN(RowBatch in, Exec(*node.child(0)));
+    RowBatch out;
     out.layout = LayoutOf(node);
-
-    std::vector<size_t> group_positions;
-    for (AttrId g : node.group_ids) {
-      size_t pos = in.layout.PositionOf(g);
-      if (pos == RowLayout::kNotFound) {
-        return Status::Internal("group key missing from aggregate input");
-      }
-      group_positions.push_back(pos);
-    }
-
-    struct GroupState {
-      Row key;
-      std::vector<AggAccumulator> accs;
-    };
-    std::unordered_map<RowKey, GroupState, RowKeyHash> groups;
-
+    HashAggregator agg(&node);
+    CGQ_RETURN_NOT_OK(agg.Init(in.layout));
     for (const Row& row : in.rows) {
-      RowKey key;
-      for (size_t p : group_positions) key.values.push_back(row[p]);
-      auto it = groups.find(key);
-      if (it == groups.end()) {
-        GroupState state;
-        state.key = key.values;
-        for (const AggCall& call : node.agg_calls) {
-          state.accs.emplace_back(call.fn);
-        }
-        it = groups.emplace(std::move(key), std::move(state)).first;
-      }
-      for (size_t i = 0; i < node.agg_calls.size(); ++i) {
-        CGQ_ASSIGN_OR_RETURN(
-            Value v, EvalExpr(*node.agg_calls[i].arg, row, in.layout));
-        it->second.accs[i].Add(v);
-      }
+      CGQ_RETURN_NOT_OK(agg.Add(row));
     }
-
-    // SQL semantics: a global aggregate over an empty input yields one row.
-    if (groups.empty() && node.group_ids.empty()) {
-      GroupState state;
-      for (const AggCall& call : node.agg_calls) {
-        state.accs.emplace_back(call.fn);
-      }
-      groups.emplace(RowKey{}, std::move(state));
-    }
-
-    for (auto& [key, state] : groups) {
-      Row row = state.key;
-      for (const AggAccumulator& acc : state.accs) {
-        row.push_back(acc.Finish());
-      }
-      out.rows.push_back(std::move(row));
-    }
+    out.rows = agg.Finish();
     return out;
   }
 
-  Result<Batch> ExecUnion(const PlanNode& node) {
-    Batch out;
+  Result<RowBatch> ExecUnion(const PlanNode& node) {
+    RowBatch out;
     out.layout = LayoutOf(node);
     for (const PlanNodePtr& child : node.children()) {
-      CGQ_ASSIGN_OR_RETURN(Batch b, Exec(*child));
+      CGQ_ASSIGN_OR_RETURN(RowBatch b, Exec(*child));
       // Remap to the union's canonical attribute order.
-      std::vector<size_t> positions;
-      for (AttrId id : out.layout.attrs()) {
-        size_t pos = b.layout.PositionOf(id);
-        if (pos == RowLayout::kNotFound) {
-          return Status::Internal("union branch misses attr " +
-                                  std::to_string(id));
-        }
-        positions.push_back(pos);
-      }
+      CGQ_ASSIGN_OR_RETURN(
+          std::vector<size_t> positions,
+          PositionsOf(out.layout.attrs(), b.layout, "union branch"));
       for (const Row& row : b.rows) {
         Row mapped;
         mapped.reserve(positions.size());
@@ -370,16 +167,22 @@ class PlanInterpreter {
     return out;
   }
 
-  Result<Batch> ExecShip(const PlanNode& node) {
-    CGQ_ASSIGN_OR_RETURN(Batch in, Exec(*node.child(0)));
-    double bytes = 0;
-    for (const Row& row : in.rows) {
-      for (const Value& v : row) bytes += static_cast<double>(v.ByteSize());
-    }
+  Result<RowBatch> ExecShip(const PlanNode& node) {
+    CGQ_ASSIGN_OR_RETURN(RowBatch in, Exec(*node.child(0)));
+    double bytes = in.ByteSize();
+    ChannelStats edge;
+    edge.from = node.ship_from;
+    edge.to = node.ship_to;
+    edge.batches = 1;
+    edge.rows = static_cast<int64_t>(in.rows.size());
+    edge.bytes = bytes;
+    edge.peak_in_flight = 1;
+    edge.network_ms = net_->Cost(node.ship_from, node.ship_to, bytes);
     metrics_->ships += 1;
-    metrics_->rows_shipped += static_cast<int64_t>(in.rows.size());
+    metrics_->rows_shipped += edge.rows;
     metrics_->bytes_shipped += bytes;
-    metrics_->network_ms += net_->Cost(node.ship_from, node.ship_to, bytes);
+    metrics_->network_ms += edge.network_ms;
+    metrics_->edges.push_back(edge);
     return in;
   }
 
@@ -390,10 +193,40 @@ class PlanInterpreter {
 
 }  // namespace
 
+std::string FormatExecMetrics(const ExecMetrics& metrics,
+                              const LocationCatalog* locations) {
+  auto site_name = [&](LocationId l) {
+    return locations != nullptr ? locations->GetName(l)
+                                : "l" + std::to_string(l);
+  };
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(1);
+  os << "execution: " << metrics.rows_scanned << " rows scanned, "
+     << metrics.ships << " ship edge(s), " << metrics.rows_shipped
+     << " rows / " << metrics.bytes_shipped / 1024.0
+     << " KB shipped, simulated WAN time " << metrics.network_ms << " ms\n";
+  for (const ChannelStats& e : metrics.edges) {
+    os << "  ship " << site_name(e.from) << " -> " << site_name(e.to)
+       << ": " << e.rows << " rows / " << e.bytes / 1024.0 << " KB in "
+       << e.batches << " batch(es), peak " << e.peak_in_flight
+       << " in flight, " << e.network_ms << " net ms\n";
+  }
+  for (const FragmentMetrics& f : metrics.fragments) {
+    os << "  fragment #" << f.id << " @ " << site_name(f.site) << ": "
+       << f.wall_ms << " ms wall, " << f.rows_scanned << " rows scanned, "
+       << f.rows_out << " rows out\n";
+  }
+  return os.str();
+}
+
 Result<QueryResult> Executor::ExecutePlan(const PlanNode& plan) const {
+  if (options_.mode == ExecMode::kFragment) {
+    return ExecuteFragmentedPlan(plan, store_, net_, options_);
+  }
   QueryResult result;
   PlanInterpreter interp(store_, net_, &result.metrics);
-  CGQ_ASSIGN_OR_RETURN(Batch batch, interp.Exec(plan));
+  CGQ_ASSIGN_OR_RETURN(RowBatch batch, interp.Exec(plan));
   for (const OutputCol& c : plan.outputs) result.column_names.push_back(c.name);
   result.rows = std::move(batch.rows);
   return result;

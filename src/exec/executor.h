@@ -6,14 +6,56 @@
 
 #include "common/result.h"
 #include "core/optimizer.h"
+#include "exec/channel.h"
 #include "exec/table_store.h"
 #include "net/network_model.h"
 #include "plan/plan_node.h"
 
 namespace cgq {
 
+/// Which runtime executes located plans.
+enum class ExecMode {
+  /// Row-at-a-time interpreter: every operator materializes its output on
+  /// one thread. The reference backend.
+  kRow,
+  /// Fragmented runtime: the plan is split at its SHIP edges into
+  /// per-site fragments that exchange bounded row batches through ship
+  /// channels and run concurrently. Byte-identical results and identical
+  /// ship metrics to the row backend.
+  kFragment,
+};
+
+const char* ExecModeToString(ExecMode mode);
+
+/// Runtime configuration of the executor (the execution-side counterpart
+/// of OptimizerOptions).
+struct ExecutorOptions {
+  ExecMode mode = ExecMode::kRow;
+  /// Rows per batch in the fragmented runtime.
+  int batch_size = kDefaultBatchSize;
+  /// Batches in flight per ship channel before the producer blocks
+  /// (backpressure). 0 = unbounded.
+  int channel_capacity = 4;
+  /// Fragment scheduling: 1 = run fragments sequentially bottom-up
+  /// (channels buffer whole intermediates, like the row backend's
+  /// materialization); any other value = pipelined, one worker per
+  /// fragment on a thread pool, bounded channels. Results are identical
+  /// at every setting.
+  int threads = 0;
+};
+
+/// Wall time and output volume of one executed fragment.
+struct FragmentMetrics {
+  int id = 0;
+  LocationId site = 0;
+  double wall_ms = 0;
+  int64_t rows_out = 0;
+  int64_t rows_scanned = 0;
+};
+
 /// Observed execution-side costs, driven by actual intermediate sizes (the
-/// quality metric of §7.4 / Fig. 6g,h).
+/// quality metric of §7.4 / Fig. 6g,h), plus per-edge and per-fragment
+/// breakdowns from the fragmented runtime.
 struct ExecMetrics {
   int64_t ships = 0;
   int64_t rows_shipped = 0;
@@ -21,7 +63,17 @@ struct ExecMetrics {
   /// Simulated wall-clock of all transfers under the message cost model.
   double network_ms = 0;
   int64_t rows_scanned = 0;
+  /// One entry per SHIP edge, in plan post-order (row backend: one
+  /// single-batch entry per executed SHIP).
+  std::vector<ChannelStats> edges;
+  /// One entry per fragment (fragment mode only).
+  std::vector<FragmentMetrics> fragments;
 };
+
+/// Human-readable per-site / per-channel breakdown of `metrics`, appended
+/// to result footers (cgq_shell, analyze output). `locations` may be null.
+std::string FormatExecMetrics(const ExecMetrics& metrics,
+                              const LocationCatalog* locations);
 
 /// Rows of a query result plus transfer metrics.
 struct QueryResult {
@@ -30,14 +82,19 @@ struct QueryResult {
   ExecMetrics metrics;
 };
 
-/// Row-at-a-time interpreter for located physical plans. Each operator
-/// materializes its output; SHIP operators charge the network model with
-/// the measured byte volume. Correctness-oriented (the paper measures
-/// communication cost, not single-node throughput).
+/// Multi-site executor for located physical plans. Two backends (see
+/// ExecMode): the row-at-a-time reference interpreter and the fragmented
+/// batch runtime. SHIP operators charge the network model with the
+/// measured byte volume either way.
 class Executor {
  public:
   Executor(const TableStore* store, const NetworkModel* net)
       : store_(store), net_(net) {}
+  Executor(const TableStore* store, const NetworkModel* net,
+           ExecutorOptions options)
+      : store_(store), net_(net), options_(options) {}
+
+  const ExecutorOptions& options() const { return options_; }
 
   /// Executes an optimized query, applying its ORDER BY / LIMIT at the
   /// result site.
@@ -49,6 +106,7 @@ class Executor {
  private:
   const TableStore* store_;
   const NetworkModel* net_;
+  ExecutorOptions options_;
 };
 
 }  // namespace cgq

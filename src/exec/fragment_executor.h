@@ -1,0 +1,29 @@
+#ifndef CGQ_EXEC_FRAGMENT_EXECUTOR_H_
+#define CGQ_EXEC_FRAGMENT_EXECUTOR_H_
+
+#include "common/result.h"
+#include "exec/executor.h"
+#include "exec/table_store.h"
+#include "net/network_model.h"
+#include "plan/plan_node.h"
+
+namespace cgq {
+
+/// Fragmented runtime: splits `plan` at its SHIP edges into per-site
+/// fragments (see exec/fragmenter.h), connects them with bounded ship
+/// channels that charge the network model per batch, and runs them
+/// concurrently — one worker per fragment on a dedicated thread pool —
+/// with operators pulling fixed-size row batches.
+///
+/// `options.threads == 1` (or a call from inside a pool worker) selects
+/// the sequential schedule instead: fragments run bottom-up on the
+/// calling thread with buffering channels. Results and ship metrics are
+/// identical to the row interpreter in every configuration.
+Result<QueryResult> ExecuteFragmentedPlan(const PlanNode& plan,
+                                          const TableStore* store,
+                                          const NetworkModel* net,
+                                          const ExecutorOptions& options);
+
+}  // namespace cgq
+
+#endif  // CGQ_EXEC_FRAGMENT_EXECUTOR_H_

@@ -75,4 +75,10 @@ double NetworkModel::Cost(LocationId from, LocationId to,
   return alpha(from, to) + beta(from, to) * bytes;
 }
 
+double NetworkModel::MarginalCost(LocationId from, LocationId to,
+                                  double bytes) const {
+  if (from == to) return 0;
+  return beta(from, to) * bytes;
+}
+
 }  // namespace cgq

@@ -33,6 +33,12 @@ class NetworkModel {
   /// alpha + beta * bytes; 0 when from == to.
   double Cost(LocationId from, LocationId to, double bytes) const;
 
+  /// Per-byte cost only (beta * bytes; 0 when from == to): the marginal
+  /// cost of one more batch on a transfer whose start-up latency was
+  /// already paid. The batched executor charges alpha once per ship edge
+  /// and this for every subsequent batch.
+  double MarginalCost(LocationId from, LocationId to, double bytes) const;
+
   size_t num_locations() const { return alpha_.size(); }
 
  private:

@@ -1,0 +1,184 @@
+#include "exec/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "net/network_model.h"
+
+namespace cgq {
+namespace {
+
+RowBatch MakeBatch(int64_t first, int n) {
+  RowBatch b;
+  b.layout = RowLayout({AttrId{1}});
+  for (int i = 0; i < n; ++i) {
+    b.rows.push_back({Value::Int64(first + i)});
+  }
+  return b;
+}
+
+TEST(ShipChannelTest, FifoOrderAndStats) {
+  NetworkModel net(2, /*alpha_ms=*/10.0, /*beta_ms_per_byte=*/0.5);
+  ShipChannel ch(0, 1, /*capacity=*/0, &net);
+
+  double bytes = 0;
+  for (int i = 0; i < 3; ++i) {
+    RowBatch b = MakeBatch(i * 10, 4);
+    bytes += b.ByteSize();
+    ASSERT_TRUE(ch.Push(std::move(b)));
+  }
+  ch.CloseProducer();
+
+  RowBatch out;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(ch.Pop(&out));
+    ASSERT_EQ(out.NumRows(), 4u);
+    EXPECT_EQ(out.rows[0][0].int64(), i * 10);
+  }
+  EXPECT_FALSE(ch.Pop(&out));  // end-of-stream
+  EXPECT_FALSE(ch.Pop(&out));  // stays closed
+
+  ChannelStats s = ch.stats();
+  EXPECT_EQ(s.from, 0);
+  EXPECT_EQ(s.to, 1);
+  EXPECT_EQ(s.batches, 3);
+  EXPECT_EQ(s.rows, 12);
+  EXPECT_EQ(s.bytes, bytes);
+  EXPECT_EQ(s.peak_in_flight, 3);
+}
+
+// The channel charges alpha once per edge plus beta per byte, so the total
+// equals the row interpreter's one-message charge for the same volume.
+TEST(ShipChannelTest, NetworkChargeMatchesSingleMessage) {
+  NetworkModel net = NetworkModel::DefaultGeo(5);
+  ShipChannel ch(1, 3, 0, &net);
+
+  double bytes = 0;
+  for (int i = 0; i < 5; ++i) {
+    RowBatch b = MakeBatch(i, 7);
+    bytes += b.ByteSize();
+    ASSERT_TRUE(ch.Push(std::move(b)));
+  }
+  ch.CloseProducer();
+
+  EXPECT_NEAR(ch.stats().network_ms, net.Cost(1, 3, bytes), 1e-9);
+}
+
+// An edge that carries no batches still pays the start-up latency: the row
+// interpreter ships one (empty) message per SHIP edge.
+TEST(ShipChannelTest, EmptyEdgePaysStartupLatency) {
+  NetworkModel net(3, 25.0, 0.125);
+  ShipChannel ch(2, 0, 4, &net);
+  ch.CloseProducer();
+
+  RowBatch out;
+  EXPECT_FALSE(ch.Pop(&out));
+  ChannelStats s = ch.stats();
+  EXPECT_EQ(s.batches, 0);
+  EXPECT_EQ(s.rows, 0);
+  EXPECT_EQ(s.bytes, 0);
+  EXPECT_EQ(s.network_ms, net.Cost(2, 0, 0));
+}
+
+TEST(ShipChannelTest, IntraSiteTransferIsFree) {
+  NetworkModel net(2, 10.0, 0.5);
+  ShipChannel ch(1, 1, 0, &net);
+  ASSERT_TRUE(ch.Push(MakeBatch(0, 8)));
+  ch.CloseProducer();
+  EXPECT_EQ(ch.stats().network_ms, 0.0);
+}
+
+// With capacity 2 the producer cannot run more than 2 batches ahead of the
+// consumer, and peak_in_flight records exactly that bound.
+TEST(ShipChannelTest, BoundedCapacityAppliesBackpressure) {
+  NetworkModel net(2, 1.0, 0.0);
+  ShipChannel ch(0, 1, /*capacity=*/2, &net);
+
+  constexpr int kBatches = 32;
+  std::atomic<int> pushed{0};
+  std::thread producer([&] {
+    for (int i = 0; i < kBatches; ++i) {
+      ASSERT_TRUE(ch.Push(MakeBatch(i, 1)));
+      pushed.fetch_add(1);
+    }
+    ch.CloseProducer();
+  });
+
+  // Give the producer a chance to run ahead; it must stall at the bound.
+  while (pushed.load() < 2) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_LE(pushed.load(), 2 + 1);  // capacity batches queued + one blocked
+
+  RowBatch out;
+  int popped = 0;
+  while (ch.Pop(&out)) {
+    EXPECT_EQ(out.rows[0][0].int64(), popped);
+    ++popped;
+  }
+  producer.join();
+
+  EXPECT_EQ(popped, kBatches);
+  ChannelStats s = ch.stats();
+  EXPECT_EQ(s.batches, kBatches);
+  EXPECT_LE(s.peak_in_flight, 2);
+  EXPECT_GE(s.peak_in_flight, 1);
+}
+
+// Abort releases a producer blocked on a full channel and fails the
+// consumer side, so errors propagate across fragments without deadlock.
+TEST(ShipChannelTest, AbortReleasesBlockedProducer) {
+  NetworkModel net(2, 1.0, 0.0);
+  ShipChannel ch(0, 1, /*capacity=*/1, &net);
+
+  std::atomic<bool> push_failed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(ch.Push(MakeBatch(0, 1)));
+    // Second push blocks on the full channel until Abort.
+    push_failed.store(!ch.Push(MakeBatch(1, 1)));
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ch.Abort();
+  producer.join();
+
+  EXPECT_TRUE(push_failed.load());
+  RowBatch out;
+  EXPECT_FALSE(ch.Pop(&out));
+  EXPECT_FALSE(ch.Push(MakeBatch(2, 1)));
+}
+
+// Concurrent producer/consumer stress: every row arrives exactly once, in
+// order, at several capacities.
+TEST(ShipChannelTest, ThreadedStressPreservesOrder) {
+  NetworkModel net(2, 0.0, 0.0);
+  for (size_t capacity : {size_t{1}, size_t{4}, size_t{0}}) {
+    ShipChannel ch(0, 1, capacity, &net);
+    constexpr int kBatches = 200;
+
+    std::thread producer([&] {
+      for (int i = 0; i < kBatches; ++i) {
+        ASSERT_TRUE(ch.Push(MakeBatch(i * 3, 3)));
+      }
+      ch.CloseProducer();
+    });
+
+    std::vector<int64_t> seen;
+    RowBatch out;
+    while (ch.Pop(&out)) {
+      for (const Row& r : out.rows) seen.push_back(r[0].int64());
+    }
+    producer.join();
+
+    ASSERT_EQ(seen.size(), static_cast<size_t>(kBatches * 3));
+    for (size_t i = 0; i < seen.size(); ++i) {
+      EXPECT_EQ(seen[i], static_cast<int64_t>(i));
+    }
+    EXPECT_EQ(ch.stats().rows, kBatches * 3);
+  }
+}
+
+}  // namespace
+}  // namespace cgq
