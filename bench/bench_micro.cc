@@ -139,11 +139,22 @@ int ExecutionBench(const bench::BenchOptions& opts,
   TableStore store;
   CGQ_CHECK(tpch::GenerateData(*catalog, config, &store).ok());
 
+  // The lossy profile drops 5% of batches on every cross-site link; the
+  // retry budget makes exhaustion (0.05^9) impossible in practice, so
+  // both backends recover every run and their digests must still agree.
+  const bool lossy =
+      opts.fault_profile == bench::FaultProfileArg::kLossy;
+  if (lossy) {
+    net.ApplyLossyProfile(/*drop_probability=*/0.05,
+                          /*extra_latency_ms=*/2.0);
+  }
+
   bench::PrintHeader(
       "Execution: row interpreter vs fragmented runtime (sf " +
       std::to_string(config.scale_factor) + ", " +
       std::to_string(opts.threads) + " threads, batch " +
-      std::to_string(opts.batch_size) + ")");
+      std::to_string(opts.batch_size) + ", faults " +
+      bench::FaultProfileArgToString(opts.fault_profile) + ")");
   std::printf("%-6s %-10s %12s %10s %8s %14s %10s\n", "Query", "mode",
               "mean [ms]", "rows", "ships", "bytes shipped", "speedup");
 
@@ -167,6 +178,10 @@ int ExecutionBench(const bench::BenchOptions& opts,
                                               : ExecMode::kFragment;
       eopts.batch_size = opts.batch_size;
       eopts.threads = opts.threads;
+      if (lossy) {
+        eopts.retry.max_retries = 8;
+        eopts.retry.fault_seed = opts.fault_seed;
+      }
       Executor executor(&store, &net, eopts);
 
       auto result = executor.Execute(*opt);
@@ -215,7 +230,14 @@ int ExecutionBench(const bench::BenchOptions& opts,
           .Set("ships", result->metrics.ships)
           .Set("rows_shipped", result->metrics.rows_shipped)
           .Set("bytes_shipped", result->metrics.bytes_shipped)
-          .Set("result_digest", std::to_string(digest));
+          .Set("result_digest", std::to_string(digest))
+          .Set("fault_profile",
+               bench::FaultProfileArgToString(opts.fault_profile))
+          .Set("send_retries", result->metrics.send_retries)
+          .Set("dropped_batches", result->metrics.dropped_batches)
+          .Set("timeouts", result->metrics.send_timeouts +
+                               result->metrics.recv_timeouts)
+          .Set("fragment_restarts", result->metrics.fragment_restarts);
       if (speedup > 0) {
         jrow.Set("speedup", speedup);
         speedups.push_back(speedup);

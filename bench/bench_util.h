@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -68,6 +69,17 @@ inline const char* ExecModeArgToString(ExecModeArg m) {
   return "?";
 }
 
+/// Injected-fault profile for execution benches: `none` runs on healthy
+/// links; `lossy` drops a small fraction of batches on every cross-site
+/// link (plus a little extra latency), with retries sized so both
+/// backends always recover — results stay byte-identical while the
+/// recovery counters show the reattempted traffic.
+enum class FaultProfileArg { kNone, kLossy };
+
+inline const char* FaultProfileArgToString(FaultProfileArg p) {
+  return p == FaultProfileArg::kLossy ? "lossy" : "none";
+}
+
 /// Shared bench command line:
 ///   --threads=N        pool width for the parallel configuration (default 4)
 ///   --reps=N           timed repetitions per cell (default 7)
@@ -75,6 +87,8 @@ inline const char* ExecModeArgToString(ExecModeArg m) {
 ///   --json=PATH        append one JSON object per result row to PATH
 ///   --exec-mode=M      row | fragment | both (default both)
 ///   --batch-size=N     rows per batch for the fragment backend
+///   --fault-profile=P  none | lossy (default none)
+///   --fault-seed=N     seed of the deterministic fault schedule
 struct BenchOptions {
   int threads = 4;
   int reps = 7;
@@ -82,6 +96,8 @@ struct BenchOptions {
   std::string json_path;
   ExecModeArg exec_mode = ExecModeArg::kBoth;
   int batch_size = 1024;
+  FaultProfileArg fault_profile = FaultProfileArg::kNone;
+  uint64_t fault_seed = 20260807;
 
   static BenchOptions Parse(int argc, char** argv) {
     BenchOptions o;
@@ -111,11 +127,25 @@ struct BenchOptions {
         }
       } else if (std::strncmp(a, "--batch-size=", 13) == 0) {
         o.batch_size = std::atoi(a + 13);
+      } else if (std::strncmp(a, "--fault-profile=", 16) == 0) {
+        const char* p = a + 16;
+        if (std::strcmp(p, "none") == 0) {
+          o.fault_profile = FaultProfileArg::kNone;
+        } else if (std::strcmp(p, "lossy") == 0) {
+          o.fault_profile = FaultProfileArg::kLossy;
+        } else {
+          std::fprintf(stderr, "bad --fault-profile '%s' (none|lossy)\n",
+                       p);
+          std::exit(2);
+        }
+      } else if (std::strncmp(a, "--fault-seed=", 13) == 0) {
+        o.fault_seed = std::strtoull(a + 13, nullptr, 10);
       } else {
         std::fprintf(stderr,
                      "unknown argument '%s' "
                      "(--threads=N --reps=N --tiny --json=PATH "
-                     "--exec-mode=row|fragment|both --batch-size=N)\n",
+                     "--exec-mode=row|fragment|both --batch-size=N "
+                     "--fault-profile=none|lossy --fault-seed=N)\n",
                      a);
         std::exit(2);
       }

@@ -66,6 +66,7 @@ void Help() {
       "  policies;                    list installed policies\n"
       "  set <T|C|CR|CRA|open>;       switch policy set\n"
       "  exec <row|fragment>;         switch execution backend\n"
+      "  faults <p|off>;              lossy links: drop probability p\n"
       "  tables;                      list tables\n"
       "  help; quit;\n");
 }
@@ -304,6 +305,25 @@ int main() {
         }
         std::printf("execution backend: %s\n",
                     ExecModeToString(engine.default_exec_options().mode));
+        continue;
+      }
+      if (lower.rfind("faults", 0) == 0) {
+        std::string arg(Trim(command.substr(6)));
+        if (arg.empty() || arg == "off") {
+          engine.mutable_net().ClearLinkFaults();
+          std::printf("link faults cleared\n");
+        } else {
+          double p = std::atof(arg.c_str());
+          if (p < 0 || p >= 1) {
+            std::printf("faults: drop probability must be in [0, 1), "
+                        "got '%s'\n", arg.c_str());
+            continue;
+          }
+          engine.mutable_net().ApplyLossyProfile(p, /*extra_latency_ms=*/5);
+          std::printf(
+              "lossy profile: every cross-site link drops %.0f%% of "
+              "batches (retries show in the result footer)\n", p * 100);
+        }
         continue;
       }
       std::printf("unknown command (try 'help;')\n");

@@ -1,0 +1,145 @@
+#include "common/failpoint.h"
+
+#include <algorithm>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace cgq {
+
+std::atomic<int> Failpoints::armed_count_{0};
+
+namespace {
+
+struct Policy {
+  enum class Kind { kOnce, kEveryN, kProbability };
+  Kind kind = Kind::kOnce;
+  int64_t every_n = 1;
+  double probability = 0;
+  Rng rng{0};
+  int64_t evaluations = 0;
+  int64_t fires = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Policy> sites;
+};
+
+// Leaked singleton: failpoints may be consulted from detached worker
+// threads during process shutdown.
+Registry& TheRegistry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+}  // namespace
+
+void Failpoints::ArmOnce(const std::string& site) {
+  Policy p;
+  p.kind = Policy::Kind::kOnce;
+  bool inserted;
+  {
+    Registry& r = TheRegistry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    inserted = r.sites.insert_or_assign(site, std::move(p)).second;
+  }
+  if (inserted) armed_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Failpoints::ArmEveryN(const std::string& site, int64_t n) {
+  CGQ_CHECK(n >= 1) << "every-N failpoint needs n >= 1, got " << n;
+  Policy p;
+  p.kind = Policy::Kind::kEveryN;
+  p.every_n = n;
+  bool inserted;
+  {
+    Registry& r = TheRegistry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    inserted = r.sites.insert_or_assign(site, std::move(p)).second;
+  }
+  if (inserted) armed_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Failpoints::ArmProbability(const std::string& site, double p,
+                                uint64_t seed) {
+  CGQ_CHECK(p >= 0 && p <= 1) << "failpoint probability out of range: " << p;
+  Policy policy;
+  policy.kind = Policy::Kind::kProbability;
+  policy.probability = p;
+  policy.rng = Rng(seed);
+  bool inserted;
+  {
+    Registry& r = TheRegistry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    inserted = r.sites.insert_or_assign(site, std::move(policy)).second;
+  }
+  if (inserted) armed_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Failpoints::Disarm(const std::string& site) {
+  Registry& r = TheRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (r.sites.erase(site) > 0) {
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void Failpoints::DisarmAll() {
+  Registry& r = TheRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  armed_count_.fetch_sub(static_cast<int>(r.sites.size()),
+                         std::memory_order_relaxed);
+  r.sites.clear();
+}
+
+bool Failpoints::Fire(const char* site) {
+  Registry& r = TheRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  if (it == r.sites.end()) return false;
+  Policy& p = it->second;
+  p.evaluations += 1;
+  bool fire = false;
+  switch (p.kind) {
+    case Policy::Kind::kOnce:
+      fire = p.evaluations == 1;
+      break;
+    case Policy::Kind::kEveryN:
+      fire = p.evaluations % p.every_n == 0;
+      break;
+    case Policy::Kind::kProbability:
+      fire = p.rng.Bernoulli(p.probability);
+      break;
+  }
+  if (fire) p.fires += 1;
+  return fire;
+}
+
+int64_t Failpoints::Evaluations(const std::string& site) {
+  Registry& r = TheRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.evaluations;
+}
+
+int64_t Failpoints::Fires(const std::string& site) {
+  Registry& r = TheRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> Failpoints::ArmedSites() {
+  Registry& r = TheRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::string> out;
+  out.reserve(r.sites.size());
+  for (const auto& [name, policy] : r.sites) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace cgq

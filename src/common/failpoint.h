@@ -1,0 +1,77 @@
+#ifndef CGQ_COMMON_FAILPOINT_H_
+#define CGQ_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cgq {
+
+/// Process-wide deterministic failpoint registry.
+///
+/// A *failpoint site* is a named branch compiled into production code
+/// (e.g. "channel.send", "fragment.start") that normally does nothing.
+/// Tests arm a site with a firing policy; the code under test then asks
+/// `CGQ_FAILPOINT("site")` whether to simulate a failure at that spot.
+///
+/// Cost model: when no site is armed, the macro is a single relaxed
+/// atomic load plus an untaken branch — nothing is looked up, counted or
+/// locked, so failpoint sites may sit on hot paths. When compiled with
+/// CGQ_FAILPOINTS=OFF the macro is the constant `false` and the branch
+/// vanishes entirely.
+///
+/// Determinism: every armed policy is evaluated under one registry lock,
+/// so the k-th evaluation of a site (process-wide, regardless of which
+/// thread performs it) consumes the k-th step of the policy's state. For
+/// the seeded-probability policy this makes the *number* of fires over N
+/// evaluations a pure function of (seed, p, N) even under concurrency.
+class Failpoints {
+ public:
+  /// Fires on the first evaluation only.
+  static void ArmOnce(const std::string& site);
+  /// Fires on every n-th evaluation (n >= 1; n == 1 fires always).
+  static void ArmEveryN(const std::string& site, int64_t n);
+  /// Fires with probability `p` per evaluation, from a deterministic
+  /// stream seeded with `seed`.
+  static void ArmProbability(const std::string& site, double p,
+                             uint64_t seed);
+
+  static void Disarm(const std::string& site);
+  static void DisarmAll();
+
+  /// True when at least one site is armed (the fast-path gate).
+  static bool AnyArmed() {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Slow path behind AnyArmed(): returns whether the policy armed for
+  /// `site` fires now. Unarmed sites never fire and are not counted.
+  static bool Fire(const char* site);
+
+  /// Evaluations / fires of `site` since it was (re-)armed; 0 when the
+  /// site is not armed. Only the slow path counts, so these double as the
+  /// zero-overhead witness: a site evaluated while nothing was armed
+  /// reports 0 evaluations after arming.
+  static int64_t Evaluations(const std::string& site);
+  static int64_t Fires(const std::string& site);
+
+  /// Names of the currently armed sites (sorted), for diagnostics.
+  static std::vector<std::string> ArmedSites();
+
+ private:
+  static std::atomic<int> armed_count_;
+};
+
+}  // namespace cgq
+
+#ifdef CGQ_FAILPOINTS
+/// True when the named failpoint site fires now. Usable as
+/// `if (CGQ_FAILPOINT("channel.send")) return SimulatedDrop();`.
+#define CGQ_FAILPOINT(site) \
+  (::cgq::Failpoints::AnyArmed() && ::cgq::Failpoints::Fire(site))
+#else
+#define CGQ_FAILPOINT(site) false
+#endif
+
+#endif  // CGQ_COMMON_FAILPOINT_H_

@@ -17,6 +17,8 @@ enum class StatusCode {
   kNonCompliant,      ///< No compliant execution plan exists (query rejected).
   kUnsupported,       ///< Feature outside the supported subset.
   kInternal,          ///< Invariant violation; indicates a bug.
+  kUnavailable,       ///< Transient infrastructure failure (link/site down,
+                      ///< retries exhausted). Retryable, unlike kInternal.
 };
 
 /// Returns a short human-readable name, e.g. "Invalid argument".
@@ -57,6 +59,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const {
@@ -75,6 +80,7 @@ class Status {
   bool IsNonCompliant() const { return code() == StatusCode::kNonCompliant; }
   bool IsUnsupported() const { return code() == StatusCode::kUnsupported; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// "OK" or "<code>: <message>".
   std::string ToString() const;

@@ -38,6 +38,10 @@ class Engine {
   PolicyCatalog& policies() { return *policies_; }
   TableStore& store() { return store_; }
   const NetworkModel& net() const { return *net_; }
+  /// Mutable access for fault injection (NetworkModel::SetLinkFault /
+  /// ApplyLossyProfile): configure faults between queries, never while
+  /// one runs.
+  NetworkModel& mutable_net() { return *net_; }
 
   /// Registers a dataflow policy (offline step of Fig. 2).
   Status AddPolicy(const std::string& location, const std::string& text) {
@@ -72,6 +76,12 @@ class Engine {
   /// Selects the execution backend for Run() (see ExecMode). Results are
   /// identical for both backends.
   void set_exec_mode(ExecMode mode) { default_exec_options_.mode = mode; }
+
+  /// Recovery knobs applied by Run(): send/recv timeouts, bounded retries
+  /// with exponential backoff, and the deterministic fault seed.
+  void set_retry_policy(const RetryPolicy& retry) {
+    default_exec_options_.retry = retry;
+  }
 
   /// Optimizes under the compliance-based optimizer. Fails with
   /// kNonCompliant when no compliant plan exists.

@@ -32,8 +32,8 @@ namespace {
 class PlanInterpreter {
  public:
   PlanInterpreter(const TableStore* store, const NetworkModel* net,
-                  ExecMetrics* metrics)
-      : store_(store), net_(net), metrics_(metrics) {}
+                  const ExecutorOptions* options, ExecMetrics* metrics)
+      : store_(store), net_(net), options_(options), metrics_(metrics) {}
 
   Result<RowBatch> Exec(const PlanNode& node) {
     switch (node.kind()) {
@@ -169,25 +169,39 @@ class PlanInterpreter {
 
   Result<RowBatch> ExecShip(const PlanNode& node) {
     CGQ_ASSIGN_OR_RETURN(RowBatch in, Exec(*node.child(0)));
-    double bytes = in.ByteSize();
-    ChannelStats edge;
-    edge.from = node.ship_from;
-    edge.to = node.ship_to;
-    edge.batches = 1;
-    edge.rows = static_cast<int64_t>(in.rows.size());
-    edge.bytes = bytes;
-    edge.peak_in_flight = 1;
-    edge.network_ms = net_->Cost(node.ship_from, node.ship_to, bytes);
+    // Route the one-message transfer through a ShipChannel so both
+    // backends share the fault simulation, retry and accounting
+    // semantics (the intermediate moves through, no copy). A failed
+    // transfer — link down, retries exhausted — aborts the query with
+    // the channel's structured status, never a partial result.
+    RowLayout layout = in.layout;
+    ShipChannel channel(node.ship_from, node.ship_to, /*capacity=*/0,
+                        net_, options_->retry);
+    CGQ_RETURN_NOT_OK(channel.Send(std::move(in)));
+    channel.CloseProducer();
+    RowBatch out;
+    if (!channel.Pop(&out)) {
+      out = RowBatch();
+      out.layout = std::move(layout);
+    }
+
+    ChannelStats edge = channel.stats();
     metrics_->ships += 1;
     metrics_->rows_shipped += edge.rows;
-    metrics_->bytes_shipped += bytes;
+    metrics_->bytes_shipped += edge.bytes;
     metrics_->network_ms += edge.network_ms;
+    metrics_->send_retries += edge.send_retries;
+    metrics_->dropped_batches += edge.dropped_batches;
+    metrics_->send_timeouts += edge.send_timeouts;
+    metrics_->recv_timeouts += edge.recv_timeouts;
+    metrics_->backoff_ms += edge.backoff_ms;
     metrics_->edges.push_back(edge);
-    return in;
+    return out;
   }
 
   const TableStore* store_;
   const NetworkModel* net_;
+  const ExecutorOptions* options_;
   ExecMetrics* metrics_;
 };
 
@@ -206,16 +220,35 @@ std::string FormatExecMetrics(const ExecMetrics& metrics,
      << metrics.ships << " ship edge(s), " << metrics.rows_shipped
      << " rows / " << metrics.bytes_shipped / 1024.0
      << " KB shipped, simulated WAN time " << metrics.network_ms << " ms\n";
+  if (metrics.send_retries != 0 || metrics.dropped_batches != 0 ||
+      metrics.send_timeouts != 0 || metrics.recv_timeouts != 0 ||
+      metrics.fragment_restarts != 0) {
+    os << "recovery: " << metrics.send_retries << " send retr"
+       << (metrics.send_retries == 1 ? "y" : "ies") << ", "
+       << metrics.dropped_batches << " dropped batch(es), "
+       << metrics.send_timeouts + metrics.recv_timeouts << " timeout(s), "
+       << metrics.fragment_restarts << " fragment restart(s), "
+       << metrics.backoff_ms << " ms backoff (shipped volume includes "
+       << "reattempts)\n";
+  }
   for (const ChannelStats& e : metrics.edges) {
     os << "  ship " << site_name(e.from) << " -> " << site_name(e.to)
        << ": " << e.rows << " rows / " << e.bytes / 1024.0 << " KB in "
        << e.batches << " batch(es), peak " << e.peak_in_flight
-       << " in flight, " << e.network_ms << " net ms\n";
+       << " in flight, " << e.network_ms << " net ms";
+    if (e.send_retries != 0 || e.dropped_batches != 0) {
+      os << ", " << e.send_retries << " retr"
+         << (e.send_retries == 1 ? "y" : "ies") << " / "
+         << e.dropped_batches << " dropped";
+    }
+    os << "\n";
   }
   for (const FragmentMetrics& f : metrics.fragments) {
     os << "  fragment #" << f.id << " @ " << site_name(f.site) << ": "
        << f.wall_ms << " ms wall, " << f.rows_scanned << " rows scanned, "
-       << f.rows_out << " rows out\n";
+       << f.rows_out << " rows out";
+    if (f.restarts != 0) os << ", " << f.restarts << " restart(s)";
+    os << "\n";
   }
   return os.str();
 }
@@ -225,7 +258,7 @@ Result<QueryResult> Executor::ExecutePlan(const PlanNode& plan) const {
     return ExecuteFragmentedPlan(plan, store_, net_, options_);
   }
   QueryResult result;
-  PlanInterpreter interp(store_, net_, &result.metrics);
+  PlanInterpreter interp(store_, net_, &options_, &result.metrics);
   CGQ_ASSIGN_OR_RETURN(RowBatch batch, interp.Exec(plan));
   for (const OutputCol& c : plan.outputs) result.column_names.push_back(c.name);
   result.rows = std::move(batch.rows);

@@ -42,6 +42,11 @@ struct ExecutorOptions {
   /// fragment on a thread pool, bounded channels. Results are identical
   /// at every setting.
   int threads = 0;
+  /// Send/recv timeouts, bounded retries with exponential backoff, and
+  /// the deterministic fault seed — the recovery knobs of both backends.
+  /// `retry.max_retries` also bounds restarts of a failed source
+  /// fragment.
+  RetryPolicy retry;
 };
 
 /// Wall time and output volume of one executed fragment.
@@ -51,6 +56,10 @@ struct FragmentMetrics {
   double wall_ms = 0;
   int64_t rows_out = 0;
   int64_t rows_scanned = 0;
+  /// Times the fragment was restarted after a transient failure. Every
+  /// restart re-ran at the same compliant site (`site`); recovery never
+  /// re-places a fragment.
+  int64_t restarts = 0;
 };
 
 /// Observed execution-side costs, driven by actual intermediate sizes (the
@@ -63,6 +72,15 @@ struct ExecMetrics {
   /// Simulated wall-clock of all transfers under the message cost model.
   double network_ms = 0;
   int64_t rows_scanned = 0;
+  /// Recovery accounting, aggregated over all edges and fragments. All
+  /// zero on a fault-free run; under injected faults, `rows_shipped` /
+  /// `bytes_shipped` above include every reattempted transmission.
+  int64_t send_retries = 0;
+  int64_t dropped_batches = 0;
+  int64_t send_timeouts = 0;
+  int64_t recv_timeouts = 0;
+  int64_t fragment_restarts = 0;
+  double backoff_ms = 0;
   /// One entry per SHIP edge, in plan post-order (row backend: one
   /// single-batch entry per executed SHIP).
   std::vector<ChannelStats> edges;

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 #include "exec/exec_internal.h"
 #include "exec/fragmenter.h"
@@ -33,11 +34,52 @@ struct RunState {
   std::vector<std::unique_ptr<ShipChannel>> channels;
   std::atomic<bool> failed{false};
 
-  void Fail() {
+  std::mutex error_mu;
+  Status first_error;
+
+  /// Records the first (temporally) failure and aborts every channel with
+  /// it, so blocked siblings wake up carrying the original structured
+  /// status rather than a generic secondary error.
+  void Fail(const Status& status) {
+    {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (first_error.ok()) first_error = status;
+    }
     failed.store(true, std::memory_order_release);
-    for (auto& ch : channels) ch->Abort();
+    for (auto& ch : channels) ch->Abort(status);
+  }
+
+  Status FirstError() {
+    std::lock_guard<std::mutex> lock(error_mu);
+    return first_error;
   }
 };
+
+/// The compliance guard of the recovery path: a fragment may only (re)run
+/// at the site the located plan assigned it, and that site must lie in
+/// the root operator's execution trait; the SHIP it feeds must target a
+/// site inside the shipping trait. Plans built outside the optimizer may
+/// carry empty (unannotated) traits, which the guard treats as
+/// unconstrained.
+Status CheckFragmentPlacement(const PlanFragment& fragment) {
+  const LocationSet& exec = fragment.root->exec_trait;
+  if (!exec.empty() && !exec.Contains(fragment.site)) {
+    return Status::Internal(
+        "compliance violation: fragment #" + std::to_string(fragment.id) +
+        " placed at l" + std::to_string(fragment.site) +
+        " outside its execution trait");
+  }
+  if (fragment.ship != nullptr) {
+    const LocationSet& ship_trait = fragment.ship->ship_trait;
+    if (!ship_trait.empty() && !ship_trait.Contains(fragment.ship->ship_to)) {
+      return Status::Internal(
+          "compliance violation: fragment #" + std::to_string(fragment.id) +
+          " ships to l" + std::to_string(fragment.ship->ship_to) +
+          " outside its shipping trait");
+    }
+  }
+  return Status::OK();
+}
 
 /// Pull-based batch operator: Next() returns the next (non-empty) batch of
 /// at most `batch_size` rows, an empty optional at end-of-stream, or an
@@ -101,9 +143,12 @@ class ChannelSourceOp : public BatchOp {
 
   Result<OptBatch> Next() override {
     RowBatch batch;
-    if (!channel_->Pop(&batch)) {
+    CGQ_ASSIGN_OR_RETURN(bool got, channel_->Recv(&batch));
+    if (!got) {
       if (failed_->load(std::memory_order_acquire)) {
-        return Status::Internal("fragment execution aborted");
+        Status abort = channel_->abort_status();
+        return abort.ok() ? Status::Internal("fragment execution aborted")
+                          : abort;
       }
       return OptBatch();
     }
@@ -466,6 +511,11 @@ Result<BatchOpPtr> BuildOp(const PlanNode& node, RunState* st,
 /// their output channel, the top fragment collects the query result.
 Status RunFragment(const PlanFragment& fragment, RunState* st,
                    FragmentMetrics* fm, std::vector<Row>* result_rows) {
+  if (CGQ_FAILPOINT("fragment.start")) {
+    return Status::Unavailable("injected failure: fragment #" +
+                               std::to_string(fragment.id) +
+                               " died at start");
+  }
   CGQ_ASSIGN_OR_RETURN(BatchOpPtr op, BuildOp(*fragment.root, st, fm));
   if (fragment.output_channel >= 0) {
     ShipChannel* channel = st->channels[fragment.output_channel].get();
@@ -474,9 +524,7 @@ Status RunFragment(const PlanFragment& fragment, RunState* st,
       if (!batch) break;
       if (batch->Empty()) continue;
       fm->rows_out += static_cast<int64_t>(batch->NumRows());
-      if (!channel->Push(std::move(*batch))) {
-        return Status::Internal("fragment execution aborted");
-      }
+      CGQ_RETURN_NOT_OK(channel->Send(std::move(*batch)));
     }
     channel->CloseProducer();
     return Status::OK();
@@ -514,30 +562,56 @@ Result<QueryResult> ExecuteFragmentedPlan(const PlanNode& plan,
   st.options = &options;
   st.fp = &fp;
   const size_t capacity =
-      sequential ? 0 : static_cast<size_t>(std::max(0, options.channel_capacity));
+      sequential ? 0
+                 : static_cast<size_t>(std::max(0, options.channel_capacity));
   st.channels.reserve(fp.num_channels());
   for (const PlanNode* ship : fp.ship_of_channel) {
     st.channels.push_back(std::make_unique<ShipChannel>(
-        ship->ship_from, ship->ship_to, capacity, net));
+        ship->ship_from, ship->ship_to, capacity, net, options.retry));
   }
 
-  std::vector<Status> statuses(n);
   std::vector<FragmentMetrics> fmetrics(n);
   std::vector<Row> result_rows;
 
   auto run = [&](size_t i) {
     auto start = std::chrono::steady_clock::now();
+    const PlanFragment& fragment = fp.fragments[i];
     FragmentMetrics& fm = fmetrics[i];
-    fm.id = fp.fragments[i].id;
-    fm.site = fp.fragments[i].site;
-    Status s = RunFragment(fp.fragments[i], &st, &fm, &result_rows);
+    fm.id = fragment.id;
+    fm.site = fragment.site;
+    // Recovery: a *source* fragment (no input channels; its inputs are
+    // idempotent scans of stable storage) may restart after a transient
+    // (kUnavailable) failure. Its output channel replays: partial
+    // undelivered batches are drained and the already-delivered row
+    // prefix of the deterministic re-execution is suppressed, so the
+    // consumer sees each row exactly once. Interior fragments rely on
+    // send-level retries; when those are exhausted, the query aborts
+    // with the structured status — never a partial result. Every attempt
+    // re-runs at the site the located plan assigned, re-checked against
+    // the execution/shipping traits.
+    const bool restartable = fragment.input_channels.empty();
+    const size_t result_base = result_rows.size();
+    Status s;
+    for (int attempt = 0;; ++attempt) {
+      s = CheckFragmentPlacement(fragment);
+      if (s.ok()) s = RunFragment(fragment, &st, &fm, &result_rows);
+      if (s.ok() || !s.IsUnavailable() || !restartable ||
+          attempt >= options.retry.max_retries ||
+          st.failed.load(std::memory_order_acquire)) {
+        break;
+      }
+      fm.restarts += 1;
+      if (fragment.output_channel >= 0) {
+        st.channels[fragment.output_channel]->BeginReplay();
+      } else {
+        // Top fragment: discard the partial result of the failed attempt.
+        result_rows.resize(result_base);
+      }
+    }
     fm.wall_ms = std::chrono::duration<double, std::milli>(
                      std::chrono::steady_clock::now() - start)
                      .count();
-    if (!s.ok()) {
-      statuses[i] = std::move(s);
-      st.Fail();
-    }
+    if (!s.ok()) st.Fail(s);
   };
 
   if (sequential) {
@@ -550,8 +624,8 @@ Result<QueryResult> ExecuteFragmentedPlan(const PlanNode& plan,
     pool.ParallelFor(n, n, run);
   }
 
-  for (const Status& s : statuses) {
-    CGQ_RETURN_NOT_OK(s);
+  if (st.failed.load(std::memory_order_acquire)) {
+    return st.FirstError();
   }
 
   QueryResult result;
@@ -567,10 +641,16 @@ Result<QueryResult> ExecuteFragmentedPlan(const PlanNode& plan,
     m.rows_shipped += stats.rows;
     m.bytes_shipped += stats.bytes;
     m.network_ms += stats.network_ms;
+    m.send_retries += stats.send_retries;
+    m.dropped_batches += stats.dropped_batches;
+    m.send_timeouts += stats.send_timeouts;
+    m.recv_timeouts += stats.recv_timeouts;
+    m.backoff_ms += stats.backoff_ms;
     m.edges.push_back(stats);
   }
   for (const FragmentMetrics& fm : fmetrics) {
     m.rows_scanned += fm.rows_scanned;
+    m.fragment_restarts += fm.restarts;
   }
   m.fragments = std::move(fmetrics);
   return result;

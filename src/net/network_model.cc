@@ -81,4 +81,30 @@ double NetworkModel::MarginalCost(LocationId from, LocationId to,
   return beta(from, to) * bytes;
 }
 
+void NetworkModel::SetLinkFault(LocationId from, LocationId to,
+                                LinkFault fault) {
+  CGQ_CHECK(from < alpha_.size() && to < alpha_.size());
+  if (fault.Healthy()) {
+    faults_.erase(LinkKey(from, to));
+  } else {
+    faults_[LinkKey(from, to)] = fault;
+  }
+}
+
+void NetworkModel::ClearLinkFaults() { faults_.clear(); }
+
+void NetworkModel::ApplyLossyProfile(double drop_probability,
+                                     double extra_latency_ms) {
+  LinkFault fault;
+  fault.drop_probability = drop_probability;
+  fault.extra_latency_ms = extra_latency_ms;
+  for (size_t i = 0; i < alpha_.size(); ++i) {
+    for (size_t j = 0; j < alpha_.size(); ++j) {
+      if (i == j) continue;
+      SetLinkFault(static_cast<LocationId>(i), static_cast<LocationId>(j),
+                   fault);
+    }
+  }
+}
+
 }  // namespace cgq

@@ -180,5 +180,252 @@ TEST(ShipChannelTest, ThreadedStressPreservesOrder) {
   }
 }
 
+// Regression for a latent shutdown race: a producer blocked in a
+// backpressured Send() while the channel is closed underneath it must wake
+// up and fail with a structured status instead of sleeping forever (or
+// silently "delivering" into a closed channel). Run under TSan to check
+// the wakeup ordering.
+TEST(ShipChannelTest, CloseDuringBlockedSendWakesSenderWithError) {
+  NetworkModel net(2, 1.0, 0.0);
+  ShipChannel ch(0, 1, /*capacity=*/1, &net);
+
+  ASSERT_TRUE(ch.Send(MakeBatch(0, 1)).ok());
+
+  std::atomic<bool> sender_started{false};
+  Status blocked_status;
+  std::thread producer([&] {
+    sender_started.store(true);
+    // Blocks on the full channel until CloseProducer() below.
+    blocked_status = ch.Send(MakeBatch(1, 1));
+  });
+
+  while (!sender_started.load()) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ch.CloseProducer();
+  producer.join();
+
+  EXPECT_FALSE(blocked_status.ok());
+  EXPECT_FALSE(ch.abort_status().ok());
+  // The failed handoff aborts the channel; nothing is delivered.
+  RowBatch out;
+  EXPECT_FALSE(ch.Pop(&out));
+}
+
+// Abort(status) carries the aborting fragment's error to both sides, so a
+// sibling that raced into Send/Recv reports the original failure instead
+// of a generic secondary error.
+TEST(ShipChannelTest, AbortStatusPropagatesToBothSides) {
+  NetworkModel net(2, 1.0, 0.0);
+  ShipChannel ch(0, 1, 0, &net);
+  ch.Abort(Status::Unavailable("site 1 went down"));
+
+  Status send = ch.Send(MakeBatch(0, 1));
+  ASSERT_FALSE(send.ok());
+  EXPECT_TRUE(send.IsUnavailable());
+  EXPECT_NE(send.message().find("site 1 went down"), std::string::npos);
+
+  RowBatch out;
+  auto recv = ch.Recv(&out);
+  ASSERT_FALSE(recv.ok());
+  EXPECT_TRUE(recv.status().IsUnavailable());
+}
+
+// A lossy link drops batches; Send retries them (re-paying the start-up
+// latency) until delivery. The deterministic per-edge stream makes the
+// retry schedule a pure function of the fault seed.
+TEST(ShipChannelTest, LossyLinkRetriesAreDeterministicAndAccounted) {
+  auto run = [](uint64_t seed) {
+    NetworkModel net(2, /*alpha_ms=*/10.0, /*beta_ms_per_byte=*/0.5);
+    LinkFault fault;
+    fault.drop_probability = 0.4;
+    net.SetLinkFault(0, 1, fault);
+    RetryPolicy retry;
+    retry.max_retries = 50;  // ample: p=0.4 cannot lose 50 in a row here
+    retry.fault_seed = seed;
+    ShipChannel ch(0, 1, 0, &net, retry);
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_TRUE(ch.Send(MakeBatch(i, 2)).ok());
+    }
+    ch.CloseProducer();
+    RowBatch out;
+    int rows = 0;
+    while (ch.Pop(&out)) rows += static_cast<int>(out.NumRows());
+    EXPECT_EQ(rows, 40);
+    return ch.stats();
+  };
+
+  ChannelStats a = run(7);
+  ChannelStats b = run(7);
+  ChannelStats c = run(8);
+  EXPECT_EQ(a.send_retries, b.send_retries);
+  EXPECT_EQ(a.dropped_batches, b.dropped_batches);
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_EQ(a.backoff_ms, b.backoff_ms);
+  // A different seed yields a different schedule; the accumulated jitter
+  // is a fine-grained fingerprint of the stream (total retry counts can
+  // coincide).
+  EXPECT_NE(a.backoff_ms, c.backoff_ms);
+
+  // Accounting includes reattempts: every transmission (delivered or
+  // dropped) is charged, and each retry re-pays alpha.
+  EXPECT_GT(a.send_retries, 0);
+  EXPECT_EQ(a.dropped_batches, a.send_retries);  // all retries succeeded
+  EXPECT_EQ(a.batches, 20 + a.dropped_batches);
+  EXPECT_GT(a.backoff_ms, 0.0);
+
+  NetworkModel clean(2, 10.0, 0.5);
+  ShipChannel base(0, 1, 0, &clean);
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(base.Push(MakeBatch(i, 2)));
+  base.CloseProducer();
+  EXPECT_GT(a.bytes, base.stats().bytes);
+  EXPECT_GT(a.network_ms, base.stats().network_ms);
+}
+
+// When the link drops everything, bounded retries run out and the send
+// fails with the typed transient-failure status — never a hang, never a
+// silent partial result.
+TEST(ShipChannelTest, ExhaustedRetriesFailUnavailable) {
+  NetworkModel net(2, 1.0, 0.0);
+  LinkFault fault;
+  fault.drop_probability = 1.0;
+  net.SetLinkFault(0, 1, fault);
+  RetryPolicy retry;
+  retry.max_retries = 3;
+  ShipChannel ch(0, 1, 0, &net, retry);
+
+  Status s = ch.Send(MakeBatch(0, 1));
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsUnavailable());
+  ChannelStats stats = ch.stats();
+  EXPECT_EQ(stats.dropped_batches, 4);  // first attempt + 3 retries
+  EXPECT_EQ(stats.send_retries, 3);
+  EXPECT_EQ(stats.batches, 4);  // every lost attempt was transmitted
+}
+
+// A hard link failure fails fast: no retries, no network charge (nothing
+// was transmitted).
+TEST(ShipChannelTest, DownLinkFailsFastWithoutCharge) {
+  NetworkModel net(2, 10.0, 0.5);
+  LinkFault fault;
+  fault.down = true;
+  net.SetLinkFault(0, 1, fault);
+  ShipChannel ch(0, 1, 0, &net);
+
+  Status s = ch.Send(MakeBatch(0, 4));
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsUnavailable());
+  ChannelStats stats = ch.stats();
+  EXPECT_EQ(stats.batches, 0);
+  EXPECT_EQ(stats.bytes, 0);
+  EXPECT_EQ(stats.send_retries, 0);
+}
+
+// Injected extra latency on a faulty-but-functional link raises the
+// simulated network time of every attempt.
+TEST(ShipChannelTest, ExtraLatencyIsCharged) {
+  NetworkModel net(2, 10.0, 0.5);
+  LinkFault fault;
+  fault.extra_latency_ms = 100.0;
+  net.SetLinkFault(0, 1, fault);
+  ShipChannel ch(0, 1, 0, &net);
+  RowBatch b = MakeBatch(0, 4);
+  double bytes = b.ByteSize();
+  ASSERT_TRUE(ch.Send(std::move(b)).ok());
+  ch.CloseProducer();
+  EXPECT_NEAR(ch.stats().network_ms, net.Cost(0, 1, bytes) + 100.0, 1e-9);
+}
+
+// A backpressured send that can't make progress within send_timeout_ms
+// burns a retry per timeout and eventually fails Unavailable — the channel
+// never deadlocks on a stuck consumer.
+TEST(ShipChannelTest, SendTimeoutIsBoundedAndTyped) {
+  NetworkModel net(2, 1.0, 0.0);
+  RetryPolicy retry;
+  retry.max_retries = 2;
+  retry.send_timeout_ms = 5;
+  ShipChannel ch(0, 1, /*capacity=*/1, &net, retry);
+
+  ASSERT_TRUE(ch.Send(MakeBatch(0, 1)).ok());
+  // Nobody consumes: the second send must give up on its own.
+  Status s = ch.Send(MakeBatch(1, 1));
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsUnavailable());
+  ChannelStats stats = ch.stats();
+  EXPECT_EQ(stats.send_timeouts, 3);  // first attempt + 2 retries
+  EXPECT_EQ(stats.batches, 1);        // timed-out waits transmit nothing
+}
+
+// Recv with a timeout on an idle channel reports Unavailable after
+// exhausting its bounded waits.
+TEST(ShipChannelTest, RecvTimeoutIsBoundedAndTyped) {
+  NetworkModel net(2, 1.0, 0.0);
+  RetryPolicy retry;
+  retry.max_retries = 1;
+  retry.recv_timeout_ms = 5;
+  ShipChannel ch(0, 1, 0, &net, retry);
+
+  RowBatch out;
+  auto r = ch.Recv(&out);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsUnavailable());
+  EXPECT_EQ(ch.stats().recv_timeouts, 2);
+}
+
+// BeginReplay models an idempotent producer restart: the deterministic
+// replay re-sends the whole stream, the channel suppresses the
+// already-delivered prefix, and the consumer sees every row exactly once.
+// Transmission stats keep the replayed traffic (a retransmission is a real
+// transfer).
+TEST(ShipChannelTest, ReplaySuppressesDeliveredPrefix) {
+  NetworkModel net(2, 10.0, 0.5);
+  ShipChannel ch(0, 1, 0, &net);
+
+  // First incarnation: 3 batches x 2 rows; consumer takes one batch, then
+  // the producer "dies" with two batches still queued.
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(ch.Send(MakeBatch(i * 2, 2)).ok());
+  RowBatch out;
+  ASSERT_TRUE(ch.Pop(&out));
+  ASSERT_EQ(out.NumRows(), 2u);
+
+  ch.BeginReplay();
+
+  // Replay re-sends the identical stream, with different batching to show
+  // suppression is by row count, not batch boundary.
+  ASSERT_TRUE(ch.Send(MakeBatch(0, 3)).ok());  // rows 0,1 suppressed; 2 kept
+  ASSERT_TRUE(ch.Send(MakeBatch(3, 3)).ok());
+  ch.CloseProducer();
+
+  std::vector<int64_t> seen;
+  while (ch.Pop(&out)) {
+    for (const Row& r : out.rows) seen.push_back(r[0].int64());
+  }
+  EXPECT_EQ(seen, (std::vector<int64_t>{2, 3, 4, 5}));
+
+  ChannelStats stats = ch.stats();
+  EXPECT_EQ(stats.replays, 1);
+  // 3 original sends + 2 replay sends were all transmitted.
+  EXPECT_EQ(stats.batches, 5);
+  EXPECT_EQ(stats.rows, 12);
+}
+
+// Send() on a healthy link is Push() plus a status: identical charging.
+TEST(ShipChannelTest, HealthySendMatchesPushAccounting) {
+  NetworkModel net = NetworkModel::DefaultGeo(5);
+  ShipChannel pushed(1, 3, 0, &net);
+  ShipChannel sent(1, 3, 0, &net);
+  for (int i = 0; i < 4; ++i) {
+    RowBatch b = MakeBatch(i, 5);
+    RowBatch c = b;
+    ASSERT_TRUE(pushed.Push(std::move(b)));
+    ASSERT_TRUE(sent.Send(std::move(c)).ok());
+  }
+  pushed.CloseProducer();
+  sent.CloseProducer();
+  EXPECT_EQ(sent.stats().bytes, pushed.stats().bytes);
+  EXPECT_EQ(sent.stats().network_ms, pushed.stats().network_ms);
+  EXPECT_EQ(sent.stats().batches, pushed.stats().batches);
+  EXPECT_EQ(sent.stats().send_retries, 0);
+}
+
 }  // namespace
 }  // namespace cgq

@@ -1,0 +1,165 @@
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cgq {
+namespace {
+
+// Every test starts and ends with a clean registry: failpoints are
+// process-wide state.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Failpoints::DisarmAll(); }
+  void TearDown() override { Failpoints::DisarmAll(); }
+};
+
+TEST_F(FailpointTest, UnarmedSiteNeverFires) {
+  EXPECT_FALSE(Failpoints::AnyArmed());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(CGQ_FAILPOINT("test.unarmed"));
+  }
+  EXPECT_EQ(Failpoints::Evaluations("test.unarmed"), 0);
+  EXPECT_EQ(Failpoints::Fires("test.unarmed"), 0);
+}
+
+// The macro's fast path is AnyArmed(): while nothing is armed, sites are
+// not even looked up. Arm the site afterwards and its counters still read
+// zero — the witness that unarmed evaluation costs no registry work.
+TEST_F(FailpointTest, InactiveEvaluationLeavesNoTrace) {
+  for (int i = 0; i < 1000; ++i) {
+    (void)CGQ_FAILPOINT("test.cold");
+  }
+  Failpoints::ArmOnce("test.cold");
+  EXPECT_EQ(Failpoints::Evaluations("test.cold"), 0);
+  EXPECT_EQ(Failpoints::Fires("test.cold"), 0);
+}
+
+// Arming one site must not make an unrelated site fire, even though the
+// process-wide gate is now open.
+TEST_F(FailpointTest, OnlyTheArmedSiteFires) {
+  Failpoints::ArmEveryN("test.armed", 1);
+  EXPECT_TRUE(Failpoints::AnyArmed());
+  EXPECT_FALSE(CGQ_FAILPOINT("test.other"));
+  EXPECT_TRUE(CGQ_FAILPOINT("test.armed"));
+  EXPECT_EQ(Failpoints::Evaluations("test.other"), 0);
+}
+
+TEST_F(FailpointTest, OncePolicyFiresExactlyOnce) {
+  Failpoints::ArmOnce("test.once");
+  EXPECT_TRUE(CGQ_FAILPOINT("test.once"));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(CGQ_FAILPOINT("test.once"));
+  }
+  EXPECT_EQ(Failpoints::Evaluations("test.once"), 51);
+  EXPECT_EQ(Failpoints::Fires("test.once"), 1);
+}
+
+TEST_F(FailpointTest, EveryNPolicyFiresOnMultiples) {
+  Failpoints::ArmEveryN("test.every3", 3);
+  std::vector<int> fired;
+  for (int i = 1; i <= 12; ++i) {
+    if (CGQ_FAILPOINT("test.every3")) fired.push_back(i);
+  }
+  EXPECT_EQ(fired, (std::vector<int>{3, 6, 9, 12}));
+  EXPECT_EQ(Failpoints::Fires("test.every3"), 4);
+}
+
+TEST_F(FailpointTest, ProbabilityPolicyIsSeedDeterministic) {
+  auto run = [](uint64_t seed) {
+    Failpoints::ArmProbability("test.prob", 0.3, seed);
+    std::vector<bool> pattern;
+    for (int i = 0; i < 200; ++i) {
+      pattern.push_back(CGQ_FAILPOINT("test.prob"));
+    }
+    Failpoints::Disarm("test.prob");
+    return pattern;
+  };
+  std::vector<bool> a = run(42);
+  std::vector<bool> b = run(42);
+  std::vector<bool> c = run(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+
+  int fires = 0;
+  for (bool f : a) fires += f;
+  // 200 draws at p=0.3: the exact count is seed-determined, but it should
+  // be in the statistically plausible band.
+  EXPECT_GT(fires, 30);
+  EXPECT_LT(fires, 90);
+}
+
+TEST_F(FailpointTest, ProbabilityExtremesAreExact) {
+  Failpoints::ArmProbability("test.never", 0.0, 7);
+  Failpoints::ArmProbability("test.always", 1.0, 7);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_FALSE(CGQ_FAILPOINT("test.never"));
+    EXPECT_TRUE(CGQ_FAILPOINT("test.always"));
+  }
+}
+
+// The registry lock serializes policy evaluation, so the total number of
+// fires across N evaluations is a pure function of the policy state —
+// regardless of how the evaluations interleave across threads.
+TEST_F(FailpointTest, CrossThreadFireCountIsDeterministic) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 250;
+
+  auto total_fires = [&](auto arm) {
+    arm();
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([] {
+        for (int i = 0; i < kPerThread; ++i) {
+          (void)CGQ_FAILPOINT("test.mt");
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    int64_t fires = Failpoints::Fires("test.mt");
+    EXPECT_EQ(Failpoints::Evaluations("test.mt"), kThreads * kPerThread);
+    Failpoints::Disarm("test.mt");
+    return fires;
+  };
+
+  EXPECT_EQ(total_fires([] { Failpoints::ArmOnce("test.mt"); }), 1);
+  EXPECT_EQ(total_fires([] { Failpoints::ArmEveryN("test.mt", 10); }),
+            kThreads * kPerThread / 10);
+
+  // Seeded probability: same (seed, p, N) -> same fire count, every run.
+  int64_t first =
+      total_fires([] { Failpoints::ArmProbability("test.mt", 0.25, 99); });
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_EQ(total_fires(
+                  [] { Failpoints::ArmProbability("test.mt", 0.25, 99); }),
+              first);
+  }
+}
+
+TEST_F(FailpointTest, DisarmStopsFiringAndRearmResetsCounters) {
+  Failpoints::ArmEveryN("test.rearm", 1);
+  EXPECT_TRUE(CGQ_FAILPOINT("test.rearm"));
+  Failpoints::Disarm("test.rearm");
+  EXPECT_FALSE(CGQ_FAILPOINT("test.rearm"));
+  EXPECT_EQ(Failpoints::Evaluations("test.rearm"), 0);
+
+  Failpoints::ArmOnce("test.rearm");
+  EXPECT_TRUE(CGQ_FAILPOINT("test.rearm"));
+  EXPECT_EQ(Failpoints::Evaluations("test.rearm"), 1);
+}
+
+TEST_F(FailpointTest, ArmedSitesAreListed) {
+  Failpoints::ArmOnce("test.b");
+  Failpoints::ArmOnce("test.a");
+  EXPECT_EQ(Failpoints::ArmedSites(),
+            (std::vector<std::string>{"test.a", "test.b"}));
+  Failpoints::DisarmAll();
+  EXPECT_TRUE(Failpoints::ArmedSites().empty());
+  EXPECT_FALSE(Failpoints::AnyArmed());
+}
+
+}  // namespace
+}  // namespace cgq

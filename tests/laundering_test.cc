@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
 #include "core/compliance_checker.h"
 #include "core/engine.h"
+#include "exec/executor.h"
 
 namespace cgq {
 namespace {
@@ -89,6 +91,114 @@ TEST_F(LaunderingTest, OptimizerNeverRoutesThroughRelay) {
   auto r = engine_->Optimize("SELECT name FROM cust", opts);
   ASSERT_FALSE(r.ok());
   EXPECT_TRUE(r.status().IsNonCompliant());
+}
+
+// ---------------------------------------------------------------------
+// Compliance under recovery: laundering must not become possible just
+// because a fragment failed and was retried. The executor re-checks the
+// execution/shipping traits on every (re)attempt, and recovery never
+// re-places a fragment.
+
+// A compliant located plan for the fixture: scan cust at n, ship to e,
+// with the traits the optimizer would annotate (cust may run at n and be
+// shipped to e, never to a).
+class RecoveryComplianceTest : public LaunderingTest {
+ protected:
+  void SetUp() override {
+    LaunderingTest::SetUp();
+    Failpoints::DisarmAll();
+    std::vector<Row> rows;
+    for (int64_t i = 0; i < 10; ++i) {
+      rows.push_back({Value::Int64(i),
+                      Value::String("c" + std::to_string(i))});
+    }
+    engine_->store().Put(0, "cust", std::move(rows));
+  }
+  void TearDown() override {
+    Failpoints::DisarmAll();
+    engine_->mutable_net().ClearLinkFaults();
+  }
+
+  PlanNodePtr AnnotatedPlan() {
+    PlanNodePtr scan = Scan();
+    scan->exec_trait = LocationSet::Single(0);
+    LocationSet allowed = LocationSet::Single(0);
+    allowed.Add(1);  // cust may stay at n or go to e; a is off-limits
+    scan->ship_trait = allowed;
+    PlanNodePtr ship = Ship(std::move(scan), 1);
+    ship->exec_trait = LocationSet::Single(1);
+    ship->ship_trait = allowed;
+    return ship;
+  }
+
+  Result<QueryResult> Execute(const PlanNodePtr& plan,
+                              const RetryPolicy& retry) {
+    ExecutorOptions opts;
+    opts.mode = ExecMode::kFragment;
+    opts.batch_size = 2;
+    opts.threads = 1;
+    opts.retry = retry;
+    Executor exec(&engine_->store(), &engine_->net(), opts);
+    return exec.ExecutePlan(*plan);
+  }
+};
+
+// A restarted fragment re-runs at its assigned compliant site — with a
+// lossy link and a fragment.start failure, the run recovers, and every
+// fragment (including the restarted one) stays where the located plan
+// put it.
+TEST_F(RecoveryComplianceTest, RestartedFragmentStaysAtCompliantSite) {
+  PlanNodePtr plan = AnnotatedPlan();
+  LinkFault fault;
+  fault.drop_probability = 0.3;
+  engine_->mutable_net().SetLinkFault(0, 1, fault);
+  Failpoints::ArmOnce("fragment.start");
+
+  RetryPolicy retry;
+  retry.max_retries = 25;
+  retry.fault_seed = 11;
+  auto r = Execute(plan, retry);
+  ASSERT_TRUE(r.ok()) << r.status();
+
+  EXPECT_EQ(r->rows.size(), 10u);
+  EXPECT_EQ(r->metrics.fragment_restarts, 1);
+  // The producer fragment re-ran at n (site 0) and its retried ships all
+  // targeted e (site 1): no edge outside the annotated traits appears.
+  for (const FragmentMetrics& f : r->metrics.fragments) {
+    EXPECT_TRUE(f.site == 0 || f.site == 1);
+  }
+  for (const ChannelStats& e : r->metrics.edges) {
+    EXPECT_EQ(e.from, 0);
+    EXPECT_EQ(e.to, 1);
+    EXPECT_NE(e.to, 2);  // never the forbidden site, retries included
+  }
+}
+
+// Tampering the execution trait so the fragment's site is no longer legal
+// turns every attempt (first or restarted) into a typed compliance
+// violation — recovery cannot be used to run data at a forbidden site.
+TEST_F(RecoveryComplianceTest, ExecutionOutsideTraitIsRejected) {
+  PlanNodePtr plan = AnnotatedPlan();
+  plan->child(0)->exec_trait = LocationSet::Single(2);  // excludes n
+  auto r = Execute(plan, RetryPolicy());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("compliance violation"),
+            std::string::npos)
+      << r.status();
+  EXPECT_NE(r.status().message().find("execution trait"),
+            std::string::npos);
+}
+
+// Same for the shipping trait: a ship edge whose destination lies outside
+// the trait is refused before any batch moves, so retries can never
+// deliver data to a site the policies exclude.
+TEST_F(RecoveryComplianceTest, ShipOutsideTraitIsRejected) {
+  PlanNodePtr plan = AnnotatedPlan();
+  plan->ship_trait = LocationSet::Single(0);  // e no longer allowed
+  auto r = Execute(plan, RetryPolicy());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("shipping trait"), std::string::npos)
+      << r.status();
 }
 
 TEST_F(LaunderingTest, AggregationAtRelaySiteUsesRelayPolicies) {
