@@ -13,6 +13,7 @@
 #include <string>
 
 #include "bench_util.h"
+#include "common/trace.h"
 #include "core/optimizer.h"
 #include "core/policy_evaluator.h"
 #include "exec/executor.h"
@@ -238,6 +239,7 @@ int ExecutionBench(const bench::BenchOptions& opts,
           .Set("timeouts", result->metrics.send_timeouts +
                                result->metrics.recv_timeouts)
           .Set("fragment_restarts", result->metrics.fragment_restarts);
+      bench::SetPhaseTimings(jrow, result->opt_stats, result->metrics);
       if (speedup > 0) {
         jrow.Set("speedup", speedup);
         speedups.push_back(speedup);
@@ -259,6 +261,44 @@ int ExecutionBench(const bench::BenchOptions& opts,
         .Set("queries", speedups.size())
         .Set("geomean_speedup", geomean);
     report->Add(summary);
+  }
+
+  // One representative Chrome trace (Q3, fragment backend) for tooling
+  // and the CI artifact check. With CGQ_TRACING=OFF the spans compile
+  // out and the file still holds valid (empty) trace_event JSON.
+  if (!opts.trace_out.empty()) {
+    const std::string sql = *tpch::Query(3);
+    TraceSession session(sql, TraceClock::kDeterministic);
+    {
+      ScopedTraceContext ctx(&session);
+      TraceSpan root("query");
+      QueryOptimizer optimizer(&*catalog, &policies, &net, {});
+      auto opt = optimizer.Optimize(sql);
+      if (!opt.ok()) {
+        root.AddArg("status", opt.status().ToString());
+      } else {
+        ExecutorOptions eopts;
+        eopts.mode = ExecMode::kFragment;
+        eopts.batch_size = opts.batch_size;
+        eopts.threads = opts.threads;
+        Executor executor(&store, &net, eopts);
+        auto result = executor.Execute(*opt);
+        if (result.ok()) {
+          root.AddArg("rows", static_cast<int64_t>(result->rows.size()));
+        }
+      }
+    }
+    std::string json = session.ToChromeJson();
+    std::FILE* f = std::fopen(opts.trace_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", opts.trace_out.c_str());
+      ++failures;
+    } else {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("\ntrace (%zu spans) written to %s\n",
+                  session.span_count(), opts.trace_out.c_str());
+    }
   }
   return failures;
 }

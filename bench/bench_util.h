@@ -89,6 +89,7 @@ inline const char* FaultProfileArgToString(FaultProfileArg p) {
 ///   --batch-size=N     rows per batch for the fragment backend
 ///   --fault-profile=P  none | lossy (default none)
 ///   --fault-seed=N     seed of the deterministic fault schedule
+///   --trace-out=PATH   write one Chrome trace_event JSON file to PATH
 struct BenchOptions {
   int threads = 4;
   int reps = 7;
@@ -98,6 +99,7 @@ struct BenchOptions {
   int batch_size = 1024;
   FaultProfileArg fault_profile = FaultProfileArg::kNone;
   uint64_t fault_seed = 20260807;
+  std::string trace_out;
 
   static BenchOptions Parse(int argc, char** argv) {
     BenchOptions o;
@@ -140,12 +142,15 @@ struct BenchOptions {
         }
       } else if (std::strncmp(a, "--fault-seed=", 13) == 0) {
         o.fault_seed = std::strtoull(a + 13, nullptr, 10);
+      } else if (std::strncmp(a, "--trace-out=", 12) == 0) {
+        o.trace_out = a + 12;
       } else {
         std::fprintf(stderr,
                      "unknown argument '%s' "
                      "(--threads=N --reps=N --tiny --json=PATH "
                      "--exec-mode=row|fragment|both --batch-size=N "
-                     "--fault-profile=none|lossy --fault-seed=N)\n",
+                     "--fault-profile=none|lossy --fault-seed=N "
+                     "--trace-out=PATH)\n",
                      a);
         std::exit(2);
       }
@@ -169,6 +174,24 @@ struct BenchOptions {
     return {};
   }
 };
+
+class JsonRow;
+
+/// Adds the per-phase timing breakdown of one optimized + executed query
+/// to a result row (alongside, never instead of, the aggregate fields a
+/// bench already emits). `opt` is an OptimizationStats, `metrics` an
+/// ExecMetrics; templated so this header stays free of engine includes.
+template <typename Row, typename OptStats, typename Metrics>
+inline void SetPhaseTimings(Row& row, const OptStats& opt,
+                            const Metrics& metrics) {
+  row.Set("opt_prepare_ms", opt.prepare_ms)
+      .Set("opt_explore_ms", opt.explore_ms)
+      .Set("opt_annotate_ms", opt.annotate_ms)
+      .Set("opt_site_ms", opt.site_ms)
+      .Set("opt_total_ms", opt.total_ms)
+      .Set("exec_wall_ms", metrics.exec_wall_ms)
+      .Set("network_ms", metrics.network_ms);
+}
 
 /// Builds one flat JSON object ({"k": v, ...}); values typed per setter.
 class JsonRow {

@@ -47,6 +47,8 @@ void PrintResult(const QueryResult& result,
   }
   std::printf("-- %zu row(s)\n", result.rows.size());
   std::printf("%s", FormatExecMetrics(result.metrics, locations).c_str());
+  std::printf("%s", FormatPhaseTimings(result.opt_stats,
+                                       result.metrics).c_str());
 }
 
 void Help() {
@@ -67,6 +69,7 @@ void Help() {
       "  set <T|C|CR|CRA|open>;       switch policy set\n"
       "  exec <row|fragment>;         switch execution backend\n"
       "  faults <p|off>;              lossy links: drop probability p\n"
+      "  trace <file|off>;            write Chrome trace JSON per query\n"
       "  tables;                      list tables\n"
       "  help; quit;\n");
 }
@@ -113,6 +116,7 @@ int main() {
               config.scale_factor);
 
   std::string buffer, line;
+  std::string trace_path;
   while (true) {
     std::printf(buffer.empty() ? "cgq> " : "...> ");
     std::fflush(stdout);
@@ -282,10 +286,17 @@ int main() {
         for (const std::string& v : r->violations) {
           std::printf("  violation: %s\n", v.c_str());
         }
+        std::printf("%s", FormatPhaseTimings(r->stats, ExecMetrics()).c_str());
         continue;
       }
       if (lower.rfind("select", 0) == 0) {
         auto r = engine.Run(command);
+        if (engine.tracing() && !trace_path.empty()) {
+          Status ts = engine.DumpTraceToFile(trace_path);
+          std::printf("%s\n",
+                      ts.ok() ? ("trace written to " + trace_path).c_str()
+                              : ts.ToString().c_str());
+        }
         if (!r.ok()) {
           std::printf("%s\n", r.status().ToString().c_str());
           continue;
@@ -305,6 +316,21 @@ int main() {
         }
         std::printf("execution backend: %s\n",
                     ExecModeToString(engine.default_exec_options().mode));
+        continue;
+      }
+      if (lower.rfind("trace", 0) == 0) {
+        std::string arg(Trim(command.substr(5)));
+        if (arg.empty() || arg == "off") {
+          engine.set_tracing(false);
+          trace_path.clear();
+          std::printf("tracing off\n");
+        } else {
+          trace_path = arg;
+          engine.set_tracing(true);
+          std::printf("tracing on: every query writes Chrome trace JSON "
+                      "to '%s' (open in chrome://tracing or "
+                      "ui.perfetto.dev)\n", trace_path.c_str());
+        }
         continue;
       }
       if (lower.rfind("faults", 0) == 0) {

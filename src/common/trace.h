@@ -1,0 +1,268 @@
+#ifndef CGQ_COMMON_TRACE_H_
+#define CGQ_COMMON_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cgq {
+
+/// Process-wide registry of named monotonic counters and gauges.
+///
+/// Cost model: `CGQ_COUNTER_ADD("exec.ships", n)` resolves the counter
+/// cell once per call site (function-local static) and then performs a
+/// single relaxed atomic add — no lock, no map lookup on the fast path.
+/// With CGQ_TRACING=OFF the macros compile to nothing and the registry
+/// stays empty, mirroring the failpoint design.
+///
+/// Naming scheme: `<component>.<metric>` with lowercase snake_case
+/// metric names — e.g. `exec.rows_shipped`, `optimizer.implication_tests`,
+/// `site_selector.memo_hits`. Counters are monotonic sums; gauges hold
+/// the most recently Set() value.
+class MetricsRegistry {
+ public:
+  class Counter {
+   public:
+    void Add(int64_t delta) {
+      value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    int64_t Get() const { return value_.load(std::memory_order_relaxed); }
+
+   private:
+    friend class MetricsRegistry;
+    std::atomic<int64_t> value_{0};
+  };
+
+  class Gauge {
+   public:
+    void Set(int64_t value) {
+      value_.store(value, std::memory_order_relaxed);
+    }
+    int64_t Get() const { return value_.load(std::memory_order_relaxed); }
+
+   private:
+    friend class MetricsRegistry;
+    std::atomic<int64_t> value_{0};
+  };
+
+  /// Returns the (process-lifetime) cell for `name`, registering it on
+  /// first use. A name is either a counter or a gauge, never both.
+  static Counter* GetCounter(const std::string& name);
+  static Gauge* GetGauge(const std::string& name);
+
+  /// Current value of `name`; 0 when the metric was never registered.
+  static int64_t Value(const std::string& name);
+
+  /// All registered metrics with their current values, sorted by name.
+  static std::vector<std::pair<std::string, int64_t>> Snapshot();
+
+  /// Resets every registered metric to 0 (cells stay registered so
+  /// cached pointers remain valid). Test-only.
+  static void ResetForTest();
+};
+
+/// Which timestamps a TraceSession records.
+enum class TraceClock {
+  /// Virtual time: at dump time spans are renumbered by a deterministic
+  /// depth-first walk (children ordered by (ordinal, begin id)), so the
+  /// serialized trace is byte-stable across runs with the same seed and
+  /// thread count. This is the default: the repo's NetworkModel simulates
+  /// WAN latency, so virtual ticks are the meaningful axis.
+  kDeterministic,
+  /// Wall-clock microseconds since the session started. Use when real
+  /// latency attribution matters more than reproducibility.
+  kWall,
+};
+
+/// One recorded span, resolved into canonical (deterministic) order.
+struct CanonicalSpan {
+  std::string name;
+  std::string path;   ///< "/"-joined names, e.g. "query/optimize/bind".
+  int depth = 0;      ///< 0 for roots.
+  int ordinal = -1;   ///< Sibling sort key; -1 = creation order.
+  int track = 0;      ///< Chrome "tid": 0 = driver, 1+N = worker lanes.
+  int64_t ts = 0;     ///< Canonical begin (ticks or microseconds).
+  int64_t dur = 1;    ///< Canonical duration (>= 1 tick).
+  /// Argument key → pre-rendered JSON value ("3", "1.5", "\"CA\"").
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// A per-query trace: a tree of timed spans plus their arguments.
+///
+/// Thread safety: BeginSpan/EndSpan/AddSpanArg may be called from any
+/// thread (one mutex, off the per-row hot path — spans are per phase,
+/// per fragment and per ship edge, never per batch). Determinism: span
+/// ids are handed out in creation order; concurrent siblings (fragments,
+/// prewarm items) pass an explicit `ordinal` so the canonical order is
+/// independent of thread interleaving.
+class TraceSession {
+ public:
+  explicit TraceSession(std::string label,
+                        TraceClock clock = TraceClock::kDeterministic);
+
+  /// Starts a span and returns its id. `parent` is the id of the
+  /// enclosing span (-1 for a root). Prefer the RAII `TraceSpan`.
+  int64_t BeginSpan(const char* name, int64_t parent, int ordinal,
+                    int track);
+  void EndSpan(int64_t id);
+  void AddSpanArg(int64_t id, const char* key, int64_t value);
+  void AddSpanArg(int64_t id, const char* key, double value);
+  void AddSpanArg(int64_t id, const char* key, const std::string& value);
+
+  /// Spans in canonical order (deterministic preorder). Ends any span
+  /// still open at the time of the call.
+  std::vector<CanonicalSpan> CanonicalSpans() const;
+
+  /// Serializes the session as Chrome trace_event JSON (load via
+  /// chrome://tracing or https://ui.perfetto.dev). With
+  /// TraceClock::kDeterministic the output is byte-identical across runs
+  /// with the same seed and thread count.
+  std::string ToChromeJson() const;
+
+  size_t span_count() const;
+  const std::string& label() const { return label_; }
+  TraceClock clock() const { return clock_; }
+
+  /// The session installed on the calling thread by ScopedTraceContext
+  /// (nullptr when tracing is off or no context is installed).
+  static TraceSession* Current();
+  /// Id of the innermost open span on the calling thread (-1 if none).
+  static int64_t CurrentSpanId();
+  /// Track (worker lane) installed on the calling thread.
+  static int CurrentTrack();
+
+ private:
+  friend class TraceSpan;
+  friend class ScopedTraceContext;
+
+  struct SpanRecord {
+    std::string name;
+    int64_t parent = -1;
+    int ordinal = -1;
+    int track = 0;
+    int64_t begin_us = 0;
+    int64_t end_us = -1;  ///< -1 while open.
+    std::vector<std::pair<std::string, std::string>> args;
+  };
+
+  int64_t NowUs() const;
+
+  std::string label_;
+  TraceClock clock_;
+  std::chrono::steady_clock::time_point start_;
+  mutable std::mutex mu_;
+  mutable std::vector<SpanRecord> spans_;
+};
+
+#ifdef CGQ_TRACING
+
+/// Installs `session` as the calling thread's trace context for the
+/// current scope. Worker threads do not inherit the spawning thread's
+/// context, so parallel regions re-install it inside the worker body:
+///
+///   TraceSession* t = TraceSession::Current();
+///   int64_t parent = TraceSession::CurrentSpanId();
+///   pool->ParallelFor(n, w, [&](size_t i) {
+///     ScopedTraceContext ctx(t, parent, /*track=*/int(i) + 1);
+///     TraceSpan span("fragment", /*ordinal=*/int(i));
+///     ...
+///   });
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(TraceSession* session, int64_t parent = -1,
+                              int track = 0);
+  ~ScopedTraceContext();
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceSession* prev_session_;
+  int64_t prev_span_;
+  int prev_track_;
+};
+
+/// RAII span: begins at construction against the thread's current trace
+/// context and ends at destruction (or an earlier End()). A no-op when
+/// no context is installed, so instrumented code needs no tracing-mode
+/// checks. Spans on one thread must end in LIFO order.
+///
+/// `ordinal` orders concurrent siblings deterministically; leave it -1
+/// for spans created sequentially on one thread.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, int ordinal = -1);
+  ~TraceSpan() { End(); }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  void AddArg(const char* key, int64_t value);
+  void AddArg(const char* key, int value) {
+    AddArg(key, static_cast<int64_t>(value));
+  }
+  void AddArg(const char* key, double value);
+  void AddArg(const char* key, const std::string& value);
+  void End();
+
+  bool active() const { return session_ != nullptr; }
+  int64_t id() const { return id_; }
+
+ private:
+  TraceSession* session_ = nullptr;
+  int64_t id_ = -1;
+  int64_t prev_span_ = -1;
+  bool ended_ = false;
+};
+
+/// Adds `delta` to the named process-wide counter. `name` must be a
+/// string literal (the resolved cell is cached per call site).
+#define CGQ_COUNTER_ADD(name, delta)                                  \
+  do {                                                                \
+    static ::cgq::MetricsRegistry::Counter* const cgq_counter_cell_ = \
+        ::cgq::MetricsRegistry::GetCounter(name);                     \
+    cgq_counter_cell_->Add(delta);                                    \
+  } while (0)
+
+/// Sets the named process-wide gauge. `name` must be a string literal.
+#define CGQ_GAUGE_SET(name, value)                                \
+  do {                                                            \
+    static ::cgq::MetricsRegistry::Gauge* const cgq_gauge_cell_ = \
+        ::cgq::MetricsRegistry::GetGauge(name);                   \
+    cgq_gauge_cell_->Set(value);                                  \
+  } while (0)
+
+#else  // !CGQ_TRACING
+
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(TraceSession*, int64_t = -1, int = 0) {}
+};
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char*, int = -1) {}
+  void AddArg(const char*, int64_t) {}
+  void AddArg(const char*, int) {}
+  void AddArg(const char*, double) {}
+  void AddArg(const char*, const std::string&) {}
+  void End() {}
+  bool active() const { return false; }
+  int64_t id() const { return -1; }
+};
+
+#define CGQ_COUNTER_ADD(name, delta) \
+  do {                               \
+  } while (0)
+#define CGQ_GAUGE_SET(name, value) \
+  do {                             \
+  } while (0)
+
+#endif  // CGQ_TRACING
+
+}  // namespace cgq
+
+#endif  // CGQ_COMMON_TRACE_H_

@@ -1,0 +1,60 @@
+#include "core/engine.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace cgq {
+
+Result<QueryResult> Engine::Run(const std::string& sql,
+                                OptimizerOptions options,
+                                ExecutorOptions exec_options) const {
+  if (!tracing_) {
+    CGQ_ASSIGN_OR_RETURN(OptimizedQuery q, Optimize(sql, options));
+    Executor executor(&store_, net_.get(), exec_options);
+    Result<QueryResult> result = executor.Execute(q);
+    CGQ_COUNTER_ADD("engine.queries", 1);
+    return result;
+  }
+
+  auto session = std::make_unique<TraceSession>(sql, trace_clock_);
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    ScopedTraceContext ctx(session.get());
+    TraceSpan root("query");
+    Result<OptimizedQuery> q = Optimize(sql, options);
+    if (!q.ok()) {
+      root.AddArg("status", q.status().ToString());
+      return q.status();
+    }
+    Executor executor(&store_, net_.get(), exec_options);
+    Result<QueryResult> r = executor.Execute(*q);
+    if (r.ok()) root.AddArg("rows", static_cast<int64_t>(r->rows.size()));
+    return r;
+  }();
+  CGQ_COUNTER_ADD("engine.queries", 1);
+  if (!result.ok()) CGQ_COUNTER_ADD("engine.rejected", 1);
+  last_trace_ = std::move(session);
+  return result;
+}
+
+std::string Engine::DumpTrace() const {
+  if (last_trace_ == nullptr) {
+    return "{\"traceEvents\":[]}\n";
+  }
+  return last_trace_->ToChromeJson();
+}
+
+Status Engine::DumpTraceToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open trace file '" + path + "'");
+  }
+  std::string json = DumpTrace();
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::Internal("short write to trace file '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace cgq

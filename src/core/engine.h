@@ -5,6 +5,7 @@
 #include <string>
 
 #include "catalog/catalog.h"
+#include "common/trace.h"
 #include "core/optimizer.h"
 #include "core/policy.h"
 #include "exec/executor.h"
@@ -83,6 +84,30 @@ class Engine {
     default_exec_options_.retry = retry;
   }
 
+  /// Enables per-query tracing: each Run() records a TraceSession whose
+  /// spans cover parse, policy evaluation, annotation (AR1-AR4), site
+  /// selection, the compliance check, per-fragment execution and every
+  /// ship edge. Retrieve via last_trace()/DumpTrace(). Requires a build
+  /// with CGQ_TRACING=ON (the default); a no-op otherwise.
+  void set_tracing(bool enabled) { tracing_ = enabled; }
+  bool tracing() const { return tracing_; }
+
+  /// Timestamp mode for recorded traces. The default, kDeterministic,
+  /// renumbers spans with virtual ticks at dump time so the serialized
+  /// trace is byte-identical across runs with the same seed and thread
+  /// count; kWall records microseconds.
+  void set_trace_clock(TraceClock clock) { trace_clock_ = clock; }
+
+  /// The trace of the most recent traced Run(); nullptr before the first
+  /// one (or when tracing is off).
+  const TraceSession* last_trace() const { return last_trace_.get(); }
+
+  /// Serializes the last trace as Chrome trace_event JSON (load in
+  /// chrome://tracing or https://ui.perfetto.dev). Empty event list when
+  /// no traced query has run.
+  std::string DumpTrace() const;
+  Status DumpTraceToFile(const std::string& path) const;
+
   /// Optimizes under the compliance-based optimizer. Fails with
   /// kNonCompliant when no compliant plan exists.
   Result<OptimizedQuery> Optimize(const std::string& sql) const {
@@ -104,11 +129,7 @@ class Engine {
     return Run(sql, options, default_exec_options_);
   }
   Result<QueryResult> Run(const std::string& sql, OptimizerOptions options,
-                          ExecutorOptions exec_options) const {
-    CGQ_ASSIGN_OR_RETURN(OptimizedQuery q, Optimize(sql, options));
-    Executor executor(&store_, net_.get(), exec_options);
-    return executor.Execute(q);
-  }
+                          ExecutorOptions exec_options) const;
 
  private:
   OptimizerOptions default_options_;
@@ -117,6 +138,11 @@ class Engine {
   std::unique_ptr<NetworkModel> net_;
   std::unique_ptr<PolicyCatalog> policies_;
   TableStore store_;
+  bool tracing_ = false;
+  TraceClock trace_clock_ = TraceClock::kDeterministic;
+  /// Owned by the engine so shells/benches can dump after Run returns;
+  /// mutable because tracing is observability, not query semantics.
+  mutable std::unique_ptr<TraceSession> last_trace_;
 };
 
 }  // namespace cgq

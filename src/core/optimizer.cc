@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "common/trace.h"
 #include "core/plan_annotator.h"
 #include "core/site_selector.h"
 #include "optimizer/cardinality.h"
@@ -23,32 +24,44 @@ double ElapsedMs(std::chrono::steady_clock::time_point start) {
 }  // namespace
 
 Result<OptimizedQuery> QueryOptimizer::Optimize(const std::string& sql) const {
-  CGQ_ASSIGN_OR_RETURN(QueryAst ast, ParseQuery(sql));
-  return OptimizeAst(ast);
+  TraceSpan parse_span("parse");
+  Result<QueryAst> ast = ParseQuery(sql);
+  parse_span.End();
+  CGQ_RETURN_NOT_OK(ast.status());
+  return OptimizeAst(*ast);
 }
 
 Result<OptimizedQuery> QueryOptimizer::OptimizeAst(const QueryAst& ast) const {
   OptimizedQuery out;
   auto t_total = std::chrono::steady_clock::now();
+  TraceSpan optimize_span("optimize");
 
   // 1. Bind + normalize.
   auto t0 = std::chrono::steady_clock::now();
+  TraceSpan bind_span("bind");
   PlannerContext ctx(catalog_);
   CGQ_ASSIGN_OR_RETURN(LogicalPlan logical, PlanQueryAst(ast, &ctx));
+  bind_span.End();
   out.stats.prepare_ms = ElapsedMs(t0);
 
   // 2. Memo exploration (transformation rules to fixpoint).
   t0 = std::chrono::steady_clock::now();
+  TraceSpan explore_span("explore");
   CardinalityEstimator estimator(&ctx);
   Memo memo(&ctx, &estimator);
   int root_group = memo.InsertTree(*logical.root);
   memo.Explore(options_.enable_agg_pushdown);
+  explore_span.AddArg("memo_groups",
+                      static_cast<int64_t>(memo.num_groups()));
+  explore_span.AddArg("memo_exprs", static_cast<int64_t>(memo.num_exprs()));
+  explore_span.End();
   out.stats.explore_ms = ElapsedMs(t0);
   out.stats.memo_groups = memo.num_groups();
   out.stats.memo_exprs = memo.num_exprs();
 
   // 3. Phase 1: plan annotator.
   t0 = std::chrono::steady_clock::now();
+  TraceSpan annotate_span("annotate");
   PolicyEvaluator evaluator(catalog_, policies_);
   if (!options_.implication_cache) evaluator.set_implication_cache(nullptr);
   int width = options_.threads == 0
@@ -67,6 +80,7 @@ Result<OptimizedQuery> QueryOptimizer::OptimizeAst(const QueryAst& ast) const {
       annotator.BestPlan(root_group, options_.compliant
                                          ? options_.required_result
                                          : LocationSet()));
+  annotate_span.End();
   out.stats.annotate_ms = ElapsedMs(t0);
   out.phase1_cost = annotated->local_cost;
 
@@ -84,15 +98,26 @@ Result<OptimizedQuery> QueryOptimizer::OptimizeAst(const QueryAst& ast) const {
   out.result_location = sited.result_location;
 
   // 5. Independent compliance verdict (Definition 1).
+  TraceSpan compliance_span("compliance_check");
   ComplianceReport report =
       CheckCompliance(*out.plan, evaluator, catalog_->locations());
   out.compliant = report.compliant;
   out.violations = std::move(report.violations);
+  compliance_span.AddArg("compliant", static_cast<int64_t>(out.compliant));
+  compliance_span.AddArg("violations",
+                         static_cast<int64_t>(out.violations.size()));
+  compliance_span.End();
 
   out.order_by = logical.order_by;
   out.limit = logical.limit;
   out.stats.policy = evaluator.stats();
   out.stats.total_ms = ElapsedMs(t_total);
+  optimize_span.End();
+  CGQ_COUNTER_ADD("optimizer.queries", 1);
+  CGQ_COUNTER_ADD("optimizer.implication_tests",
+                  out.stats.policy.implication_tests);
+  CGQ_COUNTER_ADD("optimizer.implication_cache_hits",
+                  out.stats.policy.implication_cache_hits);
   return out;
 }
 

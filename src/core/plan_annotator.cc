@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace cgq {
 
@@ -39,7 +40,11 @@ LocationSet PlanAnnotator::Ar4Trait(int group_id, LocationSet sources) {
   if (!g.summary.spg_valid || sources.Count() != 1) return LocationSet();
   LocationId db = sources.ToVector().front();
   auto it = g.ar4_cache.find(db);
-  if (it != g.ar4_cache.end()) return it->second;
+  if (it != g.ar4_cache.end()) {
+    ++rules_.ar4_cache_hits;
+    return it->second;
+  }
+  ++rules_.ar4_evaluations;
   LocationSet result = evaluator_->Evaluate(g.summary, db);
   g.ar4_cache.emplace(db, result);
   return result;
@@ -96,8 +101,18 @@ void PlanAnnotator::PrewarmAr4(int root_group) {
 
   // Each task writes only its result slot; the group caches are filled
   // sequentially afterwards (unordered_map insertion is not thread-safe).
+  // Workers do not inherit the caller's trace context, so it is
+  // re-installed per item; the item ordinal keeps the span order
+  // deterministic under any scheduling.
+  TraceSession* trace = TraceSession::Current();
+  int64_t trace_parent = TraceSession::CurrentSpanId();
+  int trace_track = TraceSession::CurrentTrack();
   std::vector<LocationSet> results(items.size());
   pool_->ParallelFor(items.size(), static_cast<size_t>(width_), [&](size_t i) {
+    ScopedTraceContext ctx(trace, trace_parent, trace_track);
+    TraceSpan item_span("ar4_item", static_cast<int>(i));
+    item_span.AddArg("group", items[i].group);
+    item_span.AddArg("db", static_cast<int64_t>(items[i].db));
     results[i] =
         evaluator_->Evaluate(memo_->group(items[i].group).summary, items[i].db);
   });
@@ -179,6 +194,8 @@ const std::vector<Winner>& PlanAnnotator::Winners(int group_id) {
 
     // Compliant mode: enumerate combinations of child winners.
     if (expr.child_groups.empty()) {
+      ++rules_.ar1_leaves;
+      ++rules_.ar3_unions;
       Winner w;
       w.exec_trait = LocationSet::Single(expr.payload->scan_location);  // AR1
       w.sources = w.exec_trait;
@@ -217,7 +234,9 @@ const std::vector<Winner>& PlanAnnotator::Winners(int group_id) {
         sources = sources.Union(cw.sources);
         cost += cw.cost;
       }
+      ++rules_.ar2_intersections;
       if (!exec.empty()) {  // compliance-based cost function: ∞ otherwise
+        ++rules_.ar3_unions;
         Winner w;
         w.exec_trait = exec;
         w.sources = sources;
@@ -294,9 +313,32 @@ PlanNodePtr PlanAnnotator::Extract(int group_id, const Winner& winner) {
 Result<PlanNodePtr> PlanAnnotator::BestPlan(int root_group,
                                             LocationSet required_result) {
   if (mode_ == Mode::kCompliant && pool_ != nullptr && width_ > 1) {
+    TraceSpan prewarm_span("annotate.prewarm_ar4");
     PrewarmAr4(root_group);
   }
+  TraceSpan search_span("annotate.search");
   const std::vector<Winner>& winners = Winners(root_group);
+  search_span.AddArg("root_winners", static_cast<int64_t>(winners.size()));
+  search_span.End();
+  // Retrospective per-rule attribution: one marker span per annotation
+  // rule with its application count, in rule order.
+  {
+    TraceSpan ar1("rule.AR1");
+    ar1.AddArg("applications", rules_.ar1_leaves);
+  }
+  {
+    TraceSpan ar2("rule.AR2");
+    ar2.AddArg("applications", rules_.ar2_intersections);
+  }
+  {
+    TraceSpan ar3("rule.AR3");
+    ar3.AddArg("applications", rules_.ar3_unions);
+  }
+  {
+    TraceSpan ar4("rule.AR4");
+    ar4.AddArg("applications", rules_.ar4_evaluations);
+    ar4.AddArg("cache_hits", rules_.ar4_cache_hits);
+  }
   const Winner* best = nullptr;
   for (const Winner& w : winners) {
     if (!required_result.empty() &&

@@ -32,6 +32,16 @@ class PlanAnnotator {
  public:
   enum class Mode { kCompliant, kCostOnly };
 
+  /// How often each annotation rule fired during the winner search, for
+  /// trace attribution (spans "rule.AR1".."rule.AR4" under "annotate").
+  struct RuleCounts {
+    int64_t ar1_leaves = 0;         ///< AR1: leaf exec traits pinned
+    int64_t ar2_intersections = 0;  ///< AR2: child-combination intersections
+    int64_t ar3_unions = 0;         ///< AR3: ship traits seeded from exec
+    int64_t ar4_evaluations = 0;    ///< AR4: 𝒜 evaluator calls (cache misses)
+    int64_t ar4_cache_hits = 0;     ///< AR4: answered from Group::ar4_cache
+  };
+
   PlanAnnotator(Memo* memo, const PolicyEvaluator* evaluator, Mode mode)
       : memo_(memo), evaluator_(evaluator), mode_(mode) {}
 
@@ -63,6 +73,9 @@ class PlanAnnotator {
   /// Maximum winners kept per group (Pareto frontier cap).
   static constexpr size_t kMaxWinnersPerGroup = 24;
 
+  /// Rule-application counts accumulated by BestPlan()/Winners().
+  const RuleCounts& rule_counts() const { return rules_; }
+
  private:
   double OpCost(const MExpr& expr) const;
   LocationSet Ar4Trait(int group, LocationSet sources);
@@ -81,6 +94,7 @@ class PlanAnnotator {
   bool prefer_sort_merge_ = false;
   ThreadPool* pool_ = nullptr;
   int width_ = 1;
+  RuleCounts rules_;
 };
 
 }  // namespace cgq

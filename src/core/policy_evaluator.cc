@@ -6,6 +6,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/trace.h"
 #include "expr/implication.h"
 
 namespace cgq {
@@ -69,6 +70,8 @@ LocationSet PolicyEvaluator::Evaluate(const QuerySummary& summary,
                                       LocationId db,
                                       std::vector<AttrGrant>* grants) const {
   auto start = std::chrono::steady_clock::now();
+  TraceSpan span("policy_eval");
+  span.AddArg("db", static_cast<int64_t>(db));
   PolicyEvalStats local;
   local.evaluations = 1;
   auto merge_stats = [&] {
@@ -108,6 +111,7 @@ LocationSet PolicyEvaluator::Evaluate(const QuerySummary& summary,
   }
   if (legal.empty()) {
     merge_stats();
+    span.AddArg("policies", static_cast<int64_t>(0));
     return LocationSet();
   }
 
@@ -316,6 +320,11 @@ LocationSet PolicyEvaluator::Evaluate(const QuerySummary& summary,
     if (result.empty()) break;
   }
   merge_stats();
+  span.AddArg("policies", static_cast<int64_t>(candidates.size()));
+  span.AddArg("matched", local.expressions_matched);
+  span.AddArg("implication_tests", local.implication_tests);
+  span.AddArg("cache_hits", local.implication_cache_hits);
+  span.AddArg("eta", local.eta);
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace cgq {
 
@@ -29,7 +30,11 @@ class Placer {
 
   const NodeTable& CostOf(const PlanNode* node) {
     auto it = tables_.find(node);
-    if (it != tables_.end()) return it->second;
+    if (it != tables_.end()) {
+      ++memo_hits_;
+      return it->second;
+    }
+    ++memo_misses_;
 
     NodeTable table;
     table.cost.assign(n_, kInf);
@@ -110,17 +115,23 @@ class Placer {
     }
   }
 
+  int64_t memo_hits() const { return memo_hits_; }
+  int64_t memo_misses() const { return memo_misses_; }
+
  private:
   const NetworkModel* net_;
   size_t n_;
   SiteSelector::Objective objective_;
   std::unordered_map<const PlanNode*, NodeTable> tables_;
+  int64_t memo_hits_ = 0;
+  int64_t memo_misses_ = 0;
 };
 
 }  // namespace
 
 Result<SitedPlan> SiteSelector::Place(PlanNodePtr annotated,
                                       LocationSet required_result) const {
+  TraceSpan span("site_select");
   Placer placer(net_, net_->num_locations(), objective_);
   const NodeTable& root = placer.CostOf(annotated.get());
 
@@ -148,11 +159,17 @@ Result<SitedPlan> SiteSelector::Place(PlanNodePtr annotated,
       }
     }
   }
+  span.AddArg("memo_hits", placer.memo_hits());
+  span.AddArg("memo_misses", placer.memo_misses());
+  CGQ_COUNTER_ADD("site_selector.memo_hits", placer.memo_hits());
+  CGQ_COUNTER_ADD("site_selector.memo_misses", placer.memo_misses());
   if (best == kInf) {
     return Status::NonCompliant(
         "site selection found no feasible placement for the annotated plan");
   }
   placer.Assign(annotated, best_l);
+  span.AddArg("result_site", static_cast<int64_t>(best_r));
+  span.AddArg("comm_cost_ms", best);
 
   SitedPlan out;
   if (best_r != best_l) {

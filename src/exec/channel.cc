@@ -33,6 +33,38 @@ ShipChannel::ShipChannel(LocationId from, LocationId to, size_t capacity,
       rng_(MixSeed(retry.fault_seed, from, to)) {
   stats_.from = from;
   stats_.to = to;
+#ifdef CGQ_TRACING
+  trace_ = TraceSession::Current();
+  if (trace_ != nullptr) {
+    trace_span_ =
+        trace_->BeginSpan("ship", TraceSession::CurrentSpanId(),
+                          /*ordinal=*/-1, TraceSession::CurrentTrack());
+    trace_->AddSpanArg(trace_span_, "from", static_cast<int64_t>(from_));
+    trace_->AddSpanArg(trace_span_, "to", static_cast<int64_t>(to_));
+  }
+#endif
+}
+
+ShipChannel::~ShipChannel() {
+#ifdef CGQ_TRACING
+  if (trace_ != nullptr) {
+    // The producer has closed and the fragments joined by the time the
+    // channel dies, so this snapshot is final and reconciles exactly
+    // with the ChannelStats entry recorded in ExecMetrics::edges.
+    ChannelStats s = stats();
+    trace_->AddSpanArg(trace_span_, "batches", s.batches);
+    trace_->AddSpanArg(trace_span_, "rows", s.rows);
+    trace_->AddSpanArg(trace_span_, "bytes", s.bytes);
+    trace_->AddSpanArg(trace_span_, "network_ms", s.network_ms);
+    trace_->AddSpanArg(trace_span_, "send_retries", s.send_retries);
+    trace_->AddSpanArg(trace_span_, "dropped_batches", s.dropped_batches);
+    trace_->AddSpanArg(trace_span_, "send_timeouts", s.send_timeouts);
+    trace_->AddSpanArg(trace_span_, "recv_timeouts", s.recv_timeouts);
+    trace_->AddSpanArg(trace_span_, "replays", s.replays);
+    trace_->AddSpanArg(trace_span_, "backoff_ms", s.backoff_ms);
+    trace_->EndSpan(trace_span_);
+  }
+#endif
 }
 
 void ShipChannel::ChargeAttemptLocked(int64_t rows, double bytes,

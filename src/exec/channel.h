@@ -9,6 +9,7 @@
 #include "catalog/location.h"
 #include "common/result.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "exec/batch.h"
 #include "net/network_model.h"
 
@@ -85,6 +86,7 @@ class ShipChannel {
   /// `net` must outlive the channel.
   ShipChannel(LocationId from, LocationId to, size_t capacity,
               const NetworkModel* net, RetryPolicy retry = RetryPolicy());
+  ~ShipChannel();
 
   ShipChannel(const ShipChannel&) = delete;
   ShipChannel& operator=(const ShipChannel&) = delete;
@@ -167,6 +169,14 @@ class ShipChannel {
   int64_t skip_rows_ = 0;
   Rng rng_;
   ChannelStats stats_;
+#ifdef CGQ_TRACING
+  /// One "ship" span per edge, begun at construction against the creating
+  /// thread's trace context (channels are created sequentially before any
+  /// workers start, so span order is deterministic) and ended at
+  /// destruction with the final traffic counters as arguments.
+  TraceSession* trace_ = nullptr;
+  int64_t trace_span_ = -1;
+#endif
 };
 
 }  // namespace cgq

@@ -1,10 +1,12 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/trace.h"
 #include "exec/exec_internal.h"
 #include "exec/fragment_executor.h"
 #include "expr/eval.h"
@@ -207,6 +209,22 @@ class PlanInterpreter {
 
 }  // namespace
 
+std::string FormatPhaseTimings(const OptimizationStats& opt,
+                               const ExecMetrics& metrics) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  os << "timing: optimize " << opt.total_ms << " ms (parse+bind "
+     << opt.prepare_ms << ", explore " << opt.explore_ms << ", annotate "
+     << opt.annotate_ms << ", site " << opt.site_ms << ")";
+  if (metrics.exec_wall_ms > 0) {
+    os << ", execute " << metrics.exec_wall_ms << " ms (simulated WAN "
+       << metrics.network_ms << " ms)";
+  }
+  os << "\n";
+  return os.str();
+}
+
 std::string FormatExecMetrics(const ExecMetrics& metrics,
                               const LocationCatalog* locations) {
   auto site_name = [&](LocationId l) {
@@ -266,6 +284,9 @@ Result<QueryResult> Executor::ExecutePlan(const PlanNode& plan) const {
 }
 
 Result<QueryResult> Executor::Execute(const OptimizedQuery& query) const {
+  auto start = std::chrono::steady_clock::now();
+  TraceSpan span("execute");
+  span.AddArg("mode", std::string(ExecModeToString(options_.mode)));
   CGQ_ASSIGN_OR_RETURN(QueryResult result, ExecutePlan(*query.plan));
   if (!query.order_by.empty()) {
     std::vector<std::pair<size_t, bool>> keys;  // (column index, desc)
@@ -303,6 +324,31 @@ Result<QueryResult> Executor::Execute(const OptimizedQuery& query) const {
   if (query.limit && result.rows.size() > static_cast<size_t>(*query.limit)) {
     result.rows.resize(static_cast<size_t>(*query.limit));
   }
+  result.opt_stats = query.stats;
+  result.metrics.exec_wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  // Span arguments stay deterministic: only simulated / counted values,
+  // never real wall time.
+  span.AddArg("ships", result.metrics.ships);
+  span.AddArg("rows_shipped", result.metrics.rows_shipped);
+  span.AddArg("bytes_shipped", result.metrics.bytes_shipped);
+  span.AddArg("rows_scanned", result.metrics.rows_scanned);
+  span.AddArg("send_retries", result.metrics.send_retries);
+  span.AddArg("network_ms", result.metrics.network_ms);
+  CGQ_COUNTER_ADD("exec.queries", 1);
+  CGQ_COUNTER_ADD("exec.ships", result.metrics.ships);
+  CGQ_COUNTER_ADD("exec.rows_shipped", result.metrics.rows_shipped);
+  CGQ_COUNTER_ADD("exec.bytes_shipped",
+                  static_cast<int64_t>(result.metrics.bytes_shipped));
+  CGQ_COUNTER_ADD("exec.rows_scanned", result.metrics.rows_scanned);
+  CGQ_COUNTER_ADD("exec.send_retries", result.metrics.send_retries);
+  CGQ_COUNTER_ADD("exec.dropped_batches", result.metrics.dropped_batches);
+  CGQ_COUNTER_ADD("exec.timeouts", result.metrics.send_timeouts +
+                                       result.metrics.recv_timeouts);
+  CGQ_COUNTER_ADD("exec.fragment_restarts",
+                  result.metrics.fragment_restarts);
   return result;
 }
 

@@ -71,6 +71,9 @@ struct ExecMetrics {
   double bytes_shipped = 0;
   /// Simulated wall-clock of all transfers under the message cost model.
   double network_ms = 0;
+  /// Real wall-clock of Execute() (optimizer time excluded). Filled by
+  /// Executor::Execute, not ExecutePlan.
+  double exec_wall_ms = 0;
   int64_t rows_scanned = 0;
   /// Recovery accounting, aggregated over all edges and fragments. All
   /// zero on a fault-free run; under injected faults, `rows_shipped` /
@@ -98,7 +101,18 @@ struct QueryResult {
   std::vector<std::string> column_names;
   std::vector<Row> rows;
   ExecMetrics metrics;
+  /// Per-phase optimizer timing of the query that produced this result
+  /// (copied by Executor::Execute; zeroed for bare ExecutePlan calls).
+  OptimizationStats opt_stats;
 };
+
+/// One-line EXPLAIN ANALYZE-style per-phase breakdown: optimizer phases
+/// (parse+bind, explore, annotate, site selection) and, when
+/// `metrics.exec_wall_ms` is non-zero, executor wall time with the
+/// simulated WAN component. Appended to result footers next to
+/// FormatExecMetrics.
+std::string FormatPhaseTimings(const OptimizationStats& opt,
+                               const ExecMetrics& metrics);
 
 /// Multi-site executor for located physical plans. Two backends (see
 /// ExecMode): the row-at-a-time reference interpreter and the fragmented

@@ -11,6 +11,7 @@
 
 #include "common/failpoint.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "exec/exec_internal.h"
 #include "exec/fragmenter.h"
 
@@ -561,6 +562,13 @@ Result<QueryResult> ExecuteFragmentedPlan(const PlanNode& plan,
   st.store = store;
   st.options = &options;
   st.fp = &fp;
+  // Channels are created below on this thread, before any worker starts,
+  // so their "ship" spans attach to the current span in deterministic
+  // (plan post-order) creation order. Workers re-install the context
+  // themselves (thread locals do not cross into the pool).
+  TraceSession* trace = TraceSession::Current();
+  int64_t trace_parent = TraceSession::CurrentSpanId();
+  CGQ_GAUGE_SET("exec.fragments", static_cast<int64_t>(n));
   const size_t capacity =
       sequential ? 0
                  : static_cast<size_t>(std::max(0, options.channel_capacity));
@@ -579,6 +587,11 @@ Result<QueryResult> ExecuteFragmentedPlan(const PlanNode& plan,
     FragmentMetrics& fm = fmetrics[i];
     fm.id = fragment.id;
     fm.site = fragment.site;
+    ScopedTraceContext trace_ctx(trace, trace_parent,
+                                 /*track=*/static_cast<int>(i) + 1);
+    TraceSpan fragment_span("fragment", /*ordinal=*/static_cast<int>(i));
+    fragment_span.AddArg("id", fragment.id);
+    fragment_span.AddArg("site", static_cast<int64_t>(fragment.site));
     // Recovery: a *source* fragment (no input channels; its inputs are
     // idempotent scans of stable storage) may restart after a transient
     // (kUnavailable) failure. Its output channel replays: partial
@@ -611,6 +624,11 @@ Result<QueryResult> ExecuteFragmentedPlan(const PlanNode& plan,
     fm.wall_ms = std::chrono::duration<double, std::milli>(
                      std::chrono::steady_clock::now() - start)
                      .count();
+    // Only deterministic values (no wall time) so traces stay
+    // byte-stable per seed.
+    fragment_span.AddArg("rows_out", fm.rows_out);
+    fragment_span.AddArg("rows_scanned", fm.rows_scanned);
+    fragment_span.AddArg("restarts", fm.restarts);
     if (!s.ok()) st.Fail(s);
   };
 
