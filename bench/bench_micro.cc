@@ -8,12 +8,17 @@
 // metrics and a result digest so CI can assert that the two backends
 // agree.
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/trace.h"
+#include "core/engine.h"
 #include "core/optimizer.h"
 #include "core/policy_evaluator.h"
 #include "exec/executor.h"
@@ -22,6 +27,7 @@
 #include "plan/binder.h"
 #include "plan/builder.h"
 #include "plan/summary.h"
+#include "service/query_service.h"
 #include "sql/parser.h"
 #include "tpch/tpch.h"
 
@@ -303,6 +309,194 @@ int ExecutionBench(const bench::BenchOptions& opts,
   return failures;
 }
 
+// Plan-cache service bench (--plan-cache): N concurrent clients replay
+// the workload through a QueryService. Reports the cache hit rate,
+// client-observed p50/p99 latency, and the optimizer time a hit saves —
+// with a cold-vs-cached decision check (digests and ship metrics must be
+// identical) that CI's bench-smoke job asserts on.
+int PlanCacheBench(const bench::BenchOptions& opts,
+                   bench::JsonReport* report) {
+  tpch::TpchConfig config;
+  config.scale_factor = opts.tiny ? 0.005 : 0.05;
+  auto catalog = tpch::BuildCatalog(config);
+  CGQ_CHECK(catalog.ok());
+  Engine engine(std::move(*catalog), NetworkModel::DefaultGeo(5));
+  CGQ_CHECK(tpch::InstallUnrestrictedPolicies(&engine.policies()).ok());
+  CGQ_CHECK(
+      tpch::GenerateData(engine.catalog(), config, &engine.store()).ok());
+  engine.set_exec_mode(opts.exec_mode == bench::ExecModeArg::kRow
+                           ? ExecMode::kRow
+                           : ExecMode::kFragment);
+  engine.default_exec_options().batch_size = opts.batch_size;
+  engine.default_exec_options().threads = opts.threads;
+
+  bench::PrintHeader("Plan cache: " + std::to_string(opts.clients) +
+                     " concurrent clients, sf " +
+                     std::to_string(config.scale_factor));
+
+  std::vector<std::string> sqls;
+  for (int q : tpch::QueryNumbers()) sqls.push_back(*tpch::Query(q));
+
+  // Cold baseline: no cache installed, per-query optimizer time and
+  // result digest.
+  struct Cold {
+    double opt_ms = 0;
+    uint64_t digest = 0;
+    int64_t ships = 0;
+    int64_t rows_shipped = 0;
+  };
+  std::vector<Cold> cold(sqls.size());
+  int failures = 0;
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    for (int rep = 0; rep < opts.reps; ++rep) {
+      auto r = engine.Run(sqls[i]);
+      if (!r.ok()) {
+        std::printf("cold run failed: %s\n", r.status().ToString().c_str());
+        return failures + 1;
+      }
+      cold[i].opt_ms += r->opt_stats.total_ms;
+      cold[i].digest = ResultDigest(*r);
+      cold[i].ships = r->metrics.ships;
+      cold[i].rows_shipped = r->metrics.rows_shipped;
+    }
+    cold[i].opt_ms /= opts.reps;
+  }
+
+  ServiceOptions sopts;
+  sopts.max_inflight = opts.clients;
+  sopts.queue_capacity = opts.clients * static_cast<int>(sqls.size()) + 16;
+  QueryService service(&engine, sopts);
+
+  // Warming pass fills the cache; the serial measured pass compares the
+  // cached decisions against the cold baseline.
+  {
+    QueryService::Session session = service.OpenSession();
+    for (const std::string& sql : sqls) {
+      auto r = session.Run(sql);
+      CGQ_CHECK(r.ok());
+    }
+  }
+  std::printf("%-6s %14s %14s %10s %8s\n", "Query", "cold opt [ms]",
+              "hit opt [ms]", "speedup", "match");
+  double saved_ms_per_round = 0;
+  double log_speedup_sum = 0;
+  size_t speedup_count = 0;
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    double warm_ms = 0;
+    uint64_t warm_digest = 0;
+    bool hit = true;
+    bool match = true;
+    for (int rep = 0; rep < opts.reps; ++rep) {
+      auto r = engine.Run(sqls[i]);  // cache is installed on the engine
+      if (!r.ok()) {
+        std::printf("warm run failed: %s\n", r.status().ToString().c_str());
+        return failures + 1;
+      }
+      hit = hit && r->opt_stats.cache_hit;
+      warm_ms += r->opt_stats.total_ms;
+      warm_digest = ResultDigest(*r);
+      match = match && warm_digest == cold[i].digest &&
+              r->metrics.ships == cold[i].ships &&
+              r->metrics.rows_shipped == cold[i].rows_shipped;
+    }
+    warm_ms /= opts.reps;
+    if (!hit || !match) ++failures;
+    saved_ms_per_round += cold[i].opt_ms - warm_ms;
+    double speedup = warm_ms > 0 ? cold[i].opt_ms / warm_ms : 0;
+    if (speedup > 0) {
+      log_speedup_sum += std::log(speedup);
+      ++speedup_count;
+    }
+    std::printf("Q%-5d %14.3f %14.3f %9.1fx %8s\n",
+                tpch::QueryNumbers()[i], cold[i].opt_ms, warm_ms, speedup,
+                !match ? "MISMATCH" : (hit ? "yes" : "MISS"));
+    bench::JsonRow row;
+    row.Set("bench", "plan_cache")
+        .Set("query", tpch::QueryNumbers()[i])
+        .Set("cold_opt_ms", cold[i].opt_ms)
+        .Set("cached_opt_ms", warm_ms)
+        .Set("opt_speedup", speedup)
+        .Set("cache_hit", hit)
+        .Set("decisions_match", match)
+        .Set("cold_digest", std::to_string(cold[i].digest))
+        .Set("cached_digest", std::to_string(warm_digest))
+        .Set("ships", cold[i].ships)
+        .Set("rows_shipped", cold[i].rows_shipped);
+    report->Add(row);
+  }
+
+  // Concurrent phase: clients replay the (now cached) workload; every
+  // client-observed latency lands in one pool for the percentiles.
+  PlanCacheStats before = service.plan_cache()->stats();
+  std::mutex lat_mu;
+  std::vector<double> latencies;
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(opts.clients));
+  for (int c = 0; c < opts.clients; ++c) {
+    clients.emplace_back([&] {
+      QueryService::Session session = service.OpenSession();
+      std::vector<double> local;
+      for (int rep = 0; rep < opts.reps; ++rep) {
+        for (const std::string& sql : sqls) {
+          auto start = std::chrono::steady_clock::now();
+          auto r = session.Run(sql);
+          double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+          if (r.ok()) local.push_back(ms);
+        }
+      }
+      std::lock_guard<std::mutex> lock(lat_mu);
+      latencies.insert(latencies.end(), local.begin(), local.end());
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  PlanCacheStats after = service.plan_cache()->stats();
+  int64_t lookups = (after.hits - before.hits) +
+                    (after.misses - before.misses) +
+                    (after.invalidations - before.invalidations);
+  double hit_rate =
+      lookups > 0
+          ? static_cast<double>(after.hits - before.hits) / lookups
+          : 0;
+  std::sort(latencies.begin(), latencies.end());
+  auto percentile = [&](double p) {
+    if (latencies.empty()) return 0.0;
+    size_t idx = static_cast<size_t>(p * (latencies.size() - 1));
+    return latencies[idx];
+  };
+  const size_t expected =
+      sqls.size() * static_cast<size_t>(opts.reps) *
+      static_cast<size_t>(opts.clients);
+  if (latencies.size() != expected) ++failures;
+
+  double geomean_speedup =
+      speedup_count > 0
+          ? std::exp(log_speedup_sum / static_cast<double>(speedup_count))
+          : 0;
+  std::printf(
+      "\n%zu queries over %d clients: hit rate %.1f%%, p50 %.2f ms, "
+      "p99 %.2f ms, optimizer time saved per workload round %.2f ms "
+      "(geomean hit speedup %.1fx)\n",
+      latencies.size(), opts.clients, 100 * hit_rate, percentile(0.5),
+      percentile(0.99), saved_ms_per_round, geomean_speedup);
+  bench::JsonRow summary;
+  summary.Set("bench", "plan_cache_summary")
+      .Set("clients", opts.clients)
+      .Set("queries", latencies.size())
+      .Set("hit_rate", hit_rate)
+      .Set("p50_ms", percentile(0.5))
+      .Set("p99_ms", percentile(0.99))
+      .Set("optimizer_time_saved_ms", saved_ms_per_round)
+      .Set("geomean_opt_speedup", geomean_speedup)
+      .Set("cache_entries", after.entries)
+      .Set("cache_bytes", after.bytes)
+      .Set("revalidations", after.revalidations);
+  report->Add(summary);
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -311,6 +505,7 @@ int main(int argc, char** argv) {
 
   OptimizerMicro(opts, &report);
   int failures = ExecutionBench(opts, &report);
+  if (opts.plan_cache) failures += PlanCacheBench(opts, &report);
 
   if (!report.Flush()) return 1;
   return failures == 0 ? 0 : 1;

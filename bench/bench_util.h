@@ -90,6 +90,8 @@ inline const char* FaultProfileArgToString(FaultProfileArg p) {
 ///   --fault-profile=P  none | lossy (default none)
 ///   --fault-seed=N     seed of the deterministic fault schedule
 ///   --trace-out=PATH   write one Chrome trace_event JSON file to PATH
+///   --plan-cache       also run the plan-cache service bench (bench_micro)
+///   --clients=N        concurrent service clients for --plan-cache (default 4)
 struct BenchOptions {
   int threads = 4;
   int reps = 7;
@@ -100,6 +102,8 @@ struct BenchOptions {
   FaultProfileArg fault_profile = FaultProfileArg::kNone;
   uint64_t fault_seed = 20260807;
   std::string trace_out;
+  bool plan_cache = false;
+  int clients = 4;
 
   static BenchOptions Parse(int argc, char** argv) {
     BenchOptions o;
@@ -144,13 +148,17 @@ struct BenchOptions {
         o.fault_seed = std::strtoull(a + 13, nullptr, 10);
       } else if (std::strncmp(a, "--trace-out=", 12) == 0) {
         o.trace_out = a + 12;
+      } else if (std::strcmp(a, "--plan-cache") == 0) {
+        o.plan_cache = true;
+      } else if (std::strncmp(a, "--clients=", 10) == 0) {
+        o.clients = std::atoi(a + 10);
       } else {
         std::fprintf(stderr,
                      "unknown argument '%s' "
                      "(--threads=N --reps=N --tiny --json=PATH "
                      "--exec-mode=row|fragment|both --batch-size=N "
                      "--fault-profile=none|lossy --fault-seed=N "
-                     "--trace-out=PATH)\n",
+                     "--trace-out=PATH --plan-cache --clients=N)\n",
                      a);
         std::exit(2);
       }
@@ -158,6 +166,7 @@ struct BenchOptions {
     if (o.threads < 1) o.threads = 1;
     if (o.reps < 1) o.reps = 1;
     if (o.batch_size < 1) o.batch_size = 1;
+    if (o.clients < 1) o.clients = 1;
     return o;
   }
 

@@ -10,6 +10,7 @@
 // Pipe a script in, or run interactively. EOF exits.
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -24,6 +25,7 @@
 #include "exec/analyze.h"
 #include "exec/csv.h"
 #include "plan/plan_dot.h"
+#include "service/plan_cache.h"
 #include "tpch/tpch.h"
 
 using namespace cgq;  // NOLINT
@@ -65,8 +67,11 @@ void Help() {
       "  load <table> <loc> <csv>;    load CSV data into a fragment\n"
       "  lint;                        static analysis of the policy catalog\n"
       "  policy <location>: ship ...; add a policy expression\n"
-      "  policies;                    list installed policies\n"
+      "  policy drop <id>;            drop a policy (ids: 'policies;')\n"
+      "  policies;                    list installed policies with ids\n"
       "  set <T|C|CR|CRA|open>;       switch policy set\n"
+      "  cache <on|off|stats>;        compliant plan cache in front of the\n"
+      "                               optimizer (footer shows hit/miss)\n"
       "  exec <row|fragment>;         switch execution backend\n"
       "  faults <p|off>;              lossy links: drop probability p\n"
       "  trace <file|off>;            write Chrome trace JSON per query\n"
@@ -117,6 +122,7 @@ int main() {
 
   std::string buffer, line;
   std::string trace_path;
+  std::unique_ptr<PlanCache> plan_cache;
   while (true) {
     std::printf(buffer.empty() ? "cgq> " : "...> ");
     std::fflush(stdout);
@@ -142,6 +148,10 @@ int main() {
           continue;
         }
         engine_ptr = std::move(*fresh);
+        if (plan_cache != nullptr) {
+          plan_cache->Clear();  // keyed plans belong to the old deployment
+          engine_ptr->set_plan_cache(plan_cache.get());
+        }
         std::printf("loaded deployment '%s' (%zu locations, %zu tables); "
                     "use 'load <table> <location> <csv>;' for data\n",
                     path.c_str(),
@@ -196,10 +206,14 @@ int main() {
         const LocationCatalog& locs = engine.catalog().locations();
         for (LocationId l = 0; l < locs.num_locations(); ++l) {
           for (const PolicyExpression& e : engine.policies().For(l)) {
-            std::printf("  [%s] %s\n", locs.GetName(l).c_str(),
+            std::printf("  #%-3lld [%s] %s\n",
+                        static_cast<long long>(e.id), locs.GetName(l).c_str(),
                         e.ToString(locs).c_str());
           }
         }
+        std::printf("  (policy epoch %llu)\n",
+                    static_cast<unsigned long long>(
+                        engine.policies().epoch()));
         continue;
       }
       if (lower.rfind("set ", 0) == 0) {
@@ -208,6 +222,20 @@ int main() {
                        ? tpch::InstallUnrestrictedPolicies(&engine.policies())
                        : tpch::InstallPolicySet(name, &engine.policies());
         std::printf("%s\n", s.ok() ? "ok" : s.ToString().c_str());
+        continue;
+      }
+      if (lower.rfind("policy drop ", 0) == 0) {
+        std::string arg(Trim(command.substr(12)));
+        char* end = nullptr;
+        long long id = std::strtoll(arg.c_str(), &end, 10);
+        if (arg.empty() || end == nullptr || *end != '\0') {
+          std::printf("usage: policy drop <id>; (ids: 'policies;')\n");
+          continue;
+        }
+        Status s = engine.policies().RemovePolicy(id);
+        std::printf("%s\n", s.ok() ? "ok (cached plans depending on it are "
+                                     "invalid from this epoch)"
+                                   : s.ToString().c_str());
         continue;
       }
       if (lower.rfind("policy ", 0) == 0) {
@@ -316,6 +344,41 @@ int main() {
         }
         std::printf("execution backend: %s\n",
                     ExecModeToString(engine.default_exec_options().mode));
+        continue;
+      }
+      if (lower.rfind("cache", 0) == 0) {
+        std::string arg(Trim(command.substr(5)));
+        if (arg == "on") {
+          if (plan_cache == nullptr) {
+            plan_cache = std::make_unique<PlanCache>();
+          }
+          engine.set_plan_cache(plan_cache.get());
+          std::printf("plan cache on (%zu MB budget); repeated queries skip "
+                      "the optimizer until a relevant policy changes\n",
+                      plan_cache->options().max_bytes >> 20);
+        } else if (arg == "off") {
+          engine.set_plan_cache(nullptr);
+          std::printf("plan cache off\n");
+        } else if (arg == "stats") {
+          if (plan_cache == nullptr) {
+            std::printf("plan cache was never enabled\n");
+          } else {
+            PlanCacheStats cs = plan_cache->stats();
+            std::printf(
+                "plan cache: %lld hit(s), %lld miss(es), %lld "
+                "invalidation(s), %lld revalidation(s), %lld eviction(s); "
+                "%zu entr%s / %.1f KB resident; policy epoch %llu\n",
+                static_cast<long long>(cs.hits),
+                static_cast<long long>(cs.misses),
+                static_cast<long long>(cs.invalidations),
+                static_cast<long long>(cs.revalidations),
+                static_cast<long long>(cs.evictions), cs.entries,
+                cs.entries == 1 ? "y" : "ies", cs.bytes / 1024.0,
+                static_cast<unsigned long long>(engine.policies().epoch()));
+          }
+        } else {
+          std::printf("usage: cache <on|off|stats>;\n");
+        }
         continue;
       }
       if (lower.rfind("trace", 0) == 0) {

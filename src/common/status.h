@@ -19,6 +19,9 @@ enum class StatusCode {
   kInternal,          ///< Invariant violation; indicates a bug.
   kUnavailable,       ///< Transient infrastructure failure (link/site down,
                       ///< retries exhausted). Retryable, unlike kInternal.
+  kResourceExhausted, ///< Admission control rejected the work (queue full or
+                      ///< queue-wait timeout). Retryable after backing off.
+  kCancelled,         ///< The caller cancelled the query before it finished.
 };
 
 /// Returns a short human-readable name, e.g. "Invalid argument".
@@ -62,6 +65,12 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const {
@@ -81,6 +90,10 @@ class Status {
   bool IsUnsupported() const { return code() == StatusCode::kUnsupported; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   /// "OK" or "<code>: <message>".
   std::string ToString() const;

@@ -1,15 +1,78 @@
 #include "core/engine.h"
 
+#include <chrono>
 #include <cstdio>
 #include <utility>
 
+#include "core/compliance_checker.h"
+#include "service/plan_cache.h"
+
 namespace cgq {
+
+Result<OptimizedQuery> Engine::OptimizeMaybeCached(
+    const std::string& sql, const OptimizerOptions& options) const {
+  if (plan_cache_ == nullptr) return Optimize(sql, options);
+
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed_ms = [&start]() {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+  const PlanCache::Key key = PlanCache::ComputeKey(sql, options);
+  {
+    TraceSpan span("plan_cache_lookup");
+    std::optional<OptimizedQuery> cached = plan_cache_->Lookup(key, *policies_);
+    if (cached.has_value()) {
+      // Belt-and-braces (Theorem 1 only covers the policy set the plan
+      // was optimized under): independently re-verify Definition 1
+      // against the live catalog before anything executes. Cheap — one
+      // bottom-up pass over the located plan, no memo search.
+      PolicyEvaluator evaluator(catalog_.get(), policies_.get());
+      if (!options.implication_cache) evaluator.set_implication_cache(nullptr);
+      ComplianceReport report =
+          CheckCompliance(*cached->plan, evaluator, catalog_->locations());
+      plan_cache_->RecordRevalidation();
+      span.AddArg("hit", report.compliant ? 1 : 0);
+      if (report.compliant) {
+        // Phase timings belong to the (skipped) optimizer run; total_ms
+        // is what the cached path actually cost.
+        cached->stats = OptimizationStats{};
+        cached->stats.total_ms = elapsed_ms();
+        cached->stats.cache_consulted = true;
+        cached->stats.cache_hit = true;
+        cached->stats.policy_epoch = policies_->epoch();
+        PlanCacheStats cs = plan_cache_->stats();
+        cached->stats.cache_entries = cs.entries;
+        cached->stats.cache_bytes = cs.bytes;
+        return std::move(*cached);
+      }
+      plan_cache_->Invalidate(key);
+    } else {
+      span.AddArg("hit", 0);
+    }
+  }
+
+  CGQ_ASSIGN_OR_RETURN(OptimizedQuery q, Optimize(sql, options));
+  // Only compliance-optimized plans are cacheable: the baseline
+  // optimizer's output carries no Theorem-1 guarantee.
+  if (options.compliant && q.compliant) {
+    plan_cache_->Insert(key, q, *policies_);
+  }
+  q.stats.cache_consulted = true;
+  q.stats.cache_hit = false;
+  q.stats.policy_epoch = policies_->epoch();
+  PlanCacheStats cs = plan_cache_->stats();
+  q.stats.cache_entries = cs.entries;
+  q.stats.cache_bytes = cs.bytes;
+  return q;
+}
 
 Result<QueryResult> Engine::Run(const std::string& sql,
                                 OptimizerOptions options,
                                 ExecutorOptions exec_options) const {
   if (!tracing_) {
-    CGQ_ASSIGN_OR_RETURN(OptimizedQuery q, Optimize(sql, options));
+    CGQ_ASSIGN_OR_RETURN(OptimizedQuery q, OptimizeMaybeCached(sql, options));
     Executor executor(&store_, net_.get(), exec_options);
     Result<QueryResult> result = executor.Execute(q);
     CGQ_COUNTER_ADD("engine.queries", 1);
@@ -20,7 +83,7 @@ Result<QueryResult> Engine::Run(const std::string& sql,
   Result<QueryResult> result = [&]() -> Result<QueryResult> {
     ScopedTraceContext ctx(session.get());
     TraceSpan root("query");
-    Result<OptimizedQuery> q = Optimize(sql, options);
+    Result<OptimizedQuery> q = OptimizeMaybeCached(sql, options);
     if (!q.ok()) {
       root.AddArg("status", q.status().ToString());
       return q.status();

@@ -14,6 +14,8 @@
 
 namespace cgq {
 
+class PlanCache;
+
 /// The compliance-based query processor of Fig. 2: policy catalog +
 /// compliance-based optimizer (plan annotator, policy evaluator, site
 /// selector) + query executor over the geo-distributed table store.
@@ -108,6 +110,15 @@ class Engine {
   std::string DumpTrace() const;
   Status DumpTraceToFile(const std::string& path) const;
 
+  /// Installs a compliant plan cache (non-owning; see
+  /// service/plan_cache.h) consulted by Run() before the optimizer. On a
+  /// hit the engine re-runs the Definition-1 checker against the live
+  /// policy catalog before executing (belt-and-braces); on a compliant
+  /// miss the optimized plan is inserted. nullptr (the default) disables
+  /// caching.
+  void set_plan_cache(PlanCache* cache) { plan_cache_ = cache; }
+  PlanCache* plan_cache() const { return plan_cache_; }
+
   /// Optimizes under the compliance-based optimizer. Fails with
   /// kNonCompliant when no compliant plan exists.
   Result<OptimizedQuery> Optimize(const std::string& sql) const {
@@ -132,12 +143,20 @@ class Engine {
                           ExecutorOptions exec_options) const;
 
  private:
+  /// Optimize() fronted by the installed plan cache (or a plain
+  /// Optimize() when none is installed). Implements the hit protocol:
+  /// lookup → compliance re-check → serve, or optimize → insert.
+  Result<OptimizedQuery> OptimizeMaybeCached(const std::string& sql,
+                                             const OptimizerOptions& options)
+      const;
+
   OptimizerOptions default_options_;
   ExecutorOptions default_exec_options_;
   std::unique_ptr<Catalog> catalog_;
   std::unique_ptr<NetworkModel> net_;
   std::unique_ptr<PolicyCatalog> policies_;
   TableStore store_;
+  PlanCache* plan_cache_ = nullptr;
   bool tracing_ = false;
   TraceClock trace_clock_ = TraceClock::kDeterministic;
   /// Owned by the engine so shells/benches can dump after Run returns;

@@ -55,6 +55,14 @@ struct OptimizationStats {
   size_t memo_groups = 0;
   size_t memo_exprs = 0;
   PolicyEvalStats policy;  ///< incl. η (Fig. 7a–c)
+
+  // --- Plan-cache outcome (filled by Engine when a PlanCache is
+  // installed; see service/plan_cache.h) ---
+  bool cache_consulted = false;  ///< a PlanCache was in front of the optimizer
+  bool cache_hit = false;        ///< served from cache (phase timings ~0)
+  uint64_t policy_epoch = 0;     ///< catalog epoch the plan is valid at
+  size_t cache_entries = 0;      ///< resident entries after this query
+  size_t cache_bytes = 0;        ///< resident bytes after this query
 };
 
 /// A fully optimized, located query plan.

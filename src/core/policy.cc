@@ -141,8 +141,72 @@ Status PolicyCatalog::AddPolicy(LocationId location, PolicyExpression expr) {
     expr.masks_valid = ok;
   }
   table_index_[location][expr.table].push_back(by_location_[location].size());
+  expr.id = next_id_++;
   by_location_[location].push_back(std::move(expr));
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
+}
+
+Status PolicyCatalog::RemovePolicy(int64_t id) {
+  for (LocationId loc = 0; loc < by_location_.size(); ++loc) {
+    std::vector<PolicyExpression>& exprs = by_location_[loc];
+    for (size_t i = 0; i < exprs.size(); ++i) {
+      if (exprs[i].id != id) continue;
+      exprs.erase(exprs.begin() + static_cast<ptrdiff_t>(i));
+      // Stored indices after `i` all shifted down by one.
+      RebuildTableIndex(loc);
+      epoch_.fetch_add(1, std::memory_order_acq_rel);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no policy with id " + std::to_string(id));
+}
+
+void PolicyCatalog::RebuildTableIndex(LocationId location) {
+  auto& index = table_index_[location];
+  index.clear();
+  const std::vector<PolicyExpression>& exprs = by_location_[location];
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    index[exprs[i].table].push_back(i);
+  }
+}
+
+uint64_t PolicyCatalog::TablePolicyFingerprint(
+    LocationId location, const std::string& table) const {
+  // FNV-1a over the content of every expression governing (location,
+  // table), in index order. Seeded with the pair itself so distinct
+  // empty dependency sets still hash apart.
+  uint64_t h = 14695981039346656037ULL;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  auto mix_str = [&h](const std::string& s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ULL;
+    }
+    h ^= 0xff;  // terminator, so {"ab","c"} != {"a","bc"}
+    h *= 1099511628211ULL;
+  };
+  mix(location);
+  mix_str(table);
+  for (size_t idx : ForTable(location, table)) {
+    const PolicyExpression& e = by_location_[location][idx];
+    mix(e.predicate_fp.hi);
+    mix(e.predicate_fp.lo);
+    mix(e.to.bits());
+    mix(static_cast<uint64_t>(e.attributes.size()));
+    for (const std::string& a : e.attributes) mix_str(a);
+    mix(static_cast<uint64_t>(e.agg_fns.size()));
+    for (AggFn fn : e.agg_fns) mix(static_cast<uint64_t>(fn));
+    mix(static_cast<uint64_t>(e.group_by.size()));
+    for (const std::string& g : e.group_by) mix_str(g);
+  }
+  if (h == 0) h = 1;  // reserve 0 for "not computed"
+  return h;
 }
 
 const std::vector<PolicyExpression>& PolicyCatalog::For(
@@ -169,6 +233,7 @@ size_t PolicyCatalog::TotalCount() const {
 void PolicyCatalog::Clear() {
   by_location_.clear();
   table_index_.clear();
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 }  // namespace cgq

@@ -1,6 +1,7 @@
 #ifndef CGQ_CORE_POLICY_H_
 #define CGQ_CORE_POLICY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -17,6 +18,9 @@ namespace cgq {
 /// cells (basic) or aggregates (aggregate form) of one table may be shipped
 /// to which locations.
 struct PolicyExpression {
+  /// Stable catalog-unique id, assigned by PolicyCatalog::AddPolicy (-1
+  /// while unregistered). The handle of RemovePolicy / `policy drop <id>;`.
+  int64_t id = -1;
   std::string table;  ///< lower-cased base table name
   /// A_e: ship attributes (lower-cased). `ship *` is expanded to all
   /// columns at validation time.
@@ -52,10 +56,25 @@ struct PolicyExpression {
 
 /// Per-location store of dataflow policies (the paper's policy catalog,
 /// Fig. 2). Population happens offline via `AddPolicyText` (parsed +
-/// validated) or `AddPolicy` (pre-built).
+/// validated) or `AddPolicy` (pre-built); policies may also be dropped at
+/// runtime with `RemovePolicy`.
+///
+/// Every mutation (add / remove / clear) bumps a monotonically increasing
+/// `epoch`. A cached artifact derived from the catalog (e.g. an optimized
+/// plan, which by Theorem 1 is compliant only w.r.t. the policy set it was
+/// optimized under) is valid exactly as long as the policies it depends on
+/// are unchanged; the epoch is the cheap staleness signal and
+/// `TablePolicyFingerprint` the fine-grained one.
+///
+/// Thread safety: readers may run concurrently; mutations require
+/// exclusive access (QueryService serializes them against in-flight
+/// queries). `epoch()` alone is always safe to read.
 class PolicyCatalog {
  public:
   explicit PolicyCatalog(const Catalog* catalog) : catalog_(catalog) {}
+
+  PolicyCatalog(const PolicyCatalog&) = delete;
+  PolicyCatalog& operator=(const PolicyCatalog&) = delete;
 
   /// Parses, binds and validates a policy expression and registers it for
   /// `location` (the database whose data it governs).
@@ -65,6 +84,25 @@ class PolicyCatalog {
   Status AddPolicyText(const std::string& location_name,
                        const std::string& text);
   Status AddPolicy(LocationId location, PolicyExpression expr);
+
+  /// Drops the policy with the given id (see PolicyExpression::id) from
+  /// whatever location holds it and bumps the epoch. kNotFound when no
+  /// such policy is registered.
+  Status RemovePolicy(int64_t id);
+
+  /// Current policy epoch: 0 for a freshly built catalog, +1 per
+  /// AddPolicy / RemovePolicy / Clear. A plan optimized at epoch E is
+  /// known-fresh while epoch() == E; after that its dependencies must be
+  /// revalidated (or the plan re-optimized).
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Content fingerprint of the expressions governing (location, table),
+  /// in index order. Two equal fingerprints mean the policies relevant to
+  /// that dependency are unchanged — even if the epoch moved because an
+  /// unrelated policy was added or dropped (fine-grained invalidation).
+  /// Never 0, so callers may use 0 as "not computed".
+  uint64_t TablePolicyFingerprint(LocationId location,
+                                  const std::string& table) const;
 
   /// All expressions governing data stored at `location`.
   const std::vector<PolicyExpression>& For(LocationId location) const;
@@ -81,11 +119,15 @@ class PolicyCatalog {
   const Catalog& catalog() const { return *catalog_; }
 
  private:
+  void RebuildTableIndex(LocationId location);
+
   const Catalog* catalog_;
   std::vector<std::vector<PolicyExpression>> by_location_;
   /// Per location: table -> ascending expression indices.
   std::vector<std::unordered_map<std::string, std::vector<size_t>>>
       table_index_;
+  std::atomic<uint64_t> epoch_{0};
+  int64_t next_id_ = 0;
 };
 
 }  // namespace cgq

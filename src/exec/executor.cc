@@ -38,6 +38,7 @@ class PlanInterpreter {
       : store_(store), net_(net), options_(options), metrics_(metrics) {}
 
   Result<RowBatch> Exec(const PlanNode& node) {
+    CGQ_RETURN_NOT_OK(CheckCancelled());
     switch (node.kind()) {
       case PlanKind::kScan:
         return ExecScan(node);
@@ -115,6 +116,7 @@ class PlanInterpreter {
     if (spec.RequiresNestedLoop() ||
         node.join_method == JoinMethod::kNestedLoop) {
       for (const Row& l : left.rows) {
+        CGQ_RETURN_NOT_OK(CheckCancelled());
         for (const Row& r : right.rows) {
           CGQ_RETURN_NOT_OK(spec.EmitIfMatch(l, r, &out.rows).status());
         }
@@ -128,7 +130,9 @@ class PlanInterpreter {
     } else {
       JoinHashTable table;
       table.Build(left.rows, spec);
+      size_t probed = 0;
       for (const Row& r : right.rows) {
+        if ((probed++ & 0x3ff) == 0) CGQ_RETURN_NOT_OK(CheckCancelled());
         CGQ_RETURN_NOT_OK(table.Probe(r, spec, [&](const Row& l) {
           return spec.EmitIfMatch(l, r, &out.rows).status();
         }));
@@ -201,6 +205,14 @@ class PlanInterpreter {
     return out;
   }
 
+  Status CheckCancelled() const {
+    if (options_->cancel != nullptr &&
+        options_->cancel->load(std::memory_order_relaxed)) {
+      return Status::Cancelled("query cancelled");
+    }
+    return Status::OK();
+  }
+
   const TableStore* store_;
   const NetworkModel* net_;
   const ExecutorOptions* options_;
@@ -222,6 +234,12 @@ std::string FormatPhaseTimings(const OptimizationStats& opt,
        << metrics.network_ms << " ms)";
   }
   os << "\n";
+  if (opt.cache_consulted) {
+    os << "plan cache: " << (opt.cache_hit ? "hit" : "miss") << ", epoch "
+       << opt.policy_epoch << ", " << opt.cache_entries << " entr"
+       << (opt.cache_entries == 1 ? "y" : "ies") << " / "
+       << opt.cache_bytes / 1024.0 << " KB resident\n";
+  }
   return os.str();
 }
 

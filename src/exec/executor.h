@@ -1,6 +1,8 @@
 #ifndef CGQ_EXEC_EXECUTOR_H_
 #define CGQ_EXEC_EXECUTOR_H_
 
+#include <atomic>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -47,6 +49,11 @@ struct ExecutorOptions {
   /// `retry.max_retries` also bounds restarts of a failed source
   /// fragment.
   RetryPolicy retry;
+  /// Cooperative cancellation token (set by QueryService::Cancel).
+  /// Checked at operator boundaries and inside join/batch loops; when it
+  /// flips to true the query aborts with StatusCode::kCancelled. nullptr
+  /// = not cancellable.
+  std::shared_ptr<std::atomic<bool>> cancel;
 };
 
 /// Wall time and output volume of one executed fragment.

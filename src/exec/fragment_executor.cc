@@ -27,6 +27,15 @@ namespace {
 
 using OptBatch = std::optional<RowBatch>;
 
+/// Cooperative cancellation (ExecutorOptions::cancel), checked per batch
+/// and inside materialized-join loops. nullptr = not cancellable.
+Status CheckCancelled(const std::atomic<bool>* cancel) {
+  if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+    return Status::Cancelled("query cancelled");
+  }
+  return Status::OK();
+}
+
 /// Shared state of one fragmented execution.
 struct RunState {
   const TableStore* store = nullptr;
@@ -271,12 +280,13 @@ class Chunker {
 class JoinOp : public BatchOp {
  public:
   JoinOp(const PlanNode* node, BatchOpPtr left, BatchOpPtr right,
-         size_t batch_size)
+         size_t batch_size, const std::atomic<bool>* cancel)
       : node_(node),
         left_(std::move(left)),
         right_(std::move(right)),
         chunker_(batch_size),
-        layout_(LayoutOf(*node)) {}
+        layout_(LayoutOf(*node)),
+        cancel_(cancel) {}
 
   Result<OptBatch> Next() override {
     if (!initialized_) {
@@ -322,6 +332,7 @@ class JoinOp : public BatchOp {
       CGQ_RETURN_NOT_OK(Drain(right_.get(), &right_rows));
       std::vector<Row> matched;
       for (const Row& l : left_rows) {
+        CGQ_RETURN_NOT_OK(CheckCancelled(cancel_));
         for (const Row& r : right_rows) {
           CGQ_RETURN_NOT_OK(spec_.EmitIfMatch(l, r, &matched).status());
         }
@@ -363,6 +374,7 @@ class JoinOp : public BatchOp {
   JoinSpec spec_;
   std::vector<Row> build_rows_;
   JoinHashTable table_;
+  const std::atomic<bool>* cancel_ = nullptr;
   bool initialized_ = false;
   bool drained_ = false;
 };
@@ -488,7 +500,7 @@ Result<BatchOpPtr> BuildOp(const PlanNode& node, RunState* st,
       CGQ_ASSIGN_OR_RETURN(BatchOpPtr left, BuildOp(*node.child(0), st, fm));
       CGQ_ASSIGN_OR_RETURN(BatchOpPtr right, BuildOp(*node.child(1), st, fm));
       return BatchOpPtr(new JoinOp(&node, std::move(left), std::move(right),
-                                   batch_size));
+                                   batch_size, st->options->cancel.get()));
     }
     case PlanKind::kAggregate: {
       CGQ_ASSIGN_OR_RETURN(BatchOpPtr child, BuildOp(*node.child(0), st, fm));
@@ -518,9 +530,11 @@ Status RunFragment(const PlanFragment& fragment, RunState* st,
                                " died at start");
   }
   CGQ_ASSIGN_OR_RETURN(BatchOpPtr op, BuildOp(*fragment.root, st, fm));
+  const std::atomic<bool>* cancel = st->options->cancel.get();
   if (fragment.output_channel >= 0) {
     ShipChannel* channel = st->channels[fragment.output_channel].get();
     while (true) {
+      CGQ_RETURN_NOT_OK(CheckCancelled(cancel));
       CGQ_ASSIGN_OR_RETURN(OptBatch batch, op->Next());
       if (!batch) break;
       if (batch->Empty()) continue;
@@ -531,6 +545,7 @@ Status RunFragment(const PlanFragment& fragment, RunState* st,
     return Status::OK();
   }
   while (true) {
+    CGQ_RETURN_NOT_OK(CheckCancelled(cancel));
     CGQ_ASSIGN_OR_RETURN(OptBatch batch, op->Next());
     if (!batch) break;
     fm->rows_out += static_cast<int64_t>(batch->NumRows());

@@ -1,0 +1,168 @@
+#ifndef CGQ_SERVICE_PLAN_CACHE_H_
+#define CGQ_SERVICE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "core/policy.h"
+
+namespace cgq {
+
+/// Configuration of a PlanCache.
+struct PlanCacheOptions {
+  /// Total byte budget across all shards; the LRU tail of a shard is
+  /// evicted when its share (max_bytes / shards) is exceeded.
+  size_t max_bytes = size_t{64} << 20;
+  /// Number of independent LRU shards (rounded up to a power of two).
+  /// More shards = less lock contention between concurrent sessions.
+  int shards = 8;
+};
+
+/// Point-in-time counters of a PlanCache (see also the process-wide
+/// `plan_cache.*` metrics in MetricsRegistry).
+struct PlanCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  /// Entries erased because a dependency's policy fingerprint changed or a
+  /// compliance re-check failed — never served again.
+  int64_t invalidations = 0;
+  /// Belt-and-braces compliance re-checks run on cache hits (recorded by
+  /// the caller via RecordRevalidation).
+  int64_t revalidations = 0;
+  /// Entries evicted by the LRU byte budget (still valid, just cold).
+  int64_t evictions = 0;
+  size_t entries = 0;
+  size_t bytes = 0;
+};
+
+/// A compliant plan cache: memoizes the two-phase optimizer keyed by a
+/// normalized query fingerprint + the optimizer options that shape the
+/// plan, guarded by the policy-catalog epoch.
+///
+/// Soundness (why serving a cached plan is safe): by Theorem 1 an
+/// optimized plan is compliant w.r.t. the policy set it was optimized
+/// under, and compliance of a located plan depends only on the policies
+/// governing the (location, table) pairs it scans — those decide every
+/// ℰ/𝒮 trait bottom-up. Each entry therefore stores that dependency set
+/// with a content fingerprint per pair (PolicyCatalog::
+/// TablePolicyFingerprint). A hit is served iff the entry's epoch equals
+/// the catalog's, or — after any policy mutation — every dependency
+/// fingerprint is unchanged (unrelated policy changes revalidate instead
+/// of invalidate; they may cost optimality, never compliance). On top of
+/// that the engine re-runs the independent Definition-1 checker on every
+/// hit (counter `plan_cache.revalidations`), so even a fingerprint
+/// collision cannot execute a stale plan.
+///
+/// Thread safety: fully thread-safe (sharded mutexes); Lookup returns a
+/// deep copy of the plan so concurrent executions never share mutable
+/// nodes. Callers must not mutate the PolicyCatalog concurrently with
+/// Lookup/Insert (QueryService serializes policy updates against
+/// in-flight queries).
+class PlanCache {
+ public:
+  /// 128-bit cache key: fingerprint of the normalized SQL text and the
+  /// plan-shaping OptimizerOptions fields.
+  struct Key {
+    uint64_t hi = 0;
+    uint64_t lo = 0;
+    bool operator==(const Key& o) const { return hi == o.hi && lo == o.lo; }
+  };
+
+  /// One (scan location, table) pair a cached plan's compliance depends
+  /// on, with the policy-content fingerprint observed at insert time.
+  struct Dependency {
+    LocationId location = 0;
+    std::string table;
+    uint64_t fingerprint = 0;
+  };
+
+  explicit PlanCache(PlanCacheOptions options = {});
+
+  /// Normalizes `sql` (lower-cased outside string literals, whitespace
+  /// collapsed) and fingerprints it together with the plan-shaping option
+  /// fields (compliant, agg pushdown, required result set, objective,
+  /// join preference). `threads` / `implication_cache` do not change the
+  /// chosen plan and are excluded.
+  static Key ComputeKey(const std::string& sql,
+                        const OptimizerOptions& options);
+
+  /// The (location, table) pairs scanned by `root`, deduplicated, each
+  /// fingerprinted against the current policy content.
+  static std::vector<Dependency> CollectDependencies(
+      const PlanNode& root, const PolicyCatalog& policies);
+
+  /// Rough resident-size estimate of a plan tree (for the byte budget).
+  static size_t EstimatePlanBytes(const PlanNode& root);
+
+  /// Returns a deep copy of the cached optimized query, or nullopt on a
+  /// miss. Stale-epoch entries are revalidated dependency-by-dependency:
+  /// unchanged fingerprints refresh the entry (hit); any change erases it
+  /// (counted as invalidation + miss).
+  std::optional<OptimizedQuery> Lookup(const Key& key,
+                                       const PolicyCatalog& policies);
+
+  /// Caches a successfully optimized compliant query under `key` at the
+  /// catalog's current epoch. Replaces any existing entry; evicts the LRU
+  /// tail past the byte budget.
+  void Insert(const Key& key, const OptimizedQuery& q,
+              const PolicyCatalog& policies);
+
+  /// Erases `key` (the engine calls this when the belt-and-braces
+  /// compliance re-check fails on a hit). Counted as an invalidation.
+  void Invalidate(const Key& key);
+
+  /// Counts one belt-and-braces compliance re-check on a hit.
+  void RecordRevalidation();
+
+  void Clear();
+  PlanCacheStats stats() const;
+  const PlanCacheOptions& options() const { return options_; }
+
+ private:
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return static_cast<size_t>(k.hi ^ (k.lo * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+
+  struct Entry {
+    Key key;
+    OptimizedQuery query;  ///< plan is the cache's private copy
+    std::vector<Dependency> deps;
+    uint64_t epoch = 0;  ///< policy epoch the entry is known-fresh at
+    size_t bytes = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index;
+    size_t bytes = 0;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    return shards_[key.hi & (shards_.size() - 1)];
+  }
+  /// Erases `it` from `shard` (lock held) and updates byte accounting.
+  void EraseLocked(Shard& shard, std::list<Entry>::iterator it);
+  void PublishGauges() const;
+
+  PlanCacheOptions options_;
+  size_t per_shard_budget_;
+  std::vector<Shard> shards_;
+
+  mutable std::mutex stats_mu_;
+  PlanCacheStats stats_;
+};
+
+}  // namespace cgq
+
+#endif  // CGQ_SERVICE_PLAN_CACHE_H_

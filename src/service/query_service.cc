@@ -1,0 +1,300 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/trace.h"
+
+namespace cgq {
+
+using Clock = std::chrono::steady_clock;
+
+QueryService::QueryService(Engine* engine, ServiceOptions options)
+    : engine_(engine), options_(options) {
+  if (options_.max_inflight <= 0) {
+    options_.max_inflight = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+  options_.queue_capacity = std::max(0, options_.queue_capacity);
+  if (options_.enable_plan_cache) {
+    plan_cache_ = std::make_unique<PlanCache>(options_.plan_cache);
+    engine_->set_plan_cache(plan_cache_.get());
+  }
+  workers_.reserve(static_cast<size_t>(options_.max_inflight));
+  for (int i = 0; i < options_.max_inflight; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryService::~QueryService() {
+  std::vector<TaskPtr> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    for (auto& [id, task] : tasks_) pending.push_back(task);
+  }
+  // Cooperatively cancel everything: queued tasks are drained by the
+  // workers (completed kCancelled, not run), running ones stop at their
+  // next cancellation point.
+  for (const TaskPtr& task : pending) {
+    task->cancel->store(true, std::memory_order_relaxed);
+  }
+  queue_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  // Complete anything a waiter might still block on.
+  for (const TaskPtr& task : pending) {
+    CompleteTask(task, Status::Cancelled("query service shut down"));
+  }
+  if (plan_cache_ != nullptr && engine_->plan_cache() == plan_cache_.get()) {
+    engine_->set_plan_cache(nullptr);
+  }
+}
+
+QueryService::Session QueryService::OpenSession() {
+  return Session(this, engine_->default_options(),
+                 engine_->default_exec_options());
+}
+
+Result<QueryService::TicketId> QueryService::Session::Submit(
+    const std::string& sql) {
+  return service_->SubmitTask(sql, opt_, exec_);
+}
+
+Result<QueryResult> QueryService::Session::Wait(TicketId ticket) {
+  return service_->WaitTask(ticket);
+}
+
+Result<QueryResult> QueryService::Session::Run(const std::string& sql) {
+  CGQ_ASSIGN_OR_RETURN(TicketId ticket, Submit(sql));
+  return Wait(ticket);
+}
+
+Status QueryService::Session::Cancel(TicketId ticket) {
+  return service_->CancelTask(ticket);
+}
+
+Status QueryService::AddPolicy(const std::string& location,
+                               const std::string& text) {
+  // Writer side: waits for in-flight queries, blocks new ones, so no
+  // query ever observes a half-applied catalog.
+  std::unique_lock<std::shared_mutex> lock(policy_mu_);
+  return engine_->AddPolicy(location, text);
+}
+
+Status QueryService::RemovePolicy(int64_t id) {
+  std::unique_lock<std::shared_mutex> lock(policy_mu_);
+  return engine_->policies().RemovePolicy(id);
+}
+
+ServiceStats QueryService::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+Result<QueryService::TicketId> QueryService::SubmitTask(
+    const std::string& sql, const OptimizerOptions& opt,
+    const ExecutorOptions& exec) {
+  auto task = std::make_shared<Task>();
+  task->sql = sql;
+  task->opt = opt;
+  task->exec = exec;
+  task->enqueued_at = Clock::now();
+  task->cancel = std::make_shared<std::atomic<bool>>(false);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return Status::Unavailable("query service is shutting down");
+    }
+    if (queue_.size() >= static_cast<size_t>(options_.queue_capacity)) {
+      {
+        std::lock_guard<std::mutex> slock(stats_mu_);
+        ++stats_.rejected;
+      }
+      CGQ_COUNTER_ADD("service.rejected", 1);
+      return Status::ResourceExhausted(
+          "admission queue full (capacity " +
+          std::to_string(options_.queue_capacity) + ")");
+    }
+    task->id = next_ticket_++;
+    queue_.push_back(task);
+    tasks_[task->id] = task;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.submitted;
+    ++stats_.queued;
+  }
+  CGQ_COUNTER_ADD("service.submitted", 1);
+  queue_cv_.notify_one();
+  return task->id;
+}
+
+Result<QueryResult> QueryService::WaitTask(TicketId ticket) {
+  TaskPtr task = FindTask(ticket);
+  if (task == nullptr) {
+    return Status::NotFound("unknown or already collected ticket " +
+                            std::to_string(ticket));
+  }
+  const bool has_timeout = options_.queue_timeout_ms > 0;
+  const auto deadline =
+      task->enqueued_at + std::chrono::milliseconds(options_.queue_timeout_ms);
+  {
+    std::unique_lock<std::mutex> lock(task->mu);
+    while (task->state != TaskState::kDone) {
+      if (has_timeout && task->state == TaskState::kQueued) {
+        if (task->cv.wait_until(lock, deadline) ==
+                std::cv_status::timeout &&
+            task->state == TaskState::kQueued) {
+          // Nobody dequeued it in time: the waiter claims the timeout
+          // (workers enforce the same bound at dequeue).
+          lock.unlock();
+          CompleteTask(task,
+                       Status::ResourceExhausted(
+                           "queue wait exceeded " +
+                           std::to_string(options_.queue_timeout_ms) + " ms"));
+          lock.lock();
+        }
+      } else {
+        task->cv.wait(lock);
+      }
+    }
+  }
+  Result<QueryResult> result = std::move(*task->result);
+  ForgetTask(ticket);
+  return result;
+}
+
+Status QueryService::CancelTask(TicketId ticket) {
+  TaskPtr task = FindTask(ticket);
+  if (task == nullptr) {
+    return Status::NotFound("unknown or already collected ticket " +
+                            std::to_string(ticket));
+  }
+  task->cancel->store(true, std::memory_order_relaxed);
+  bool queued;
+  {
+    std::lock_guard<std::mutex> lock(task->mu);
+    queued = task->state == TaskState::kQueued;
+  }
+  if (queued) {
+    CompleteTask(task, Status::Cancelled("cancelled while queued"));
+  }
+  return Status::OK();
+}
+
+void QueryService::WorkerLoop() {
+  for (;;) {
+    TaskPtr task;
+    bool draining = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with nothing left
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      draining = shutdown_;
+    }
+    if (draining) {
+      CompleteTask(task, Status::Cancelled("query service shut down"));
+      continue;
+    }
+    RunTask(task);
+  }
+}
+
+void QueryService::RunTask(const TaskPtr& task) {
+  // Queue-side outcomes first: claimed timeouts / cancellations.
+  {
+    std::lock_guard<std::mutex> lock(task->mu);
+    if (task->state == TaskState::kDone) return;
+  }
+  if (task->cancel->load(std::memory_order_relaxed)) {
+    CompleteTask(task, Status::Cancelled("cancelled while queued"));
+    return;
+  }
+  if (options_.queue_timeout_ms > 0 &&
+      Clock::now() - task->enqueued_at >
+          std::chrono::milliseconds(options_.queue_timeout_ms)) {
+    CompleteTask(task, Status::ResourceExhausted(
+                           "queue wait exceeded " +
+                           std::to_string(options_.queue_timeout_ms) + " ms"));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(task->mu);
+    if (task->state == TaskState::kDone) return;
+    task->state = TaskState::kRunning;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    --stats_.queued;
+    ++stats_.inflight;
+  }
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    // Reader side: policy mutations wait until this query finishes.
+    std::shared_lock<std::shared_mutex> policy_lock(policy_mu_);
+    ExecutorOptions exec = task->exec;
+    exec.cancel = task->cancel;
+    return engine_->Run(task->sql, task->opt, exec);
+  }();
+  CompleteTask(task, std::move(result));
+}
+
+bool QueryService::CompleteTask(const TaskPtr& task,
+                                Result<QueryResult> result) {
+  const StatusCode code = result.status().code();
+  {
+    std::lock_guard<std::mutex> lock(task->mu);
+    if (task->state == TaskState::kDone) return false;
+    // Update the counters before the state flips to kDone: a waiter that
+    // returns from Wait() must already see this outcome in stats().
+    {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      if (task->state == TaskState::kQueued) {
+        --stats_.queued;
+      } else {
+        --stats_.inflight;
+      }
+      switch (code) {
+        case StatusCode::kOk:
+          ++stats_.completed;
+          break;
+        case StatusCode::kCancelled:
+          ++stats_.cancelled;
+          break;
+        case StatusCode::kResourceExhausted:
+          ++stats_.timed_out;
+          break;
+        default:
+          ++stats_.failed;
+          break;
+      }
+    }
+    task->state = TaskState::kDone;
+    task->result.emplace(std::move(result));
+  }
+  task->cv.notify_all();
+  if (code == StatusCode::kOk) {
+    CGQ_COUNTER_ADD("service.completed", 1);
+  } else if (code == StatusCode::kCancelled) {
+    CGQ_COUNTER_ADD("service.cancelled", 1);
+  } else if (code == StatusCode::kResourceExhausted) {
+    CGQ_COUNTER_ADD("service.queue_timeouts", 1);
+  } else {
+    CGQ_COUNTER_ADD("service.failed", 1);
+  }
+  return true;
+}
+
+QueryService::TaskPtr QueryService::FindTask(TicketId ticket) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tasks_.find(ticket);
+  return it != tasks_.end() ? it->second : nullptr;
+}
+
+void QueryService::ForgetTask(TicketId ticket) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tasks_.erase(ticket);
+}
+
+}  // namespace cgq

@@ -1,0 +1,189 @@
+#ifndef CGQ_SERVICE_QUERY_SERVICE_H_
+#define CGQ_SERVICE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine.h"
+#include "service/plan_cache.h"
+
+namespace cgq {
+
+/// Configuration of a QueryService.
+struct ServiceOptions {
+  /// Queries executing at once (= worker threads). 0 = one per hardware
+  /// thread.
+  int max_inflight = 4;
+  /// Admitted-but-not-running queries the FIFO queue holds before Submit
+  /// rejects with kResourceExhausted.
+  int queue_capacity = 64;
+  /// Longest a query may sit in the queue before it completes with
+  /// kResourceExhausted instead of running. <= 0 = no timeout.
+  int queue_timeout_ms = 10'000;
+  /// Put a compliant plan cache (sized by `plan_cache`) in front of the
+  /// engine's optimizer for the service's lifetime.
+  bool enable_plan_cache = true;
+  PlanCacheOptions plan_cache;
+};
+
+/// Point-in-time admission/outcome counters of a QueryService.
+struct ServiceStats {
+  int64_t submitted = 0;
+  int64_t completed = 0;  ///< finished with an OK result
+  int64_t failed = 0;     ///< non-OK other than queue timeout / cancel
+  int64_t rejected = 0;   ///< Submit refused: queue full
+  int64_t timed_out = 0;  ///< completed kResourceExhausted: queue wait
+  int64_t cancelled = 0;  ///< completed kCancelled
+  int64_t queued = 0;     ///< currently waiting
+  int64_t inflight = 0;   ///< currently executing
+};
+
+/// A multi-session query service in front of one Engine: admission
+/// control (bounded FIFO queue + max in-flight), per-query cancellation,
+/// dynamic policy updates, and a policy-epoch-aware compliant plan cache
+/// shared by every session.
+///
+/// Concurrency model: `max_inflight` dedicated worker threads run
+/// queries against the shared catalog / store / policy catalog, all of
+/// which are read-only during execution. Policy mutations (AddPolicy /
+/// RemovePolicy) take the writer side of a shared mutex that every
+/// running query holds for reading, so an update waits for in-flight
+/// queries to drain and no query ever observes a half-applied catalog;
+/// cached plans made stale by the update are caught by the epoch /
+/// fingerprint protocol plus the per-hit compliance re-check (see
+/// PlanCache).
+///
+/// The service leaves the engine's tracing setting alone but concurrent
+/// queries on a traced engine overwrite each other's last_trace();
+/// enable tracing only with max_inflight == 1 when traces matter.
+class QueryService {
+ public:
+  /// Handle of one submitted query.
+  using TicketId = int64_t;
+
+  explicit QueryService(Engine* engine, ServiceOptions options = {});
+  /// Cancels queued work and joins the workers (running queries are
+  /// cancelled cooperatively and finish first).
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// One client's view of the service: carries per-session optimizer /
+  /// executor options (defaulted from the engine at open time) applied
+  /// to every query it submits. Sessions are cheap; open one per client
+  /// or thread. Thread-compatible: share a session across threads only
+  /// for Wait/Cancel, not concurrent option mutation.
+  class Session {
+   public:
+    /// Enqueues `sql`. Fails fast with kResourceExhausted when the queue
+    /// is full (never blocks).
+    Result<TicketId> Submit(const std::string& sql);
+    /// Blocks until the ticket finishes; returns its result. A ticket
+    /// whose queue wait exceeded the service's timeout completes with
+    /// kResourceExhausted, a cancelled one with kCancelled. Each ticket
+    /// may be waited on once.
+    Result<QueryResult> Wait(TicketId ticket);
+    /// Submit + Wait.
+    Result<QueryResult> Run(const std::string& sql);
+    /// Cancels the ticket: a queued query completes immediately with
+    /// kCancelled; a running one stops at the next cancellation point.
+    /// kNotFound after the ticket completed or was never issued.
+    Status Cancel(TicketId ticket);
+
+    OptimizerOptions& optimizer_options() { return opt_; }
+    ExecutorOptions& executor_options() { return exec_; }
+
+   private:
+    friend class QueryService;
+    Session(QueryService* service, OptimizerOptions opt, ExecutorOptions exec)
+        : service_(service), opt_(opt), exec_(exec) {}
+
+    QueryService* service_;
+    OptimizerOptions opt_;
+    ExecutorOptions exec_;
+  };
+
+  /// Opens a session seeded with the engine's current default options.
+  Session OpenSession();
+
+  /// Registers a policy after draining in-flight queries; invalidates
+  /// affected cached plans via the epoch bump.
+  Status AddPolicy(const std::string& location, const std::string& text);
+  /// Drops a policy by id (PolicyExpression::id) after draining
+  /// in-flight queries. No previously cached plan that depended on it
+  /// will execute again (epoch + fingerprint + compliance re-check).
+  Status RemovePolicy(int64_t id);
+
+  ServiceStats stats() const;
+  /// The service's plan cache; nullptr when disabled.
+  PlanCache* plan_cache() { return plan_cache_.get(); }
+  Engine* engine() { return engine_; }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  enum class TaskState { kQueued, kRunning, kDone };
+
+  struct Task {
+    TicketId id = 0;
+    std::string sql;
+    OptimizerOptions opt;
+    ExecutorOptions exec;
+    std::chrono::steady_clock::time_point enqueued_at;
+    std::shared_ptr<std::atomic<bool>> cancel;
+
+    std::mutex mu;
+    std::condition_variable cv;
+    TaskState state = TaskState::kQueued;
+    std::optional<Result<QueryResult>> result;
+  };
+  using TaskPtr = std::shared_ptr<Task>;
+
+  Result<TicketId> SubmitTask(const std::string& sql,
+                              const OptimizerOptions& opt,
+                              const ExecutorOptions& exec);
+  Result<QueryResult> WaitTask(TicketId ticket);
+  Status CancelTask(TicketId ticket);
+  void WorkerLoop();
+  void RunTask(const TaskPtr& task);
+  /// Completes `task` (task->mu held by caller NOT required) exactly
+  /// once; later attempts are no-ops. Returns whether this call won.
+  bool CompleteTask(const TaskPtr& task, Result<QueryResult> result);
+  TaskPtr FindTask(TicketId ticket);
+  void ForgetTask(TicketId ticket);
+
+  Engine* engine_;
+  ServiceOptions options_;
+  std::unique_ptr<PlanCache> plan_cache_;
+
+  /// Readers: every query, for its whole optimize + execute. Writer:
+  /// policy mutations.
+  std::shared_mutex policy_mu_;
+
+  std::mutex mu_;  ///< guards queue_, tasks_, shutdown_
+  std::condition_variable queue_cv_;
+  std::deque<TaskPtr> queue_;
+  std::unordered_map<TicketId, TaskPtr> tasks_;
+  bool shutdown_ = false;
+  TicketId next_ticket_ = 1;
+
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex stats_mu_;
+  ServiceStats stats_;
+};
+
+}  // namespace cgq
+
+#endif  // CGQ_SERVICE_QUERY_SERVICE_H_

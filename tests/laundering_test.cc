@@ -4,6 +4,7 @@
 #include "core/compliance_checker.h"
 #include "core/engine.h"
 #include "exec/executor.h"
+#include "service/plan_cache.h"
 
 namespace cgq {
 namespace {
@@ -199,6 +200,58 @@ TEST_F(RecoveryComplianceTest, ShipOutsideTraitIsRejected) {
   ASSERT_FALSE(r.ok());
   EXPECT_NE(r.status().message().find("shipping trait"), std::string::npos)
       << r.status();
+}
+
+std::vector<std::string> RenderedRows(const QueryResult& r) {
+  std::vector<std::string> out;
+  out.reserve(r.rows.size());
+  for (const Row& row : r.rows) {
+    std::string s;
+    for (const Value& v : row) s += v.ToString() + "|";
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+// A cached plan is an expiring compliance proof (Theorem 1 covers only
+// the policy set it was optimized under): after the policy it depends on
+// is dropped, the cache must never serve it — the query re-optimizes and
+// is rejected, exactly as if it had never been cached.
+TEST_F(RecoveryComplianceTest, CachedPlanNeverServedAfterPolicyDrop) {
+  PlanCache cache;
+  engine_->set_plan_cache(&cache);
+  OptimizerOptions opts = engine_->default_options();
+  opts.required_result = LocationSet::Single(1);  // deliver at e
+  const std::string sql = "SELECT name FROM cust";
+
+  auto cold = engine_->Run(sql, opts);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  EXPECT_FALSE(cold->opt_stats.cache_hit);
+
+  auto warm = engine_->Run(sql, opts);
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  EXPECT_TRUE(warm->opt_stats.cache_hit);
+  EXPECT_EQ(RenderedRows(*warm), RenderedRows(*cold));
+
+  // Drop the only policy granting cust any movement. The cached plan
+  // ships cust n -> e, which is now laundering.
+  ASSERT_EQ(engine_->policies().For(0).size(), 1u);
+  int64_t id = engine_->policies().For(0)[0].id;
+  ASSERT_TRUE(engine_->policies().RemovePolicy(id).ok());
+
+  auto after = engine_->Run(sql, opts);
+  ASSERT_FALSE(after.ok());
+  EXPECT_TRUE(after.status().IsNonCompliant()) << after.status();
+  EXPECT_GE(cache.stats().invalidations, 1);
+
+  // Re-granting restores service (a fresh optimization, not the stale
+  // entry: the erase above is permanent).
+  ASSERT_TRUE(engine_->AddPolicy("n", "ship * from cust to e").ok());
+  auto regranted = engine_->Run(sql, opts);
+  ASSERT_TRUE(regranted.ok()) << regranted.status();
+  EXPECT_FALSE(regranted->opt_stats.cache_hit);
+  EXPECT_EQ(RenderedRows(*regranted), RenderedRows(*cold));
+  engine_->set_plan_cache(nullptr);
 }
 
 TEST_F(LaunderingTest, AggregationAtRelaySiteUsesRelayPolicies) {

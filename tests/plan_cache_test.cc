@@ -1,0 +1,286 @@
+#include "service/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace cgq {
+namespace {
+
+// Three sites; cust lives at n, ord at e — two tables at two locations so
+// fine-grained invalidation has unrelated dependencies to leave alone.
+class PlanCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Catalog catalog;
+    for (const char* l : {"n", "e", "a"}) {
+      ASSERT_TRUE(catalog.mutable_locations().AddLocation(l).ok());
+    }
+    TableDef cust;
+    cust.name = "cust";
+    cust.schema = Schema({{"id", DataType::kInt64},
+                          {"name", DataType::kString}});
+    cust.fragments = {TableFragment{0, 1.0}};
+    cust.stats.row_count = 100;
+    ASSERT_TRUE(catalog.AddTable(cust).ok());
+    TableDef ord;
+    ord.name = "ord";
+    ord.schema = Schema({{"oid", DataType::kInt64},
+                         {"cid", DataType::kInt64}});
+    ord.fragments = {TableFragment{1, 1.0}};
+    ord.stats.row_count = 100;
+    ASSERT_TRUE(catalog.AddTable(ord).ok());
+    engine_ = std::make_unique<Engine>(std::move(catalog),
+                                       NetworkModel::DefaultGeo(3));
+    ASSERT_TRUE(engine_->AddPolicy("n", "ship * from cust to *").ok());
+    ASSERT_TRUE(engine_->AddPolicy("e", "ship * from ord to *").ok());
+  }
+
+  OptimizedQuery MustOptimize(const std::string& sql) {
+    auto r = engine_->Optimize(sql);
+    EXPECT_TRUE(r.ok()) << sql << ": " << r.status();
+    return std::move(*r);
+  }
+
+  PolicyCatalog& policies() { return engine_->policies(); }
+
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(PlanCacheTest, KeyNormalizesWhitespaceAndCaseOutsideLiterals) {
+  OptimizerOptions opts;
+  auto a = PlanCache::ComputeKey("SELECT name FROM cust", opts);
+  auto b = PlanCache::ComputeKey("  select   NAME \n FROM  cust ", opts);
+  EXPECT_EQ(a, b);
+
+  // String literals keep their case and spacing.
+  auto c = PlanCache::ComputeKey("SELECT id FROM cust WHERE name = 'A B'",
+                                 opts);
+  auto d = PlanCache::ComputeKey("SELECT id FROM cust WHERE name = 'a b'",
+                                 opts);
+  EXPECT_FALSE(c == d);
+
+  // Plan-shaping options split the key; throughput knobs do not.
+  OptimizerOptions pinned = opts;
+  pinned.required_result = LocationSet::Single(1);
+  EXPECT_FALSE(a == PlanCache::ComputeKey("SELECT name FROM cust", pinned));
+  OptimizerOptions threaded = opts;
+  threaded.threads = 8;
+  threaded.implication_cache = false;
+  EXPECT_EQ(a, PlanCache::ComputeKey("SELECT name FROM cust", threaded));
+}
+
+TEST_F(PlanCacheTest, HitAfterInsertMissOtherwise) {
+  PlanCache cache;
+  OptimizerOptions opts = engine_->default_options();
+  const std::string sql = "SELECT name FROM cust";
+  PlanCache::Key key = PlanCache::ComputeKey(sql, opts);
+
+  EXPECT_FALSE(cache.Lookup(key, policies()).has_value());
+  cache.Insert(key, MustOptimize(sql), policies());
+  auto hit = cache.Lookup(key, policies());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->compliant);
+  ASSERT_NE(hit->plan, nullptr);
+
+  PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST_F(PlanCacheTest, ServedPlansAreDeepCopies) {
+  PlanCache cache;
+  OptimizerOptions opts = engine_->default_options();
+  const std::string sql = "SELECT name FROM cust";
+  PlanCache::Key key = PlanCache::ComputeKey(sql, opts);
+  cache.Insert(key, MustOptimize(sql), policies());
+
+  auto first = cache.Lookup(key, policies());
+  auto second = cache.Lookup(key, policies());
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_NE(first->plan.get(), second->plan.get());
+  // Mutating one served copy must not leak into the next hit.
+  first->plan->table = "tampered";
+  auto third = cache.Lookup(key, policies());
+  ASSERT_TRUE(third.has_value());
+  EXPECT_NE(third->plan->table, "tampered");
+}
+
+TEST_F(PlanCacheTest, UnrelatedPolicyChangeRevalidatesInsteadOfInvalidating) {
+  PlanCache cache;
+  OptimizerOptions opts = engine_->default_options();
+  const std::string sql = "SELECT name FROM cust";
+  PlanCache::Key key = PlanCache::ComputeKey(sql, opts);
+  cache.Insert(key, MustOptimize(sql), policies());
+
+  const uint64_t epoch_before = policies().epoch();
+  // ord's policies change; cust's dependency fingerprint does not.
+  ASSERT_TRUE(engine_->AddPolicy("e", "ship oid from ord to a").ok());
+  ASSERT_GT(policies().epoch(), epoch_before);
+
+  auto hit = cache.Lookup(key, policies());
+  EXPECT_TRUE(hit.has_value());
+  PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.invalidations, 0);
+
+  // The refreshed entry is fresh again: a second lookup takes the cheap
+  // epoch-equality path (same observable result).
+  EXPECT_TRUE(cache.Lookup(key, policies()).has_value());
+}
+
+TEST_F(PlanCacheTest, RelevantPolicyChangeInvalidates) {
+  PlanCache cache;
+  OptimizerOptions opts = engine_->default_options();
+  const std::string sql = "SELECT name FROM cust";
+  PlanCache::Key key = PlanCache::ComputeKey(sql, opts);
+  cache.Insert(key, MustOptimize(sql), policies());
+
+  // Dropping cust's policy changes the (n, cust) fingerprint.
+  int64_t cust_policy = policies().For(0)[0].id;
+  ASSERT_TRUE(policies().RemovePolicy(cust_policy).ok());
+
+  EXPECT_FALSE(cache.Lookup(key, policies()).has_value());
+  PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0);
+  EXPECT_EQ(stats.invalidations, 1);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST_F(PlanCacheTest, RemovePolicyIsNotFoundForUnknownId) {
+  EXPECT_TRUE(policies().RemovePolicy(123456).IsNotFound());
+}
+
+TEST_F(PlanCacheTest, ClearBumpsEpochAndInvalidates) {
+  PlanCache cache;
+  OptimizerOptions opts = engine_->default_options();
+  const std::string sql = "SELECT name FROM cust";
+  PlanCache::Key key = PlanCache::ComputeKey(sql, opts);
+  cache.Insert(key, MustOptimize(sql), policies());
+
+  const uint64_t before = policies().epoch();
+  policies().Clear();
+  EXPECT_GT(policies().epoch(), before);
+  // Every dependency fingerprint changed (no policies govern cust now).
+  EXPECT_FALSE(cache.Lookup(key, policies()).has_value());
+}
+
+TEST_F(PlanCacheTest, LruEvictsAtByteBudget) {
+  // Size the budget from a real entry so the test is robust to plan-size
+  // drift: room for about three entries, one shard so LRU order is global.
+  OptimizerOptions opts = engine_->default_options();
+  OptimizedQuery probe = MustOptimize("SELECT name FROM cust");
+  const size_t entry_bytes =
+      sizeof(void*) * 8 + PlanCache::EstimatePlanBytes(*probe.plan);
+
+  PlanCacheOptions copts;
+  copts.shards = 1;
+  copts.max_bytes = entry_bytes * 4;
+  PlanCache cache(copts);
+
+  std::vector<PlanCache::Key> keys;
+  for (int i = 0; i < 10; ++i) {
+    std::string sql = "SELECT name FROM cust WHERE id > " + std::to_string(i);
+    PlanCache::Key key = PlanCache::ComputeKey(sql, opts);
+    keys.push_back(key);
+    cache.Insert(key, MustOptimize(sql), policies());
+  }
+
+  PlanCacheStats stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0);
+  EXPECT_LT(stats.entries, 10u);
+  EXPECT_LE(stats.bytes, copts.max_bytes);
+  // The most recent insert survives; the oldest was evicted.
+  EXPECT_TRUE(cache.Lookup(keys.back(), policies()).has_value());
+  EXPECT_FALSE(cache.Lookup(keys.front(), policies()).has_value());
+}
+
+TEST_F(PlanCacheTest, ExplicitInvalidateErases) {
+  PlanCache cache;
+  OptimizerOptions opts = engine_->default_options();
+  PlanCache::Key key = PlanCache::ComputeKey("SELECT name FROM cust", opts);
+  cache.Insert(key, MustOptimize("SELECT name FROM cust"), policies());
+  cache.Invalidate(key);
+  EXPECT_FALSE(cache.Lookup(key, policies()).has_value());
+  EXPECT_EQ(cache.stats().invalidations, 1);
+}
+
+// Threaded stress (meaningful under TSan): concurrent lookups, inserts,
+// invalidations and clears on a shared cache, with policy mutations
+// serialized against readers by a shared_mutex exactly as QueryService
+// does it.
+TEST_F(PlanCacheTest, ThreadedStress) {
+  PlanCacheOptions copts;
+  copts.shards = 4;
+  copts.max_bytes = 1 << 16;  // small enough to force evictions
+  PlanCache cache(copts);
+  OptimizerOptions opts = engine_->default_options();
+
+  std::vector<std::string> sqls;
+  std::vector<OptimizedQuery> plans;
+  std::vector<PlanCache::Key> keys;
+  for (int i = 0; i < 8; ++i) {
+    sqls.push_back("SELECT name FROM cust WHERE id > " + std::to_string(i));
+    plans.push_back(MustOptimize(sqls.back()));
+    keys.push_back(PlanCache::ComputeKey(sqls.back(), opts));
+  }
+
+  std::shared_mutex policy_mu;
+  std::atomic<int64_t> hits{0};
+  constexpr int kThreads = 8;
+  constexpr int kIters = 300;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        size_t k = static_cast<size_t>((t + i) % 8);
+        std::shared_lock<std::shared_mutex> lock(policy_mu);
+        if (i % 7 == 3) {
+          cache.Insert(keys[k], plans[k], policies());
+        } else if (i % 31 == 5) {
+          cache.Invalidate(keys[k]);
+        } else if (i % 97 == 11) {
+          cache.Clear();
+        } else {
+          if (cache.Lookup(keys[k], policies()).has_value()) {
+            hits.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  // One writer toggling an unrelated policy so epochs move during the run.
+  threads.emplace_back([&] {
+    for (int i = 0; i < 40; ++i) {
+      std::unique_lock<std::shared_mutex> lock(policy_mu);
+      ASSERT_TRUE(
+          engine_->AddPolicy("e", "ship oid from ord to a").ok());
+      int64_t id = policies().For(1).back().id;
+      ASSERT_TRUE(policies().RemovePolicy(id).ok());
+    }
+  });
+  for (std::thread& th : threads) th.join();
+
+  PlanCacheStats stats = cache.stats();
+  EXPECT_GT(hits.load(), 0);
+  EXPECT_EQ(stats.hits, hits.load());
+  // Cached entries still serve valid deep copies afterwards.
+  cache.Insert(keys[0], plans[0], policies());
+  auto hit = cache.Lookup(keys[0], policies());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NE(hit->plan, nullptr);
+}
+
+}  // namespace
+}  // namespace cgq
