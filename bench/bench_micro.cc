@@ -1,12 +1,14 @@
 // Micro benchmarks of the core components: the implication test, policy
 // evaluation (Algorithm 1), end-to-end optimization of selected queries,
-// and row-vs-fragment execution of the multi-site TPC-H workload.
+// and cross-backend execution of the multi-site TPC-H workload.
 //
 // The execution section runs every query under the selected backends
-// (--exec-mode=row|fragment|both) and reports the fragment backend's
-// speedup over the row interpreter at --threads workers, plus the ship
-// metrics and a result digest so CI can assert that the two backends
-// agree.
+// (--exec-mode=row|fragment|vector|both) and reports each backend's
+// speedup over the row interpreter, plus the ship metrics and a result
+// digest so CI can assert that all backends agree byte-for-byte. The
+// per-backend geomean speedups land in one micro_exec_summary row per
+// backend (the vector one feeds the CI perf-regression gate, see
+// BENCH_micro.json).
 
 #include <algorithm>
 #include <cstdint>
@@ -14,6 +16,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
@@ -34,6 +37,12 @@
 using namespace cgq;  // NOLINT
 
 namespace {
+
+ExecMode ModeFromName(const std::string& mode) {
+  if (mode == "row") return ExecMode::kRow;
+  if (mode == "vector") return ExecMode::kVector;
+  return ExecMode::kFragment;
+}
 
 // FNV-1a over the full-precision serialization of the result rows, order
 // included: equal digests mean byte-identical results.
@@ -157,7 +166,7 @@ int ExecutionBench(const bench::BenchOptions& opts,
   }
 
   bench::PrintHeader(
-      "Execution: row interpreter vs fragmented runtime (sf " +
+      "Execution: row vs fragment vs vector backends (sf " +
       std::to_string(config.scale_factor) + ", " +
       std::to_string(opts.threads) + " threads, batch " +
       std::to_string(opts.batch_size) + ", faults " +
@@ -166,7 +175,16 @@ int ExecutionBench(const bench::BenchOptions& opts,
               "mean [ms]", "rows", "ships", "bytes shipped", "speedup");
 
   int failures = 0;
-  std::vector<double> speedups;
+  // Per-backend speedups over the row baseline, keyed by mode name.
+  std::vector<std::pair<std::string, std::vector<double>>> speedups;
+  auto speedups_of = [&speedups](const std::string& mode)
+      -> std::vector<double>& {
+    for (auto& [name, values] : speedups) {
+      if (name == mode) return values;
+    }
+    speedups.emplace_back(mode, std::vector<double>());
+    return speedups.back().second;
+  };
   for (int q : tpch::QueryNumbers()) {
     QueryOptimizer optimizer(&*catalog, &policies, &net, {});
     auto opt = optimizer.Optimize(*tpch::Query(q));
@@ -181,8 +199,7 @@ int ExecutionBench(const bench::BenchOptions& opts,
     uint64_t row_digest = 0;
     for (const char* mode : opts.ExecModes()) {
       ExecutorOptions eopts;
-      eopts.mode = std::string(mode) == "row" ? ExecMode::kRow
-                                              : ExecMode::kFragment;
+      eopts.mode = ModeFromName(mode);
       eopts.batch_size = opts.batch_size;
       eopts.threads = opts.threads;
       if (lossy) {
@@ -209,8 +226,8 @@ int ExecutionBench(const bench::BenchOptions& opts,
       } else if (row_mean > 0) {
         speedup = row_mean / t.mean_ms;
         if (row_digest != 0 && digest != row_digest) {
-          std::printf("Q%-5d BACKEND MISMATCH: fragment result differs "
-                      "from row result\n", q);
+          std::printf("Q%-5d BACKEND MISMATCH: %s result differs "
+                      "from row result\n", q, mode);
           ++failures;
         }
       }
@@ -248,23 +265,25 @@ int ExecutionBench(const bench::BenchOptions& opts,
       bench::SetPhaseTimings(jrow, result->opt_stats, result->metrics);
       if (speedup > 0) {
         jrow.Set("speedup", speedup);
-        speedups.push_back(speedup);
+        speedups_of(mode).push_back(speedup);
       }
       report->Add(jrow);
     }
   }
 
-  if (!speedups.empty()) {
+  for (const auto& [mode, values] : speedups) {
+    if (values.empty()) continue;
     double log_sum = 0;
-    for (double s : speedups) log_sum += std::log(s);
-    double geomean = std::exp(log_sum / static_cast<double>(speedups.size()));
-    std::printf("\ngeomean fragment speedup over %zu queries: %.2fx\n",
-                speedups.size(), geomean);
+    for (double s : values) log_sum += std::log(s);
+    double geomean = std::exp(log_sum / static_cast<double>(values.size()));
+    std::printf("\ngeomean %s speedup over %zu queries: %.2fx\n",
+                mode.c_str(), values.size(), geomean);
     bench::JsonRow summary;
     summary.Set("bench", "micro_exec_summary")
+        .Set("exec_mode", mode)
         .Set("threads", opts.threads)
         .Set("batch_size", opts.batch_size)
-        .Set("queries", speedups.size())
+        .Set("queries", values.size())
         .Set("geomean_speedup", geomean);
     report->Add(summary);
   }
@@ -326,6 +345,8 @@ int PlanCacheBench(const bench::BenchOptions& opts,
       tpch::GenerateData(engine.catalog(), config, &engine.store()).ok());
   engine.set_exec_mode(opts.exec_mode == bench::ExecModeArg::kRow
                            ? ExecMode::kRow
+                       : opts.exec_mode == bench::ExecModeArg::kVector
+                           ? ExecMode::kVector
                            : ExecMode::kFragment);
   engine.default_exec_options().batch_size = opts.batch_size;
   engine.default_exec_options().threads = opts.threads;

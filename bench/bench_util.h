@@ -54,8 +54,9 @@ inline void PrintHeader(const std::string& title) {
   std::printf("================================================================\n");
 }
 
-/// Which executor backends an execution bench measures.
-enum class ExecModeArg { kRow, kFragment, kBoth };
+/// Which executor backends an execution bench measures. `kBoth` means
+/// every backend (row, fragment and vector).
+enum class ExecModeArg { kRow, kFragment, kVector, kBoth };
 
 inline const char* ExecModeArgToString(ExecModeArg m) {
   switch (m) {
@@ -63,6 +64,8 @@ inline const char* ExecModeArgToString(ExecModeArg m) {
       return "row";
     case ExecModeArg::kFragment:
       return "fragment";
+    case ExecModeArg::kVector:
+      return "vector";
     case ExecModeArg::kBoth:
       return "both";
   }
@@ -85,8 +88,8 @@ inline const char* FaultProfileArgToString(FaultProfileArg p) {
 ///   --reps=N           timed repetitions per cell (default 7)
 ///   --tiny             CI smoke mode: smallest scales only, fewer reps
 ///   --json=PATH        append one JSON object per result row to PATH
-///   --exec-mode=M      row | fragment | both (default both)
-///   --batch-size=N     rows per batch for the fragment backend
+///   --exec-mode=M      row | fragment | vector | both (default both)
+///   --batch-size=N     rows per batch / selection-vector chunk size
 ///   --fault-profile=P  none | lossy (default none)
 ///   --fault-seed=N     seed of the deterministic fault schedule
 ///   --trace-out=PATH   write one Chrome trace_event JSON file to PATH
@@ -124,11 +127,14 @@ struct BenchOptions {
           o.exec_mode = ExecModeArg::kRow;
         } else if (std::strcmp(m, "fragment") == 0) {
           o.exec_mode = ExecModeArg::kFragment;
+        } else if (std::strcmp(m, "vector") == 0) {
+          o.exec_mode = ExecModeArg::kVector;
         } else if (std::strcmp(m, "both") == 0) {
           o.exec_mode = ExecModeArg::kBoth;
         } else {
           std::fprintf(stderr,
-                       "bad --exec-mode '%s' (row|fragment|both)\n", m);
+                       "bad --exec-mode '%s' (row|fragment|vector|both)\n",
+                       m);
           std::exit(2);
         }
       } else if (std::strncmp(a, "--batch-size=", 13) == 0) {
@@ -156,7 +162,7 @@ struct BenchOptions {
         std::fprintf(stderr,
                      "unknown argument '%s' "
                      "(--threads=N --reps=N --tiny --json=PATH "
-                     "--exec-mode=row|fragment|both --batch-size=N "
+                     "--exec-mode=row|fragment|vector|both --batch-size=N "
                      "--fault-profile=none|lossy --fault-seed=N "
                      "--trace-out=PATH --plan-cache --clients=N)\n",
                      a);
@@ -177,8 +183,10 @@ struct BenchOptions {
         return {"row"};
       case ExecModeArg::kFragment:
         return {"fragment"};
+      case ExecModeArg::kVector:
+        return {"vector"};
       case ExecModeArg::kBoth:
-        return {"row", "fragment"};
+        return {"row", "fragment", "vector"};
     }
     return {};
   }

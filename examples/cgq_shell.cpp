@@ -72,7 +72,7 @@ void Help() {
       "  set <T|C|CR|CRA|open>;       switch policy set\n"
       "  cache <on|off|stats>;        compliant plan cache in front of the\n"
       "                               optimizer (footer shows hit/miss)\n"
-      "  exec <row|fragment>;         switch execution backend\n"
+      "  exec <row|fragment|vector>;  switch execution backend\n"
       "  faults <p|off>;              lossy links: drop probability p\n"
       "  trace <file|off>;            write Chrome trace JSON per query\n"
       "  tables;                      list tables\n"
@@ -338,8 +338,11 @@ int main() {
           engine.set_exec_mode(ExecMode::kRow);
         } else if (mode == "fragment") {
           engine.set_exec_mode(ExecMode::kFragment);
+        } else if (mode == "vector") {
+          engine.set_exec_mode(ExecMode::kVector);
         } else {
-          std::printf("unknown backend '%s' (row|fragment)\n", mode.c_str());
+          std::printf("unknown backend '%s' (row|fragment|vector)\n",
+                      mode.c_str());
           continue;
         }
         std::printf("execution backend: %s\n",

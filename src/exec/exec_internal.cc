@@ -105,7 +105,7 @@ void JoinHashTable::Build(const std::vector<Row>& left,
       has_null |= left[i][lp].is_null();
       key.values.push_back(left[i][lp]);
     }
-    if (!has_null) table_.emplace(std::move(key), i);
+    if (!has_null) table_[std::move(key)].push_back(i);
   }
 }
 
@@ -120,19 +120,21 @@ Status HashAggregator::Init(const RowLayout& in_layout) {
 Status HashAggregator::Add(const Row& row) {
   RowKey key;
   for (size_t p : group_positions_) key.values.push_back(row[p]);
-  auto it = groups_.find(key);
-  if (it == groups_.end()) {
+  auto it = group_index_.find(key);
+  if (it == group_index_.end()) {
     GroupState state;
     state.key = key.values;
     for (const AggCall& call : node_->agg_calls) {
       state.accs.emplace_back(call.fn);
     }
-    it = groups_.emplace(std::move(key), std::move(state)).first;
+    it = group_index_.emplace(std::move(key), groups_.size()).first;
+    groups_.push_back(std::move(state));
   }
+  GroupState& state = groups_[it->second];
   for (size_t i = 0; i < node_->agg_calls.size(); ++i) {
     CGQ_ASSIGN_OR_RETURN(
         Value v, EvalExpr(*node_->agg_calls[i].arg, row, in_layout_));
-    it->second.accs[i].Add(v);
+    state.accs[i].Add(v);
   }
   return Status::OK();
 }
@@ -143,12 +145,12 @@ std::vector<Row> HashAggregator::Finish() {
     for (const AggCall& call : node_->agg_calls) {
       state.accs.emplace_back(call.fn);
     }
-    groups_.emplace(RowKey{}, std::move(state));
+    groups_.push_back(std::move(state));
   }
   std::vector<Row> out;
   out.reserve(groups_.size());
-  for (auto& [key, state] : groups_) {
-    Row row = state.key;
+  for (GroupState& state : groups_) {
+    Row row = std::move(state.key);
     for (const AggAccumulator& acc : state.accs) {
       row.push_back(acc.Finish());
     }

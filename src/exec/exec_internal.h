@@ -15,10 +15,19 @@
 namespace cgq {
 namespace exec_internal {
 
-/// Shared operator machinery of the two executor backends. The row
+/// Shared operator machinery of the executor backends. The row
 /// interpreter and the fragmented runtime both delegate here so that they
-/// produce byte-identical results in identical row order (hash-table
-/// iteration order included), which the equivalence tests assert.
+/// produce byte-identical results in identical row order, which the
+/// equivalence tests assert. The columnar vectorized backend
+/// (exec/vector/) re-implements the same operators against typed columns;
+/// it can only be validated byte-for-byte because the orders below are
+/// *defined*, not accidents of standard-library hash containers:
+///
+///  - Hash join: probe rows in input order; per probe row, matching build
+///    rows in build (insertion) order.
+///  - Aggregation: groups emitted in first-seen order of their keys.
+///
+/// (See DESIGN.md §12, "the row-reference validation contract".)
 
 /// Layout of an operator's output rows.
 RowLayout LayoutOf(const PlanNode& node);
@@ -68,14 +77,14 @@ struct JoinSpec {
 };
 
 /// Build/probe hash table over the left input of an equi-join. Building
-/// inserts left rows in index order, so probe-match order is identical
-/// for both backends.
+/// inserts left rows in index order; Probe emits matches in build order
+/// per key (the defined order every backend must reproduce).
 class JoinHashTable {
  public:
   void Build(const std::vector<Row>& left, const JoinSpec& spec);
 
   /// Invokes `fn(left_row)` for every left row whose keys match
-  /// `right_row` (skipping NULL keys), in build order per bucket.
+  /// `right_row` (skipping NULL keys), in build (insertion) order.
   template <typename Fn>
   Status Probe(const Row& right_row, const JoinSpec& spec,
                const Fn& fn) const {
@@ -86,16 +95,18 @@ class JoinHashTable {
       key.values.push_back(right_row[rp]);
     }
     if (has_null) return Status::OK();
-    auto range = table_.equal_range(key);
-    for (auto it = range.first; it != range.second; ++it) {
-      CGQ_RETURN_NOT_OK(fn((*left_)[it->second]));
+    auto it = table_.find(key);
+    if (it == table_.end()) return Status::OK();
+    for (size_t index : it->second) {
+      CGQ_RETURN_NOT_OK(fn((*left_)[index]));
     }
     return Status::OK();
   }
 
  private:
   const std::vector<Row>* left_ = nullptr;
-  std::unordered_multimap<RowKey, size_t, RowKeyHash> table_;
+  /// Key -> left row indices in build order.
+  std::unordered_map<RowKey, std::vector<size_t>, RowKeyHash> table_;
 };
 
 /// Classic sort-merge: sorts both inputs on the equi-keys and merges
@@ -169,9 +180,9 @@ Status SortMergeJoin(std::vector<Row>& left, std::vector<Row>& right,
 }
 
 /// Streaming hash aggregation with the exact accumulation and output-order
-/// semantics of the row interpreter: rows are folded one at a time, and
-/// Finish() emits groups in hash-map iteration order (deterministic for a
-/// given insertion sequence).
+/// semantics every backend must reproduce: rows are folded one at a time
+/// in input order, and Finish() emits groups in first-seen order of their
+/// keys.
 class HashAggregator {
  public:
   /// `node` must outlive the aggregator.
@@ -191,7 +202,9 @@ class HashAggregator {
   const PlanNode* node_;
   RowLayout in_layout_;
   std::vector<size_t> group_positions_;
-  std::unordered_map<RowKey, GroupState, RowKeyHash> groups_;
+  /// Key -> index into `groups_` (which keeps first-seen order).
+  std::unordered_map<RowKey, size_t, RowKeyHash> group_index_;
+  std::vector<GroupState> groups_;
 };
 
 }  // namespace exec_internal

@@ -9,6 +9,7 @@
 #include "common/trace.h"
 #include "exec/exec_internal.h"
 #include "exec/fragment_executor.h"
+#include "exec/vector/vector_executor.h"
 #include "expr/eval.h"
 
 namespace cgq {
@@ -25,6 +26,8 @@ const char* ExecModeToString(ExecMode mode) {
       return "row";
     case ExecMode::kFragment:
       return "fragment";
+    case ExecMode::kVector:
+      return "vector";
   }
   return "?";
 }
@@ -292,6 +295,9 @@ std::string FormatExecMetrics(const ExecMetrics& metrics,
 Result<QueryResult> Executor::ExecutePlan(const PlanNode& plan) const {
   if (options_.mode == ExecMode::kFragment) {
     return ExecuteFragmentedPlan(plan, store_, net_, options_);
+  }
+  if (options_.mode == ExecMode::kVector) {
+    return ExecuteVectorPlan(plan, store_, net_, options_);
   }
   QueryResult result;
   PlanInterpreter interp(store_, net_, &options_, &result.metrics);

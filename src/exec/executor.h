@@ -25,6 +25,11 @@ enum class ExecMode {
   /// channels and run concurrently. Byte-identical results and identical
   /// ship metrics to the row backend.
   kFragment,
+  /// Columnar vectorized backend: operators exchange per-column typed
+  /// vectors with null bitmaps and evaluate expressions over selection
+  /// vectors in batch_size chunks (see exec/vector/). Byte-identical
+  /// results and identical ship metrics to the row backend.
+  kVector,
 };
 
 const char* ExecModeToString(ExecMode mode);
@@ -33,7 +38,8 @@ const char* ExecModeToString(ExecMode mode);
 /// of OptimizerOptions).
 struct ExecutorOptions {
   ExecMode mode = ExecMode::kRow;
-  /// Rows per batch in the fragmented runtime.
+  /// Rows per batch in the fragmented runtime; also the selection-vector
+  /// chunk granularity of the vectorized backend.
   int batch_size = kDefaultBatchSize;
   /// Batches in flight per ship channel before the producer blocks
   /// (backpressure). 0 = unbounded.
@@ -121,10 +127,10 @@ struct QueryResult {
 std::string FormatPhaseTimings(const OptimizationStats& opt,
                                const ExecMetrics& metrics);
 
-/// Multi-site executor for located physical plans. Two backends (see
-/// ExecMode): the row-at-a-time reference interpreter and the fragmented
-/// batch runtime. SHIP operators charge the network model with the
-/// measured byte volume either way.
+/// Multi-site executor for located physical plans. Three backends (see
+/// ExecMode): the row-at-a-time reference interpreter, the fragmented
+/// batch runtime, and the columnar vectorized backend. SHIP operators
+/// charge the network model with the measured byte volume in every mode.
 class Executor {
  public:
   Executor(const TableStore* store, const NetworkModel* net)

@@ -6,12 +6,18 @@ namespace cgq {
 
 void TableStore::Put(LocationId location, const std::string& table,
                      std::vector<Row> rows) {
-  fragments_[Key(location, ToLower(table))] = std::move(rows);
+  std::string key = Key(location, ToLower(table));
+  fragments_[key] = std::move(rows);
+  std::lock_guard<std::mutex> lock(columnar_mu_);
+  columnar_.erase(key);
 }
 
 void TableStore::Append(LocationId location, const std::string& table,
                         Row row) {
-  fragments_[Key(location, ToLower(table))].push_back(std::move(row));
+  std::string key = Key(location, ToLower(table));
+  fragments_[key].push_back(std::move(row));
+  std::lock_guard<std::mutex> lock(columnar_mu_);
+  columnar_.erase(key);
 }
 
 Result<const std::vector<Row>*> TableStore::Get(
@@ -22,6 +28,43 @@ Result<const std::vector<Row>*> TableStore::Get(
                             "' at location " + std::to_string(location));
   }
   return &it->second;
+}
+
+Result<std::shared_ptr<const std::vector<vec::ColumnPtr>>>
+TableStore::GetColumnar(LocationId location, const std::string& table) const {
+  std::string key = Key(location, ToLower(table));
+  {
+    std::lock_guard<std::mutex> lock(columnar_mu_);
+    auto it = columnar_.find(key);
+    if (it != columnar_.end()) return it->second;
+  }
+  auto rows_it = fragments_.find(key);
+  if (rows_it == fragments_.end()) {
+    return Status::NotFound("no fragment of table '" + table +
+                            "' at location " + std::to_string(location));
+  }
+  const std::vector<Row>& rows = rows_it->second;
+  auto built = std::make_shared<ColumnarFragment>();
+  if (!rows.empty()) {
+    const size_t width = rows[0].size();
+    std::vector<vec::ColumnVector> cols(width);
+    for (vec::ColumnVector& c : cols) c.Reserve(rows.size());
+    for (const Row& row : rows) {
+      if (row.size() != width) {
+        return Status::Internal("stored row width mismatch for table '" +
+                                table + "'");
+      }
+      for (size_t c = 0; c < width; ++c) cols[c].AppendValue(row[c]);
+    }
+    built->reserve(width);
+    for (vec::ColumnVector& c : cols) {
+      built->push_back(vec::MakeColumn(std::move(c)));
+    }
+  }
+  std::lock_guard<std::mutex> lock(columnar_mu_);
+  // Keep the winner of a build race; both are equivalent.
+  auto [it, inserted] = columnar_.emplace(key, std::move(built));
+  return it->second;
 }
 
 size_t TableStore::TotalRows() const {

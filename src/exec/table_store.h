@@ -1,12 +1,15 @@
 #ifndef CGQ_EXEC_TABLE_STORE_H_
 #define CGQ_EXEC_TABLE_STORE_H_
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "catalog/location.h"
 #include "common/result.h"
+#include "exec/vector/column_batch.h"
 #include "types/value.h"
 
 namespace cgq {
@@ -17,6 +20,29 @@ namespace cgq {
 /// model the transfer between locations.
 class TableStore {
  public:
+  TableStore() = default;
+  // Copies/moves transfer the fragments but not the columnar cache (it
+  // regenerates on demand); the mutex makes the defaults unavailable.
+  TableStore(const TableStore& other) : fragments_(other.fragments_) {}
+  TableStore(TableStore&& other) noexcept
+      : fragments_(std::move(other.fragments_)) {}
+  TableStore& operator=(const TableStore& other) {
+    if (this != &other) {
+      fragments_ = other.fragments_;
+      std::lock_guard<std::mutex> lock(columnar_mu_);
+      columnar_.clear();
+    }
+    return *this;
+  }
+  TableStore& operator=(TableStore&& other) noexcept {
+    if (this != &other) {
+      fragments_ = std::move(other.fragments_);
+      std::lock_guard<std::mutex> lock(columnar_mu_);
+      columnar_.clear();
+    }
+    return *this;
+  }
+
   /// Registers the rows of `table`'s fragment at `location` (replaces any
   /// previous content).
   void Put(LocationId location, const std::string& table,
@@ -29,13 +55,30 @@ class TableStore {
   Result<const std::vector<Row>*> Get(LocationId location,
                                       const std::string& table) const;
 
+  /// The fragment in columnar form (one immutable column per stored-row
+  /// position), converted on first use and cached until the fragment is
+  /// replaced or appended to. Vector-backend scans share the cached
+  /// columns instead of re-converting the rows on every execution; the
+  /// caller wraps them in its per-query RowLayout. Errors when the
+  /// fragment is missing or its rows disagree on width. Thread-safe
+  /// against concurrent GetColumnar calls (but, like Get, not against a
+  /// concurrent Put/Append).
+  Result<std::shared_ptr<const std::vector<vec::ColumnPtr>>> GetColumnar(
+      LocationId location, const std::string& table) const;
+
   size_t TotalRows() const;
 
  private:
+  using ColumnarFragment = std::vector<vec::ColumnPtr>;
+
   static std::string Key(LocationId location, const std::string& table) {
     return std::to_string(location) + "/" + table;
   }
   std::unordered_map<std::string, std::vector<Row>> fragments_;
+  mutable std::mutex columnar_mu_;
+  mutable std::unordered_map<std::string,
+                             std::shared_ptr<const ColumnarFragment>>
+      columnar_;
 };
 
 }  // namespace cgq

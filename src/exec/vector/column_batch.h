@@ -1,0 +1,164 @@
+#ifndef CGQ_EXEC_VECTOR_COLUMN_BATCH_H_
+#define CGQ_EXEC_VECTOR_COLUMN_BATCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/batch.h"
+#include "expr/eval.h"
+#include "types/value.h"
+
+namespace cgq {
+namespace vec {
+
+/// Bit-packed validity companion of one column: bit i set means row i is
+/// NULL. Mostly-zero words make the common no-nulls case branch-free to
+/// test, and all-null columns cost one bit per row regardless of type.
+class NullBitmap {
+ public:
+  NullBitmap() = default;
+  explicit NullBitmap(size_t size) : size_(size), words_((size + 63) / 64) {}
+
+  size_t size() const { return size_; }
+
+  void Resize(size_t size) {
+    size_ = size;
+    words_.resize((size + 63) / 64);
+  }
+
+  bool IsNull(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void SetNull(size_t i) {
+    words_[i >> 6] |= uint64_t{1} << (i & 63);
+    ++null_count_;
+  }
+  void AppendBit(bool is_null) {
+    size_t i = size_++;
+    if ((i & 63) == 0) words_.push_back(0);
+    if (is_null) {
+      words_[i >> 6] |= uint64_t{1} << (i & 63);
+      ++null_count_;
+    }
+  }
+
+  int64_t null_count() const { return null_count_; }
+  bool AnyNull() const { return null_count_ != 0; }
+  bool AllNull() const {
+    return size_ != 0 && null_count_ == static_cast<int64_t>(size_);
+  }
+
+ private:
+  size_t size_ = 0;
+  int64_t null_count_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+/// Physical representation of one column vector. Dates share kInt64 (as in
+/// Value); kValue is the lossless fallback for columns that are not
+/// type-uniform (it stores the original Values and every kernel degrades
+/// to the scalar reference semantics elementwise).
+enum class ColumnTag { kInt64, kDouble, kString, kValue };
+
+const char* ColumnTagToString(ColumnTag tag);
+
+/// One column of a ColumnBatch: a contiguous typed vector plus a null
+/// bitmap. NULL slots of typed columns hold a zero / empty payload; the
+/// bitmap is authoritative. An all-null column (no non-null value to
+/// infer a type from) is kInt64 with every bit set.
+struct ColumnVector {
+  ColumnTag tag = ColumnTag::kInt64;
+  NullBitmap nulls;
+  std::vector<int64_t> i64;
+  std::vector<double> f64;
+  std::vector<std::string> str;
+  std::vector<Value> vals;  ///< kValue fallback only
+
+  size_t size() const { return nulls.size(); }
+
+  /// Reserves payload capacity for `n` rows under the current tag.
+  void Reserve(size_t n);
+
+  /// Materializes row `i` as a Value, byte-identical to the Value the
+  /// column was built from.
+  Value GetValue(size_t i) const {
+    if (tag != ColumnTag::kValue && nulls.IsNull(i)) return Value::Null();
+    switch (tag) {
+      case ColumnTag::kInt64:
+        return Value::Int64(i64[i]);
+      case ColumnTag::kDouble:
+        return Value::Double(f64[i]);
+      case ColumnTag::kString:
+        return Value::String(str[i]);
+      case ColumnTag::kValue:
+        return vals[i];
+    }
+    return Value::Null();
+  }
+
+  /// Appends one Value, demoting the whole column to the kValue fallback
+  /// when the value does not fit the current tag (first non-null value
+  /// decides the tag of a fresh column).
+  void AppendValue(const Value& v);
+
+  /// Appends row `i` of `other` (same-tag fast path, generic otherwise).
+  void AppendFrom(const ColumnVector& other, size_t i);
+
+  /// New column holding rows `sel` of this one, in selection order.
+  ColumnVector Gather(const std::vector<uint32_t>& sel) const;
+
+ private:
+  /// Converts a typed column (with however many rows it already has) to
+  /// the kValue representation.
+  void DemoteToValues();
+};
+
+/// Shared immutable column handle. Operators build a ColumnVector, then
+/// freeze it behind a shared_ptr; downstream operators that keep a column
+/// unchanged (projection, all-pass filters, the scan cache) share the
+/// handle instead of copying the payload.
+using ColumnPtr = std::shared_ptr<const ColumnVector>;
+
+inline ColumnPtr MakeColumn(ColumnVector&& col) {
+  return std::make_shared<ColumnVector>(std::move(col));
+}
+
+/// Columnar counterpart of RowBatch: per-column contiguous vectors +
+/// null bitmaps, positioned per `layout`. The vectorized backend's
+/// operators exchange these; conversion to/from RowBatch happens only at
+/// ShipChannel and result boundaries (see DESIGN.md §12), so fragment
+/// shipping, fault injection/replay, and tracing semantics are untouched.
+struct ColumnBatch {
+  RowLayout layout;
+  std::vector<ColumnPtr> columns;  ///< parallel to layout.attrs()
+
+  size_t NumRows() const {
+    return columns.empty() ? 0 : columns[0]->size();
+  }
+  size_t NumColumns() const { return columns.size(); }
+
+  /// New batch holding rows `sel`, in selection order.
+  ColumnBatch Gather(const std::vector<uint32_t>& sel) const;
+};
+
+/// Row -> column conversion. Column tags are inferred from the first
+/// non-null value of each column; mixed columns fall back to kValue.
+/// Fails only on a row/layout width mismatch.
+Result<ColumnBatch> FromRowBatch(const RowBatch& batch);
+
+/// Same, directly from stored rows (the scan path; skips the RowBatch).
+Result<ColumnBatch> FromRows(const RowLayout& layout,
+                             const std::vector<Row>& rows);
+
+/// Column -> row conversion, value-identical to what FromRowBatch
+/// consumed: round-tripping any RowBatch reproduces it byte-for-byte.
+RowBatch ToRowBatch(const ColumnBatch& batch);
+
+}  // namespace vec
+}  // namespace cgq
+
+#endif  // CGQ_EXEC_VECTOR_COLUMN_BATCH_H_

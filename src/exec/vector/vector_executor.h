@@ -1,0 +1,32 @@
+#ifndef CGQ_EXEC_VECTOR_VECTOR_EXECUTOR_H_
+#define CGQ_EXEC_VECTOR_VECTOR_EXECUTOR_H_
+
+#include "common/result.h"
+#include "exec/executor.h"
+#include "exec/table_store.h"
+#include "net/network_model.h"
+#include "plan/plan_node.h"
+
+namespace cgq {
+
+/// Columnar vectorized backend: every operator materializes its output as
+/// a ColumnBatch (per-column typed vectors + null bitmaps) and processes
+/// rows in selection-vector chunks of `options.batch_size`. Expressions
+/// run through the vectorized kernels (exec/vector/kernels.h); the hash
+/// join builds/probes on columns and gathers matches batch-at-a-time;
+/// aggregation folds typed columns group-at-a-time.
+///
+/// Results are byte-identical to the row interpreter — same rows in the
+/// same order, same ships / rows_shipped / bytes_shipped — because the
+/// operators reproduce the defined orders of exec/exec_internal.h and
+/// every SHIP edge converts to a RowBatch and moves through the same
+/// ShipChannel (fault injection, retries and tracing included). See
+/// DESIGN.md §12.
+Result<QueryResult> ExecuteVectorPlan(const PlanNode& plan,
+                                      const TableStore* store,
+                                      const NetworkModel* net,
+                                      const ExecutorOptions& options);
+
+}  // namespace cgq
+
+#endif  // CGQ_EXEC_VECTOR_VECTOR_EXECUTOR_H_

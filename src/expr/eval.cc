@@ -10,14 +10,17 @@ namespace {
 
 Value BoolValue(bool b) { return Value::Int64(b ? 1 : 0); }
 
-bool IsTruthy(const Value& v) {
+}  // namespace
+
+bool IsTruthyValue(const Value& v) {
   if (v.is_null()) return false;
   if (v.is_int64()) return v.int64() != 0;
   if (v.is_double()) return v.dbl() != 0;
   return !v.str().empty();
 }
 
-Result<Value> EvalComparison(ExprOp op, const Value& l, const Value& r) {
+Result<Value> EvalComparisonValues(ExprOp op, const Value& l,
+                                   const Value& r) {
   if (l.is_null() || r.is_null()) return Value::Null();
   if (l.is_string() != r.is_string()) {
     return Status::InvalidArgument("comparing incompatible value families");
@@ -41,7 +44,8 @@ Result<Value> EvalComparison(ExprOp op, const Value& l, const Value& r) {
   }
 }
 
-Result<Value> EvalArithmetic(ExprOp op, const Value& l, const Value& r) {
+Result<Value> EvalArithmeticValues(ExprOp op, const Value& l,
+                                   const Value& r) {
   if (l.is_null() || r.is_null()) return Value::Null();
   if (!l.is_numeric() || !r.is_numeric()) {
     return Status::InvalidArgument("arithmetic requires numeric operands");
@@ -77,8 +81,6 @@ Result<Value> EvalArithmetic(ExprOp op, const Value& l, const Value& r) {
   }
 }
 
-}  // namespace
-
 Result<Value> EvalExpr(const Expr& expr, const Row& row,
                        const RowLayout& layout) {
   switch (expr.op()) {
@@ -94,24 +96,24 @@ Result<Value> EvalExpr(const Expr& expr, const Row& row,
     }
     case ExprOp::kAnd: {
       CGQ_ASSIGN_OR_RETURN(Value l, EvalExpr(*expr.child(0), row, layout));
-      if (!l.is_null() && !IsTruthy(l)) return BoolValue(false);
+      if (!l.is_null() && !IsTruthyValue(l)) return BoolValue(false);
       CGQ_ASSIGN_OR_RETURN(Value r, EvalExpr(*expr.child(1), row, layout));
-      if (!r.is_null() && !IsTruthy(r)) return BoolValue(false);
+      if (!r.is_null() && !IsTruthyValue(r)) return BoolValue(false);
       if (l.is_null() || r.is_null()) return Value::Null();
       return BoolValue(true);
     }
     case ExprOp::kOr: {
       CGQ_ASSIGN_OR_RETURN(Value l, EvalExpr(*expr.child(0), row, layout));
-      if (!l.is_null() && IsTruthy(l)) return BoolValue(true);
+      if (!l.is_null() && IsTruthyValue(l)) return BoolValue(true);
       CGQ_ASSIGN_OR_RETURN(Value r, EvalExpr(*expr.child(1), row, layout));
-      if (!r.is_null() && IsTruthy(r)) return BoolValue(true);
+      if (!r.is_null() && IsTruthyValue(r)) return BoolValue(true);
       if (l.is_null() || r.is_null()) return Value::Null();
       return BoolValue(false);
     }
     case ExprOp::kNot: {
       CGQ_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.child(0), row, layout));
       if (v.is_null()) return Value::Null();
-      return BoolValue(!IsTruthy(v));
+      return BoolValue(!IsTruthyValue(v));
     }
     case ExprOp::kEq:
     case ExprOp::kNe:
@@ -121,7 +123,7 @@ Result<Value> EvalExpr(const Expr& expr, const Row& row,
     case ExprOp::kGe: {
       CGQ_ASSIGN_OR_RETURN(Value l, EvalExpr(*expr.child(0), row, layout));
       CGQ_ASSIGN_OR_RETURN(Value r, EvalExpr(*expr.child(1), row, layout));
-      return EvalComparison(expr.op(), l, r);
+      return EvalComparisonValues(expr.op(), l, r);
     }
     case ExprOp::kAdd:
     case ExprOp::kSub:
@@ -129,7 +131,7 @@ Result<Value> EvalExpr(const Expr& expr, const Row& row,
     case ExprOp::kDiv: {
       CGQ_ASSIGN_OR_RETURN(Value l, EvalExpr(*expr.child(0), row, layout));
       CGQ_ASSIGN_OR_RETURN(Value r, EvalExpr(*expr.child(1), row, layout));
-      return EvalArithmetic(expr.op(), l, r);
+      return EvalArithmeticValues(expr.op(), l, r);
     }
     case ExprOp::kLike:
     case ExprOp::kNotLike: {
@@ -159,7 +161,7 @@ Result<Value> EvalExpr(const Expr& expr, const Row& row,
 Result<bool> EvalPredicate(const Expr& pred, const Row& row,
                            const RowLayout& layout) {
   CGQ_ASSIGN_OR_RETURN(Value v, EvalExpr(pred, row, layout));
-  return !v.is_null() && IsTruthy(v);
+  return !v.is_null() && IsTruthyValue(v);
 }
 
 void AggAccumulator::Add(const Value& v) {

@@ -41,6 +41,19 @@ class RowLayout {
 Result<Value> EvalExpr(const Expr& expr, const Row& row,
                        const RowLayout& layout);
 
+/// SQL truthiness: non-null and non-zero / non-empty. The single
+/// definition shared by the scalar evaluator and the vectorized kernels.
+bool IsTruthyValue(const Value& v);
+
+/// One comparison / arithmetic step with the exact NULL, promotion and
+/// error semantics of EvalExpr. Exposed so the columnar kernels
+/// (exec/vector/) fall back to the same scalar reference on untyped
+/// columns instead of re-implementing the semantics.
+Result<Value> EvalComparisonValues(ExprOp op, const Value& l,
+                                   const Value& r);
+Result<Value> EvalArithmeticValues(ExprOp op, const Value& l,
+                                   const Value& r);
+
 /// Evaluates a predicate: true iff the result is a non-null truthy value.
 Result<bool> EvalPredicate(const Expr& pred, const Row& row,
                            const RowLayout& layout);
