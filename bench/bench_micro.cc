@@ -13,7 +13,12 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <memory>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
@@ -22,6 +27,8 @@
 #include "bench_util.h"
 #include "common/trace.h"
 #include "core/engine.h"
+#include "net/cluster_client.h"
+#include "net/server.h"
 #include "core/optimizer.h"
 #include "core/policy_evaluator.h"
 #include "exec/executor.h"
@@ -41,6 +48,7 @@ namespace {
 ExecMode ModeFromName(const std::string& mode) {
   if (mode == "row") return ExecMode::kRow;
   if (mode == "vector") return ExecMode::kVector;
+  if (mode == "distributed") return ExecMode::kDistributed;
   return ExecMode::kFragment;
 }
 
@@ -155,6 +163,40 @@ int ExecutionBench(const bench::BenchOptions& opts,
   TableStore store;
   CGQ_CHECK(tpch::GenerateData(*catalog, config, &store).ok());
 
+  // --exec-mode=distributed: run against real location servers. With
+  // --connect the servers are external (multi-process, e.g. the CI
+  // loopback deployment); without it the bench stands up an in-process
+  // loopback deployment on ephemeral ports.
+  bool wants_distributed = false;
+  for (const char* mode : opts.ExecModes()) {
+    wants_distributed |= std::strcmp(mode, "distributed") == 0;
+  }
+  std::vector<std::unique_ptr<net::SiteServer>> loopback;
+  net::ClusterClient cluster;
+  if (wants_distributed) {
+    std::map<LocationId, net::Endpoint> endpoints;
+    if (!opts.connect_hosts.empty()) {
+      auto parsed = net::ParseHostsFile(opts.connect_hosts);
+      CGQ_CHECK(parsed.ok()) << parsed.status();
+      endpoints = *parsed;
+    } else {
+      const std::vector<std::vector<LocationId>> hosting = {
+          {0, 1}, {2, 3}, {4}};
+      for (const std::vector<LocationId>& locations : hosting) {
+        net::SiteServer::Options sopts;
+        sopts.locations = locations;
+        auto server = std::make_unique<net::SiteServer>(sopts);
+        CGQ_CHECK(server->Start().ok());
+        for (LocationId l : locations) {
+          endpoints[l] = {"127.0.0.1", server->port()};
+        }
+        loopback.push_back(std::move(server));
+      }
+    }
+    CGQ_CHECK(cluster.Connect(endpoints).ok());
+    CGQ_CHECK(cluster.Deploy(store).ok());
+  }
+
   // The lossy profile drops 5% of batches on every cross-site link; the
   // retry budget makes exhaustion (0.05^9) impossible in practice, so
   // both backends recover every run and their digests must still agree.
@@ -202,6 +244,7 @@ int ExecutionBench(const bench::BenchOptions& opts,
       eopts.mode = ModeFromName(mode);
       eopts.batch_size = opts.batch_size;
       eopts.threads = opts.threads;
+      if (eopts.mode == ExecMode::kDistributed) eopts.cluster = &cluster;
       if (lossy) {
         eopts.retry.max_retries = 8;
         eopts.retry.fault_seed = opts.fault_seed;
@@ -520,8 +563,43 @@ int PlanCacheBench(const bench::BenchOptions& opts,
 
 }  // namespace
 
+// --listen=L[,L...]: act as a location server instead of benchmarking.
+// Binds an ephemeral port, prints it, serves until stdin closes. Lets a
+// multi-process deployment be assembled from this binary alone (the CI
+// loopback job uses the dedicated cgq_sited binary instead).
+int ListenMode(const bench::BenchOptions& opts) {
+  net::SiteServer::Options sopts;
+  std::stringstream locs(opts.listen_locations);
+  std::string token;
+  while (std::getline(locs, token, ',')) {
+    sopts.locations.push_back(
+        static_cast<LocationId>(std::strtoul(token.c_str(), nullptr, 10)));
+  }
+  if (sopts.locations.empty()) {
+    std::fprintf(stderr, "--listen needs at least one location id\n");
+    return 2;
+  }
+  net::SiteServer server(sopts);
+  Status s = server.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on 127.0.0.1:%u locations=%s\n", server.port(),
+              opts.listen_locations.c_str());
+  std::fflush(stdout);
+  // Serve until the parent closes our stdin (the loopback harness
+  // contract; also makes Ctrl-D work interactively).
+  std::string line;
+  while (std::getline(std::cin, line)) {
+  }
+  server.Stop();
+  return 0;
+}
+
 int main(int argc, char** argv) {
   bench::BenchOptions opts = bench::BenchOptions::Parse(argc, argv);
+  if (!opts.listen_locations.empty()) return ListenMode(opts);
   bench::JsonReport report(opts.json_path);
 
   OptimizerMicro(opts, &report);

@@ -55,8 +55,10 @@ inline void PrintHeader(const std::string& title) {
 }
 
 /// Which executor backends an execution bench measures. `kBoth` means
-/// every backend (row, fragment and vector).
-enum class ExecModeArg { kRow, kFragment, kVector, kBoth };
+/// every *in-process* backend (row, fragment and vector); the
+/// distributed backend is opt-in (it needs servers — a --connect hosts
+/// file or the bench's own loopback deployment).
+enum class ExecModeArg { kRow, kFragment, kVector, kDistributed, kBoth };
 
 inline const char* ExecModeArgToString(ExecModeArg m) {
   switch (m) {
@@ -66,6 +68,8 @@ inline const char* ExecModeArgToString(ExecModeArg m) {
       return "fragment";
     case ExecModeArg::kVector:
       return "vector";
+    case ExecModeArg::kDistributed:
+      return "distributed";
     case ExecModeArg::kBoth:
       return "both";
   }
@@ -88,7 +92,14 @@ inline const char* FaultProfileArgToString(FaultProfileArg p) {
 ///   --reps=N           timed repetitions per cell (default 7)
 ///   --tiny             CI smoke mode: smallest scales only, fewer reps
 ///   --json=PATH        append one JSON object per result row to PATH
-///   --exec-mode=M      row | fragment | vector | both (default both)
+///   --exec-mode=M      row | fragment | vector | distributed | both
+///                      (default both = the in-process backends)
+///   --connect=PATH     hosts file (host:port loc[,loc] lines) for
+///                      --exec-mode=distributed; without it the bench
+///                      deploys its own loopback servers
+///   --listen=L[,L...]  run as a location server for the given location
+///                      ids instead of benchmarking (ephemeral port,
+///                      printed on stdout; exits on stdin EOF)
 ///   --batch-size=N     rows per batch / selection-vector chunk size
 ///   --fault-profile=P  none | lossy (default none)
 ///   --fault-seed=N     seed of the deterministic fault schedule
@@ -101,6 +112,8 @@ struct BenchOptions {
   bool tiny = false;
   std::string json_path;
   ExecModeArg exec_mode = ExecModeArg::kBoth;
+  std::string connect_hosts;
+  std::string listen_locations;
   int batch_size = 1024;
   FaultProfileArg fault_profile = FaultProfileArg::kNone;
   uint64_t fault_seed = 20260807;
@@ -129,14 +142,22 @@ struct BenchOptions {
           o.exec_mode = ExecModeArg::kFragment;
         } else if (std::strcmp(m, "vector") == 0) {
           o.exec_mode = ExecModeArg::kVector;
+        } else if (std::strcmp(m, "distributed") == 0) {
+          o.exec_mode = ExecModeArg::kDistributed;
         } else if (std::strcmp(m, "both") == 0) {
           o.exec_mode = ExecModeArg::kBoth;
         } else {
-          std::fprintf(stderr,
-                       "bad --exec-mode '%s' (row|fragment|vector|both)\n",
-                       m);
+          std::fprintf(
+              stderr,
+              "bad --exec-mode '%s' "
+              "(row|fragment|vector|distributed|both)\n",
+              m);
           std::exit(2);
         }
+      } else if (std::strncmp(a, "--connect=", 10) == 0) {
+        o.connect_hosts = a + 10;
+      } else if (std::strncmp(a, "--listen=", 9) == 0) {
+        o.listen_locations = a + 9;
       } else if (std::strncmp(a, "--batch-size=", 13) == 0) {
         o.batch_size = std::atoi(a + 13);
       } else if (std::strncmp(a, "--fault-profile=", 16) == 0) {
@@ -162,7 +183,8 @@ struct BenchOptions {
         std::fprintf(stderr,
                      "unknown argument '%s' "
                      "(--threads=N --reps=N --tiny --json=PATH "
-                     "--exec-mode=row|fragment|vector|both --batch-size=N "
+                     "--exec-mode=row|fragment|vector|distributed|both "
+                     "--connect=PATH --listen=L[,L] --batch-size=N "
                      "--fault-profile=none|lossy --fault-seed=N "
                      "--trace-out=PATH --plan-cache --clients=N)\n",
                      a);
@@ -185,7 +207,12 @@ struct BenchOptions {
         return {"fragment"};
       case ExecModeArg::kVector:
         return {"vector"};
+      case ExecModeArg::kDistributed:
+        return {"distributed"};
       case ExecModeArg::kBoth:
+        // Deliberately excludes "distributed": the in-process trio is
+        // what the default bench (and the checked-in BENCH_micro.json
+        // baseline) covers; distributed runs land in their own JSON.
         return {"row", "fragment", "vector"};
     }
     return {};

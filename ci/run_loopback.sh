@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Multi-process loopback deployment gate: starts three cgq_sited
+# processes on ephemeral 127.0.0.1 ports (partitioning the five TPC-H
+# locations as {0,1} / {2,3} / {4}), assembles the coordinator's hosts
+# file from their --port-file reports, and runs cgq_coord's 24-cell
+# equivalence suite (distributed-over-TCP vs in-process row backend:
+# result digests and ship accounting must agree exactly).
+#
+#   ci/run_loopback.sh [BUILD_DIR] [OUT_DIR]
+#
+# Exit status is cgq_coord's. Server logs, the hosts file and the
+# coordinator's trace land in OUT_DIR (uploaded as CI artifacts on
+# failure). All children are reaped on every exit path.
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-loopback-artifacts}"
+SITED="$BUILD_DIR/examples/cgq_sited"
+COORD="$BUILD_DIR/examples/cgq_coord"
+HOSTINGS=("0,1" "2,3" "4")
+
+for bin in "$SITED" "$COORD"; do
+  if [ ! -x "$bin" ]; then
+    echo "run_loopback: missing binary $bin (build cgq_sited and" \
+         "cgq_coord first)" >&2
+    exit 2
+  fi
+done
+
+mkdir -p "$OUT_DIR"
+PIDS=()
+
+cleanup() {
+  local status=$?
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  for pid in "${PIDS[@]:-}"; do
+    wait "$pid" 2>/dev/null || true
+  done
+  exit "$status"
+}
+trap cleanup EXIT INT TERM
+
+# Start the servers; each binds port 0 and reports the kernel's choice
+# via its port file. No port is hardcoded anywhere.
+i=0
+for locs in "${HOSTINGS[@]}"; do
+  port_file="$OUT_DIR/sited-$i.port"
+  rm -f "$port_file"
+  "$SITED" --locations="$locs" --port-file="$port_file" \
+    > "$OUT_DIR/sited-$i.log" 2>&1 &
+  PIDS+=($!)
+  i=$((i + 1))
+done
+
+# A non-empty port file means the server is accepting connections.
+HOSTS_FILE="$OUT_DIR/hosts.txt"
+: > "$HOSTS_FILE"
+i=0
+for locs in "${HOSTINGS[@]}"; do
+  port_file="$OUT_DIR/sited-$i.port"
+  for _ in $(seq 1 100); do
+    [ -s "$port_file" ] && break
+    sleep 0.1
+  done
+  if [ ! -s "$port_file" ]; then
+    echo "run_loopback: server $i never reported a port" >&2
+    cat "$OUT_DIR/sited-$i.log" >&2 || true
+    exit 1
+  fi
+  echo "127.0.0.1:$(cat "$port_file") $locs" >> "$HOSTS_FILE"
+  i=$((i + 1))
+done
+
+echo "run_loopback: hosts file:"
+cat "$HOSTS_FILE"
+
+"$COORD" --hosts="$HOSTS_FILE" --trace-out="$OUT_DIR/coord-trace.json" \
+  | tee "$OUT_DIR/coord.log"

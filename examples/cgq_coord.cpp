@@ -1,0 +1,249 @@
+// cgq_coord: the coordinator side of a deployed cluster, and the CI
+// loopback-equivalence gate. It generates TPC-H, deploys each
+// location's slice to the cgq_sited servers named in a hosts file, then
+// runs the full 24-cell compliance workload ({T, CR} policy sets x the
+// 12 TPC-H queries) twice per cell — once on the in-process row backend
+// and once distributed over the wire — and fails (exit 1) unless every
+// cell agrees on the FNV-1a result digest AND the ship accounting
+// (ships, rows_shipped, bytes_shipped, rows_scanned) exactly.
+//
+//   cgq_coord --hosts=PATH [--scale=F] [--batch-size=N] [--threads=N]
+//             [--trace-out=PATH]
+//
+// The hosts file is one `host:port loc[,loc...]` line per server (see
+// net::ParseHostsFile); ci/run_loopback.sh assembles it from the
+// servers' ephemeral --port-file reports.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "exec/executor.h"
+#include "net/cluster_client.h"
+#include "net/wire_protocol.h"
+#include "tpch/tpch.h"
+
+namespace {
+
+using namespace cgq;  // a driver binary, not a library
+
+// Full-precision row serialization feeding the digest: equal digests
+// mean byte-identical results, order included.
+uint64_t ResultDigest(const QueryResult& r) {
+  std::string flat;
+  for (const Row& row : r.rows) {
+    for (const Value& v : row) {
+      if (v.is_null()) {
+        flat += "NULL|";
+      } else if (v.is_double()) {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g|", v.dbl());
+        flat += buf;
+      } else {
+        flat += v.ToString() + "|";
+      }
+    }
+    flat += "\n";
+  }
+  return wire::Fnv1a(reinterpret_cast<const uint8_t*>(flat.data()),
+                     flat.size());
+}
+
+struct Cell {
+  const char* policy_set;
+  int qnum;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string hosts_path;
+  std::string trace_out;
+  double scale = 0.002;
+  int batch_size = 1024;
+  int threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--hosts=", 8) == 0) {
+      hosts_path = a + 8;
+    } else if (std::strncmp(a, "--scale=", 8) == 0) {
+      scale = std::atof(a + 8);
+    } else if (std::strncmp(a, "--batch-size=", 13) == 0) {
+      batch_size = std::atoi(a + 13);
+    } else if (std::strncmp(a, "--threads=", 10) == 0) {
+      threads = std::atoi(a + 10);
+    } else if (std::strncmp(a, "--trace-out=", 12) == 0) {
+      trace_out = a + 12;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s --hosts=PATH [--scale=F] [--batch-size=N] "
+                   "[--threads=N] [--trace-out=PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (hosts_path.empty()) {
+    std::fprintf(stderr, "cgq_coord: --hosts=PATH is required\n");
+    return 2;
+  }
+
+  tpch::TpchConfig config;
+  config.scale_factor = scale;
+  Catalog catalog = *tpch::BuildCatalog(config);
+  NetworkModel net = NetworkModel::DefaultGeo(5);
+  TableStore store;
+  Status gen = tpch::GenerateData(catalog, config, &store);
+  if (!gen.ok()) {
+    std::fprintf(stderr, "cgq_coord: %s\n", gen.ToString().c_str());
+    return 1;
+  }
+
+  auto endpoints = net::ParseHostsFile(hosts_path);
+  if (!endpoints.ok()) {
+    std::fprintf(stderr, "cgq_coord: %s\n",
+                 endpoints.status().ToString().c_str());
+    return 1;
+  }
+  net::ClusterClient cluster;
+  Status connected = cluster.Connect(*endpoints);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "cgq_coord: connect: %s\n",
+                 connected.ToString().c_str());
+    return 1;
+  }
+  Status deployed = cluster.Deploy(store);
+  if (!deployed.ok()) {
+    std::fprintf(stderr, "cgq_coord: deploy: %s\n",
+                 deployed.ToString().c_str());
+    return 1;
+  }
+  std::printf("cgq_coord: deployed sf=%g store to %zu location(s)\n",
+              scale, cluster.endpoints().size());
+
+  std::vector<Cell> cells;
+  for (const char* policy_set : {"T", "CR"}) {
+    for (int q : tpch::QueryNumbers()) cells.push_back({policy_set, q});
+    for (int q : tpch::ExtendedQueryNumbers()) {
+      cells.push_back({policy_set, q});
+    }
+  }
+
+  int failures = 0;
+  for (const Cell& cell : cells) {
+    PolicyCatalog policies(&catalog);
+    Status installed = tpch::InstallPolicySet(cell.policy_set, &policies);
+    if (!installed.ok()) {
+      std::fprintf(stderr, "cgq_coord: %s\n",
+                   installed.ToString().c_str());
+      return 1;
+    }
+    QueryOptimizer optimizer(&catalog, &policies, &net,
+                             OptimizerOptions());
+    auto sql = tpch::Query(cell.qnum);
+    if (!sql.ok()) {
+      std::fprintf(stderr, "cgq_coord: %s\n",
+                   sql.status().ToString().c_str());
+      return 1;
+    }
+    auto q = optimizer.Optimize(*sql);
+    if (!q.ok()) {
+      std::fprintf(stderr, "cgq_coord: %s Q%d: optimize: %s\n",
+                   cell.policy_set, cell.qnum,
+                   q.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+
+    ExecutorOptions row_opts;
+    row_opts.mode = ExecMode::kRow;
+    row_opts.batch_size = static_cast<size_t>(batch_size);
+    Executor row_exec(&store, &net, row_opts);
+    auto row = row_exec.Execute(*q);
+    if (!row.ok()) {
+      std::fprintf(stderr, "cgq_coord: %s Q%d: row: %s\n",
+                   cell.policy_set, cell.qnum,
+                   row.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+
+    ExecutorOptions dist_opts;
+    dist_opts.mode = ExecMode::kDistributed;
+    dist_opts.batch_size = static_cast<size_t>(batch_size);
+    dist_opts.threads = threads;
+    dist_opts.cluster = &cluster;
+    Executor dist_exec(&store, &net, dist_opts);
+    auto dist = dist_exec.Execute(*q);
+    if (!dist.ok()) {
+      std::fprintf(stderr, "cgq_coord: %s Q%d: distributed: %s\n",
+                   cell.policy_set, cell.qnum,
+                   dist.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+
+    const uint64_t row_digest = ResultDigest(*row);
+    const uint64_t dist_digest = ResultDigest(*dist);
+    bool ok = row_digest == dist_digest &&
+              row->metrics.ships == dist->metrics.ships &&
+              row->metrics.rows_shipped == dist->metrics.rows_shipped &&
+              row->metrics.bytes_shipped == dist->metrics.bytes_shipped &&
+              row->metrics.rows_scanned == dist->metrics.rows_scanned;
+    std::printf(
+        "cgq_coord: %-2s Q%-2d rows=%-5zu digest=%016llx ships=%lld "
+        "rows_shipped=%lld bytes_shipped=%.0f %s\n",
+        cell.policy_set, cell.qnum, dist->rows.size(),
+        static_cast<unsigned long long>(dist_digest),
+        static_cast<long long>(dist->metrics.ships),
+        static_cast<long long>(dist->metrics.rows_shipped),
+        dist->metrics.bytes_shipped, ok ? "OK" : "MISMATCH");
+    if (!ok) {
+      std::fprintf(
+          stderr,
+          "cgq_coord: %s Q%d MISMATCH: row digest=%016llx ships=%lld "
+          "rows_shipped=%lld bytes_shipped=%.0f rows_scanned=%lld vs "
+          "distributed digest=%016llx ships=%lld rows_shipped=%lld "
+          "bytes_shipped=%.0f rows_scanned=%lld\n",
+          cell.policy_set, cell.qnum,
+          static_cast<unsigned long long>(row_digest),
+          static_cast<long long>(row->metrics.ships),
+          static_cast<long long>(row->metrics.rows_shipped),
+          row->metrics.bytes_shipped,
+          static_cast<long long>(row->metrics.rows_scanned),
+          static_cast<unsigned long long>(dist_digest),
+          static_cast<long long>(dist->metrics.ships),
+          static_cast<long long>(dist->metrics.rows_shipped),
+          dist->metrics.bytes_shipped,
+          static_cast<long long>(dist->metrics.rows_scanned));
+      ++failures;
+    }
+  }
+
+  if (!trace_out.empty()) {
+    // One traced distributed run for the CI artifact: Q3 under CR.
+    Engine engine(Catalog(catalog), NetworkModel::DefaultGeo(5));
+    (void)tpch::InstallPolicySet("CR", &engine.policies());
+    if (tpch::GenerateData(engine.catalog(), config, &engine.store())
+            .ok() &&
+        engine.ConnectCluster(cluster.endpoints()).ok() &&
+        engine.DeployStore().ok()) {
+      engine.set_exec_mode(ExecMode::kDistributed);
+      engine.set_tracing(true);
+      auto sql = tpch::Query(3);
+      if (sql.ok() && engine.Run(*sql).ok()) {
+        Status dumped = engine.DumpTraceToFile(trace_out);
+        if (dumped.ok()) {
+          std::printf("cgq_coord: trace written to %s\n",
+                      trace_out.c_str());
+        }
+      }
+    }
+  }
+
+  std::printf("cgq_coord: %zu cell(s), %d failure(s)\n", cells.size(),
+              failures);
+  return failures == 0 ? 0 : 1;
+}

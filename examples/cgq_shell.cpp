@@ -14,6 +14,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -72,7 +73,9 @@ void Help() {
       "  set <T|C|CR|CRA|open>;       switch policy set\n"
       "  cache <on|off|stats>;        compliant plan cache in front of the\n"
       "                               optimizer (footer shows hit/miss)\n"
-      "  exec <row|fragment|vector>;  switch execution backend\n"
+      "  exec <row|fragment|vector|distributed>;  switch backend\n"
+      "  deploy <hosts-file>;         connect + push data to location\n"
+      "                               servers (host:port loc[,loc] lines)\n"
       "  faults <p|off>;              lossy links: drop probability p\n"
       "  trace <file|off>;            write Chrome trace JSON per query\n"
       "  tables;                      list tables\n"
@@ -340,13 +343,45 @@ int main() {
           engine.set_exec_mode(ExecMode::kFragment);
         } else if (mode == "vector") {
           engine.set_exec_mode(ExecMode::kVector);
+        } else if (mode == "distributed") {
+          if (!engine.cluster().connected()) {
+            std::printf(
+                "no cluster connected; run 'deploy <hosts-file>;' first\n");
+            continue;
+          }
+          engine.set_exec_mode(ExecMode::kDistributed);
         } else {
-          std::printf("unknown backend '%s' (row|fragment|vector)\n",
-                      mode.c_str());
+          std::printf(
+              "unknown backend '%s' (row|fragment|vector|distributed)\n",
+              mode.c_str());
           continue;
         }
         std::printf("execution backend: %s\n",
                     ExecModeToString(engine.default_exec_options().mode));
+        continue;
+      }
+      if (lower.rfind("deploy ", 0) == 0) {
+        std::string path(Trim(command.substr(7)));
+        auto endpoints = net::ParseHostsFile(path);
+        if (!endpoints.ok()) {
+          std::printf("%s\n", endpoints.status().ToString().c_str());
+          continue;
+        }
+        Status s = engine.ConnectCluster(*endpoints);
+        if (s.ok()) s = engine.DeployStore();
+        if (!s.ok()) {
+          std::printf("%s\n", s.ToString().c_str());
+          continue;
+        }
+        std::printf(
+            "deployed %zu location(s) across %zu server(s); "
+            "'exec distributed;' to use them\n",
+            endpoints->size(),
+            [&] {
+              std::set<net::Endpoint> servers;
+              for (const auto& [loc, ep] : *endpoints) servers.insert(ep);
+              return servers.size();
+            }());
         continue;
       }
       if (lower.rfind("cache", 0) == 0) {

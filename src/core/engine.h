@@ -10,6 +10,7 @@
 #include "core/policy.h"
 #include "exec/executor.h"
 #include "exec/table_store.h"
+#include "net/cluster_client.h"
 #include "net/network_model.h"
 
 namespace cgq {
@@ -86,6 +87,24 @@ class Engine {
     default_exec_options_.retry = retry;
   }
 
+  /// Connects this engine to a deployed cluster of location servers and
+  /// routes ExecMode::kDistributed runs to it. The endpoint map
+  /// (location -> server address) is handshake-verified against each
+  /// server's hosted set.
+  Status ConnectCluster(
+      const std::map<LocationId, net::Endpoint>& endpoints) {
+    CGQ_RETURN_NOT_OK(cluster_.Connect(endpoints));
+    default_exec_options_.cluster = &cluster_;
+    return Status::OK();
+  }
+
+  /// Pushes the engine's local store, sliced per location, to the
+  /// connected servers (the deployment step before distributed runs).
+  Status DeployStore() { return cluster_.Deploy(store_); }
+
+  net::ClusterClient& cluster() { return cluster_; }
+  const net::ClusterClient& cluster() const { return cluster_; }
+
   /// Enables per-query tracing: each Run() records a TraceSession whose
   /// spans cover parse, policy evaluation, annotation (AR1-AR4), site
   /// selection, the compliance check, per-fragment execution and every
@@ -156,6 +175,7 @@ class Engine {
   std::unique_ptr<NetworkModel> net_;
   std::unique_ptr<PolicyCatalog> policies_;
   TableStore store_;
+  net::ClusterClient cluster_;
   PlanCache* plan_cache_ = nullptr;
   bool tracing_ = false;
   TraceClock trace_clock_ = TraceClock::kDeterministic;

@@ -1,0 +1,62 @@
+#ifndef CGQ_EXEC_BATCH_OPS_H_
+#define CGQ_EXEC_BATCH_OPS_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "common/result.h"
+#include "exec/batch.h"
+#include "exec/table_store.h"
+#include "plan/plan_node.h"
+
+namespace cgq {
+namespace exec_internal {
+
+using OptBatch = std::optional<RowBatch>;
+
+/// Cooperative cancellation (ExecutorOptions::cancel), checked per batch
+/// and inside materialized-join loops. nullptr = not cancellable.
+Status CheckCancelled(const std::atomic<bool>* cancel);
+
+/// Pull-based batch operator: Next() returns the next (non-empty) batch of
+/// at most `batch_size` rows, an empty optional at end-of-stream, or an
+/// error.
+class BatchOp {
+ public:
+  virtual ~BatchOp() = default;
+  virtual Result<OptBatch> Next() = 0;
+  /// Static output layout (known before any batch is produced).
+  virtual const RowLayout& layout() const = 0;
+};
+
+using BatchOpPtr = std::unique_ptr<BatchOp>;
+
+/// Environment one fragment's operator tree is built against. The
+/// fragmented runtime supplies SHIP sources backed by in-process
+/// `ShipChannel`s; the location server (src/net) supplies sources fed by
+/// decoded wire frames. Everything else — scans, filters, projections,
+/// joins, aggregation, unions — is this shared core, which is what makes
+/// the loopback deployment byte-identical to the in-process backends.
+struct BatchOpEnv {
+  const TableStore* store = nullptr;
+  size_t batch_size = static_cast<size_t>(kDefaultBatchSize);
+  /// Cooperative cancellation token; nullptr = not cancellable.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Incremented by scan operators; must outlive the operator tree.
+  int64_t* rows_scanned = nullptr;
+  /// Creates the source operator of a SHIP leaf inside the fragment
+  /// subtree (its producing subtree belongs to another fragment).
+  std::function<Result<BatchOpPtr>(const PlanNode&)> ship_source;
+};
+
+/// Builds the batch-operator tree of one fragment rooted at `node`.
+/// `env` must outlive the construction call; the returned operators keep
+/// only the store/cancel/rows_scanned pointers, not `env` itself.
+Result<BatchOpPtr> BuildBatchOp(const PlanNode& node, const BatchOpEnv& env);
+
+}  // namespace exec_internal
+}  // namespace cgq
+
+#endif  // CGQ_EXEC_BATCH_OPS_H_

@@ -1,0 +1,40 @@
+#ifndef CGQ_EXEC_DISTRIBUTED_EXECUTOR_H_
+#define CGQ_EXEC_DISTRIBUTED_EXECUTOR_H_
+
+#include "common/result.h"
+#include "exec/executor.h"
+#include "exec/table_store.h"
+#include "net/network_model.h"
+#include "plan/plan_node.h"
+
+namespace cgq {
+
+/// Coordinator side of ExecMode::kDistributed: splits the located plan at
+/// its SHIP edges exactly like the fragmented runtime, but dispatches
+/// each fragment over TCP to the location server hosting its site
+/// (options.cluster) and streams the result batches back.
+///
+/// Topology is a star: every SHIP edge still runs through an in-process
+/// ShipChannel on the coordinator — the coordinator receives a producer
+/// fragment's output stream from its server, sends it through the
+/// channel (charging the network model, fault injection, retry/replay
+/// accounting), and relays whatever the channel delivers to the
+/// consumer fragment's server. That makes ships / rows_shipped /
+/// bytes_shipped / network_ms and the recovery counters byte-identical
+/// to the in-process backends, while the operator trees themselves run
+/// remotely against each server's store slice.
+///
+/// Recovery: a fragment attempt uses a fresh connection; any socket-level
+/// failure (refused, reset, partial frame, recv timeout, crash before
+/// ack) surfaces as kUnavailable and drives the same bounded
+/// restart-and-replay loop as the in-process backends. Placement is
+/// compliance-checked twice per attempt: here before dispatch, and on
+/// the receiving server before it acknowledges.
+Result<QueryResult> ExecuteDistributedPlan(const PlanNode& plan,
+                                           const TableStore* store,
+                                           const NetworkModel* net,
+                                           const ExecutorOptions& options);
+
+}  // namespace cgq
+
+#endif  // CGQ_EXEC_DISTRIBUTED_EXECUTOR_H_

@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/trace.h"
+#include "exec/distributed_executor.h"
 #include "exec/exec_internal.h"
 #include "exec/fragment_executor.h"
 #include "exec/vector/vector_executor.h"
@@ -28,6 +29,8 @@ const char* ExecModeToString(ExecMode mode) {
       return "fragment";
     case ExecMode::kVector:
       return "vector";
+    case ExecMode::kDistributed:
+      return "distributed";
   }
   return "?";
 }
@@ -298,6 +301,9 @@ Result<QueryResult> Executor::ExecutePlan(const PlanNode& plan) const {
   }
   if (options_.mode == ExecMode::kVector) {
     return ExecuteVectorPlan(plan, store_, net_, options_);
+  }
+  if (options_.mode == ExecMode::kDistributed) {
+    return ExecuteDistributedPlan(plan, store_, net_, options_);
   }
   QueryResult result;
   PlanInterpreter interp(store_, net_, &options_, &result.metrics);

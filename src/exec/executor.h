@@ -15,6 +15,10 @@
 
 namespace cgq {
 
+namespace net {
+class ClusterClient;
+}  // namespace net
+
 /// Which runtime executes located plans.
 enum class ExecMode {
   /// Row-at-a-time interpreter: every operator materializes its output on
@@ -30,6 +34,13 @@ enum class ExecMode {
   /// vectors in batch_size chunks (see exec/vector/). Byte-identical
   /// results and identical ship metrics to the row backend.
   kVector,
+  /// Wire-level deployment: fragments are dispatched over TCP to
+  /// per-location servers (ExecutorOptions::cluster) and their result
+  /// batches streamed back; every SHIP edge still runs through the
+  /// coordinator's in-process channel, so results AND ship metrics stay
+  /// byte-identical to the in-process backends (see
+  /// exec/distributed_executor.h).
+  kDistributed,
 };
 
 const char* ExecModeToString(ExecMode mode);
@@ -60,6 +71,9 @@ struct ExecutorOptions {
   /// flips to true the query aborts with StatusCode::kCancelled. nullptr
   /// = not cancellable.
   std::shared_ptr<std::atomic<bool>> cancel;
+  /// Connected deployment for ExecMode::kDistributed (required there,
+  /// ignored by the in-process backends). Not owned.
+  net::ClusterClient* cluster = nullptr;
 };
 
 /// Wall time and output volume of one executed fragment.

@@ -12,29 +12,21 @@
 #include "common/failpoint.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "exec/batch_ops.h"
 #include "exec/exec_internal.h"
 #include "exec/fragmenter.h"
 
 namespace cgq {
 
-using exec_internal::HashAggregator;
-using exec_internal::JoinHashTable;
-using exec_internal::JoinSpec;
+using exec_internal::BatchOp;
+using exec_internal::BatchOpEnv;
+using exec_internal::BatchOpPtr;
+using exec_internal::BuildBatchOp;
+using exec_internal::CheckCancelled;
 using exec_internal::LayoutOf;
-using exec_internal::PositionsOf;
+using exec_internal::OptBatch;
 
 namespace {
-
-using OptBatch = std::optional<RowBatch>;
-
-/// Cooperative cancellation (ExecutorOptions::cancel), checked per batch
-/// and inside materialized-join loops. nullptr = not cancellable.
-Status CheckCancelled(const std::atomic<bool>* cancel) {
-  if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
-    return Status::Cancelled("query cancelled");
-  }
-  return Status::OK();
-}
 
 /// Shared state of one fragmented execution.
 struct RunState {
@@ -63,84 +55,6 @@ struct RunState {
     std::lock_guard<std::mutex> lock(error_mu);
     return first_error;
   }
-};
-
-/// The compliance guard of the recovery path: a fragment may only (re)run
-/// at the site the located plan assigned it, and that site must lie in
-/// the root operator's execution trait; the SHIP it feeds must target a
-/// site inside the shipping trait. Plans built outside the optimizer may
-/// carry empty (unannotated) traits, which the guard treats as
-/// unconstrained.
-Status CheckFragmentPlacement(const PlanFragment& fragment) {
-  const LocationSet& exec = fragment.root->exec_trait;
-  if (!exec.empty() && !exec.Contains(fragment.site)) {
-    return Status::Internal(
-        "compliance violation: fragment #" + std::to_string(fragment.id) +
-        " placed at l" + std::to_string(fragment.site) +
-        " outside its execution trait");
-  }
-  if (fragment.ship != nullptr) {
-    const LocationSet& ship_trait = fragment.ship->ship_trait;
-    if (!ship_trait.empty() && !ship_trait.Contains(fragment.ship->ship_to)) {
-      return Status::Internal(
-          "compliance violation: fragment #" + std::to_string(fragment.id) +
-          " ships to l" + std::to_string(fragment.ship->ship_to) +
-          " outside its shipping trait");
-    }
-  }
-  return Status::OK();
-}
-
-/// Pull-based batch operator: Next() returns the next (non-empty) batch of
-/// at most `batch_size` rows, an empty optional at end-of-stream, or an
-/// error.
-class BatchOp {
- public:
-  virtual ~BatchOp() = default;
-  virtual Result<OptBatch> Next() = 0;
-  /// Static output layout (known before any batch is produced).
-  virtual const RowLayout& layout() const = 0;
-};
-
-using BatchOpPtr = std::unique_ptr<BatchOp>;
-
-class ScanOp : public BatchOp {
- public:
-  ScanOp(const PlanNode* node, const std::vector<Row>* rows,
-         size_t batch_size, int64_t* rows_scanned)
-      : node_(node),
-        rows_(rows),
-        batch_size_(batch_size),
-        rows_scanned_(rows_scanned),
-        layout_(LayoutOf(*node)) {}
-
-  Result<OptBatch> Next() override {
-    if (offset_ >= rows_->size()) return OptBatch();
-    size_t end = std::min(offset_ + batch_size_, rows_->size());
-    RowBatch out;
-    out.layout = layout_;
-    out.rows.reserve(end - offset_);
-    for (size_t i = offset_; i < end; ++i) {
-      if ((*rows_)[i].size() != layout_.size()) {
-        return Status::Internal("stored row width mismatch for table '" +
-                                node_->table + "'");
-      }
-      out.rows.push_back((*rows_)[i]);
-    }
-    *rows_scanned_ += static_cast<int64_t>(out.rows.size());
-    offset_ = end;
-    return OptBatch(std::move(out));
-  }
-
-  const RowLayout& layout() const override { return layout_; }
-
- private:
-  const PlanNode* node_;
-  const std::vector<Row>* rows_;
-  const size_t batch_size_;
-  int64_t* rows_scanned_;
-  RowLayout layout_;
-  size_t offset_ = 0;
 };
 
 class ChannelSourceOp : public BatchOp {
@@ -173,353 +87,6 @@ class ChannelSourceOp : public BatchOp {
   RowLayout layout_;
 };
 
-class FilterOp : public BatchOp {
- public:
-  FilterOp(const PlanNode* node, BatchOpPtr child)
-      : node_(node), child_(std::move(child)) {}
-
-  Result<OptBatch> Next() override {
-    while (true) {
-      CGQ_ASSIGN_OR_RETURN(OptBatch in, child_->Next());
-      if (!in) return OptBatch();
-      RowBatch out;
-      out.layout = in->layout;
-      for (Row& row : in->rows) {
-        CGQ_ASSIGN_OR_RETURN(
-            bool keep,
-            exec_internal::KeepRow(node_->conjuncts, row, in->layout));
-        if (keep) out.rows.push_back(std::move(row));
-      }
-      if (!out.rows.empty()) return OptBatch(std::move(out));
-    }
-  }
-
-  const RowLayout& layout() const override { return child_->layout(); }
-
- private:
-  const PlanNode* node_;
-  BatchOpPtr child_;
-};
-
-class ProjectOp : public BatchOp {
- public:
-  static Result<BatchOpPtr> Make(const PlanNode* node, BatchOpPtr child) {
-    CGQ_ASSIGN_OR_RETURN(std::vector<size_t> positions,
-                         PositionsOf(node->project_ids, child->layout(),
-                                     "projection input"));
-    return BatchOpPtr(
-        new ProjectOp(node, std::move(child), std::move(positions)));
-  }
-
-  Result<OptBatch> Next() override {
-    CGQ_ASSIGN_OR_RETURN(OptBatch in, child_->Next());
-    if (!in) return OptBatch();
-    RowBatch out;
-    out.layout = layout_;
-    out.rows.reserve(in->rows.size());
-    for (const Row& row : in->rows) {
-      Row projected;
-      projected.reserve(positions_.size());
-      for (size_t p : positions_) projected.push_back(row[p]);
-      out.rows.push_back(std::move(projected));
-    }
-    return OptBatch(std::move(out));
-  }
-
-  const RowLayout& layout() const override { return layout_; }
-
- private:
-  ProjectOp(const PlanNode* node, BatchOpPtr child,
-            std::vector<size_t> positions)
-      : child_(std::move(child)),
-        positions_(std::move(positions)),
-        layout_(LayoutOf(*node)) {}
-
-  BatchOpPtr child_;
-  std::vector<size_t> positions_;
-  RowLayout layout_;
-};
-
-/// Emits `rows` in batch_size chunks, preserving order.
-class Chunker {
- public:
-  explicit Chunker(size_t batch_size) : batch_size_(batch_size) {}
-
-  void Add(std::vector<Row> rows) {
-    if (rows_.empty()) {
-      rows_ = std::move(rows);
-    } else {
-      rows_.insert(rows_.end(), std::make_move_iterator(rows.begin()),
-                   std::make_move_iterator(rows.end()));
-    }
-  }
-
-  bool HasFullBatch() const { return rows_.size() - pos_ >= batch_size_; }
-  bool Empty() const { return pos_ >= rows_.size(); }
-
-  RowBatch Take(const RowLayout& layout) {
-    RowBatch out;
-    out.layout = layout;
-    size_t end = std::min(pos_ + batch_size_, rows_.size());
-    out.rows.assign(std::make_move_iterator(rows_.begin() + pos_),
-                    std::make_move_iterator(rows_.begin() + end));
-    pos_ = end;
-    if (pos_ >= rows_.size()) {
-      rows_.clear();
-      pos_ = 0;
-    }
-    return out;
-  }
-
- private:
-  const size_t batch_size_;
-  std::vector<Row> rows_;
-  size_t pos_ = 0;
-};
-
-class JoinOp : public BatchOp {
- public:
-  JoinOp(const PlanNode* node, BatchOpPtr left, BatchOpPtr right,
-         size_t batch_size, const std::atomic<bool>* cancel)
-      : node_(node),
-        left_(std::move(left)),
-        right_(std::move(right)),
-        chunker_(batch_size),
-        layout_(LayoutOf(*node)),
-        cancel_(cancel) {}
-
-  Result<OptBatch> Next() override {
-    if (!initialized_) {
-      CGQ_RETURN_NOT_OK(Init());
-      initialized_ = true;
-    }
-    while (true) {
-      if (chunker_.HasFullBatch() || (drained_ && !chunker_.Empty())) {
-        return OptBatch(chunker_.Take(layout_));
-      }
-      if (drained_) return OptBatch();
-      CGQ_ASSIGN_OR_RETURN(OptBatch in, right_->Next());
-      if (!in) {
-        drained_ = true;
-        continue;
-      }
-      std::vector<Row> matched;
-      for (const Row& r : in->rows) {
-        CGQ_RETURN_NOT_OK(table_.Probe(r, spec_, [&](const Row& l) {
-          return spec_.EmitIfMatch(l, r, &matched).status();
-        }));
-      }
-      chunker_.Add(std::move(matched));
-    }
-  }
-
-  const RowLayout& layout() const override { return layout_; }
-
- private:
-  Status Init() {
-    // The build (left) side is always fully materialized, mirroring the
-    // row interpreter; the probe side streams for hash joins. Nested-loop
-    // and sort-merge joins materialize both sides (their output order is
-    // left-major, which a right-side stream cannot produce).
-    std::vector<Row> left_rows;
-    CGQ_RETURN_NOT_OK(Drain(left_.get(), &left_rows));
-    CGQ_ASSIGN_OR_RETURN(
-        spec_, JoinSpec::Make(*node_, left_->layout(), right_->layout()));
-
-    if (spec_.RequiresNestedLoop() ||
-        node_->join_method == JoinMethod::kNestedLoop) {
-      std::vector<Row> right_rows;
-      CGQ_RETURN_NOT_OK(Drain(right_.get(), &right_rows));
-      std::vector<Row> matched;
-      for (const Row& l : left_rows) {
-        CGQ_RETURN_NOT_OK(CheckCancelled(cancel_));
-        for (const Row& r : right_rows) {
-          CGQ_RETURN_NOT_OK(spec_.EmitIfMatch(l, r, &matched).status());
-        }
-      }
-      chunker_.Add(std::move(matched));
-      drained_ = true;
-    } else if (node_->join_method == JoinMethod::kSortMerge) {
-      std::vector<Row> right_rows;
-      CGQ_RETURN_NOT_OK(Drain(right_.get(), &right_rows));
-      std::vector<Row> matched;
-      CGQ_RETURN_NOT_OK(exec_internal::SortMergeJoin(
-          left_rows, right_rows, spec_.key_positions,
-          [&](const Row& l, const Row& r) {
-            return spec_.EmitIfMatch(l, r, &matched).status();
-          }));
-      chunker_.Add(std::move(matched));
-      drained_ = true;
-    } else {
-      build_rows_ = std::move(left_rows);
-      table_.Build(build_rows_, spec_);
-    }
-    return Status::OK();
-  }
-
-  static Status Drain(BatchOp* op, std::vector<Row>* out) {
-    while (true) {
-      CGQ_ASSIGN_OR_RETURN(OptBatch b, op->Next());
-      if (!b) return Status::OK();
-      out->insert(out->end(), std::make_move_iterator(b->rows.begin()),
-                  std::make_move_iterator(b->rows.end()));
-    }
-  }
-
-  const PlanNode* node_;
-  BatchOpPtr left_;
-  BatchOpPtr right_;
-  Chunker chunker_;
-  RowLayout layout_;
-  JoinSpec spec_;
-  std::vector<Row> build_rows_;
-  JoinHashTable table_;
-  const std::atomic<bool>* cancel_ = nullptr;
-  bool initialized_ = false;
-  bool drained_ = false;
-};
-
-class AggregateOp : public BatchOp {
- public:
-  AggregateOp(const PlanNode* node, BatchOpPtr child, size_t batch_size)
-      : node_(node),
-        child_(std::move(child)),
-        chunker_(batch_size),
-        layout_(LayoutOf(*node)) {}
-
-  Result<OptBatch> Next() override {
-    if (!finished_) {
-      HashAggregator agg(node_);
-      CGQ_RETURN_NOT_OK(agg.Init(child_->layout()));
-      while (true) {
-        CGQ_ASSIGN_OR_RETURN(OptBatch in, child_->Next());
-        if (!in) break;
-        for (const Row& row : in->rows) {
-          CGQ_RETURN_NOT_OK(agg.Add(row));
-        }
-      }
-      chunker_.Add(agg.Finish());
-      finished_ = true;
-    }
-    if (chunker_.Empty()) return OptBatch();
-    return OptBatch(chunker_.Take(layout_));
-  }
-
-  const RowLayout& layout() const override { return layout_; }
-
- private:
-  const PlanNode* node_;
-  BatchOpPtr child_;
-  Chunker chunker_;
-  RowLayout layout_;
-  bool finished_ = false;
-};
-
-class UnionOp : public BatchOp {
- public:
-  static Result<BatchOpPtr> Make(const PlanNode* node,
-                                 std::vector<BatchOpPtr> children) {
-    RowLayout layout = LayoutOf(*node);
-    std::vector<std::vector<size_t>> remaps;
-    remaps.reserve(children.size());
-    for (const BatchOpPtr& child : children) {
-      CGQ_ASSIGN_OR_RETURN(
-          std::vector<size_t> positions,
-          PositionsOf(layout.attrs(), child->layout(), "union branch"));
-      remaps.push_back(std::move(positions));
-    }
-    return BatchOpPtr(new UnionOp(std::move(layout), std::move(children),
-                                  std::move(remaps)));
-  }
-
-  Result<OptBatch> Next() override {
-    while (current_ < children_.size()) {
-      CGQ_ASSIGN_OR_RETURN(OptBatch in, children_[current_]->Next());
-      if (!in) {
-        ++current_;
-        continue;
-      }
-      const std::vector<size_t>& positions = remaps_[current_];
-      RowBatch out;
-      out.layout = layout_;
-      out.rows.reserve(in->rows.size());
-      for (const Row& row : in->rows) {
-        Row mapped;
-        mapped.reserve(positions.size());
-        for (size_t p : positions) mapped.push_back(row[p]);
-        out.rows.push_back(std::move(mapped));
-      }
-      return OptBatch(std::move(out));
-    }
-    return OptBatch();
-  }
-
-  const RowLayout& layout() const override { return layout_; }
-
- private:
-  UnionOp(RowLayout layout, std::vector<BatchOpPtr> children,
-          std::vector<std::vector<size_t>> remaps)
-      : layout_(std::move(layout)),
-        children_(std::move(children)),
-        remaps_(std::move(remaps)) {}
-
-  RowLayout layout_;
-  std::vector<BatchOpPtr> children_;
-  std::vector<std::vector<size_t>> remaps_;
-  size_t current_ = 0;
-};
-
-/// Builds the batch-operator tree of one fragment. SHIP nodes inside the
-/// subtree become channel sources (their subtrees belong to other
-/// fragments).
-Result<BatchOpPtr> BuildOp(const PlanNode& node, RunState* st,
-                           FragmentMetrics* fm) {
-  const size_t batch_size =
-      static_cast<size_t>(std::max(1, st->options->batch_size));
-  switch (node.kind()) {
-    case PlanKind::kShip: {
-      int channel = st->fp->channel_of_ship.at(&node);
-      return BatchOpPtr(new ChannelSourceOp(
-          &node, st->channels[channel].get(), &st->failed));
-    }
-    case PlanKind::kScan: {
-      CGQ_ASSIGN_OR_RETURN(const std::vector<Row>* rows,
-                           st->store->Get(node.scan_location, node.table));
-      return BatchOpPtr(
-          new ScanOp(&node, rows, batch_size, &fm->rows_scanned));
-    }
-    case PlanKind::kFilter: {
-      CGQ_ASSIGN_OR_RETURN(BatchOpPtr child, BuildOp(*node.child(0), st, fm));
-      return BatchOpPtr(new FilterOp(&node, std::move(child)));
-    }
-    case PlanKind::kProject: {
-      CGQ_ASSIGN_OR_RETURN(BatchOpPtr child, BuildOp(*node.child(0), st, fm));
-      return ProjectOp::Make(&node, std::move(child));
-    }
-    case PlanKind::kJoin: {
-      CGQ_ASSIGN_OR_RETURN(BatchOpPtr left, BuildOp(*node.child(0), st, fm));
-      CGQ_ASSIGN_OR_RETURN(BatchOpPtr right, BuildOp(*node.child(1), st, fm));
-      return BatchOpPtr(new JoinOp(&node, std::move(left), std::move(right),
-                                   batch_size, st->options->cancel.get()));
-    }
-    case PlanKind::kAggregate: {
-      CGQ_ASSIGN_OR_RETURN(BatchOpPtr child, BuildOp(*node.child(0), st, fm));
-      return BatchOpPtr(
-          new AggregateOp(&node, std::move(child), batch_size));
-    }
-    case PlanKind::kUnion: {
-      std::vector<BatchOpPtr> children;
-      children.reserve(node.children().size());
-      for (const PlanNodePtr& c : node.children()) {
-        CGQ_ASSIGN_OR_RETURN(BatchOpPtr child, BuildOp(*c, st, fm));
-        children.push_back(std::move(child));
-      }
-      return UnionOp::Make(&node, std::move(children));
-    }
-  }
-  return Status::Internal("unhandled plan kind");
-}
-
 /// Drives one fragment to completion: producer fragments push batches into
 /// their output channel, the top fragment collects the query result.
 Status RunFragment(const PlanFragment& fragment, RunState* st,
@@ -529,7 +96,18 @@ Status RunFragment(const PlanFragment& fragment, RunState* st,
                                std::to_string(fragment.id) +
                                " died at start");
   }
-  CGQ_ASSIGN_OR_RETURN(BatchOpPtr op, BuildOp(*fragment.root, st, fm));
+  BatchOpEnv env;
+  env.store = st->store;
+  env.batch_size =
+      static_cast<size_t>(std::max(1, st->options->batch_size));
+  env.cancel = st->options->cancel.get();
+  env.rows_scanned = &fm->rows_scanned;
+  env.ship_source = [st](const PlanNode& ship) -> Result<BatchOpPtr> {
+    int channel = st->fp->channel_of_ship.at(&ship);
+    return BatchOpPtr(new ChannelSourceOp(
+        &ship, st->channels[channel].get(), &st->failed));
+  };
+  CGQ_ASSIGN_OR_RETURN(BatchOpPtr op, BuildBatchOp(*fragment.root, env));
   const std::atomic<bool>* cancel = st->options->cancel.get();
   if (fragment.output_channel >= 0) {
     ShipChannel* channel = st->channels[fragment.output_channel].get();

@@ -49,4 +49,30 @@ FragmentedPlan FragmentPlan(const PlanNode& root) {
   return out;
 }
 
+Status CheckFragmentPlacement(int fragment_id, LocationId site,
+                              const LocationSet& exec_trait,
+                              const PlanNode* ship) {
+  if (!exec_trait.empty() && !exec_trait.Contains(site)) {
+    return Status::Internal(
+        "compliance violation: fragment #" + std::to_string(fragment_id) +
+        " placed at l" + std::to_string(site) +
+        " outside its execution trait");
+  }
+  if (ship != nullptr) {
+    const LocationSet& ship_trait = ship->ship_trait;
+    if (!ship_trait.empty() && !ship_trait.Contains(ship->ship_to)) {
+      return Status::Internal(
+          "compliance violation: fragment #" + std::to_string(fragment_id) +
+          " ships to l" + std::to_string(ship->ship_to) +
+          " outside its shipping trait");
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckFragmentPlacement(const PlanFragment& fragment) {
+  return CheckFragmentPlacement(fragment.id, fragment.site,
+                                fragment.root->exec_trait, fragment.ship);
+}
+
 }  // namespace cgq

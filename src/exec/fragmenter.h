@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "plan/plan_node.h"
 
 namespace cgq {
@@ -48,6 +49,19 @@ struct FragmentedPlan {
 /// nodes) into per-site fragments connected by channels. A plan without
 /// SHIP nodes yields a single fragment.
 FragmentedPlan FragmentPlan(const PlanNode& root);
+
+/// The compliance guard of the recovery path: a fragment may only (re)run
+/// at the site the located plan assigned it, and that site must lie in
+/// the root operator's execution trait; the SHIP it feeds must target a
+/// site inside the shipping trait. Plans built outside the optimizer may
+/// carry empty (unannotated) traits, which the guard treats as
+/// unconstrained. Shared by every backend: the fragmented runtime and the
+/// distributed coordinator check before each attempt, and the location
+/// server re-checks on *receipt* of a fragment before executing it.
+Status CheckFragmentPlacement(int fragment_id, LocationId site,
+                              const LocationSet& exec_trait,
+                              const PlanNode* ship);
+Status CheckFragmentPlacement(const PlanFragment& fragment);
 
 }  // namespace cgq
 

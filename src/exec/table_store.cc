@@ -1,5 +1,7 @@
 #include "exec/table_store.h"
 
+#include <algorithm>
+
 #include "common/str_util.h"
 
 namespace cgq {
@@ -65,6 +67,26 @@ TableStore::GetColumnar(LocationId location, const std::string& table) const {
   // Keep the winner of a build race; both are equivalent.
   auto [it, inserted] = columnar_.emplace(key, std::move(built));
   return it->second;
+}
+
+std::vector<TableStore::FragmentRef> TableStore::ListFragments() const {
+  std::vector<FragmentRef> out;
+  out.reserve(fragments_.size());
+  for (const auto& [key, rows] : fragments_) {
+    const size_t slash = key.find('/');
+    FragmentRef ref;
+    ref.location =
+        static_cast<LocationId>(std::stoul(key.substr(0, slash)));
+    ref.table = key.substr(slash + 1);
+    ref.rows = &rows;
+    out.push_back(std::move(ref));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FragmentRef& a, const FragmentRef& b) {
+              return a.location != b.location ? a.location < b.location
+                                              : a.table < b.table;
+            });
+  return out;
 }
 
 size_t TableStore::TotalRows() const {

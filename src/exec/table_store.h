@@ -68,6 +68,18 @@ class TableStore {
 
   size_t TotalRows() const;
 
+  /// One stored table fragment, for enumeration (deployment pushes every
+  /// fragment to the server hosting its location).
+  struct FragmentRef {
+    LocationId location = 0;
+    std::string table;
+    const std::vector<Row>* rows = nullptr;
+  };
+
+  /// All stored fragments, sorted by (location, table) so deployment
+  /// order is deterministic.
+  std::vector<FragmentRef> ListFragments() const;
+
  private:
   using ColumnarFragment = std::vector<vec::ColumnPtr>;
 

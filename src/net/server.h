@@ -1,0 +1,112 @@
+#ifndef CGQ_NET_SERVER_H_
+#define CGQ_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catalog/location.h"
+#include "common/result.h"
+#include "exec/table_store.h"
+#include "net/socket.h"
+
+namespace cgq {
+namespace net {
+
+struct ConnectionState;
+
+/// A location server: hosts the TableStore slice of one or more locations
+/// and executes plan fragments dispatched by the coordinator, behind a
+/// small poll() event loop with per-connection read/write buffers.
+///
+/// Protocol per connection (the coordinator dials a fresh connection per
+/// fragment *attempt*, so a connection carries at most one fragment):
+///
+///   Hello -> HelloAck                    version handshake
+///   LoadTable -> LoadAck (repeated)      deployment: push store slices
+///   StartFragment -> StartAck | Error    placement re-checked HERE, on
+///                                        the receiving end, before any
+///                                        row is produced
+///   InputBatch*/InputEnd  (per channel)  rows for the fragment's SHIP
+///                                        leaves, relayed by the
+///                                        coordinator
+///   OutputBatch* + OutputEnd | Error     the fragment's result stream
+///   Cancel                               cooperative cancellation
+///
+/// Frames are parsed on the event-loop thread; each fragment runs on its
+/// own worker thread against the *same* operator core
+/// (exec_internal::BuildBatchOp) the in-process backends use, which is
+/// what makes loopback results byte-identical to ExecMode::kFragment.
+/// Input channels buffer without bound (the coordinator's sequential
+/// schedule may relay a whole intermediate before the consumer drains
+/// it); output frames append to the connection's write buffer, flushed as
+/// the socket accepts them.
+class SiteServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    /// 0 = ephemeral: the kernel picks, port() reports. Nothing in the
+    /// tree hardcodes a port (CI runs many builds on one machine).
+    uint16_t port = 0;
+    /// Locations whose store slices this server hosts (a deployment may
+    /// map several locations onto one server process).
+    std::vector<LocationId> locations;
+    int io_timeout_ms = kDefaultIoTimeoutMs;
+  };
+
+  explicit SiteServer(Options options);
+  ~SiteServer();
+
+  SiteServer(const SiteServer&) = delete;
+  SiteServer& operator=(const SiteServer&) = delete;
+
+  /// Binds, starts the event loop. port() is valid afterwards.
+  Status Start();
+
+  /// Stops the loop, aborts in-flight fragments, joins every worker.
+  /// Idempotent.
+  void Stop();
+
+  /// The actually-bound port (ephemeral when Options::port was 0).
+  uint16_t port() const { return port_; }
+
+  const std::vector<LocationId>& locations() const {
+    return options_.locations;
+  }
+
+  /// The hosted store slice. Local pre-loading is allowed before Start();
+  /// after that, mutation arrives via LoadTable frames only.
+  TableStore* mutable_store() { return &store_; }
+
+  /// Fragments executed to completion (diagnostics / tests).
+  int64_t fragments_completed() const {
+    return fragments_completed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void LoopThread();
+  void HandleFrame(ConnectionState* conn, uint16_t type,
+                   std::string payload);
+  void StartFragmentWorker(ConnectionState* conn, std::string payload);
+  void CloseConnection(size_t index);
+  void Wake();
+
+  Options options_;
+  Socket listener_;
+  uint16_t port_ = 0;
+  int wake_pipe_[2] = {-1, -1};
+  std::thread loop_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  TableStore store_;
+  std::vector<std::unique_ptr<ConnectionState>> connections_;
+  std::atomic<int64_t> fragments_completed_{0};
+};
+
+}  // namespace net
+}  // namespace cgq
+
+#endif  // CGQ_NET_SERVER_H_

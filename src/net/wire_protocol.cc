@@ -1,0 +1,801 @@
+#include "net/wire_protocol.h"
+
+#include <cstring>
+#include <utility>
+
+namespace cgq {
+namespace wire {
+
+const char* FrameTypeToString(FrameType type) {
+  switch (type) {
+    case FrameType::kHello: return "HELLO";
+    case FrameType::kHelloAck: return "HELLO_ACK";
+    case FrameType::kLoadTable: return "LOAD_TABLE";
+    case FrameType::kLoadAck: return "LOAD_ACK";
+    case FrameType::kStartFragment: return "START_FRAGMENT";
+    case FrameType::kStartAck: return "START_ACK";
+    case FrameType::kInputBatch: return "INPUT_BATCH";
+    case FrameType::kInputEnd: return "INPUT_END";
+    case FrameType::kOutputBatch: return "OUTPUT_BATCH";
+    case FrameType::kOutputEnd: return "OUTPUT_END";
+    case FrameType::kError: return "ERROR";
+    case FrameType::kCancel: return "CANCEL";
+  }
+  return "UNKNOWN";
+}
+
+uint64_t Fnv1a(const uint8_t* data, size_t len) {
+  uint64_t h = 14695981039346656037ull;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+namespace {
+
+void AppendLe(std::string* out, uint64_t v, size_t bytes) {
+  for (size_t i = 0; i < bytes; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint64_t ReadLe(const uint8_t* data, size_t bytes) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < bytes; ++i) {
+    v |= static_cast<uint64_t>(data[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string EncodeFrame(FrameType type, const std::string& payload) {
+  std::string out;
+  out.reserve(kHeaderSize + payload.size());
+  AppendLe(&out, kMagic, 4);
+  AppendLe(&out, kVersion, 2);
+  AppendLe(&out, static_cast<uint16_t>(type), 2);
+  AppendLe(&out, static_cast<uint32_t>(payload.size()), 4);
+  AppendLe(&out,
+           Fnv1a(reinterpret_cast<const uint8_t*>(payload.data()),
+                 payload.size()),
+           8);
+  out.append(payload);
+  return out;
+}
+
+Result<FrameHeader> DecodeFrameHeader(const uint8_t* data, size_t len) {
+  if (len < kHeaderSize) {
+    return Status::InvalidArgument("truncated frame header (" +
+                                   std::to_string(len) + " bytes)");
+  }
+  uint32_t magic = static_cast<uint32_t>(ReadLe(data, 4));
+  if (magic != kMagic) {
+    return Status::InvalidArgument("bad frame magic");
+  }
+  FrameHeader h;
+  h.version = static_cast<uint16_t>(ReadLe(data + 4, 2));
+  h.type = static_cast<uint16_t>(ReadLe(data + 6, 2));
+  h.payload_len = static_cast<uint32_t>(ReadLe(data + 8, 4));
+  h.checksum = ReadLe(data + 12, 8);
+  if (h.version != kVersion) {
+    return Status::Unsupported(
+        "wire protocol version mismatch: peer speaks v" +
+        std::to_string(h.version) + ", this build speaks v" +
+        std::to_string(kVersion));
+  }
+  if (h.payload_len > kMaxPayloadBytes) {
+    return Status::InvalidArgument(
+        "oversized frame: " + std::to_string(h.payload_len) +
+        " bytes exceeds the " + std::to_string(kMaxPayloadBytes) +
+        "-byte limit");
+  }
+  return h;
+}
+
+Status VerifyPayload(const FrameHeader& header, const uint8_t* payload) {
+  if (Fnv1a(payload, header.payload_len) != header.checksum) {
+    return Status::InvalidArgument("frame checksum mismatch");
+  }
+  return Status::OK();
+}
+
+// --- Writer ---------------------------------------------------------------
+
+void Writer::PutU16(uint16_t v) { AppendLe(&buf_, v, 2); }
+void Writer::PutU32(uint32_t v) { AppendLe(&buf_, v, 4); }
+void Writer::PutU64(uint64_t v) { AppendLe(&buf_, v, 8); }
+
+void Writer::PutDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void Writer::PutString(const std::string& s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buf_.append(s);
+}
+
+void Writer::PutValue(const Value& v) {
+  if (v.is_null()) {
+    PutU8(0);
+  } else if (v.is_int64()) {
+    PutU8(1);
+    PutI64(v.int64());
+  } else if (v.is_double()) {
+    PutU8(2);
+    PutDouble(v.dbl());
+  } else {
+    PutU8(3);
+    PutString(v.str());
+  }
+}
+
+void Writer::PutRow(const Row& row) {
+  PutU32(static_cast<uint32_t>(row.size()));
+  for (const Value& v : row) PutValue(v);
+}
+
+void Writer::PutBatch(const RowBatch& batch) {
+  PutU32(static_cast<uint32_t>(batch.layout.attrs().size()));
+  for (AttrId id : batch.layout.attrs()) PutU32(id);
+  PutU32(static_cast<uint32_t>(batch.rows.size()));
+  for (const Row& row : batch.rows) PutRow(row);
+}
+
+void Writer::PutExpr(const Expr& e) {
+  switch (e.op()) {
+    case ExprOp::kLiteral:
+      PutU8(0);
+      PutValue(e.literal());
+      return;
+    case ExprOp::kColumnRef:
+      PutU8(1);
+      PutU32(e.attr_id());
+      PutString(e.qualifier());
+      PutString(e.column());
+      PutString(e.base_table());
+      PutU8(static_cast<uint8_t>(e.type()));
+      return;
+    case ExprOp::kNot:
+      PutU8(2);
+      PutU8(static_cast<uint8_t>(e.op()));
+      PutExpr(*e.child(0));
+      return;
+    case ExprOp::kIn:
+      PutU8(4);
+      PutExpr(*e.child(0));
+      PutU32(static_cast<uint32_t>(e.in_list().size()));
+      for (const Value& v : e.in_list()) PutValue(v);
+      return;
+    default:
+      PutU8(3);
+      PutU8(static_cast<uint8_t>(e.op()));
+      PutExpr(*e.child(0));
+      PutExpr(*e.child(1));
+      return;
+  }
+}
+
+namespace {
+
+void PutOutputs(Writer* w, const std::vector<OutputCol>& outputs) {
+  w->PutU32(static_cast<uint32_t>(outputs.size()));
+  for (const OutputCol& c : outputs) {
+    w->PutU32(c.id);
+    w->PutString(c.name);
+    w->PutU8(static_cast<uint8_t>(c.type));
+  }
+}
+
+}  // namespace
+
+Status Writer::PutPlan(
+    const PlanNode& node,
+    const std::unordered_map<const PlanNode*, int>& channel_of_ship) {
+  PutU8(static_cast<uint8_t>(node.kind()));
+  PutU32(node.location);
+  PutU64(node.exec_trait.bits());
+  PutU64(node.ship_trait.bits());
+  if (node.kind() == PlanKind::kShip) {
+    // SHIP leaves carry their *child's* output columns (the layout of the
+    // batches that will arrive on the channel) — the producing subtree
+    // belongs to another fragment and is not shipped.
+    PutOutputs(this, node.child(0)->outputs);
+  } else {
+    PutOutputs(this, node.outputs);
+  }
+  switch (node.kind()) {
+    case PlanKind::kScan:
+      PutString(node.table);
+      PutU32(node.scan_location);
+      break;
+    case PlanKind::kFilter:
+      PutU32(static_cast<uint32_t>(node.conjuncts.size()));
+      for (const ExprPtr& c : node.conjuncts) PutExpr(*c);
+      break;
+    case PlanKind::kProject:
+      PutU32(static_cast<uint32_t>(node.project_ids.size()));
+      for (AttrId id : node.project_ids) PutU32(id);
+      PutU32(static_cast<uint32_t>(node.project_names.size()));
+      for (const std::string& name : node.project_names) PutString(name);
+      break;
+    case PlanKind::kJoin:
+      PutU8(static_cast<uint8_t>(node.join_method));
+      PutU32(static_cast<uint32_t>(node.conjuncts.size()));
+      for (const ExprPtr& c : node.conjuncts) PutExpr(*c);
+      break;
+    case PlanKind::kAggregate:
+      PutU32(static_cast<uint32_t>(node.group_ids.size()));
+      for (AttrId id : node.group_ids) PutU32(id);
+      PutU32(static_cast<uint32_t>(node.agg_calls.size()));
+      for (const AggCall& call : node.agg_calls) {
+        PutU8(static_cast<uint8_t>(call.fn));
+        PutExpr(*call.arg);
+      }
+      PutU32(static_cast<uint32_t>(node.agg_out_ids.size()));
+      for (AttrId id : node.agg_out_ids) PutU32(id);
+      PutU8(node.is_partial_agg ? 1 : 0);
+      break;
+    case PlanKind::kUnion:
+      break;
+    case PlanKind::kShip: {
+      auto it = channel_of_ship.find(&node);
+      if (it == channel_of_ship.end()) {
+        return Status::Internal("SHIP node has no assigned channel");
+      }
+      PutU32(node.ship_from);
+      PutU32(node.ship_to);
+      PutI32(it->second);
+      break;
+    }
+  }
+  if (node.kind() == PlanKind::kShip) {
+    PutU32(0);  // childless on the wire
+    return Status::OK();
+  }
+  PutU32(static_cast<uint32_t>(node.children().size()));
+  for (const PlanNodePtr& child : node.children()) {
+    CGQ_RETURN_NOT_OK(PutPlan(*child, channel_of_ship));
+  }
+  return Status::OK();
+}
+
+// --- Reader ---------------------------------------------------------------
+
+Status Reader::Need(size_t n) {
+  if (len_ - pos_ < n) {
+    return Status::InvalidArgument("truncated payload");
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> Reader::U8() {
+  CGQ_RETURN_NOT_OK(Need(1));
+  return data_[pos_++];
+}
+
+Result<uint16_t> Reader::U16() {
+  CGQ_RETURN_NOT_OK(Need(2));
+  uint16_t v = static_cast<uint16_t>(ReadLe(data_ + pos_, 2));
+  pos_ += 2;
+  return v;
+}
+
+Result<uint32_t> Reader::U32() {
+  CGQ_RETURN_NOT_OK(Need(4));
+  uint32_t v = static_cast<uint32_t>(ReadLe(data_ + pos_, 4));
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> Reader::U64() {
+  CGQ_RETURN_NOT_OK(Need(8));
+  uint64_t v = ReadLe(data_ + pos_, 8);
+  pos_ += 8;
+  return v;
+}
+
+Result<int32_t> Reader::I32() {
+  CGQ_ASSIGN_OR_RETURN(uint32_t v, U32());
+  return static_cast<int32_t>(v);
+}
+
+Result<int64_t> Reader::I64() {
+  CGQ_ASSIGN_OR_RETURN(uint64_t v, U64());
+  return static_cast<int64_t>(v);
+}
+
+Result<double> Reader::Double() {
+  CGQ_ASSIGN_OR_RETURN(uint64_t bits, U64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> Reader::String() {
+  CGQ_ASSIGN_OR_RETURN(uint32_t len, U32());
+  CGQ_RETURN_NOT_OK(Need(len));
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+Result<Value> Reader::ReadValue() {
+  CGQ_ASSIGN_OR_RETURN(uint8_t tag, U8());
+  switch (tag) {
+    case 0:
+      return Value::Null();
+    case 1: {
+      CGQ_ASSIGN_OR_RETURN(int64_t v, I64());
+      return Value::Int64(v);
+    }
+    case 2: {
+      CGQ_ASSIGN_OR_RETURN(double v, Double());
+      return Value::Double(v);
+    }
+    case 3: {
+      CGQ_ASSIGN_OR_RETURN(std::string v, String());
+      return Value::String(std::move(v));
+    }
+    default:
+      return Status::InvalidArgument("bad value tag " + std::to_string(tag));
+  }
+}
+
+Result<Row> Reader::ReadRow() {
+  CGQ_ASSIGN_OR_RETURN(uint32_t n, U32());
+  if (remaining() < n) {
+    return Status::InvalidArgument("truncated payload");
+  }
+  Row row;
+  row.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    CGQ_ASSIGN_OR_RETURN(Value v, ReadValue());
+    row.push_back(std::move(v));
+  }
+  return row;
+}
+
+Result<RowBatch> Reader::ReadBatch() {
+  CGQ_ASSIGN_OR_RETURN(uint32_t num_attrs, U32());
+  if (remaining() < num_attrs) {
+    return Status::InvalidArgument("truncated payload");
+  }
+  std::vector<AttrId> attrs;
+  attrs.reserve(num_attrs);
+  for (uint32_t i = 0; i < num_attrs; ++i) {
+    CGQ_ASSIGN_OR_RETURN(uint32_t id, U32());
+    attrs.push_back(id);
+  }
+  RowBatch batch;
+  batch.layout = RowLayout(std::move(attrs));
+  CGQ_ASSIGN_OR_RETURN(uint32_t num_rows, U32());
+  if (remaining() < num_rows) {
+    return Status::InvalidArgument("truncated payload");
+  }
+  batch.rows.reserve(num_rows);
+  for (uint32_t i = 0; i < num_rows; ++i) {
+    CGQ_ASSIGN_OR_RETURN(Row row, ReadRow());
+    batch.rows.push_back(std::move(row));
+  }
+  return batch;
+}
+
+Result<ExprPtr> Reader::ReadExpr() {
+  CGQ_ASSIGN_OR_RETURN(uint8_t tag, U8());
+  switch (tag) {
+    case 0: {
+      CGQ_ASSIGN_OR_RETURN(Value v, ReadValue());
+      return Expr::Literal(std::move(v));
+    }
+    case 1: {
+      CGQ_ASSIGN_OR_RETURN(uint32_t attr_id, U32());
+      CGQ_ASSIGN_OR_RETURN(std::string qualifier, String());
+      CGQ_ASSIGN_OR_RETURN(std::string column, String());
+      CGQ_ASSIGN_OR_RETURN(std::string base_table, String());
+      CGQ_ASSIGN_OR_RETURN(uint8_t type, U8());
+      if (type > static_cast<uint8_t>(DataType::kDate)) {
+        return Status::InvalidArgument("bad data type " +
+                                       std::to_string(type));
+      }
+      return Expr::BoundColumn(attr_id, std::move(qualifier),
+                               std::move(column), std::move(base_table),
+                               static_cast<DataType>(type));
+    }
+    case 2: {
+      CGQ_ASSIGN_OR_RETURN(uint8_t op, U8());
+      if (op != static_cast<uint8_t>(ExprOp::kNot)) {
+        return Status::InvalidArgument("bad unary operator " +
+                                       std::to_string(op));
+      }
+      CGQ_ASSIGN_OR_RETURN(ExprPtr child, ReadExpr());
+      return Expr::Unary(ExprOp::kNot, std::move(child));
+    }
+    case 3: {
+      CGQ_ASSIGN_OR_RETURN(uint8_t op, U8());
+      if (op > static_cast<uint8_t>(ExprOp::kIn) ||
+          op == static_cast<uint8_t>(ExprOp::kLiteral) ||
+          op == static_cast<uint8_t>(ExprOp::kColumnRef) ||
+          op == static_cast<uint8_t>(ExprOp::kNot) ||
+          op == static_cast<uint8_t>(ExprOp::kIn)) {
+        return Status::InvalidArgument("bad binary operator " +
+                                       std::to_string(op));
+      }
+      CGQ_ASSIGN_OR_RETURN(ExprPtr left, ReadExpr());
+      CGQ_ASSIGN_OR_RETURN(ExprPtr right, ReadExpr());
+      return Expr::Binary(static_cast<ExprOp>(op), std::move(left),
+                          std::move(right));
+    }
+    case 4: {
+      CGQ_ASSIGN_OR_RETURN(ExprPtr needle, ReadExpr());
+      CGQ_ASSIGN_OR_RETURN(uint32_t n, U32());
+      if (remaining() < n) {
+        return Status::InvalidArgument("truncated payload");
+      }
+      std::vector<Value> literals;
+      literals.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        CGQ_ASSIGN_OR_RETURN(Value v, ReadValue());
+        literals.push_back(std::move(v));
+      }
+      return Expr::InList(std::move(needle), std::move(literals));
+    }
+    default:
+      return Status::InvalidArgument("bad expression tag " +
+                                     std::to_string(tag));
+  }
+}
+
+namespace {
+
+Result<std::vector<OutputCol>> ReadOutputs(Reader* r) {
+  CGQ_ASSIGN_OR_RETURN(uint32_t n, r->U32());
+  if (r->remaining() < n) {
+    return Status::InvalidArgument("truncated payload");
+  }
+  std::vector<OutputCol> outputs;
+  outputs.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    OutputCol c;
+    CGQ_ASSIGN_OR_RETURN(c.id, r->U32());
+    CGQ_ASSIGN_OR_RETURN(c.name, r->String());
+    CGQ_ASSIGN_OR_RETURN(uint8_t type, r->U8());
+    if (type > static_cast<uint8_t>(DataType::kDate)) {
+      return Status::InvalidArgument("bad data type " + std::to_string(type));
+    }
+    c.type = static_cast<DataType>(type);
+    outputs.push_back(std::move(c));
+  }
+  return outputs;
+}
+
+}  // namespace
+
+Result<PlanNodePtr> Reader::ReadPlan(std::vector<int>* input_channels) {
+  CGQ_ASSIGN_OR_RETURN(uint8_t kind_tag, U8());
+  if (kind_tag > static_cast<uint8_t>(PlanKind::kShip)) {
+    return Status::InvalidArgument("bad plan kind " +
+                                   std::to_string(kind_tag));
+  }
+  const PlanKind kind = static_cast<PlanKind>(kind_tag);
+  auto node = std::make_shared<PlanNode>(kind);
+  CGQ_ASSIGN_OR_RETURN(node->location, U32());
+  CGQ_ASSIGN_OR_RETURN(uint64_t exec_bits, U64());
+  node->exec_trait = LocationSet(exec_bits);
+  CGQ_ASSIGN_OR_RETURN(uint64_t ship_bits, U64());
+  node->ship_trait = LocationSet(ship_bits);
+  CGQ_ASSIGN_OR_RETURN(node->outputs, ReadOutputs(this));
+  switch (kind) {
+    case PlanKind::kScan: {
+      CGQ_ASSIGN_OR_RETURN(node->table, String());
+      CGQ_ASSIGN_OR_RETURN(node->scan_location, U32());
+      break;
+    }
+    case PlanKind::kFilter: {
+      CGQ_ASSIGN_OR_RETURN(uint32_t n, U32());
+      if (remaining() < n) {
+        return Status::InvalidArgument("truncated payload");
+      }
+      for (uint32_t i = 0; i < n; ++i) {
+        CGQ_ASSIGN_OR_RETURN(ExprPtr c, ReadExpr());
+        node->conjuncts.push_back(std::move(c));
+      }
+      break;
+    }
+    case PlanKind::kProject: {
+      CGQ_ASSIGN_OR_RETURN(uint32_t n, U32());
+      if (remaining() < 4ull * n) {
+        return Status::InvalidArgument("truncated payload");
+      }
+      for (uint32_t i = 0; i < n; ++i) {
+        CGQ_ASSIGN_OR_RETURN(uint32_t id, U32());
+        node->project_ids.push_back(id);
+      }
+      CGQ_ASSIGN_OR_RETURN(uint32_t num_names, U32());
+      if (remaining() < num_names) {
+        return Status::InvalidArgument("truncated payload");
+      }
+      for (uint32_t i = 0; i < num_names; ++i) {
+        CGQ_ASSIGN_OR_RETURN(std::string name, String());
+        node->project_names.push_back(std::move(name));
+      }
+      break;
+    }
+    case PlanKind::kJoin: {
+      CGQ_ASSIGN_OR_RETURN(uint8_t method, U8());
+      if (method > static_cast<uint8_t>(JoinMethod::kNestedLoop)) {
+        return Status::InvalidArgument("bad join method " +
+                                       std::to_string(method));
+      }
+      node->join_method = static_cast<JoinMethod>(method);
+      CGQ_ASSIGN_OR_RETURN(uint32_t n, U32());
+      if (remaining() < n) {
+        return Status::InvalidArgument("truncated payload");
+      }
+      for (uint32_t i = 0; i < n; ++i) {
+        CGQ_ASSIGN_OR_RETURN(ExprPtr c, ReadExpr());
+        node->conjuncts.push_back(std::move(c));
+      }
+      break;
+    }
+    case PlanKind::kAggregate: {
+      CGQ_ASSIGN_OR_RETURN(uint32_t num_groups, U32());
+      if (remaining() < 4ull * num_groups) {
+        return Status::InvalidArgument("truncated payload");
+      }
+      for (uint32_t i = 0; i < num_groups; ++i) {
+        CGQ_ASSIGN_OR_RETURN(uint32_t id, U32());
+        node->group_ids.push_back(id);
+      }
+      CGQ_ASSIGN_OR_RETURN(uint32_t num_calls, U32());
+      if (remaining() < num_calls) {
+        return Status::InvalidArgument("truncated payload");
+      }
+      for (uint32_t i = 0; i < num_calls; ++i) {
+        CGQ_ASSIGN_OR_RETURN(uint8_t fn, U8());
+        if (fn > static_cast<uint8_t>(AggFn::kCount)) {
+          return Status::InvalidArgument("bad aggregate function " +
+                                         std::to_string(fn));
+        }
+        AggCall call;
+        call.fn = static_cast<AggFn>(fn);
+        CGQ_ASSIGN_OR_RETURN(call.arg, ReadExpr());
+        node->agg_calls.push_back(std::move(call));
+      }
+      CGQ_ASSIGN_OR_RETURN(uint32_t num_outs, U32());
+      if (remaining() < 4ull * num_outs) {
+        return Status::InvalidArgument("truncated payload");
+      }
+      for (uint32_t i = 0; i < num_outs; ++i) {
+        CGQ_ASSIGN_OR_RETURN(uint32_t id, U32());
+        node->agg_out_ids.push_back(id);
+      }
+      CGQ_ASSIGN_OR_RETURN(uint8_t partial, U8());
+      node->is_partial_agg = partial != 0;
+      break;
+    }
+    case PlanKind::kUnion:
+      break;
+    case PlanKind::kShip: {
+      CGQ_ASSIGN_OR_RETURN(node->ship_from, U32());
+      CGQ_ASSIGN_OR_RETURN(node->ship_to, U32());
+      CGQ_ASSIGN_OR_RETURN(int32_t channel, I32());
+      // The channel id rides in fragment_ordinal (unused by SHIP nodes):
+      // the server's ship-source factory reads it back to pick the right
+      // input queue without a side table.
+      node->fragment_ordinal = channel;
+      if (input_channels != nullptr) input_channels->push_back(channel);
+      break;
+    }
+  }
+  CGQ_ASSIGN_OR_RETURN(uint32_t num_children, U32());
+  if (remaining() < num_children) {
+    return Status::InvalidArgument("truncated payload");
+  }
+  for (uint32_t i = 0; i < num_children; ++i) {
+    CGQ_ASSIGN_OR_RETURN(PlanNodePtr child, ReadPlan(input_channels));
+    node->children().push_back(std::move(child));
+  }
+  return PlanNodePtr(std::move(node));
+}
+
+// --- Typed payloads -------------------------------------------------------
+
+std::string Hello::Encode() const {
+  Writer w;
+  w.PutU16(version);
+  return w.Take();
+}
+
+Result<Hello> Hello::Decode(const std::string& payload) {
+  Reader r(payload);
+  Hello h;
+  CGQ_ASSIGN_OR_RETURN(h.version, r.U16());
+  return h;
+}
+
+std::string HelloAck::Encode() const {
+  Writer w;
+  w.PutU16(version);
+  w.PutU32(static_cast<uint32_t>(locations.size()));
+  for (LocationId l : locations) w.PutU32(l);
+  return w.Take();
+}
+
+Result<HelloAck> HelloAck::Decode(const std::string& payload) {
+  Reader r(payload);
+  HelloAck ack;
+  CGQ_ASSIGN_OR_RETURN(ack.version, r.U16());
+  CGQ_ASSIGN_OR_RETURN(uint32_t n, r.U32());
+  if (r.remaining() < 4ull * n) {
+    return Status::InvalidArgument("truncated payload");
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    CGQ_ASSIGN_OR_RETURN(uint32_t l, r.U32());
+    ack.locations.push_back(l);
+  }
+  return ack;
+}
+
+std::string LoadTable::Encode() const {
+  Writer w;
+  w.PutU32(location);
+  w.PutString(table);
+  w.PutU8(replace ? 1 : 0);
+  w.PutU32(static_cast<uint32_t>(rows.size()));
+  for (const Row& row : rows) w.PutRow(row);
+  return w.Take();
+}
+
+Result<LoadTable> LoadTable::Decode(const std::string& payload) {
+  Reader r(payload);
+  LoadTable load;
+  CGQ_ASSIGN_OR_RETURN(load.location, r.U32());
+  CGQ_ASSIGN_OR_RETURN(load.table, r.String());
+  CGQ_ASSIGN_OR_RETURN(uint8_t replace, r.U8());
+  load.replace = replace != 0;
+  CGQ_ASSIGN_OR_RETURN(uint32_t n, r.U32());
+  if (r.remaining() < n) {
+    return Status::InvalidArgument("truncated payload");
+  }
+  load.rows.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    CGQ_ASSIGN_OR_RETURN(Row row, r.ReadRow());
+    load.rows.push_back(std::move(row));
+  }
+  return load;
+}
+
+std::string LoadAck::Encode() const {
+  Writer w;
+  w.PutI64(fragment_rows);
+  return w.Take();
+}
+
+Result<LoadAck> LoadAck::Decode(const std::string& payload) {
+  Reader r(payload);
+  LoadAck ack;
+  CGQ_ASSIGN_OR_RETURN(ack.fragment_rows, r.I64());
+  return ack;
+}
+
+Result<std::string> StartFragment::Encode(
+    const std::unordered_map<const PlanNode*, int>& channel_of_ship) const {
+  Writer w;
+  w.PutI32(fragment_id);
+  w.PutU32(site);
+  w.PutU32(batch_size);
+  w.PutU8(has_output_ship ? 1 : 0);
+  w.PutU32(ship_to);
+  w.PutU64(ship_trait_bits);
+  CGQ_RETURN_NOT_OK(w.PutPlan(*root, channel_of_ship));
+  return w.Take();
+}
+
+Result<StartFragment> StartFragment::Decode(const std::string& payload) {
+  Reader r(payload);
+  StartFragment start;
+  CGQ_ASSIGN_OR_RETURN(start.fragment_id, r.I32());
+  CGQ_ASSIGN_OR_RETURN(start.site, r.U32());
+  CGQ_ASSIGN_OR_RETURN(start.batch_size, r.U32());
+  CGQ_ASSIGN_OR_RETURN(uint8_t has_ship, r.U8());
+  start.has_output_ship = has_ship != 0;
+  CGQ_ASSIGN_OR_RETURN(start.ship_to, r.U32());
+  CGQ_ASSIGN_OR_RETURN(start.ship_trait_bits, r.U64());
+  CGQ_ASSIGN_OR_RETURN(start.root, r.ReadPlan(&start.input_channels));
+  return start;
+}
+
+std::string InputBatch::Encode() const {
+  Writer w;
+  w.PutI32(channel);
+  w.PutBatch(batch);
+  return w.Take();
+}
+
+Result<InputBatch> InputBatch::Decode(const std::string& payload) {
+  Reader r(payload);
+  InputBatch in;
+  CGQ_ASSIGN_OR_RETURN(in.channel, r.I32());
+  CGQ_ASSIGN_OR_RETURN(in.batch, r.ReadBatch());
+  return in;
+}
+
+std::string InputEnd::Encode() const {
+  Writer w;
+  w.PutI32(channel);
+  return w.Take();
+}
+
+Result<InputEnd> InputEnd::Decode(const std::string& payload) {
+  Reader r(payload);
+  InputEnd end;
+  CGQ_ASSIGN_OR_RETURN(end.channel, r.I32());
+  return end;
+}
+
+std::string OutputBatch::Encode() const {
+  Writer w;
+  w.PutBatch(batch);
+  return w.Take();
+}
+
+Result<OutputBatch> OutputBatch::Decode(const std::string& payload) {
+  Reader r(payload);
+  OutputBatch out;
+  CGQ_ASSIGN_OR_RETURN(out.batch, r.ReadBatch());
+  return out;
+}
+
+std::string OutputEnd::Encode() const {
+  Writer w;
+  w.PutI64(rows_out);
+  w.PutI64(rows_scanned);
+  return w.Take();
+}
+
+Result<OutputEnd> OutputEnd::Decode(const std::string& payload) {
+  Reader r(payload);
+  OutputEnd end;
+  CGQ_ASSIGN_OR_RETURN(end.rows_out, r.I64());
+  CGQ_ASSIGN_OR_RETURN(end.rows_scanned, r.I64());
+  return end;
+}
+
+std::string ErrorMsg::Encode() const {
+  Writer w;
+  w.PutU16(code);
+  w.PutString(message);
+  return w.Take();
+}
+
+Result<ErrorMsg> ErrorMsg::Decode(const std::string& payload) {
+  Reader r(payload);
+  ErrorMsg err;
+  CGQ_ASSIGN_OR_RETURN(err.code, r.U16());
+  CGQ_ASSIGN_OR_RETURN(err.message, r.String());
+  return err;
+}
+
+Status ErrorMsg::ToStatus() const {
+  if (code == static_cast<uint16_t>(StatusCode::kOk) ||
+      code > static_cast<uint16_t>(StatusCode::kCancelled)) {
+    return Status::Internal("malformed error frame (code " +
+                            std::to_string(code) + "): " + message);
+  }
+  return Status(static_cast<StatusCode>(code), message);
+}
+
+ErrorMsg ErrorMsg::FromStatus(const Status& s) {
+  ErrorMsg err;
+  err.code = static_cast<uint16_t>(s.code());
+  err.message = s.message();
+  return err;
+}
+
+}  // namespace wire
+}  // namespace cgq

@@ -1,0 +1,357 @@
+// Unit tests of the deployment layer's wire protocol (src/net): frame
+// round-trips of every type, rejection of truncated / oversized /
+// corrupted frames with typed errors, the version-mismatch handshake
+// refusal, and endianness-stable golden byte encodings that pin the
+// on-wire format across platforms and releases.
+
+#include "net/wire_protocol.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/fragmenter.h"
+#include "gtest/gtest.h"
+#include "plan/plan_node.h"
+
+namespace cgq {
+namespace wire {
+namespace {
+
+std::vector<uint8_t> Bytes(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+const uint8_t* Data(const std::string& s) {
+  return reinterpret_cast<const uint8_t*>(s.data());
+}
+
+Result<FrameHeader> Header(const std::string& frame) {
+  return DecodeFrameHeader(Data(frame), frame.size());
+}
+
+TEST(WireFrame, GoldenHelloFrame) {
+  std::string frame = EncodeFrame(FrameType::kHello, Hello().Encode());
+  ASSERT_EQ(frame.size(), kHeaderSize + 2);
+  // Header: magic "CGQW", version 1, type 1, len 2, FNV-1a of {01 00}.
+  const std::vector<uint8_t> expected_prefix = {
+      'C',  'G',  'Q',  'W',        // magic, little-endian 0x57514743
+      0x01, 0x00,                   // version 1
+      0x01, 0x00,                   // type kHello
+      0x02, 0x00, 0x00, 0x00,       // payload length 2
+  };
+  std::vector<uint8_t> actual = Bytes(frame);
+  for (size_t i = 0; i < expected_prefix.size(); ++i) {
+    EXPECT_EQ(actual[i], expected_prefix[i]) << "byte " << i;
+  }
+  // Checksum bytes 12..19: FNV-1a over payload {0x01, 0x00}.
+  const uint8_t payload[] = {0x01, 0x00};
+  uint64_t sum = Fnv1a(payload, 2);
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(actual[12 + i], static_cast<uint8_t>((sum >> (8 * i)) & 0xff));
+  }
+  // Payload itself.
+  EXPECT_EQ(actual[20], 0x01);
+  EXPECT_EQ(actual[21], 0x00);
+}
+
+TEST(WireFrame, GoldenValueEncodings) {
+  Writer w;
+  w.PutValue(Value::Null());
+  w.PutValue(Value::Int64(-2));
+  w.PutValue(Value::Double(1.5));
+  w.PutValue(Value::String("ab"));
+  const std::vector<uint8_t> expected = {
+      0x00,                                            // NULL
+      0x01, 0xfe, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,  // -2
+      0xff,
+      0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xf8,  // 1.5 = 0x3FF8...
+      0x3f,
+      0x03, 0x02, 0x00, 0x00, 0x00, 'a', 'b',          // "ab"
+  };
+  EXPECT_EQ(Bytes(w.buffer()), expected);
+}
+
+TEST(WireFrame, KnownFnv1aVector) {
+  // FNV-1a("a") is a published test vector.
+  const uint8_t a[] = {'a'};
+  EXPECT_EQ(Fnv1a(a, 1), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(Fnv1a(nullptr, 0), 14695981039346656037ull);
+}
+
+TEST(WireFrame, HeaderRejectsBadMagic) {
+  std::string frame = EncodeFrame(FrameType::kHello, Hello().Encode());
+  frame[0] = 'X';
+  auto h = Header(frame);
+  ASSERT_FALSE(h.ok());
+  EXPECT_TRUE(h.status().IsInvalidArgument());
+}
+
+TEST(WireFrame, HeaderRejectsTruncation) {
+  std::string frame = EncodeFrame(FrameType::kHello, Hello().Encode());
+  auto h = DecodeFrameHeader(Data(frame), kHeaderSize - 1);
+  ASSERT_FALSE(h.ok());
+  EXPECT_TRUE(h.status().IsInvalidArgument());
+}
+
+TEST(WireFrame, HeaderRejectsVersionMismatchAsUnsupported) {
+  std::string frame = EncodeFrame(FrameType::kHello, Hello().Encode());
+  frame[4] = 0x63;  // version 99
+  frame[5] = 0x00;
+  auto h = Header(frame);
+  ASSERT_FALSE(h.ok());
+  EXPECT_TRUE(h.status().IsUnsupported());
+  EXPECT_NE(h.status().message().find("version mismatch"), std::string::npos);
+}
+
+TEST(WireFrame, HeaderRejectsOversizedPayload) {
+  std::string frame = EncodeFrame(FrameType::kHello, Hello().Encode());
+  uint32_t huge = kMaxPayloadBytes + 1;
+  for (int i = 0; i < 4; ++i) {
+    frame[8 + i] = static_cast<char>((huge >> (8 * i)) & 0xff);
+  }
+  auto h = Header(frame);
+  ASSERT_FALSE(h.ok());
+  EXPECT_TRUE(h.status().IsInvalidArgument());
+  EXPECT_NE(h.status().message().find("oversized"), std::string::npos);
+}
+
+TEST(WireFrame, ChecksumMismatchRejected) {
+  std::string payload = Hello().Encode();
+  std::string frame = EncodeFrame(FrameType::kHello, payload);
+  auto h = Header(frame);
+  ASSERT_TRUE(h.ok());
+  payload[0] ^= 0x40;  // flip a payload bit
+  Status s = VerifyPayload(*h, Data(payload));
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("checksum"), std::string::npos);
+}
+
+TEST(WireFrame, TruncatedPayloadRejectedByReader) {
+  InputBatch in;
+  in.channel = 3;
+  in.batch.layout = RowLayout({7, 9});
+  in.batch.rows.push_back({Value::Int64(1), Value::String("x")});
+  std::string payload = in.Encode();
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    auto r = InputBatch::Decode(payload.substr(0, cut));
+    ASSERT_FALSE(r.ok()) << "prefix of " << cut << " bytes decoded";
+    EXPECT_TRUE(r.status().IsInvalidArgument());
+  }
+}
+
+TEST(WireRoundTrip, Hello) {
+  auto h = Hello::Decode(Hello().Encode());
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->version, kVersion);
+}
+
+TEST(WireRoundTrip, HelloAck) {
+  HelloAck ack;
+  ack.locations = {0, 3, 4};
+  auto r = HelloAck::Decode(ack.Encode());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->version, kVersion);
+  EXPECT_EQ(r->locations, ack.locations);
+}
+
+TEST(WireRoundTrip, LoadTableAndAck) {
+  LoadTable load;
+  load.location = 2;
+  load.table = "customer";
+  load.replace = false;
+  load.rows.push_back({Value::Int64(7), Value::Null(), Value::Double(0.25)});
+  load.rows.push_back({Value::String("s"), Value::Int64(-1), Value::Null()});
+  auto r = LoadTable::Decode(load.Encode());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->location, 2u);
+  EXPECT_EQ(r->table, "customer");
+  EXPECT_FALSE(r->replace);
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_TRUE(r->rows[0][0].StructurallyEquals(Value::Int64(7)));
+  EXPECT_TRUE(r->rows[0][1].StructurallyEquals(Value::Null()));
+  EXPECT_TRUE(r->rows[0][2].StructurallyEquals(Value::Double(0.25)));
+  EXPECT_TRUE(r->rows[1][0].StructurallyEquals(Value::String("s")));
+
+  LoadAck ack;
+  ack.fragment_rows = 12345;
+  auto a = LoadAck::Decode(ack.Encode());
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->fragment_rows, 12345);
+}
+
+TEST(WireRoundTrip, InputFramesAndOutputFrames) {
+  InputBatch in;
+  in.channel = 1;
+  in.batch.layout = RowLayout({65536, 65537});
+  in.batch.rows.push_back({Value::Int64(10), Value::String("hi")});
+  auto rin = InputBatch::Decode(in.Encode());
+  ASSERT_TRUE(rin.ok());
+  EXPECT_EQ(rin->channel, 1);
+  EXPECT_EQ(rin->batch.layout.attrs(), in.batch.layout.attrs());
+  ASSERT_EQ(rin->batch.rows.size(), 1u);
+  EXPECT_TRUE(rin->batch.rows[0][1].StructurallyEquals(Value::String("hi")));
+
+  InputEnd end;
+  end.channel = 4;
+  auto rend = InputEnd::Decode(end.Encode());
+  ASSERT_TRUE(rend.ok());
+  EXPECT_EQ(rend->channel, 4);
+
+  OutputBatch out;
+  out.batch = in.batch;
+  auto rout = OutputBatch::Decode(out.Encode());
+  ASSERT_TRUE(rout.ok());
+  EXPECT_EQ(rout->batch.rows.size(), 1u);
+
+  OutputEnd oend;
+  oend.rows_out = 42;
+  oend.rows_scanned = 1000;
+  auto roend = OutputEnd::Decode(oend.Encode());
+  ASSERT_TRUE(roend.ok());
+  EXPECT_EQ(roend->rows_out, 42);
+  EXPECT_EQ(roend->rows_scanned, 1000);
+}
+
+TEST(WireRoundTrip, ErrorCarriesTypedStatus) {
+  ErrorMsg err = ErrorMsg::FromStatus(Status::Unavailable("link down"));
+  auto r = ErrorMsg::Decode(err.Encode());
+  ASSERT_TRUE(r.ok());
+  Status s = r->ToStatus();
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_EQ(s.message(), "link down");
+
+  // Out-of-range codes degrade to kInternal instead of trusting the peer.
+  ErrorMsg bogus;
+  bogus.code = 999;
+  bogus.message = "???";
+  EXPECT_TRUE(bogus.ToStatus().IsInternal());
+  ErrorMsg okish;
+  okish.code = 0;
+  EXPECT_TRUE(okish.ToStatus().IsInternal());
+}
+
+TEST(WireRoundTrip, ExpressionTree) {
+  // (c.acctbal > 100 AND c.mktsegment IN ('A', 'B')) with a NOT thrown in.
+  ExprPtr col = Expr::BoundColumn(65536, "c", "acctbal", "customer",
+                                  DataType::kDouble);
+  ExprPtr cmp = Expr::Binary(ExprOp::kGt, col, Expr::Literal(Value::Int64(100)));
+  ExprPtr seg = Expr::BoundColumn(65537, "c", "mktsegment", "customer",
+                                  DataType::kString);
+  ExprPtr in = Expr::InList(
+      seg, {Value::String("A"), Value::String("B")});
+  ExprPtr pred =
+      Expr::Binary(ExprOp::kAnd, cmp, Expr::Unary(ExprOp::kNot, in));
+
+  Writer w;
+  w.PutExpr(*pred);
+  Reader r(w.buffer());
+  auto decoded = r.ReadExpr();
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_TRUE((*decoded)->Equals(*pred));
+}
+
+TEST(WireRoundTrip, PlanFragmentWithShipLeaf) {
+  // Scan(customer@l1) -> Filter -> SHIP(l1 -> l0) feeding
+  // Join at l0 against Scan(orders@l0): serialize the *top* fragment,
+  // whose subtree contains the SHIP as a childless input leaf.
+  auto scan_c = std::make_shared<PlanNode>(PlanKind::kScan);
+  scan_c->table = "customer";
+  scan_c->scan_location = 1;
+  scan_c->outputs = {{65536, "custkey", DataType::kInt64},
+                     {65537, "name", DataType::kString}};
+  auto ship = std::make_shared<PlanNode>(PlanKind::kShip);
+  ship->ship_from = 1;
+  ship->ship_to = 0;
+  ship->ship_trait = LocationSet(0b11);
+  ship->outputs = scan_c->outputs;
+  ship->children().push_back(scan_c);
+
+  auto scan_o = std::make_shared<PlanNode>(PlanKind::kScan);
+  scan_o->table = "orders";
+  scan_o->scan_location = 0;
+  scan_o->outputs = {{131072, "custkey", DataType::kInt64},
+                     {131073, "total", DataType::kDouble}};
+
+  auto join = std::make_shared<PlanNode>(PlanKind::kJoin);
+  join->join_method = JoinMethod::kHash;
+  join->conjuncts.push_back(Expr::Binary(
+      ExprOp::kEq,
+      Expr::BoundColumn(65536, "c", "custkey", "customer", DataType::kInt64),
+      Expr::BoundColumn(131072, "o", "custkey", "orders",
+                        DataType::kInt64)));
+  join->exec_trait = LocationSet(0b1);
+  join->location = 0;
+  join->outputs = {{65537, "name", DataType::kString},
+                   {131073, "total", DataType::kDouble}};
+  join->children().push_back(ship);
+  join->children().push_back(scan_o);
+
+  std::unordered_map<const PlanNode*, int> channel_of_ship;
+  channel_of_ship[ship.get()] = 0;
+
+  StartFragment start;
+  start.fragment_id = 1;
+  start.site = 0;
+  start.batch_size = 512;
+  start.root = join;
+  auto payload = start.Encode(channel_of_ship);
+  ASSERT_TRUE(payload.ok());
+
+  auto decoded = StartFragment::Decode(*payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->fragment_id, 1);
+  EXPECT_EQ(decoded->site, 0u);
+  EXPECT_EQ(decoded->batch_size, 512u);
+  ASSERT_EQ(decoded->input_channels.size(), 1u);
+  EXPECT_EQ(decoded->input_channels[0], 0);
+
+  const PlanNode& droot = *decoded->root;
+  ASSERT_EQ(droot.kind(), PlanKind::kJoin);
+  EXPECT_EQ(droot.exec_trait.bits(), join->exec_trait.bits());
+  ASSERT_EQ(droot.children().size(), 2u);
+  const PlanNode& dship = *droot.child(0);
+  ASSERT_EQ(dship.kind(), PlanKind::kShip);
+  // The SHIP leaf decodes childless, carrying the channel id and its
+  // producer's output layout.
+  EXPECT_TRUE(dship.children().empty());
+  EXPECT_EQ(dship.fragment_ordinal, 0);
+  EXPECT_EQ(dship.ship_from, 1u);
+  EXPECT_EQ(dship.ship_to, 0u);
+  EXPECT_EQ(dship.ship_trait.bits(), ship->ship_trait.bits());
+  ASSERT_EQ(dship.outputs.size(), 2u);
+  EXPECT_EQ(dship.outputs[0].id, 65536u);
+  EXPECT_EQ(dship.outputs[1].name, "name");
+  EXPECT_EQ(dship.outputs[1].type, DataType::kString);
+  ASSERT_EQ(droot.conjuncts.size(), 1u);
+  EXPECT_TRUE(droot.conjuncts[0]->Equals(*join->conjuncts[0]));
+  const PlanNode& dscan = *droot.child(1);
+  EXPECT_EQ(dscan.kind(), PlanKind::kScan);
+  EXPECT_EQ(dscan.table, "orders");
+  EXPECT_EQ(dscan.scan_location, 0u);
+
+  // The decoded placement facts feed the receiving-end compliance
+  // re-check (fragment #1 runs at l0, inside its execution trait).
+  EXPECT_TRUE(
+      CheckFragmentPlacement(decoded->fragment_id, decoded->site,
+                             droot.exec_trait, nullptr)
+          .ok());
+  // A tampered site outside the trait is refused.
+  EXPECT_FALSE(
+      CheckFragmentPlacement(decoded->fragment_id, /*site=*/3,
+                             droot.exec_trait, nullptr)
+          .ok());
+}
+
+TEST(WireRoundTrip, EveryFrameTypeHasAName) {
+  for (uint16_t t = 1; t <= 12; ++t) {
+    EXPECT_STRNE(FrameTypeToString(static_cast<FrameType>(t)), "UNKNOWN");
+  }
+  EXPECT_STREQ(FrameTypeToString(static_cast<FrameType>(99)), "UNKNOWN");
+}
+
+}  // namespace
+}  // namespace wire
+}  // namespace cgq
