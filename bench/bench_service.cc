@@ -1,0 +1,454 @@
+// bench_service: open-loop load generator for the multi-tenant
+// QueryService front door.
+//
+// N client threads, each bound to a tenant session, submit queries drawn
+// from a zipfian template mix with fresh random literals at a fixed
+// offered rate (open loop: arrivals do not wait for completions). A
+// waiter thread per client drains tickets in FIFO order and records
+// end-to-end latency. The offered rate is swept across levels; for each
+// level the bench reports achieved QPS, p50/p99/p999 latency, plan-cache
+// exact/parameterized hit rates, admission rejects, and Jain's fairness
+// index over per-tenant completions. The saturation point is the highest
+// offered rate the service still achieves to >= 95%.
+//
+//   --clients=N      client threads (default 8)
+//   --tenants=N      tenants, clients round-robin over them (default 4)
+//   --workers=N      service worker threads (default 4)
+//   --weight=N       scheduling weight of tenant 0, others 1 (default 1)
+//   --max-queued=N   per-tenant queue quota, 0 = uncapped (default 0)
+//   --duration-ms=N  measured window per level (default 2000)
+//   --qps=A,B,...    offered-rate sweep (default 100,200,400,800,1600)
+//   --tiny           CI smoke mode: 2 levels, 400 ms windows
+//   --json=PATH      write one JSON object per level (+ summary) to PATH
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "service/query_service.h"
+#include "tpch/tpch.h"
+
+namespace cgq {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ServiceBenchOptions {
+  int clients = 8;
+  int tenants = 4;
+  int workers = 4;
+  int weight = 1;
+  int max_queued = 0;
+  double duration_ms = 2000;
+  std::vector<double> qps_levels = {100, 200, 400, 800, 1600};
+  bool tiny = false;
+  std::string json_path;
+
+  static ServiceBenchOptions Parse(int argc, char** argv) {
+    ServiceBenchOptions o;
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strncmp(a, "--clients=", 10) == 0) {
+        o.clients = std::atoi(a + 10);
+      } else if (std::strncmp(a, "--tenants=", 10) == 0) {
+        o.tenants = std::atoi(a + 10);
+      } else if (std::strncmp(a, "--workers=", 10) == 0) {
+        o.workers = std::atoi(a + 10);
+      } else if (std::strncmp(a, "--weight=", 9) == 0) {
+        o.weight = std::atoi(a + 9);
+      } else if (std::strncmp(a, "--max-queued=", 13) == 0) {
+        o.max_queued = std::atoi(a + 13);
+      } else if (std::strncmp(a, "--duration-ms=", 14) == 0) {
+        o.duration_ms = std::atof(a + 14);
+      } else if (std::strncmp(a, "--qps=", 6) == 0) {
+        o.qps_levels.clear();
+        for (const char* p = a + 6; *p != '\0';) {
+          o.qps_levels.push_back(std::strtod(p, nullptr));
+          while (*p != '\0' && *p != ',') ++p;
+          if (*p == ',') ++p;
+        }
+      } else if (std::strcmp(a, "--tiny") == 0) {
+        o.tiny = true;
+      } else if (std::strncmp(a, "--json=", 7) == 0) {
+        o.json_path = a + 7;
+      } else {
+        std::fprintf(stderr,
+                     "unknown argument '%s' (--clients=N --tenants=N "
+                     "--workers=N --weight=N --max-queued=N "
+                     "--duration-ms=N --qps=A,B,... --tiny --json=PATH)\n",
+                     a);
+        std::exit(2);
+      }
+    }
+    if (o.clients < 1) o.clients = 1;
+    if (o.tenants < 1) o.tenants = 1;
+    if (o.workers < 1) o.workers = 1;
+    if (o.weight < 1) o.weight = 1;
+    if (o.tiny) {
+      o.duration_ms = 400;
+      o.qps_levels = {200, 800};
+    }
+    return o;
+  }
+};
+
+/// The template mix: same-shape queries with fresh literals, so steady
+/// state is almost entirely parameterized cache hits. Ordered hottest
+/// first; the zipfian mix sends rank r traffic proportional to 1/(r+1).
+std::string InstantiateTemplate(size_t rank, std::mt19937* rng) {
+  char buf[256];
+  switch (rank) {
+    case 0:
+      std::snprintf(buf, sizeof(buf),
+                    "SELECT count(*) AS n FROM nation WHERE regionkey = %d",
+                    static_cast<int>((*rng)() % 5));
+      break;
+    case 1:
+      std::snprintf(buf, sizeof(buf),
+                    "SELECT name FROM customer WHERE custkey = %d",
+                    static_cast<int>((*rng)() % 300));
+      break;
+    case 2:
+      std::snprintf(
+          buf, sizeof(buf),
+          "SELECT count(*) AS n FROM orders WHERE totalprice > %d.25",
+          static_cast<int>((*rng)() % 9000));
+      break;
+    default:
+      std::snprintf(
+          buf, sizeof(buf),
+          "SELECT name FROM supplier WHERE nationkey IN (%d, %d)",
+          static_cast<int>((*rng)() % 12),
+          static_cast<int>(12 + (*rng)() % 13));
+      break;
+  }
+  return buf;
+}
+
+constexpr size_t kTemplates = 4;
+
+size_t ZipfRank(std::mt19937* rng) {
+  // Normalized harmonic weights over kTemplates ranks (s = 1).
+  static const std::vector<double> cdf = [] {
+    std::vector<double> w;
+    double sum = 0;
+    for (size_t r = 0; r < kTemplates; ++r) {
+      sum += 1.0 / static_cast<double>(r + 1);
+      w.push_back(sum);
+    }
+    for (double& x : w) x /= sum;
+    return w;
+  }();
+  std::uniform_real_distribution<double> u(0, 1);
+  const double x = u(*rng);
+  for (size_t r = 0; r < cdf.size(); ++r) {
+    if (x <= cdf[r]) return r;
+  }
+  return cdf.size() - 1;
+}
+
+double Percentile(std::vector<double>* sorted_ms, double p) {
+  if (sorted_ms->empty()) return 0;
+  const double idx = p * static_cast<double>(sorted_ms->size() - 1);
+  const size_t lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(lo + 1, sorted_ms->size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return (*sorted_ms)[lo] * (1 - frac) + (*sorted_ms)[hi] * frac;
+}
+
+double JainIndex(const std::vector<int64_t>& xs) {
+  double sum = 0, sq = 0;
+  for (int64_t x : xs) {
+    sum += static_cast<double>(x);
+    sq += static_cast<double>(x) * static_cast<double>(x);
+  }
+  if (sq == 0) return 1.0;
+  return sum * sum / (static_cast<double>(xs.size()) * sq);
+}
+
+struct LevelResult {
+  double offered_qps = 0;
+  double achieved_qps = 0;
+  double p50_ms = 0, p99_ms = 0, p999_ms = 0;
+  int64_t completed = 0;
+  int64_t rejected = 0;
+  int64_t failed = 0;
+  double hit_rate = 0;
+  double param_hit_rate = 0;
+  double fairness = 1.0;
+};
+
+/// FIFO hand-off between one client's submitter and its waiter.
+struct TicketQueue {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::pair<QueryService::TicketId, Clock::time_point>> q;
+  bool closed = false;
+};
+
+LevelResult RunLevel(QueryService* service,
+                     const std::vector<std::string>& tokens,
+                     const ServiceBenchOptions& opts, double qps,
+                     uint64_t seed) {
+  const int n = opts.clients;
+  const auto window =
+      std::chrono::duration<double, std::milli>(opts.duration_ms);
+
+  const ServiceStats before = service->stats();
+  const PlanCacheStats cache_before = service->plan_cache()->stats();
+  std::vector<TenantServiceStats> tenants_before = service->tenant_stats();
+
+  std::vector<std::vector<double>> latencies(static_cast<size_t>(n));
+  std::vector<int64_t> rejected(static_cast<size_t>(n), 0);
+  std::vector<std::thread> submitters, waiters;
+  std::vector<std::unique_ptr<TicketQueue>> queues;
+  std::vector<std::unique_ptr<QueryService::Session>> sessions;
+  for (int c = 0; c < n; ++c) {
+    queues.push_back(std::make_unique<TicketQueue>());
+    auto s = service->OpenSession(
+        tokens[static_cast<size_t>(c) % tokens.size()]);
+    if (!s.ok()) {
+      std::fprintf(stderr, "OpenSession: %s\n",
+                   s.status().ToString().c_str());
+      std::exit(1);
+    }
+    sessions.push_back(
+        std::make_unique<QueryService::Session>(std::move(*s)));
+  }
+
+  const auto start = Clock::now();
+  for (int c = 0; c < n; ++c) {
+    submitters.emplace_back([&, c] {
+      std::mt19937 rng(static_cast<uint32_t>(seed + 1000003u *
+                                             static_cast<uint64_t>(c)));
+      const auto interval = std::chrono::duration<double>(
+          static_cast<double>(n) / qps);
+      // Stagger client phases so arrivals interleave evenly.
+      auto next = start + interval * (static_cast<double>(c) / n);
+      const auto end = start + window;
+      TicketQueue& tq = *queues[static_cast<size_t>(c)];
+      while (next < end) {
+        std::this_thread::sleep_until(next);
+        next += std::chrono::duration_cast<Clock::duration>(interval);
+        std::string sql = InstantiateTemplate(ZipfRank(&rng), &rng);
+        const auto t0 = Clock::now();
+        auto ticket = sessions[static_cast<size_t>(c)]->Submit(sql);
+        if (!ticket.ok()) {
+          ++rejected[static_cast<size_t>(c)];
+          continue;
+        }
+        {
+          std::lock_guard<std::mutex> lock(tq.mu);
+          tq.q.emplace_back(*ticket, t0);
+        }
+        tq.cv.notify_one();
+      }
+      {
+        std::lock_guard<std::mutex> lock(tq.mu);
+        tq.closed = true;
+      }
+      tq.cv.notify_one();
+    });
+    waiters.emplace_back([&, c] {
+      TicketQueue& tq = *queues[static_cast<size_t>(c)];
+      for (;;) {
+        std::pair<QueryService::TicketId, Clock::time_point> item;
+        {
+          std::unique_lock<std::mutex> lock(tq.mu);
+          tq.cv.wait(lock, [&] { return !tq.q.empty() || tq.closed; });
+          if (tq.q.empty()) return;
+          item = tq.q.front();
+          tq.q.pop_front();
+        }
+        auto r = sessions[static_cast<size_t>(c)]->Wait(item.first);
+        if (r.ok()) {
+          latencies[static_cast<size_t>(c)].push_back(
+              std::chrono::duration<double, std::milli>(Clock::now() -
+                                                        item.second)
+                  .count());
+        }
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  for (std::thread& t : waiters) t.join();
+  const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                Clock::now() - start)
+                                .count();
+
+  LevelResult out;
+  out.offered_qps = qps;
+  std::vector<double> all;
+  for (const auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  out.p50_ms = Percentile(&all, 0.50);
+  out.p99_ms = Percentile(&all, 0.99);
+  out.p999_ms = Percentile(&all, 0.999);
+
+  const ServiceStats after = service->stats();
+  const PlanCacheStats cache_after = service->plan_cache()->stats();
+  out.completed = after.completed - before.completed;
+  out.failed = after.failed - before.failed;
+  for (int64_t r : rejected) out.rejected += r;
+  // Achieved rate counts completions over the whole window including
+  // drain: an overloaded service takes visibly longer than the window.
+  out.achieved_qps = out.completed / (elapsed_ms / 1000.0);
+  const int64_t lookups = (cache_after.hits - cache_before.hits) +
+                          (cache_after.misses - cache_before.misses);
+  if (lookups > 0) {
+    out.hit_rate =
+        static_cast<double>(cache_after.hits - cache_before.hits) / lookups;
+    out.param_hit_rate =
+        static_cast<double>(cache_after.param_hits -
+                            cache_before.param_hits) /
+        lookups;
+  }
+  std::vector<int64_t> per_tenant;
+  std::vector<TenantServiceStats> tenants_after = service->tenant_stats();
+  for (const TenantServiceStats& t : tenants_after) {
+    if (t.tenant == kDefaultTenantId) continue;
+    int64_t prior = 0;
+    for (const TenantServiceStats& b : tenants_before) {
+      if (b.tenant == t.tenant) prior = b.completed;
+    }
+    per_tenant.push_back(t.completed - prior);
+  }
+  out.fairness = JainIndex(per_tenant);
+  return out;
+}
+
+}  // namespace
+}  // namespace cgq
+
+int main(int argc, char** argv) {
+  using namespace cgq;  // NOLINT
+  ServiceBenchOptions opts = ServiceBenchOptions::Parse(argc, argv);
+
+  tpch::TpchConfig config;
+  config.scale_factor = 0.002;
+  auto catalog = tpch::BuildCatalog(config);
+  if (!catalog.ok()) return 1;
+  Engine engine(std::move(*catalog), NetworkModel::DefaultGeo(5));
+  if (!tpch::InstallUnrestrictedPolicies(&engine.policies()).ok()) return 1;
+  if (!tpch::GenerateData(engine.catalog(), config, &engine.store()).ok()) {
+    return 1;
+  }
+
+  ServiceOptions sopts;
+  sopts.max_inflight = opts.workers;
+  sopts.queue_capacity = 512;
+  sopts.queue_timeout_ms = 0;  // latency is measured, not bounded
+  QueryService service(&engine, sopts);
+  std::vector<std::string> tokens;
+  for (int t = 0; t < opts.tenants; ++t) {
+    TenantQuotas q;
+    q.weight = t == 0 ? opts.weight : 1;
+    q.max_queued = opts.max_queued;
+    std::string name = "t" + std::to_string(t);
+    std::string token = "tok-" + name;
+    auto id = service.tenants().Register(name, token, q);
+    if (!id.ok()) return 1;
+    tokens.push_back(token);
+  }
+
+  // Warm the parameterized cache: one instance per template, so the
+  // measured windows exercise the steady state (bind-on-hit path).
+  {
+    auto session = service.OpenSession();
+    std::mt19937 rng(1);
+    for (size_t r = 0; r < kTemplates; ++r) {
+      auto res = session.Run(InstantiateTemplate(r, &rng));
+      if (!res.ok()) {
+        std::fprintf(stderr, "warmup: %s\n",
+                     res.status().ToString().c_str());
+        return 1;
+      }
+    }
+  }
+
+  bench::PrintHeader(
+      "bench_service — open-loop multi-tenant service load "
+      "(clients " + std::to_string(opts.clients) +
+      ", tenants " + std::to_string(opts.tenants) +
+      ", workers " + std::to_string(opts.workers) + ")");
+  std::printf("%10s %12s %9s %9s %9s %10s %9s %9s %9s\n", "offered",
+              "achieved", "p50 ms", "p99 ms", "p999 ms", "completed",
+              "rejected", "hit rate", "fairness");
+
+  bench::JsonReport report(opts.json_path);
+  double saturation_qps = 0;
+  std::vector<LevelResult> results;
+  for (size_t i = 0; i < opts.qps_levels.size(); ++i) {
+    LevelResult r = RunLevel(&service, tokens, opts, opts.qps_levels[i],
+                             /*seed=*/20260809 + 7919 * i);
+    results.push_back(r);
+    if (r.achieved_qps >= 0.95 * r.offered_qps) {
+      saturation_qps = std::max(saturation_qps, r.achieved_qps);
+    }
+    std::printf("%10.0f %12.1f %9.3f %9.3f %9.3f %10lld %9lld %8.1f%% "
+                "%9.3f\n",
+                r.offered_qps, r.achieved_qps, r.p50_ms, r.p99_ms,
+                r.p999_ms, static_cast<long long>(r.completed),
+                static_cast<long long>(r.rejected), 100 * r.hit_rate,
+                r.fairness);
+    bench::JsonRow row;
+    row.Set("bench", "service")
+        .Set("offered_qps", r.offered_qps)
+        .Set("achieved_qps", r.achieved_qps)
+        .Set("p50_ms", r.p50_ms)
+        .Set("p99_ms", r.p99_ms)
+        .Set("p999_ms", r.p999_ms)
+        .Set("completed", r.completed)
+        .Set("rejected", r.rejected)
+        .Set("failed", r.failed)
+        .Set("hit_rate", r.hit_rate)
+        .Set("param_hit_rate", r.param_hit_rate)
+        .Set("fairness", r.fairness)
+        .Set("clients", opts.clients)
+        .Set("tenants", opts.tenants)
+        .Set("workers", opts.workers)
+        .Set("duration_ms", opts.duration_ms)
+        .Set("tiny", opts.tiny);
+    report.Add(row);
+  }
+
+  PlanCacheStats cs = service.plan_cache()->stats();
+  const int64_t lookups = cs.hits + cs.misses;
+  const double overall_hit =
+      lookups > 0 ? static_cast<double>(cs.hits) / lookups : 0;
+  const double overall_param =
+      lookups > 0 ? static_cast<double>(cs.param_hits) / lookups : 0;
+  std::printf("\nsaturation: %.1f QPS; plan cache: %lld exact + %lld "
+              "parameterized hits / %lld lookups (%.1f%% hit rate)\n",
+              saturation_qps, static_cast<long long>(cs.exact_hits),
+              static_cast<long long>(cs.param_hits),
+              static_cast<long long>(lookups), 100 * overall_hit);
+
+  bench::JsonRow summary;
+  summary.Set("bench", "service_summary")
+      .Set("saturation_qps", saturation_qps)
+      .Set("exact_hits", cs.exact_hits)
+      .Set("param_hits", cs.param_hits)
+      .Set("misses", cs.misses)
+      .Set("hit_rate", overall_hit)
+      .Set("param_hit_rate", overall_param)
+      .Set("clients", opts.clients)
+      .Set("tenants", opts.tenants)
+      .Set("workers", opts.workers)
+      .Set("tiny", opts.tiny);
+  report.Add(summary);
+  if (!report.Flush()) return 1;
+  return 0;
+}

@@ -27,6 +27,7 @@
 #include "exec/csv.h"
 #include "plan/plan_dot.h"
 #include "service/plan_cache.h"
+#include "service/query_service.h"
 #include "tpch/tpch.h"
 
 using namespace cgq;  // NOLINT
@@ -72,7 +73,13 @@ void Help() {
       "  policies;                    list installed policies with ids\n"
       "  set <T|C|CR|CRA|open>;       switch policy set\n"
       "  cache <on|off|stats>;        compliant plan cache in front of the\n"
-      "                               optimizer (footer shows hit/miss)\n"
+      "                               optimizer; stats break down exact vs\n"
+      "                               parameterized hits + tenant counters\n"
+      "  tenant <name> <token> [weight [max-inflight [max-queued]]];\n"
+      "                               register a tenant (0 = uncapped)\n"
+      "  tenants;                     list tenants, quotas, admission stats\n"
+      "  quota <name> <weight> <max-inflight> <max-queued>;  update quotas\n"
+      "  auth <token|off>;            switch the session's tenant\n"
       "  exec <row|fragment|vector|distributed>;  switch backend\n"
       "  deploy <hosts-file>;         connect + push data to location\n"
       "                               servers (host:port loc[,loc] lines)\n"
@@ -80,6 +87,21 @@ void Help() {
       "  trace <file|off>;            write Chrome trace JSON per query\n"
       "  tables;                      list tables\n"
       "  help; quit;\n");
+}
+
+void PrintTenantCounters(QueryService& service) {
+  std::printf("  %-10s %6s %9s %9s %9s %8s %8s %9s\n", "tenant", "weight",
+              "submitted", "completed", "rejected", "failed", "queued",
+              "scheduled");
+  for (const TenantServiceStats& t : service.tenant_stats()) {
+    std::printf("  %-10s %6d %9lld %9lld %9lld %8lld %8lld %9lld\n",
+                t.name.c_str(), t.weight, static_cast<long long>(t.submitted),
+                static_cast<long long>(t.completed),
+                static_cast<long long>(t.rejected),
+                static_cast<long long>(t.failed),
+                static_cast<long long>(t.queued),
+                static_cast<long long>(t.scheduled));
+  }
 }
 
 }  // namespace
@@ -123,6 +145,19 @@ int main() {
               "type 'help;' for commands.\n",
               config.scale_factor);
 
+  // The shell fronts the engine with a single-worker QueryService so
+  // tenant registration / auth / quotas behave exactly as they do in a
+  // real deployment; the plan cache stays engine-owned ('cache on;').
+  ServiceOptions svc_opts;
+  svc_opts.max_inflight = 1;
+  svc_opts.queue_capacity = 256;
+  svc_opts.queue_timeout_ms = 0;  // interactive queries never time out
+  svc_opts.enable_plan_cache = false;
+  auto service =
+      std::make_unique<QueryService>(engine_ptr.get(), svc_opts);
+  auto session = std::make_unique<QueryService::Session>(
+      service->OpenSession());
+
   std::string buffer, line;
   std::string trace_path;
   std::unique_ptr<PlanCache> plan_cache;
@@ -150,11 +185,16 @@ int main() {
           std::printf("%s\n", fresh.status().ToString().c_str());
           continue;
         }
+        session.reset();
+        service.reset();  // the service must not outlive its engine
         engine_ptr = std::move(*fresh);
         if (plan_cache != nullptr) {
           plan_cache->Clear();  // keyed plans belong to the old deployment
           engine_ptr->set_plan_cache(plan_cache.get());
         }
+        service = std::make_unique<QueryService>(engine_ptr.get(), svc_opts);
+        session = std::make_unique<QueryService::Session>(
+            service->OpenSession());
         std::printf("loaded deployment '%s' (%zu locations, %zu tables); "
                     "use 'load <table> <location> <csv>;' for data\n",
                     path.c_str(),
@@ -321,7 +361,7 @@ int main() {
         continue;
       }
       if (lower.rfind("select", 0) == 0) {
-        auto r = engine.Run(command);
+        auto r = session->Run(command);
         if (engine.tracing() && !trace_path.empty()) {
           Status ts = engine.DumpTraceToFile(trace_path);
           std::printf("%s\n",
@@ -356,6 +396,9 @@ int main() {
               mode.c_str());
           continue;
         }
+        // Sessions snapshot executor options at open time; follow the
+        // engine-level switch so subsequent queries use the new backend.
+        session->executor_options() = engine.default_exec_options();
         std::printf("execution backend: %s\n",
                     ExecModeToString(engine.default_exec_options().mode));
         continue;
@@ -403,20 +446,87 @@ int main() {
           } else {
             PlanCacheStats cs = plan_cache->stats();
             std::printf(
-                "plan cache: %lld hit(s), %lld miss(es), %lld "
-                "invalidation(s), %lld revalidation(s), %lld eviction(s); "
-                "%zu entr%s / %.1f KB resident; policy epoch %llu\n",
+                "plan cache: %lld hit(s) (%lld exact, %lld parameterized), "
+                "%lld miss(es), %lld invalidation(s), %lld revalidation(s), "
+                "%lld eviction(s); %zu entr%s / %.1f KB resident; policy "
+                "epoch %llu\n",
                 static_cast<long long>(cs.hits),
+                static_cast<long long>(cs.exact_hits),
+                static_cast<long long>(cs.param_hits),
                 static_cast<long long>(cs.misses),
                 static_cast<long long>(cs.invalidations),
                 static_cast<long long>(cs.revalidations),
                 static_cast<long long>(cs.evictions), cs.entries,
                 cs.entries == 1 ? "y" : "ies", cs.bytes / 1024.0,
                 static_cast<unsigned long long>(engine.policies().epoch()));
+            PrintTenantCounters(*service);
           }
         } else {
           std::printf("usage: cache <on|off|stats>;\n");
         }
+        continue;
+      }
+      if (lower == "tenants") {
+        PrintTenantCounters(*service);
+        continue;
+      }
+      if (lower.rfind("tenant ", 0) == 0) {
+        std::istringstream args(command.substr(7));
+        std::string name, token;
+        TenantQuotas q;
+        args >> name >> token >> q.weight >> q.max_inflight >> q.max_queued;
+        if (name.empty() || token.empty()) {
+          std::printf("usage: tenant <name> <token> "
+                      "[weight [max-inflight [max-queued]]];\n");
+          continue;
+        }
+        auto id = service->tenants().Register(name, token, q);
+        if (!id.ok()) {
+          std::printf("%s\n", id.status().ToString().c_str());
+          continue;
+        }
+        std::printf("tenant '%s' registered (id %lld); "
+                    "'auth %s;' to run as it\n",
+                    name.c_str(), static_cast<long long>(*id),
+                    token.c_str());
+        continue;
+      }
+      if (lower.rfind("quota ", 0) == 0) {
+        std::istringstream args(command.substr(6));
+        std::string name;
+        TenantQuotas q;
+        args >> name >> q.weight >> q.max_inflight >> q.max_queued;
+        if (name.empty() || args.fail()) {
+          std::printf(
+              "usage: quota <name> <weight> <max-inflight> <max-queued>;\n");
+          continue;
+        }
+        Status s = Status::NotFound("unknown tenant '" + name + "'");
+        for (const TenantInfo& t : service->tenants().List()) {
+          if (t.name == name) {
+            s = service->tenants().SetQuotas(t.id, q);
+            break;
+          }
+        }
+        std::printf("%s\n", s.ok() ? "ok" : s.ToString().c_str());
+        continue;
+      }
+      if (lower.rfind("auth", 0) == 0) {
+        std::string token(Trim(command.substr(4)));
+        if (token.empty() || token == "off") {
+          session = std::make_unique<QueryService::Session>(
+              service->OpenSession());
+          std::printf("session tenant: default\n");
+          continue;
+        }
+        auto opened = service->OpenSession(token);
+        if (!opened.ok()) {
+          std::printf("%s\n", opened.status().ToString().c_str());
+          continue;
+        }
+        session = std::make_unique<QueryService::Session>(std::move(*opened));
+        session->executor_options() = engine.default_exec_options();
+        std::printf("session tenant: %s\n", session->tenant_name().c_str());
         continue;
       }
       if (lower.rfind("trace", 0) == 0) {

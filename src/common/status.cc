@@ -24,6 +24,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Resource exhausted";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kPermissionDenied:
+      return "Permission denied";
   }
   return "Unknown";
 }

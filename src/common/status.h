@@ -22,6 +22,9 @@ enum class StatusCode {
   kResourceExhausted, ///< Admission control rejected the work (queue full or
                       ///< queue-wait timeout). Retryable after backing off.
   kCancelled,         ///< The caller cancelled the query before it finished.
+  kPermissionDenied,  ///< Authentication/authorization failure (unknown
+                      ///< tenant token). Not retryable with the same
+                      ///< credentials.
 };
 
 /// Returns a short human-readable name, e.g. "Invalid argument".
@@ -71,6 +74,9 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const {
@@ -94,6 +100,9 @@ class Status {
     return code() == StatusCode::kResourceExhausted;
   }
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsPermissionDenied() const {
+    return code() == StatusCode::kPermissionDenied;
+  }
 
   /// "OK" or "<code>: <message>".
   std::string ToString() const;

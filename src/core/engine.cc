@@ -6,6 +6,7 @@
 
 #include "core/compliance_checker.h"
 #include "service/plan_cache.h"
+#include "sql/param_normalizer.h"
 
 namespace cgq {
 
@@ -19,15 +20,23 @@ Result<OptimizedQuery> Engine::OptimizeMaybeCached(
                std::chrono::steady_clock::now() - start)
         .count();
   };
-  const PlanCache::Key key = PlanCache::ComputeKey(sql, options);
+  // Fingerprint the literal-free skeleton so same-shape queries with
+  // different constants share one entry; the extracted constants are
+  // rebound into the cached plan's tagged literal slots on a hit.
+  const ParameterizedSql param_sql = ParameterizeSql(sql);
+  const PlanCache::Key key = PlanCache::ComputeKey(param_sql.skeleton, options);
   {
     TraceSpan span("plan_cache_lookup");
-    std::optional<OptimizedQuery> cached = plan_cache_->Lookup(key, *policies_);
+    bool param_hit = false;
+    std::optional<OptimizedQuery> cached =
+        plan_cache_->Lookup(key, param_sql.params, *policies_, &param_hit);
     if (cached.has_value()) {
       // Belt-and-braces (Theorem 1 only covers the policy set the plan
       // was optimized under): independently re-verify Definition 1
       // against the live catalog before anything executes. Cheap — one
-      // bottom-up pass over the located plan, no memo search.
+      // bottom-up pass over the located plan, no memo search. This runs
+      // on the *bound* plan, so a parameterized hit re-proves compliance
+      // for this query's constants, not the insert-time ones.
       PolicyEvaluator evaluator(catalog_.get(), policies_.get());
       if (!options.implication_cache) evaluator.set_implication_cache(nullptr);
       ComplianceReport report =
@@ -41,6 +50,7 @@ Result<OptimizedQuery> Engine::OptimizeMaybeCached(
         cached->stats.total_ms = elapsed_ms();
         cached->stats.cache_consulted = true;
         cached->stats.cache_hit = true;
+        cached->stats.cache_param_hit = param_hit;
         cached->stats.policy_epoch = policies_->epoch();
         PlanCacheStats cs = plan_cache_->stats();
         cached->stats.cache_entries = cs.entries;
@@ -57,7 +67,7 @@ Result<OptimizedQuery> Engine::OptimizeMaybeCached(
   // Only compliance-optimized plans are cacheable: the baseline
   // optimizer's output carries no Theorem-1 guarantee.
   if (options.compliant && q.compliant) {
-    plan_cache_->Insert(key, q, *policies_);
+    plan_cache_->Insert(key, q, param_sql.params, *policies_);
   }
   q.stats.cache_consulted = true;
   q.stats.cache_hit = false;

@@ -60,6 +60,9 @@ struct OptimizationStats {
   // installed; see service/plan_cache.h) ---
   bool cache_consulted = false;  ///< a PlanCache was in front of the optimizer
   bool cache_hit = false;        ///< served from cache (phase timings ~0)
+  /// The hit rebound a parameterized entry to this query's constants
+  /// (false on exact hits and misses).
+  bool cache_param_hit = false;
   uint64_t policy_epoch = 0;     ///< catalog epoch the plan is valid at
   size_t cache_entries = 0;      ///< resident entries after this query
   size_t cache_bytes = 0;        ///< resident bytes after this query

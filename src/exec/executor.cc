@@ -241,7 +241,11 @@ std::string FormatPhaseTimings(const OptimizationStats& opt,
   }
   os << "\n";
   if (opt.cache_consulted) {
-    os << "plan cache: " << (opt.cache_hit ? "hit" : "miss") << ", epoch "
+    os << "plan cache: "
+       << (opt.cache_hit ? (opt.cache_param_hit ? "hit (parameterized)"
+                                                : "hit (exact)")
+                         : "miss")
+       << ", epoch "
        << opt.policy_epoch << ", " << opt.cache_entries << " entr"
        << (opt.cache_entries == 1 ? "y" : "ies") << " / "
        << opt.cache_bytes / 1024.0 << " KB resident\n";

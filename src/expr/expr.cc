@@ -92,6 +92,12 @@ ExprPtr Expr::Literal(Value v) {
   return e;
 }
 
+ExprPtr Expr::ParamLiteral(Value v, int ordinal) {
+  auto e = std::const_pointer_cast<Expr>(Literal(std::move(v)));
+  e->param_ordinal_ = ordinal;
+  return e;
+}
+
 ExprPtr Expr::Column(std::string qualifier, std::string column) {
   auto e = std::shared_ptr<Expr>(new Expr());
   e->op_ = ExprOp::kColumnRef;
@@ -153,6 +159,15 @@ ExprPtr Expr::InList(ExprPtr needle, std::vector<Value> literals) {
   e->type_ = DataType::kInt64;
   e->children_ = {std::move(needle)};
   e->in_list_ = std::move(literals);
+  return e;
+}
+
+ExprPtr Expr::InList(ExprPtr needle, std::vector<Value> literals,
+                     std::vector<int> ordinals) {
+  CGQ_CHECK(ordinals.empty() || ordinals.size() == literals.size());
+  auto e = std::const_pointer_cast<Expr>(
+      InList(std::move(needle), std::move(literals)));
+  e->in_list_ordinals_ = std::move(ordinals);
   return e;
 }
 

@@ -76,6 +76,11 @@ class Expr {
  public:
   // -- Factories -----------------------------------------------------------
   static ExprPtr Literal(Value v);
+  /// Literal that originated from the `ordinal`-th literal token of the
+  /// query text (parameterized plan caching). Ordinals are metadata: they
+  /// never change Equals/Hash or evaluation, only which slot a cached
+  /// plan rebinds when served with different constants.
+  static ExprPtr ParamLiteral(Value v, int ordinal);
   /// Unbound column reference, `qualifier` may be empty.
   static ExprPtr Column(std::string qualifier, std::string column);
   /// Bound column reference.
@@ -85,6 +90,10 @@ class Expr {
   static ExprPtr Unary(ExprOp op, ExprPtr child);
   static ExprPtr Binary(ExprOp op, ExprPtr left, ExprPtr right);
   static ExprPtr InList(ExprPtr needle, std::vector<Value> literals);
+  /// IN list whose values carry per-element param ordinals (-1 =
+  /// untagged). `ordinals` must be empty or parallel to `literals`.
+  static ExprPtr InList(ExprPtr needle, std::vector<Value> literals,
+                        std::vector<int> ordinals);
   /// Conjunction of `conjuncts`; returns literal TRUE when empty, the sole
   /// element when singleton.
   static ExprPtr MakeConjunction(std::vector<ExprPtr> conjuncts);
@@ -94,6 +103,13 @@ class Expr {
   const std::vector<ExprPtr>& children() const { return children_; }
   const ExprPtr& child(size_t i) const { return children_[i]; }
   const std::vector<Value>& in_list() const { return in_list_; }
+  /// Parallel to in_list() when the list is tagged; empty otherwise.
+  const std::vector<int>& in_list_ordinals() const {
+    return in_list_ordinals_;
+  }
+  /// Which literal token of the query text this literal came from; -1 for
+  /// synthetic / policy literals that must never be rebound.
+  int param_ordinal() const { return param_ordinal_; }
 
   // Column-ref accessors.
   AttrId attr_id() const { return attr_id_; }
@@ -136,6 +152,8 @@ class Expr {
   Value literal_;
   std::vector<ExprPtr> children_;
   std::vector<Value> in_list_;
+  std::vector<int> in_list_ordinals_;
+  int param_ordinal_ = -1;
 
   // Column-ref payload.
   AttrId attr_id_ = 0;

@@ -81,7 +81,8 @@ Result<ExprPtr> BindOutputExpr(const ExprPtr& expr,
     case ExprOp::kNot:
       return Expr::Unary(ExprOp::kNot, bound_children[0]);
     case ExprOp::kIn:
-      return Expr::InList(bound_children[0], expr->in_list());
+      return Expr::InList(bound_children[0], expr->in_list(),
+                          expr->in_list_ordinals());
     default:
       return Expr::Binary(expr->op(), bound_children[0], bound_children[1]);
   }
@@ -105,7 +106,8 @@ Result<ExprPtr> BindExpr(const ExprPtr& expr, const PlannerContext& ctx) {
     case ExprOp::kNot:
       return Expr::Unary(ExprOp::kNot, bound_children[0]);
     case ExprOp::kIn:
-      return Expr::InList(bound_children[0], expr->in_list());
+      return Expr::InList(bound_children[0], expr->in_list(),
+                          expr->in_list_ordinals());
     default:
       return Expr::Binary(expr->op(), bound_children[0], bound_children[1]);
   }

@@ -1,0 +1,109 @@
+#include "plan/param_binding.h"
+
+namespace cgq {
+namespace {
+
+/// Visits every tagged (ordinal, value) slot of an expression tree.
+template <typename Fn>
+void VisitExprSlots(const ExprPtr& e, const Fn& fn) {
+  if (e == nullptr) return;
+  if (e->op() == ExprOp::kLiteral && e->param_ordinal() >= 0) {
+    fn(e->param_ordinal(), e->literal());
+  }
+  const std::vector<int>& ordinals = e->in_list_ordinals();
+  for (size_t i = 0; i < ordinals.size(); ++i) {
+    if (ordinals[i] >= 0) fn(ordinals[i], e->in_list()[i]);
+  }
+  for (const ExprPtr& c : e->children()) VisitExprSlots(c, fn);
+}
+
+template <typename Fn>
+void VisitPlanSlots(const PlanNode& node, const Fn& fn) {
+  for (const ExprPtr& c : node.conjuncts) VisitExprSlots(c, fn);
+  for (const AggCall& call : node.agg_calls) VisitExprSlots(call.arg, fn);
+  for (const PlanNodePtr& c : node.children()) VisitPlanSlots(*c, fn);
+}
+
+ExprPtr RebindExpr(const ExprPtr& e, const std::vector<Value>& params) {
+  if (e == nullptr) return e;
+  const size_t n = params.size();
+  if (e->op() == ExprOp::kLiteral) {
+    const int ord = e->param_ordinal();
+    if (ord >= 0 && static_cast<size_t>(ord) < n &&
+        !e->literal().StructurallyEquals(params[ord])) {
+      return Expr::ParamLiteral(params[ord], ord);
+    }
+    return e;
+  }
+  if (e->op() == ExprOp::kIn && !e->in_list_ordinals().empty()) {
+    ExprPtr needle = RebindExpr(e->child(0), params);
+    std::vector<Value> values = e->in_list();
+    bool changed = needle.get() != e->child(0).get();
+    const std::vector<int>& ordinals = e->in_list_ordinals();
+    for (size_t i = 0; i < ordinals.size(); ++i) {
+      const int ord = ordinals[i];
+      if (ord >= 0 && static_cast<size_t>(ord) < n &&
+          !values[i].StructurallyEquals(params[ord])) {
+        values[i] = params[ord];
+        changed = true;
+      }
+    }
+    if (!changed) return e;
+    return Expr::InList(std::move(needle), std::move(values),
+                        e->in_list_ordinals());
+  }
+  if (e->children().empty()) return e;
+  bool changed = false;
+  std::vector<ExprPtr> children;
+  children.reserve(e->children().size());
+  for (const ExprPtr& c : e->children()) {
+    ExprPtr nc = RebindExpr(c, params);
+    changed |= nc.get() != c.get();
+    children.push_back(std::move(nc));
+  }
+  if (!changed) return e;
+  switch (e->op()) {
+    case ExprOp::kNot:
+      return Expr::Unary(ExprOp::kNot, children[0]);
+    case ExprOp::kIn:
+      return Expr::InList(children[0], e->in_list(), e->in_list_ordinals());
+    default:
+      return Expr::Binary(e->op(), children[0], children[1]);
+  }
+}
+
+}  // namespace
+
+bool PlanParamsBindable(const PlanNode& root,
+                        const std::vector<Value>& params) {
+  std::vector<bool> seen(params.size(), false);
+  bool ok = true;
+  VisitPlanSlots(root, [&](int ordinal, const Value& v) {
+    if (ordinal < 0 || static_cast<size_t>(ordinal) >= params.size()) {
+      ok = false;  // slot the normalizer did not extract: never rebind
+      return;
+    }
+    if (!v.StructurallyEquals(params[ordinal])) {
+      ok = false;  // value diverged from the text (e.g. folded negation)
+      return;
+    }
+    seen[ordinal] = true;
+  });
+  if (!ok) return false;
+  for (bool s : seen) {
+    if (!s) return false;  // a literal vanished from the plan entirely
+  }
+  return true;
+}
+
+void BindPlanParams(PlanNode* root, const std::vector<Value>& params) {
+  for (ExprPtr& c : root->conjuncts) c = RebindExpr(c, params);
+  for (AggCall& call : root->agg_calls) {
+    call.arg = RebindExpr(call.arg, params);
+  }
+  for (const PlanNodePtr& c : root->children()) {
+    BindPlanParams(c.get(), params);
+  }
+}
+
+}  // namespace cgq

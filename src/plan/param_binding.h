@@ -1,0 +1,31 @@
+#ifndef CGQ_PLAN_PARAM_BINDING_H_
+#define CGQ_PLAN_PARAM_BINDING_H_
+
+#include <vector>
+
+#include "plan/plan_node.h"
+#include "types/value.h"
+
+namespace cgq {
+
+/// Checks that a plan optimized from a query with extracted parameters
+/// `params` is safe to rebind: every ordinal in [0, params.size()) must
+/// appear at least once as a tagged literal slot in the plan (conjuncts,
+/// aggregate arguments, IN lists), and every tagged slot's value must
+/// structurally equal `params[ordinal]`.
+///
+/// A false return means some literal influenced the plan through a path
+/// binding cannot reach (folded away, pruned, negated through parentheses)
+/// — such a plan may only be served for byte-identical parameter vectors.
+bool PlanParamsBindable(const PlanNode& root,
+                        const std::vector<Value>& params);
+
+/// Rewrites every tagged literal slot in the (privately owned, mutable)
+/// plan tree to the corresponding value of `params`. Expression trees are
+/// rebuilt copy-on-write — Expr nodes are immutable and may be shared with
+/// other clones of the same cached entry.
+void BindPlanParams(PlanNode* root, const std::vector<Value>& params);
+
+}  // namespace cgq
+
+#endif  // CGQ_PLAN_PARAM_BINDING_H_

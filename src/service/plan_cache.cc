@@ -5,9 +5,18 @@
 #include <utility>
 
 #include "common/trace.h"
+#include "plan/param_binding.h"
 
 namespace cgq {
 namespace {
+
+bool ParamsEqual(const std::vector<Value>& a, const std::vector<Value>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].StructurallyEquals(b[i])) return false;
+  }
+  return true;
+}
 
 constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
 constexpr uint64_t kFnvPrime = 1099511628211ULL;
@@ -140,10 +149,18 @@ size_t PlanCache::EstimatePlanBytes(const PlanNode& root) {
 
 std::optional<OptimizedQuery> PlanCache::Lookup(
     const Key& key, const PolicyCatalog& policies) {
+  return Lookup(key, {}, policies, nullptr);
+}
+
+std::optional<OptimizedQuery> PlanCache::Lookup(
+    const Key& key, const std::vector<Value>& params,
+    const PolicyCatalog& policies, bool* param_hit) {
+  if (param_hit != nullptr) *param_hit = false;
   Shard& shard = ShardFor(key);
   const uint64_t epoch = policies.epoch();
   std::optional<OptimizedQuery> out;
   bool invalidated = false;
+  bool rebound = false;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.index.find(key);
@@ -164,20 +181,39 @@ std::optional<OptimizedQuery> PlanCache::Lookup(
         }
         if (fresh) entry.epoch = epoch;
       }
-      if (fresh) {
+      if (!fresh) {
+        EraseLocked(shard, it->second);
+        invalidated = true;
+      } else if (ParamsEqual(params, entry.params)) {
+        // Same constants as the cached text: byte-identical query.
         shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
         out = entry.query;
         out->plan = ClonePlan(*entry.query.plan);
-      } else {
-        EraseLocked(shard, it->second);
-        invalidated = true;
+      } else if (entry.bindable) {
+        // Same shape, different constants: serve a rebound clone.
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        out = entry.query;
+        out->plan = ClonePlan(*entry.query.plan);
+        rebound = true;
       }
+      // Not bindable with different params: miss, but the entry stays —
+      // it is still a valid proof for its own constants.
     }
+  }
+  if (rebound) {
+    // Outside the shard lock: the clone is private to this lookup.
+    BindPlanParams(out->plan.get(), params);
+    if (param_hit != nullptr) *param_hit = true;
   }
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     if (out.has_value()) {
       ++stats_.hits;
+      if (rebound) {
+        ++stats_.param_hits;
+      } else {
+        ++stats_.exact_hits;
+      }
     } else {
       ++stats_.misses;
       if (invalidated) ++stats_.invalidations;
@@ -185,6 +221,7 @@ std::optional<OptimizedQuery> PlanCache::Lookup(
   }
   if (out.has_value()) {
     CGQ_COUNTER_ADD("plan_cache.hits", 1);
+    if (rebound) CGQ_COUNTER_ADD("plan_cache.param_hits", 1);
   } else {
     CGQ_COUNTER_ADD("plan_cache.misses", 1);
     if (invalidated) CGQ_COUNTER_ADD("plan_cache.invalidations", 1);
@@ -195,14 +232,29 @@ std::optional<OptimizedQuery> PlanCache::Lookup(
 
 void PlanCache::Insert(const Key& key, const OptimizedQuery& q,
                        const PolicyCatalog& policies) {
+  Insert(key, q, {}, policies);
+}
+
+void PlanCache::Insert(const Key& key, const OptimizedQuery& q,
+                       const std::vector<Value>& params,
+                       const PolicyCatalog& policies) {
   if (q.plan == nullptr) return;
   Entry entry;
   entry.key = key;
   entry.query = q;
   entry.query.plan = ClonePlan(*q.plan);  // private copy, never aliased
   entry.deps = CollectDependencies(*entry.query.plan, policies);
+  entry.params = params;
+  // Rebindability is proven here, against the exact plan being cached:
+  // if any extracted constant cannot be located in the plan (or was
+  // transformed on its way in), the entry degrades to exact-match-only
+  // instead of ever serving a wrongly-bound plan.
+  entry.bindable = PlanParamsBindable(*entry.query.plan, params);
   entry.epoch = policies.epoch();
   entry.bytes = sizeof(Entry) + EstimatePlanBytes(*entry.query.plan);
+  for (const Value& v : entry.params) {
+    entry.bytes += sizeof(Value) + v.ByteSize();
+  }
   for (const Dependency& d : entry.deps) {
     entry.bytes += sizeof(Dependency) + d.table.capacity();
   }

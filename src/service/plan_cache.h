@@ -28,7 +28,13 @@ struct PlanCacheOptions {
 /// Point-in-time counters of a PlanCache (see also the process-wide
 /// `plan_cache.*` metrics in MetricsRegistry).
 struct PlanCacheStats {
-  int64_t hits = 0;
+  int64_t hits = 0;  ///< exact_hits + param_hits
+  /// Hits whose parameter vector matched the cached entry byte-for-byte
+  /// (the plan is served as-is, no rebinding).
+  int64_t exact_hits = 0;
+  /// Hits served by rebinding a parameterized entry's literal slots to a
+  /// different constant vector.
+  int64_t param_hits = 0;
   int64_t misses = 0;
   /// Entries erased because a dependency's policy fingerprint changed or a
   /// compliance re-check failed — never served again.
@@ -105,14 +111,42 @@ class PlanCache {
   /// miss. Stale-epoch entries are revalidated dependency-by-dependency:
   /// unchanged fingerprints refresh the entry (hit); any change erases it
   /// (counted as invalidation + miss).
+  ///
+  /// Exact-match only (no parameters): equivalent to Lookup(key, {}, ...).
   std::optional<OptimizedQuery> Lookup(const Key& key,
                                        const PolicyCatalog& policies);
+
+  /// Parameterized lookup: `params` is the constant vector the normalizer
+  /// extracted from the query whose skeleton hashed to `key`. An entry
+  /// whose stored parameters match structurally is served as-is (exact
+  /// hit). Otherwise, if the entry was proven rebindable at insert time,
+  /// its clone's literal slots are rebound to `params` (parameterized
+  /// hit; `*param_hit` set when non-null). A non-rebindable entry with
+  /// different parameters is a miss — it stays cached for exact matches.
+  ///
+  /// The caller must re-prove Definition-1 compliance of the returned
+  /// plan (the engine does, on every hit): rebinding changes predicate
+  /// constants, and policy predicates may imply different verdicts for
+  /// different constants.
+  std::optional<OptimizedQuery> Lookup(const Key& key,
+                                       const std::vector<Value>& params,
+                                       const PolicyCatalog& policies,
+                                       bool* param_hit = nullptr);
 
   /// Caches a successfully optimized compliant query under `key` at the
   /// catalog's current epoch. Replaces any existing entry; evicts the LRU
   /// tail past the byte budget.
+  ///
+  /// Exact-match only: equivalent to Insert(key, q, {}, policies).
   void Insert(const Key& key, const OptimizedQuery& q,
               const PolicyCatalog& policies);
+
+  /// Caches `q` together with the parameter vector its text carried. The
+  /// entry is marked rebindable only when every ordinal in [0, n) appears
+  /// in the plan as a tagged literal slot with exactly params[ordinal]
+  /// (see PlanParamsBindable) — otherwise it serves exact matches only.
+  void Insert(const Key& key, const OptimizedQuery& q,
+              const std::vector<Value>& params, const PolicyCatalog& policies);
 
   /// Erases `key` (the engine calls this when the belt-and-braces
   /// compliance re-check fails on a hit). Counted as an invalidation.
@@ -136,6 +170,11 @@ class PlanCache {
     Key key;
     OptimizedQuery query;  ///< plan is the cache's private copy
     std::vector<Dependency> deps;
+    /// Constants extracted from the inserted query's text, by ordinal.
+    std::vector<Value> params;
+    /// True when the plan's tagged literal slots cover every parameter —
+    /// only then may a lookup with different constants rebind and serve.
+    bool bindable = false;
     uint64_t epoch = 0;  ///< policy epoch the entry is known-fresh at
     size_t bytes = 0;
   };

@@ -9,6 +9,14 @@ namespace cgq {
 
 using Clock = std::chrono::steady_clock;
 
+namespace {
+/// Stride-scheduling scale: pass advances by kStride / weight per
+/// dispatch, so a weight-w tenant is picked w times as often under
+/// contention. Large enough that integer division keeps ratios accurate
+/// for any sane weight.
+constexpr uint64_t kStride = uint64_t{1} << 20;
+}  // namespace
+
 QueryService::QueryService(Engine* engine, ServiceOptions options)
     : engine_(engine), options_(options) {
   if (options_.max_inflight <= 0) {
@@ -51,13 +59,21 @@ QueryService::~QueryService() {
 }
 
 QueryService::Session QueryService::OpenSession() {
-  return Session(this, engine_->default_options(),
+  TenantInfo def = *tenant_registry_.Get(kDefaultTenantId);
+  return Session(this, std::move(def), engine_->default_options(),
+                 engine_->default_exec_options());
+}
+
+Result<QueryService::Session> QueryService::OpenSession(
+    const std::string& token) {
+  CGQ_ASSIGN_OR_RETURN(TenantInfo tenant, tenant_registry_.Authenticate(token));
+  return Session(this, std::move(tenant), engine_->default_options(),
                  engine_->default_exec_options());
 }
 
 Result<QueryService::TicketId> QueryService::Session::Submit(
     const std::string& sql) {
-  return service_->SubmitTask(sql, opt_, exec_);
+  return service_->SubmitTask(sql, tenant_.id, opt_, exec_);
 }
 
 Result<QueryResult> QueryService::Session::Wait(TicketId ticket) {
@@ -91,10 +107,47 @@ ServiceStats QueryService::stats() const {
   return stats_;
 }
 
+std::vector<TenantServiceStats> QueryService::tenant_stats() const {
+  std::vector<TenantServiceStats> out;
+  for (const TenantInfo& info : tenant_registry_.List()) {
+    TenantServiceStats row;
+    row.tenant = info.id;
+    row.name = info.name;
+    row.weight = info.quotas.weight;
+    out.push_back(std::move(row));
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    for (TenantServiceStats& row : out) {
+      auto it = tenant_counters_.find(row.tenant);
+      if (it == tenant_counters_.end()) continue;
+      const TenantCounters& c = it->second;
+      row.submitted = c.submitted;
+      row.completed = c.completed;
+      row.failed = c.failed;
+      row.rejected = c.rejected;
+      row.timed_out = c.timed_out;
+      row.cancelled = c.cancelled;
+      row.queued = c.queued;
+      row.inflight = c.inflight;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (TenantServiceStats& row : out) {
+      auto it = sched_.find(row.tenant);
+      if (it != sched_.end()) row.scheduled = it->second.scheduled;
+    }
+  }
+  return out;
+}
+
 Result<QueryService::TicketId> QueryService::SubmitTask(
-    const std::string& sql, const OptimizerOptions& opt,
+    const std::string& sql, TenantId tenant, const OptimizerOptions& opt,
     const ExecutorOptions& exec) {
+  CGQ_ASSIGN_OR_RETURN(TenantInfo info, tenant_registry_.Get(tenant));
   auto task = std::make_shared<Task>();
+  task->tenant = tenant;
   task->sql = sql;
   task->opt = opt;
   task->exec = exec;
@@ -105,24 +158,45 @@ Result<QueryService::TicketId> QueryService::SubmitTask(
     if (shutdown_) {
       return Status::Unavailable("query service is shutting down");
     }
-    if (queue_.size() >= static_cast<size_t>(options_.queue_capacity)) {
+    TenantSched& ts = sched_[tenant];
+    Status reject;
+    if (total_queued_ >= static_cast<size_t>(options_.queue_capacity)) {
+      reject = Status::ResourceExhausted(
+          "admission queue full (capacity " +
+          std::to_string(options_.queue_capacity) + ")");
+    } else if (info.quotas.max_queued > 0 &&
+               ts.queue.size() >=
+                   static_cast<size_t>(info.quotas.max_queued)) {
+      reject = Status::ResourceExhausted(
+          "tenant '" + info.name + "' queue quota full (" +
+          std::to_string(info.quotas.max_queued) + ")");
+    }
+    if (!reject.ok()) {
       {
         std::lock_guard<std::mutex> slock(stats_mu_);
         ++stats_.rejected;
+        ++tenant_counters_[tenant].rejected;
       }
       CGQ_COUNTER_ADD("service.rejected", 1);
-      return Status::ResourceExhausted(
-          "admission queue full (capacity " +
-          std::to_string(options_.queue_capacity) + ")");
+      return reject;
+    }
+    if (ts.queue.empty()) {
+      // (Re)activation: start at the current virtual time so a tenant
+      // cannot bank credit while idle and then monopolize the workers.
+      ts.pass = std::max(ts.pass, global_pass_);
     }
     task->id = next_ticket_++;
-    queue_.push_back(task);
+    ts.queue.push_back(task);
+    ++total_queued_;
     tasks_[task->id] = task;
   }
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.submitted;
     ++stats_.queued;
+    TenantCounters& tc = tenant_counters_[tenant];
+    ++tc.submitted;
+    ++tc.queued;
   }
   CGQ_COUNTER_ADD("service.submitted", 1);
   queue_cv_.notify_one();
@@ -182,23 +256,66 @@ Status QueryService::CancelTask(TicketId ticket) {
   return Status::OK();
 }
 
+QueryService::TaskPtr QueryService::PickTaskLocked(bool draining) {
+  TenantSched* best = nullptr;
+  TenantId best_id = 0;
+  for (auto& [id, ts] : sched_) {
+    if (ts.queue.empty()) continue;
+    if (!draining) {
+      Result<TenantInfo> info = tenant_registry_.Get(id);
+      const int cap = info.ok() ? info->quotas.max_inflight : 0;
+      if (cap > 0 && ts.inflight >= cap) continue;
+    }
+    if (best == nullptr || ts.pass < best->pass ||
+        (ts.pass == best->pass && id < best_id)) {
+      best = &ts;
+      best_id = id;
+    }
+  }
+  if (best == nullptr) return nullptr;
+  TaskPtr task = std::move(best->queue.front());
+  best->queue.pop_front();
+  --total_queued_;
+  ++best->inflight;
+  ++best->scheduled;
+  global_pass_ = best->pass;
+  Result<TenantInfo> info = tenant_registry_.Get(best_id);
+  const uint64_t weight =
+      info.ok() ? static_cast<uint64_t>(std::max(1, info->quotas.weight)) : 1;
+  best->pass += kStride / weight;
+  return task;
+}
+
+void QueryService::FinishDispatch(TenantId tenant) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sched_.find(tenant);
+    if (it != sched_.end()) --it->second.inflight;
+  }
+  // A freed per-tenant inflight slot may make a skipped tenant eligible.
+  queue_cv_.notify_all();
+}
+
 void QueryService::WorkerLoop() {
   for (;;) {
     TaskPtr task;
     bool draining = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      queue_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutdown with nothing left
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      for (;;) {
+        task = PickTaskLocked(shutdown_);
+        if (task != nullptr || shutdown_) break;
+        queue_cv_.wait(lock);
+      }
+      if (task == nullptr) return;  // shutdown with nothing left
       draining = shutdown_;
     }
     if (draining) {
       CompleteTask(task, Status::Cancelled("query service shut down"));
-      continue;
+    } else {
+      RunTask(task);
     }
-    RunTask(task);
+    FinishDispatch(task->tenant);
   }
 }
 
@@ -229,6 +346,9 @@ void QueryService::RunTask(const TaskPtr& task) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     --stats_.queued;
     ++stats_.inflight;
+    TenantCounters& tc = tenant_counters_[task->tenant];
+    --tc.queued;
+    ++tc.inflight;
   }
   Result<QueryResult> result = [&]() -> Result<QueryResult> {
     // Reader side: policy mutations wait until this query finishes.
@@ -250,23 +370,30 @@ bool QueryService::CompleteTask(const TaskPtr& task,
     // returns from Wait() must already see this outcome in stats().
     {
       std::lock_guard<std::mutex> slock(stats_mu_);
+      TenantCounters& tc = tenant_counters_[task->tenant];
       if (task->state == TaskState::kQueued) {
         --stats_.queued;
+        --tc.queued;
       } else {
         --stats_.inflight;
+        --tc.inflight;
       }
       switch (code) {
         case StatusCode::kOk:
           ++stats_.completed;
+          ++tc.completed;
           break;
         case StatusCode::kCancelled:
           ++stats_.cancelled;
+          ++tc.cancelled;
           break;
         case StatusCode::kResourceExhausted:
           ++stats_.timed_out;
+          ++tc.timed_out;
           break;
         default:
           ++stats_.failed;
+          ++tc.failed;
           break;
       }
     }
@@ -294,7 +421,8 @@ QueryService::TaskPtr QueryService::FindTask(TicketId ticket) {
 
 void QueryService::ForgetTask(TicketId ticket) {
   std::lock_guard<std::mutex> lock(mu_);
-  tasks_.erase(ticket);
+  auto it = tasks_.find(ticket);
+  if (it != tasks_.end()) tasks_.erase(it);
 }
 
 }  // namespace cgq

@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -17,6 +18,7 @@
 
 #include "core/engine.h"
 #include "service/plan_cache.h"
+#include "service/tenant.h"
 
 namespace cgq {
 
@@ -25,8 +27,9 @@ struct ServiceOptions {
   /// Queries executing at once (= worker threads). 0 = one per hardware
   /// thread.
   int max_inflight = 4;
-  /// Admitted-but-not-running queries the FIFO queue holds before Submit
-  /// rejects with kResourceExhausted.
+  /// Admitted-but-not-running queries the service holds across all
+  /// tenant queues before Submit rejects with kResourceExhausted.
+  /// Per-tenant caps (TenantQuotas::max_queued) apply on top.
   int queue_capacity = 64;
   /// Longest a query may sit in the queue before it completes with
   /// kResourceExhausted instead of running. <= 0 = no timeout.
@@ -42,27 +45,53 @@ struct ServiceStats {
   int64_t submitted = 0;
   int64_t completed = 0;  ///< finished with an OK result
   int64_t failed = 0;     ///< non-OK other than queue timeout / cancel
-  int64_t rejected = 0;   ///< Submit refused: queue full
+  int64_t rejected = 0;   ///< Submit refused: queue or tenant quota full
   int64_t timed_out = 0;  ///< completed kResourceExhausted: queue wait
   int64_t cancelled = 0;  ///< completed kCancelled
   int64_t queued = 0;     ///< currently waiting
   int64_t inflight = 0;   ///< currently executing
 };
 
-/// A multi-session query service in front of one Engine: admission
-/// control (bounded FIFO queue + max in-flight), per-query cancellation,
-/// dynamic policy updates, and a policy-epoch-aware compliant plan cache
-/// shared by every session.
+/// Per-tenant admission/outcome counters (same meanings as ServiceStats,
+/// restricted to one tenant), plus the tenant's scheduling weight.
+struct TenantServiceStats {
+  TenantId tenant = kDefaultTenantId;
+  std::string name;
+  int weight = 1;
+  int64_t submitted = 0;
+  int64_t completed = 0;
+  int64_t failed = 0;
+  int64_t rejected = 0;
+  int64_t timed_out = 0;
+  int64_t cancelled = 0;
+  int64_t queued = 0;
+  int64_t inflight = 0;
+  /// Times the scheduler dispatched one of this tenant's queries.
+  int64_t scheduled = 0;
+};
+
+/// A multi-tenant query service in front of one Engine: token
+/// authentication, per-tenant quotas and weighted-fair admission,
+/// per-query cancellation, dynamic policy updates, and a policy-epoch-
+/// aware compliant plan cache shared by every session.
 ///
-/// Concurrency model: `max_inflight` dedicated worker threads run
-/// queries against the shared catalog / store / policy catalog, all of
-/// which are read-only during execution. Policy mutations (AddPolicy /
-/// RemovePolicy) take the writer side of a shared mutex that every
-/// running query holds for reading, so an update waits for in-flight
-/// queries to drain and no query ever observes a half-applied catalog;
-/// cached plans made stale by the update are caught by the epoch /
-/// fingerprint protocol plus the per-hit compliance re-check (see
-/// PlanCache).
+/// Admission model: each tenant has its own FIFO queue. `max_inflight`
+/// dedicated workers pick the next query by stride scheduling — among
+/// tenants with queued work and spare per-tenant inflight quota, the one
+/// with the smallest virtual pass runs next and its pass advances by
+/// stride/weight — so a hot tenant cannot starve light ones, and weights
+/// set the capacity ratio under contention. Order stays FIFO within a
+/// tenant. The plan cache is shared across tenants: a cache key covers
+/// the plan-shaping optimizer options (including the required-result
+/// set), and every hit re-proves Definition-1 compliance, so a hit can
+/// never leak a plan a tenant's own options+policies would not produce.
+///
+/// Concurrency model: policy mutations (AddPolicy / RemovePolicy) take
+/// the writer side of a shared mutex that every running query holds for
+/// reading, so an update waits for in-flight queries to drain and no
+/// query ever observes a half-applied catalog; cached plans made stale
+/// by the update are caught by the epoch / fingerprint protocol plus the
+/// per-hit compliance re-check (see PlanCache).
 ///
 /// The service leaves the engine's tracing setting alone but concurrent
 /// queries on a traced engine overwrite each other's last_trace();
@@ -80,15 +109,16 @@ class QueryService {
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
-  /// One client's view of the service: carries per-session optimizer /
-  /// executor options (defaulted from the engine at open time) applied
-  /// to every query it submits. Sessions are cheap; open one per client
-  /// or thread. Thread-compatible: share a session across threads only
-  /// for Wait/Cancel, not concurrent option mutation.
+  /// One client's view of the service: carries the authenticated tenant
+  /// and per-session optimizer / executor options (defaulted from the
+  /// engine at open time) applied to every query it submits. Sessions
+  /// are cheap; open one per client or thread. Thread-compatible: share
+  /// a session across threads only for Wait/Cancel, not concurrent
+  /// option mutation.
   class Session {
    public:
-    /// Enqueues `sql`. Fails fast with kResourceExhausted when the queue
-    /// is full (never blocks).
+    /// Enqueues `sql`. Fails fast with kResourceExhausted when the
+    /// service queue or the tenant's queue quota is full (never blocks).
     Result<TicketId> Submit(const std::string& sql);
     /// Blocks until the ticket finishes; returns its result. A ticket
     /// whose queue wait exceeded the service's timeout completes with
@@ -102,21 +132,37 @@ class QueryService {
     /// kNotFound after the ticket completed or was never issued.
     Status Cancel(TicketId ticket);
 
+    TenantId tenant_id() const { return tenant_.id; }
+    const std::string& tenant_name() const { return tenant_.name; }
+
     OptimizerOptions& optimizer_options() { return opt_; }
     ExecutorOptions& executor_options() { return exec_; }
 
    private:
     friend class QueryService;
-    Session(QueryService* service, OptimizerOptions opt, ExecutorOptions exec)
-        : service_(service), opt_(opt), exec_(exec) {}
+    Session(QueryService* service, TenantInfo tenant, OptimizerOptions opt,
+            ExecutorOptions exec)
+        : service_(service),
+          tenant_(std::move(tenant)),
+          opt_(opt),
+          exec_(exec) {}
 
     QueryService* service_;
+    TenantInfo tenant_;
     OptimizerOptions opt_;
     ExecutorOptions exec_;
   };
 
-  /// Opens a session seeded with the engine's current default options.
+  /// Opens an unauthenticated session as the default tenant, seeded with
+  /// the engine's current default options.
   Session OpenSession();
+  /// Opens a session for the tenant owning `token`; kPermissionDenied
+  /// for unknown tokens.
+  Result<Session> OpenSession(const std::string& token);
+
+  /// Tenant registration and quota management. Quota changes apply to
+  /// subsequent admissions; already-queued work is not re-evaluated.
+  TenantRegistry& tenants() { return tenant_registry_; }
 
   /// Registers a policy after draining in-flight queries; invalidates
   /// affected cached plans via the epoch bump.
@@ -127,6 +173,8 @@ class QueryService {
   Status RemovePolicy(int64_t id);
 
   ServiceStats stats() const;
+  /// Per-tenant counters for every registered tenant, ordered by id.
+  std::vector<TenantServiceStats> tenant_stats() const;
   /// The service's plan cache; nullptr when disabled.
   PlanCache* plan_cache() { return plan_cache_.get(); }
   Engine* engine() { return engine_; }
@@ -137,6 +185,7 @@ class QueryService {
 
   struct Task {
     TicketId id = 0;
+    TenantId tenant = kDefaultTenantId;
     std::string sql;
     OptimizerOptions opt;
     ExecutorOptions exec;
@@ -150,13 +199,39 @@ class QueryService {
   };
   using TaskPtr = std::shared_ptr<Task>;
 
-  Result<TicketId> SubmitTask(const std::string& sql,
+  /// Scheduler state of one tenant (guarded by mu_).
+  struct TenantSched {
+    std::deque<TaskPtr> queue;  ///< FIFO within the tenant
+    int inflight = 0;           ///< tasks currently held by workers
+    uint64_t pass = 0;          ///< stride-scheduling virtual time
+    int64_t scheduled = 0;      ///< dispatch count (for tenant_stats)
+  };
+
+  /// Per-tenant outcome counters (guarded by stats_mu_).
+  struct TenantCounters {
+    int64_t submitted = 0;
+    int64_t completed = 0;
+    int64_t failed = 0;
+    int64_t rejected = 0;
+    int64_t timed_out = 0;
+    int64_t cancelled = 0;
+    int64_t queued = 0;
+    int64_t inflight = 0;
+  };
+
+  Result<TicketId> SubmitTask(const std::string& sql, TenantId tenant,
                               const OptimizerOptions& opt,
                               const ExecutorOptions& exec);
   Result<QueryResult> WaitTask(TicketId ticket);
   Status CancelTask(TicketId ticket);
   void WorkerLoop();
   void RunTask(const TaskPtr& task);
+  /// Picks the next runnable task by stride scheduling: among tenants
+  /// with queued work and (unless draining) spare inflight quota, the
+  /// smallest pass wins; its pass advances by stride/weight. Increments
+  /// the tenant's inflight; the worker releases it via FinishDispatch.
+  TaskPtr PickTaskLocked(bool draining);
+  void FinishDispatch(TenantId tenant);
   /// Completes `task` (task->mu held by caller NOT required) exactly
   /// once; later attempts are no-ops. Returns whether this call won.
   bool CompleteTask(const TaskPtr& task, Result<QueryResult> result);
@@ -166,14 +241,19 @@ class QueryService {
   Engine* engine_;
   ServiceOptions options_;
   std::unique_ptr<PlanCache> plan_cache_;
+  TenantRegistry tenant_registry_;
 
   /// Readers: every query, for its whole optimize + execute. Writer:
   /// policy mutations.
   std::shared_mutex policy_mu_;
 
-  std::mutex mu_;  ///< guards queue_, tasks_, shutdown_
+  /// Guards sched_, tasks_, shutdown_, pass state (mutable so the
+  /// tenant_stats() accessor can read scheduler gauges).
+  mutable std::mutex mu_;
   std::condition_variable queue_cv_;
-  std::deque<TaskPtr> queue_;
+  std::map<TenantId, TenantSched> sched_;
+  size_t total_queued_ = 0;  ///< tasks across all tenant queues
+  uint64_t global_pass_ = 0; ///< pass of the last dispatched tenant
   std::unordered_map<TicketId, TaskPtr> tasks_;
   bool shutdown_ = false;
   TicketId next_ticket_ = 1;
@@ -182,6 +262,7 @@ class QueryService {
 
   mutable std::mutex stats_mu_;
   ServiceStats stats_;
+  std::map<TenantId, TenantCounters> tenant_counters_;
 };
 
 }  // namespace cgq

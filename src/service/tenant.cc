@@ -1,0 +1,95 @@
+#include "service/tenant.h"
+
+#include <algorithm>
+
+namespace cgq {
+
+namespace {
+
+TenantQuotas Sanitized(TenantQuotas q) {
+  q.max_inflight = std::max(0, q.max_inflight);
+  q.max_queued = std::max(0, q.max_queued);
+  q.weight = std::max(1, q.weight);
+  return q;
+}
+
+}  // namespace
+
+TenantRegistry::TenantRegistry() {
+  TenantInfo def;
+  def.id = kDefaultTenantId;
+  def.name = "default";
+  tenants_[def.id] = def;
+  by_token_[""] = def.id;
+}
+
+Result<TenantId> TenantRegistry::Register(const std::string& name,
+                                          const std::string& token,
+                                          TenantQuotas quotas) {
+  if (name.empty()) {
+    return Status::InvalidArgument("tenant name must not be empty");
+  }
+  if (token.empty()) {
+    return Status::InvalidArgument(
+        "the empty token is reserved for the default tenant");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (by_token_.count(token) > 0) {
+    return Status::AlreadyExists("token already registered");
+  }
+  for (const auto& [id, info] : tenants_) {
+    if (info.name == name) {
+      return Status::AlreadyExists("tenant '" + name + "' already exists");
+    }
+  }
+  TenantInfo info;
+  info.id = next_id_++;
+  info.name = name;
+  info.quotas = Sanitized(quotas);
+  tenants_[info.id] = info;
+  by_token_[token] = info.id;
+  return info.id;
+}
+
+Result<TenantInfo> TenantRegistry::Authenticate(
+    const std::string& token) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_token_.find(token);
+  if (it == by_token_.end()) {
+    return Status::PermissionDenied("unknown tenant token");
+  }
+  return tenants_.at(it->second);
+}
+
+Result<TenantInfo> TenantRegistry::Get(TenantId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(id);
+  if (it == tenants_.end()) {
+    return Status::NotFound("unknown tenant id " + std::to_string(id));
+  }
+  return it->second;
+}
+
+Status TenantRegistry::SetQuotas(TenantId id, TenantQuotas quotas) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(id);
+  if (it == tenants_.end()) {
+    return Status::NotFound("unknown tenant id " + std::to_string(id));
+  }
+  it->second.quotas = Sanitized(quotas);
+  return Status::OK();
+}
+
+std::vector<TenantInfo> TenantRegistry::List() const {
+  std::vector<TenantInfo> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(tenants_.size());
+    for (const auto& [id, info] : tenants_) out.push_back(info);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TenantInfo& a, const TenantInfo& b) { return a.id < b.id; });
+  return out;
+}
+
+}  // namespace cgq

@@ -1,0 +1,77 @@
+#ifndef CGQ_SERVICE_TENANT_H_
+#define CGQ_SERVICE_TENANT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace cgq {
+
+using TenantId = int64_t;
+
+/// The pre-registered tenant every unauthenticated session runs as, with
+/// unlimited quotas and weight 1 (single-user embedding, tests, shell).
+constexpr TenantId kDefaultTenantId = 0;
+
+/// Per-tenant admission limits and scheduling weight.
+struct TenantQuotas {
+  /// Queries of this tenant executing at once; 0 = no per-tenant cap
+  /// (the service-wide worker count still applies).
+  int max_inflight = 0;
+  /// Queries of this tenant waiting in its queue before Submit rejects
+  /// with kResourceExhausted; 0 = no per-tenant cap (the service-wide
+  /// queue capacity still applies).
+  int max_queued = 0;
+  /// Weighted-fair share: a tenant with weight 2w is scheduled twice as
+  /// often as one with weight w when both have work queued. Clamped to
+  /// >= 1.
+  int weight = 1;
+};
+
+/// One registered tenant.
+struct TenantInfo {
+  TenantId id = kDefaultTenantId;
+  std::string name;
+  TenantQuotas quotas;
+};
+
+/// Token -> tenant authentication and quota registry.
+///
+/// Thread-safe. The default tenant (id 0, empty token, name "default")
+/// always exists so single-user callers need no registration step.
+class TenantRegistry {
+ public:
+  TenantRegistry();
+
+  /// Registers a tenant and returns its id. Fails with kAlreadyExists on
+  /// a duplicate name or token. Tokens are opaque strings; the empty
+  /// token is reserved for the default tenant.
+  Result<TenantId> Register(const std::string& name, const std::string& token,
+                            TenantQuotas quotas = {});
+
+  /// Resolves a session token. Unknown tokens fail with
+  /// kPermissionDenied (never kNotFound: the caller must not learn
+  /// whether the token was close to a real one).
+  Result<TenantInfo> Authenticate(const std::string& token) const;
+
+  Result<TenantInfo> Get(TenantId id) const;
+  /// Replaces a tenant's quotas (takes effect for subsequent admissions).
+  Status SetQuotas(TenantId id, TenantQuotas quotas);
+
+  /// All tenants, ordered by id.
+  std::vector<TenantInfo> List() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<TenantId, TenantInfo> tenants_;
+  std::unordered_map<std::string, TenantId> by_token_;
+  TenantId next_id_ = kDefaultTenantId + 1;
+};
+
+}  // namespace cgq
+
+#endif  // CGQ_SERVICE_TENANT_H_

@@ -1,0 +1,194 @@
+#include "sql/param_normalizer.h"
+
+#include <cstdio>
+
+#include "sql/lexer.h"
+#include "types/date.h"
+
+namespace cgq {
+namespace {
+
+const char* Symbol(TokenType t) {
+  switch (t) {
+    case TokenType::kComma:
+      return ",";
+    case TokenType::kDot:
+      return ".";
+    case TokenType::kStar:
+      return "*";
+    case TokenType::kLParen:
+      return "(";
+    case TokenType::kRParen:
+      return ")";
+    case TokenType::kEq:
+      return "=";
+    case TokenType::kNe:
+      return "<>";
+    case TokenType::kLt:
+      return "<";
+    case TokenType::kLe:
+      return "<=";
+    case TokenType::kGt:
+      return ">";
+    case TokenType::kGe:
+      return ">=";
+    case TokenType::kPlus:
+      return "+";
+    case TokenType::kMinus:
+      return "-";
+    case TokenType::kSlash:
+      return "/";
+    case TokenType::kSemicolon:
+      return ";";
+    default:
+      return "";
+  }
+}
+
+/// True when a '-' after `prev` is a sign, not subtraction — mirrors
+/// ParseUnary, which is only reached with these tokens before it.
+bool UnaryPosition(const Token* prev) {
+  if (prev == nullptr) return true;  // start of input
+  switch (prev->type) {
+    case TokenType::kComma:
+    case TokenType::kLParen:
+    case TokenType::kEq:
+    case TokenType::kNe:
+    case TokenType::kLt:
+    case TokenType::kLe:
+    case TokenType::kGt:
+    case TokenType::kGe:
+    case TokenType::kPlus:
+    case TokenType::kMinus:
+    case TokenType::kStar:
+    case TokenType::kSlash:
+      return true;
+    case TokenType::kIdentifier:
+      // Keywords an expression may start right after.
+      return prev->text == "select" || prev->text == "where" ||
+             prev->text == "and" || prev->text == "or" ||
+             prev->text == "not" || prev->text == "like" ||
+             prev->text == "between" || prev->text == "having";
+    default:
+      return false;
+  }
+}
+
+std::string RenderString(const std::string& contents) {
+  std::string out = "'";
+  for (char c : contents) {
+    if (c == '\'') out += '\'';
+    out += c;
+  }
+  out += '\'';
+  return out;
+}
+
+std::string RenderToken(const Token& t) {
+  switch (t.type) {
+    case TokenType::kIdentifier:
+      return t.text;
+    case TokenType::kInteger:
+      return std::to_string(t.int_value);
+    case TokenType::kFloat: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", t.float_value);
+      return buf;
+    }
+    case TokenType::kString:
+      return RenderString(t.text);
+    default:
+      return Symbol(t.type);
+  }
+}
+
+}  // namespace
+
+ParameterizedSql ParameterizeSql(const std::string& sql) {
+  ParameterizedSql out;
+  Result<std::vector<Token>> tokens = Tokenize(sql);
+  if (!tokens.ok()) {
+    out.skeleton = sql;
+    return out;
+  }
+  out.parameterized = true;
+
+  auto emit = [&out](const std::string& text) {
+    if (!out.skeleton.empty()) out.skeleton += ' ';
+    out.skeleton += text;
+  };
+  auto mask = [&out, &emit](const char* placeholder, Value v) {
+    emit(placeholder);
+    out.params.push_back(std::move(v));
+  };
+
+  const std::vector<Token>& ts = *tokens;
+  const Token* prev = nullptr;
+  bool limit_arg = false;  // next literal is the LIMIT count: keep it
+  for (size_t i = 0; i < ts.size() && ts[i].type != TokenType::kEnd; ++i) {
+    const Token& t = ts[i];
+    switch (t.type) {
+      case TokenType::kMinus:
+        // Sign + numeric literal fold into one negated parameter, the
+        // same fold ParseUnary applies to the Expr tree.
+        if (UnaryPosition(prev) && i + 1 < ts.size() && !limit_arg) {
+          const Token& next = ts[i + 1];
+          if (next.type == TokenType::kInteger) {
+            mask("?i", Value::Int64(-next.int_value));
+            prev = &next;
+            limit_arg = false;
+            ++i;
+            continue;
+          }
+          if (next.type == TokenType::kFloat) {
+            mask("?f", Value::Double(-next.float_value));
+            prev = &next;
+            limit_arg = false;
+            ++i;
+            continue;
+          }
+        }
+        emit("-");
+        break;
+      case TokenType::kInteger:
+        if (limit_arg) {
+          emit(RenderToken(t));
+        } else {
+          mask("?i", Value::Int64(t.int_value));
+        }
+        break;
+      case TokenType::kFloat:
+        if (limit_arg) {
+          emit(RenderToken(t));
+        } else {
+          mask("?f", Value::Double(t.float_value));
+        }
+        break;
+      case TokenType::kString:
+        mask("?s", Value::String(t.text));
+        break;
+      case TokenType::kIdentifier:
+        if (t.text == "date" && i + 1 < ts.size() &&
+            ts[i + 1].type == TokenType::kString) {
+          Result<int64_t> days = ParseDate(ts[i + 1].text);
+          if (days.ok()) {
+            mask("?d", Value::Date(*days));
+            prev = &ts[i + 1];
+            limit_arg = false;
+            ++i;
+            continue;
+          }
+        }
+        emit(RenderToken(t));
+        break;
+      default:
+        emit(RenderToken(t));
+        break;
+    }
+    limit_arg = t.type == TokenType::kIdentifier && t.text == "limit";
+    prev = &t;
+  }
+  return out;
+}
+
+}  // namespace cgq

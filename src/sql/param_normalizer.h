@@ -1,0 +1,39 @@
+#ifndef CGQ_SQL_PARAM_NORMALIZER_H_
+#define CGQ_SQL_PARAM_NORMALIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace cgq {
+
+/// A query text split into a literal-free skeleton and its constants.
+///
+/// The skeleton is the canonical token stream (lower-cased identifiers,
+/// single spaces) with every literal replaced by a typed placeholder
+/// (`?i` int, `?f` float, `?s` string, `?d` date), so same-shape queries
+/// that differ only in constants share one plan-cache fingerprint.
+/// `params[k]` is the value of the k-th placeholder; the parser assigns
+/// the same ordinals to the literal Expr nodes it creates (in token
+/// order), which is what lets a cached plan be rebound at lookup time.
+///
+/// The skeleton is a fingerprint string, never re-parsed.
+struct ParameterizedSql {
+  std::string skeleton;
+  std::vector<Value> params;
+  /// False when the text does not lex: skeleton is then the raw input and
+  /// params is empty (the query can still be cached, exact-match only).
+  bool parameterized = false;
+};
+
+/// Splits `sql` into skeleton + parameters. Folding rules mirror the
+/// parser exactly: a unary minus and its numeric literal fold into one
+/// negated parameter, `date 'YYYY-MM-DD'` folds into one date parameter,
+/// and the LIMIT count stays in the skeleton verbatim (it is part of the
+/// plan, not a rebindable literal slot).
+ParameterizedSql ParameterizeSql(const std::string& sql);
+
+}  // namespace cgq
+
+#endif  // CGQ_SQL_PARAM_NORMALIZER_H_

@@ -90,6 +90,14 @@ class Parser {
   Result<ExprPtr> ParsePrimary();
 
   Result<Value> ParseLiteralValue();
+  /// Literal factory: tags the node with the next param ordinal when this
+  /// parse is a query (never for policy expressions — policy constants
+  /// must not be rebindable by the parameterized plan cache).
+  ExprPtr MakeLiteral(Value v) {
+    return tag_literals_ ? Expr::ParamLiteral(std::move(v),
+                                              next_param_ordinal_++)
+                         : Expr::Literal(std::move(v));
+  }
   Result<std::string> ParseIdentifier(const char* what);
   Result<std::vector<std::string>> ParseNameList(const char* what);
 
@@ -104,6 +112,11 @@ class Parser {
   std::vector<Token> tokens_;
   size_t pos_ = 0;
   QueryAst* current_query_ = nullptr;  // target for subquery predicates
+  // Literal-token numbering for parameterized plan caching. Assigned in
+  // token order (recursive descent creates literals left to right), which
+  // is exactly the order ParameterizeSql() extracts them in.
+  bool tag_literals_ = false;
+  int next_param_ordinal_ = 0;
 };
 
 Result<ExprPtr> Parser::ParseOr() {
@@ -175,12 +188,20 @@ Result<ExprPtr> Parser::ParseComparison() {
       return Expr::Literal(Value::Int64(1));  // placeholder conjunct
     }
     std::vector<Value> values;
+    std::vector<int> ordinals;
     do {
+      // One ordinal per IN element; a leading minus / DATE prefix folds
+      // into the element the same way the normalizer folds it.
+      int ordinal = tag_literals_ ? next_param_ordinal_++ : -1;
       CGQ_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
       values.push_back(std::move(v));
+      ordinals.push_back(ordinal);
     } while (Match(TokenType::kComma));
     CGQ_RETURN_NOT_OK(Expect(TokenType::kRParen, "')' after IN list"));
-    ExprPtr in = Expr::InList(left, std::move(values));
+    ExprPtr in = tag_literals_
+                     ? Expr::InList(left, std::move(values),
+                                    std::move(ordinals))
+                     : Expr::InList(left, std::move(values));
     return negated ? Expr::Unary(ExprOp::kNot, in) : in;
   }
   if (MatchIdent("between")) {
@@ -264,8 +285,16 @@ Result<ExprPtr> Parser::ParseUnary() {
     // estimation and the implication test rely on column-vs-literal form).
     if (inner->op() == ExprOp::kLiteral) {
       const Value& v = inner->literal();
-      if (v.is_int64()) return Expr::Literal(Value::Int64(-v.int64()));
-      if (v.is_double()) return Expr::Literal(Value::Double(-v.dbl()));
+      // Keep the inner literal's param ordinal: the normalizer folds a
+      // unary minus and its numeric literal into one (negated) parameter.
+      if (v.is_int64()) {
+        return Expr::ParamLiteral(Value::Int64(-v.int64()),
+                                  inner->param_ordinal());
+      }
+      if (v.is_double()) {
+        return Expr::ParamLiteral(Value::Double(-v.dbl()),
+                                  inner->param_ordinal());
+      }
     }
     return Expr::Binary(ExprOp::kSub, Expr::Literal(Value::Int64(0)), inner);
   }
@@ -277,13 +306,13 @@ Result<ExprPtr> Parser::ParsePrimary() {
   switch (t.type) {
     case TokenType::kInteger:
       Advance();
-      return Expr::Literal(Value::Int64(t.int_value));
+      return MakeLiteral(Value::Int64(t.int_value));
     case TokenType::kFloat:
       Advance();
-      return Expr::Literal(Value::Double(t.float_value));
+      return MakeLiteral(Value::Double(t.float_value));
     case TokenType::kString:
       Advance();
-      return Expr::Literal(Value::String(t.text));
+      return MakeLiteral(Value::String(t.text));
     case TokenType::kLParen: {
       Advance();
       CGQ_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
@@ -296,7 +325,7 @@ Result<ExprPtr> Parser::ParsePrimary() {
         if (!Check(TokenType::kString)) return Err("expected date string");
         const std::string text = Advance().text;
         CGQ_ASSIGN_OR_RETURN(int64_t days, ParseDate(text));
-        return Expr::Literal(Value::Date(days));
+        return MakeLiteral(Value::Date(days));
       }
       if (IsKeyword(t.text)) return Err("unexpected keyword '" + t.text + "'");
       Advance();
@@ -362,6 +391,7 @@ Result<std::vector<std::string>> Parser::ParseNameList(const char* what) {
 
 Result<QueryAst> Parser::ParseQuery() {
   QueryAst q;
+  tag_literals_ = true;
   CGQ_RETURN_NOT_OK(ParseQueryBody(&q));
   Match(TokenType::kSemicolon);
   if (!Check(TokenType::kEnd)) return Err("unexpected trailing input");

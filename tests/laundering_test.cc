@@ -254,6 +254,70 @@ TEST_F(RecoveryComplianceTest, CachedPlanNeverServedAfterPolicyDrop) {
   engine_->set_plan_cache(nullptr);
 }
 
+// The parameterized variant of the same laundering attempt: a cached
+// template is rebound to fresh constants on every hit, and the
+// compliance re-check runs on the *bound* plan — so after the policy it
+// depends on is dropped, no constant can ever ride the stale entry.
+TEST_F(RecoveryComplianceTest, ParameterizedHitNeverServedAfterPolicyDrop) {
+  PlanCache cache;
+  engine_->set_plan_cache(&cache);
+  OptimizerOptions opts = engine_->default_options();
+  opts.required_result = LocationSet::Single(1);  // deliver at e
+
+  auto cold = engine_->Run("SELECT name FROM cust WHERE id < 3", opts);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  EXPECT_FALSE(cold->opt_stats.cache_hit);
+
+  // Same template, different constant: a parameterized hit.
+  auto warm = engine_->Run("SELECT name FROM cust WHERE id < 7", opts);
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  EXPECT_TRUE(warm->opt_stats.cache_hit);
+  EXPECT_TRUE(warm->opt_stats.cache_param_hit);
+  EXPECT_EQ(warm->rows.size(), 7u);  // the new constant, not the cached 3
+
+  ASSERT_EQ(engine_->policies().For(0).size(), 1u);
+  ASSERT_TRUE(
+      engine_->policies().RemovePolicy(engine_->policies().For(0)[0].id)
+          .ok());
+
+  // A third constant must not be served from the (now laundering) entry.
+  auto after = engine_->Run("SELECT name FROM cust WHERE id < 9", opts);
+  ASSERT_FALSE(after.ok());
+  EXPECT_TRUE(after.status().IsNonCompliant()) << after.status();
+  EXPECT_GE(cache.stats().invalidations, 1);
+  engine_->set_plan_cache(nullptr);
+}
+
+// Tenants with different visibility (required-result sets) never share a
+// parameterized entry: the cache key covers the plan-shaping options, so
+// a tenant whose delivery site is off-limits for cust re-optimizes and is
+// rejected — the other tenant's cached proof is not transferable.
+TEST_F(RecoveryComplianceTest, ParameterizedHitDoesNotCrossTenantVisibility) {
+  PlanCache cache;
+  engine_->set_plan_cache(&cache);
+  OptimizerOptions tenant_e = engine_->default_options();
+  tenant_e.required_result = LocationSet::Single(1);  // e: allowed
+  OptimizerOptions tenant_a = engine_->default_options();
+  tenant_a.required_result = LocationSet::Single(2);  // a: forbidden
+
+  auto cold = engine_->Run("SELECT name FROM cust WHERE id < 3", tenant_e);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  auto warm = engine_->Run("SELECT name FROM cust WHERE id < 5", tenant_e);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->opt_stats.cache_param_hit);
+
+  // Same template, same shape — but the other tenant's visibility. The
+  // warm entry must not be consulted (different key), and the fresh
+  // optimization correctly rejects the laundering attempt.
+  PlanCacheStats before = cache.stats();
+  auto other = engine_->Run("SELECT name FROM cust WHERE id < 5", tenant_a);
+  ASSERT_FALSE(other.ok());
+  EXPECT_TRUE(other.status().IsNonCompliant()) << other.status();
+  PlanCacheStats after = cache.stats();
+  EXPECT_EQ(after.hits, before.hits);  // never even a candidate
+  engine_->set_plan_cache(nullptr);
+}
+
 TEST_F(LaunderingTest, AggregationAtRelaySiteUsesRelayPolicies) {
   // Aggregating at e produces a new single-database block... of n's data?
   // No: the block's source is still n (the scan), so only n's policies

@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "plan/param_binding.h"
+#include "service/plan_cache.h"
+#include "sql/param_normalizer.h"
+#include "tpch/tpch.h"
+
+namespace cgq {
+namespace {
+
+std::vector<std::string> RenderedRows(const QueryResult& r) {
+  std::vector<std::string> out;
+  out.reserve(r.rows.size());
+  for (const Row& row : r.rows) {
+    std::string s;
+    for (const Value& v : row) s += v.ToString() + "|";
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+/// One flat digest of a result: column names + every rendered cell, so
+/// "byte-identical to the uncached run" is a single string comparison.
+std::string Digest(const QueryResult& r) {
+  std::string d;
+  for (const std::string& c : r.column_names) d += c + ";";
+  d += "#";
+  for (const std::string& row : RenderedRows(r)) d += row + "\n";
+  return d;
+}
+
+class ParamCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    config_.scale_factor = 0.002;
+    auto catalog = tpch::BuildCatalog(config_);
+    ASSERT_TRUE(catalog.ok()) << catalog.status();
+    engine_ = std::make_unique<Engine>(std::move(*catalog),
+                                       NetworkModel::DefaultGeo(5));
+    ASSERT_TRUE(
+        tpch::InstallUnrestrictedPolicies(&engine_->policies()).ok());
+    ASSERT_TRUE(
+        tpch::GenerateData(engine_->catalog(), config_, &engine_->store())
+            .ok());
+  }
+
+  tpch::TpchConfig config_;
+  std::unique_ptr<Engine> engine_;
+};
+
+// ---------------------------------------------------------------------
+// Normalizer unit behavior.
+
+TEST_F(ParamCacheTest, NormalizerExtractsTypedPlaceholders) {
+  ParameterizedSql p = ParameterizeSql(
+      "SELECT name FROM customer "
+      "WHERE acctbal > 100.5 AND nationkey = 7 AND mktsegment = 'BUILDING'");
+  ASSERT_TRUE(p.parameterized);
+  ASSERT_EQ(p.params.size(), 3u);
+  EXPECT_DOUBLE_EQ(p.params[0].dbl(), 100.5);
+  EXPECT_EQ(p.params[1].int64(), 7);
+  EXPECT_EQ(p.params[2].str(), "BUILDING");
+  EXPECT_NE(p.skeleton.find("?f"), std::string::npos);
+  EXPECT_NE(p.skeleton.find("?i"), std::string::npos);
+  EXPECT_NE(p.skeleton.find("?s"), std::string::npos);
+  // No literal text survives in the skeleton.
+  EXPECT_EQ(p.skeleton.find("100.5"), std::string::npos);
+  EXPECT_EQ(p.skeleton.find("BUILDING"), std::string::npos);
+}
+
+TEST_F(ParamCacheTest, SameTemplateDifferentLiteralsShareASkeleton) {
+  ParameterizedSql a = ParameterizeSql(
+      "SELECT count(*) FROM orders WHERE totalprice < 1000.0 "
+      "AND orderdate >= date '1994-01-01'");
+  ParameterizedSql b = ParameterizeSql(
+      "select COUNT(*) from orders where totalprice < 99.25 "
+      "and orderdate >= date '1997-06-30'");
+  ASSERT_TRUE(a.parameterized);
+  ASSERT_TRUE(b.parameterized);
+  EXPECT_EQ(a.skeleton, b.skeleton);
+  ASSERT_EQ(a.params.size(), 2u);
+  ASSERT_EQ(b.params.size(), 2u);
+  EXPECT_TRUE(a.params[1].is_int64());  // dates are day counts
+  EXPECT_FALSE(a.params[1].StructurallyEquals(b.params[1]));
+}
+
+TEST_F(ParamCacheTest, NegativeLiteralFoldsIntoOneParameter) {
+  ParameterizedSql p = ParameterizeSql(
+      "SELECT count(*) FROM nation WHERE regionkey > -2");
+  ASSERT_TRUE(p.parameterized);
+  ASSERT_EQ(p.params.size(), 1u);
+  EXPECT_EQ(p.params[0].int64(), -2);
+  // `a - 2` (binary minus) must NOT fold: the 2 is its own parameter.
+  ParameterizedSql q = ParameterizeSql(
+      "SELECT count(*) FROM nation WHERE nationkey - 2 > regionkey");
+  ASSERT_EQ(q.params.size(), 1u);
+  EXPECT_EQ(q.params[0].int64(), 2);
+  EXPECT_NE(p.skeleton, q.skeleton);
+}
+
+TEST_F(ParamCacheTest, LimitCountStaysInTheSkeleton) {
+  ParameterizedSql a =
+      ParameterizeSql("SELECT name FROM nation WHERE regionkey = 1 LIMIT 5");
+  ParameterizedSql b =
+      ParameterizeSql("SELECT name FROM nation WHERE regionkey = 1 LIMIT 9");
+  ASSERT_TRUE(a.parameterized);
+  // LIMIT shapes the plan; different counts must not share a fingerprint.
+  EXPECT_NE(a.skeleton, b.skeleton);
+  ASSERT_EQ(a.params.size(), 1u);  // only the WHERE constant
+  EXPECT_EQ(a.params[0].int64(), 1);
+}
+
+TEST_F(ParamCacheTest, UnlexableTextDegradesToExactMatch) {
+  ParameterizedSql p = ParameterizeSql("SELECT ' unterminated");
+  EXPECT_FALSE(p.parameterized);
+  EXPECT_TRUE(p.params.empty());
+  EXPECT_EQ(p.skeleton, "SELECT ' unterminated");
+}
+
+// ---------------------------------------------------------------------
+// Plan-slot binding utilities. The dialect has no NULL literal keyword,
+// so NULL parameters can only reach the binder through internal plans;
+// they must round-trip without being conflated with real values.
+
+TEST_F(ParamCacheTest, NullValuesBindAndCompareSafely) {
+  auto node = std::make_shared<PlanNode>(PlanKind::kScan);
+  node->conjuncts.push_back(Expr::ParamLiteral(Value::Null(), 0));
+  EXPECT_TRUE(PlanParamsBindable(*node, {Value::Null()}));
+  // NULL != 0 structurally: a plan holding NULL cannot claim the slot of
+  // an extracted integer.
+  EXPECT_FALSE(PlanParamsBindable(*node, {Value::Int64(0)}));
+  BindPlanParams(node.get(), {Value::Int64(42)});
+  ASSERT_EQ(node->conjuncts.size(), 1u);
+  EXPECT_EQ(node->conjuncts[0]->literal().int64(), 42);
+  EXPECT_EQ(node->conjuncts[0]->param_ordinal(), 0);
+}
+
+TEST_F(ParamCacheTest, UntaggedOrMissingSlotsAreNotBindable) {
+  auto node = std::make_shared<PlanNode>(PlanKind::kScan);
+  node->conjuncts.push_back(Expr::ParamLiteral(Value::Int64(5), 0));
+  // A parameter the plan no longer contains (folded away): not bindable.
+  EXPECT_FALSE(PlanParamsBindable(
+      *node, {Value::Int64(5), Value::Int64(6)}));
+  // A slot whose value diverged from the extracted text (e.g. the parser
+  // folded `- (5)` while the normalizer saw `5`): not bindable.
+  EXPECT_FALSE(PlanParamsBindable(*node, {Value::Int64(-5)}));
+  // Untagged literals are invisible: a plan with only plain literals
+  // binds iff no parameters were extracted.
+  auto plain = std::make_shared<PlanNode>(PlanKind::kScan);
+  plain->conjuncts.push_back(Expr::Literal(Value::Int64(5)));
+  EXPECT_TRUE(PlanParamsBindable(*plain, {}));
+  EXPECT_FALSE(PlanParamsBindable(*plain, {Value::Int64(5)}));
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: cached results must be byte-identical to uncached runs.
+
+TEST_F(ParamCacheTest, RandomizedRoundTripMatchesUncachedDigests) {
+  std::mt19937 rng(20260809);
+  std::uniform_int_distribution<int> region(0, 4);
+  std::uniform_int_distribution<int> key(1, 200);
+  std::uniform_real_distribution<double> bal(-500.0, 5000.0);
+  const std::vector<std::string> segments = {
+      "BUILDING", "AUTOMOBILE", "MACHINERY", "HOUSEHOLD", "FURNITURE"};
+
+  std::vector<std::string> sqls;
+  for (int i = 0; i < 12; ++i) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "SELECT count(*) AS n FROM nation WHERE regionkey = %d",
+                  region(rng));
+    sqls.push_back(buf);
+    std::snprintf(buf, sizeof(buf),
+                  "SELECT name, acctbal FROM customer WHERE acctbal > %.2f "
+                  "AND mktsegment = '%s'",
+                  bal(rng), segments[static_cast<size_t>(rng() % 5)].c_str());
+    sqls.push_back(buf);
+    std::snprintf(buf, sizeof(buf),
+                  "SELECT count(*) AS n FROM orders WHERE custkey < %d "
+                  "AND totalprice > %.2f",
+                  key(rng), bal(rng));
+    sqls.push_back(buf);
+    std::snprintf(buf, sizeof(buf),
+                  "SELECT name FROM supplier WHERE nationkey IN (%d, %d, %d)",
+                  region(rng), region(rng) + 5, region(rng) + 10);
+    sqls.push_back(buf);
+  }
+
+  // Uncached baseline digests.
+  std::vector<std::string> baseline;
+  for (const std::string& sql : sqls) {
+    auto r = engine_->Run(sql);
+    ASSERT_TRUE(r.ok()) << sql << ": " << r.status();
+    baseline.push_back(Digest(*r));
+  }
+
+  // Cached run: every repeat of a template after its first instance must
+  // be a parameterized hit, and every digest must match the uncached run.
+  PlanCache cache;
+  engine_->set_plan_cache(&cache);
+  for (size_t i = 0; i < sqls.size(); ++i) {
+    auto r = engine_->Run(sqls[i]);
+    ASSERT_TRUE(r.ok()) << sqls[i] << ": " << r.status();
+    EXPECT_EQ(Digest(*r), baseline[i]) << sqls[i];
+    if (i >= 4) {  // past the first instance of each of the 4 templates
+      EXPECT_TRUE(r->opt_stats.cache_hit) << sqls[i];
+    }
+  }
+  PlanCacheStats cs = cache.stats();
+  EXPECT_EQ(cs.hits, static_cast<int64_t>(sqls.size()) - 4);
+  // Randomly repeated literals surface as exact hits; everything else
+  // must have been served by rebinding, not re-optimization.
+  EXPECT_EQ(cs.exact_hits + cs.param_hits, cs.hits);
+  EXPECT_GT(cs.param_hits, 0);
+  engine_->set_plan_cache(nullptr);
+}
+
+TEST_F(ParamCacheTest, HitRateAtLeast90PercentOnTemplateWorkload) {
+  PlanCache cache;
+  engine_->set_plan_cache(&cache);
+  std::mt19937 rng(7);
+  const int kQueries = 60;
+  for (int i = 0; i < kQueries; ++i) {
+    char buf[160];
+    switch (i % 3) {
+      case 0:
+        std::snprintf(
+            buf, sizeof(buf),
+            "SELECT count(*) AS n FROM nation WHERE regionkey = %d",
+            static_cast<int>(rng() % 5));
+        break;
+      case 1:
+        std::snprintf(
+            buf, sizeof(buf),
+            "SELECT count(*) AS n FROM orders WHERE totalprice > %d.50",
+            static_cast<int>(rng() % 9000));
+        break;
+      default:
+        std::snprintf(
+            buf, sizeof(buf),
+            "SELECT name FROM customer WHERE custkey = %d",
+            static_cast<int>(rng() % 300));
+        break;
+    }
+    auto r = engine_->Run(buf);
+    ASSERT_TRUE(r.ok()) << buf << ": " << r.status();
+  }
+  PlanCacheStats cs = cache.stats();
+  ASSERT_EQ(cs.hits + cs.misses, kQueries);
+  EXPECT_GE(static_cast<double>(cs.hits) / kQueries, 0.90)
+      << cs.hits << " hits / " << cs.misses << " misses";
+  EXPECT_EQ(cs.misses, 3);  // one per template
+  engine_->set_plan_cache(nullptr);
+}
+
+// The parser folds `- (5)` to the literal -5 while the normalizer (which
+// does not build an expression tree) extracts +5: the insert-time
+// bindability proof must catch the divergence and degrade the entry to
+// exact-match-only — never serve a wrongly-bound plan.
+TEST_F(ParamCacheTest, ParenthesizedNegationDegradesToExactOnly) {
+  PlanCache cache;
+  engine_->set_plan_cache(&cache);
+  // The second conjunct is perfectly bindable; the diverging negation
+  // slot must still poison the whole entry (all-or-nothing proof).
+  const std::string q1 = "SELECT count(*) AS n FROM nation "
+                         "WHERE regionkey > - (1) AND nationkey < 10";
+  const std::string q2 = "SELECT count(*) AS n FROM nation "
+                         "WHERE regionkey > - (3) AND nationkey < 5";
+
+  auto cold = engine_->Run(q1);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  auto exact = engine_->Run(q1);  // same text: exact hit still works
+  ASSERT_TRUE(exact.ok());
+  EXPECT_TRUE(exact->opt_stats.cache_hit);
+  EXPECT_FALSE(exact->opt_stats.cache_param_hit);
+  EXPECT_EQ(Digest(*exact), Digest(*cold));
+
+  auto other = engine_->Run(q2);  // different constant: must NOT rebind
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(other->opt_stats.cache_hit);
+
+  // Ground truth: q2's count differs from q1's (regionkeys 0..4), so a
+  // mis-bound plan would have been observable.
+  EXPECT_NE(RenderedRows(*other), RenderedRows(*cold));
+  PlanCacheStats cs = cache.stats();
+  EXPECT_EQ(cs.param_hits, 0);
+  EXPECT_EQ(cs.exact_hits, 1);
+  engine_->set_plan_cache(nullptr);
+}
+
+// Strings with embedded quotes round-trip through the skeleton without
+// colliding: `'EU''x'` and `'EU'` are different parameters, same shape.
+TEST_F(ParamCacheTest, QuotedStringsDoNotCollide) {
+  ParameterizedSql a =
+      ParameterizeSql("SELECT name FROM nation WHERE name = 'EU''x'");
+  ParameterizedSql b =
+      ParameterizeSql("SELECT name FROM nation WHERE name = 'EU'");
+  ASSERT_TRUE(a.parameterized);
+  ASSERT_TRUE(b.parameterized);
+  EXPECT_EQ(a.skeleton, b.skeleton);
+  ASSERT_EQ(a.params.size(), 1u);
+  EXPECT_EQ(a.params[0].str(), "EU'x");
+  EXPECT_EQ(b.params[0].str(), "EU");
+}
+
+}  // namespace
+}  // namespace cgq
