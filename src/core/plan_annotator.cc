@@ -88,13 +88,25 @@ void PlanAnnotator::PrewarmAr4(int root_group) {
     LocationId db;
   };
   std::vector<Item> items;
+  const PolicyCatalog* policies = evaluator_->policies();
+  std::vector<std::string> group_tables;
   for (size_t gid = 0; gid < memo_->num_groups(); ++gid) {
     Group& g = memo_->group(static_cast<int>(gid));
     if (!computed[gid] || !g.summary.spg_valid) continue;
+    group_tables.clear();
+    for (const auto& [alias, table] : g.summary.alias_tables) {
+      group_tables.push_back(table);
+    }
     for (LocationId db : single_db[gid].ToVector()) {
-      if (g.ar4_cache.find(db) == g.ar4_cache.end()) {
-        items.push_back({static_cast<int>(gid), db});
+      if (g.ar4_cache.find(db) != g.ar4_cache.end()) continue;
+      if (!policies->HasPoliciesFor(db, group_tables)) {
+        // No expression governs any of the group's tables at db, so 𝒜 is
+        // identically empty — cache the rejection without a walk.
+        g.ar4_cache.emplace(db, LocationSet());
+        ++rules_.ar4_prewarm_skips;
+        continue;
       }
+      items.push_back({static_cast<int>(gid), db});
     }
   }
   if (items.empty()) return;
@@ -338,6 +350,7 @@ Result<PlanNodePtr> PlanAnnotator::BestPlan(int root_group,
     TraceSpan ar4("rule.AR4");
     ar4.AddArg("applications", rules_.ar4_evaluations);
     ar4.AddArg("cache_hits", rules_.ar4_cache_hits);
+    ar4.AddArg("prewarm_skips", rules_.ar4_prewarm_skips);
   }
   const Winner* best = nullptr;
   for (const Winner& w : winners) {

@@ -40,6 +40,9 @@ class PlanAnnotator {
     int64_t ar3_unions = 0;         ///< AR3: ship traits seeded from exec
     int64_t ar4_evaluations = 0;    ///< AR4: 𝒜 evaluator calls (cache misses)
     int64_t ar4_cache_hits = 0;     ///< AR4: answered from Group::ar4_cache
+    /// AR4 prewarm items answered "empty" directly because no policy
+    /// governs any of the group's tables at the candidate database.
+    int64_t ar4_prewarm_skips = 0;
   };
 
   PlanAnnotator(Memo* memo, const PolicyEvaluator* evaluator, Mode mode)

@@ -1,6 +1,8 @@
 #include "core/policy.h"
 
 #include <algorithm>
+#include <optional>
+#include <utility>
 
 #include "common/str_util.h"
 #include "plan/binder.h"
@@ -8,6 +10,106 @@
 #include "sql/parser.h"
 
 namespace cgq {
+
+namespace {
+
+// Every element of `sub` appears in `super` (attribute lists are short and
+// lower-cased, so linear find beats any set machinery).
+bool StringsSubset(const std::vector<std::string>& sub,
+                   const std::vector<std::string>& super) {
+  for (const std::string& s : sub) {
+    if (std::find(super.begin(), super.end(), s) == super.end()) return false;
+  }
+  return true;
+}
+
+bool AggFnsSubset(const std::vector<AggFn>& sub,
+                  const std::vector<AggFn>& super) {
+  for (AggFn f : sub) {
+    if (std::find(super.begin(), super.end(), f) == super.end()) return false;
+  }
+  return true;
+}
+
+// Bit mask of every column ref in the subtree. `*ok` is cleared when a ref
+// cannot be mapped to a schema bit (unknown column, index >= 64).
+uint64_t SubtreeColumnMask(const Expr& e, const Schema& schema, bool* ok) {
+  if (e.op() == ExprOp::kColumnRef) {
+    std::optional<size_t> i = schema.IndexOf(e.column());
+    if (!i || *i >= 64) {
+      *ok = false;
+      return 0;
+    }
+    return uint64_t{1} << *i;
+  }
+  uint64_t mask = 0;
+  for (const ExprPtr& c : e.children()) {
+    mask |= SubtreeColumnMask(*c, schema, ok);
+  }
+  return mask;
+}
+
+void FlattenOr(const Expr& e, std::vector<const Expr*>* branches) {
+  if (e.op() == ExprOp::kOr) {
+    FlattenOr(*e.child(0), branches);
+    FlattenOr(*e.child(1), branches);
+    return;
+  }
+  branches->push_back(&e);
+}
+
+// Columns the premise must mention for this conclusion conjunct to be
+// implied (absent a contradictory premise): a non-OR atom is only implied
+// through constraints or structural matches on its own columns; an OR atom
+// is implied when any one branch is, so only the columns common to every
+// branch are truly required.
+uint64_t ConjunctRequiredMask(const Expr& c, const Schema& schema, bool* ok) {
+  if (c.op() != ExprOp::kOr) return SubtreeColumnMask(c, schema, ok);
+  std::vector<const Expr*> branches;
+  FlattenOr(c, &branches);
+  uint64_t required = ~uint64_t{0};
+  for (const Expr* b : branches) {
+    required &= SubtreeColumnMask(*b, schema, ok);
+  }
+  return required;
+}
+
+// Fills predicate_fp and all column bitmasks of `expr`.
+void ComputeDerived(const Catalog& catalog, PolicyExpression* expr) {
+  expr->predicate_fp = FingerprintConjuncts(expr->predicate);
+  expr->ship_mask = 0;
+  expr->group_mask = 0;
+  expr->masks_valid = false;
+  expr->pred_mask = 0;
+  expr->pred_mask_valid = false;
+  auto def = catalog.GetTable(expr->table);
+  if (!def.ok()) return;
+  const Schema& schema = (*def)->schema;
+  bool ok = true;
+  auto to_mask = [&](const std::vector<std::string>& cols, uint64_t* mask) {
+    for (const std::string& c : cols) {
+      std::optional<size_t> i = schema.IndexOf(c);
+      if (!i || *i >= 64) {
+        ok = false;
+        return;
+      }
+      *mask |= uint64_t{1} << *i;
+    }
+  };
+  to_mask(expr->attributes, &expr->ship_mask);
+  to_mask(expr->group_by, &expr->group_mask);
+  expr->masks_valid = ok;
+
+  bool pred_ok = true;
+  uint64_t pred_mask = 0;
+  for (const ExprPtr& c : expr->predicate) {
+    pred_mask |= ConjunctRequiredMask(*c, schema, &pred_ok);
+  }
+  expr->pred_mask = pred_ok ? pred_mask : 0;
+  expr->pred_mask_valid = pred_ok;
+}
+
+}  // namespace
 
 bool PolicyExpression::HasShipAttribute(const std::string& column) const {
   return std::find(attributes.begin(), attributes.end(), column) !=
@@ -52,6 +154,57 @@ std::string PolicyExpression::ToString(
     out += " group by " + Join(group_by, ", ");
   }
   return out;
+}
+
+Result<PolicyIndexMode> ParsePolicyIndexMode(const std::string& name) {
+  std::string n = ToLower(name);
+  if (n == "flat") return PolicyIndexMode::kFlat;
+  if (n == "hier" || n == "hierarchical") return PolicyIndexMode::kHierarchical;
+  return Status::InvalidArgument("unknown policy index mode '" + name +
+                                 "' (expected flat|hier)");
+}
+
+bool PolicySubsumes(const PolicyExpression& super, const PolicyExpression& sub,
+                    SubsumptionMode mode) {
+  if (super.table != sub.table) return false;
+  if (!sub.to.IsSubsetOf(super.to)) return false;
+
+  if (mode == SubsumptionMode::kSemantic) {
+    if (super.is_aggregate() || sub.is_aggregate()) return false;
+    if (!StringsSubset(sub.attributes, super.attributes)) return false;
+    // sub's rows must all satisfy super's condition: P_sub ⟹ P_super.
+    return PredicateImplies(sub.predicate, super.predicate);
+  }
+
+  // kDecisionSafe. The algorithmic implication test is not transitive, so
+  // the predicates may only differ in ways every premise agrees on: equal
+  // fingerprints (the implication cache key — identical results for any
+  // premise) or an empty superseding predicate (implied by everything).
+  if (!(sub.predicate_fp == super.predicate_fp) && !super.predicate.empty()) {
+    return false;
+  }
+  if (!super.is_aggregate()) {
+    // A basic expression grants its ship attributes at every aggregation
+    // level, so it covers a basic sub (attrs ⊆) and an aggregate sub
+    // (ship and group attrs both ⊆ its ship attrs, any aggregate fn).
+    return StringsSubset(sub.attributes, super.attributes) &&
+           StringsSubset(sub.group_by, super.attributes);
+  }
+  // An aggregate super only grants on aggregate queries — it can never
+  // cover a basic sub.
+  if (!sub.is_aggregate()) return false;
+  return StringsSubset(sub.attributes, super.attributes) &&
+         StringsSubset(sub.group_by, super.group_by) &&
+         AggFnsSubset(sub.agg_fns, super.agg_fns);
+}
+
+Status PolicyCatalog::set_index_mode(PolicyIndexMode mode) {
+  if (TotalCount() != 0) {
+    return Status::InvalidArgument(
+        "policy index mode can only change while the catalog is empty");
+  }
+  mode_ = mode;
+  return Status::OK();
 }
 
 Status PolicyCatalog::AddPolicyText(const std::string& location_name,
@@ -112,39 +265,117 @@ Status PolicyCatalog::AddPolicyText(const std::string& location_name,
   return AddPolicy(location, std::move(expr));
 }
 
+void PolicyCatalog::EnsureLocation(LocationId location) {
+  if (by_location_.size() <= location) by_location_.resize(location + 1);
+  if (table_index_.size() <= location) table_index_.resize(location + 1);
+  if (bucket_index_.size() <= location) bucket_index_.resize(location + 1);
+  if (absorbed_.size() <= location) absorbed_.resize(location + 1);
+}
+
 Status PolicyCatalog::AddPolicy(LocationId location, PolicyExpression expr) {
   if (location >= catalog_->locations().num_locations()) {
     return Status::InvalidArgument("unknown location id " +
                                    std::to_string(location));
   }
-  if (by_location_.size() <= location) by_location_.resize(location + 1);
-  if (table_index_.size() <= location) table_index_.resize(location + 1);
-  expr.predicate_fp = FingerprintConjuncts(expr.predicate);
-  expr.ship_mask = 0;
-  expr.group_mask = 0;
-  expr.masks_valid = false;
-  if (auto def = catalog_->GetTable(expr.table); def.ok()) {
-    const Schema& schema = (*def)->schema;
-    bool ok = true;
-    auto to_mask = [&](const std::vector<std::string>& cols, uint64_t* mask) {
-      for (const std::string& c : cols) {
-        std::optional<size_t> i = schema.IndexOf(c);
-        if (!i || *i >= 64) {
-          ok = false;
-          return;
-        }
-        *mask |= uint64_t{1} << *i;
-      }
-    };
-    to_mask(expr.attributes, &expr.ship_mask);
-    to_mask(expr.group_by, &expr.group_mask);
-    expr.masks_valid = ok;
-  }
-  table_index_[location][expr.table].push_back(by_location_[location].size());
+  EnsureLocation(location);
+  ComputeDerived(*catalog_, &expr);
   expr.id = next_id_++;
-  by_location_[location].push_back(std::move(expr));
+
+  if (mode_ == PolicyIndexMode::kHierarchical) {
+    int64_t absorber = FindAbsorber(location, expr);
+    if (absorber >= 0) {
+      absorbed_[location].push_back({std::move(expr), absorber});
+    } else {
+      InstallActive(location, std::move(expr));
+    }
+  } else {
+    table_index_[location][expr.table].push_back(
+        by_location_[location].size());
+    by_location_[location].push_back(std::move(expr));
+  }
   epoch_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
+}
+
+int64_t PolicyCatalog::FindAbsorber(LocationId location,
+                                    const PolicyExpression& expr) const {
+  auto it = bucket_index_[location].find(expr.table);
+  if (it == bucket_index_[location].end()) return -1;
+  const TableBuckets& tb = it->second;
+  const std::vector<PolicyExpression>& exprs = by_location_[location];
+  const uint64_t needed = expr.ship_mask | expr.group_mask;
+
+  // An absorber's attribute sets are supersets of ours, so its signature
+  // covers `needed` — skip buckets that cannot (unless our own masks are
+  // unreliable, in which case every bucket stays in play).
+  for (const Bucket& b : tb.buckets) {
+    if (expr.masks_valid && (needed & ~b.signature) != 0) continue;
+    for (size_t idx : b.entries) {
+      if (PolicySubsumes(exprs[idx], expr, SubsumptionMode::kDecisionSafe)) {
+        return exprs[idx].id;
+      }
+    }
+  }
+  for (size_t idx : tb.unmaskable) {
+    if (PolicySubsumes(exprs[idx], expr, SubsumptionMode::kDecisionSafe)) {
+      return exprs[idx].id;
+    }
+  }
+  return -1;
+}
+
+void PolicyCatalog::InstallActive(LocationId location, PolicyExpression expr) {
+  std::vector<PolicyExpression>& exprs = by_location_[location];
+
+  // The broader incoming expression may subsume existing actives — move
+  // them to the absorbed store (they keep their ids and resurrect if this
+  // expression is ever removed). Victims' signatures are subsets of ours.
+  std::vector<size_t> victims;
+  if (auto it = bucket_index_[location].find(expr.table);
+      it != bucket_index_[location].end()) {
+    const uint64_t sig = expr.ship_mask | expr.group_mask;
+    for (const Bucket& b : it->second.buckets) {
+      if (expr.masks_valid && (b.signature & ~sig) != 0) continue;
+      for (size_t idx : b.entries) {
+        if (PolicySubsumes(expr, exprs[idx], SubsumptionMode::kDecisionSafe)) {
+          victims.push_back(idx);
+        }
+      }
+    }
+    for (size_t idx : it->second.unmaskable) {
+      if (PolicySubsumes(expr, exprs[idx], SubsumptionMode::kDecisionSafe)) {
+        victims.push_back(idx);
+      }
+    }
+  }
+  if (!victims.empty()) {
+    std::sort(victims.begin(), victims.end());
+    for (size_t idx : victims) {
+      absorbed_[location].push_back({std::move(exprs[idx]), expr.id});
+    }
+    for (size_t i = victims.size(); i > 0; --i) {
+      exprs.erase(exprs.begin() + static_cast<ptrdiff_t>(victims[i - 1]));
+    }
+  }
+
+  exprs.push_back(std::move(expr));
+  if (victims.empty()) {
+    // Fast path: only the tail changed.
+    size_t index = exprs.size() - 1;
+    table_index_[location][exprs[index].table].push_back(index);
+    IndexActive(location, index);
+  } else {
+    RebuildIndexes(location);
+  }
+}
+
+void PolicyCatalog::Reinstall(LocationId location, PolicyExpression expr) {
+  int64_t absorber = FindAbsorber(location, expr);
+  if (absorber >= 0) {
+    absorbed_[location].push_back({std::move(expr), absorber});
+  } else {
+    InstallActive(location, std::move(expr));
+  }
 }
 
 Status PolicyCatalog::RemovePolicy(int64_t id) {
@@ -154,7 +385,44 @@ Status PolicyCatalog::RemovePolicy(int64_t id) {
       if (exprs[i].id != id) continue;
       exprs.erase(exprs.begin() + static_cast<ptrdiff_t>(i));
       // Stored indices after `i` all shifted down by one.
-      RebuildTableIndex(loc);
+      RebuildIndexes(loc);
+      // Un-merge: donors the removed expression had absorbed come back —
+      // each either re-absorbs under another active or turns active again.
+      std::vector<PolicyExpression> donors;
+      if (loc < absorbed_.size()) {
+        auto& abs = absorbed_[loc];
+        for (auto it = abs.begin(); it != abs.end();) {
+          if (it->absorbed_by == id) {
+            donors.push_back(std::move(it->expr));
+            it = abs.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+      for (PolicyExpression& d : donors) Reinstall(loc, std::move(d));
+      epoch_.fetch_add(1, std::memory_order_acq_rel);
+      return Status::OK();
+    }
+  }
+  // Not active — possibly an absorbed expression (hierarchical mode).
+  for (LocationId loc = 0; loc < absorbed_.size(); ++loc) {
+    auto& abs = absorbed_[loc];
+    for (size_t i = 0; i < abs.size(); ++i) {
+      if (abs[i].expr.id != id) continue;
+      abs.erase(abs.begin() + static_cast<ptrdiff_t>(i));
+      // Donors chained under the removed entry (it absorbed them back when
+      // it was active) re-parent to a live absorber or turn active.
+      std::vector<PolicyExpression> donors;
+      for (auto it = abs.begin(); it != abs.end();) {
+        if (it->absorbed_by == id) {
+          donors.push_back(std::move(it->expr));
+          it = abs.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      for (PolicyExpression& d : donors) Reinstall(loc, std::move(d));
       epoch_.fetch_add(1, std::memory_order_acq_rel);
       return Status::OK();
     }
@@ -162,12 +430,33 @@ Status PolicyCatalog::RemovePolicy(int64_t id) {
   return Status::NotFound("no policy with id " + std::to_string(id));
 }
 
-void PolicyCatalog::RebuildTableIndex(LocationId location) {
+void PolicyCatalog::IndexActive(LocationId location, size_t index) {
+  const PolicyExpression& e = by_location_[location][index];
+  TableBuckets& tb = bucket_index_[location][e.table];
+  if (!e.masks_valid) {
+    tb.unmaskable.push_back(index);
+    return;
+  }
+  const uint64_t sig = e.ship_mask | e.group_mask;
+  const uint64_t pred = e.pred_mask_valid ? e.pred_mask : 0;
+  for (Bucket& b : tb.buckets) {
+    if (b.signature == sig && b.pred_mask == pred &&
+        b.pred_valid == e.pred_mask_valid) {
+      b.entries.push_back(index);
+      return;
+    }
+  }
+  tb.buckets.push_back(Bucket{sig, pred, e.pred_mask_valid, {index}});
+}
+
+void PolicyCatalog::RebuildIndexes(LocationId location) {
   auto& index = table_index_[location];
   index.clear();
+  bucket_index_[location].clear();
   const std::vector<PolicyExpression>& exprs = by_location_[location];
   for (size_t i = 0; i < exprs.size(); ++i) {
     index[exprs[i].table].push_back(i);
+    if (mode_ == PolicyIndexMode::kHierarchical) IndexActive(location, i);
   }
 }
 
@@ -224,15 +513,172 @@ const std::vector<size_t>& PolicyCatalog::ForTable(
   return it != table_index_[location].end() ? it->second : kEmpty;
 }
 
-size_t PolicyCatalog::TotalCount() const {
+const std::vector<PolicyCatalog::AbsorbedPolicy>& PolicyCatalog::Absorbed(
+    LocationId location) const {
+  static const std::vector<AbsorbedPolicy> kEmpty;
+  if (location >= absorbed_.size()) return kEmpty;
+  return absorbed_[location];
+}
+
+void PolicyCatalog::AppendCandidates(LocationId location,
+                                     const std::string& table,
+                                     uint64_t query_mask, bool mask_exact,
+                                     uint64_t premise_cap,
+                                     bool premise_capped,
+                                     std::vector<size_t>* out,
+                                     size_t* prefiltered) const {
+  if (mode_ == PolicyIndexMode::kFlat) {
+    const std::vector<size_t>& in_table = ForTable(location, table);
+    out->insert(out->end(), in_table.begin(), in_table.end());
+    return;
+  }
+  if (location >= bucket_index_.size()) return;
+  auto it = bucket_index_[location].find(table);
+  if (it == bucket_index_[location].end()) return;
+  const TableBuckets& tb = it->second;
+  for (const Bucket& b : tb.buckets) {
+    if (mask_exact && (b.signature & query_mask) == 0) continue;
+    if (b.pred_valid && premise_capped && (b.pred_mask & ~premise_cap) != 0) {
+      // The shared predicate needs a column some (non-contradictory)
+      // instance premise never constrains: P_q ⟹ P_e fails for every
+      // entry, none can grant anything.
+      if (prefiltered != nullptr) *prefiltered += b.entries.size();
+      continue;
+    }
+    out->insert(out->end(), b.entries.begin(), b.entries.end());
+  }
+  out->insert(out->end(), tb.unmaskable.begin(), tb.unmaskable.end());
+}
+
+bool PolicyCatalog::ForEachBucket(
+    LocationId location, const std::string& table, uint64_t query_mask,
+    bool mask_exact, uint64_t premise_cap, bool premise_capped,
+    const std::function<void(size_t, const std::vector<size_t>&)>& fn,
+    std::vector<size_t>* unmaskable, size_t* prefiltered) const {
+  if (mode_ != PolicyIndexMode::kHierarchical) return false;
+  if (location >= bucket_index_.size()) return true;
+  auto it = bucket_index_[location].find(table);
+  if (it == bucket_index_[location].end()) return true;
+  const TableBuckets& tb = it->second;
+  for (size_t bi = 0; bi < tb.buckets.size(); ++bi) {
+    const Bucket& b = tb.buckets[bi];
+    if (mask_exact && (b.signature & query_mask) == 0) continue;
+    if (b.pred_valid && premise_capped && (b.pred_mask & ~premise_cap) != 0) {
+      if (prefiltered != nullptr) *prefiltered += b.entries.size();
+      continue;
+    }
+    fn(bi, b.entries);
+  }
+  unmaskable->insert(unmaskable->end(), tb.unmaskable.begin(),
+                     tb.unmaskable.end());
+  return true;
+}
+
+std::shared_ptr<const std::vector<uint32_t>> PolicyCatalog::FindBucketMemo(
+    uint64_t a, uint64_t b) const {
+  MemoShard& shard = memo_shards_[a % kMemoShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(MemoKey{a, b});
+  if (it == shard.map.end()) return nullptr;
+  return it->second;
+}
+
+void PolicyCatalog::StoreBucketMemo(
+    uint64_t a, uint64_t b,
+    std::shared_ptr<const std::vector<uint32_t>> implied) const {
+  MemoShard& shard = memo_shards_[a % kMemoShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.map.size() >= kMemoShardCap) shard.map.clear();
+  shard.map[MemoKey{a, b}] = std::move(implied);
+}
+
+std::optional<LocationSet> PolicyCatalog::FindEvalMemo(uint64_t a,
+                                                       uint64_t b) const {
+  const EvalShard& shard = eval_shards_[a % kMemoShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(MemoKey{a, b});
+  if (it == shard.map.end()) return std::nullopt;
+  return it->second;
+}
+
+void PolicyCatalog::StoreEvalMemo(uint64_t a, uint64_t b,
+                                  LocationSet legal) const {
+  EvalShard& shard = eval_shards_[a % kMemoShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.map.size() >= kMemoShardCap) shard.map.clear();
+  shard.map[MemoKey{a, b}] = legal;
+}
+
+bool PolicyCatalog::HasPoliciesFor(
+    LocationId location, const std::vector<std::string>& tables) const {
+  for (const std::string& t : tables) {
+    if (!ForTable(location, t).empty()) return true;
+  }
+  return false;
+}
+
+size_t PolicyCatalog::ActiveCount() const {
   size_t n = 0;
   for (const auto& v : by_location_) n += v.size();
   return n;
 }
 
+size_t PolicyCatalog::TotalCount() const {
+  size_t n = ActiveCount();
+  for (const auto& v : absorbed_) n += v.size();
+  return n;
+}
+
+PolicyCatalog::IndexStats PolicyCatalog::Stats() const {
+  IndexStats out;
+  out.active = ActiveCount();
+  for (const auto& v : absorbed_) out.absorbed += v.size();
+  for (const auto& per_loc : table_index_) {
+    for (const auto& [table, entries] : per_loc) {
+      if (!entries.empty()) ++out.tables;
+    }
+  }
+  for (const auto& per_loc : bucket_index_) {
+    for (const auto& [table, tb] : per_loc) {
+      out.buckets += tb.buckets.size();
+      for (const Bucket& b : tb.buckets) {
+        out.max_bucket = std::max(out.max_bucket, b.entries.size());
+      }
+      out.max_bucket = std::max(out.max_bucket, tb.unmaskable.size());
+    }
+  }
+  return out;
+}
+
+void PolicyCatalog::ShuffleBucketsForTest(uint64_t seed) {
+  uint64_t state = seed * 0x9E3779B97F4A7C15ULL + 0x2545F4914F6CDD1DULL;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  auto shuffle = [&next](auto& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[next() % i]);
+    }
+  };
+  for (auto& per_loc : bucket_index_) {
+    for (auto& [table, tb] : per_loc) {
+      shuffle(tb.buckets);
+      for (Bucket& b : tb.buckets) shuffle(b.entries);
+      shuffle(tb.unmaskable);
+    }
+  }
+  // Bucket ordinals moved: orphan every memo entry keyed on them.
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
 void PolicyCatalog::Clear() {
   by_location_.clear();
   table_index_.clear();
+  bucket_index_.clear();
+  absorbed_.clear();
   epoch_.fetch_add(1, std::memory_order_acq_rel);
 }
 

@@ -50,7 +50,91 @@ struct AliasPremise {
   const std::string* table;
   std::vector<ExprPtr> premise;
   ExprFingerprint fp;
+  /// Prebuilt premise side of the implication test (hierarchical index
+  /// mode only). When `simple()`, candidate predicates are tested directly
+  /// against it — bit-identical to PredicateImplies but without per-test
+  /// hashing or cache locking.
+  std::optional<PremiseConstraints> constraints;
+  /// Columns the premise mentions (bit i = column i of `table`). Only
+  /// meaningful when `maskable`: every ref mapped to a bit, no empty IN
+  /// list anywhere (a contradictory OR branch can imply atoms over columns
+  /// the premise never names), and the premise itself not contradictory
+  /// (false implies anything). Computed in hierarchical index mode only.
+  uint64_t premise_mask = 0;
+  bool maskable = false;
 };
+
+// Accumulates the premise's column mask; clears `*ok` on unmappable refs
+// and on empty IN lists (see AliasPremise::maskable).
+void AccumulatePremiseMask(const Expr& e, const Schema* schema,
+                           uint64_t* mask, bool* ok) {
+  if (e.op() == ExprOp::kColumnRef) {
+    std::optional<size_t> i =
+        schema != nullptr ? schema->IndexOf(e.column()) : std::nullopt;
+    if (!i || *i >= 64) {
+      *ok = false;
+      return;
+    }
+    *mask |= uint64_t{1} << *i;
+    return;
+  }
+  if (e.op() == ExprOp::kIn && e.in_list().empty()) {
+    *ok = false;
+    return;
+  }
+  for (const ExprPtr& c : e.children()) {
+    AccumulatePremiseMask(*c, schema, mask, ok);
+  }
+}
+
+// Finalizer of the bucket-memo key components (splitmix64), so structured
+// inputs (ordinals, epochs) spread over all 64 bits before they are XORed
+// into the premise fingerprint.
+uint64_t MixKey(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// One step of a 64-bit hash fold (boost-style combine, splitmix-finalized
+// by the caller via MixKey where needed).
+uint64_t FoldHash(uint64_t h, uint64_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+}
+
+// 128-bit structural fingerprint of everything Evaluate() reads from a
+// summary: the disclosed (attribute, aggregate fn) pairs, the predicate
+// conjuncts (qualifiers intact — they determine the per-alias premises),
+// the grouping attributes, the alias → table binding, and the aggregate
+// flag. Keys the catalog's evaluation memo; a collision is as (im)probable
+// as an implication-cache one.
+ExprFingerprint SummaryFingerprint(const QuerySummary& summary) {
+  ExprFingerprint fp = FingerprintConjuncts(summary.predicate);
+  const std::hash<std::string> hs;
+  uint64_t h = 0x5851f42d4c957f2dULL;
+  for (const auto& [id, out] : summary.outputs) {
+    for (const BaseAttr& b : out.bases) {
+      h = FoldHash(h, hs(b.table));
+      h = FoldHash(h, hs(b.column));
+    }
+    h = FoldHash(h, out.fn ? 2 + static_cast<uint64_t>(*out.fn) : 1);
+  }
+  for (const BaseAttr& g : summary.group_attrs) {
+    h = FoldHash(h, hs(g.table));
+    h = FoldHash(h, hs(g.column));
+  }
+  for (const auto& [alias, table] : summary.alias_tables) {
+    h = FoldHash(h, hs(alias));
+    h = FoldHash(h, hs(table));
+  }
+  h = FoldHash(h, summary.is_aggregate ? 3 : 7);
+  fp.hi = MixKey(fp.hi ^ h);
+  fp.lo = MixKey(fp.lo + (h * 0xc4ceb9fe1a85ec53ULL | 1));
+  return fp;
+}
 
 // What one policy expression contributes; computed independently per policy
 // (possibly on a pool thread), applied sequentially in policy order.
@@ -61,6 +145,8 @@ struct PolicyOutcome {
   bool eta = false;      ///< implication held for every instance
   int32_t implication_tests = 0;
   int32_t cache_hits = 0;
+  int32_t cache_misses = 0;  ///< tests routed to the cache that missed
+  int32_t prefilter_skips = 0;
   std::vector<size_t> grants;
 };
 
@@ -80,13 +166,39 @@ LocationSet PolicyEvaluator::Evaluate(const QuerySummary& summary,
                         .count();
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.evaluations += local.evaluations;
+    stats_.candidates += local.candidates;
     stats_.expressions_matched += local.expressions_matched;
     stats_.implication_tests += local.implication_tests;
     stats_.implication_cache_hits += local.implication_cache_hits;
     stats_.implication_cache_misses += local.implication_cache_misses;
+    stats_.prefilter_skips += local.prefilter_skips;
     stats_.eta += local.eta;
     stats_.eval_ms += local.eval_ms;
   };
+
+  const bool hier =
+      policies_->index_mode() == PolicyIndexMode::kHierarchical;
+
+  // Hierarchical mode: a summary evaluated before (same database, same
+  // policy epoch) resolves from the catalog's evaluation memo without
+  // touching the index — except when the caller wants provenance, which
+  // the memo does not store. The stored set is the verbatim result of the
+  // full evaluation below, so decisions are identical either way.
+  uint64_t memo_a = 0, memo_b = 0;
+  if (hier) {
+    const ExprFingerprint sfp = SummaryFingerprint(summary);
+    memo_a = sfp.hi ^ MixKey((static_cast<uint64_t>(db) << 1) +
+                             policies_->epoch() * 0x9e3779b97f4a7c15ULL);
+    memo_b = sfp.lo;
+    if (grants == nullptr) {
+      if (std::optional<LocationSet> hit =
+              policies_->FindEvalMemo(memo_a, memo_b)) {
+        merge_stats();
+        span.AddArg("policies", static_cast<int64_t>(0));
+        return *hit;
+      }
+    }
+  }
 
   // Flatten A_q into (base attribute, aggregate fn) pairs. Besides the
   // output attributes, attributes accessed by predicates and grouping are
@@ -110,6 +222,7 @@ LocationSet PolicyEvaluator::Evaluate(const QuerySummary& summary,
     legal.emplace(AttrFnPair{g, std::nullopt}, LocationSet());
   }
   if (legal.empty()) {
+    if (hier) policies_->StoreEvalMemo(memo_a, memo_b, LocationSet());
     merge_stats();
     span.AddArg("policies", static_cast<int64_t>(0));
     return LocationSet();
@@ -124,7 +237,19 @@ LocationSet PolicyEvaluator::Evaluate(const QuerySummary& summary,
     AliasPremise ap;
     ap.table = &table;
     ap.premise = PremiseForAlias(summary, alias);
-    if (cache_ != nullptr) ap.fp = FingerprintConjuncts(ap.premise);
+    // The fingerprint keys the implication cache and, in hierarchical
+    // mode, the catalog's bucket memo.
+    if (cache_ != nullptr || hier) ap.fp = FingerprintConjuncts(ap.premise);
+    if (hier) {
+      auto def = catalog_->GetTable(table);
+      const Schema* schema = def.ok() ? &(*def)->schema : nullptr;
+      bool ok = schema != nullptr;
+      for (const ExprPtr& c : ap.premise) {
+        AccumulatePremiseMask(*c, schema, &ap.premise_mask, &ok);
+      }
+      ap.constraints.emplace(ap.premise);
+      ap.maskable = ok && !ap.constraints->contradictory();
+    }
     instances.push_back(std::move(ap));
   }
 
@@ -150,8 +275,7 @@ LocationSet PolicyEvaluator::Evaluate(const QuerySummary& summary,
     uint64_t bit;  ///< 1 << schema column index, or 0
   };
   std::vector<std::vector<PairBit>> table_pairs;
-  std::vector<size_t> candidates;
-  std::vector<size_t> candidate_table;  ///< candidate -> table_pairs index
+  std::vector<const std::string*> run_tables;
   {
     const std::string* current = nullptr;
     const Schema* schema = nullptr;
@@ -159,11 +283,7 @@ LocationSet PolicyEvaluator::Evaluate(const QuerySummary& summary,
       const AttrFnPair& pair = *pairs[idx];
       if (current == nullptr || pair.base.table != *current) {
         current = &pair.base.table;
-        const std::vector<size_t>& in_table =
-            policies_->ForTable(db, pair.base.table);
-        candidates.insert(candidates.end(), in_table.begin(),
-                          in_table.end());
-        candidate_table.resize(candidates.size(), table_pairs.size());
+        run_tables.push_back(current);
         table_pairs.emplace_back();
         auto def = catalog_->GetTable(pair.base.table);
         schema = def.ok() ? &(*def)->schema : nullptr;
@@ -178,6 +298,146 @@ LocationSet PolicyEvaluator::Evaluate(const QuerySummary& summary,
       table_pairs.back().push_back(PairBit{idx, bit});
     }
   }
+  // The catalog selects per-run candidates from the run's disclosed-column
+  // mask: the flat index hands back every expression over the table, the
+  // hierarchical one only buckets whose signature intersects the mask
+  // (pruning is off for a run with any unmappable column). In hierarchical
+  // mode the implication test itself also runs here, bucket by bucket, so
+  // its outcome can be memoized per (premise, bucket) in the catalog: all
+  // entries of a bucket share their predicate-column mask, and workloads
+  // re-evaluate the same premises — a warm Evaluate() does one memo lookup
+  // per bucket and walks only the implied entries.
+  std::vector<size_t> candidates;
+  std::vector<size_t> candidate_table;  ///< candidate -> table_pairs index
+  /// 1 = implication already established for every instance (bucket memo);
+  /// 0 = eval_policy must run the per-instance tests itself.
+  std::vector<uint8_t> candidate_implied;
+  size_t bucket_prefiltered = 0;
+
+  // Runs the per-instance implication dispatch for one candidate predicate
+  // — the single place deciding direct-constraint vs. cache vs. plain test,
+  // so the memoized and unmemoized paths stay bit-identical.
+  auto test_implies = [&](const AliasPremise& ap, const PolicyExpression& e,
+                          int32_t* tests, int32_t* hits, int32_t* misses) {
+    ++*tests;
+    if (ap.constraints.has_value() && ap.constraints->simple()) {
+      // Fully normalized premise: a direct constraint check beats even a
+      // memo hit (no hashing, no shard lock), same result bit for bit.
+      return ap.constraints->Implies(e.predicate);
+    }
+    if (cache_ != nullptr) {
+      bool hit = false;
+      bool ok = cache_->ImpliesPrehashed(ap.fp, ap.premise, e.predicate_fp,
+                                         e.predicate, &hit);
+      *hits += hit ? 1 : 0;
+      *misses += hit ? 0 : 1;
+      return ok;
+    }
+    return PredicateImplies(ap.premise, e.predicate);
+  };
+
+  const uint64_t memo_epoch = hier ? policies_->epoch() : 0;
+  for (size_t run = 0; run < table_pairs.size(); ++run) {
+    uint64_t query_mask = 0;
+    bool mask_exact = true;
+    for (const PairBit& pb : table_pairs[run]) {
+      query_mask |= pb.bit;
+      mask_exact &= pb.bit != 0;
+    }
+    // Intersection of the maskable instance premises for this run's table:
+    // a policy predicate requiring a column outside it fails the (per-
+    // instance) implication for at least one instance, so whole buckets of
+    // such predicates are pruned before the candidate walk.
+    uint64_t premise_cap = ~uint64_t{0};
+    bool premise_capped = false;
+    std::vector<const AliasPremise*> run_instances;
+    for (const AliasPremise& ap : instances) {
+      if (*ap.table != *run_tables[run]) continue;
+      run_instances.push_back(&ap);
+      if (!ap.maskable) continue;
+      premise_cap &= ap.premise_mask;
+      premise_capped = true;
+    }
+    if (!hier) {
+      policies_->AppendCandidates(db, *run_tables[run], query_mask,
+                                  mask_exact, premise_cap, premise_capped,
+                                  &candidates, &bucket_prefiltered);
+      candidate_table.resize(candidates.size(), run);
+      candidate_implied.resize(candidates.size(), 0);
+      continue;
+    }
+
+    // Ascending implied positions within one bucket, for one instance
+    // premise — memoized in the catalog under (premise fp, location,
+    // table, bucket ordinal, epoch).
+    const uint64_t table_salt =
+        MixKey(std::hash<std::string>{}(*run_tables[run]) +
+               (static_cast<uint64_t>(db) << 48) + memo_epoch * 0x9e3779b9);
+    auto implied_for =
+        [&](const AliasPremise& ap, size_t bucket,
+            const std::vector<size_t>& entries)
+        -> std::shared_ptr<const std::vector<uint32_t>> {
+      const uint64_t ka = ap.fp.hi ^ table_salt;
+      const uint64_t kb = ap.fp.lo ^ MixKey(bucket + 0x9e3779b97f4a7c15ULL);
+      if (auto hit = policies_->FindBucketMemo(ka, kb)) return hit;
+      auto implied = std::make_shared<std::vector<uint32_t>>();
+      int32_t tests = 0, hits = 0, misses = 0;
+      for (uint32_t i = 0; i < entries.size(); ++i) {
+        if (test_implies(ap, exprs[entries[i]], &tests, &hits, &misses)) {
+          implied->push_back(i);
+        }
+      }
+      local.implication_tests += tests;
+      local.implication_cache_hits += hits;
+      local.implication_cache_misses += misses;
+      std::shared_ptr<const std::vector<uint32_t>> v = std::move(implied);
+      policies_->StoreBucketMemo(ka, kb, v);
+      return v;
+    };
+
+    std::vector<size_t> unmaskable;
+    std::vector<uint32_t> cur;  // intersection across instances
+    policies_->ForEachBucket(
+        db, *run_tables[run], query_mask, mask_exact, premise_cap,
+        premise_capped,
+        [&](size_t bucket, const std::vector<size_t>& entries) {
+          // No instance of the table in the query: Algorithm 1 grants
+          // nothing from its policies (the any_instance condition).
+          if (run_instances.empty()) return;
+          bool first = true;
+          for (const AliasPremise* ap : run_instances) {
+            auto implied = implied_for(*ap, bucket, entries);
+            if (first) {
+              cur.assign(implied->begin(), implied->end());
+              first = false;
+            } else {
+              // Both ascending: keep positions implied for every instance.
+              size_t w = 0, j = 0;
+              for (uint32_t pos : cur) {
+                while (j < implied->size() && (*implied)[j] < pos) ++j;
+                if (j < implied->size() && (*implied)[j] == pos) {
+                  cur[w++] = pos;
+                }
+              }
+              cur.resize(w);
+            }
+            if (cur.empty()) break;
+          }
+          for (uint32_t pos : cur) {
+            candidates.push_back(entries[pos]);
+            candidate_table.push_back(run);
+            candidate_implied.push_back(1);
+          }
+        },
+        &unmaskable, &bucket_prefiltered);
+    for (size_t e : unmaskable) {
+      candidates.push_back(e);
+      candidate_table.push_back(run);
+      candidate_implied.push_back(0);
+    }
+  }
+  local.candidates = static_cast<int64_t>(candidates.size());
+  local.prefilter_skips += static_cast<int64_t>(bucket_prefiltered);
 
   // Per-policy evaluation: reads `legal` keys and the summary, writes only
   // its own outcome slot — safe to fan out.
@@ -210,29 +470,32 @@ LocationSet PolicyEvaluator::Evaluate(const QuerySummary& summary,
     }
     if (!o.matched) return;
 
-    // P_q ⟹ P_e, for every instance of e's table in the query.
-    bool implied = true;
-    bool any_instance = false;
-    for (size_t ii = 0; ii < instances.size(); ++ii) {
-      const AliasPremise& ap = instances[ii];
-      if (*ap.table != e.table) continue;
-      any_instance = true;
-      ++o.implication_tests;
-      bool ok;
-      if (cache_ != nullptr) {
-        bool hit = false;
-        ok = cache_->ImpliesPrehashed(ap.fp, ap.premise, e.predicate_fp,
-                                      e.predicate, &hit);
-        o.cache_hits += hit ? 1 : 0;
-      } else {
-        ok = PredicateImplies(ap.premise, e.predicate);
+    // P_q ⟹ P_e, for every instance of e's table in the query. Bucket-
+    // memoized candidates (hierarchical mode) arrive with the implication
+    // pre-established; only flat-mode and unmaskable candidates test here.
+    if (candidate_implied[ci] == 0) {
+      bool implied = true;
+      bool any_instance = false;
+      for (size_t ii = 0; ii < instances.size(); ++ii) {
+        const AliasPremise& ap = instances[ii];
+        if (*ap.table != e.table) continue;
+        any_instance = true;
+        if (e.pred_mask_valid && ap.maskable &&
+            (e.pred_mask & ~ap.premise_mask) != 0) {
+          // The policy predicate requires a column this (non-contradictory)
+          // premise never mentions — the implication test cannot succeed.
+          ++o.prefilter_skips;
+          implied = false;
+          break;
+        }
+        if (!test_implies(ap, e, &o.implication_tests, &o.cache_hits,
+                          &o.cache_misses)) {
+          implied = false;
+          break;
+        }
       }
-      if (!ok) {
-        implied = false;
-        break;
-      }
+      if (!any_instance || !implied) return;
     }
-    if (!any_instance || !implied) return;
     o.eta = true;  // Algorithm 1 reaches line 4.
 
     if (!e.is_aggregate()) {
@@ -289,8 +552,9 @@ LocationSet PolicyEvaluator::Evaluate(const QuerySummary& summary,
     local.implication_tests += o.implication_tests;
     if (cache_ != nullptr) {
       local.implication_cache_hits += o.cache_hits;
-      local.implication_cache_misses += o.implication_tests - o.cache_hits;
+      local.implication_cache_misses += o.cache_misses;
     }
+    local.prefilter_skips += o.prefilter_skips;
     local.eta += o.eta ? 1 : 0;
     const PolicyExpression& e = exprs[candidates[ci]];
     for (size_t idx : o.grants) {
@@ -319,6 +583,7 @@ LocationSet PolicyEvaluator::Evaluate(const QuerySummary& summary,
     result = result.Intersect(locs);
     if (result.empty()) break;
   }
+  if (hier) policies_->StoreEvalMemo(memo_a, memo_b, result);
   merge_stats();
   span.AddArg("policies", static_cast<int64_t>(candidates.size()));
   span.AddArg("matched", local.expressions_matched);

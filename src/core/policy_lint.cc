@@ -4,7 +4,6 @@
 #include <set>
 
 #include "common/str_util.h"
-#include "expr/implication.h"
 
 namespace cgq {
 
@@ -12,16 +11,11 @@ namespace {
 
 using Severity = PolicyLintFinding::Severity;
 
-// e1 subsumes e2 when every shipment e2 permits, e1 permits too.
+// e1 subsumes e2 when every shipment e2 permits, e1 permits too. Lint uses
+// the semantic (implication-based) strength: advisory findings may rely on
+// the full test, unlike the catalog's decision-safe online merge.
 bool Subsumes(const PolicyExpression& e1, const PolicyExpression& e2) {
-  if (e1.is_aggregate() || e2.is_aggregate()) return false;  // basic only
-  if (e1.table != e2.table) return false;
-  for (const std::string& a : e2.attributes) {
-    if (!e1.HasShipAttribute(a)) return false;
-  }
-  if (!e2.to.IsSubsetOf(e1.to)) return false;
-  // e2's rows must all satisfy e1's condition: P_e2 ⟹ P_e1.
-  return PredicateImplies(e2.predicate, e1.predicate);
+  return PolicySubsumes(e1, e2, SubsumptionMode::kSemantic);
 }
 
 }  // namespace
@@ -67,6 +61,18 @@ std::vector<PolicyLintFinding> LintPolicies(const Catalog& catalog,
                    "\" and can be removed"});
         }
       }
+    }
+
+    // Expressions absorbed by the catalog's online merge (hierarchical
+    // index mode): shadowed by construction — the absorber grants a
+    // superset for every query.
+    for (const auto& ab : policies.Absorbed(l)) {
+      findings.push_back(
+          {Severity::kInfo, loc_name,
+           "expression \"" + ab.expr.ToString(locs) + "\" (id " +
+               std::to_string(ab.expr.id) + ") is merged into policy id " +
+               std::to_string(ab.absorbed_by) +
+               ", which grants a superset of its shipments"});
     }
 
     // Attributes with no egress at all.

@@ -1,8 +1,8 @@
 #include "expr/implication.h"
 
-#include <map>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "common/str_util.h"
 
@@ -14,6 +14,17 @@ namespace {
 std::string RefKey(const Expr& ref) {
   if (!ref.base_table().empty()) return ref.base_table() + "." + ref.column();
   return ref.qualifier() + "." + ref.column();
+}
+
+// key == RefKey(ref), without materializing the key (the lookup path runs
+// once per implication test, so it must not allocate).
+bool RefKeyEquals(const std::string& key, const Expr& ref) {
+  const std::string& head =
+      !ref.base_table().empty() ? ref.base_table() : ref.qualifier();
+  const std::string& col = ref.column();
+  return key.size() == head.size() + 1 + col.size() &&
+         key.compare(0, head.size(), head) == 0 && key[head.size()] == '.' &&
+         key.compare(head.size() + 1, col.size(), col) == 0;
 }
 
 // One bound of a (possibly half-open) interval.
@@ -34,11 +45,27 @@ struct ColumnConstraint {
   std::vector<std::string> like_patterns;
 };
 
+// Premises constrain a handful of columns, so a flat vector with linear,
+// allocation-free lookup beats any tree/hash container on the test path.
 struct ConstraintSet {
   bool contradictory = false;
-  std::map<std::string, ColumnConstraint> columns;
+  std::vector<std::pair<std::string, ColumnConstraint>> columns;
   // Conjuncts we could not normalize (ORs, column-column predicates, ...).
   std::vector<ExprPtr> raw;
+
+  ColumnConstraint& ForKey(std::string key) {
+    for (auto& [k, cc] : columns) {
+      if (k == key) return cc;
+    }
+    columns.emplace_back(std::move(key), ColumnConstraint{});
+    return columns.back().second;
+  }
+  const ColumnConstraint* Find(const Expr& ref) const {
+    for (const auto& [k, cc] : columns) {
+      if (RefKeyEquals(k, ref)) return &cc;
+    }
+    return nullptr;
+  }
 };
 
 bool SatisfiesComparison(const Value& v, ExprOp op, const Value& lit) {
@@ -79,22 +106,24 @@ ExprOp FlipComparison(ExprOp op) {
 }
 
 // Extracts (colref, op, literal) from a comparison conjunct, flipping sides
-// if needed. Returns false when the conjunct is not of that shape.
+// if needed. Returns false when the conjunct is not of that shape. The
+// literal is returned by pointer — copying a Value may allocate (strings),
+// which the per-test path cannot afford.
 bool AsColumnComparison(const Expr& e, const Expr** ref, ExprOp* op,
-                        Value* lit) {
+                        const Value** lit) {
   if (!IsComparisonOp(e.op())) return false;
   const Expr& l = *e.child(0);
   const Expr& r = *e.child(1);
   if (l.op() == ExprOp::kColumnRef && r.op() == ExprOp::kLiteral) {
     *ref = &l;
     *op = e.op();
-    *lit = r.literal();
+    *lit = &r.literal();
     return true;
   }
   if (r.op() == ExprOp::kColumnRef && l.op() == ExprOp::kLiteral) {
     *ref = &r;
     *op = FlipComparison(e.op());
-    *lit = l.literal();
+    *lit = &l.literal();
     return true;
   }
   return false;
@@ -159,24 +188,24 @@ ConstraintSet BuildConstraints(const std::vector<ExprPtr>& conjuncts) {
   for (const ExprPtr& c : conjuncts) {
     const Expr* ref = nullptr;
     ExprOp op;
-    Value lit;
-    if (AsColumnComparison(*c, &ref, &op, &lit) && !lit.is_null()) {
-      ColumnConstraint& cc = cs.columns[RefKey(*ref)];
+    const Value* lit = nullptr;
+    if (AsColumnComparison(*c, &ref, &op, &lit) && !lit->is_null()) {
+      ColumnConstraint& cc = cs.ForKey(RefKey(*ref));
       switch (op) {
         case ExprOp::kEq:
-          IntersectPoints(&cc, {lit}, &cs.contradictory);
+          IntersectPoints(&cc, {*lit}, &cs.contradictory);
           break;
         case ExprOp::kGt:
-          TightenLower(&cc, lit, /*strict=*/true);
+          TightenLower(&cc, *lit, /*strict=*/true);
           break;
         case ExprOp::kGe:
-          TightenLower(&cc, lit, /*strict=*/false);
+          TightenLower(&cc, *lit, /*strict=*/false);
           break;
         case ExprOp::kLt:
-          TightenUpper(&cc, lit, /*strict=*/true);
+          TightenUpper(&cc, *lit, /*strict=*/true);
           break;
         case ExprOp::kLe:
-          TightenUpper(&cc, lit, /*strict=*/false);
+          TightenUpper(&cc, *lit, /*strict=*/false);
           break;
         default:
           cs.raw.push_back(c);  // <> kept structural
@@ -186,7 +215,7 @@ ConstraintSet BuildConstraints(const std::vector<ExprPtr>& conjuncts) {
     }
     if (c->op() == ExprOp::kIn &&
         c->child(0)->op() == ExprOp::kColumnRef) {
-      ColumnConstraint& cc = cs.columns[RefKey(*c->child(0))];
+      ColumnConstraint& cc = cs.ForKey(RefKey(*c->child(0)));
       IntersectPoints(&cc, c->in_list(), &cs.contradictory);
       continue;
     }
@@ -194,7 +223,7 @@ ConstraintSet BuildConstraints(const std::vector<ExprPtr>& conjuncts) {
         c->child(0)->op() == ExprOp::kColumnRef &&
         c->child(1)->op() == ExprOp::kLiteral &&
         c->child(1)->literal().is_string()) {
-      cs.columns[RefKey(*c->child(0))].like_patterns.push_back(
+      cs.ForKey(RefKey(*c->child(0))).like_patterns.push_back(
           c->child(1)->literal().str());
       continue;
     }
@@ -262,47 +291,46 @@ bool ConstraintsImplyAtom(const ConstraintSet& cs, const Expr& atom) {
   // 3. Range / point reasoning for column-vs-literal comparisons.
   const Expr* ref = nullptr;
   ExprOp op;
-  Value lit;
-  if (AsColumnComparison(atom, &ref, &op, &lit) && !lit.is_null()) {
-    auto it = cs.columns.find(RefKey(*ref));
-    if (it != cs.columns.end()) {
-      const ColumnConstraint& cc = it->second;
+  const Value* lit = nullptr;
+  if (AsColumnComparison(atom, &ref, &op, &lit) && !lit->is_null()) {
+    if (const ColumnConstraint* ccp = cs.Find(*ref)) {
+      const ColumnConstraint& cc = *ccp;
       if (cc.has_points) {
         bool all = !cc.points.empty();
         for (const Value& p : cc.points) {
-          all &= SatisfiesComparison(p, op, lit);
+          all &= SatisfiesComparison(p, op, *lit);
         }
         if (all) return true;
       }
-      if (!lit.is_string()) {
+      if (!lit->is_string()) {
         switch (op) {
           case ExprOp::kGt:
             if (cc.lower.present && !cc.lower.value.is_string()) {
-              int c = cc.lower.value.Compare(lit);
+              int c = cc.lower.value.Compare(*lit);
               if (c > 0 || (c == 0 && cc.lower.strict)) return true;
             }
             break;
           case ExprOp::kGe:
             if (cc.lower.present && !cc.lower.value.is_string() &&
-                cc.lower.value.Compare(lit) >= 0) {
+                cc.lower.value.Compare(*lit) >= 0) {
               return true;
             }
             break;
           case ExprOp::kLt:
             if (cc.upper.present && !cc.upper.value.is_string()) {
-              int c = cc.upper.value.Compare(lit);
+              int c = cc.upper.value.Compare(*lit);
               if (c < 0 || (c == 0 && cc.upper.strict)) return true;
             }
             break;
           case ExprOp::kLe:
             if (cc.upper.present && !cc.upper.value.is_string() &&
-                cc.upper.value.Compare(lit) <= 0) {
+                cc.upper.value.Compare(*lit) <= 0) {
               return true;
             }
             break;
           case ExprOp::kNe:
             // Implied when the whole interval excludes `lit`.
-            if (!PointInInterval(cc, lit) &&
+            if (!PointInInterval(cc, *lit) &&
                 (cc.lower.present || cc.upper.present)) {
               return true;
             }
@@ -317,11 +345,10 @@ bool ConstraintsImplyAtom(const ConstraintSet& cs, const Expr& atom) {
   // 4. IN conclusion: premise point set contained in the IN list.
   if (atom.op() == ExprOp::kIn &&
       atom.child(0)->op() == ExprOp::kColumnRef) {
-    auto it = cs.columns.find(RefKey(*atom.child(0)));
-    if (it != cs.columns.end() && it->second.has_points &&
-        !it->second.points.empty()) {
+    const ColumnConstraint* ccp = cs.Find(*atom.child(0));
+    if (ccp != nullptr && ccp->has_points && !ccp->points.empty()) {
       bool all = true;
-      for (const Value& p : it->second.points) {
+      for (const Value& p : ccp->points) {
         bool found = false;
         for (const Value& q : atom.in_list()) {
           if (!q.is_null() && p.Equals(q)) {
@@ -340,15 +367,14 @@ bool ConstraintsImplyAtom(const ConstraintSet& cs, const Expr& atom) {
       atom.child(0)->op() == ExprOp::kColumnRef &&
       atom.child(1)->op() == ExprOp::kLiteral &&
       atom.child(1)->literal().is_string()) {
-    auto it = cs.columns.find(RefKey(*atom.child(0)));
-    if (it != cs.columns.end()) {
+    if (const ColumnConstraint* ccp = cs.Find(*atom.child(0))) {
       const std::string& pattern = atom.child(1)->literal().str();
-      for (const std::string& p : it->second.like_patterns) {
+      for (const std::string& p : ccp->like_patterns) {
         if (p == pattern) return true;
       }
-      if (it->second.has_points && !it->second.points.empty()) {
+      if (ccp->has_points && !ccp->points.empty()) {
         bool all = true;
-        for (const Value& p : it->second.points) {
+        for (const Value& p : ccp->points) {
           all &= p.is_string() && LikeMatch(p.str(), pattern);
         }
         if (all) return true;
@@ -395,6 +421,33 @@ bool PredicateImplies(const std::vector<ExprPtr>& premise,
   for (const ExprPtr& atom : conclusion) {
     if (atom->IsLiteralTrue()) continue;
     if (!ConstraintsImplyAtom(cs, *atom)) return false;
+  }
+  return true;
+}
+
+bool PremiseContradictory(const std::vector<ExprPtr>& premise) {
+  return BuildConstraints(premise).contradictory;
+}
+
+struct PremiseConstraints::Impl {
+  ConstraintSet cs;
+};
+
+PremiseConstraints::PremiseConstraints(const std::vector<ExprPtr>& premise)
+    : impl_(std::make_shared<Impl>(Impl{BuildConstraints(premise)})) {}
+
+bool PremiseConstraints::contradictory() const {
+  return impl_->cs.contradictory;
+}
+
+bool PremiseConstraints::simple() const { return impl_->cs.raw.empty(); }
+
+bool PremiseConstraints::Implies(
+    const std::vector<ExprPtr>& conclusion) const {
+  // Mirrors PredicateImplies exactly, minus the per-call BuildConstraints.
+  for (const ExprPtr& atom : conclusion) {
+    if (atom->IsLiteralTrue()) continue;
+    if (!ConstraintsImplyAtom(impl_->cs, *atom)) return false;
   }
   return true;
 }

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -37,6 +38,46 @@ bool PredicateImplies(const std::vector<ExprPtr>& premise,
 /// (base_table, column) when both are bound with a base table, else by
 /// (qualifier, column). Exposed for tests.
 bool SameAtom(const Expr& a, const Expr& b);
+
+/// True when the premise's normalized column constraints are contradictory
+/// (empty interval / empty point set) — the "false implies anything" case
+/// of PredicateImplies. Sound but incomplete, exactly as incomplete as the
+/// implication test itself: the two agree on which premises count as
+/// contradictions, which is what makes this a safe pre-filter gate (the
+/// hierarchical policy index skips implication tests whose conclusion
+/// mentions columns the premise does not constrain — a skip that is only
+/// sound when the premise is not contradictory).
+bool PremiseContradictory(const std::vector<ExprPtr>& premise);
+
+/// A premise's column constraints, normalized once and reusable against
+/// many conclusions: `Implies(c)` returns exactly what
+/// `PredicateImplies(premise, c)` would, without re-deriving the premise
+/// side per test. The policy evaluator builds one per relation instance and
+/// tests every candidate policy predicate against it — cheaper than even a
+/// memo-table hit when the premise is `simple()` (fully normalized into
+/// per-column constraints), because each test is a handful of comparisons
+/// with no hashing or locking. Cheap to copy (shared immutable state).
+class PremiseConstraints {
+ public:
+  explicit PremiseConstraints(const std::vector<ExprPtr>& premise);
+
+  /// The "false implies anything" flag, == PremiseContradictory(premise).
+  bool contradictory() const;
+
+  /// Every conjunct was normalized into per-column ranges / point sets /
+  /// LIKE patterns — no structural-match or OR-branch reasoning left, so
+  /// Implies() is a pure constraint check. Premises with leftover raw
+  /// conjuncts are better served by the ImplicationCache (the quadratic
+  /// OR-branch reasoning then runs at most once per distinct conclusion).
+  bool simple() const;
+
+  /// == PredicateImplies(premise, conclusion), premise side prebuilt.
+  bool Implies(const std::vector<ExprPtr>& conclusion) const;
+
+ private:
+  struct Impl;
+  std::shared_ptr<const Impl> impl_;
+};
 
 /// 128-bit canonical fingerprint of a conjunct set. Two sets with the same
 /// fingerprint are (with overwhelming probability) the same multiset of

@@ -46,6 +46,16 @@ std::string PolicyExpressionGenerator::RandomExpression(
   std::vector<std::string> columns;
   if (templ == "T") {
     // whole table
+  } else if (templ == "F") {
+    // Fine-grained: narrow column lists make for many distinct
+    // signature buckets and tiny per-policy grants.
+    size_t total = table.schema.num_columns();
+    size_t cap = std::min(std::max<size_t>(config_.max_columns, 1), total);
+    size_t k = static_cast<size_t>(
+        rng_.Uniform(1, static_cast<int64_t>(cap)));
+    for (size_t i : rng_.SampleIndices(total, k)) {
+      columns.push_back(ToLower(table.schema.column(i).name));
+    }
   } else {
     size_t total = table.schema.num_columns();
     size_t k = static_cast<size_t>(
@@ -85,10 +95,12 @@ std::string PolicyExpressionGenerator::RandomExpression(
     }
   }
 
-  // Row condition (templates CR and CRA, ~50% of basic expressions).
+  // Row condition (templates CR and CRA, ~50% of basic expressions;
+  // template F at its configured fraction).
   std::string condition;
-  if ((templ == "CR" || templ == "CRA") && agg_fns.empty() &&
-      rng_.Bernoulli(0.5)) {
+  const double cond_prob = templ == "F" ? config_.predicate_fraction : 0.5;
+  if ((templ == "CR" || templ == "CRA" || templ == "F") && agg_fns.empty() &&
+      rng_.Bernoulli(cond_prob)) {
     std::vector<const ColumnProperty*> filterable;
     for (const ColumnProperty& c : properties_->columns) {
       if (c.table == table.name && c.predicate != PK::kNone) {

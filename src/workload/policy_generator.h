@@ -15,7 +15,10 @@ namespace cgq {
 /// the T / C / CR / CR+A templates against a schema and its property file.
 struct PolicyGeneratorConfig {
   uint64_t seed = 11;
-  /// "T" (whole table), "C" (+columns), "CR" (+rows), "CRA" (+aggregates).
+  /// "T" (whole table), "C" (+columns), "CR" (+rows), "CRA" (+aggregates),
+  /// or "F" (fine-grained: 1..max_columns columns, row conditions on
+  /// `predicate_fraction` of expressions — the production-scale shape that
+  /// 10k-policy catalogs are made of).
   std::string template_name = "CRA";
   size_t count = 10;
   /// Number of locations in each expression's `to` list (Fig. 8 sweeps
@@ -26,6 +29,11 @@ struct PolicyGeneratorConfig {
   /// this form: "there always exists at least one compliant QEP").
   bool ensure_feasible = true;
   LocationId hub = 3;
+  /// Template F only: columns per expression are drawn from
+  /// [1, max_columns] (clamped to the schema width).
+  size_t max_columns = 2;
+  /// Template F only: probability an expression carries a row condition.
+  double predicate_fraction = 0.9;
 };
 
 /// One generated policy expression and the location whose data it governs.

@@ -318,6 +318,61 @@ TEST_F(RecoveryComplianceTest, ParameterizedHitDoesNotCrossTenantVisibility) {
   engine_->set_plan_cache(nullptr);
 }
 
+// The hierarchical index merges a policy subsumed by a wider one. Removing
+// the absorber must resurrect the donor with its exact original force: it
+// still blocks everything it blocked alone (no under-blocking — the wider
+// grant must not survive its removal) and still grants what it granted
+// alone (no over-blocking through the merge path).
+TEST_F(LaunderingTest, MergedPolicyStillBlocksAfterDonorRemoval) {
+  Catalog catalog;
+  for (const char* l : {"n", "e", "a"}) {
+    ASSERT_TRUE(catalog.mutable_locations().AddLocation(l).ok());
+  }
+  TableDef t;
+  t.name = "cust";
+  t.schema =
+      Schema({{"id", DataType::kInt64}, {"name", DataType::kString}});
+  t.fragments = {TableFragment{0, 1.0}};
+  t.stats.row_count = 10;
+  ASSERT_TRUE(catalog.AddTable(t).ok());
+  Engine engine(std::move(catalog), NetworkModel::DefaultGeo(3));
+  ASSERT_TRUE(
+      engine.set_policy_index_mode(PolicyIndexMode::kHierarchical).ok());
+
+  // Narrow donor first, wide absorber second: the index merges the donor
+  // under the `ship *` policy.
+  ASSERT_TRUE(engine.AddPolicy("n", "ship id from cust to e").ok());
+  int64_t donor_id = engine.policies().For(0)[0].id;
+  ASSERT_TRUE(engine.AddPolicy("n", "ship * from cust to e").ok());
+  ASSERT_EQ(engine.policies().For(0).size(), 1u);
+  ASSERT_EQ(engine.policies().Absorbed(0).size(), 1u);
+  ASSERT_EQ(engine.policies().Absorbed(0)[0].expr.id, donor_id);
+  int64_t absorber_id = engine.policies().For(0)[0].id;
+
+  // While merged, the wide grant rules: name may go to e.
+  OptimizerOptions to_e;
+  to_e.required_result = LocationSet::Single(1);
+  EXPECT_TRUE(engine.Optimize("SELECT name FROM cust", to_e).ok());
+
+  // Remove the absorber. The donor resurrects — and ONLY the donor.
+  ASSERT_TRUE(engine.policies().RemovePolicy(absorber_id).ok());
+  ASSERT_EQ(engine.policies().For(0).size(), 1u);
+  EXPECT_EQ(engine.policies().For(0)[0].id, donor_id);
+  EXPECT_TRUE(engine.policies().Absorbed(0).empty());
+
+  // Exactly the donor's solo behavior: id->e legal, name->e and id->a are
+  // laundering.
+  EXPECT_TRUE(engine.Optimize("SELECT id FROM cust", to_e).ok());
+  auto name_to_e = engine.Optimize("SELECT name FROM cust", to_e);
+  ASSERT_FALSE(name_to_e.ok());
+  EXPECT_TRUE(name_to_e.status().IsNonCompliant());
+  OptimizerOptions to_a;
+  to_a.required_result = LocationSet::Single(2);
+  auto id_to_a = engine.Optimize("SELECT id FROM cust", to_a);
+  ASSERT_FALSE(id_to_a.ok());
+  EXPECT_TRUE(id_to_a.status().IsNonCompliant());
+}
+
 TEST_F(LaunderingTest, AggregationAtRelaySiteUsesRelayPolicies) {
   // Aggregating at e produces a new single-database block... of n's data?
   // No: the block's source is still n (the scan), so only n's policies

@@ -1,6 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "core/policy.h"
+#include "core/policy_evaluator.h"
+#include "plan/binder.h"
+#include "plan/builder.h"
+#include "plan/summary.h"
+#include "sql/parser.h"
 
 namespace cgq {
 namespace {
@@ -122,6 +130,145 @@ TEST_F(PolicyCatalogTest, AccessorHelpers) {
   EXPECT_TRUE(e.HasGroupAttribute("name"));
   EXPECT_TRUE(e.AllowsAggFn(AggFn::kSum));
   EXPECT_FALSE(e.AllowsAggFn(AggFn::kAvg));
+}
+
+// Metamorphic battery for the hierarchical index (ISSUE 9): operations
+// that reshape the index without changing the governed policy set — adding
+// a subsumed policy, removing and re-adding an absorber, permuting bucket
+// order — must leave every compliance decision (and, for the re-add, the
+// evaluator's non-time counters) untouched.
+class PolicyMetamorphicTest : public PolicyCatalogTest {
+ protected:
+  void SetUp() override {
+    PolicyCatalogTest::SetUp();
+    policies_ = std::make_unique<PolicyCatalog>(
+        &catalog_, PolicyIndexMode::kHierarchical);
+    for (const char* text :
+         {"ship * from cust to e",
+          "ship id from cust to e, a where bal > 100",
+          "ship name from cust to a where bal > 100",
+          "ship bal as aggregates sum from cust to a group by name"}) {
+      ASSERT_TRUE(policies_->AddPolicyText("n", text).ok()) << text;
+    }
+  }
+
+  // Spans the evaluator's cases: plain projection, selections whose
+  // premise does / does not imply the policy predicates, aggregation with
+  // allowed and disallowed grouping.
+  static const std::vector<std::string>& Workload() {
+    static const std::vector<std::string> queries = {
+        "SELECT id FROM cust",
+        "SELECT name FROM cust",
+        "SELECT bal FROM cust",
+        "SELECT id, name FROM cust WHERE bal > 100",
+        "SELECT id FROM cust WHERE bal > 150",
+        "SELECT id FROM cust WHERE bal > 50",
+        "SELECT id FROM cust WHERE id < 5 AND bal > 120",
+        "SELECT name, SUM(bal) FROM cust GROUP BY name",
+        "SELECT id, SUM(bal) FROM cust GROUP BY id",
+        "SELECT SUM(bal) FROM cust",
+    };
+    return queries;
+  }
+
+  LocationSet EvalWith(const PolicyEvaluator& evaluator,
+                       const std::string& sql) {
+    auto ast = ParseQuery(sql);
+    EXPECT_TRUE(ast.ok()) << ast.status();
+    if (!ast.ok()) return LocationSet();
+    PlannerContext ctx(&catalog_);
+    auto bound = BindQuery(*ast, &ctx);
+    EXPECT_TRUE(bound.ok()) << bound.status();
+    if (!bound.ok()) return LocationSet();
+    auto plan = BuildLogicalPlan(*bound, &ctx);
+    EXPECT_TRUE(plan.ok()) << plan.status();
+    if (!plan.ok()) return LocationSet();
+    QuerySummary summary = SummarizePlan(*plan->root);
+    EXPECT_TRUE(summary.IsSingleDatabaseBlock());
+    return evaluator.Evaluate(summary, 0);
+  }
+
+  // The full decision surface: legal ship set of every workload query.
+  std::vector<uint64_t> Decisions() {
+    PolicyEvaluator evaluator(&catalog_, policies_.get());
+    std::vector<uint64_t> bits;
+    for (const std::string& sql : Workload()) {
+      bits.push_back(EvalWith(evaluator, sql).bits());
+    }
+    return bits;
+  }
+
+  // Evaluator counters over one cold pass of the workload (no shared
+  // implication cache, so counts depend only on the catalog's contents).
+  PolicyEvalStats WorkloadStats() {
+    PolicyEvaluator evaluator(&catalog_, policies_.get());
+    evaluator.set_implication_cache(nullptr);
+    for (const std::string& sql : Workload()) EvalWith(evaluator, sql);
+    return evaluator.stats();
+  }
+};
+
+TEST_F(PolicyMetamorphicTest, SubsumedAddNeverChangesDecisions) {
+  const std::vector<uint64_t> before = Decisions();
+  const size_t absorbed_before = policies_->Stats().absorbed;
+  // Both subsumed by the unconditional `ship * from cust to e`: narrower
+  // attributes, subset target, (strictly stronger) predicate.
+  ASSERT_TRUE(policies_->AddPolicyText("n", "ship id from cust to e").ok());
+  ASSERT_TRUE(policies_
+                  ->AddPolicyText(
+                      "n", "ship id, name from cust to e where bal > 500")
+                  .ok());
+  EXPECT_EQ(policies_->Stats().absorbed, absorbed_before + 2);
+  EXPECT_EQ(Decisions(), before);
+}
+
+TEST_F(PolicyMetamorphicTest, RemoveThenReAddRestoresEvaluatorStats) {
+  // A donor the wide policy absorbs, so the remove also exercises
+  // resurrection and the re-add re-absorption.
+  ASSERT_TRUE(policies_->AddPolicyText("n", "ship id from cust to e").ok());
+  ASSERT_EQ(policies_->Stats().absorbed, 1u);
+  const std::vector<uint64_t> decisions = Decisions();
+  const PolicyEvalStats before = WorkloadStats();
+
+  int64_t wide_id = -1;
+  for (const PolicyExpression& e : policies_->For(0)) {
+    if (e.attributes.size() == 3 && e.predicate.empty() &&
+        !e.is_aggregate()) {
+      wide_id = e.id;
+    }
+  }
+  ASSERT_NE(wide_id, -1);
+  ASSERT_TRUE(policies_->RemovePolicy(wide_id).ok());
+  EXPECT_EQ(policies_->Stats().absorbed, 0u);  // donor resurrected
+  ASSERT_TRUE(policies_->AddPolicyText("n", "ship * from cust to e").ok());
+  EXPECT_EQ(policies_->Stats().absorbed, 1u);  // donor re-absorbed
+
+  EXPECT_EQ(Decisions(), decisions);
+  const PolicyEvalStats after = WorkloadStats();
+  EXPECT_EQ(before.evaluations, after.evaluations);
+  EXPECT_EQ(before.candidates, after.candidates);
+  EXPECT_EQ(before.expressions_matched, after.expressions_matched);
+  EXPECT_EQ(before.implication_tests, after.implication_tests);
+  EXPECT_EQ(before.implication_cache_hits, after.implication_cache_hits);
+  EXPECT_EQ(before.implication_cache_misses, after.implication_cache_misses);
+  EXPECT_EQ(before.prefilter_skips, after.prefilter_skips);
+  EXPECT_EQ(before.eta, after.eta);
+}
+
+TEST_F(PolicyMetamorphicTest, BucketOrderNeverAffectsDecisions) {
+  // Volume, so buckets hold several entries and permutation has teeth.
+  for (int i = 0; i < 40; ++i) {
+    const char* cols[] = {"id", "name", "bal", "id, name"};
+    const char* tos[] = {"e", "a", "e, a"};
+    std::string text = std::string("ship ") + cols[i % 4] + " from cust to " +
+                       tos[i % 3] + " where bal > " + std::to_string(i * 10);
+    ASSERT_TRUE(policies_->AddPolicyText("n", text).ok()) << text;
+  }
+  const std::vector<uint64_t> before = Decisions();
+  for (uint64_t seed : {1, 7, 42}) {
+    policies_->ShuffleBucketsForTest(seed);
+    EXPECT_EQ(Decisions(), before) << "seed " << seed;
+  }
 }
 
 }  // namespace
