@@ -10,10 +10,14 @@
 // backend (the vector one feeds the CI perf-regression gate, see
 // BENCH_micro.json).
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -39,6 +43,7 @@
 #include "plan/summary.h"
 #include "service/query_service.h"
 #include "sql/parser.h"
+#include "storage/storage_engine.h"
 #include "tpch/tpch.h"
 
 using namespace cgq;  // NOLINT
@@ -162,6 +167,19 @@ int ExecutionBench(const bench::BenchOptions& opts,
   CGQ_CHECK(tpch::InstallUnrestrictedPolicies(&policies).ok());
   TableStore store;
   CGQ_CHECK(tpch::GenerateData(*catalog, config, &store).ok());
+
+  // --storage=disk: the same workload with every scan streaming
+  // checksummed blocks from the per-location storage engine instead of
+  // reading pinned RAM fragments (digest assertions unchanged).
+  std::string storage_dir;
+  if (opts.storage == "disk") {
+    storage_dir = (std::filesystem::temp_directory_path() /
+                   ("cgq-bench-store-" + std::to_string(::getpid())))
+                      .string();
+    std::error_code ec;
+    std::filesystem::remove_all(storage_dir, ec);
+    CGQ_CHECK(store.EnableDiskStorage(storage_dir).ok());
+  }
 
   // --exec-mode=distributed: run against real location servers. With
   // --connect the servers are external (multi-process, e.g. the CI
@@ -288,6 +306,7 @@ int ExecutionBench(const bench::BenchOptions& opts,
       jrow.Set("bench", "micro_exec")
           .Set("query", q)
           .Set("exec_mode", mode)
+          .Set("storage", opts.storage)
           .Set("threads", opts.threads)
           .Set("batch_size", opts.batch_size)
           .Set("scale_factor", config.scale_factor)
@@ -366,6 +385,248 @@ int ExecutionBench(const bench::BenchOptions& opts,
       std::fclose(f);
       std::printf("\ntrace (%zu spans) written to %s\n",
                   session.span_count(), opts.trace_out.c_str());
+    }
+  }
+  if (!storage_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(storage_dir, ec);
+  }
+  return failures;
+}
+
+// Storage bench: every query on the same data twice — pinned RAM
+// fragments vs block-streaming disk scans — on the row and vector
+// backends. Digests must agree; the per-mode geomean of
+// disk_ms / memory_ms lands in a micro_storage_summary row that the CI
+// bench-smoke job gates (>15% regression against the checked-in
+// baseline fails).
+int StorageBench(const bench::BenchOptions& opts,
+                 bench::JsonReport* report) {
+  tpch::TpchConfig config;
+  config.scale_factor = opts.tiny ? 0.005 : 0.05;
+  auto catalog = tpch::BuildCatalog(config);
+  CGQ_CHECK(catalog.ok());
+  NetworkModel net = NetworkModel::DefaultGeo(5);
+  PolicyCatalog policies(&*catalog);
+  CGQ_CHECK(tpch::InstallUnrestrictedPolicies(&policies).ok());
+  TableStore memory_store;
+  CGQ_CHECK(tpch::GenerateData(*catalog, config, &memory_store).ok());
+
+  TableStore disk_store(memory_store);
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     ("cgq-bench-storage-" + std::to_string(::getpid())))
+                        .string();
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  storage::StorageOptions soptions;
+  soptions.block_target_bytes = 64 * 1024;  // several blocks per fragment
+  CGQ_CHECK(disk_store.EnableDiskStorage(dir, soptions).ok());
+
+  bench::PrintHeader("Storage: in-memory vs disk-backed scans (sf " +
+                     std::to_string(config.scale_factor) + ")");
+  std::printf("%-6s %-8s %-8s %12s %10s %8s\n", "Query", "mode", "storage",
+              "mean [ms]", "blocks", "match");
+
+  int failures = 0;
+  std::vector<std::pair<std::string, std::vector<double>>> ratios;
+  auto ratios_of = [&ratios](const std::string& mode)
+      -> std::vector<double>& {
+    for (auto& [name, values] : ratios) {
+      if (name == mode) return values;
+    }
+    ratios.emplace_back(mode, std::vector<double>());
+    return ratios.back().second;
+  };
+  for (int q : tpch::QueryNumbers()) {
+    QueryOptimizer optimizer(&*catalog, &policies, &net, {});
+    auto opt = optimizer.Optimize(*tpch::Query(q));
+    if (!opt.ok()) {
+      std::printf("Q%-5d optimization failed: %s\n", q,
+                  opt.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    for (const char* mode : {"row", "vector"}) {
+      double memory_mean = 0;
+      uint64_t memory_digest = 0;
+      for (const char* storage : {"memory", "disk"}) {
+        const bool is_disk = std::strcmp(storage, "disk") == 0;
+        ExecutorOptions eopts;
+        eopts.mode = ModeFromName(mode);
+        eopts.batch_size = opts.batch_size;
+        Executor executor(is_disk ? &disk_store : &memory_store, &net,
+                          eopts);
+        auto result = executor.Execute(*opt);
+        if (!result.ok()) {
+          std::printf("Q%-5d %s/%s failed: %s\n", q, mode, storage,
+                      result.status().ToString().c_str());
+          ++failures;
+          continue;
+        }
+        bench::TimingStats t = bench::TimeRepeated(
+            [&] { (void)executor.Execute(*opt); }, opts.reps);
+        uint64_t digest = ResultDigest(*result);
+        bool match = true;
+        if (!is_disk) {
+          memory_mean = t.mean_ms;
+          memory_digest = digest;
+        } else {
+          match = digest == memory_digest;
+          if (!match) ++failures;
+          if (result->metrics.storage_blocks_read <= 0) {
+            std::printf("Q%-5d %s disk run read no blocks\n", q, mode);
+            ++failures;
+          }
+          if (memory_mean > 0 && t.mean_ms > 0) {
+            ratios_of(mode).push_back(t.mean_ms / memory_mean);
+          }
+        }
+        std::printf("Q%-5d %-8s %-8s %12.2f %10lld %8s\n", q, mode,
+                    storage, t.mean_ms,
+                    static_cast<long long>(
+                        result->metrics.storage_blocks_read),
+                    match ? "OK" : "MISMATCH");
+        bench::JsonRow jrow;
+        jrow.Set("bench", "micro_storage")
+            .Set("query", q)
+            .Set("exec_mode", mode)
+            .Set("storage", storage)
+            .Set("scale_factor", config.scale_factor)
+            .Set("mean_ms", t.mean_ms)
+            .Set("stderr_ms", t.stderr_ms)
+            .Set("rows", result->rows.size())
+            .Set("storage_blocks_read",
+                 result->metrics.storage_blocks_read)
+            .Set("result_digest", std::to_string(digest))
+            .Set("digest_match", match);
+        report->Add(jrow);
+      }
+    }
+  }
+
+  for (const auto& [mode, values] : ratios) {
+    if (values.empty()) continue;
+    double log_sum = 0;
+    for (double r : values) log_sum += std::log(r);
+    double geomean = std::exp(log_sum / static_cast<double>(values.size()));
+    std::printf("\ngeomean %s disk/memory slowdown over %zu queries: "
+                "%.2fx\n",
+                mode.c_str(), values.size(), geomean);
+    bench::JsonRow summary;
+    summary.Set("bench", "micro_storage_summary")
+        .Set("exec_mode", mode)
+        .Set("queries", values.size())
+        .Set("disk_over_memory", geomean);
+    report->Add(summary);
+  }
+  std::filesystem::remove_all(dir, ec);
+  return failures;
+}
+
+// Spill sweep: join-heavy queries under memory_budget_bytes of infinity,
+// 25% and 5% of the largest hash-join build side (measured on the
+// unbounded row run). Finite budgets must actually spill
+// (spill_partitions > 0) and every cell must reproduce the unbounded
+// digest on every in-process backend.
+int SpillSweepBench(const bench::BenchOptions& opts,
+                    bench::JsonReport* report) {
+  tpch::TpchConfig config;
+  config.scale_factor = opts.tiny ? 0.005 : 0.05;
+  auto catalog = tpch::BuildCatalog(config);
+  CGQ_CHECK(catalog.ok());
+  NetworkModel net = NetworkModel::DefaultGeo(5);
+  PolicyCatalog policies(&*catalog);
+  CGQ_CHECK(tpch::InstallUnrestrictedPolicies(&policies).ok());
+  TableStore store;
+  CGQ_CHECK(tpch::GenerateData(*catalog, config, &store).ok());
+
+  bench::PrintHeader("Spill sweep: memory budget inf / 25% / 5% of the "
+                     "build side (sf " +
+                     std::to_string(config.scale_factor) + ")");
+  std::printf("%-6s %-10s %-8s %12s %12s %12s %8s\n", "Query", "mode",
+              "budget", "bytes", "mean [ms]", "partitions", "match");
+
+  int failures = 0;
+  for (int q : {3, 5, 10}) {
+    QueryOptimizer optimizer(&*catalog, &policies, &net, {});
+    auto opt = optimizer.Optimize(*tpch::Query(q));
+    if (!opt.ok()) {
+      std::printf("Q%-5d optimization failed: %s\n", q,
+                  opt.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+
+    // Unbounded row run: reference digest + the build-side measurement
+    // the finite budgets are derived from.
+    ExecutorOptions ref_opts;
+    ref_opts.mode = ExecMode::kRow;
+    ref_opts.batch_size = opts.batch_size;
+    Executor ref_exec(&store, &net, ref_opts);
+    auto ref = ref_exec.Execute(*opt);
+    if (!ref.ok() || ref->metrics.max_build_bytes <= 0) {
+      std::printf("Q%-5d unbounded reference failed\n", q);
+      ++failures;
+      continue;
+    }
+    const uint64_t ref_digest = ResultDigest(*ref);
+    const int64_t build = ref->metrics.max_build_bytes;
+
+    const struct {
+      const char* label;
+      uint64_t bytes;
+    } budgets[] = {{"inf", 0},
+                   {"25pct", static_cast<uint64_t>(build / 4)},
+                   {"5pct", static_cast<uint64_t>(build / 20)}};
+    for (const char* mode : {"row", "fragment", "vector"}) {
+      for (const auto& budget : budgets) {
+        ExecutorOptions eopts;
+        eopts.mode = ModeFromName(mode);
+        eopts.batch_size = opts.batch_size;
+        eopts.memory_budget_bytes = budget.bytes;
+        Executor executor(&store, &net, eopts);
+        auto result = executor.Execute(*opt);
+        if (!result.ok()) {
+          std::printf("Q%-5d %s/%s failed: %s\n", q, mode, budget.label,
+                      result.status().ToString().c_str());
+          ++failures;
+          continue;
+        }
+        bench::TimingStats t = bench::TimeRepeated(
+            [&] { (void)executor.Execute(*opt); }, opts.reps);
+        uint64_t digest = ResultDigest(*result);
+        bool match = digest == ref_digest;
+        if (!match) ++failures;
+        if (budget.bytes > 0 && result->metrics.spill_partitions <= 0) {
+          std::printf("Q%-5d %s/%s did not spill under a finite budget\n",
+                      q, mode, budget.label);
+          ++failures;
+        }
+        std::printf("Q%-5d %-10s %-8s %12llu %12.2f %12lld %8s\n", q,
+                    mode, budget.label,
+                    static_cast<unsigned long long>(budget.bytes),
+                    t.mean_ms,
+                    static_cast<long long>(
+                        result->metrics.spill_partitions),
+                    match ? "OK" : "MISMATCH");
+        bench::JsonRow jrow;
+        jrow.Set("bench", "micro_spill")
+            .Set("query", q)
+            .Set("exec_mode", mode)
+            .Set("budget", budget.label)
+            .Set("budget_bytes",
+                 static_cast<int64_t>(budget.bytes))
+            .Set("build_bytes", build)
+            .Set("scale_factor", config.scale_factor)
+            .Set("mean_ms", t.mean_ms)
+            .Set("stderr_ms", t.stderr_ms)
+            .Set("rows", result->rows.size())
+            .Set("spill_partitions", result->metrics.spill_partitions)
+            .Set("spill_bytes", result->metrics.spill_bytes)
+            .Set("result_digest", std::to_string(digest))
+            .Set("digest_match", match);
+        report->Add(jrow);
+      }
     }
   }
   return failures;
@@ -604,6 +865,8 @@ int main(int argc, char** argv) {
 
   OptimizerMicro(opts, &report);
   int failures = ExecutionBench(opts, &report);
+  failures += StorageBench(opts, &report);
+  failures += SpillSweepBench(opts, &report);
   if (opts.plan_cache) failures += PlanCacheBench(opts, &report);
 
   if (!report.Flush()) return 1;

@@ -101,6 +101,10 @@ inline const char* FaultProfileArgToString(FaultProfileArg p) {
 ///                      ids instead of benchmarking (ephemeral port,
 ///                      printed on stdout; exits on stdin EOF)
 ///   --batch-size=N     rows per batch / selection-vector chunk size
+///   --storage=S        memory | disk (default memory): where the bench
+///                      store keeps its fragments. disk routes every
+///                      scan through the per-location storage engine
+///                      (checksummed blocks under a temp dir)
 ///   --fault-profile=P  none | lossy (default none)
 ///   --fault-seed=N     seed of the deterministic fault schedule
 ///   --trace-out=PATH   write one Chrome trace_event JSON file to PATH
@@ -115,6 +119,7 @@ struct BenchOptions {
   std::string connect_hosts;
   std::string listen_locations;
   int batch_size = 1024;
+  std::string storage = "memory";
   FaultProfileArg fault_profile = FaultProfileArg::kNone;
   uint64_t fault_seed = 20260807;
   std::string trace_out;
@@ -160,6 +165,13 @@ struct BenchOptions {
         o.listen_locations = a + 9;
       } else if (std::strncmp(a, "--batch-size=", 13) == 0) {
         o.batch_size = std::atoi(a + 13);
+      } else if (std::strncmp(a, "--storage=", 10) == 0) {
+        o.storage = a + 10;
+        if (o.storage != "memory" && o.storage != "disk") {
+          std::fprintf(stderr, "bad --storage '%s' (memory|disk)\n",
+                       o.storage.c_str());
+          std::exit(2);
+        }
       } else if (std::strncmp(a, "--fault-profile=", 16) == 0) {
         const char* p = a + 16;
         if (std::strcmp(p, "none") == 0) {
@@ -185,6 +197,7 @@ struct BenchOptions {
                      "(--threads=N --reps=N --tiny --json=PATH "
                      "--exec-mode=row|fragment|vector|distributed|both "
                      "--connect=PATH --listen=L[,L] --batch-size=N "
+                     "--storage=memory|disk "
                      "--fault-profile=none|lossy --fault-seed=N "
                      "--trace-out=PATH --plan-cache --clients=N)\n",
                      a);

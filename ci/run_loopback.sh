@@ -6,11 +6,19 @@
 # equivalence suite (distributed-over-TCP vs in-process row backend:
 # result digests and ship accounting must agree exactly).
 #
+# Every sited runs with --data-dir, so deployed fragments are durable.
+# After the first coordinator pass, one sited is SIGKILLed and restarted
+# on the same directory, and the suite is re-run with --no-deploy: the
+# restarted server must recover its fragments from disk and reproduce
+# the same digests and ship accounting. That second pass is the storage
+# crash-recovery gate.
+#
 #   ci/run_loopback.sh [BUILD_DIR] [OUT_DIR]
 #
-# Exit status is cgq_coord's. Server logs, the hosts file and the
-# coordinator's trace land in OUT_DIR (uploaded as CI artifacts on
-# failure). All children are reaped on every exit path.
+# Exit status is non-zero if either coordinator pass fails. Server logs,
+# the hosts file and the coordinator's trace land in OUT_DIR (uploaded
+# as CI artifacts on failure). All children are reaped on every exit
+# path.
 
 set -euo pipefail
 
@@ -43,39 +51,78 @@ cleanup() {
 }
 trap cleanup EXIT INT TERM
 
-# Start the servers; each binds port 0 and reports the kernel's choice
-# via its port file. No port is hardcoded anywhere.
-i=0
-for locs in "${HOSTINGS[@]}"; do
-  port_file="$OUT_DIR/sited-$i.port"
+# Starts server $1 (hosting HOSTINGS[$1]) on an ephemeral port with a
+# persistent data directory, recording its pid in PIDS[$1]. Each bind
+# reports the kernel's port choice via the port file; no port is
+# hardcoded anywhere.
+start_sited() {
+  local i="$1"
+  local port_file="$OUT_DIR/sited-$i.port"
   rm -f "$port_file"
-  "$SITED" --locations="$locs" --port-file="$port_file" \
-    > "$OUT_DIR/sited-$i.log" 2>&1 &
-  PIDS+=($!)
-  i=$((i + 1))
-done
+  "$SITED" --locations="${HOSTINGS[$i]}" --port-file="$port_file" \
+    --data-dir="$OUT_DIR/data-$i" \
+    >> "$OUT_DIR/sited-$i.log" 2>&1 &
+  PIDS[$i]=$!
+}
 
 # A non-empty port file means the server is accepting connections.
-HOSTS_FILE="$OUT_DIR/hosts.txt"
-: > "$HOSTS_FILE"
-i=0
-for locs in "${HOSTINGS[@]}"; do
-  port_file="$OUT_DIR/sited-$i.port"
+wait_for_port() {
+  local i="$1"
+  local port_file="$OUT_DIR/sited-$i.port"
   for _ in $(seq 1 100); do
-    [ -s "$port_file" ] && break
+    [ -s "$port_file" ] && return 0
     sleep 0.1
   done
-  if [ ! -s "$port_file" ]; then
-    echo "run_loopback: server $i never reported a port" >&2
-    cat "$OUT_DIR/sited-$i.log" >&2 || true
-    exit 1
-  fi
-  echo "127.0.0.1:$(cat "$port_file") $locs" >> "$HOSTS_FILE"
-  i=$((i + 1))
+  echo "run_loopback: server $i never reported a port" >&2
+  cat "$OUT_DIR/sited-$i.log" >&2 || true
+  return 1
+}
+
+write_hosts_file() {
+  : > "$HOSTS_FILE"
+  local i=0
+  for locs in "${HOSTINGS[@]}"; do
+    echo "127.0.0.1:$(cat "$OUT_DIR/sited-$i.port") $locs" >> "$HOSTS_FILE"
+    i=$((i + 1))
+  done
+  echo "run_loopback: hosts file:"
+  cat "$HOSTS_FILE"
+}
+
+# Fresh data directories: this run must exercise deploy-then-recover,
+# not whatever a previous run left behind.
+for i in 0 1 2; do
+  rm -rf "$OUT_DIR/data-$i"
+  rm -f "$OUT_DIR/sited-$i.log"
 done
 
-echo "run_loopback: hosts file:"
-cat "$HOSTS_FILE"
+for i in 0 1 2; do
+  start_sited "$i"
+done
+HOSTS_FILE="$OUT_DIR/hosts.txt"
+for i in 0 1 2; do
+  wait_for_port "$i"
+done
+write_hosts_file
 
+echo "run_loopback: pass 1 (deploy + 24-cell equivalence)"
 "$COORD" --hosts="$HOSTS_FILE" --trace-out="$OUT_DIR/coord-trace.json" \
   | tee "$OUT_DIR/coord.log"
+
+# Crash-recovery gate: SIGKILL the middle server (locations {2,3}), so
+# no clean shutdown path runs, then restart it on the same data
+# directory. The second coordinator pass skips deployment entirely —
+# every fragment the restarted server serves must come from its
+# recovered on-disk store.
+VICTIM=1
+echo "run_loopback: SIGKILLing sited-$VICTIM (pid ${PIDS[$VICTIM]})"
+kill -9 "${PIDS[$VICTIM]}" 2>/dev/null || true
+wait "${PIDS[$VICTIM]}" 2>/dev/null || true
+
+start_sited "$VICTIM"
+wait_for_port "$VICTIM"
+write_hosts_file
+
+echo "run_loopback: pass 2 (restart recovery, --no-deploy)"
+"$COORD" --hosts="$HOSTS_FILE" --no-deploy \
+  | tee "$OUT_DIR/coord-recovery.log"

@@ -8,11 +8,15 @@
 // (ships, rows_shipped, bytes_shipped, rows_scanned) exactly.
 //
 //   cgq_coord --hosts=PATH [--scale=F] [--batch-size=N] [--threads=N]
-//             [--trace-out=PATH]
+//             [--trace-out=PATH] [--no-deploy]
 //
 // The hosts file is one `host:port loc[,loc...]` line per server (see
 // net::ParseHostsFile); ci/run_loopback.sh assembles it from the
-// servers' ephemeral --port-file reports.
+// servers' ephemeral --port-file reports. --no-deploy skips the
+// LoadTable push and trusts the servers to already hold their slices —
+// the restart gate uses it to prove that disk-backed servers
+// (--data-dir) recover their fragments after a SIGKILL without
+// re-deployment.
 
 #include <cstdio>
 #include <cstdlib>
@@ -65,6 +69,7 @@ int main(int argc, char** argv) {
   double scale = 0.002;
   int batch_size = 1024;
   int threads = 1;
+  bool no_deploy = false;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     if (std::strncmp(a, "--hosts=", 8) == 0) {
@@ -77,10 +82,12 @@ int main(int argc, char** argv) {
       threads = std::atoi(a + 10);
     } else if (std::strncmp(a, "--trace-out=", 12) == 0) {
       trace_out = a + 12;
+    } else if (std::strcmp(a, "--no-deploy") == 0) {
+      no_deploy = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s --hosts=PATH [--scale=F] [--batch-size=N] "
-                   "[--threads=N] [--trace-out=PATH]\n",
+                   "[--threads=N] [--trace-out=PATH] [--no-deploy]\n",
                    argv[0]);
       return 2;
     }
@@ -114,14 +121,21 @@ int main(int argc, char** argv) {
                  connected.ToString().c_str());
     return 1;
   }
-  Status deployed = cluster.Deploy(store);
-  if (!deployed.ok()) {
-    std::fprintf(stderr, "cgq_coord: deploy: %s\n",
-                 deployed.ToString().c_str());
-    return 1;
+  if (no_deploy) {
+    std::printf(
+        "cgq_coord: --no-deploy, trusting %zu location(s) to hold "
+        "their sf=%g slices\n",
+        cluster.endpoints().size(), scale);
+  } else {
+    Status deployed = cluster.Deploy(store);
+    if (!deployed.ok()) {
+      std::fprintf(stderr, "cgq_coord: deploy: %s\n",
+                   deployed.ToString().c_str());
+      return 1;
+    }
+    std::printf("cgq_coord: deployed sf=%g store to %zu location(s)\n",
+                scale, cluster.endpoints().size());
   }
-  std::printf("cgq_coord: deployed sf=%g store to %zu location(s)\n",
-              scale, cluster.endpoints().size());
 
   std::vector<Cell> cells;
   for (const char* policy_set : {"T", "CR"}) {

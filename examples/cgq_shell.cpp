@@ -81,6 +81,11 @@ void Help() {
       "  quota <name> <weight> <max-inflight> <max-queued>;  update quotas\n"
       "  auth <token|off>;            switch the session's tenant\n"
       "  exec <row|fragment|vector|distributed>;  switch backend\n"
+      "  storage <dir|off>;           disk-backed store under <dir> (durable\n"
+      "                               + out-of-core scans; 'off' reads all\n"
+      "                               fragments back into RAM)\n"
+      "  budget <bytes|off>;          per-query memory budget; hash joins\n"
+      "                               over it spill to disk (grace join)\n"
       "  deploy <hosts-file>;         connect + push data to location\n"
       "                               servers (host:port loc[,loc] lines)\n"
       "  faults <p|off>;              lossy links: drop probability p\n"
@@ -435,6 +440,51 @@ int main(int argc, char** argv) {
         session->executor_options() = engine.default_exec_options();
         std::printf("execution backend: %s\n",
                     ExecModeToString(engine.default_exec_options().mode));
+        continue;
+      }
+      if (lower.rfind("storage", 0) == 0) {
+        std::string arg(Trim(command.substr(7)));
+        if (arg.empty()) {
+          std::printf("storage: %s\n",
+                      engine.store().storage_mode() == StorageMode::kDisk
+                          ? ("disk (" + engine.store().data_dir() + ")")
+                                .c_str()
+                          : "memory");
+        } else if (arg == "off") {
+          Status s = engine.DisableDiskStorage();
+          std::printf("%s\n", s.ok() ? "storage: memory (disk state left "
+                                       "intact on disk)"
+                                     : s.ToString().c_str());
+        } else {
+          Status s = engine.EnableDiskStorage(arg);
+          std::printf("%s\n",
+                      s.ok() ? ("storage: disk (" + arg +
+                                "); loads are durable, scans stream "
+                                "blocks — see the 'storage:' result "
+                                "footer line")
+                                   .c_str()
+                             : s.ToString().c_str());
+        }
+        continue;
+      }
+      if (lower.rfind("budget", 0) == 0) {
+        std::string arg(Trim(command.substr(6)));
+        if (arg.empty() || arg == "off") {
+          engine.default_exec_options().memory_budget_bytes = 0;
+          std::printf("memory budget: unlimited\n");
+        } else {
+          char* end = nullptr;
+          unsigned long long bytes = std::strtoull(arg.c_str(), &end, 10);
+          if (end == nullptr || *end != '\0' || bytes == 0) {
+            std::printf("usage: budget <bytes|off>;\n");
+            continue;
+          }
+          engine.default_exec_options().memory_budget_bytes = bytes;
+          std::printf("memory budget: %llu bytes per query (hash joins "
+                      "over it grace-spill; see the 'storage:' footer)\n",
+                      bytes);
+        }
+        session->executor_options() = engine.default_exec_options();
         continue;
       }
       if (lower.rfind("deploy ", 0) == 0) {

@@ -4,14 +4,17 @@
 // --connect) over the length-prefixed wire protocol.
 //
 //   cgq_sited --locations=0,1 [--port=0] [--host=127.0.0.1]
-//             [--port-file=PATH]
+//             [--port-file=PATH] [--data-dir=DIR]
 //
 // The server binds an ephemeral port by default (--port=0) and reports
 // the kernel's choice on stdout and, when --port-file is given, as a
 // single line in that file — which is how ci/run_loopback.sh assembles
 // the coordinator's hosts file without hardcoding a port anywhere. Data
-// arrives exclusively via the coordinator's deployment (LoadTable
-// frames); the process starts empty. It serves until SIGINT/SIGTERM.
+// arrives via the coordinator's deployment (LoadTable frames); without
+// --data-dir the process starts empty. With --data-dir=DIR the store
+// runs disk-backed (src/storage/): every loaded fragment is durable
+// before its LoadAck, and a restart on the same DIR recovers the hosted
+// fragments without re-deployment. It serves until SIGINT/SIGTERM.
 
 #include <csignal>
 #include <cstdio>
@@ -27,7 +30,7 @@ namespace {
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --locations=L[,L...] [--port=N] [--host=H] "
-               "[--port-file=PATH]\n",
+               "[--port-file=PATH] [--data-dir=DIR]\n",
                argv0);
   std::exit(2);
 }
@@ -64,6 +67,8 @@ int main(int argc, char** argv) {
       options.host = a + 7;
     } else if (std::strncmp(a, "--port-file=", 12) == 0) {
       port_file = a + 12;
+    } else if (std::strncmp(a, "--data-dir=", 11) == 0) {
+      options.data_dir = a + 11;
     } else {
       Usage(argv[0]);
     }

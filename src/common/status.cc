@@ -26,6 +26,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Cancelled";
     case StatusCode::kPermissionDenied:
       return "Permission denied";
+    case StatusCode::kDataLoss:
+      return "Data loss";
   }
   return "Unknown";
 }

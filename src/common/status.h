@@ -25,6 +25,11 @@ enum class StatusCode {
   kPermissionDenied,  ///< Authentication/authorization failure (unknown
                       ///< tenant token). Not retryable with the same
                       ///< credentials.
+  kDataLoss,          ///< Unrecoverable storage corruption: a checksum
+                      ///< mismatch, a missing manifest over live blocks,
+                      ///< or a commit-log record torn somewhere other
+                      ///< than the tail. Never returned for states that
+                      ///< clean recovery can replay through.
 };
 
 /// Returns a short human-readable name, e.g. "Invalid argument".
@@ -77,6 +82,9 @@ class Status {
   static Status PermissionDenied(std::string msg) {
     return Status(StatusCode::kPermissionDenied, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const {
@@ -103,6 +111,7 @@ class Status {
   bool IsPermissionDenied() const {
     return code() == StatusCode::kPermissionDenied;
   }
+  bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
 
   /// "OK" or "<code>: <message>".
   std::string ToString() const;

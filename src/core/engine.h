@@ -110,6 +110,18 @@ class Engine {
   /// connected servers (the deployment step before distributed runs).
   Status DeployStore() { return cluster_.Deploy(store_); }
 
+  /// Switches the store to disk-backed StorageMode::kDisk under `dir`
+  /// (recovering whatever a previous engine persisted there, then
+  /// migrating current RAM fragments). See TableStore::EnableDiskStorage.
+  Status EnableDiskStorage(const std::string& dir,
+                           storage::StorageOptions options = {}) {
+    return store_.EnableDiskStorage(dir, options);
+  }
+
+  /// Reads every fragment back into RAM and returns to memory mode; the
+  /// on-disk state is checkpointed and left intact.
+  Status DisableDiskStorage() { return store_.DisableDiskStorage(); }
+
   net::ClusterClient& cluster() { return cluster_; }
   const net::ClusterClient& cluster() const { return cluster_; }
 

@@ -39,11 +39,12 @@ Status AnalyzeTable(const TableStore& store, const std::string& table,
   if (def->replicated) {
     size_t first_size = 0;
     for (size_t i = 0; i < def->fragments.size(); ++i) {
-      CGQ_ASSIGN_OR_RETURN(const std::vector<Row>* rows,
-                           store.Get(def->fragments[i].location, table));
+      CGQ_ASSIGN_OR_RETURN(
+          size_t rows,
+          store.FragmentRows(def->fragments[i].location, table));
       if (i == 0) {
-        first_size = rows->size();
-      } else if (rows->size() != first_size) {
+        first_size = rows;
+      } else if (rows != first_size) {
         return Status::InvalidArgument(
             "replicas of table '" + def->name +
             "' disagree on row count; refusing to analyze");
@@ -53,26 +54,35 @@ Status AnalyzeTable(const TableStore& store, const std::string& table,
   }
 
   for (const TableFragment& fragment : fragments_to_scan) {
-    CGQ_ASSIGN_OR_RETURN(const std::vector<Row>* rows,
-                         store.Get(fragment.location, table));
-    fragment_rows.push_back(static_cast<double>(rows->size()));
-    total_rows += static_cast<double>(rows->size());
-    for (const Row& row : *rows) {
-      if (row.size() != num_columns) {
-        return Status::InvalidArgument("row width mismatch in table '" +
-                                       def->name + "'");
-      }
-      for (size_t c = 0; c < num_columns; ++c) {
-        const Value& v = row[c];
-        distinct[c].insert(v);
-        width_sum[c] += static_cast<double>(v.ByteSize());
-        if (v.is_numeric()) {
-          double d = v.AsDouble();
-          if (!mins[c] || d < *mins[c]) mins[c] = d;
-          if (!maxs[c] || d > *maxs[c]) maxs[c] = d;
+    // Cursor streaming works in both storage modes (disk-backed
+    // fragments are never pinned in RAM for stats collection).
+    CGQ_ASSIGN_OR_RETURN(TableStore::Cursor cursor,
+                         store.Scan(fragment.location, table));
+    double frag_rows = 0;
+    std::vector<Row> chunk;
+    while (true) {
+      CGQ_ASSIGN_OR_RETURN(bool more, cursor.Next(&chunk));
+      if (!more) break;
+      frag_rows += static_cast<double>(chunk.size());
+      for (const Row& row : chunk) {
+        if (row.size() != num_columns) {
+          return Status::InvalidArgument("row width mismatch in table '" +
+                                         def->name + "'");
+        }
+        for (size_t c = 0; c < num_columns; ++c) {
+          const Value& v = row[c];
+          distinct[c].insert(v);
+          width_sum[c] += static_cast<double>(v.ByteSize());
+          if (v.is_numeric()) {
+            double d = v.AsDouble();
+            if (!mins[c] || d < *mins[c]) mins[c] = d;
+            if (!maxs[c] || d > *maxs[c]) maxs[c] = d;
+          }
         }
       }
     }
+    fragment_rows.push_back(frag_rows);
+    total_rows += frag_rows;
   }
 
   TableStats stats;

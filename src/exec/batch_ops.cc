@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "exec/exec_internal.h"
+#include "exec/spill_join.h"
 
 namespace cgq {
 namespace exec_internal {
@@ -56,6 +57,91 @@ class ScanOp : public BatchOp {
   int64_t* rows_scanned_;
   RowLayout layout_;
   size_t offset_ = 0;
+};
+
+/// Serialized volume of the rows, matching RowBatch::ByteSize (the
+/// build-side size a join compares against the memory budget).
+double RowsByteSize(const std::vector<Row>& rows) {
+  double bytes = 0;
+  for (const Row& row : rows) {
+    for (const Value& v : row) bytes += static_cast<double>(v.ByteSize());
+  }
+  return bytes;
+}
+
+/// Disk-mode scan: streams one fragment's checksummed blocks through a
+/// TableStore::Cursor, re-chunked to batch_size (identical batch
+/// boundaries to the in-memory ScanOp).
+class DiskScanOp : public BatchOp {
+ public:
+  DiskScanOp(const PlanNode* node, TableStore::Cursor cursor,
+             size_t batch_size, int64_t* rows_scanned,
+             int64_t* storage_blocks_read)
+      : node_(node),
+        cursor_(std::move(cursor)),
+        batch_size_(batch_size),
+        rows_scanned_(rows_scanned),
+        storage_blocks_read_(storage_blocks_read),
+        layout_(LayoutOf(*node)) {}
+
+  Result<OptBatch> Next() override {
+    while (true) {
+      if (buffer_.size() - pos_ >= batch_size_ ||
+          (drained_ && pos_ < buffer_.size())) {
+        return TakeBatch();
+      }
+      if (drained_) return OptBatch();
+      if (pos_ > 0) {
+        buffer_.erase(buffer_.begin(),
+                      buffer_.begin() + static_cast<ptrdiff_t>(pos_));
+        pos_ = 0;
+      }
+      std::vector<Row> chunk;
+      CGQ_ASSIGN_OR_RETURN(bool more, cursor_.Next(&chunk));
+      if (storage_blocks_read_ != nullptr) {
+        *storage_blocks_read_ += cursor_.blocks_read() - blocks_folded_;
+        blocks_folded_ = cursor_.blocks_read();
+      }
+      if (!more) {
+        drained_ = true;
+        continue;
+      }
+      for (Row& r : chunk) {
+        if (r.size() != layout_.size()) {
+          return Status::Internal("stored row width mismatch for table '" +
+                                  node_->table + "'");
+        }
+        buffer_.push_back(std::move(r));
+      }
+    }
+  }
+
+  const RowLayout& layout() const override { return layout_; }
+
+ private:
+  Result<OptBatch> TakeBatch() {
+    size_t end = std::min(pos_ + batch_size_, buffer_.size());
+    RowBatch out;
+    out.layout = layout_;
+    out.rows.assign(std::make_move_iterator(buffer_.begin() +
+                                            static_cast<ptrdiff_t>(pos_)),
+                    std::make_move_iterator(buffer_.begin() +
+                                            static_cast<ptrdiff_t>(end)));
+    pos_ = end;
+    *rows_scanned_ += static_cast<int64_t>(out.rows.size());
+    return OptBatch(std::move(out));
+  }
+
+  const PlanNode* node_;
+  TableStore::Cursor cursor_;
+  const size_t batch_size_;
+  int64_t* rows_scanned_;
+  int64_t* storage_blocks_read_;
+  RowLayout layout_;
+  std::vector<Row> buffer_;
+  size_t pos_ = 0;
+  int64_t blocks_folded_ = 0;
+  bool drained_ = false;
 };
 
 class FilterOp : public BatchOp {
@@ -165,13 +251,17 @@ class Chunker {
 class JoinOp : public BatchOp {
  public:
   JoinOp(const PlanNode* node, BatchOpPtr left, BatchOpPtr right,
-         size_t batch_size, const std::atomic<bool>* cancel)
+         size_t batch_size, const BatchOpEnv& env)
       : node_(node),
         left_(std::move(left)),
         right_(std::move(right)),
         chunker_(batch_size),
         layout_(LayoutOf(*node)),
-        cancel_(cancel) {}
+        cancel_(env.cancel),
+        memory_budget_bytes_(env.memory_budget_bytes),
+        spill_dir_(env.spill_dir),
+        spill_partitions_(env.spill_partitions),
+        spill_bytes_(env.spill_bytes) {}
 
   Result<OptBatch> Next() override {
     if (!initialized_) {
@@ -185,7 +275,26 @@ class JoinOp : public BatchOp {
       if (drained_) return OptBatch();
       CGQ_ASSIGN_OR_RETURN(OptBatch in, right_->Next());
       if (!in) {
+        if (spill_ != nullptr) {
+          // Probe side fully routed to partitions: join partition pairs
+          // and merge the runs back into reference order.
+          std::vector<Row> matched;
+          CGQ_RETURN_NOT_OK(spill_->Finish([&](Row row) {
+            matched.push_back(std::move(row));
+            return Status::OK();
+          }));
+          if (spill_partitions_ != nullptr) {
+            *spill_partitions_ += spill_->partitions();
+          }
+          if (spill_bytes_ != nullptr) *spill_bytes_ += spill_->spill_bytes();
+          spill_.reset();
+          chunker_.Add(std::move(matched));
+        }
         drained_ = true;
+        continue;
+      }
+      if (spill_ != nullptr) {
+        for (const Row& r : in->rows) CGQ_RETURN_NOT_OK(spill_->AddProbe(r));
         continue;
       }
       std::vector<Row> matched;
@@ -235,6 +344,22 @@ class JoinOp : public BatchOp {
           }));
       chunker_.Add(std::move(matched));
       drained_ = true;
+    } else if (memory_budget_bytes_ > 0 &&
+               RowsByteSize(left_rows) >
+                   static_cast<double>(memory_budget_bytes_)) {
+      // Build side over budget: grace spill. Probe batches stream into
+      // the partitions from Next(); output is byte-identical to the
+      // in-memory hash path.
+      spill_ = std::make_unique<SpillHashJoin>(
+          &spec_, SpillHashJoin::MakeSpillDir(spill_dir_),
+          SpillHashJoin::PickPartitions(
+              static_cast<uint64_t>(RowsByteSize(left_rows)),
+              memory_budget_bytes_),
+          cancel_);
+      CGQ_RETURN_NOT_OK(spill_->Init());
+      for (const Row& row : left_rows) {
+        CGQ_RETURN_NOT_OK(spill_->AddBuild(row));
+      }
     } else {
       build_rows_ = std::move(left_rows);
       table_.Build(build_rows_, spec_);
@@ -260,6 +385,11 @@ class JoinOp : public BatchOp {
   std::vector<Row> build_rows_;
   JoinHashTable table_;
   const std::atomic<bool>* cancel_ = nullptr;
+  uint64_t memory_budget_bytes_ = 0;
+  std::string spill_dir_;
+  int64_t* spill_partitions_ = nullptr;
+  int64_t* spill_bytes_ = nullptr;
+  std::unique_ptr<SpillHashJoin> spill_;
   bool initialized_ = false;
   bool drained_ = false;
 };
@@ -367,6 +497,13 @@ Result<BatchOpPtr> BuildBatchOp(const PlanNode& node, const BatchOpEnv& env) {
       return env.ship_source(node);
     }
     case PlanKind::kScan: {
+      if (env.store->storage_mode() == StorageMode::kDisk) {
+        CGQ_ASSIGN_OR_RETURN(TableStore::Cursor cursor,
+                             env.store->Scan(node.scan_location, node.table));
+        return BatchOpPtr(new DiskScanOp(&node, std::move(cursor),
+                                         batch_size, env.rows_scanned,
+                                         env.storage_blocks_read));
+      }
       CGQ_ASSIGN_OR_RETURN(const std::vector<Row>* rows,
                            env.store->Get(node.scan_location, node.table));
       return BatchOpPtr(
@@ -384,7 +521,7 @@ Result<BatchOpPtr> BuildBatchOp(const PlanNode& node, const BatchOpEnv& env) {
       CGQ_ASSIGN_OR_RETURN(BatchOpPtr left, BuildBatchOp(*node.child(0), env));
       CGQ_ASSIGN_OR_RETURN(BatchOpPtr right, BuildBatchOp(*node.child(1), env));
       return BatchOpPtr(new JoinOp(&node, std::move(left), std::move(right),
-                                   batch_size, env.cancel));
+                                   batch_size, env));
     }
     case PlanKind::kAggregate: {
       CGQ_ASSIGN_OR_RETURN(BatchOpPtr child, BuildBatchOp(*node.child(0), env));

@@ -46,6 +46,17 @@ struct BatchOpEnv {
   const std::atomic<bool>* cancel = nullptr;
   /// Incremented by scan operators; must outlive the operator tree.
   int64_t* rows_scanned = nullptr;
+  /// Storage accounting sinks (disk-mode scans and spilling joins add to
+  /// them when non-null); must outlive the operator tree.
+  int64_t* storage_blocks_read = nullptr;
+  int64_t* spill_partitions = nullptr;
+  int64_t* spill_bytes = nullptr;
+  /// Per-query memory budget (ExecutorOptions::memory_budget_bytes):
+  /// hash joins whose build side exceeds it take the grace spill path.
+  /// 0 = unlimited.
+  uint64_t memory_budget_bytes = 0;
+  /// Spill directory base (ExecutorOptions::spill_dir; empty = temp dir).
+  std::string spill_dir;
   /// Creates the source operator of a SHIP leaf inside the fragment
   /// subtree (its producing subtree belongs to another fragment).
   std::function<Result<BatchOpPtr>(const PlanNode&)> ship_source;

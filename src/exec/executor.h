@@ -74,6 +74,16 @@ struct ExecutorOptions {
   /// Connected deployment for ExecMode::kDistributed (required there,
   /// ignored by the in-process backends). Not owned.
   net::ClusterClient* cluster = nullptr;
+  /// Per-query memory budget for blocking operators. 0 = unlimited.
+  /// When the build side of a hash join exceeds the budget, the join
+  /// switches to the grace/partitioned spill path (exec/spill_join.h):
+  /// both sides are partitioned to checksummed spill files and joined
+  /// partition-pairwise, with byte-identical output. Scans are already
+  /// out-of-core in StorageMode::kDisk regardless of this knob.
+  uint64_t memory_budget_bytes = 0;
+  /// Directory for spill partition files; empty = a per-query directory
+  /// under the system temp dir, removed when the query finishes.
+  std::string spill_dir;
 };
 
 /// Wall time and output volume of one executed fragment.
@@ -111,6 +121,16 @@ struct ExecMetrics {
   int64_t recv_timeouts = 0;
   int64_t fragment_restarts = 0;
   double backoff_ms = 0;
+  /// Storage-engine accounting (all zero for in-memory fault-free runs):
+  /// checksummed data blocks streamed by disk-mode scans, and the
+  /// grace-hash-join spill volume under `memory_budget_bytes`.
+  int64_t storage_blocks_read = 0;
+  int64_t spill_partitions = 0;
+  int64_t spill_bytes = 0;
+  /// Largest hash-join build side seen, in estimated row bytes. Row
+  /// backend only (the reference interpreter pays the extra pass); used
+  /// to derive spill-sweep budgets as fractions of the build side.
+  int64_t max_build_bytes = 0;
   /// One entry per SHIP edge, in plan post-order (row backend: one
   /// single-batch entry per executed SHIP).
   std::vector<ChannelStats> edges;

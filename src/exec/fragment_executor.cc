@@ -87,10 +87,20 @@ class ChannelSourceOp : public BatchOp {
   RowLayout layout_;
 };
 
+/// Per-fragment storage accounting (disk scans + spill joins); folded
+/// into ExecMetrics after all fragments finish. Like rows_scanned, the
+/// counts accumulate across restart attempts.
+struct StorageCounters {
+  int64_t blocks_read = 0;
+  int64_t spill_partitions = 0;
+  int64_t spill_bytes = 0;
+};
+
 /// Drives one fragment to completion: producer fragments push batches into
 /// their output channel, the top fragment collects the query result.
 Status RunFragment(const PlanFragment& fragment, RunState* st,
-                   FragmentMetrics* fm, std::vector<Row>* result_rows) {
+                   FragmentMetrics* fm, StorageCounters* sc,
+                   std::vector<Row>* result_rows) {
   if (CGQ_FAILPOINT("fragment.start")) {
     return Status::Unavailable("injected failure: fragment #" +
                                std::to_string(fragment.id) +
@@ -102,6 +112,11 @@ Status RunFragment(const PlanFragment& fragment, RunState* st,
       static_cast<size_t>(std::max(1, st->options->batch_size));
   env.cancel = st->options->cancel.get();
   env.rows_scanned = &fm->rows_scanned;
+  env.storage_blocks_read = &sc->blocks_read;
+  env.spill_partitions = &sc->spill_partitions;
+  env.spill_bytes = &sc->spill_bytes;
+  env.memory_budget_bytes = st->options->memory_budget_bytes;
+  env.spill_dir = st->options->spill_dir;
   env.ship_source = [st](const PlanNode& ship) -> Result<BatchOpPtr> {
     int channel = st->fp->channel_of_ship.at(&ship);
     return BatchOpPtr(new ChannelSourceOp(
@@ -172,6 +187,7 @@ Result<QueryResult> ExecuteFragmentedPlan(const PlanNode& plan,
   }
 
   std::vector<FragmentMetrics> fmetrics(n);
+  std::vector<StorageCounters> scounters(n);
   std::vector<Row> result_rows;
 
   auto run = [&](size_t i) {
@@ -200,7 +216,9 @@ Result<QueryResult> ExecuteFragmentedPlan(const PlanNode& plan,
     Status s;
     for (int attempt = 0;; ++attempt) {
       s = CheckFragmentPlacement(fragment);
-      if (s.ok()) s = RunFragment(fragment, &st, &fm, &result_rows);
+      if (s.ok()) {
+        s = RunFragment(fragment, &st, &fm, &scounters[i], &result_rows);
+      }
       if (s.ok() || !s.IsUnavailable() || !restartable ||
           attempt >= options.retry.max_retries ||
           st.failed.load(std::memory_order_acquire)) {
@@ -262,6 +280,11 @@ Result<QueryResult> ExecuteFragmentedPlan(const PlanNode& plan,
   for (const FragmentMetrics& fm : fmetrics) {
     m.rows_scanned += fm.rows_scanned;
     m.fragment_restarts += fm.restarts;
+  }
+  for (const StorageCounters& sc : scounters) {
+    m.storage_blocks_read += sc.blocks_read;
+    m.spill_partitions += sc.spill_partitions;
+    m.spill_bytes += sc.spill_bytes;
   }
   m.fragments = std::move(fmetrics);
   return result;

@@ -1,0 +1,311 @@
+#include "exec/spill_join.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <queue>
+
+#include "common/trace.h"
+#include "net/wire_protocol.h"
+
+namespace cgq {
+namespace exec_internal {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Reads length-prefixed records back from a spill file.
+struct SpillFileReader {
+  FILE* file = nullptr;
+  std::string path;
+
+  Status Open(const std::string& p) {
+    path = p;
+    file = std::fopen(p.c_str(), "rb");
+    if (file == nullptr && !fs::exists(p)) return Status::OK();  // empty
+    if (file == nullptr) {
+      return Status::Unavailable(p + ": open for read failed");
+    }
+    return Status::OK();
+  }
+  /// False at end of file.
+  Result<bool> Next(std::string* payload) {
+    if (file == nullptr) return false;
+    uint8_t len_bytes[4];
+    size_t got = std::fread(len_bytes, 1, sizeof(len_bytes), file);
+    if (got == 0) return false;
+    if (got != sizeof(len_bytes)) {
+      return Status::Internal(path + ": torn spill record length");
+    }
+    const uint32_t len = static_cast<uint32_t>(len_bytes[0]) |
+                         (static_cast<uint32_t>(len_bytes[1]) << 8) |
+                         (static_cast<uint32_t>(len_bytes[2]) << 16) |
+                         (static_cast<uint32_t>(len_bytes[3]) << 24);
+    payload->resize(len);
+    if (std::fread(payload->data(), 1, len, file) != len) {
+      return Status::Internal(path + ": torn spill record payload");
+    }
+    return true;
+  }
+  ~SpillFileReader() {
+    if (file != nullptr) std::fclose(file);
+  }
+};
+
+}  // namespace
+
+SpillHashJoin::SpillHashJoin(const JoinSpec* spec, std::string dir,
+                             int num_partitions,
+                             const std::atomic<bool>* cancel)
+    : spec_(spec),
+      dir_(std::move(dir)),
+      num_partitions_(std::max(2, num_partitions)),
+      cancel_(cancel) {}
+
+SpillHashJoin::~SpillHashJoin() {
+  for (auto* files : {&build_files_, &probe_files_}) {
+    for (SpillFile& f : *files) {
+      if (f.file != nullptr) std::fclose(f.file);
+      f.file = nullptr;
+    }
+  }
+  std::error_code ec;
+  fs::remove_all(dir_, ec);
+}
+
+int SpillHashJoin::PickPartitions(uint64_t build_bytes, uint64_t budget) {
+  const uint64_t per_partition = std::max<uint64_t>(budget / 2, 1);
+  const uint64_t wanted = build_bytes / per_partition + 1;
+  return static_cast<int>(std::clamp<uint64_t>(wanted, 2, 64));
+}
+
+std::string SpillHashJoin::MakeSpillDir(const std::string& base) {
+  static std::atomic<uint64_t> counter{0};
+  std::string root = base;
+  if (root.empty()) {
+    std::error_code ec;
+    root = (fs::temp_directory_path(ec) / "cgq-spill").string();
+  }
+  return root + "/sj-" + std::to_string(::getpid()) + "-" +
+         std::to_string(counter.fetch_add(1));
+}
+
+Status SpillHashJoin::Init() {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    return Status::Unavailable(dir_ + ": create spill dir failed: " +
+                               ec.message());
+  }
+  build_files_.resize(static_cast<size_t>(num_partitions_));
+  probe_files_.resize(static_cast<size_t>(num_partitions_));
+  for (int64_t p = 0; p < num_partitions_; ++p) {
+    for (auto [files, tag] : {std::pair{&build_files_, "build"},
+                              std::pair{&probe_files_, "probe"}}) {
+      SpillFile& f = (*files)[static_cast<size_t>(p)];
+      f.path = dir_ + "/" + tag + "-" + std::to_string(p) + ".spl";
+      f.file = std::fopen(f.path.c_str(), "wb");
+      if (f.file == nullptr) {
+        return Status::Unavailable(f.path + ": open spill file failed");
+      }
+    }
+  }
+  initialized_ = true;
+  CGQ_COUNTER_ADD("storage.spill_partitions", num_partitions_);
+  return Status::OK();
+}
+
+size_t SpillHashJoin::PartitionOf(const Row& row, bool is_build) const {
+  Row key;
+  key.reserve(spec_->key_positions.size());
+  for (auto [lp, rp] : spec_->key_positions) {
+    key.push_back(row[is_build ? lp : rp]);
+  }
+  return HashRow(key) % static_cast<size_t>(num_partitions_);
+}
+
+Status SpillHashJoin::WriteRecord(SpillFile* file,
+                                  const std::string& payload) {
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  uint8_t len_bytes[4] = {static_cast<uint8_t>(len),
+                          static_cast<uint8_t>(len >> 8),
+                          static_cast<uint8_t>(len >> 16),
+                          static_cast<uint8_t>(len >> 24)};
+  if (std::fwrite(len_bytes, 1, sizeof(len_bytes), file->file) !=
+          sizeof(len_bytes) ||
+      std::fwrite(payload.data(), 1, payload.size(), file->file) !=
+          payload.size()) {
+    return Status::Unavailable(file->path + ": spill write failed");
+  }
+  const int64_t written =
+      static_cast<int64_t>(sizeof(len_bytes) + payload.size());
+  spill_bytes_ += written;
+  CGQ_COUNTER_ADD("storage.spill_bytes", written);
+  return Status::OK();
+}
+
+Status SpillHashJoin::CheckCancel() const {
+  if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+    return Status::Cancelled("query cancelled during spill join");
+  }
+  return Status::OK();
+}
+
+Status SpillHashJoin::AddBuild(const Row& row) {
+  if (!initialized_) return Status::Internal("spill join not initialized");
+  for (auto [lp, rp] : spec_->key_positions) {
+    if (row[lp].is_null()) return Status::OK();  // unmatched, as in Build()
+  }
+  if ((++ops_since_cancel_check_ & 0x3ff) == 0) {
+    CGQ_RETURN_NOT_OK(CheckCancel());
+  }
+  wire::Writer w;
+  w.PutRow(row);
+  return WriteRecord(&build_files_[PartitionOf(row, /*is_build=*/true)],
+                     w.Take());
+}
+
+Status SpillHashJoin::AddProbe(const Row& row) {
+  if (!initialized_) return Status::Internal("spill join not initialized");
+  const uint64_t ordinal = next_ordinal_++;
+  for (auto [lp, rp] : spec_->key_positions) {
+    if (row[rp].is_null()) return Status::OK();  // no matches, as in Probe()
+  }
+  if ((++ops_since_cancel_check_ & 0x3ff) == 0) {
+    CGQ_RETURN_NOT_OK(CheckCancel());
+  }
+  wire::Writer w;
+  w.PutU64(ordinal);
+  w.PutRow(row);
+  return WriteRecord(&probe_files_[PartitionOf(row, /*is_build=*/false)],
+                     w.Take());
+}
+
+Status SpillHashJoin::Finish(const std::function<Status(Row)>& emit) {
+  if (!initialized_) return Status::Internal("spill join not initialized");
+  // Switch every partition file from append to read mode.
+  for (auto* files : {&build_files_, &probe_files_}) {
+    for (SpillFile& f : *files) {
+      if (std::fflush(f.file) != 0) {
+        return Status::Unavailable(f.path + ": spill flush failed");
+      }
+      std::fclose(f.file);
+      f.file = nullptr;
+    }
+  }
+
+  // Phase 1: join each partition pair; outputs form per-partition runs
+  // naturally sorted by probe ordinal.
+  std::vector<SpillFile> run_files(static_cast<size_t>(num_partitions_));
+  for (int64_t p = 0; p < num_partitions_; ++p) {
+    CGQ_RETURN_NOT_OK(CheckCancel());
+    const size_t idx = static_cast<size_t>(p);
+
+    std::vector<Row> build_rows;
+    {
+      SpillFileReader reader;
+      CGQ_RETURN_NOT_OK(reader.Open(build_files_[idx].path));
+      std::string payload;
+      while (true) {
+        CGQ_ASSIGN_OR_RETURN(bool more, reader.Next(&payload));
+        if (!more) break;
+        wire::Reader r(payload);
+        CGQ_ASSIGN_OR_RETURN(Row row, r.ReadRow());
+        build_rows.push_back(std::move(row));
+      }
+    }
+    JoinHashTable table;
+    table.Build(build_rows, *spec_);
+
+    SpillFile& run = run_files[idx];
+    run.path = dir_ + "/run-" + std::to_string(p) + ".spl";
+    run.file = std::fopen(run.path.c_str(), "wb");
+    if (run.file == nullptr) {
+      return Status::Unavailable(run.path + ": open run file failed");
+    }
+
+    SpillFileReader reader;
+    CGQ_RETURN_NOT_OK(reader.Open(probe_files_[idx].path));
+    std::string payload;
+    std::vector<Row> matches;
+    int64_t probed = 0;
+    while (true) {
+      CGQ_ASSIGN_OR_RETURN(bool more, reader.Next(&payload));
+      if (!more) break;
+      if ((probed++ & 0x3ff) == 0) CGQ_RETURN_NOT_OK(CheckCancel());
+      wire::Reader r(payload);
+      CGQ_ASSIGN_OR_RETURN(uint64_t ordinal, r.U64());
+      CGQ_ASSIGN_OR_RETURN(Row probe_row, r.ReadRow());
+      matches.clear();
+      CGQ_RETURN_NOT_OK(table.Probe(
+          probe_row, *spec_, [&](const Row& build_row) -> Status {
+            CGQ_ASSIGN_OR_RETURN(
+                bool emitted,
+                spec_->EmitIfMatch(build_row, probe_row, &matches));
+            (void)emitted;
+            return Status::OK();
+          }));
+      if (matches.empty()) continue;
+      wire::Writer w;
+      w.PutU64(ordinal);
+      w.PutU32(static_cast<uint32_t>(matches.size()));
+      for (const Row& row : matches) w.PutRow(row);
+      CGQ_RETURN_NOT_OK(WriteRecord(&run, w.Take()));
+    }
+    if (std::fflush(run.file) != 0) {
+      return Status::Unavailable(run.path + ": run flush failed");
+    }
+    std::fclose(run.file);
+    run.file = nullptr;
+  }
+
+  // Phase 2: k-way merge of the runs back into global probe order. Each
+  // probe row's matches live in exactly one partition, so ordinals are
+  // unique across runs and the merge reproduces the reference order.
+  struct RunHead {
+    uint64_t ordinal = 0;
+    std::vector<Row> rows;
+    size_t run = 0;
+  };
+  auto later = [](const RunHead& a, const RunHead& b) {
+    return a.ordinal > b.ordinal;
+  };
+  std::priority_queue<RunHead, std::vector<RunHead>, decltype(later)> heap(
+      later);
+  std::vector<SpillFileReader> readers(run_files.size());
+  auto advance = [&](size_t run) -> Status {
+    std::string payload;
+    CGQ_ASSIGN_OR_RETURN(bool more, readers[run].Next(&payload));
+    if (!more) return Status::OK();
+    wire::Reader r(payload);
+    RunHead head;
+    head.run = run;
+    CGQ_ASSIGN_OR_RETURN(head.ordinal, r.U64());
+    CGQ_ASSIGN_OR_RETURN(uint32_t n, r.U32());
+    head.rows.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      CGQ_ASSIGN_OR_RETURN(Row row, r.ReadRow());
+      head.rows.push_back(std::move(row));
+    }
+    heap.push(std::move(head));
+    return Status::OK();
+  };
+  for (size_t run = 0; run < run_files.size(); ++run) {
+    CGQ_RETURN_NOT_OK(readers[run].Open(run_files[run].path));
+    CGQ_RETURN_NOT_OK(advance(run));
+  }
+  int64_t merged = 0;
+  while (!heap.empty()) {
+    RunHead head = heap.top();
+    heap.pop();
+    if ((merged++ & 0x3ff) == 0) CGQ_RETURN_NOT_OK(CheckCancel());
+    for (Row& row : head.rows) CGQ_RETURN_NOT_OK(emit(std::move(row)));
+    CGQ_RETURN_NOT_OK(advance(head.run));
+  }
+  return Status::OK();
+}
+
+}  // namespace exec_internal
+}  // namespace cgq

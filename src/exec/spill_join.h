@@ -1,0 +1,100 @@
+#ifndef CGQ_EXEC_SPILL_JOIN_H_
+#define CGQ_EXEC_SPILL_JOIN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/exec_internal.h"
+#include "types/value.h"
+
+namespace cgq {
+namespace exec_internal {
+
+/// Grace (partitioned) hash join: the out-of-core path every backend
+/// takes when a hash join's build side exceeds
+/// ExecutorOptions::memory_budget_bytes.
+///
+/// Both sides are hash-partitioned on the equi-key into P spill files
+/// (the same key always lands in the same partition), then each
+/// partition pair is joined independently with the regular in-memory
+/// JoinHashTable — so resident memory is ~build_bytes / P, not
+/// build_bytes. The reference output order (probe rows in input order,
+/// matches per probe row in build-insertion order; DESIGN.md §12) is
+/// reproduced exactly:
+///
+///  - build rows are written to their partition in arrival order, so
+///    per-key build order inside a partition equals the global one
+///    (equal keys share a partition);
+///  - every probe row is tagged with its global arrival ordinal, and a
+///    probe row's matches live in exactly one partition;
+///  - per-partition outputs are runs sorted by ordinal by construction,
+///    and Finish() k-way-merges the P runs back into ordinal order.
+///
+/// Byte-identical to the non-spilled join, pinned by spill_join_test.
+class SpillHashJoin {
+ public:
+  /// `spec` must outlive the join. `dir` is created by Init() and
+  /// removed (with every spill file) by the destructor. `cancel` may be
+  /// null; when set, long loops abort with kCancelled once it flips.
+  SpillHashJoin(const JoinSpec* spec, std::string dir, int num_partitions,
+                const std::atomic<bool>* cancel);
+  ~SpillHashJoin();
+  SpillHashJoin(const SpillHashJoin&) = delete;
+  SpillHashJoin& operator=(const SpillHashJoin&) = delete;
+
+  /// Partition count for a build side of `build_bytes` under `budget`:
+  /// enough that one partition's build rows fit in roughly half the
+  /// budget, clamped to [2, 64].
+  static int PickPartitions(uint64_t build_bytes, uint64_t budget);
+
+  Status Init();
+  /// Routes one build-side row to its partition file (NULL-key rows are
+  /// dropped, as JoinHashTable::Build drops them).
+  Status AddBuild(const Row& row);
+  /// Routes one probe-side row, tagging it with the next global ordinal
+  /// (NULL-key rows are dropped, as JoinHashTable::Probe skips them).
+  Status AddProbe(const Row& row);
+  /// Joins every partition pair and streams the merged output rows (in
+  /// the exact reference order) through `emit`.
+  Status Finish(const std::function<Status(Row)>& emit);
+
+  int64_t partitions() const { return num_partitions_; }
+  /// Bytes written across all spill files (both sides + output runs).
+  int64_t spill_bytes() const { return spill_bytes_; }
+
+  /// A process-unique spill directory under `base` (or the system temp
+  /// dir when `base` is empty) for one spilling operator.
+  static std::string MakeSpillDir(const std::string& base);
+
+ private:
+  /// One append-then-rescan spill file of length-prefixed records.
+  struct SpillFile {
+    std::string path;
+    FILE* file = nullptr;  // write handle until Finish, then read handle
+  };
+
+  size_t PartitionOf(const Row& row, bool is_build) const;
+  Status WriteRecord(SpillFile* file, const std::string& payload);
+  Status CheckCancel() const;
+
+  const JoinSpec* spec_;
+  std::string dir_;
+  int64_t num_partitions_;
+  const std::atomic<bool>* cancel_;
+  std::vector<SpillFile> build_files_;
+  std::vector<SpillFile> probe_files_;
+  uint64_t next_ordinal_ = 0;
+  int64_t spill_bytes_ = 0;
+  int64_t ops_since_cancel_check_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace exec_internal
+}  // namespace cgq
+
+#endif  // CGQ_EXEC_SPILL_JOIN_H_

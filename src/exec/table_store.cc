@@ -1,29 +1,177 @@
 #include "exec/table_store.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/str_util.h"
+#include "common/trace.h"
 
 namespace cgq {
 
-void TableStore::Put(LocationId location, const std::string& table,
-                     std::vector<Row> rows) {
-  std::string key = Key(location, ToLower(table));
-  fragments_[key] = std::move(rows);
-  std::lock_guard<std::mutex> lock(columnar_mu_);
-  columnar_.erase(key);
+TableStore::TableStore(const TableStore& other) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  if (other.engine_ != nullptr) {
+    // A StorageEngine owns its directory exclusively, so a copy
+    // materializes the disk contents into a memory-mode store.
+    for (const auto& frag : other.engine_->ListFragments()) {
+      std::vector<Row> rows;
+      if (other.engine_->ReadAll(frag.location, frag.table, &rows).ok()) {
+        fragments_[Key(frag.location, frag.table)] = std::move(rows);
+      }
+    }
+  } else {
+    fragments_ = other.fragments_;
+  }
 }
 
-void TableStore::Append(LocationId location, const std::string& table,
-                        Row row) {
-  std::string key = Key(location, ToLower(table));
-  fragments_[key].push_back(std::move(row));
-  std::lock_guard<std::mutex> lock(columnar_mu_);
+TableStore::TableStore(TableStore&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  fragments_ = std::move(other.fragments_);
+  engine_ = std::move(other.engine_);
+}
+
+TableStore& TableStore::operator=(const TableStore& other) {
+  if (this != &other) {
+    std::scoped_lock lock(mu_, other.mu_);
+    fragments_.clear();
+    engine_.reset();
+    if (other.engine_ != nullptr) {
+      for (const auto& frag : other.engine_->ListFragments()) {
+        std::vector<Row> rows;
+        if (other.engine_->ReadAll(frag.location, frag.table, &rows).ok()) {
+          fragments_[Key(frag.location, frag.table)] = std::move(rows);
+        }
+      }
+    } else {
+      fragments_ = other.fragments_;
+    }
+    std::lock_guard<std::mutex> clock(columnar_mu_);
+    columnar_.clear();
+  }
+  return *this;
+}
+
+TableStore& TableStore::operator=(TableStore&& other) noexcept {
+  if (this != &other) {
+    std::scoped_lock lock(mu_, other.mu_);
+    fragments_ = std::move(other.fragments_);
+    engine_ = std::move(other.engine_);
+    std::lock_guard<std::mutex> clock(columnar_mu_);
+    columnar_.clear();
+  }
+  return *this;
+}
+
+Status TableStore::EnableDiskStorage(const std::string& dir,
+                                     storage::StorageOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (engine_ != nullptr) {
+    if (engine_->dir() == dir) return Status::OK();
+    return Status::InvalidArgument("disk storage already enabled at '" +
+                                   engine_->dir() + "'");
+  }
+  auto engine = std::make_unique<storage::StorageEngine>();
+  CGQ_RETURN_NOT_OK(engine->Open(dir, options));
+  CGQ_COUNTER_ADD("storage.recovery_replays", engine->recovery_replays());
+  // Migrate what RAM holds; fragments recovered from disk that RAM does
+  // not shadow stay as recovered.
+  for (const auto& [key, rows] : fragments_) {
+    const size_t slash = key.find('/');
+    const LocationId location =
+        static_cast<LocationId>(std::stoul(key.substr(0, slash)));
+    CGQ_RETURN_NOT_OK(engine->Put(location, key.substr(slash + 1), rows));
+  }
+  CGQ_RETURN_NOT_OK(engine->Checkpoint());
+  engine_ = std::move(engine);
+  fragments_.clear();
+  std::lock_guard<std::mutex> clock(columnar_mu_);
+  columnar_.clear();
+  return Status::OK();
+}
+
+Status TableStore::DisableDiskStorage() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (engine_ == nullptr) return Status::OK();
+  CGQ_RETURN_NOT_OK(engine_->Checkpoint());
+  std::unordered_map<std::string, std::vector<Row>> restored;
+  for (const auto& frag : engine_->ListFragments()) {
+    std::vector<Row> rows;
+    CGQ_RETURN_NOT_OK(engine_->ReadAll(frag.location, frag.table, &rows));
+    restored[Key(frag.location, frag.table)] = std::move(rows);
+  }
+  fragments_ = std::move(restored);
+  engine_.reset();
+  std::lock_guard<std::mutex> clock(columnar_mu_);
+  columnar_.clear();
+  return Status::OK();
+}
+
+StorageMode TableStore::storage_mode() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return engine_ == nullptr ? StorageMode::kMemory : StorageMode::kDisk;
+}
+
+std::string TableStore::data_dir() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return engine_ == nullptr ? std::string() : engine_->dir();
+}
+
+Status TableStore::PutLocked(LocationId location, std::string table,
+                             std::vector<Row> rows) {
+  std::string key = Key(location, table);
+  if (engine_ != nullptr) {
+    const int64_t before = engine_->blocks_written();
+    CGQ_RETURN_NOT_OK(engine_->Put(location, table, rows));
+    CGQ_COUNTER_ADD("storage.blocks_written",
+                    engine_->blocks_written() - before);
+  } else {
+    fragments_[key] = std::move(rows);
+  }
+  std::lock_guard<std::mutex> clock(columnar_mu_);
   columnar_.erase(key);
+  return Status::OK();
+}
+
+Status TableStore::Put(LocationId location, const std::string& table,
+                       std::vector<Row> rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PutLocked(location, ToLower(table), std::move(rows));
+}
+
+Status TableStore::Append(LocationId location, const std::string& table,
+                          Row row) {
+  std::vector<Row> rows;
+  rows.push_back(std::move(row));
+  return AppendRows(location, table, std::move(rows));
+}
+
+Status TableStore::AppendRows(LocationId location, const std::string& table,
+                              std::vector<Row> rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string lowered = ToLower(table);
+  std::string key = Key(location, lowered);
+  if (engine_ != nullptr) {
+    const int64_t before = engine_->blocks_written();
+    CGQ_RETURN_NOT_OK(engine_->Append(location, lowered, rows));
+    CGQ_COUNTER_ADD("storage.blocks_written",
+                    engine_->blocks_written() - before);
+  } else {
+    std::vector<Row>& frag = fragments_[key];
+    for (Row& row : rows) frag.push_back(std::move(row));
+  }
+  std::lock_guard<std::mutex> clock(columnar_mu_);
+  columnar_.erase(key);
+  return Status::OK();
 }
 
 Result<const std::vector<Row>*> TableStore::Get(
     LocationId location, const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (engine_ != nullptr) {
+    return Status::Unsupported(
+        "TableStore::Get pins rows in RAM and requires StorageMode::kMemory; "
+        "stream disk-backed fragments with Scan()");
+  }
   auto it = fragments_.find(Key(location, ToLower(table)));
   if (it == fragments_.end()) {
     return Status::NotFound("no fragment of table '" + table +
@@ -32,11 +180,110 @@ Result<const std::vector<Row>*> TableStore::Get(
   return &it->second;
 }
 
+Result<size_t> TableStore::FragmentRows(LocationId location,
+                                        const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string lowered = ToLower(table);
+  if (engine_ != nullptr) return engine_->FragmentRows(location, lowered);
+  auto it = fragments_.find(Key(location, lowered));
+  if (it == fragments_.end()) {
+    return Status::NotFound("no fragment of table '" + table +
+                            "' at location " + std::to_string(location));
+  }
+  return it->second.size();
+}
+
+Result<TableStore::Cursor> TableStore::Scan(LocationId location,
+                                            const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string lowered = ToLower(table);
+  Cursor cursor;
+  if (engine_ != nullptr) {
+    cursor.is_disk_ = true;
+    CGQ_ASSIGN_OR_RETURN(cursor.disk_, engine_->Scan(location, lowered));
+    CGQ_ASSIGN_OR_RETURN(cursor.total_rows_,
+                         engine_->FragmentRows(location, lowered));
+    return cursor;
+  }
+  auto it = fragments_.find(Key(location, lowered));
+  if (it == fragments_.end()) {
+    return Status::NotFound("no fragment of table '" + table +
+                            "' at location " + std::to_string(location));
+  }
+  cursor.memory_rows_ = it->second;  // snapshot: stays valid past the lock
+  cursor.total_rows_ = cursor.memory_rows_.size();
+  return cursor;
+}
+
+Result<bool> TableStore::Cursor::Next(std::vector<Row>* out) {
+  if (is_disk_) {
+    CGQ_ASSIGN_OR_RETURN(bool more, disk_.Next(out));
+    return more;
+  }
+  out->clear();
+  if (memory_done_) return false;
+  memory_done_ = true;
+  if (memory_rows_.empty()) return false;
+  *out = std::move(memory_rows_);
+  memory_rows_.clear();
+  return true;
+}
+
+int64_t TableStore::Cursor::blocks_read() const {
+  return is_disk_ ? disk_.blocks_read() : 0;
+}
+
+Status TableStore::AppendToColumns(const std::vector<Row>& rows, size_t width,
+                                   const std::string& table,
+                                   std::vector<vec::ColumnVector>* cols) {
+  for (const Row& row : rows) {
+    if (row.size() != width) {
+      return Status::Internal("stored row width mismatch for table '" +
+                              table + "'");
+    }
+    for (size_t c = 0; c < width; ++c) (*cols)[c].AppendValue(row[c]);
+  }
+  return Status::OK();
+}
+
 Result<std::shared_ptr<const std::vector<vec::ColumnPtr>>>
-TableStore::GetColumnar(LocationId location, const std::string& table) const {
-  std::string key = Key(location, ToLower(table));
+TableStore::GetColumnar(LocationId location, const std::string& table,
+                        int64_t* blocks_read) const {
+  std::string lowered = ToLower(table);
+  std::string key = Key(location, lowered);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (engine_ != nullptr) {
+    // Out-of-core: stream the blocks into columns for this call only —
+    // no cache, so at most one fragment's columns are resident here.
+    CGQ_ASSIGN_OR_RETURN(storage::StorageEngine::Cursor cursor,
+                         engine_->Scan(location, lowered));
+    CGQ_ASSIGN_OR_RETURN(size_t total,
+                         engine_->FragmentRows(location, lowered));
+    lock.unlock();
+    auto built = std::make_shared<ColumnarFragment>();
+    if (total == 0) return std::shared_ptr<const ColumnarFragment>(built);
+    std::vector<vec::ColumnVector> cols;
+    std::vector<Row> chunk;
+    while (true) {
+      CGQ_ASSIGN_OR_RETURN(bool more, cursor.Next(&chunk));
+      if (!more) break;
+      if (chunk.empty()) continue;
+      if (cols.empty()) {
+        cols.resize(chunk.front().size());
+        for (vec::ColumnVector& c : cols) c.Reserve(total);
+      }
+      CGQ_RETURN_NOT_OK(AppendToColumns(chunk, cols.size(), table, &cols));
+    }
+    if (blocks_read != nullptr) *blocks_read += cursor.blocks_read();
+    built->reserve(cols.size());
+    for (vec::ColumnVector& c : cols) {
+      built->push_back(vec::MakeColumn(std::move(c)));
+    }
+    return std::shared_ptr<const ColumnarFragment>(built);
+  }
+
   {
-    std::lock_guard<std::mutex> lock(columnar_mu_);
+    std::lock_guard<std::mutex> clock(columnar_mu_);
     auto it = columnar_.find(key);
     if (it != columnar_.end()) return it->second;
   }
@@ -51,26 +298,27 @@ TableStore::GetColumnar(LocationId location, const std::string& table) const {
     const size_t width = rows[0].size();
     std::vector<vec::ColumnVector> cols(width);
     for (vec::ColumnVector& c : cols) c.Reserve(rows.size());
-    for (const Row& row : rows) {
-      if (row.size() != width) {
-        return Status::Internal("stored row width mismatch for table '" +
-                                table + "'");
-      }
-      for (size_t c = 0; c < width; ++c) cols[c].AppendValue(row[c]);
-    }
+    CGQ_RETURN_NOT_OK(AppendToColumns(rows, width, table, &cols));
     built->reserve(width);
     for (vec::ColumnVector& c : cols) {
       built->push_back(vec::MakeColumn(std::move(c)));
     }
   }
-  std::lock_guard<std::mutex> lock(columnar_mu_);
+  std::lock_guard<std::mutex> clock(columnar_mu_);
   // Keep the winner of a build race; both are equivalent.
   auto [it, inserted] = columnar_.emplace(key, std::move(built));
   return it->second;
 }
 
 std::vector<TableStore::FragmentRef> TableStore::ListFragments() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<FragmentRef> out;
+  if (engine_ != nullptr) {
+    for (const auto& frag : engine_->ListFragments()) {
+      out.push_back(FragmentRef{frag.location, frag.table, frag.rows});
+    }
+    return out;  // engine enumeration is already (location, table) sorted
+  }
   out.reserve(fragments_.size());
   for (const auto& [key, rows] : fragments_) {
     const size_t slash = key.find('/');
@@ -78,7 +326,7 @@ std::vector<TableStore::FragmentRef> TableStore::ListFragments() const {
     ref.location =
         static_cast<LocationId>(std::stoul(key.substr(0, slash)));
     ref.table = key.substr(slash + 1);
-    ref.rows = &rows;
+    ref.row_count = rows.size();
     out.push_back(std::move(ref));
   }
   std::sort(out.begin(), out.end(),
@@ -90,6 +338,8 @@ std::vector<TableStore::FragmentRef> TableStore::ListFragments() const {
 }
 
 size_t TableStore::TotalRows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (engine_ != nullptr) return engine_->TotalRows();
   size_t n = 0;
   for (const auto& [k, rows] : fragments_) n += rows.size();
   return n;

@@ -10,70 +10,127 @@
 #include "catalog/location.h"
 #include "common/result.h"
 #include "exec/vector/column_batch.h"
+#include "storage/storage_engine.h"
 #include "types/value.h"
 
 namespace cgq {
+
+/// Where a TableStore keeps its fragments. kMemory is the default and
+/// the byte-identical reference; kDisk routes every fragment through the
+/// per-location storage engine (src/storage/) so data survives restarts
+/// and scans stream block-by-block instead of pinning tables in RAM.
+enum class StorageMode {
+  kMemory,
+  kDisk,
+};
 
 /// In-process stand-in for the geo-distributed databases: each location
 /// holds the rows of its table fragments (rows are in base-schema column
 /// order). The executor's Scan operators read from here; SHIP operators
 /// model the transfer between locations.
+///
+/// Thread safety: all members are safe against concurrent Put/Append/
+/// readers (one internal mutex). `Get` returns a pointer into the store,
+/// so its *referent* is only stable while no concurrent mutation runs —
+/// the executor upholds that (loads never overlap queries on the same
+/// fragment). Cursors snapshot at Scan() time and stay valid regardless.
 class TableStore {
  public:
   TableStore() = default;
-  // Copies/moves transfer the fragments but not the columnar cache (it
-  // regenerates on demand); the mutex makes the defaults unavailable.
-  TableStore(const TableStore& other) : fragments_(other.fragments_) {}
-  TableStore(TableStore&& other) noexcept
-      : fragments_(std::move(other.fragments_)) {}
-  TableStore& operator=(const TableStore& other) {
-    if (this != &other) {
-      fragments_ = other.fragments_;
-      std::lock_guard<std::mutex> lock(columnar_mu_);
-      columnar_.clear();
-    }
-    return *this;
-  }
-  TableStore& operator=(TableStore&& other) noexcept {
-    if (this != &other) {
-      fragments_ = std::move(other.fragments_);
-      std::lock_guard<std::mutex> lock(columnar_mu_);
-      columnar_.clear();
-    }
-    return *this;
-  }
+  // Copies transfer the fragments but not the columnar cache (it
+  // regenerates on demand) and materialize disk-backed stores back into
+  // a memory-mode copy: a StorageEngine owns its directory exclusively.
+  // Both sides' mutexes are held, so copying from a store under
+  // concurrent mutation is well-defined.
+  TableStore(const TableStore& other);
+  TableStore(TableStore&& other) noexcept;
+  TableStore& operator=(const TableStore& other);
+  TableStore& operator=(TableStore&& other) noexcept;
+
+  /// Switches to StorageMode::kDisk backed by `dir`: recovers whatever a
+  /// previous engine persisted there (manifest + commit-log replay),
+  /// then migrates any fragments currently in RAM onto disk (same-name
+  /// fragments are replaced by the RAM content). On error the store
+  /// stays in memory mode, untouched.
+  Status EnableDiskStorage(const std::string& dir,
+                           storage::StorageOptions options = {});
+
+  /// Reads every fragment back into RAM and returns to kMemory mode.
+  /// The on-disk state is checkpointed first and left behind intact.
+  Status DisableDiskStorage();
+
+  StorageMode storage_mode() const;
+  /// The storage directory; empty in memory mode.
+  std::string data_dir() const;
 
   /// Registers the rows of `table`'s fragment at `location` (replaces any
-  /// previous content).
-  void Put(LocationId location, const std::string& table,
-           std::vector<Row> rows);
+  /// previous content). In disk mode the rows are logged + flushed before
+  /// OK is returned (durable against SIGKILL).
+  Status Put(LocationId location, const std::string& table,
+             std::vector<Row> rows);
 
-  /// Appends rows to a fragment.
-  void Append(LocationId location, const std::string& table, Row row);
+  /// Appends one row to a fragment (durable in disk mode, like Put).
+  Status Append(LocationId location, const std::string& table, Row row);
+
+  /// Appends many rows in one durable commit-log record (the bulk-load
+  /// path; equivalent to appending each row, but one fsync-equivalent
+  /// instead of N).
+  Status AppendRows(LocationId location, const std::string& table,
+                    std::vector<Row> rows);
 
   /// Rows of the fragment; error when no fragment was loaded there.
+  /// Memory mode only — disk-backed fragments are not pinned in RAM, so
+  /// callers stream them with Scan() instead.
   Result<const std::vector<Row>*> Get(LocationId location,
                                       const std::string& table) const;
 
+  /// Row count of the fragment (both modes; no materialization).
+  Result<size_t> FragmentRows(LocationId location,
+                              const std::string& table) const;
+
+  /// Streaming reader over one fragment, usable in both modes. Memory
+  /// mode yields the whole fragment in one chunk (a snapshot copy); disk
+  /// mode yields one checksummed block per Next() and counts them.
+  class Cursor {
+   public:
+    /// Fills *out (cleared first) with the next chunk; false when the
+    /// fragment is exhausted. Disk corruption is typed kDataLoss.
+    Result<bool> Next(std::vector<Row>* out);
+    /// Data blocks read so far (0 in memory mode).
+    int64_t blocks_read() const;
+    /// Total rows this cursor will yield.
+    size_t total_rows() const { return total_rows_; }
+
+   private:
+    friend class TableStore;
+    std::vector<Row> memory_rows_;
+    bool memory_done_ = false;
+    bool is_disk_ = false;
+    storage::StorageEngine::Cursor disk_;
+    size_t total_rows_ = 0;
+  };
+  Result<Cursor> Scan(LocationId location, const std::string& table) const;
+
   /// The fragment in columnar form (one immutable column per stored-row
   /// position), converted on first use and cached until the fragment is
-  /// replaced or appended to. Vector-backend scans share the cached
-  /// columns instead of re-converting the rows on every execution; the
-  /// caller wraps them in its per-query RowLayout. Errors when the
-  /// fragment is missing or its rows disagree on width. Thread-safe
-  /// against concurrent GetColumnar calls (but, like Get, not against a
-  /// concurrent Put/Append).
+  /// replaced or appended to; vector-backend scans share the cached
+  /// columns. In disk mode the columns are streamed from blocks and NOT
+  /// cached (the out-of-core contract: only one fragment's columns are
+  /// resident at a time). Errors when the fragment is missing or its
+  /// rows disagree on width. `blocks_read`, when non-null, is bumped by
+  /// the number of data blocks streamed (0 in memory mode / cache hits).
   Result<std::shared_ptr<const std::vector<vec::ColumnPtr>>> GetColumnar(
-      LocationId location, const std::string& table) const;
+      LocationId location, const std::string& table,
+      int64_t* blocks_read = nullptr) const;
 
   size_t TotalRows() const;
 
   /// One stored table fragment, for enumeration (deployment pushes every
-  /// fragment to the server hosting its location).
+  /// fragment to the server hosting its location; rows stream via Scan).
   struct FragmentRef {
     LocationId location = 0;
     std::string table;
-    const std::vector<Row>* rows = nullptr;
+    size_t row_count = 0;
   };
 
   /// All stored fragments, sorted by (location, table) so deployment
@@ -86,7 +143,18 @@ class TableStore {
   static std::string Key(LocationId location, const std::string& table) {
     return std::to_string(location) + "/" + table;
   }
+  /// Builds columns from rows (shared by the cached and streamed paths).
+  static Status AppendToColumns(const std::vector<Row>& rows, size_t width,
+                                const std::string& table,
+                                std::vector<vec::ColumnVector>* cols);
+
+  Status PutLocked(LocationId location, std::string table,
+                   std::vector<Row> rows);
+
+  /// Guards fragments_, engine_ and the mode; columnar_mu_ nests inside.
+  mutable std::mutex mu_;
   std::unordered_map<std::string, std::vector<Row>> fragments_;
+  std::unique_ptr<storage::StorageEngine> engine_;
   mutable std::mutex columnar_mu_;
   mutable std::unordered_map<std::string,
                              std::shared_ptr<const ColumnarFragment>>

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "exec/exec_internal.h"
+#include "exec/spill_join.h"
 #include "exec/vector/column_batch.h"
 #include "exec/vector/kernels.h"
 #include "expr/eval.h"
@@ -97,22 +98,25 @@ class VectorInterpreter {
   }
 
   Result<ColumnBatch> ExecScan(const PlanNode& node) {
-    CGQ_ASSIGN_OR_RETURN(const std::vector<Row>* rows,
-                         store_->Get(node.scan_location, node.table));
+    CGQ_ASSIGN_OR_RETURN(
+        size_t fragment_rows,
+        store_->FragmentRows(node.scan_location, node.table));
     RowLayout layout = LayoutOf(node);
-    metrics_->rows_scanned += static_cast<int64_t>(rows->size());
-    // Scans share the store's cached columnar fragment: the conversion
-    // runs once per fragment, not once per execution, and the columns
-    // are immutable so sharing is safe. Only the query-local layout
-    // wrapper is built here.
+    metrics_->rows_scanned += static_cast<int64_t>(fragment_rows);
+    // Memory mode shares the store's cached columnar fragment: the
+    // conversion runs once per fragment, not once per execution, and the
+    // columns are immutable so sharing is safe. Disk mode streams the
+    // fragment's blocks into fresh columns instead (nothing cached).
+    // Only the query-local layout wrapper is built here.
     CGQ_ASSIGN_OR_RETURN(
         std::shared_ptr<const std::vector<ColumnPtr>> columns,
-        store_->GetColumnar(node.scan_location, node.table));
+        store_->GetColumnar(node.scan_location, node.table,
+                            &metrics_->storage_blocks_read));
     const size_t width = layout.size();
     ColumnBatch out;
     out.layout = std::move(layout);
     if (columns->size() != width) {
-      if (!rows->empty()) {
+      if (fragment_rows != 0) {
         return Status::Internal("stored row width mismatch for table '" +
                                 node.table + "'");
       }
@@ -153,6 +157,17 @@ class VectorInterpreter {
       // Rare methods (cross / non-equi / explicit sort-merge) reuse the
       // shared row machinery rather than a second columnar code path.
       return ExecJoinRowFallback(node, spec, left, right);
+    }
+
+    if (options_->memory_budget_bytes > 0) {
+      RowBatch lb = vec::ToRowBatch(left);
+      if (lb.ByteSize() >
+          static_cast<double>(options_->memory_budget_bytes)) {
+        // Build side over budget: grace spill through the shared row
+        // machinery — byte-identical to the columnar hash path below.
+        return ExecJoinSpill(node, spec, std::move(lb),
+                             vec::ToRowBatch(right));
+      }
     }
 
     // Build/probe on columns, collecting matched (left, right) index
@@ -271,6 +286,29 @@ class VectorInterpreter {
       }
     }
     return Status::OK();
+  }
+
+  Result<ColumnBatch> ExecJoinSpill(const PlanNode& node,
+                                    const JoinSpec& spec, RowBatch lb,
+                                    RowBatch rb) {
+    exec_internal::SpillHashJoin join(
+        &spec,
+        exec_internal::SpillHashJoin::MakeSpillDir(options_->spill_dir),
+        exec_internal::SpillHashJoin::PickPartitions(
+            static_cast<uint64_t>(lb.ByteSize()),
+            options_->memory_budget_bytes),
+        options_->cancel.get());
+    CGQ_RETURN_NOT_OK(join.Init());
+    for (const Row& row : lb.rows) CGQ_RETURN_NOT_OK(join.AddBuild(row));
+    for (const Row& row : rb.rows) CGQ_RETURN_NOT_OK(join.AddProbe(row));
+    std::vector<Row> out_rows;
+    CGQ_RETURN_NOT_OK(join.Finish([&](Row row) {
+      out_rows.push_back(std::move(row));
+      return Status::OK();
+    }));
+    metrics_->spill_partitions += join.partitions();
+    metrics_->spill_bytes += join.spill_bytes();
+    return vec::FromRows(LayoutOf(node), out_rows);
   }
 
   Result<ColumnBatch> ExecJoinRowFallback(const PlanNode& node,

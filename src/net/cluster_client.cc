@@ -111,20 +111,17 @@ Status ClusterClient::Deploy(const TableStore& store) {
       session_it = sessions.emplace(endpoint, std::move(socket)).first;
     }
     const Socket& socket = session_it->second;
-    const std::vector<Row>& rows = *fragment.rows;
-    size_t offset = 0;
+    // Chunked push streamed from the store's cursor (disk-backed stores
+    // never materialize the fragment); an empty fragment still sends one
+    // (replacing) chunk so the server learns the table exists at the
+    // location.
     bool first = true;
-    // Chunked push; an empty fragment still sends one (replacing) chunk
-    // so the server learns the table exists at the location.
-    do {
+    auto send_chunk = [&](std::vector<Row> chunk_rows) -> Status {
       wire::LoadTable chunk;
       chunk.location = fragment.location;
       chunk.table = fragment.table;
       chunk.replace = first;
-      const size_t end = std::min(rows.size(), offset + kLoadChunkRows);
-      chunk.rows.assign(rows.begin() + static_cast<ptrdiff_t>(offset),
-                        rows.begin() + static_cast<ptrdiff_t>(end));
-      offset = end;
+      chunk.rows = std::move(chunk_rows);
       first = false;
       CGQ_RETURN_NOT_OK(SendFrame(socket, wire::FrameType::kLoadTable,
                                   chunk.Encode(), io_timeout_ms));
@@ -140,7 +137,26 @@ Status ClusterClient::Deploy(const TableStore& store) {
             "deploy: expected LoadAck, got " +
             std::string(wire::FrameTypeToString(reply.type)));
       }
-    } while (offset < rows.size());
+      return Status::OK();
+    };
+    CGQ_ASSIGN_OR_RETURN(TableStore::Cursor cursor,
+                         store.Scan(fragment.location, fragment.table));
+    std::vector<Row> buffer;
+    std::vector<Row> block;
+    while (true) {
+      CGQ_ASSIGN_OR_RETURN(bool more, cursor.Next(&block));
+      if (!more) break;
+      for (Row& row : block) {
+        buffer.push_back(std::move(row));
+        if (buffer.size() == kLoadChunkRows) {
+          CGQ_RETURN_NOT_OK(send_chunk(std::move(buffer)));
+          buffer.clear();
+        }
+      }
+    }
+    if (!buffer.empty() || first) {
+      CGQ_RETURN_NOT_OK(send_chunk(std::move(buffer)));
+    }
   }
   return Status::OK();
 }

@@ -161,6 +161,11 @@ SiteServer::SiteServer(Options options) : options_(std::move(options)) {}
 SiteServer::~SiteServer() { Stop(); }
 
 Status SiteServer::Start() {
+  if (!options_.data_dir.empty()) {
+    // Recover-or-create before accepting connections: queries hitting a
+    // restarted server see the persisted fragments immediately.
+    CGQ_RETURN_NOT_OK(store_.EnableDiskStorage(options_.data_dir));
+  }
   CGQ_ASSIGN_OR_RETURN(listener_,
                        Socket::Listen(options_.host, options_.port));
   CGQ_ASSIGN_OR_RETURN(port_, listener_.LocalPort());
@@ -341,18 +346,18 @@ void SiteServer::HandleFrame(ConnectionState* conn, uint16_t type,
             "location l" + std::to_string(msg.location) +
             " is not hosted by this server"));
       }
-      if (msg.replace) {
-        store_.Put(msg.location, msg.table, std::move(msg.rows));
-      } else {
-        for (Row& row : msg.rows) {
-          store_.Append(msg.location, msg.table, std::move(row));
-        }
-      }
+      // Persist before acknowledging: with --data-dir the chunk is in
+      // the commit log (flushed) when kLoadAck leaves, so a SIGKILL
+      // after the ack never loses acknowledged rows.
+      Status stored =
+          msg.replace
+              ? store_.Put(msg.location, msg.table, std::move(msg.rows))
+              : store_.AppendRows(msg.location, msg.table,
+                                  std::move(msg.rows));
+      if (!stored.ok()) return fail(stored);
       wire::LoadAck ack;
-      Result<const std::vector<Row>*> rows =
-          store_.Get(msg.location, msg.table);
-      ack.fragment_rows =
-          rows.ok() ? static_cast<int64_t>((*rows)->size()) : 0;
+      Result<size_t> rows = store_.FragmentRows(msg.location, msg.table);
+      ack.fragment_rows = rows.ok() ? static_cast<int64_t>(*rows) : 0;
       conn->EnqueueFrame(wire::FrameType::kLoadAck, ack.Encode());
       return;
     }

@@ -55,6 +55,11 @@ class SiteServer {
     /// map several locations onto one server process).
     std::vector<LocationId> locations;
     int io_timeout_ms = kDefaultIoTimeoutMs;
+    /// When non-empty, the hosted store runs in StorageMode::kDisk on
+    /// this directory: LoadTable chunks are durable before kLoadAck, and
+    /// Start() recovers previously persisted fragments, so a restarted
+    /// server serves its hosted fragments without redeployment.
+    std::string data_dir;
   };
 
   explicit SiteServer(Options options);

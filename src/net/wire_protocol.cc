@@ -783,7 +783,7 @@ Result<ErrorMsg> ErrorMsg::Decode(const std::string& payload) {
 
 Status ErrorMsg::ToStatus() const {
   if (code == static_cast<uint16_t>(StatusCode::kOk) ||
-      code > static_cast<uint16_t>(StatusCode::kCancelled)) {
+      code > static_cast<uint16_t>(StatusCode::kDataLoss)) {
     return Status::Internal("malformed error frame (code " +
                             std::to_string(code) + "): " + message);
   }

@@ -1,0 +1,37 @@
+#ifndef CGQ_STORAGE_BLOCK_H_
+#define CGQ_STORAGE_BLOCK_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/format.h"
+#include "types/value.h"
+
+namespace cgq {
+namespace storage {
+
+/// Immutable checksummed data block (`b<id>.blk`): one file frame with
+/// kBlockMagic. The payload is columnar when every row has the same
+/// width (the normal case for table fragments):
+///
+///   u32 rows, u32 cols, then column-major values (col 0 row 0..n,
+///   col 1 row 0..n, ...)
+///
+/// and row-major otherwise (u32 rows, then each row as PutRow, which
+/// carries its own width). The header `type` field is a flag word:
+inline constexpr uint16_t kBlockColumnar = 1;  ///< bit 0: columnar payload
+
+/// Encodes rows as a complete block file (header + payload).
+std::string EncodeBlockFile(const std::vector<Row>& rows);
+
+/// Decodes and checksum-verifies a whole block file. Corruption —
+/// wrong magic, bad checksum, truncation, trailing garbage — is typed
+/// kDataLoss; a block is never partially decoded into wrong rows.
+Result<std::vector<Row>> DecodeBlockFile(const std::string& bytes,
+                                         const std::string& what);
+
+}  // namespace storage
+}  // namespace cgq
+
+#endif  // CGQ_STORAGE_BLOCK_H_

@@ -1,0 +1,73 @@
+#ifndef CGQ_STORAGE_FORMAT_H_
+#define CGQ_STORAGE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace cgq {
+namespace storage {
+
+/// On-disk framing of the per-location storage engine (DESIGN.md §16).
+/// Every persistent artifact — data block, commit-log record, manifest —
+/// is one *file frame* with the same 20-byte header shape as the wire
+/// protocol (DESIGN.md §13), distinguished by magic:
+///
+///   offset  size  field
+///        0     4  magic     kBlockMagic / kWalMagic / kManifestMagic
+///        4     2  version   format version (kFormatVersion)
+///        6     2  type      artifact-specific (block flags, WAL record
+///                           type, 0 for manifests)
+///        8     4  len       payload length in bytes
+///       12     8  checksum  FNV-1a over the payload bytes
+///       20   len  payload
+///
+/// All integers little-endian via wire::Writer/Reader, so the encoding is
+/// byte-stable across platforms. A checksum mismatch on a complete frame
+/// is typed kDataLoss; a frame cut short at end-of-file is *torn* and the
+/// caller decides (clean replay stop for the commit-log tail, kDataLoss
+/// for blocks and manifests, which are only referenced once fully
+/// written).
+inline constexpr uint32_t kBlockMagic = 0x42514743u;     // "CGQB"
+inline constexpr uint32_t kWalMagic = 0x4C514743u;       // "CGQL"
+inline constexpr uint32_t kManifestMagic = 0x4D514743u;  // "CGQM"
+inline constexpr uint16_t kFormatVersion = 1;
+inline constexpr size_t kFrameHeaderSize = 20;
+/// Resource guard against garbage length prefixes (far above any frame
+/// the engine writes: blocks target ~256 KiB, WAL records are chunked).
+inline constexpr uint32_t kMaxFrameBytes = 1u << 30;
+
+struct FileFrameHeader {
+  uint16_t version = 0;
+  uint16_t type = 0;
+  uint32_t payload_len = 0;
+  uint64_t checksum = 0;
+};
+
+/// One complete file frame: header + payload.
+std::string EncodeFileFrame(uint32_t magic, uint16_t type,
+                            const std::string& payload);
+
+/// Parses a header from exactly kFrameHeaderSize bytes. Wrong magic or
+/// an over-limit length is kDataLoss (`what` names the artifact in the
+/// message); a version from the future is kUnsupported.
+Result<FileFrameHeader> DecodeFileFrameHeader(uint32_t magic,
+                                              const uint8_t* data, size_t len,
+                                              const std::string& what);
+
+/// Verifies the payload checksum; kDataLoss on mismatch.
+Status VerifyFilePayload(const FileFrameHeader& header, const uint8_t* payload,
+                         const std::string& what);
+
+/// Reads a whole file; kNotFound when absent, kUnavailable on I/O error.
+Result<std::string> ReadFile(const std::string& path);
+
+/// Writes a whole file via `<path>.tmp` + rename, so readers never see a
+/// half-written manifest or CURRENT pointer.
+Status WriteFileAtomic(const std::string& path, const std::string& bytes);
+
+}  // namespace storage
+}  // namespace cgq
+
+#endif  // CGQ_STORAGE_FORMAT_H_

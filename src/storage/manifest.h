@@ -1,0 +1,60 @@
+#ifndef CGQ_STORAGE_MANIFEST_H_
+#define CGQ_STORAGE_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/location.h"
+#include "common/result.h"
+#include "types/value.h"
+
+namespace cgq {
+namespace storage {
+
+/// Versioned manifest (`MANIFEST-<v>`): one file frame with
+/// kManifestMagic naming the live block set. The `CURRENT` file holds
+/// the name of the authoritative manifest; both are written tmp+rename
+/// so a crash never exposes a half-written pointer. The payload is
+///
+///   u64 manifest_version, u64 wal_version, u64 next_block_id,
+///   u32 num_fragments, per fragment:
+///     u32 location, string table, u32 num_blocks,
+///     per block: u64 block_id, u32 rows
+///
+/// Recovery reads CURRENT -> MANIFEST-<v> -> replays wal-<wal_version>;
+/// blocks named here are authoritative, everything else on disk is
+/// garbage from an interrupted checkpoint and is collected.
+struct ManifestBlock {
+  uint64_t id = 0;
+  uint32_t rows = 0;
+};
+
+struct ManifestFragment {
+  LocationId location = 0;
+  std::string table;
+  std::vector<ManifestBlock> blocks;
+};
+
+struct Manifest {
+  uint64_t version = 0;
+  uint64_t wal_version = 0;
+  uint64_t next_block_id = 1;
+  std::vector<ManifestFragment> fragments;
+
+  /// Complete file bytes (header + payload).
+  std::string Encode() const;
+  /// Decodes + checksum-verifies; corruption is typed kDataLoss.
+  static Result<Manifest> Decode(const std::string& bytes,
+                                 const std::string& what);
+};
+
+/// File-name helpers shared by the engine and its tests.
+std::string ManifestFileName(uint64_t version);
+std::string WalFileName(uint64_t version);
+std::string BlockFileName(uint64_t id);
+
+}  // namespace storage
+}  // namespace cgq
+
+#endif  // CGQ_STORAGE_MANIFEST_H_

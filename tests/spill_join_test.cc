@@ -1,0 +1,219 @@
+// Out-of-core (grace) hash join: when the build side exceeds
+// `memory_budget_bytes`, every backend partitions both sides to disk and
+// joins partition-by-partition — and the output must stay byte-identical
+// to the unbounded in-memory hash join, order included (the row
+// reference probes in input order with matches in build insertion
+// order). The TPC-H cells pin the ISSUE acceptance bar: a join completes
+// correctly with a budget below 10% of its build side, with
+// spill_partitions > 0 actually asserted.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "exec/spill_join.h"
+#include "exec/table_store.h"
+#include "net/network_model.h"
+#include "tpch/tpch.h"
+
+namespace cgq {
+namespace {
+
+using exec_internal::JoinSpec;
+
+class SpillJoinTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    config_.scale_factor = 0.002;
+    catalog_ = std::make_unique<Catalog>(*tpch::BuildCatalog(config_));
+    policies_ = std::make_unique<PolicyCatalog>(catalog_.get());
+    ASSERT_TRUE(tpch::InstallUnrestrictedPolicies(policies_.get()).ok());
+    net_ = std::make_unique<NetworkModel>(NetworkModel::DefaultGeo(5));
+    store_ = std::make_unique<TableStore>();
+    ASSERT_TRUE(tpch::GenerateData(*catalog_, config_, store_.get()).ok());
+  }
+
+  Result<OptimizedQuery> Optimize(int qnum) {
+    QueryOptimizer optimizer(catalog_.get(), policies_.get(), net_.get(),
+                             OptimizerOptions());
+    CGQ_ASSIGN_OR_RETURN(std::string sql, tpch::Query(qnum));
+    return optimizer.Optimize(sql);
+  }
+
+  Result<QueryResult> Run(const OptimizedQuery& q, ExecMode mode,
+                          uint64_t budget) {
+    ExecutorOptions opts;
+    opts.mode = mode;
+    opts.memory_budget_bytes = budget;
+    Executor executor(store_.get(), net_.get(), opts);
+    return executor.Execute(q);
+  }
+
+  // Full-precision order-sensitive serialization: spilled joins must
+  // reproduce the in-memory output exactly, not merely as a set.
+  static std::vector<std::string> ExactRows(const QueryResult& r) {
+    std::vector<std::string> rows;
+    rows.reserve(r.rows.size());
+    for (const Row& row : r.rows) {
+      std::string s;
+      for (const Value& v : row) {
+        if (v.is_null()) {
+          s += "NULL|";
+        } else if (v.is_double()) {
+          char buf[40];
+          std::snprintf(buf, sizeof(buf), "%.17g|", v.dbl());
+          s += buf;
+        } else {
+          s += v.ToString() + "|";
+        }
+      }
+      rows.push_back(std::move(s));
+    }
+    return rows;
+  }
+
+  tpch::TpchConfig config_;
+  std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<PolicyCatalog> policies_;
+  std::unique_ptr<NetworkModel> net_;
+  std::unique_ptr<TableStore> store_;
+};
+
+TEST_F(SpillJoinTest, PickPartitionsScalesWithPressure) {
+  using exec_internal::SpillHashJoin;
+  // No pressure -> minimum fan-out; extreme pressure -> capped.
+  EXPECT_EQ(SpillHashJoin::PickPartitions(1000, 1u << 30), 2);
+  EXPECT_EQ(SpillHashJoin::PickPartitions(1u << 30, 1), 64);
+  int mild = SpillHashJoin::PickPartitions(1 << 20, 1 << 18);
+  EXPECT_GE(mild, 2);
+  EXPECT_LE(mild, 64);
+  int harsher = SpillHashJoin::PickPartitions(1 << 20, 1 << 14);
+  EXPECT_GE(harsher, mild);
+}
+
+// The acceptance cell: TPC-H join queries under a budget far below 10%
+// of any build side (1 KB vs multi-hundred-KB builds at sf 0.002) spill
+// and still reproduce the unbounded run byte for byte, on every
+// in-process backend.
+TEST_F(SpillJoinTest, TpchJoinsSpillAndMatchUnbounded) {
+  const struct {
+    ExecMode mode;
+    const char* name;
+  } backends[] = {{ExecMode::kRow, "row"},
+                  {ExecMode::kFragment, "fragment"},
+                  {ExecMode::kVector, "vector"}};
+  const uint64_t kTinyBudget = 1024;
+
+  for (int qnum : {3, 5, 10, 12, 14}) {
+    SCOPED_TRACE("Q" + std::to_string(qnum));
+    auto q = Optimize(qnum);
+    ASSERT_TRUE(q.ok()) << q.status();
+
+    auto unbounded = Run(*q, ExecMode::kRow, 0);
+    ASSERT_TRUE(unbounded.ok()) << unbounded.status();
+    EXPECT_EQ(unbounded->metrics.spill_partitions, 0);
+    ASSERT_FALSE(unbounded->rows.empty());
+
+    for (const auto& backend : backends) {
+      SCOPED_TRACE(backend.name);
+      auto spilled = Run(*q, backend.mode, kTinyBudget);
+      ASSERT_TRUE(spilled.ok()) << spilled.status();
+      EXPECT_GT(spilled->metrics.spill_partitions, 0)
+          << "a 1KB budget must force the grace path";
+      EXPECT_GT(spilled->metrics.spill_bytes, 0);
+      EXPECT_EQ(ExactRows(*spilled), ExactRows(*unbounded));
+    }
+  }
+}
+
+// A budget larger than every build side must never spill: the budget is
+// a threshold, not a behavior change for small joins.
+TEST_F(SpillJoinTest, GenerousBudgetNeverSpills) {
+  auto q = Optimize(3);
+  ASSERT_TRUE(q.ok()) << q.status();
+  auto r = Run(*q, ExecMode::kRow, 1ull << 40);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->metrics.spill_partitions, 0);
+  EXPECT_EQ(r->metrics.spill_bytes, 0);
+}
+
+// Direct exercise of the spill machinery on adversarial shapes the TPC-H
+// workload underrepresents: heavy duplicate keys (cross-product bursts)
+// and NULL join keys (dropped on both sides, matching the in-memory
+// hash-join contract).
+TEST_F(SpillJoinTest, DuplicateAndNullKeysMatchReference) {
+  JoinSpec spec;
+  spec.key_positions = {{0, 0}};
+  spec.out_positions = {0, 1, 2, 3};  // identity over build ++ probe
+
+  std::vector<Row> build, probe;
+  for (int64_t i = 0; i < 200; ++i) {
+    // Keys cycle 0..9 -> 20 duplicates per key on each side.
+    build.push_back({Value::Int64(i % 10), Value::String("b" +
+                                                         std::to_string(i))});
+    probe.push_back({Value::Int64(i % 10), Value::String("p" +
+                                                         std::to_string(i))});
+  }
+  // NULL keys never match and never crash the partitioner.
+  build.push_back({Value::Null(), Value::String("bnull")});
+  probe.push_back({Value::Null(), Value::String("pnull")});
+
+  // Reference: the in-memory hash join via a row executor is overkill to
+  // set up here, so compute the expected output directly from the
+  // documented contract — probe order outer, build insertion order inner.
+  std::vector<Row> expected;
+  for (const Row& p : probe) {
+    if (p[0].is_null()) continue;
+    for (const Row& b : build) {
+      if (b[0].is_null()) continue;
+      if (b[0].int64() == p[0].int64()) {
+        Row joined = b;
+        joined.insert(joined.end(), p.begin(), p.end());
+        expected.push_back(joined);
+      }
+    }
+  }
+
+  for (int partitions : {2, 7, 64}) {
+    SCOPED_TRACE("partitions=" + std::to_string(partitions));
+    exec_internal::SpillHashJoin join(
+        &spec, exec_internal::SpillHashJoin::MakeSpillDir(""), partitions,
+        nullptr);
+    ASSERT_TRUE(join.Init().ok());
+    for (const Row& b : build) ASSERT_TRUE(join.AddBuild(b).ok());
+    for (const Row& p : probe) ASSERT_TRUE(join.AddProbe(p).ok());
+    std::vector<Row> got;
+    ASSERT_TRUE(join.Finish([&](Row row) {
+                      got.push_back(std::move(row));
+                      return Status::OK();
+                    })
+                    .ok());
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_TRUE(RowsStructurallyEqual(got[i], expected[i])) << "row " << i;
+    }
+    EXPECT_GT(join.spill_bytes(), 0);
+  }
+}
+
+TEST_F(SpillJoinTest, EmptySidesProduceEmptyOutput) {
+  JoinSpec spec;
+  spec.key_positions = {{0, 0}};
+  exec_internal::SpillHashJoin join(
+      &spec, exec_internal::SpillHashJoin::MakeSpillDir(""), 4, nullptr);
+  ASSERT_TRUE(join.Init().ok());
+  ASSERT_TRUE(join.AddProbe({Value::Int64(1)}).ok());
+  std::vector<Row> got;
+  ASSERT_TRUE(join.Finish([&](Row row) {
+                    got.push_back(std::move(row));
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_TRUE(got.empty());
+}
+
+}  // namespace
+}  // namespace cgq

@@ -1,0 +1,245 @@
+#include "storage/storage_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "storage/block.h"
+#include "storage/format.h"
+#include "storage/manifest.h"
+#include "storage/wal.h"
+#include "types/value.h"
+
+namespace cgq {
+namespace storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+class StorageEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("cgq-storage-test-" +
+             std::to_string(::testing::UnitTest::GetInstance()
+                                ->random_seed()) +
+             "-" +
+             ::testing::UnitTest::GetInstance()
+                 ->current_test_info()
+                 ->name()))
+               .string();
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  static Row MakeRow(int64_t i) {
+    return {Value::Int64(i), Value::String("row-" + std::to_string(i)),
+            Value::Double(i * 0.5)};
+  }
+  static std::vector<Row> MakeRows(int64_t n, int64_t base = 0) {
+    std::vector<Row> rows;
+    rows.reserve(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) rows.push_back(MakeRow(base + i));
+    return rows;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(StorageEngineTest, BlockRoundTripColumnar) {
+  std::vector<Row> rows = MakeRows(100);
+  std::string bytes = EncodeBlockFile(rows);
+  auto back = DecodeBlockFile(bytes, "test block");
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_TRUE(RowsStructurallyEqual((*back)[i], rows[i])) << i;
+  }
+}
+
+TEST_F(StorageEngineTest, BlockRoundTripRagged) {
+  // Non-uniform widths fall back to the row-major encoding.
+  std::vector<Row> rows = {{Value::Int64(1)},
+                           {Value::Int64(2), Value::String("x")},
+                           {}};
+  std::string bytes = EncodeBlockFile(rows);
+  auto back = DecodeBlockFile(bytes, "ragged block");
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_TRUE(RowsStructurallyEqual((*back)[i], rows[i])) << i;
+  }
+}
+
+TEST_F(StorageEngineTest, BlockChecksumMismatchIsDataLoss) {
+  std::string bytes = EncodeBlockFile(MakeRows(10));
+  bytes[bytes.size() - 1] ^= 0x40;  // flip one payload bit
+  auto back = DecodeBlockFile(bytes, "corrupt block");
+  ASSERT_FALSE(back.ok());
+  EXPECT_TRUE(back.status().IsDataLoss()) << back.status();
+}
+
+TEST_F(StorageEngineTest, ManifestRoundTrip) {
+  Manifest m;
+  m.version = 7;
+  m.wal_version = 9;
+  m.next_block_id = 42;
+  m.fragments.push_back(
+      ManifestFragment{2, "orders", {{1, 100}, {5, 23}}});
+  m.fragments.push_back(ManifestFragment{3, "customer", {}});
+  auto back = Manifest::Decode(m.Encode(), "test manifest");
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->version, 7u);
+  EXPECT_EQ(back->wal_version, 9u);
+  EXPECT_EQ(back->next_block_id, 42u);
+  ASSERT_EQ(back->fragments.size(), 2u);
+  EXPECT_EQ(back->fragments[0].table, "orders");
+  ASSERT_EQ(back->fragments[0].blocks.size(), 2u);
+  EXPECT_EQ(back->fragments[0].blocks[1].id, 5u);
+  EXPECT_EQ(back->fragments[0].blocks[1].rows, 23u);
+}
+
+TEST_F(StorageEngineTest, PutAppendScanRoundTrip) {
+  StorageEngine engine;
+  ASSERT_TRUE(engine.Open(dir_).ok());
+  ASSERT_TRUE(engine.Put(0, "t", MakeRows(50)).ok());
+  ASSERT_TRUE(engine.Append(0, "t", MakeRows(25, 50)).ok());
+  auto n = engine.FragmentRows(0, "t");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 75u);
+
+  std::vector<Row> all;
+  ASSERT_TRUE(engine.ReadAll(0, "t", &all).ok());
+  ASSERT_EQ(all.size(), 75u);
+  for (int64_t i = 0; i < 75; ++i) {
+    EXPECT_TRUE(
+        RowsStructurallyEqual(all[static_cast<size_t>(i)], MakeRow(i)))
+        << i;
+  }
+}
+
+TEST_F(StorageEngineTest, RecoveryAfterCleanClose) {
+  {
+    StorageEngine engine;
+    ASSERT_TRUE(engine.Open(dir_).ok());
+    ASSERT_TRUE(engine.Put(1, "a", MakeRows(30)).ok());
+    ASSERT_TRUE(engine.Put(2, "b", MakeRows(10, 100)).ok());
+    ASSERT_TRUE(engine.Checkpoint().ok());
+    // Mutations after the checkpoint live only in the commit log.
+    ASSERT_TRUE(engine.Append(1, "a", MakeRows(5, 30)).ok());
+  }
+  StorageEngine engine;
+  ASSERT_TRUE(engine.Open(dir_).ok());
+  EXPECT_GT(engine.recovery_replays(), 0);
+  auto frags = engine.ListFragments();
+  ASSERT_EQ(frags.size(), 2u);
+  EXPECT_EQ(frags[0].table, "a");
+  EXPECT_EQ(frags[0].rows, 35u);
+  EXPECT_EQ(frags[1].rows, 10u);
+  std::vector<Row> all;
+  ASSERT_TRUE(engine.ReadAll(1, "a", &all).ok());
+  ASSERT_EQ(all.size(), 35u);
+  for (int64_t i = 0; i < 35; ++i) {
+    EXPECT_TRUE(
+        RowsStructurallyEqual(all[static_cast<size_t>(i)], MakeRow(i)));
+  }
+}
+
+TEST_F(StorageEngineTest, PutReplacesAcrossRestart) {
+  {
+    StorageEngine engine;
+    ASSERT_TRUE(engine.Open(dir_).ok());
+    ASSERT_TRUE(engine.Put(0, "t", MakeRows(40)).ok());
+    ASSERT_TRUE(engine.Checkpoint().ok());
+    ASSERT_TRUE(engine.Put(0, "t", MakeRows(3, 1000)).ok());
+  }
+  StorageEngine engine;
+  ASSERT_TRUE(engine.Open(dir_).ok());
+  std::vector<Row> all;
+  ASSERT_TRUE(engine.ReadAll(0, "t", &all).ok());
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_TRUE(RowsStructurallyEqual(all[0], MakeRow(1000)));
+}
+
+TEST_F(StorageEngineTest, SmallBlocksStreamThroughCursor) {
+  StorageOptions options;
+  options.block_target_bytes = 256;  // force many blocks
+  StorageEngine engine;
+  ASSERT_TRUE(engine.Open(dir_, options).ok());
+  ASSERT_TRUE(engine.Put(0, "t", MakeRows(200)).ok());
+  ASSERT_TRUE(engine.Checkpoint().ok());
+  EXPECT_GT(engine.blocks_written(), 1);
+
+  auto cursor = engine.Scan(0, "t");
+  ASSERT_TRUE(cursor.ok()) << cursor.status();
+  std::vector<Row> all, chunk;
+  while (true) {
+    auto more = cursor->Next(&chunk);
+    ASSERT_TRUE(more.ok()) << more.status();
+    if (!*more) break;
+    for (Row& r : chunk) all.push_back(std::move(r));
+  }
+  EXPECT_GT(cursor->blocks_read(), 1);
+  ASSERT_EQ(all.size(), 200u);
+  for (int64_t i = 0; i < 200; ++i) {
+    EXPECT_TRUE(
+        RowsStructurallyEqual(all[static_cast<size_t>(i)], MakeRow(i)));
+  }
+}
+
+TEST_F(StorageEngineTest, AutoCheckpointRotatesLog) {
+  StorageOptions options;
+  options.block_target_bytes = 512;
+  options.wal_checkpoint_bytes = 2048;  // checkpoint after ~2KB of log
+  StorageEngine engine;
+  ASSERT_TRUE(engine.Open(dir_, options).ok());
+  for (int64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(engine.Append(0, "t", MakeRows(10, i * 10)).ok());
+  }
+  // At least one automatic checkpoint must have rotated the commit log.
+  bool found_later_wal = false;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    std::string name = entry.path().filename().string();
+    if (name.rfind("wal-", 0) == 0 && name != "wal-1.log") {
+      found_later_wal = true;
+    }
+  }
+  EXPECT_TRUE(found_later_wal);
+  auto n = engine.FragmentRows(0, "t");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 200u);
+}
+
+TEST_F(StorageEngineTest, MissingCurrentOverLiveBlocksIsDataLoss) {
+  {
+    StorageEngine engine;
+    ASSERT_TRUE(engine.Open(dir_).ok());
+    ASSERT_TRUE(engine.Put(0, "t", MakeRows(10)).ok());
+    ASSERT_TRUE(engine.Checkpoint().ok());
+  }
+  fs::remove(fs::path(dir_) / "CURRENT");
+  StorageEngine engine;
+  Status s = engine.Open(dir_);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsDataLoss()) << s;
+}
+
+TEST_F(StorageEngineTest, ScanOfMissingFragmentIsNotFound) {
+  StorageEngine engine;
+  ASSERT_TRUE(engine.Open(dir_).ok());
+  auto cursor = engine.Scan(0, "nope");
+  ASSERT_FALSE(cursor.ok());
+  EXPECT_TRUE(cursor.status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace cgq
