@@ -173,6 +173,30 @@ ColumnVector ColumnVector::Gather(const std::vector<uint32_t>& sel) const {
   return out;
 }
 
+size_t ColumnVector::ByteSize() const {
+  // Mirrors Value::ByteSize per row: 1 byte for NULL, 8 for numerics,
+  // size+4 for strings. NULL slots of typed columns hold a zero/empty
+  // payload, so the string sum below charges nothing extra for them.
+  const size_t n = size();
+  const size_t null_n = static_cast<size_t>(nulls.null_count());
+  switch (tag) {
+    case ColumnTag::kInt64:
+    case ColumnTag::kDouble:
+      return (n - null_n) * 8 + null_n;
+    case ColumnTag::kString: {
+      size_t bytes = (n - null_n) * 4 + null_n;
+      for (const std::string& s : str) bytes += s.size();
+      return bytes;
+    }
+    case ColumnTag::kValue: {
+      size_t bytes = 0;
+      for (const Value& v : vals) bytes += v.ByteSize();
+      return bytes;
+    }
+  }
+  return 0;
+}
+
 ColumnBatch ColumnBatch::Gather(const std::vector<uint32_t>& sel) const {
   ColumnBatch out;
   out.layout = layout;
@@ -181,6 +205,14 @@ ColumnBatch ColumnBatch::Gather(const std::vector<uint32_t>& sel) const {
     out.columns.push_back(MakeColumn(c->Gather(sel)));
   }
   return out;
+}
+
+double ColumnBatch::ByteSize() const {
+  double bytes = 0;
+  for (const ColumnPtr& c : columns) {
+    bytes += static_cast<double>(c->ByteSize());
+  }
+  return bytes;
 }
 
 Result<ColumnBatch> FromRows(const RowLayout& layout,

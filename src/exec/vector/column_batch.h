@@ -111,6 +111,11 @@ struct ColumnVector {
   /// New column holding rows `sel` of this one, in selection order.
   ColumnVector Gather(const std::vector<uint32_t>& sel) const;
 
+  /// Serialized volume of the column's values, computed in place —
+  /// exactly what RowBatch::ByteSize would report for this column after
+  /// ToRowBatch, without materializing any row.
+  size_t ByteSize() const;
+
  private:
   /// Converts a typed column (with however many rows it already has) to
   /// the kValue representation.
@@ -143,6 +148,10 @@ struct ColumnBatch {
 
   /// New batch holding rows `sel`, in selection order.
   ColumnBatch Gather(const std::vector<uint32_t>& sel) const;
+
+  /// Serialized volume of all rows, equal to ToRowBatch(*this).ByteSize()
+  /// but computed from the columns (no row materialization).
+  double ByteSize() const;
 };
 
 /// Row -> column conversion. Column tags are inferred from the first

@@ -159,15 +159,17 @@ class VectorInterpreter {
       return ExecJoinRowFallback(node, spec, left, right);
     }
 
-    if (options_->memory_budget_bytes > 0) {
-      RowBatch lb = vec::ToRowBatch(left);
-      if (lb.ByteSize() >
-          static_cast<double>(options_->memory_budget_bytes)) {
-        // Build side over budget: grace spill through the shared row
-        // machinery — byte-identical to the columnar hash path below.
-        return ExecJoinSpill(node, spec, std::move(lb),
-                             vec::ToRowBatch(right));
-      }
+    // The budget check reads the columnar batch in place (same bytes
+    // ToRowBatch would report); rows are only materialized once the
+    // spill path is actually taken, so an under-budget join never pays
+    // for — or gets charged the memory of — a row-form copy.
+    if (options_->memory_budget_bytes > 0 &&
+        left.ByteSize() >
+            static_cast<double>(options_->memory_budget_bytes)) {
+      // Build side over budget: grace spill through the shared row
+      // machinery — byte-identical to the columnar hash path below.
+      return ExecJoinSpill(node, spec, vec::ToRowBatch(left),
+                           vec::ToRowBatch(right));
     }
 
     // Build/probe on columns, collecting matched (left, right) index

@@ -5,7 +5,7 @@
 namespace cgq {
 namespace storage {
 
-std::string EncodeBlockFile(const std::vector<Row>& rows) {
+Result<std::string> EncodeBlockFile(const std::vector<Row>& rows) {
   bool uniform = true;
   const size_t width = rows.empty() ? 0 : rows.front().size();
   for (const Row& row : rows) {

@@ -23,7 +23,10 @@ namespace storage {
 inline constexpr uint16_t kBlockColumnar = 1;  ///< bit 0: columnar payload
 
 /// Encodes rows as a complete block file (header + payload).
-std::string EncodeBlockFile(const std::vector<Row>& rows);
+/// kInvalidArgument when the payload would exceed kMaxFrameBytes (the
+/// engine cuts blocks far smaller; only a single enormous row can hit
+/// this, and it must fail here, not at read time).
+Result<std::string> EncodeBlockFile(const std::vector<Row>& rows);
 
 /// Decodes and checksum-verifies a whole block file. Corruption —
 /// wrong magic, bad checksum, truncation, trailing garbage — is typed

@@ -26,8 +26,14 @@ std::string MagicName(uint32_t magic) {
 
 }  // namespace
 
-std::string EncodeFileFrame(uint32_t magic, uint16_t type,
-                            const std::string& payload) {
+Result<std::string> EncodeFileFrame(uint32_t magic, uint16_t type,
+                                    const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument(
+        MagicName(magic) + " payload of " + std::to_string(payload.size()) +
+        " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
+        "-byte frame limit");
+  }
   wire::Writer w;
   w.PutU32(magic);
   w.PutU16(kFormatVersion);

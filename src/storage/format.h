@@ -45,9 +45,13 @@ struct FileFrameHeader {
   uint64_t checksum = 0;
 };
 
-/// One complete file frame: header + payload.
-std::string EncodeFileFrame(uint32_t magic, uint16_t type,
-                            const std::string& payload);
+/// One complete file frame: header + payload. A payload over
+/// kMaxFrameBytes is rejected here (kInvalidArgument) rather than
+/// written: the length field is a u32 and the read side enforces the
+/// same limit, so an oversized frame would be acknowledged on disk but
+/// unreadable (kDataLoss) at recovery.
+Result<std::string> EncodeFileFrame(uint32_t magic, uint16_t type,
+                                    const std::string& payload);
 
 /// Parses a header from exactly kFrameHeaderSize bytes. Wrong magic or
 /// an over-limit length is kDataLoss (`what` names the artifact in the

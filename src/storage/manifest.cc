@@ -6,7 +6,7 @@
 namespace cgq {
 namespace storage {
 
-std::string Manifest::Encode() const {
+Result<std::string> Manifest::Encode() const {
   wire::Writer w;
   w.PutU64(version);
   w.PutU64(wal_version);

@@ -42,8 +42,9 @@ struct Manifest {
   uint64_t next_block_id = 1;
   std::vector<ManifestFragment> fragments;
 
-  /// Complete file bytes (header + payload).
-  std::string Encode() const;
+  /// Complete file bytes (header + payload); kInvalidArgument when the
+  /// payload would exceed kMaxFrameBytes.
+  Result<std::string> Encode() const;
   /// Decodes + checksum-verifies; corruption is typed kDataLoss.
   static Result<Manifest> Decode(const std::string& bytes,
                                  const std::string& what);

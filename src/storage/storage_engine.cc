@@ -17,9 +17,13 @@ namespace {
 
 namespace fs = std::filesystem;
 
-/// Bound on one commit-log record, so huge Puts stream in frames instead
-/// of one giant allocation at replay.
+/// Bounds on one commit-log record, so huge Puts stream in frames
+/// instead of one giant allocation at replay. The byte bound keeps every
+/// multi-row record far under kMaxFrameBytes, so an acknowledged record
+/// can always be re-read (only a single over-limit row can fail, and it
+/// fails loudly at encode time, before the ack).
 constexpr size_t kWalChunkRows = 8192;
+constexpr size_t kWalChunkBytes = 64 * 1024 * 1024;
 
 size_t RowBytes(const Row& row) {
   size_t bytes = sizeof(Row);
@@ -61,18 +65,40 @@ Status StorageEngine::Open(const std::string& dir, StorageOptions options) {
   const std::string current_path = PathOf("CURRENT");
   auto current_or = ReadCurrent(current_path);
   if (current_or.status().IsNotFound()) {
-    // No CURRENT pointer. An empty directory is a fresh store; one with
-    // storage artifacts lost its root pointer — refuse to guess.
+    // No CURRENT pointer. Real state (a data block, a non-empty commit
+    // log, a manifest naming fragments) without its root pointer is data
+    // loss — refuse to guess. But a crash during a *fresh* init can only
+    // leave benign leftovers (an empty commit log, a manifest naming no
+    // fragments); those are swept and the init restarted rather than
+    // bricking an empty store.
+    std::vector<fs::path> leftovers;
     for (const auto& entry : fs::directory_iterator(dir_, ec)) {
       const std::string name = entry.path().filename().string();
-      if (name.rfind("MANIFEST-", 0) == 0 || name.rfind("wal-", 0) == 0 ||
-          (name.size() > 4 && name.compare(name.size() - 4, 4, ".blk") == 0)) {
+      const bool is_manifest = name.rfind("MANIFEST-", 0) == 0;
+      const bool is_wal = name.rfind("wal-", 0) == 0;
+      const bool is_block =
+          name.size() > 4 && name.compare(name.size() - 4, 4, ".blk") == 0;
+      if (!is_manifest && !is_wal && !is_block) continue;
+      bool benign = false;
+      if (is_wal) {
+        std::error_code size_ec;
+        benign = fs::file_size(entry.path(), size_ec) == 0 && !size_ec;
+      } else if (is_manifest) {
+        auto bytes = ReadFile(entry.path().string());
+        if (bytes.ok()) {
+          auto decoded = Manifest::Decode(*bytes, entry.path().string());
+          benign = decoded.ok() && decoded->fragments.empty();
+        }
+      }
+      if (!benign) {
         return Status::DataLoss(dir_ +
                                 ": CURRENT missing but storage files exist "
                                 "(first: " +
                                 name + ")");
       }
+      leftovers.push_back(entry.path());
     }
+    for (const fs::path& leftover : leftovers) fs::remove(leftover, ec);
     manifest_version_ = 1;
     wal_version_ = 1;
     next_block_id_ = 1;
@@ -80,12 +106,16 @@ Status StorageEngine::Open(const std::string& dir, StorageOptions options) {
     fresh.version = manifest_version_;
     fresh.wal_version = wal_version_;
     fresh.next_block_id = next_block_id_;
+    // Manifest, then CURRENT, then the commit log: a kill after CURRENT
+    // lands recovers through the normal path (a missing log replays as
+    // empty); a kill before it finds only the benign leftovers above.
+    CGQ_ASSIGN_OR_RETURN(std::string fresh_bytes, fresh.Encode());
     CGQ_RETURN_NOT_OK(WriteFileAtomic(PathOf(ManifestFileName(fresh.version)),
-                                      fresh.Encode()));
-    auto wal = std::make_unique<WalWriter>();
-    CGQ_RETURN_NOT_OK(wal->Open(PathOf(WalFileName(wal_version_))));
+                                      fresh_bytes));
     CGQ_RETURN_NOT_OK(WriteFileAtomic(
         current_path, ManifestFileName(manifest_version_) + "\n"));
+    auto wal = std::make_unique<WalWriter>();
+    CGQ_RETURN_NOT_OK(wal->Open(PathOf(WalFileName(wal_version_))));
     wal_ = std::move(wal);
     return Status::OK();
   }
@@ -178,7 +208,13 @@ Status StorageEngine::LogAndApply(WalRecordType type, LocationId location,
   size_t offset = 0;
   bool first = true;
   do {
-    const size_t n = std::min(kWalChunkRows, rows.size() - offset);
+    size_t n = 0;
+    size_t chunk_bytes = 0;
+    while (offset + n < rows.size() && n < kWalChunkRows &&
+           chunk_bytes < kWalChunkBytes) {
+      chunk_bytes += RowBytes(rows[offset + n]);
+      ++n;
+    }
     WalRecord rec;
     rec.type = first ? type : WalRecordType::kAppend;
     rec.location = location;
@@ -191,16 +227,18 @@ Status StorageEngine::LogAndApply(WalRecordType type, LocationId location,
     first = false;
   } while (offset < rows.size());
 
+  // The mutation is durable (and applied) once its records are in the
+  // commit log; a failing size-triggered flush or checkpoint must not
+  // retract that acknowledgment — recovery would replay the record and
+  // "resurrect" an op the caller was told failed. A failed flush leaves
+  // the rows in the tail (still log-covered) and a failed checkpoint
+  // leaves the old manifest + log authoritative, so the engine just
+  // retries both at the next trigger.
   FragmentState& frag = fragments_[{location, table}];
   if (frag.tail_bytes >= options_.block_target_bytes) {
-    CGQ_RETURN_NOT_OK(FlushTail(&frag));
+    Status flushed = FlushTail(&frag);
+    if (!flushed.ok()) CGQ_COUNTER_ADD("storage.checkpoint_failures", 1);
   }
-  // The mutation is durable (and applied) once its records are in the
-  // commit log; a failing size-triggered checkpoint must not retract
-  // that acknowledgment — recovery would replay the record and
-  // "resurrect" an op the caller was told failed. A failed checkpoint
-  // leaves the old manifest + log authoritative, so the engine just
-  // retries compaction at the next trigger.
   Status compacted = MaybeCheckpoint();
   if (!compacted.ok()) CGQ_COUNTER_ADD("storage.checkpoint_failures", 1);
   return Status::OK();
@@ -218,39 +256,55 @@ Status StorageEngine::Append(LocationId location, const std::string& table,
 }
 
 Status StorageEngine::FlushTail(FragmentState* frag) {
-  // Cut the tail into blocks of ~block_target_bytes. The rows stay
-  // replayable from the commit log until the next checkpoint, so a
-  // crash mid-flush leaves only orphan files, never lost rows.
-  size_t begin = 0;
-  while (begin < frag->tail.size()) {
+  // Cut the tail into blocks of ~block_target_bytes, front first. Rows
+  // leave the tail only once their block is fully on disk, so a failed
+  // write (ENOSPC, injected fault) leaves the fragment exactly as if
+  // the flush had stopped between blocks: the remaining tail is intact
+  // and still covered by the commit log, and scans never see moved-from
+  // rows. A crash mid-flush leaves only orphan files, never lost rows.
+  while (!frag->tail.empty()) {
     size_t bytes = 0;
-    size_t end = begin;
+    size_t end = 0;
     while (end < frag->tail.size() && bytes < options_.block_target_bytes) {
       bytes += RowBytes(frag->tail[end]);
       ++end;
     }
     std::vector<Row> chunk(
-        std::make_move_iterator(frag->tail.begin() +
-                                static_cast<ptrdiff_t>(begin)),
+        std::make_move_iterator(frag->tail.begin()),
         std::make_move_iterator(frag->tail.begin() +
                                 static_cast<ptrdiff_t>(end)));
-    const uint64_t id = next_block_id_++;
-    const std::string path = PathOf(BlockFileName(id));
-    {
+    const std::string path = PathOf(BlockFileName(next_block_id_));
+    Status written = [&]() -> Status {
+      if (CGQ_FAILPOINT("storage.flush")) {
+        return Status::Unavailable(path +
+                                   ": injected block-write failure (site "
+                                   "storage.flush)");
+      }
+      CGQ_ASSIGN_OR_RETURN(const std::string bytes_out,
+                           EncodeBlockFile(chunk));
       std::ofstream out(path, std::ios::binary | std::ios::trunc);
       if (!out) return Status::Unavailable(path + ": open failed");
-      const std::string bytes_out = EncodeBlockFile(chunk);
       out.write(bytes_out.data(),
                 static_cast<std::streamsize>(bytes_out.size()));
       out.flush();
       if (!out) return Status::Unavailable(path + ": write failed");
+      return Status::OK();
+    }();
+    if (!written.ok()) {
+      // Undo the move: the attempted rows return to their tail slots,
+      // restoring the fragment byte-identical to before this block.
+      std::move(chunk.begin(), chunk.end(), frag->tail.begin());
+      std::error_code ec;
+      fs::remove(path, ec);
+      return written;
     }
-    frag->blocks.push_back(
-        ManifestBlock{id, static_cast<uint32_t>(chunk.size())});
+    frag->blocks.push_back(ManifestBlock{
+        next_block_id_++, static_cast<uint32_t>(chunk.size())});
     ++blocks_written_;
-    begin = end;
+    frag->tail.erase(frag->tail.begin(),
+                     frag->tail.begin() + static_cast<ptrdiff_t>(end));
+    frag->tail_bytes -= std::min(frag->tail_bytes, bytes);
   }
-  frag->tail.clear();
   frag->tail_bytes = 0;
   return Status::OK();
 }
@@ -281,8 +335,9 @@ Status StorageEngine::Checkpoint() {
     out.blocks = frag.blocks;
     next.fragments.push_back(std::move(out));
   }
+  CGQ_ASSIGN_OR_RETURN(std::string next_bytes, next.Encode());
   CGQ_RETURN_NOT_OK(WriteFileAtomic(PathOf(ManifestFileName(next.version)),
-                                    next.Encode()));
+                                    next_bytes));
   if (CGQ_FAILPOINT("storage.commit")) {
     // Simulated crash between the new manifest and the CURRENT switch:
     // the old manifest + old log stay authoritative, both on disk and in

@@ -9,7 +9,7 @@
 namespace cgq {
 namespace storage {
 
-std::string EncodeWalRecord(const WalRecord& rec) {
+Result<std::string> EncodeWalRecord(const WalRecord& rec) {
   wire::Writer w;
   w.PutU32(rec.location);
   w.PutString(rec.table);
@@ -40,7 +40,9 @@ Status WalWriter::Append(const WalRecord& rec) {
                                ": commit log needs recovery after a failed "
                                "append");
   }
-  const std::string frame = EncodeWalRecord(rec);
+  // An encode failure (over-limit record) writes nothing, so it does
+  // not wound the log — the caller just sees the mutation refused.
+  CGQ_ASSIGN_OR_RETURN(const std::string frame, EncodeWalRecord(rec));
   if (CGQ_FAILPOINT("storage.commit")) {
     // Simulate a crash mid-commit: a torn prefix reaches the disk, the
     // acknowledgement never happens. Recovery must replay cleanly past

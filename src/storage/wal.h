@@ -39,8 +39,10 @@ struct WalRecord {
   std::vector<Row> rows;
 };
 
-/// Encodes one record as a complete file frame.
-std::string EncodeWalRecord(const WalRecord& rec);
+/// Encodes one record as a complete file frame. kInvalidArgument when
+/// the payload would exceed kMaxFrameBytes (LogAndApply chunks records
+/// by rows *and* bytes, so only a single enormous row can hit this).
+Result<std::string> EncodeWalRecord(const WalRecord& rec);
 
 /// Appender over one log file. Every Append is flushed to the OS before
 /// returning, so a SIGKILL after an acknowledged mutation never loses

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "storage/block.h"
 #include "storage/format.h"
 #include "storage/manifest.h"
@@ -56,7 +57,7 @@ class StorageEngineTest : public ::testing::Test {
 
 TEST_F(StorageEngineTest, BlockRoundTripColumnar) {
   std::vector<Row> rows = MakeRows(100);
-  std::string bytes = EncodeBlockFile(rows);
+  std::string bytes = EncodeBlockFile(rows).ValueOrDie();
   auto back = DecodeBlockFile(bytes, "test block");
   ASSERT_TRUE(back.ok()) << back.status();
   ASSERT_EQ(back->size(), rows.size());
@@ -70,7 +71,7 @@ TEST_F(StorageEngineTest, BlockRoundTripRagged) {
   std::vector<Row> rows = {{Value::Int64(1)},
                            {Value::Int64(2), Value::String("x")},
                            {}};
-  std::string bytes = EncodeBlockFile(rows);
+  std::string bytes = EncodeBlockFile(rows).ValueOrDie();
   auto back = DecodeBlockFile(bytes, "ragged block");
   ASSERT_TRUE(back.ok()) << back.status();
   ASSERT_EQ(back->size(), rows.size());
@@ -80,7 +81,7 @@ TEST_F(StorageEngineTest, BlockRoundTripRagged) {
 }
 
 TEST_F(StorageEngineTest, BlockChecksumMismatchIsDataLoss) {
-  std::string bytes = EncodeBlockFile(MakeRows(10));
+  std::string bytes = EncodeBlockFile(MakeRows(10)).ValueOrDie();
   bytes[bytes.size() - 1] ^= 0x40;  // flip one payload bit
   auto back = DecodeBlockFile(bytes, "corrupt block");
   ASSERT_FALSE(back.ok());
@@ -95,7 +96,7 @@ TEST_F(StorageEngineTest, ManifestRoundTrip) {
   m.fragments.push_back(
       ManifestFragment{2, "orders", {{1, 100}, {5, 23}}});
   m.fragments.push_back(ManifestFragment{3, "customer", {}});
-  auto back = Manifest::Decode(m.Encode(), "test manifest");
+  auto back = Manifest::Decode(m.Encode().ValueOrDie(), "test manifest");
   ASSERT_TRUE(back.ok()) << back.status();
   EXPECT_EQ(back->version, 7u);
   EXPECT_EQ(back->wal_version, 9u);
@@ -224,6 +225,80 @@ TEST_F(StorageEngineTest, MissingCurrentOverLiveBlocksIsDataLoss) {
     ASSERT_TRUE(engine.Open(dir_).ok());
     ASSERT_TRUE(engine.Put(0, "t", MakeRows(10)).ok());
     ASSERT_TRUE(engine.Checkpoint().ok());
+  }
+  fs::remove(fs::path(dir_) / "CURRENT");
+  StorageEngine engine;
+  Status s = engine.Open(dir_);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsDataLoss()) << s;
+}
+
+TEST_F(StorageEngineTest, PartialFlushFailureKeepsFragmentConsistent) {
+  StorageOptions options;
+  options.block_target_bytes = 256;  // a flush cuts many blocks
+  options.wal_checkpoint_bytes = 0;  // no automatic checkpoints
+  StorageEngine engine;
+  ASSERT_TRUE(engine.Open(dir_, options).ok());
+  // The flush's second block write fails mid-way: the flushed prefix is
+  // in blocks, the remainder must still be intact in the tail — and the
+  // Put stays acknowledged (its rows are in the commit log).
+  Failpoints::ArmEveryN("storage.flush", 2);
+  ASSERT_TRUE(engine.Put(0, "t", MakeRows(200)).ok());
+  Failpoints::DisarmAll();
+
+  auto n = engine.FragmentRows(0, "t");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 200u);
+  std::vector<Row> all;
+  ASSERT_TRUE(engine.ReadAll(0, "t", &all).ok());
+  ASSERT_EQ(all.size(), 200u);
+  for (int64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        RowsStructurallyEqual(all[static_cast<size_t>(i)], MakeRow(i)))
+        << i;
+  }
+
+  // A later successful checkpoint persists exactly these rows.
+  ASSERT_TRUE(engine.Checkpoint().ok());
+  StorageEngine reopened;
+  ASSERT_TRUE(reopened.Open(dir_, options).ok());
+  ASSERT_TRUE(reopened.ReadAll(0, "t", &all).ok());
+  ASSERT_EQ(all.size(), 200u);
+  for (int64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        RowsStructurallyEqual(all[static_cast<size_t>(i)], MakeRow(i)))
+        << i;
+  }
+}
+
+TEST_F(StorageEngineTest, InterruptedFreshInitIsRestartable) {
+  // A kill between a fresh store's first manifest / commit-log writes
+  // and the CURRENT pointer leaves only benign leftovers; Open must
+  // restart the init instead of typing the empty store as data loss.
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  Manifest fresh;
+  fresh.version = 1;
+  fresh.wal_version = 1;
+  std::ofstream(fs::path(dir_) / "MANIFEST-1", std::ios::binary)
+      << fresh.Encode().ValueOrDie();
+  std::ofstream(fs::path(dir_) / "wal-1.log", std::ios::binary);  // empty
+
+  StorageEngine engine;
+  Status s = engine.Open(dir_);
+  ASSERT_TRUE(s.ok()) << s;
+  ASSERT_TRUE(engine.Put(0, "t", MakeRows(5)).ok());
+  auto n = engine.FragmentRows(0, "t");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 5u);
+}
+
+TEST_F(StorageEngineTest, MissingCurrentOverNonEmptyLogIsDataLoss) {
+  {
+    StorageEngine engine;
+    ASSERT_TRUE(engine.Open(dir_).ok());
+    // No checkpoint: the rows live only in the commit log.
+    ASSERT_TRUE(engine.Put(0, "t", MakeRows(10)).ok());
   }
   fs::remove(fs::path(dir_) / "CURRENT");
   StorageEngine engine;
